@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file bench_common.hpp
+/// Shared plumbing for the experiment harnesses: environment knobs and
+/// fixed-width table printing.
+///
+/// Knobs (all optional):
+///   PQRA_RUNS=<n>   override the number of repetitions per configuration
+///   PQRA_FAST=1     shrink sweeps for a quick smoke run
+///   PQRA_SEED=<n>   master seed (default 1)
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace pqra::bench {
+
+inline std::size_t env_size_t(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  char* end = nullptr;
+  unsigned long long parsed = std::strtoull(v, &end, 10);
+  if (end == v) return fallback;
+  return static_cast<std::size_t>(parsed);
+}
+
+inline bool env_fast() { return env_size_t("PQRA_FAST", 0) != 0; }
+
+inline std::uint64_t env_seed() {
+  return static_cast<std::uint64_t>(env_size_t("PQRA_SEED", 1));
+}
+
+/// Number of repetitions; the paper uses 7 runs per configuration (§7).
+inline std::size_t env_runs(std::size_t fallback = 7) {
+  return env_size_t("PQRA_RUNS", env_fast() ? 2 : fallback);
+}
+
+/// Fixed-width table writer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers, int width = 12)
+      : headers_(std::move(headers)), width_(width) {}
+
+  void print_header() const {
+    for (const auto& h : headers_) std::printf("%*s", width_, h.c_str());
+    std::printf("\n");
+    for (std::size_t i = 0; i < headers_.size(); ++i) {
+      for (int c = 0; c < width_; ++c) std::printf("%s", c ? "-" : " ");
+    }
+    std::printf("\n");
+  }
+
+  void cell(const std::string& s) const { std::printf("%*s", width_, s.c_str()); }
+  void cell(double v, int precision = 2) const {
+    std::printf("%*.*f", width_, precision, v);
+  }
+  void cell(std::size_t v) const {
+    std::printf("%*llu", width_, static_cast<unsigned long long>(v));
+  }
+  void end_row() const { std::printf("\n"); }
+
+ private:
+  std::vector<std::string> headers_;
+  int width_;
+};
+
+}  // namespace pqra::bench

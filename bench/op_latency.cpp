@@ -1,0 +1,81 @@
+/// \file op_latency.cpp
+/// Ablation: per-operation latency of the quorum register vs quorum size
+/// and delay model.  A quorum operation completes when the *slowest* of its
+/// k request/ack exchanges returns, so latency is the maximum of k
+/// round-trips: constant delays give exactly 2 units independent of k, and
+/// exponential delays grow with k like the expected maximum of k
+/// Erlang(2, 1) variables — measured here against a numeric reference.
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "apps/apsp.hpp"
+#include "apps/graph.hpp"
+#include "bench_common.hpp"
+#include "iter/alg1_des.hpp"
+#include "quorum/probabilistic.hpp"
+
+namespace {
+
+using namespace pqra;
+
+/// E[max of k Erlang(2,1)] by numeric integration of 1 - F(x)^k with
+/// F(x) = 1 - e^{-x}(1+x).
+double expected_max_erlang2(std::size_t k, double step = 0.001,
+                            double horizon = 60.0) {
+  double acc = 0.0;
+  for (double x = 0.0; x < horizon; x += step) {
+    double cdf = 1.0 - std::exp(-x) * (1.0 + x);
+    acc += (1.0 - std::pow(cdf, static_cast<double>(k))) * step;
+  }
+  return acc;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t runs = bench::env_runs(3);
+  const std::uint64_t seed = bench::env_seed();
+  const std::size_t chain = bench::env_fast() ? 8 : 12;
+
+  apps::Graph g = apps::make_chain(chain);
+  apps::ApspOperator op(g);
+  const std::size_t n = 34;
+
+  std::printf("register operation latency vs quorum size (n = %zu replicas, "
+              "APSP workload, %zu runs)\n\n",
+              n, runs);
+  bench::Table table({"k", "sync_read", "sync_write", "async_read",
+                      "async_write", "E[maxErl2]"},
+                     13);
+  table.print_header();
+  for (std::size_t k : {1u, 2u, 4u, 8u, 16u, 18u}) {
+    util::OnlineStats sync_r, sync_w, async_r, async_w;
+    quorum::ProbabilisticQuorums qs(n, k);
+    for (std::size_t run = 0; run < runs; ++run) {
+      for (bool synchronous : {true, false}) {
+        iter::Alg1Options options;
+        options.quorums = &qs;
+        options.synchronous = synchronous;
+        options.seed = seed + run * 17 + k;
+        options.round_cap = 5000;
+        iter::Alg1Result r = iter::run_alg1(op, options);
+        (synchronous ? sync_r : async_r).merge(r.read_latency);
+        (synchronous ? sync_w : async_w).merge(r.write_latency);
+      }
+    }
+    table.cell(k);
+    table.cell(sync_r.mean(), 3);
+    table.cell(sync_w.mean(), 3);
+    table.cell(async_r.mean(), 3);
+    table.cell(async_w.mean(), 3);
+    table.cell(expected_max_erlang2(k), 3);
+    table.end_row();
+  }
+  std::printf("\nsync latency is exactly 2 (two constant hops); async "
+              "latency tracks the expected max of k Erlang(2) round trips — "
+              "the per-op price of larger quorums that §6.4's message counts "
+              "do not show.\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+/// \file r3_decay.cpp
+/// Validates condition [R3] via the Theorem 1 decay bound: the probability
+/// that a write is still visible (some replica of its quorum not yet
+/// overwritten) after l subsequent writes is at most k ((n-k)/n)^l, which
+/// vanishes as l grows — so no write is read from infinitely often.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/spec/probabilistic_checks.hpp"
+#include "quorum/probabilistic.hpp"
+#include "util/math.hpp"
+
+int main() {
+  using namespace pqra;
+  const std::size_t trials = bench::env_fast() ? 2000 : 20000;
+  util::Rng rng(bench::env_seed());
+
+  const std::size_t n = 34;
+  std::printf("[R3] / Theorem 1: P[write survives l subsequent writes] "
+              "<= k ((n-k)/n)^l   (n = %zu, %zu trials)\n\n",
+              n, trials);
+
+  bench::Table table({"k", "l", "survival_sim", "bound"});
+  table.print_header();
+  for (std::size_t k : {1u, 2u, 4u, 6u, 12u}) {
+    quorum::ProbabilisticQuorums qs(n, k);
+    for (std::size_t l : {1u, 2u, 5u, 10u, 20u, 50u}) {
+      double sim = core::spec::r3_survival_rate(qs, l, trials, rng);
+      double bound = util::r3_survival_bound(n, k, l);
+      table.cell(k);
+      table.cell(l);
+      table.cell(sim, 4);
+      table.cell(bound, 4);
+      table.end_row();
+    }
+    std::printf("\n");
+  }
+  std::printf("every simulated value sits at or below its bound (within "
+              "Monte-Carlo noise), and both columns decay to zero: each "
+              "write is eventually forgotten.\n");
+  return 0;
+}

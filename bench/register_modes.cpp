@@ -1,0 +1,122 @@
+/// \file register_modes.cpp
+/// Ablation of the register-mode design space on the Figure 2 workload:
+/// plain vs monotone (§6.2) vs read-repair vs atomic write-back vs server
+/// anti-entropy gossip vs snapshot reads, across quorum sizes.  Shows what
+/// each mechanism buys: monotonicity removes regressions (the paper's
+/// contribution), repair/write-back/gossip add propagation, and snapshot
+/// reads collapse the per-round read fan-out from 2pmk to 2pk messages.
+
+#include <cstdio>
+#include <vector>
+
+#include "apps/apsp.hpp"
+#include "apps/graph.hpp"
+#include "bench_common.hpp"
+#include "iter/alg1_des.hpp"
+#include "quorum/probabilistic.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace pqra;
+
+struct ModeResult {
+  double rounds = 0.0;
+  double msgs = 0.0;
+  bool capped = false;
+};
+
+struct Mode {
+  bool monotone = true;
+  bool repair = false;
+  bool wb = false;
+  bool snapshot = false;
+  double gossip = 0.0;  // 0 = off
+};
+
+ModeResult run_mode(const apps::ApspOperator& op, std::size_t n,
+                    std::size_t k, const Mode& mode, std::size_t runs,
+                    std::uint64_t seed) {
+  quorum::ProbabilisticQuorums qs(n, k);
+  util::OnlineStats rounds, msgs;
+  ModeResult out;
+  for (std::size_t run = 0; run < runs; ++run) {
+    iter::Alg1Options options;
+    options.quorums = &qs;
+    options.monotone = mode.monotone;
+    options.read_repair = mode.repair;
+    options.write_back = mode.wb;
+    options.snapshot_reads = mode.snapshot;
+    if (mode.gossip > 0.0) options.gossip_interval = mode.gossip;
+    options.synchronous = true;
+    options.round_cap = 400;
+    options.seed = seed + run * 37 + k;
+    iter::Alg1Result r = iter::run_alg1(op, options);
+    rounds.add(static_cast<double>(r.rounds));
+    msgs.add(static_cast<double>(r.messages.total));
+    if (!r.converged) out.capped = true;
+  }
+  out.rounds = rounds.mean();
+  out.msgs = msgs.mean();
+  return out;
+}
+
+std::string fmt(const ModeResult& m) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%s%.2f", m.capped ? ">=" : "", m.rounds);
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t chain = bench::env_fast() ? 10 : 20;
+  const std::size_t runs = bench::env_runs(5);
+  const std::uint64_t seed = bench::env_seed();
+
+  apps::Graph g = apps::make_chain(chain);
+  apps::ApspOperator op(g);
+
+  std::printf("register-mode ablation — APSP on a %zu-chain, n = %zu "
+              "replicas, synchronous, %zu runs (rounds to convergence; "
+              "msg = total messages of the monotone run)\n\n",
+              chain, chain, runs);
+  bench::Table table({"k", "plain", "monotone", "mono+repair", "atomic(wb)",
+                      "mono+gossip", "mono+snap"},
+                     13);
+  table.print_header();
+  std::vector<ModeResult> mono_row, snap_row;
+  for (std::size_t k : {1u, 2u, 3u, 4u, 6u, 8u}) {
+    ModeResult plain = run_mode(op, chain, k, {false}, runs, seed);
+    ModeResult mono = run_mode(op, chain, k, {}, runs, seed);
+    ModeResult repair =
+        run_mode(op, chain, k, {.repair = true}, runs, seed);
+    ModeResult wb = run_mode(op, chain, k, {.wb = true}, runs, seed);
+    ModeResult gossip =
+        run_mode(op, chain, k, {.gossip = 2.0}, runs, seed);
+    ModeResult snap =
+        run_mode(op, chain, k, {.snapshot = true}, runs, seed);
+    mono_row.push_back(mono);
+    snap_row.push_back(snap);
+    table.cell(k);
+    table.cell(fmt(plain));
+    table.cell(fmt(mono));
+    table.cell(fmt(repair));
+    table.cell(fmt(wb));
+    table.cell(fmt(gossip));
+    table.cell(fmt(snap));
+    table.end_row();
+    std::fflush(stdout);
+  }
+  std::printf("\nmessage totals at k = 4: monotone %.0f vs snapshot-reads "
+              "%.0f — snapshots collapse the read fan-out from 2pmk to 2pk "
+              "per round.\n",
+              mono_row[3].msgs, snap_row[3].msgs);
+  std::printf("read repair pushes fresh rows to stale replicas as a side "
+              "effect of reading, so small-k convergence accelerates beyond "
+              "plain monotonicity; write-back propagates even harder (every "
+              "read re-writes a full quorum) and additionally buys "
+              "atomicity, at double the read latency; server gossip rescues "
+              "k = 1 entirely.\n");
+  return 0;
+}

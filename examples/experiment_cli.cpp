@@ -1,0 +1,223 @@
+/// \file experiment_cli.cpp
+/// General experiment driver: pick an application, a graph/instance, a
+/// quorum system and an execution mode on the command line, get the §7-style
+/// metrics back.  This is the scripting entry point for anything the fixed
+/// bench binaries do not cover.
+///
+///   ./experiment_cli app=apsp graph=chain size=34 quorum=prob k=4 \
+///                    monotone=1 sync=1 runs=3 seed=1
+///
+/// keys (defaults):
+///   app     = apsp | tc | csp | jacobi | agree        (apsp)
+///   graph   = chain | cycle | grid | random | tree    (chain; apsp/tc only)
+///   size    = problem size                            (16)
+///   quorum  = prob | majority | grid | fpp | hier | rowa | singleton (prob)
+///   k       = probabilistic quorum size               (4)
+///   servers = replica count for prob/majority/rowa    (= size)
+///   monotone= 0|1 (1)        sync = 0|1 (1)
+///   runs    = repetitions (3)   seed = master seed (1)
+///   cap     = round cap (20000)
+///   churn   = 0|1 add random server churn + retries (0)
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "apps/apsp.hpp"
+#include "apps/approx_agreement.hpp"
+#include "apps/csp.hpp"
+#include "apps/graph.hpp"
+#include "apps/linear.hpp"
+#include "apps/transitive_closure.hpp"
+#include "iter/alg1_des.hpp"
+#include "quorum/fpp.hpp"
+#include "quorum/grid.hpp"
+#include "quorum/hierarchical.hpp"
+#include "quorum/majority.hpp"
+#include "quorum/probabilistic.hpp"
+#include "quorum/rowa.hpp"
+#include "quorum/singleton.hpp"
+#include "util/stats.hpp"
+
+using namespace pqra;
+
+namespace {
+
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        std::fprintf(stderr, "ignoring malformed argument '%s'\n",
+                     arg.c_str());
+        continue;
+      }
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  std::size_t get_n(const std::string& key, std::size_t fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stoul(it->second);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+apps::Graph make_graph(const std::string& kind, std::size_t size,
+                       util::Rng& rng) {
+  if (kind == "chain") return apps::make_chain(size);
+  if (kind == "cycle") return apps::make_cycle(size);
+  if (kind == "grid") {
+    std::size_t side = 2;
+    while (side * side < size) ++side;
+    return apps::make_grid_graph(side, side);
+  }
+  if (kind == "random") return apps::make_random_gnp(size, 0.3, 1, 9, rng);
+  if (kind == "tree") return apps::make_random_tree(size, rng);
+  std::fprintf(stderr, "unknown graph '%s', using chain\n", kind.c_str());
+  return apps::make_chain(size);
+}
+
+std::unique_ptr<iter::AcoOperator> make_app(const std::string& app,
+                                            const std::string& graph_kind,
+                                            std::size_t size,
+                                            util::Rng& rng) {
+  if (app == "apsp") {
+    return std::make_unique<apps::ApspOperator>(
+        make_graph(graph_kind, size, rng));
+  }
+  if (app == "tc") {
+    return std::make_unique<apps::TransitiveClosureOperator>(
+        make_graph(graph_kind, size, rng));
+  }
+  if (app == "csp") {
+    return std::make_unique<apps::ArcConsistencyOperator>(
+        apps::make_ordering_csp(size, size + 2));
+  }
+  if (app == "jacobi") {
+    return std::make_unique<apps::JacobiOperator>(
+        apps::make_dominant_system(size, 0.7, rng), 1e-8);
+  }
+  if (app == "agree") {
+    std::vector<double> inputs;
+    for (std::size_t i = 0; i < size; ++i) {
+      inputs.push_back(rng.uniform01() * 100.0);
+    }
+    return std::make_unique<apps::ApproxAgreementOperator>(std::move(inputs),
+                                                           0.01);
+  }
+  std::fprintf(stderr, "unknown app '%s'\n", app.c_str());
+  return nullptr;
+}
+
+std::unique_ptr<quorum::QuorumSystem> make_quorums(const std::string& kind,
+                                                   std::size_t servers,
+                                                   std::size_t k) {
+  if (kind == "prob") {
+    return std::make_unique<quorum::ProbabilisticQuorums>(servers, k);
+  }
+  if (kind == "majority") {
+    return std::make_unique<quorum::MajorityQuorums>(servers);
+  }
+  if (kind == "grid") {
+    std::size_t side = 2;
+    while (side * side < servers) ++side;
+    return std::make_unique<quorum::GridQuorums>(side, side);
+  }
+  if (kind == "fpp") {
+    // Smallest prime order with s^2 + s + 1 >= servers.
+    std::size_t s = 2;
+    while (s * s + s + 1 < servers || !util::is_prime(s)) ++s;
+    return std::make_unique<quorum::FppQuorums>(s);
+  }
+  if (kind == "hier") {
+    std::size_t h = 0, n = 1;
+    while (n < servers) {
+      n *= 3;
+      ++h;
+    }
+    return std::make_unique<quorum::HierarchicalQuorums>(h);
+  }
+  if (kind == "rowa") return std::make_unique<quorum::ReadOneWriteAll>(servers);
+  if (kind == "singleton") {
+    return std::make_unique<quorum::SingletonQuorums>(servers);
+  }
+  std::fprintf(stderr, "unknown quorum system '%s'\n", kind.c_str());
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  const std::string app = args.get("app", "apsp");
+  const std::string graph = args.get("graph", "chain");
+  const std::size_t size = args.get_n("size", 16);
+  const std::string quorum_kind = args.get("quorum", "prob");
+  const std::size_t servers = args.get_n("servers", size);
+  const std::size_t k = args.get_n("k", 4);
+  const bool monotone = args.get_n("monotone", 1) != 0;
+  const bool sync = args.get_n("sync", 1) != 0;
+  const std::size_t runs = args.get_n("runs", 3);
+  const std::uint64_t seed = args.get_n("seed", 1);
+  const std::size_t cap = args.get_n("cap", 20000);
+  const bool churn = args.get_n("churn", 0) != 0;
+
+  util::Rng rng(seed);
+  std::unique_ptr<iter::AcoOperator> op = make_app(app, graph, size, rng);
+  std::unique_ptr<quorum::QuorumSystem> quorums =
+      make_quorums(quorum_kind, servers, k);
+  if (op == nullptr || quorums == nullptr) return 2;
+
+  std::printf("app=%s m=%zu | quorums=%s | %s, %s%s | %zu runs\n\n",
+              op->name().c_str(), op->num_components(),
+              quorums->name().c_str(), monotone ? "monotone" : "plain",
+              sync ? "sync" : "async", churn ? ", churn" : "", runs);
+
+  util::OnlineStats rounds, pcs, msgs, read_lat;
+  std::size_t converged = 0;
+  for (std::size_t run = 0; run < runs; ++run) {
+    iter::Alg1Options options;
+    options.quorums = quorums.get();
+    options.monotone = monotone;
+    options.synchronous = sync;
+    options.seed = seed + run * 7919;
+    options.round_cap = cap;
+    util::Rng churn_rng(seed + run);
+    net::FaultPlan plan;
+    if (churn) {
+      plan = net::FaultPlan::random_churn(quorums->num_servers(), 2000.0,
+                                          60.0, 15.0, churn_rng);
+      options.fault_plan = &plan;
+      options.retry_timeout = 10.0;
+      options.max_sim_time = 50000.0;
+    }
+    iter::Alg1Result r = iter::run_alg1(*op, options);
+    converged += r.converged;
+    rounds.add(static_cast<double>(r.rounds));
+    pcs.add(static_cast<double>(r.pseudocycles));
+    msgs.add(static_cast<double>(r.messages.total));
+    read_lat.merge(r.read_latency);
+    std::printf("  run %zu: %s rounds=%zu pseudocycles=%zu msgs=%llu "
+                "retries=%llu\n",
+                run, r.converged ? "ok " : "CAP", r.rounds, r.pseudocycles,
+                static_cast<unsigned long long>(r.messages.total),
+                static_cast<unsigned long long>(r.retries));
+  }
+
+  std::printf("\nconverged %zu/%zu | rounds %.2f +- %.2f | pseudocycles "
+              "%.2f | msgs %.0f | read latency %.2f\n",
+              converged, runs, rounds.mean(), rounds.ci95_halfwidth(),
+              pcs.mean(), msgs.mean(), read_lat.mean());
+  return converged == runs ? 0 : 1;
+}

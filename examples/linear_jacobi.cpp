@@ -1,0 +1,62 @@
+/// \file linear_jacobi.cpp
+/// Distributed asynchronous Jacobi: solve a strictly diagonally dominant
+/// linear system A x = b where each process owns one unknown and publishes
+/// it through a monotone probabilistic quorum register.
+///
+///   ./linear_jacobi [unknowns=12] [quorum_size=3] [dominance=0.7]
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/linear.hpp"
+#include "iter/alg1_des.hpp"
+#include "quorum/probabilistic.hpp"
+#include "util/codec.hpp"
+
+using namespace pqra;
+
+int main(int argc, char** argv) {
+  const std::size_t m = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 12;
+  const std::size_t k = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 3;
+  const double dominance = argc > 3 ? std::atof(argv[3]) : 0.7;
+
+  util::Rng rng(99);
+  apps::LinearSystem sys = apps::make_dominant_system(m, dominance, rng);
+  std::printf("random %zux%zu system, contraction factor alpha = %.2f\n", m,
+              m, sys.contraction_factor());
+
+  apps::JacobiOperator op(std::move(sys), 1e-9);
+  quorum::ProbabilisticQuorums qs(m, k);
+  std::printf("one process per unknown, registers over %s\n\n",
+              qs.name().c_str());
+
+  iter::Alg1Options options;
+  options.quorums = &qs;
+  options.monotone = true;
+  options.synchronous = false;
+  options.seed = 5;
+  options.round_cap = 100000;
+  iter::Alg1Result r = iter::run_alg1(op, options);
+
+  std::printf("%s in %zu rounds (%zu pseudocycles, %llu messages)\n",
+              r.converged ? "converged to |x_i - x*_i| <= 1e-9"
+                          : "round cap reached",
+              r.rounds, r.pseudocycles,
+              static_cast<unsigned long long>(r.messages.total));
+
+  std::printf("\n   i          x*_i   (direct Gaussian-elimination solve)\n");
+  for (std::size_t i = 0; i < std::min<std::size_t>(m, 8); ++i) {
+    std::printf("  %2zu  %12.6f\n", i, op.solution()[i]);
+  }
+  if (m > 8) std::printf("  ... (%zu more)\n", m - 8);
+
+  // Synchronous-Jacobi theory: error shrinks by alpha per sweep, so about
+  // log(tol)/log(alpha) sweeps; asynchronous execution pays a modest factor
+  // on top (Corollary 6: expected <= M/q).
+  double sweeps = std::log(1e-9) / std::log(dominance);
+  std::printf("\nfor reference, synchronous Jacobi needs ~%.0f sweeps at "
+              "alpha=%.2f\n",
+              sweeps, dominance);
+  return r.converged ? 0 : 1;
+}

@@ -1,0 +1,95 @@
+#include "apps/apsp.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/codec.hpp"
+
+namespace pqra::apps {
+
+namespace {
+
+std::vector<Weight> initial_row(const Graph& g, std::size_t i) {
+  std::vector<Weight> row(g.size(), kInf);
+  row[i] = 0;
+  for (const Edge& e : g.adj[i]) {
+    row[e.to] = std::min(row[e.to], e.weight);
+  }
+  return row;
+}
+
+}  // namespace
+
+ApspOperator::ApspOperator(const Graph& g)
+    : n_(g.size()),
+      reference_(floyd_warshall(g)),
+      pseudocycle_bound_(apsp_pseudocycle_bound(g)) {
+  initial_rows_.reserve(n_);
+  initial_encoded_.reserve(n_);
+  reference_encoded_.reserve(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    initial_rows_.push_back(initial_row(g, i));
+    initial_encoded_.push_back(util::encode(initial_rows_.back()));
+    reference_encoded_.push_back(util::encode(reference_[i]));
+  }
+
+  // Upper edges of the contraction boxes: F^K(initial) by min-plus squaring
+  // steps (what one synchronous sweep computes).
+  iterates_.push_back(initial_rows_);
+  for (std::size_t K = 1; K <= pseudocycle_bound_; ++K) {
+    const auto& prev = iterates_.back();
+    std::vector<std::vector<Weight>> next(n_, std::vector<Weight>(n_, kInf));
+    for (std::size_t i = 0; i < n_; ++i) {
+      for (std::size_t k = 0; k < n_; ++k) {
+        if (prev[i][k] == kInf) continue;
+        for (std::size_t j = 0; j < n_; ++j) {
+          Weight through = util::saturating_add(prev[i][k], prev[k][j]);
+          if (through < next[i][j]) next[i][j] = through;
+        }
+      }
+    }
+    iterates_.push_back(std::move(next));
+  }
+}
+
+bool ApspOperator::box_contains(std::size_t K, std::size_t i,
+                                const iter::Value& v) const {
+  PQRA_REQUIRE(i < n_, "component index out of range");
+  auto row = util::decode<std::vector<Weight>>(v);
+  if (row.size() != n_) return false;
+  const auto& upper = iterates_[std::min(K, iterates_.size() - 1)][i];
+  for (std::size_t j = 0; j < n_; ++j) {
+    if (row[j] < reference_[i][j] || row[j] > upper[j]) return false;
+  }
+  return true;
+}
+
+iter::Value ApspOperator::initial(std::size_t i) const {
+  PQRA_REQUIRE(i < n_, "component index out of range");
+  return initial_encoded_[i];
+}
+
+iter::Value ApspOperator::apply(std::size_t i,
+                                const std::vector<iter::Value>& x) const {
+  PQRA_REQUIRE(i < n_ && x.size() == n_, "bad apply arguments");
+  auto row_i = util::decode<std::vector<Weight>>(x[i]);
+  PQRA_CHECK(row_i.size() == n_, "row length mismatch");
+  std::vector<Weight> out(n_, kInf);
+  for (std::size_t k = 0; k < n_; ++k) {
+    if (row_i[k] == kInf) continue;
+    auto row_k = util::decode<std::vector<Weight>>(x[k]);
+    PQRA_CHECK(row_k.size() == n_, "row length mismatch");
+    for (std::size_t j = 0; j < n_; ++j) {
+      Weight through = util::saturating_add(row_i[k], row_k[j]);
+      if (through < out[j]) out[j] = through;
+    }
+  }
+  return util::encode(out);
+}
+
+const iter::Value& ApspOperator::fixed_point(std::size_t i) const {
+  PQRA_REQUIRE(i < n_, "component index out of range");
+  return reference_encoded_[i];
+}
+
+}  // namespace pqra::apps

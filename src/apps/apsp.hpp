@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file apsp.hpp
+/// The paper's example application (§7): all-pairs shortest paths as an
+/// asynchronously contracting operator.
+///
+/// The vector is the n x n distance matrix; component i is row i (process i
+/// is "responsible for updating the i-th row vector").  F recomputes row i
+/// as (min,+) product: new x_ij = min_k (x_ik + x_kj).  Starting from the
+/// edge-weight matrix, F converges to the true APSP in at most
+/// ceil(log2 d) pseudocycles (min-plus path doubling).
+
+#include "apps/graph.hpp"
+#include "iter/aco.hpp"
+
+namespace pqra::apps {
+
+class ApspOperator final : public iter::AcoOperator {
+ public:
+  explicit ApspOperator(const Graph& g);
+
+  std::size_t num_components() const override { return n_; }
+  iter::Value initial(std::size_t i) const override;
+  iter::Value apply(std::size_t i,
+                    const std::vector<iter::Value>& x) const override;
+  const iter::Value& fixed_point(std::size_t i) const override;
+  std::optional<std::size_t> max_pseudocycles() const override {
+    return pseudocycle_bound_;
+  }
+  /// D(K)_i = { row : fixed_point_i <= row <= F^K(initial)_i } entrywise —
+  /// the nested boxes of the min-plus contraction ([C1]-[C3]).
+  bool box_contains(std::size_t K, std::size_t i,
+                    const iter::Value& v) const override;
+  bool has_box_oracle() const override { return true; }
+  std::string name() const override { return "apsp"; }
+
+  /// Decoded reference answer (row-major), for tests.
+  const std::vector<std::vector<Weight>>& reference() const {
+    return reference_;
+  }
+
+ private:
+  std::size_t n_;
+  std::vector<std::vector<Weight>> initial_rows_;
+  std::vector<std::vector<Weight>> reference_;
+  std::vector<iter::Value> initial_encoded_;
+  std::vector<iter::Value> reference_encoded_;
+  std::size_t pseudocycle_bound_;
+  /// iterates_[K][i][j]: entry (i, j) of F^K(initial), K = 0..M (upper edge
+  /// of box D(K); F^M = fixed point).
+  std::vector<std::vector<std::vector<Weight>>> iterates_;
+};
+
+}  // namespace pqra::apps

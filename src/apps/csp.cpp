@@ -1,0 +1,188 @@
+#include "apps/csp.hpp"
+
+#include <deque>
+#include <utility>
+
+#include "util/check.hpp"
+#include "util/codec.hpp"
+
+namespace pqra::apps {
+
+Csp::Csp(std::size_t num_vars, std::size_t domain_size)
+    : domain_size(domain_size),
+      allowed(num_vars),
+      constrained(num_vars, std::vector<bool>(num_vars, false)) {
+  PQRA_REQUIRE(num_vars >= 1, "CSP needs at least one variable");
+  PQRA_REQUIRE(domain_size >= 1 && domain_size <= 64,
+               "domain size must be in [1, 64]");
+  for (auto& row : allowed) {
+    row.assign(num_vars, {});
+  }
+}
+
+void Csp::add_constraint(std::size_t u, std::size_t v,
+                         const std::vector<DomainMask>& allowed_pairs) {
+  PQRA_REQUIRE(u < num_vars() && v < num_vars() && u != v,
+               "bad constraint endpoints");
+  PQRA_REQUIRE(allowed_pairs.size() == domain_size,
+               "one support mask per value required");
+  allowed[u][v] = allowed_pairs;
+  // Derive the reverse direction: b of v supports a of u iff bit b of
+  // allowed_pairs[a] is set.
+  std::vector<DomainMask> reverse(domain_size, 0);
+  for (std::size_t a = 0; a < domain_size; ++a) {
+    for (std::size_t b = 0; b < domain_size; ++b) {
+      if ((allowed_pairs[a] >> b) & 1u) reverse[b] |= 1ULL << a;
+    }
+  }
+  allowed[v][u] = std::move(reverse);
+  constrained[u][v] = constrained[v][u] = true;
+}
+
+Csp make_coloring_csp(
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& edges,
+    std::size_t num_vars, std::size_t colors) {
+  Csp csp(num_vars, colors);
+  std::vector<DomainMask> differ(colors);
+  for (std::size_t a = 0; a < colors; ++a) {
+    differ[a] = csp.full_mask() & ~(1ULL << a);
+  }
+  for (auto [u, v] : edges) {
+    csp.add_constraint(u, v, differ);
+  }
+  return csp;
+}
+
+Csp make_random_csp(std::size_t num_vars, std::size_t domain_size,
+                    double density, double tightness, util::Rng& rng) {
+  PQRA_REQUIRE(density >= 0.0 && density <= 1.0, "density must be in [0,1]");
+  PQRA_REQUIRE(tightness >= 0.0 && tightness <= 1.0,
+               "tightness must be in [0,1]");
+  Csp csp(num_vars, domain_size);
+  for (std::size_t u = 0; u < num_vars; ++u) {
+    for (std::size_t v = u + 1; v < num_vars; ++v) {
+      if (!rng.bernoulli(density)) continue;
+      std::vector<DomainMask> masks(domain_size, 0);
+      for (std::size_t a = 0; a < domain_size; ++a) {
+        for (std::size_t b = 0; b < domain_size; ++b) {
+          if (!rng.bernoulli(tightness)) masks[a] |= 1ULL << b;
+        }
+      }
+      csp.add_constraint(u, v, masks);
+    }
+  }
+  return csp;
+}
+
+Csp make_ordering_csp(std::size_t num_vars, std::size_t domain_size) {
+  Csp csp(num_vars, domain_size);
+  std::vector<DomainMask> less_than(domain_size, 0);
+  for (std::size_t a = 0; a < domain_size; ++a) {
+    for (std::size_t b = a + 1; b < domain_size; ++b) {
+      less_than[a] |= 1ULL << b;
+    }
+  }
+  for (std::size_t u = 0; u + 1 < num_vars; ++u) {
+    csp.add_constraint(u, u + 1, less_than);
+  }
+  return csp;
+}
+
+namespace {
+
+/// One revision step: prune values of u that lack support in v's domain.
+DomainMask revise(const Csp& csp, std::size_t u, std::size_t v,
+                  DomainMask dom_u, DomainMask dom_v) {
+  DomainMask out = 0;
+  for (std::size_t a = 0; a < csp.domain_size; ++a) {
+    if (!((dom_u >> a) & 1u)) continue;
+    if ((csp.allowed[u][v][a] & dom_v) != 0) out |= 1ULL << a;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<DomainMask> ac3(const Csp& csp) {
+  const std::size_t n = csp.num_vars();
+  std::vector<DomainMask> dom(n, csp.full_mask());
+  std::deque<std::pair<std::size_t, std::size_t>> agenda;
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = 0; v < n; ++v) {
+      if (u != v && csp.constrained[u][v]) agenda.emplace_back(u, v);
+    }
+  }
+  while (!agenda.empty()) {
+    auto [u, v] = agenda.front();
+    agenda.pop_front();
+    DomainMask revised = revise(csp, u, v, dom[u], dom[v]);
+    if (revised == dom[u]) continue;
+    dom[u] = revised;
+    for (std::size_t w = 0; w < n; ++w) {
+      if (w != u && w != v && csp.constrained[w][u]) agenda.emplace_back(w, u);
+    }
+  }
+  return dom;
+}
+
+ArcConsistencyOperator::ArcConsistencyOperator(Csp csp)
+    : csp_(std::move(csp)), reference_(ac3(csp_)) {
+  initial_encoded_ = util::encode(csp_.full_mask());
+  reference_encoded_.reserve(reference_.size());
+  for (DomainMask d : reference_) {
+    reference_encoded_.push_back(util::encode(d));
+  }
+
+  // Upper edges of the contraction boxes: synchronous sweeps from full
+  // domains down to the AC fixpoint (at most num_vars * domain_size sweeps).
+  const std::size_t n = csp_.num_vars();
+  iterates_.emplace_back(n, csp_.full_mask());
+  while (iterates_.back() != reference_) {
+    const auto& prev = iterates_.back();
+    std::vector<DomainMask> next(n);
+    for (std::size_t u = 0; u < n; ++u) {
+      DomainMask d = prev[u];
+      for (std::size_t v = 0; v < n; ++v) {
+        if (v == u || !csp_.constrained[u][v]) continue;
+        d = revise(csp_, u, v, d, prev[v]);
+      }
+      next[u] = d;
+    }
+    PQRA_CHECK(next != iterates_.back(),
+               "synchronous sweep stalled before the AC fixpoint");
+    iterates_.push_back(std::move(next));
+  }
+}
+
+bool ArcConsistencyOperator::box_contains(std::size_t K, std::size_t i,
+                                          const iter::Value& v) const {
+  PQRA_REQUIRE(i < csp_.num_vars(), "component index out of range");
+  DomainMask d = util::decode<DomainMask>(v);
+  DomainMask upper = iterates_[std::min(K, iterates_.size() - 1)][i];
+  // reference ⊆ d ⊆ upper.
+  return (reference_[i] & ~d) == 0 && (d & ~upper) == 0;
+}
+
+iter::Value ArcConsistencyOperator::initial(std::size_t i) const {
+  PQRA_REQUIRE(i < csp_.num_vars(), "component index out of range");
+  return initial_encoded_;
+}
+
+iter::Value ArcConsistencyOperator::apply(
+    std::size_t i, const std::vector<iter::Value>& x) const {
+  PQRA_REQUIRE(i < csp_.num_vars() && x.size() == csp_.num_vars(),
+               "bad apply arguments");
+  DomainMask dom_i = util::decode<DomainMask>(x[i]);
+  for (std::size_t v = 0; v < csp_.num_vars(); ++v) {
+    if (v == i || !csp_.constrained[i][v]) continue;
+    dom_i = revise(csp_, i, v, dom_i, util::decode<DomainMask>(x[v]));
+  }
+  return util::encode(dom_i);
+}
+
+const iter::Value& ArcConsistencyOperator::fixed_point(std::size_t i) const {
+  PQRA_REQUIRE(i < csp_.num_vars(), "component index out of range");
+  return reference_encoded_[i];
+}
+
+}  // namespace pqra::apps

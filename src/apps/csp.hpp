@@ -1,0 +1,95 @@
+#pragma once
+
+/// \file csp.hpp
+/// Distributed arc consistency for binary CSPs — the "constraint
+/// satisfaction" application from the paper's introduction.
+///
+/// Variables have domains in {0..d-1} (d <= 64, stored as bitmasks).
+/// Component i is variable i's current domain; F_i prunes every value of
+/// domain i that lacks a support in some neighbour's domain.  Domains only
+/// shrink (finite decreasing lattice), so F is asynchronously contracting
+/// and the fixed point is the unique maximal arc-consistent subdomain — the
+/// same one AC-3 computes, which serves as the reference oracle.
+
+#include <cstdint>
+#include <vector>
+
+#include "iter/aco.hpp"
+#include "util/rng.hpp"
+
+namespace pqra::apps {
+
+using DomainMask = std::uint64_t;
+
+/// Binary CSP over n variables with domain size d (<= 64).
+struct Csp {
+  Csp(std::size_t num_vars, std::size_t domain_size);
+
+  std::size_t num_vars() const { return allowed.size(); }
+  std::size_t domain_size;
+
+  /// allowed[u][v][a]: bitmask of values b of v compatible with u = a.
+  /// Symmetric by construction (add_constraint fills both directions); a
+  /// missing constraint means "everything allowed" (mask of all ones).
+  std::vector<std::vector<std::vector<DomainMask>>> allowed;
+  std::vector<std::vector<bool>> constrained;
+
+  DomainMask full_mask() const {
+    return domain_size == 64 ? ~0ULL : (1ULL << domain_size) - 1;
+  }
+
+  /// Declares (u, v) constrained with \p allowed_pairs[a] = supports of
+  /// u = a in v; the reverse direction is derived.
+  void add_constraint(std::size_t u, std::size_t v,
+                      const std::vector<DomainMask>& allowed_pairs);
+};
+
+/// Graph-coloring CSP: adjacent vertices must differ, \p colors <= 64.
+Csp make_coloring_csp(const std::vector<std::pair<std::uint32_t, std::uint32_t>>&
+                          edges,
+                      std::size_t num_vars, std::size_t colors);
+
+/// Random binary CSP(n, d, density, tightness): each pair is constrained
+/// with probability \p density; a constrained pair forbids each value pair
+/// independently with probability \p tightness.
+Csp make_random_csp(std::size_t num_vars, std::size_t domain_size,
+                    double density, double tightness, util::Rng& rng);
+
+/// Ordering chain x_0 < x_1 < ... < x_{n-1} over domains {0..d-1}.  Arc
+/// consistency must propagate end to end (dom(x_i) shrinks to
+/// {i .. d-n+i}), making it a good stress case for iteration depth; needs
+/// d >= n for non-empty domains.
+Csp make_ordering_csp(std::size_t num_vars, std::size_t domain_size);
+
+/// Reference arc consistency (AC-3).  Returns the pruned domains.
+std::vector<DomainMask> ac3(const Csp& csp);
+
+class ArcConsistencyOperator final : public iter::AcoOperator {
+ public:
+  explicit ArcConsistencyOperator(Csp csp);
+
+  std::size_t num_components() const override { return csp_.num_vars(); }
+  iter::Value initial(std::size_t i) const override;
+  iter::Value apply(std::size_t i,
+                    const std::vector<iter::Value>& x) const override;
+  const iter::Value& fixed_point(std::size_t i) const override;
+  /// D(K)_v = { d : ac3_fixpoint_v ⊆ d ⊆ F^K(full domains)_v }.
+  bool box_contains(std::size_t K, std::size_t i,
+                    const iter::Value& v) const override;
+  bool has_box_oracle() const override { return true; }
+  std::string name() const override { return "arc-consistency"; }
+
+  const Csp& csp() const { return csp_; }
+  const std::vector<DomainMask>& reference() const { return reference_; }
+
+ private:
+  Csp csp_;
+  std::vector<DomainMask> reference_;
+  std::vector<iter::Value> reference_encoded_;
+  iter::Value initial_encoded_;
+  /// iterates_[K][v]: domain of variable v after K synchronous sweeps
+  /// (upper edge of box D(K)).
+  std::vector<std::vector<DomainMask>> iterates_;
+};
+
+}  // namespace pqra::apps

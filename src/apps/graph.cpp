@@ -1,0 +1,131 @@
+#include "apps/graph.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace pqra::apps {
+
+void Graph::add_edge(std::uint32_t from, std::uint32_t to, Weight weight) {
+  PQRA_REQUIRE(from < adj.size() && to < adj.size(), "vertex out of range");
+  PQRA_REQUIRE(weight >= 0, "negative weights are not supported");
+  adj[from].push_back(Edge{to, weight});
+}
+
+Graph make_chain(std::size_t n) {
+  PQRA_REQUIRE(n >= 2, "chain needs at least two vertices");
+  Graph g(n);
+  // Vertex n-1 is the source, vertex 0 the sink (the paper's 34 -> 1 chain).
+  for (std::uint32_t i = 1; i < n; ++i) {
+    g.add_edge(i, i - 1, 1);
+  }
+  return g;
+}
+
+Graph make_cycle(std::size_t n) {
+  PQRA_REQUIRE(n >= 2, "cycle needs at least two vertices");
+  Graph g(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    g.add_edge(i, static_cast<std::uint32_t>((i + 1) % n), 1);
+  }
+  return g;
+}
+
+Graph make_grid_graph(std::size_t rows, std::size_t cols) {
+  PQRA_REQUIRE(rows >= 1 && cols >= 1, "grid must be non-empty");
+  Graph g(rows * cols);
+  auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<std::uint32_t>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        g.add_edge(id(r, c), id(r, c + 1), 1);
+        g.add_edge(id(r, c + 1), id(r, c), 1);
+      }
+      if (r + 1 < rows) {
+        g.add_edge(id(r, c), id(r + 1, c), 1);
+        g.add_edge(id(r + 1, c), id(r, c), 1);
+      }
+    }
+  }
+  return g;
+}
+
+Graph make_complete(std::size_t n, Weight wmin, Weight wmax, util::Rng& rng) {
+  PQRA_REQUIRE(n >= 2, "complete graph needs at least two vertices");
+  PQRA_REQUIRE(0 <= wmin && wmin <= wmax, "bad weight range");
+  Graph g(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      g.add_edge(i, j, rng.uniform_int(wmin, wmax));
+    }
+  }
+  return g;
+}
+
+Graph make_random_gnp(std::size_t n, double prob, Weight wmin, Weight wmax,
+                      util::Rng& rng) {
+  PQRA_REQUIRE(n >= 2, "graph needs at least two vertices");
+  PQRA_REQUIRE(prob >= 0.0 && prob <= 1.0, "probability must be in [0, 1]");
+  PQRA_REQUIRE(0 <= wmin && wmin <= wmax, "bad weight range");
+  Graph g(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      if (rng.bernoulli(prob)) g.add_edge(i, j, rng.uniform_int(wmin, wmax));
+    }
+  }
+  return g;
+}
+
+Graph make_random_tree(std::size_t n, util::Rng& rng) {
+  PQRA_REQUIRE(n >= 2, "tree needs at least two vertices");
+  Graph g(n);
+  for (std::uint32_t i = 1; i < n; ++i) {
+    auto parent = static_cast<std::uint32_t>(rng.below(i));
+    g.add_edge(parent, i, 1);
+  }
+  return g;
+}
+
+std::vector<std::vector<Weight>> floyd_warshall(const Graph& g) {
+  const std::size_t n = g.size();
+  std::vector<std::vector<Weight>> dist(n, std::vector<Weight>(n, kInf));
+  for (std::size_t i = 0; i < n; ++i) {
+    dist[i][i] = 0;
+    for (const Edge& e : g.adj[i]) {
+      dist[i][e.to] = std::min(dist[i][e.to], e.weight);
+    }
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (dist[i][k] == kInf) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        Weight through = util::saturating_add(dist[i][k], dist[k][j]);
+        if (through < dist[i][j]) dist[i][j] = through;
+      }
+    }
+  }
+  return dist;
+}
+
+Weight weighted_diameter(const Graph& g) {
+  auto dist = floyd_warshall(g);
+  Weight d = 0;
+  for (std::size_t i = 0; i < dist.size(); ++i) {
+    for (std::size_t j = 0; j < dist.size(); ++j) {
+      if (i != j && dist[i][j] != kInf) d = std::max(d, dist[i][j]);
+    }
+  }
+  return d;
+}
+
+std::size_t apsp_pseudocycle_bound(const Graph& g) {
+  auto d = static_cast<double>(std::max<Weight>(weighted_diameter(g), 2));
+  return static_cast<std::size_t>(std::ceil(std::log2(d)));
+}
+
+}  // namespace pqra::apps

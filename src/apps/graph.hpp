@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file graph.hpp
+/// Weighted directed graphs, generators and reference algorithms for the
+/// shortest-path / transitive-closure workloads.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace pqra::apps {
+
+using Weight = std::int64_t;
+
+/// +infinity for distances (saturating arithmetic; see util/math.hpp).
+inline constexpr Weight kInf = util::kPathInf;
+
+struct Edge {
+  std::uint32_t to = 0;
+  Weight weight = 1;
+};
+
+/// Adjacency-list digraph.
+struct Graph {
+  explicit Graph(std::size_t n) : adj(n) {}
+
+  std::size_t size() const { return adj.size(); }
+
+  void add_edge(std::uint32_t from, std::uint32_t to, Weight weight = 1);
+
+  std::vector<std::vector<Edge>> adj;
+};
+
+/// The paper's §7 input: a directed chain v_{n} -> ... -> v_1 with unit
+/// weights (vertex n-1 the source, vertex 0 the sink), diameter n-1.
+Graph make_chain(std::size_t n);
+
+/// Directed cycle 0 -> 1 -> ... -> n-1 -> 0, unit weights.
+Graph make_cycle(std::size_t n);
+
+/// rows x cols grid with edges in both directions, unit weights.
+Graph make_grid_graph(std::size_t rows, std::size_t cols);
+
+/// Complete digraph with uniform random weights in [wmin, wmax].
+Graph make_complete(std::size_t n, Weight wmin, Weight wmax, util::Rng& rng);
+
+/// G(n, prob) digraph with uniform random weights in [wmin, wmax].
+Graph make_random_gnp(std::size_t n, double prob, Weight wmin, Weight wmax,
+                      util::Rng& rng);
+
+/// Random out-tree rooted at 0 (edge i -> parent(i) reversed: parent -> i),
+/// unit weights; useful because its diameter varies with the shape.
+Graph make_random_tree(std::size_t n, util::Rng& rng);
+
+/// All-pairs shortest paths by Floyd–Warshall; dist[i][j] = kInf when
+/// unreachable, 0 on the diagonal.
+std::vector<std::vector<Weight>> floyd_warshall(const Graph& g);
+
+/// max over reachable pairs (i != j) of dist(i, j); 0 for graphs with no
+/// reachable pairs.  For unit weights this is the diameter d of §7, which
+/// gives the pseudocycle bound M = ceil(log2 d).
+Weight weighted_diameter(const Graph& g);
+
+/// ceil(log2(max(d, 2))), the §7 worst-case pseudocycle count for APSP.
+std::size_t apsp_pseudocycle_bound(const Graph& g);
+
+}  // namespace pqra::apps

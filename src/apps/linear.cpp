@@ -1,0 +1,126 @@
+#include "apps/linear.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "util/check.hpp"
+#include "util/codec.hpp"
+
+namespace pqra::apps {
+
+double LinearSystem::contraction_factor() const {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < size(); ++i) {
+    double off = 0.0;
+    for (std::size_t j = 0; j < size(); ++j) {
+      if (j != i) off += std::abs(a[i][j]);
+    }
+    worst = std::max(worst, off / std::abs(a[i][i]));
+  }
+  return worst;
+}
+
+LinearSystem make_dominant_system(std::size_t n, double dominance,
+                                  util::Rng& rng) {
+  PQRA_REQUIRE(n >= 1, "system must be non-empty");
+  PQRA_REQUIRE(dominance > 0.0 && dominance < 1.0,
+               "dominance must be in (0, 1)");
+  LinearSystem sys;
+  sys.a.assign(n, std::vector<double>(n, 0.0));
+  sys.b.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double off = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      sys.a[i][j] = 2.0 * rng.uniform01() - 1.0;
+      off += std::abs(sys.a[i][j]);
+    }
+    if (off == 0.0) off = 1.0;  // degenerate 1x1 or all-zero row
+    sys.a[i][i] = off / dominance;
+    sys.b[i] = 20.0 * rng.uniform01() - 10.0;
+  }
+  return sys;
+}
+
+std::vector<double> solve_direct(const LinearSystem& system) {
+  const std::size_t n = system.size();
+  auto a = system.a;
+  auto b = system.b;
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a[r][col]) > std::abs(a[pivot][col])) pivot = r;
+    }
+    PQRA_CHECK(std::abs(a[pivot][col]) > 1e-12, "singular system");
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      double f = a[r][col] / a[col][col];
+      if (f == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a[r][c] -= f * a[col][c];
+      b[r] -= f * b[col];
+    }
+  }
+  std::vector<double> x(n);
+  for (std::size_t ri = n; ri-- > 0;) {
+    double acc = b[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) acc -= a[ri][c] * x[c];
+    x[ri] = acc / a[ri][ri];
+  }
+  return x;
+}
+
+JacobiOperator::JacobiOperator(LinearSystem system, double tolerance)
+    : system_(std::move(system)),
+      tolerance_(tolerance),
+      solution_(solve_direct(system_)) {
+  PQRA_REQUIRE(tolerance > 0.0, "tolerance must be positive");
+  PQRA_REQUIRE(system_.contraction_factor() < 1.0,
+               "Jacobi requires strict diagonal dominance");
+  initial_encoded_ = util::encode(0.0);
+  solution_encoded_.reserve(solution_.size());
+  for (double v : solution_) solution_encoded_.push_back(util::encode(v));
+  alpha_ = system_.contraction_factor();
+  for (double v : solution_) {
+    initial_error_ = std::max(initial_error_, std::abs(v));
+  }
+}
+
+bool JacobiOperator::box_contains(std::size_t K, std::size_t i,
+                                  const iter::Value& v) const {
+  PQRA_REQUIRE(i < system_.size(), "component index out of range");
+  double radius = initial_error_ * std::pow(alpha_, static_cast<double>(K));
+  // Small absolute slack for accumulated floating-point error.
+  return std::abs(util::decode<double>(v) - solution_[i]) <=
+         radius + 1e-9 * (1.0 + initial_error_);
+}
+
+iter::Value JacobiOperator::initial(std::size_t i) const {
+  PQRA_REQUIRE(i < system_.size(), "component index out of range");
+  return initial_encoded_;
+}
+
+iter::Value JacobiOperator::apply(std::size_t i,
+                                  const std::vector<iter::Value>& x) const {
+  PQRA_REQUIRE(i < system_.size() && x.size() == system_.size(),
+               "bad apply arguments");
+  double acc = system_.b[i];
+  for (std::size_t j = 0; j < system_.size(); ++j) {
+    if (j == i) continue;
+    acc -= system_.a[i][j] * util::decode<double>(x[j]);
+  }
+  return util::encode(acc / system_.a[i][i]);
+}
+
+bool JacobiOperator::component_equal(std::size_t, const iter::Value& a,
+                                     const iter::Value& b) const {
+  return std::abs(util::decode<double>(a) - util::decode<double>(b)) <=
+         tolerance_;
+}
+
+const iter::Value& JacobiOperator::fixed_point(std::size_t i) const {
+  PQRA_REQUIRE(i < system_.size(), "component index out of range");
+  return solution_encoded_[i];
+}
+
+}  // namespace pqra::apps

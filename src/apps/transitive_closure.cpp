@@ -1,0 +1,98 @@
+#include "apps/transitive_closure.hpp"
+
+#include "util/check.hpp"
+#include "util/codec.hpp"
+
+namespace pqra::apps {
+
+namespace {
+
+void set_bit(ReachRow& row, std::size_t j) { row[j / 64] |= 1ULL << (j % 64); }
+
+}  // namespace
+
+TransitiveClosureOperator::TransitiveClosureOperator(const Graph& g)
+    : n_(g.size()), words_((g.size() + 63) / 64) {
+  initial_rows_.assign(n_, ReachRow(words_, 0));
+  for (std::size_t i = 0; i < n_; ++i) {
+    set_bit(initial_rows_[i], i);
+    for (const Edge& e : g.adj[i]) set_bit(initial_rows_[i], e.to);
+  }
+
+  // Warshall's algorithm on bitset rows.
+  reference_ = initial_rows_;
+  for (std::size_t k = 0; k < n_; ++k) {
+    for (std::size_t i = 0; i < n_; ++i) {
+      if (!test_bit(reference_[i], k)) continue;
+      for (std::size_t w = 0; w < words_; ++w) {
+        reference_[i][w] |= reference_[k][w];
+      }
+    }
+  }
+
+  initial_encoded_.reserve(n_);
+  reference_encoded_.reserve(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    initial_encoded_.push_back(util::encode(initial_rows_[i]));
+    reference_encoded_.push_back(util::encode(reference_[i]));
+  }
+
+  // Lower edges of the contraction boxes: iterate the synchronous sweep
+  // until the closure is reached (at most ceil(log2 n) + 1 sweeps).
+  iterates_.push_back(initial_rows_);
+  while (iterates_.back() != reference_) {
+    const auto& prev = iterates_.back();
+    std::vector<ReachRow> next = prev;
+    for (std::size_t i = 0; i < n_; ++i) {
+      for (std::size_t j = 0; j < n_; ++j) {
+        if (!test_bit(prev[i], j)) continue;
+        for (std::size_t w = 0; w < words_; ++w) next[i][w] |= prev[j][w];
+      }
+    }
+    PQRA_CHECK(next != iterates_.back() || next == reference_,
+               "synchronous sweep stalled before the closure");
+    iterates_.push_back(std::move(next));
+  }
+}
+
+bool TransitiveClosureOperator::box_contains(std::size_t K, std::size_t i,
+                                             const iter::Value& v) const {
+  PQRA_REQUIRE(i < n_, "component index out of range");
+  auto row = util::decode<ReachRow>(v);
+  if (row.size() != words_) return false;
+  const auto& lower = iterates_[std::min(K, iterates_.size() - 1)][i];
+  for (std::size_t w = 0; w < words_; ++w) {
+    // lower ⊆ row ⊆ reference, as bit sets.
+    if ((lower[w] & ~row[w]) != 0) return false;
+    if ((row[w] & ~reference_[i][w]) != 0) return false;
+  }
+  return true;
+}
+
+iter::Value TransitiveClosureOperator::initial(std::size_t i) const {
+  PQRA_REQUIRE(i < n_, "component index out of range");
+  return initial_encoded_[i];
+}
+
+iter::Value TransitiveClosureOperator::apply(
+    std::size_t i, const std::vector<iter::Value>& x) const {
+  PQRA_REQUIRE(i < n_ && x.size() == n_, "bad apply arguments");
+  auto row_i = util::decode<ReachRow>(x[i]);
+  PQRA_CHECK(row_i.size() == words_, "row width mismatch");
+  ReachRow out = row_i;
+  for (std::size_t j = 0; j < n_; ++j) {
+    if (!test_bit(row_i, j) || j == i) continue;
+    auto row_j = util::decode<ReachRow>(x[j]);
+    PQRA_CHECK(row_j.size() == words_, "row width mismatch");
+    for (std::size_t w = 0; w < words_; ++w) out[w] |= row_j[w];
+  }
+  return util::encode(out);
+}
+
+const iter::Value& TransitiveClosureOperator::fixed_point(
+    std::size_t i) const {
+  PQRA_REQUIRE(i < n_, "component index out of range");
+  return reference_encoded_[i];
+}
+
+}  // namespace pqra::apps

@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file transitive_closure.hpp
+/// Transitive closure as an ACO — the boolean-semiring sibling of APSP that
+/// the paper's introduction lists among the framework's applications.
+///
+/// Component i is the reachability row of vertex i, stored as a bitset
+/// (one word per 64 vertices).  F unions into row i the rows of every
+/// vertex currently known reachable: monotone non-decreasing on a finite
+/// lattice, hence asynchronously contracting; the fixed point is the
+/// reflexive-transitive closure.
+
+#include "apps/graph.hpp"
+#include "iter/aco.hpp"
+
+namespace pqra::apps {
+
+/// Row bitset: bit j of word j/64 set iff j is known reachable.
+using ReachRow = std::vector<std::uint64_t>;
+
+class TransitiveClosureOperator final : public iter::AcoOperator {
+ public:
+  explicit TransitiveClosureOperator(const Graph& g);
+
+  std::size_t num_components() const override { return n_; }
+  iter::Value initial(std::size_t i) const override;
+  iter::Value apply(std::size_t i,
+                    const std::vector<iter::Value>& x) const override;
+  const iter::Value& fixed_point(std::size_t i) const override;
+  /// D(K)_i = { row : F^K(initial)_i ⊆ row ⊆ closure_i } — the increasing
+  /// mirror image of APSP's boxes.
+  bool box_contains(std::size_t K, std::size_t i,
+                    const iter::Value& v) const override;
+  bool has_box_oracle() const override { return true; }
+  std::string name() const override { return "transitive-closure"; }
+
+  /// Reference closure computed by Warshall's algorithm, for tests.
+  const std::vector<ReachRow>& reference() const { return reference_; }
+
+  static bool test_bit(const ReachRow& row, std::size_t j) {
+    return (row[j / 64] >> (j % 64)) & 1u;
+  }
+
+ private:
+  std::size_t n_;
+  std::size_t words_;
+  std::vector<ReachRow> initial_rows_;
+  std::vector<ReachRow> reference_;
+  std::vector<iter::Value> initial_encoded_;
+  std::vector<iter::Value> reference_encoded_;
+  /// iterates_[K][i]: row i of F^K(initial) (lower edge of box D(K)).
+  std::vector<std::vector<ReachRow>> iterates_;
+};
+
+}  // namespace pqra::apps

@@ -1,0 +1,95 @@
+#include "core/blocking_register.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace pqra::core {
+
+BlockingRegisterClient::BlockingRegisterClient(
+    net::ThreadTransport& transport, NodeId self,
+    const quorum::QuorumSystem& quorums, NodeId server_base,
+    const util::Rng& rng, bool monotone)
+    : transport_(transport),
+      self_(self),
+      quorums_(quorums),
+      server_base_(server_base),
+      rng_(rng.fork(0x626c6f636b000000ULL ^ self)),
+      monotone_(monotone) {}
+
+bool BlockingRegisterClient::await_acks(OpId op, net::MsgType expected,
+                                        std::size_t needed, Timestamp& best_ts,
+                                        Value& best_value) {
+  std::vector<NodeId> responders;
+  while (responders.size() < needed) {
+    std::optional<net::Envelope> env = transport_.recv(self_);
+    if (!env.has_value()) return false;  // shutdown
+    if (env->msg.op != op || env->msg.type != expected) {
+      continue;  // stale ack from an earlier (completed) operation
+    }
+    bool duplicate = false;
+    for (NodeId seen : responders) {
+      if (seen == env->from) duplicate = true;
+    }
+    if (duplicate) continue;
+    responders.push_back(env->from);
+    if (expected == net::MsgType::kReadAck && env->msg.ts >= best_ts) {
+      best_ts = env->msg.ts;
+      best_value = std::move(env->msg.value);
+    }
+  }
+  return true;
+}
+
+std::optional<BlockingReadResult> BlockingRegisterClient::read(RegisterId reg) {
+  OpId op = next_op_++;
+  std::vector<quorum::ServerId> quorum =
+      quorums_.sample(quorum::AccessKind::kRead, rng_);
+  for (quorum::ServerId s : quorum) {
+    transport_.send(self_, server_base_ + s, net::Message::read_req(reg, op));
+  }
+  Timestamp best_ts = 0;
+  Value best_value;
+  if (!await_acks(op, net::MsgType::kReadAck, quorum.size(), best_ts,
+                  best_value)) {
+    return std::nullopt;
+  }
+
+  BlockingReadResult result;
+  result.ts = best_ts;
+  result.value = std::move(best_value);
+  if (monotone_) {
+    TimestampedValue& cached = monotone_cache_[reg];
+    if (cached.ts > result.ts) {
+      result.ts = cached.ts;
+      result.value = cached.value;
+      result.from_monotone_cache = true;
+      ++monotone_cache_hits_;
+    } else {
+      cached.ts = result.ts;
+      cached.value = result.value;
+    }
+  }
+  return result;
+}
+
+std::optional<Timestamp> BlockingRegisterClient::write(RegisterId reg,
+                                                       Value value) {
+  OpId op = next_op_++;
+  Timestamp ts = ++write_ts_[reg];
+  std::vector<quorum::ServerId> quorum =
+      quorums_.sample(quorum::AccessKind::kWrite, rng_);
+  for (quorum::ServerId s : quorum) {
+    transport_.send(self_, server_base_ + s,
+                    net::Message::write_req(reg, op, ts, value));
+  }
+  Timestamp unused_ts = 0;
+  Value unused_value;
+  if (!await_acks(op, net::MsgType::kWriteAck, quorum.size(), unused_ts,
+                  unused_value)) {
+    return std::nullopt;
+  }
+  return ts;
+}
+
+}  // namespace pqra::core

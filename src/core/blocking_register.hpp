@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file blocking_register.hpp
+/// Blocking client for the real-threads runtime.
+///
+/// Same protocol as QuorumRegisterClient, written in direct style: the
+/// calling thread sends the quorum requests and blocks on its mailbox until
+/// the quorum has answered.  One client object per thread (it owns the
+/// thread's NodeId mailbox); monotone caching is per client, matching the
+/// per-process cache of §6.2.
+
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/register_types.hpp"
+#include "net/thread_transport.hpp"
+#include "quorum/quorum_system.hpp"
+#include "util/rng.hpp"
+
+namespace pqra::core {
+
+struct BlockingReadResult {
+  Timestamp ts = 0;
+  Value value;
+  bool from_monotone_cache = false;
+};
+
+class BlockingRegisterClient {
+ public:
+  BlockingRegisterClient(net::ThreadTransport& transport, NodeId self,
+                         const quorum::QuorumSystem& quorums,
+                         NodeId server_base, const util::Rng& rng,
+                         bool monotone = false);
+
+  /// Blocks until a read quorum answers.  Returns nullopt if the transport
+  /// is closed mid-operation (shutdown).
+  std::optional<BlockingReadResult> read(RegisterId reg);
+
+  /// Blocks until a write quorum acks.  Returns the timestamp written, or
+  /// nullopt on shutdown.  This client must be the register's only writer.
+  std::optional<Timestamp> write(RegisterId reg, Value value);
+
+  NodeId id() const { return self_; }
+  std::uint64_t monotone_cache_hits() const { return monotone_cache_hits_; }
+
+ private:
+  /// Collects acks for \p op until \p needed distinct servers answered.
+  /// Returns false on transport shutdown.
+  bool await_acks(OpId op, net::MsgType expected, std::size_t needed,
+                  Timestamp& best_ts, Value& best_value);
+
+  net::ThreadTransport& transport_;
+  NodeId self_;
+  const quorum::QuorumSystem& quorums_;
+  NodeId server_base_;
+  util::Rng rng_;
+  bool monotone_;
+
+  OpId next_op_ = 1;
+  std::unordered_map<RegisterId, Timestamp> write_ts_;
+  std::unordered_map<RegisterId, TimestampedValue> monotone_cache_;
+  std::uint64_t monotone_cache_hits_ = 0;
+};
+
+}  // namespace pqra::core

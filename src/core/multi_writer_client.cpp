@@ -1,0 +1,156 @@
+#include "core/multi_writer_client.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace pqra::core {
+
+namespace {
+constexpr std::uint64_t kCounterBits = 48;
+constexpr std::uint64_t kWriterMask = (1ULL << 16) - 1;
+}  // namespace
+
+Timestamp pack_tag(const Tag& tag) {
+  PQRA_REQUIRE(tag.counter < (1ULL << kCounterBits), "counter overflow");
+  PQRA_REQUIRE(tag.writer <= kWriterMask, "writer id must fit in 16 bits");
+  return (tag.counter << 16) | tag.writer;
+}
+
+Tag unpack_tag(Timestamp ts) {
+  return Tag{ts >> 16, static_cast<std::uint32_t>(ts & kWriterMask)};
+}
+
+MultiWriterRegisterClient::MultiWriterRegisterClient(
+    sim::Simulator& simulator, net::Transport& transport, NodeId self,
+    std::uint32_t writer_id, const quorum::QuorumSystem& quorums,
+    NodeId server_base, const util::Rng& rng, bool monotone)
+    : simulator_(simulator),
+      transport_(transport),
+      self_(self),
+      writer_id_(writer_id),
+      quorums_(quorums),
+      server_base_(server_base),
+      rng_(rng.fork(0x6d756c7469777200ULL ^ self)),
+      monotone_(monotone) {
+  PQRA_REQUIRE(writer_id <= kWriterMask, "writer id must fit in 16 bits");
+  transport_.register_receiver(self_, this);
+}
+
+void MultiWriterRegisterClient::read(RegisterId reg, ReadCallback cb) {
+  PQRA_REQUIRE(static_cast<bool>(cb), "read needs a callback");
+  OpId op = next_op_++;
+  PendingOp pending;
+  pending.phase = Phase::kRead;
+  pending.reg = reg;
+  pending.read_cb = std::move(cb);
+  auto [it, inserted] = pending_.emplace(op, std::move(pending));
+  PQRA_CHECK(inserted, "op id collision");
+  send_query(op, it->second);
+}
+
+void MultiWriterRegisterClient::write(RegisterId reg, Value value,
+                                      WriteCallback cb) {
+  PQRA_REQUIRE(static_cast<bool>(cb), "write needs a callback");
+  OpId op = next_op_++;
+  PendingOp pending;
+  pending.phase = Phase::kWriteQuery;
+  pending.reg = reg;
+  pending.write_cb = std::move(cb);
+  pending.write_value = std::move(value);
+  auto [it, inserted] = pending_.emplace(op, std::move(pending));
+  PQRA_CHECK(inserted, "op id collision");
+  send_query(op, it->second);
+}
+
+void MultiWriterRegisterClient::send_query(OpId op, PendingOp& pending) {
+  pending.needed = quorums_.quorum_size(quorum::AccessKind::kRead);
+  pending.responders.clear();
+  for (quorum::ServerId s :
+       quorums_.sample(quorum::AccessKind::kRead, rng_)) {
+    transport_.send(self_, server_base_ + s,
+                    net::Message::read_req(pending.reg, op));
+  }
+}
+
+void MultiWriterRegisterClient::send_install(OpId op, PendingOp& pending) {
+  pending.needed = quorums_.quorum_size(quorum::AccessKind::kWrite);
+  pending.responders.clear();
+  for (quorum::ServerId s :
+       quorums_.sample(quorum::AccessKind::kWrite, rng_)) {
+    transport_.send(self_, server_base_ + s,
+                    net::Message::write_req(pending.reg, op,
+                                            pending.install_ts,
+                                            pending.write_value));
+  }
+}
+
+void MultiWriterRegisterClient::on_message(NodeId from, net::Message msg) {
+  auto it = pending_.find(msg.op);
+  if (it == pending_.end()) return;  // late ack
+  PendingOp& pending = it->second;
+
+  for (NodeId seen : pending.responders) {
+    if (seen == from) return;
+  }
+  pending.responders.push_back(from);
+
+  bool is_ack_for_query = pending.phase != Phase::kWriteInstall;
+  PQRA_CHECK(is_ack_for_query == (msg.type == net::MsgType::kReadAck),
+             "ack type mismatch");
+  if (is_ack_for_query && msg.ts >= pending.best_ts) {
+    pending.best_ts = msg.ts;
+    pending.best_value = std::move(msg.value);
+  }
+  if (pending.responders.size() < pending.needed) return;
+
+  switch (pending.phase) {
+    case Phase::kRead:
+    case Phase::kWriteInstall:
+      complete(msg.op, pending);
+      break;
+    case Phase::kWriteQuery: {
+      // Choose a tag strictly above everything seen AND above every tag this
+      // writer ever issued (the phase-1 read can miss its own past writes on
+      // probabilistic quorums).
+      Tag seen = unpack_tag(pending.best_ts);
+      std::uint64_t& own = own_counter_[pending.reg];
+      std::uint64_t counter = std::max(seen.counter, own) + 1;
+      own = counter;
+      pending.install_ts = pack_tag(Tag{counter, writer_id_});
+      pending.phase = Phase::kWriteInstall;
+      send_install(msg.op, pending);
+      break;
+    }
+  }
+}
+
+void MultiWriterRegisterClient::complete(OpId op, PendingOp& pending) {
+  if (pending.phase == Phase::kRead) {
+    MwReadResult result;
+    result.tag = unpack_tag(pending.best_ts);
+    result.value = std::move(pending.best_value);
+    if (monotone_) {
+      TimestampedValue& cached = monotone_cache_[pending.reg];
+      if (cached.ts > pending.best_ts) {
+        result.tag = unpack_tag(cached.ts);
+        result.value = cached.value;
+      } else {
+        cached.ts = pending.best_ts;
+        cached.value = result.value;
+      }
+    }
+    ++reads_completed_;
+    ReadCallback cb = std::move(pending.read_cb);
+    pending_.erase(op);
+    cb(std::move(result));
+  } else {
+    Tag tag = unpack_tag(pending.install_ts);
+    ++writes_completed_;
+    WriteCallback cb = std::move(pending.write_cb);
+    pending_.erase(op);
+    cb(tag);
+  }
+}
+
+}  // namespace pqra::core

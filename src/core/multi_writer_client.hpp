@@ -1,0 +1,119 @@
+#pragma once
+
+/// \file multi_writer_client.hpp
+/// Multi-writer random register — the §8 "stronger registers" direction.
+///
+/// §8 notes that Malkhi et al. suggest building multi-writer registers out
+/// of their single-writer quorum registers "by applying known register
+/// implementation algorithms", and asks how *random* registers behave as
+/// such building blocks.  This client implements the classic construction:
+///
+///   write(v): phase 1 — query a read quorum for the largest tag;
+///             phase 2 — install (counter+1, writer_id) with the value at a
+///             write quorum.
+///   read():   query a read quorum, return the largest-tagged value.
+///
+/// Tags are (counter, writer-id) pairs packed into the wire timestamp so
+/// that numeric comparison at the replicas orders them lexicographically —
+/// the replica state machine is reused unchanged.
+///
+/// Over probabilistic quorums the phase-1 read may miss recent tags, so two
+/// writers can reuse a counter; the writer id breaks the tie and [R2]-style
+/// "every value read was written" still holds (tags stay unique).  What is
+/// lost relative to a strict multi-writer register is write ordering — a
+/// probabilistic trade documented and measured in the tests.
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "core/quorum_register_client.hpp"
+
+namespace pqra::core {
+
+/// Multi-writer tag: totally ordered, unique per (counter, writer).
+struct Tag {
+  std::uint64_t counter = 0;
+  std::uint32_t writer = 0;
+
+  friend bool operator==(const Tag&, const Tag&) = default;
+  friend auto operator<=>(const Tag&, const Tag&) = default;
+};
+
+/// Packs a tag into a wire timestamp (counter in the high bits) so replica
+/// max-timestamp semantics implement lexicographic tag comparison.
+/// Counters are limited to 48 bits and writer ids to 16 — plenty for any
+/// simulated run (both checked).
+Timestamp pack_tag(const Tag& tag);
+Tag unpack_tag(Timestamp ts);
+
+struct MwReadResult {
+  Tag tag;
+  Value value;
+};
+
+class MultiWriterRegisterClient final : public net::Receiver {
+ public:
+  using ReadCallback = std::function<void(MwReadResult)>;
+  using WriteCallback = std::function<void(Tag)>;
+
+  /// \p writer_id must be unique among all clients of the register and fit
+  /// in 16 bits.
+  MultiWriterRegisterClient(sim::Simulator& simulator,
+                            net::Transport& transport, NodeId self,
+                            std::uint32_t writer_id,
+                            const quorum::QuorumSystem& quorums,
+                            NodeId server_base, const util::Rng& rng,
+                            bool monotone = false);
+
+  void read(RegisterId reg, ReadCallback cb);
+
+  /// Two-phase write; the callback reports the tag the value was written
+  /// under.
+  void write(RegisterId reg, Value value, WriteCallback cb);
+
+  void on_message(NodeId from, net::Message msg) override;
+
+  std::uint64_t reads_completed() const { return reads_completed_; }
+  std::uint64_t writes_completed() const { return writes_completed_; }
+
+ private:
+  enum class Phase : std::uint8_t { kRead, kWriteQuery, kWriteInstall };
+
+  struct PendingOp {
+    Phase phase = Phase::kRead;
+    RegisterId reg = 0;
+    std::size_t needed = 0;
+    std::vector<NodeId> responders;
+    Timestamp best_ts = 0;
+    Value best_value;
+    ReadCallback read_cb;
+    WriteCallback write_cb;
+    Value write_value;
+    Timestamp install_ts = 0;
+  };
+
+  void send_query(OpId op, PendingOp& pending);
+  void send_install(OpId op, PendingOp& pending);
+  void complete(OpId op, PendingOp& pending);
+
+  sim::Simulator& simulator_;
+  net::Transport& transport_;
+  NodeId self_;
+  std::uint32_t writer_id_;
+  const quorum::QuorumSystem& quorums_;
+  NodeId server_base_;
+  util::Rng rng_;
+  bool monotone_;
+
+  OpId next_op_ = 1;
+  std::unordered_map<OpId, PendingOp> pending_;
+  std::unordered_map<RegisterId, TimestampedValue> monotone_cache_;
+  /// Largest counter this writer has ever used per register; guarantees its
+  /// own tags increase even when phase-1 queries miss its previous writes.
+  std::unordered_map<RegisterId, std::uint64_t> own_counter_;
+  std::uint64_t reads_completed_ = 0;
+  std::uint64_t writes_completed_ = 0;
+};
+
+}  // namespace pqra::core

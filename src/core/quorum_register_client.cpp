@@ -1,0 +1,298 @@
+#include "core/quorum_register_client.hpp"
+
+#include <utility>
+
+#include "core/replica.hpp"
+#include "util/check.hpp"
+
+namespace pqra::core {
+
+QuorumRegisterClient::QuorumRegisterClient(
+    sim::Simulator& simulator, net::Transport& transport, NodeId self,
+    const quorum::QuorumSystem& quorums, NodeId server_base,
+    const util::Rng& rng, ClientOptions options,
+    spec::HistoryRecorder* history)
+    : simulator_(simulator),
+      transport_(transport),
+      self_(self),
+      quorums_(quorums),
+      server_base_(server_base),
+      rng_(rng.fork(0x636c69656e740000ULL ^ self)),
+      options_(options),
+      history_(history) {
+  transport_.register_receiver(self_, this);
+}
+
+void QuorumRegisterClient::read(RegisterId reg, ReadCallback cb) {
+  PQRA_REQUIRE(static_cast<bool>(cb), "read needs a callback");
+  OpId op = next_op_++;
+  PendingOp pending;
+  pending.is_read = true;
+  pending.reg = reg;
+  pending.needed = quorums_.quorum_size(quorum::AccessKind::kRead);
+  pending.read_cb = std::move(cb);
+  pending.started = simulator_.now();
+  if (history_ != nullptr) {
+    pending.hist = history_->begin_read(self_, reg, simulator_.now());
+    pending.has_hist = true;
+  }
+  auto [it, inserted] = pending_.emplace(op, std::move(pending));
+  PQRA_CHECK(inserted, "op id collision");
+  send_to_quorum(op, it->second);
+}
+
+void QuorumRegisterClient::read_snapshot(std::vector<RegisterId> regs,
+                                         SnapshotCallback cb) {
+  PQRA_REQUIRE(static_cast<bool>(cb), "snapshot read needs a callback");
+  PQRA_REQUIRE(!regs.empty(), "snapshot read needs at least one register");
+  PQRA_REQUIRE(!options_.write_back,
+               "snapshot reads do not support atomic write-back");
+  OpId op = next_op_++;
+  PendingOp pending;
+  pending.is_read = true;
+  pending.is_snapshot = true;
+  pending.reg = net::kAllRegisters;
+  pending.needed = quorums_.quorum_size(quorum::AccessKind::kRead);
+  pending.snap_cb = std::move(cb);
+  pending.started = simulator_.now();
+  if (history_ != nullptr) {
+    pending.snap_hists.reserve(regs.size());
+    for (RegisterId reg : regs) {
+      pending.snap_hists.push_back(
+          history_->begin_read(self_, reg, simulator_.now()));
+    }
+    pending.has_hist = true;
+  }
+  pending.snap_regs = std::move(regs);
+  auto [it, inserted] = pending_.emplace(op, std::move(pending));
+  PQRA_CHECK(inserted, "op id collision");
+  send_to_quorum(op, it->second);
+}
+
+void QuorumRegisterClient::write(RegisterId reg, Value value,
+                                 WriteCallback cb) {
+  PQRA_REQUIRE(static_cast<bool>(cb), "write needs a callback");
+  OpId op = next_op_++;
+  Timestamp ts = ++write_ts_[reg];
+  PendingOp pending;
+  pending.is_read = false;
+  pending.reg = reg;
+  pending.needed = quorums_.quorum_size(quorum::AccessKind::kWrite);
+  pending.write_cb = std::move(cb);
+  pending.write_ts = ts;
+  pending.write_value = std::move(value);
+  pending.started = simulator_.now();
+  if (history_ != nullptr) {
+    pending.hist = history_->begin_write(self_, reg, simulator_.now(), ts);
+    pending.has_hist = true;
+  }
+  auto [it, inserted] = pending_.emplace(op, std::move(pending));
+  PQRA_CHECK(inserted, "op id collision");
+  send_to_quorum(op, it->second);
+}
+
+void QuorumRegisterClient::send_to_quorum(OpId op, PendingOp& pending) {
+  bool sends_reads = pending.is_read && !pending.in_write_back;
+  auto kind =
+      sends_reads ? quorum::AccessKind::kRead : quorum::AccessKind::kWrite;
+  std::vector<quorum::ServerId> quorum = quorums_.sample(kind, rng_);
+  for (quorum::ServerId s : quorum) {
+    NodeId server = server_base_ + s;
+    if (sends_reads) {
+      transport_.send(self_, server, net::Message::read_req(pending.reg, op));
+    } else if (pending.in_write_back) {
+      transport_.send(self_, server,
+                      net::Message::write_req(pending.reg, op,
+                                              pending.best_ts,
+                                              pending.best_value));
+    } else {
+      transport_.send(self_, server,
+                      net::Message::write_req(pending.reg, op,
+                                              pending.write_ts,
+                                              pending.write_value));
+    }
+  }
+  if (options_.retry_timeout.has_value()) {
+    arm_retry(op, pending.attempt);
+  }
+}
+
+void QuorumRegisterClient::arm_retry(OpId op, std::uint32_t attempt) {
+  simulator_.schedule_in(*options_.retry_timeout, [this, op, attempt] {
+    auto it = pending_.find(op);
+    if (it == pending_.end() || it->second.attempt != attempt) {
+      return;  // completed, or already retried by an older timer
+    }
+    ++it->second.attempt;
+    ++counters_.retries;
+    send_to_quorum(op, it->second);
+  });
+}
+
+void QuorumRegisterClient::on_message(NodeId from, net::Message msg) {
+  auto it = pending_.find(msg.op);
+  if (it == pending_.end()) {
+    return;  // ack for an operation that already completed (late or retried)
+  }
+  PendingOp& pending = it->second;
+  PQRA_CHECK(msg.reg == pending.reg, "ack for the wrong register");
+  bool expects_read_acks = pending.is_read && !pending.in_write_back;
+  if (expects_read_acks != (msg.type == net::MsgType::kReadAck)) {
+    // Stale ack from the read phase of an op that has moved on to its
+    // write-back phase (possible with retries); ignore.
+    return;
+  }
+
+  // Deduplicate per server: with retries a server may answer twice.
+  for (NodeId seen : pending.responders) {
+    if (seen == from) return;
+  }
+  pending.responders.push_back(from);
+
+  if (expects_read_acks) {
+    if (pending.is_snapshot) {
+      for (Replica::StoreEntry& entry : Replica::decode_store(msg.value)) {
+        TimestampedValue& best = pending.snap_best[entry.reg];
+        if (entry.ts >= best.ts) {
+          best.ts = entry.ts;
+          best.value = std::move(entry.value);
+        }
+      }
+    } else {
+      if (options_.read_repair) pending.responder_ts.push_back(msg.ts);
+      if (msg.ts >= pending.best_ts) {
+        pending.best_ts = msg.ts;
+        pending.best_value = std::move(msg.value);
+      }
+    }
+  }
+  if (pending.responders.size() < pending.needed) return;
+
+  if (pending.in_write_back) {
+    deliver_read(msg.op, pending);
+  } else if (pending.is_snapshot) {
+    complete_snapshot(msg.op, pending);
+  } else if (pending.is_read) {
+    complete_read(msg.op, pending);
+  } else {
+    complete_write(msg.op, pending);
+  }
+}
+
+void QuorumRegisterClient::complete_snapshot(OpId op, PendingOp& pending) {
+  std::vector<ReadResult> results;
+  results.reserve(pending.snap_regs.size());
+  for (std::size_t i = 0; i < pending.snap_regs.size(); ++i) {
+    RegisterId reg = pending.snap_regs[i];
+    TimestampedValue& best = pending.snap_best[reg];
+    ReadResult result;
+    result.ts = best.ts;
+    result.value = std::move(best.value);
+    if (options_.monotone) {
+      TimestampedValue& cached = monotone_cache_[reg];
+      if (cached.ts > result.ts) {
+        result.ts = cached.ts;
+        result.value = cached.value;
+        result.from_monotone_cache = true;
+        ++counters_.monotone_cache_hits;
+      } else {
+        cached.ts = result.ts;
+        cached.value = result.value;
+      }
+    }
+    if (pending.has_hist) {
+      history_->end_read(pending.snap_hists[i], simulator_.now(), result.ts);
+    }
+    results.push_back(std::move(result));
+  }
+  read_latency_.add(simulator_.now() - pending.started);
+  counters_.reads_completed += pending.snap_regs.size();
+  SnapshotCallback cb = std::move(pending.snap_cb);
+  pending_.erase(op);
+  cb(std::move(results));
+}
+
+void QuorumRegisterClient::complete_read(OpId op, PendingOp& pending) {
+  bool from_cache = false;
+  if (options_.monotone) {
+    TimestampedValue& cached = monotone_cache_[pending.reg];
+    if (cached.ts > pending.best_ts) {
+      // The quorum only produced older values than we have already returned;
+      // [R4] requires re-returning the cached one (§6.2).
+      pending.best_ts = cached.ts;
+      pending.best_value = cached.value;
+      from_cache = true;
+      ++counters_.monotone_cache_hits;
+    } else {
+      cached.ts = pending.best_ts;
+      cached.value = pending.best_value;
+    }
+  }
+  pending.from_cache = from_cache;
+
+  if (options_.read_repair) {
+    send_read_repair(pending, pending.best_ts, pending.best_value);
+  }
+
+  if (options_.write_back) {
+    start_write_back(op, pending);
+    return;
+  }
+  deliver_read(op, pending);
+}
+
+void QuorumRegisterClient::send_read_repair(const PendingOp& pending,
+                                            Timestamp ts, const Value& value) {
+  if (ts == 0) return;  // nothing newer than the initial value to push
+  // Fire-and-forget: acks arrive under an op id that is never pending.
+  OpId repair_op = next_op_++;
+  for (std::size_t i = 0; i < pending.responder_ts.size(); ++i) {
+    if (pending.responder_ts[i] >= ts) continue;
+    transport_.send(self_, pending.responders[i],
+                    net::Message::write_req(pending.reg, repair_op, ts, value));
+    ++counters_.repairs_sent;
+  }
+}
+
+void QuorumRegisterClient::start_write_back(OpId op, PendingOp& pending) {
+  ++counters_.write_backs;
+  pending.in_write_back = true;
+  pending.needed = quorums_.quorum_size(quorum::AccessKind::kWrite);
+  pending.responders.clear();
+  ++pending.attempt;  // invalidate read-phase retry timers
+  send_to_quorum(op, pending);
+}
+
+void QuorumRegisterClient::deliver_read(OpId op, PendingOp& pending) {
+  ReadResult result;
+  result.ts = pending.best_ts;
+  result.value = std::move(pending.best_value);
+  result.from_monotone_cache = pending.from_cache;
+  if (pending.has_hist) {
+    history_->end_read(pending.hist, simulator_.now(), result.ts);
+  }
+  read_latency_.add(simulator_.now() - pending.started);
+  ++counters_.reads_completed;
+  ReadCallback cb = std::move(pending.read_cb);
+  pending_.erase(op);
+  cb(std::move(result));
+}
+
+void QuorumRegisterClient::complete_write(OpId op, PendingOp& pending) {
+  if (pending.has_hist) {
+    history_->end_write(pending.hist, simulator_.now());
+  }
+  write_latency_.add(simulator_.now() - pending.started);
+  ++counters_.writes_completed;
+  Timestamp ts = pending.write_ts;
+  WriteCallback cb = std::move(pending.write_cb);
+  pending_.erase(op);
+  cb(ts);
+}
+
+Timestamp QuorumRegisterClient::last_written_ts(RegisterId reg) const {
+  auto it = write_ts_.find(reg);
+  return it == write_ts_.end() ? 0 : it->second;
+}
+
+}  // namespace pqra::core

@@ -1,0 +1,186 @@
+#pragma once
+
+/// \file quorum_register_client.hpp
+/// Client side of the (monotone) probabilistic quorum register protocol
+/// over the discrete-event simulator.
+///
+/// Protocol (§4, simplified single-writer / failure-free form of
+/// Malkhi–Reiter's algorithm):
+///   read(X):  pick a read quorum, send ReadReq to each member, wait for all
+///             k acks, return the value with the largest timestamp.
+///   write(X): bump the register's (writer-local) timestamp, pick a write
+///             quorum, send WriteReq(ts, v) to each member, wait for all
+///             k acks.
+///
+/// Monotone variant (§6.2): the client remembers the largest-timestamped
+/// value any read of X has returned; when a read's quorum only yields older
+/// timestamps, the remembered value is returned instead.
+///
+/// The quorum system is pluggable, so instantiating this client with a
+/// strict system (majority / grid / FPP) yields the regular-register
+/// baseline used throughout §6.4.
+///
+/// Operations are asynchronous (continuation callbacks) because the client
+/// is driven by simulator events.  Several operations on *different*
+/// registers may be outstanding at once — Alg. 1 reads all m registers in
+/// parallel — but per register the application must not pipeline operations
+/// (condition (3) of §3's register interface).
+///
+/// An optional per-operation timeout retries with a *fresh* quorum, which
+/// keeps the probabilistic register live when servers crash (availability
+/// experiments); strict systems may block forever in that regime, which is
+/// exactly the availability gap §4 describes.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/register_types.hpp"
+#include "core/spec/history.hpp"
+#include "net/transport.hpp"
+#include "quorum/quorum_system.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace pqra::core {
+
+struct ReadResult {
+  Timestamp ts = 0;
+  Value value;
+  bool from_monotone_cache = false;
+};
+
+struct ClientOptions {
+  /// Enables the §6.2 monotone cache.
+  bool monotone = false;
+  /// When set, an operation that has not completed after this much simulated
+  /// time is retried on a freshly sampled quorum (crash tolerance).
+  std::optional<sim::Time> retry_timeout;
+  /// Read repair: after a read, asynchronously pushes the freshest
+  /// (ts, value) seen to the responders that answered with older data.
+  /// Fire-and-forget: does not delay the read.  Speeds up propagation.
+  bool read_repair = false;
+  /// Atomic mode (§8's "stronger registers" direction): before returning, a
+  /// read writes the value it is about to return to a full write quorum.
+  /// With a strict quorum system this yields a single-writer *atomic*
+  /// register (no new/old inversion between readers); costs one extra
+  /// round trip per read.
+  bool write_back = false;
+};
+
+struct ClientCounters {
+  std::uint64_t reads_completed = 0;
+  std::uint64_t writes_completed = 0;
+  std::uint64_t monotone_cache_hits = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t repairs_sent = 0;     ///< stale replicas repaired after reads
+  std::uint64_t write_backs = 0;      ///< atomic-mode write-back phases
+};
+
+class QuorumRegisterClient final : public net::Receiver {
+ public:
+  using ReadCallback = std::function<void(ReadResult)>;
+  using WriteCallback = std::function<void(Timestamp)>;
+
+  /// \p server_base: servers occupy NodeIds [server_base, server_base + n)
+  /// in the order of the quorum system's ServerIds.
+  /// \p history: optional recorder for spec checking (may be nullptr).
+  QuorumRegisterClient(sim::Simulator& simulator, net::Transport& transport,
+                       NodeId self, const quorum::QuorumSystem& quorums,
+                       NodeId server_base, const util::Rng& rng,
+                       ClientOptions options = {},
+                       spec::HistoryRecorder* history = nullptr);
+
+  /// Starts a read of \p reg; \p cb fires when the quorum has answered.
+  void read(RegisterId reg, ReadCallback cb);
+
+  using SnapshotCallback = std::function<void(std::vector<ReadResult>)>;
+
+  /// Snapshot read: fetches ALL of \p regs through a single quorum access
+  /// (k whole-store messages instead of |regs| * k per-register exchanges —
+  /// §6.4's read cost per round drops from 2pmk to 2pk).  Results arrive in
+  /// the order of \p regs.  The trade-off is correlated staleness: one
+  /// unlucky quorum is stale for every component at once.  Monotone caching
+  /// applies per register; read repair and write-back do not apply to
+  /// snapshots.
+  void read_snapshot(std::vector<RegisterId> regs, SnapshotCallback cb);
+
+  /// Starts a write of \p reg; \p cb fires when the quorum has acked.
+  /// This client must be the register's only writer.
+  void write(RegisterId reg, Value value, WriteCallback cb);
+
+  void on_message(NodeId from, net::Message msg) override;
+
+  const ClientCounters& counters() const { return counters_; }
+
+  /// Simulated-time latency distributions (invocation to response).
+  const util::OnlineStats& read_latency() const { return read_latency_; }
+  const util::OnlineStats& write_latency() const { return write_latency_; }
+
+  NodeId id() const { return self_; }
+
+  /// Last timestamp this client wrote to \p reg (0 if none).
+  Timestamp last_written_ts(RegisterId reg) const;
+
+ private:
+  struct PendingOp {
+    bool is_read = true;
+    bool is_snapshot = false;           ///< whole-store read
+    bool in_write_back = false;         ///< atomic-mode phase 2 in progress
+    bool from_cache = false;            ///< result came from the §6.2 cache
+    RegisterId reg = 0;
+    std::size_t needed = 0;             ///< quorum size
+    std::vector<NodeId> responders;     ///< distinct servers that acked
+    /// Timestamp each read responder reported (parallel to responders;
+    /// kept only when read repair is on).
+    std::vector<Timestamp> responder_ts;
+    Timestamp best_ts = 0;
+    Value best_value;
+    /// Snapshot state: requested registers, per-register best, callback and
+    /// history handles (one recorded read per register).
+    std::vector<RegisterId> snap_regs;
+    std::unordered_map<RegisterId, TimestampedValue> snap_best;
+    SnapshotCallback snap_cb;
+    std::vector<spec::HistoryRecorder::OpHandle> snap_hists;
+    ReadCallback read_cb;
+    WriteCallback write_cb;
+    Timestamp write_ts = 0;             ///< for writes and retries
+    Value write_value;
+    std::uint32_t attempt = 0;
+    sim::Time started = 0.0;
+    spec::HistoryRecorder::OpHandle hist = 0;
+    bool has_hist = false;
+  };
+
+  void send_to_quorum(OpId op, PendingOp& pending);
+  void arm_retry(OpId op, std::uint32_t attempt);
+  void complete_read(OpId op, PendingOp& pending);
+  void complete_write(OpId op, PendingOp& pending);
+  void send_read_repair(const PendingOp& pending, Timestamp ts,
+                        const Value& value);
+  void start_write_back(OpId op, PendingOp& pending);
+  void deliver_read(OpId op, PendingOp& pending);
+  void complete_snapshot(OpId op, PendingOp& pending);
+
+  sim::Simulator& simulator_;
+  net::Transport& transport_;
+  NodeId self_;
+  const quorum::QuorumSystem& quorums_;
+  NodeId server_base_;
+  util::Rng rng_;
+  ClientOptions options_;
+  spec::HistoryRecorder* history_;
+
+  OpId next_op_ = 1;
+  std::unordered_map<OpId, PendingOp> pending_;
+  std::unordered_map<RegisterId, Timestamp> write_ts_;
+  std::unordered_map<RegisterId, TimestampedValue> monotone_cache_;
+  ClientCounters counters_;
+  util::OnlineStats read_latency_;
+  util::OnlineStats write_latency_;
+};
+
+}  // namespace pqra::core

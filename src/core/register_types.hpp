@@ -1,0 +1,23 @@
+#pragma once
+
+/// \file register_types.hpp
+/// Shared value/timestamp types of the register layer.
+
+#include "net/message.hpp"
+
+namespace pqra::core {
+
+using net::NodeId;
+using net::OpId;
+using net::RegisterId;
+using net::Timestamp;
+using net::Value;
+
+/// A replica's view of one register: the value plus the timestamp its single
+/// writer attached to it.  Timestamp 0 is the preloaded initial value.
+struct TimestampedValue {
+  Timestamp ts = 0;
+  Value value;
+};
+
+}  // namespace pqra::core

@@ -1,0 +1,93 @@
+#include "core/replica.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+#include "util/codec.hpp"
+
+namespace pqra::core {
+
+net::Message Replica::handle(const net::Message& request) {
+  switch (request.type) {
+    case net::MsgType::kReadReq: {
+      auto it = store_.find(request.reg);
+      if (it == store_.end()) {
+        return net::Message::read_ack(request.reg, request.op, 0, Value{});
+      }
+      return net::Message::read_ack(request.reg, request.op, it->second.ts,
+                                    it->second.value);
+    }
+    case net::MsgType::kWriteReq: {
+      TimestampedValue& slot = store_[request.reg];
+      if (request.ts > slot.ts) {
+        slot.ts = request.ts;
+        slot.value = request.value;
+        ++writes_applied_;
+      }
+      return net::Message::write_ack(request.reg, request.op, request.ts);
+    }
+    case net::MsgType::kReadAck:
+    case net::MsgType::kWriteAck:
+      break;
+  }
+  PQRA_CHECK(false, "replica received a non-request message");
+}
+
+void Replica::preload(RegisterId reg, Value value) {
+  TimestampedValue& slot = store_[reg];
+  PQRA_REQUIRE(slot.ts == 0, "preload must happen before any write");
+  slot.ts = 0;
+  slot.value = std::move(value);
+}
+
+const TimestampedValue* Replica::get(RegisterId reg) const {
+  auto it = store_.find(reg);
+  return it == store_.end() ? nullptr : &it->second;
+}
+
+Value Replica::encode_store() const {
+  Value out;
+  util::detail::append_raw(out, static_cast<std::uint64_t>(store_.size()));
+  for (const auto& [reg, tv] : store_) {
+    util::detail::append_raw(out, reg);
+    util::detail::append_raw(out, tv.ts);
+    util::detail::append_raw(out, static_cast<std::uint64_t>(tv.value.size()));
+    out.insert(out.end(), tv.value.begin(), tv.value.end());
+  }
+  return out;
+}
+
+std::size_t Replica::merge_store(const Value& encoded) {
+  std::size_t advanced = 0;
+  for (StoreEntry& entry : decode_store(encoded)) {
+    TimestampedValue& slot = store_[entry.reg];
+    if (entry.ts > slot.ts) {
+      slot.ts = entry.ts;
+      slot.value = std::move(entry.value);
+      ++advanced;
+    }
+  }
+  return advanced;
+}
+
+std::vector<Replica::StoreEntry> Replica::decode_store(const Value& encoded) {
+  std::size_t off = 0;
+  auto count = util::detail::read_raw<std::uint64_t>(encoded, off);
+  std::vector<StoreEntry> entries;
+  entries.reserve(count);
+  for (std::uint64_t e = 0; e < count; ++e) {
+    StoreEntry entry;
+    entry.reg = util::detail::read_raw<RegisterId>(encoded, off);
+    entry.ts = util::detail::read_raw<Timestamp>(encoded, off);
+    auto len = util::detail::read_raw<std::uint64_t>(encoded, off);
+    PQRA_CHECK(off + len <= encoded.size(), "store: truncated payload");
+    entry.value.assign(encoded.begin() + static_cast<std::ptrdiff_t>(off),
+                       encoded.begin() + static_cast<std::ptrdiff_t>(off + len));
+    off += len;
+    entries.push_back(std::move(entry));
+  }
+  PQRA_CHECK(off == encoded.size(), "store: trailing bytes");
+  return entries;
+}
+
+}  // namespace pqra::core

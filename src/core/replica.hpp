@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file replica.hpp
+/// Server-side state machine of the quorum register protocol.
+///
+/// Pure request/response logic with no transport dependency, so the exact
+/// same code backs the discrete-event servers (ServerProcess) and the
+/// threaded servers (ThreadedServer).  A replica stores, per register, the
+/// highest-timestamped value it has seen; stale WriteReqs are acknowledged
+/// but ignored (the single writer's timestamps are monotone, so this only
+/// matters when retries reorder).
+
+#include <unordered_map>
+
+#include "core/register_types.hpp"
+
+namespace pqra::core {
+
+class Replica {
+ public:
+  /// Handles one protocol request and produces the reply to send back.
+  /// ReadReq -> ReadAck carrying the stored (ts, value) — (0, empty) if the
+  /// register was never written nor preloaded.  WriteReq -> WriteAck.
+  net::Message handle(const net::Message& request);
+
+  /// Installs an initial value with timestamp 0 (the initial vector i of the
+  /// iterative algorithm, present on all replicas before the run starts).
+  void preload(RegisterId reg, Value value);
+
+  /// Read-only access for tests and invariant checks.
+  const TimestampedValue* get(RegisterId reg) const;
+
+  /// Serializes the whole store for anti-entropy gossip / snapshot reads.
+  Value encode_store() const;
+
+  /// Merges a gossiped store: per register, keeps the higher timestamp.
+  /// Returns the number of registers that advanced.
+  std::size_t merge_store(const Value& encoded);
+
+  /// One entry of an encoded store.
+  struct StoreEntry {
+    RegisterId reg = 0;
+    Timestamp ts = 0;
+    Value value;
+  };
+
+  /// Parses an encoded store (throws on malformed input).
+  static std::vector<StoreEntry> decode_store(const Value& encoded);
+
+  std::size_t num_registers() const { return store_.size(); }
+
+  /// Number of writes actually applied (not acked-but-stale).
+  std::uint64_t writes_applied() const { return writes_applied_; }
+
+ private:
+  std::unordered_map<RegisterId, TimestampedValue> store_;
+  std::uint64_t writes_applied_ = 0;
+};
+
+}  // namespace pqra::core

@@ -1,0 +1,61 @@
+#include "core/server_process.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace pqra::core {
+
+ServerProcess::ServerProcess(net::Transport& transport, NodeId self)
+    : transport_(transport), self_(self), rng_(0) {
+  transport_.register_receiver(self_, this);
+}
+
+ServerProcess::ServerProcess(net::Transport& transport, NodeId self,
+                             sim::Simulator& simulator,
+                             const GossipOptions& gossip, const util::Rng& rng)
+    : transport_(transport),
+      self_(self),
+      simulator_(&simulator),
+      gossip_(gossip),
+      rng_(rng.fork(0x676f73736970ULL ^ self)) {
+  transport_.register_receiver(self_, this);
+  if (gossip_.interval > 0.0) {
+    PQRA_REQUIRE(gossip_.group_size >= 2,
+                 "gossip needs at least two servers in the group");
+    PQRA_REQUIRE(self_ >= gossip_.group_base &&
+                     self_ < gossip_.group_base + gossip_.group_size,
+                 "gossiping server must belong to its own group");
+    // Jittered first tick so the group does not fire in phase.
+    schedule_gossip(rng_.uniform01() * gossip_.interval);
+  }
+}
+
+void ServerProcess::on_message(NodeId from, net::Message msg) {
+  if (msg.type == net::MsgType::kGossip) {
+    gossip_merges_ += replica_.merge_store(msg.value);
+    return;
+  }
+  if (msg.type == net::MsgType::kReadReq && msg.reg == net::kAllRegisters) {
+    transport_.send(self_, from,
+                    net::Message::read_ack(net::kAllRegisters, msg.op, 0,
+                                           replica_.encode_store()));
+    return;
+  }
+  transport_.send(self_, from, replica_.handle(msg));
+}
+
+void ServerProcess::schedule_gossip(sim::Time delay) {
+  simulator_->schedule_in(delay, [this] { gossip_tick(); });
+}
+
+void ServerProcess::gossip_tick() {
+  // Pick a uniformly random peer other than this server.
+  auto offset = static_cast<net::NodeId>(rng_.below(gossip_.group_size - 1));
+  net::NodeId peer = gossip_.group_base + offset;
+  if (peer >= self_) ++peer;
+  transport_.send(self_, peer, net::Message::gossip(replica_.encode_store()));
+  schedule_gossip(gossip_.interval);
+}
+
+}  // namespace pqra::core

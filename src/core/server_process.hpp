@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file server_process.hpp
+/// Discrete-event-simulation wrapper around a Replica: receives protocol
+/// requests from the transport and answers immediately (service time is
+/// folded into the link delays, as in the paper's model).
+///
+/// Optionally runs anti-entropy gossip (an extension; the paper's servers
+/// never talk to each other): every `interval` time units the server pushes
+/// its whole store to one uniformly random peer, which merges it
+/// timestamp-wise.  Gossip changes the staleness economics for tiny quorums
+/// — measured in bench/register_modes.
+
+#include "core/replica.hpp"
+#include "net/transport.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace pqra::core {
+
+/// Anti-entropy configuration; disabled by default.
+struct GossipOptions {
+  /// 0 disables gossip.  Otherwise one push per interval (plus jitter drawn
+  /// in [0, interval) for the first tick so servers do not fire in phase).
+  sim::Time interval = 0.0;
+  /// The replica group occupies NodeIds [group_base, group_base+group_size).
+  net::NodeId group_base = 0;
+  std::size_t group_size = 0;
+};
+
+class ServerProcess final : public net::Receiver {
+ public:
+  ServerProcess(net::Transport& transport, NodeId self);
+
+  /// Gossiping server; \p simulator drives the periodic pushes.
+  ServerProcess(net::Transport& transport, NodeId self,
+                sim::Simulator& simulator, const GossipOptions& gossip,
+                const util::Rng& rng);
+
+  void on_message(NodeId from, net::Message msg) override;
+
+  Replica& replica() { return replica_; }
+  const Replica& replica() const { return replica_; }
+  NodeId id() const { return self_; }
+  std::uint64_t gossip_merges() const { return gossip_merges_; }
+
+ private:
+  void schedule_gossip(sim::Time delay);
+  void gossip_tick();
+
+  net::Transport& transport_;
+  NodeId self_;
+  Replica replica_;
+  sim::Simulator* simulator_ = nullptr;
+  GossipOptions gossip_;
+  util::Rng rng_;
+  std::uint64_t gossip_merges_ = 0;
+};
+
+}  // namespace pqra::core

@@ -1,0 +1,191 @@
+#include "core/spec/checker.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <utility>
+
+namespace pqra::core::spec {
+
+namespace {
+
+/// Key for per-register write lookup.
+using WriteKey = std::pair<RegisterId, Timestamp>;
+
+std::map<WriteKey, const OpRecord*> index_writes(
+    const std::vector<OpRecord>& ops) {
+  std::map<WriteKey, const OpRecord*> writes;
+  for (const OpRecord& op : ops) {
+    if (op.kind == OpKind::kWrite) {
+      writes[{op.reg, op.ts}] = &op;
+    }
+  }
+  return writes;
+}
+
+std::string describe_op(const OpRecord& op) {
+  std::ostringstream os;
+  os << (op.kind == OpKind::kRead ? "read" : "write") << "(proc=" << op.proc
+     << ", reg=" << op.reg << ", ts=" << op.ts << ", t=[" << op.invoke << ", "
+     << (op.responded ? op.response : -1.0) << "])";
+  return os.str();
+}
+
+}  // namespace
+
+void CheckResult::fail(std::string message) {
+  ok = false;
+  violations.push_back(std::move(message));
+}
+
+CheckResult check_r1(const std::vector<OpRecord>& ops) {
+  CheckResult result;
+  for (const OpRecord& op : ops) {
+    if (!op.responded) {
+      result.fail("[R1] unresponded operation: " + describe_op(op));
+    }
+  }
+  return result;
+}
+
+CheckResult check_r2(const std::vector<OpRecord>& ops) {
+  CheckResult result;
+  auto writes = index_writes(ops);
+  for (const OpRecord& op : ops) {
+    if (op.kind != OpKind::kRead || !op.responded) continue;
+    auto it = writes.find({op.reg, op.ts});
+    if (it == writes.end()) {
+      result.fail("[R2] read returned a never-written timestamp: " +
+                  describe_op(op));
+      continue;
+    }
+    if (it->second->invoke > op.response) {
+      result.fail("[R2] read returned a write that began after the read "
+                  "ended: " +
+                  describe_op(op) + " vs " + describe_op(*it->second));
+    }
+  }
+  return result;
+}
+
+CheckResult check_r4(const std::vector<OpRecord>& ops) {
+  CheckResult result;
+  // Collect responded reads, sort by response time (stable on record order
+  // for simultaneous responses, which matches delivery order in the DES).
+  std::map<std::pair<NodeId, RegisterId>, std::vector<const OpRecord*>> reads;
+  for (const OpRecord& op : ops) {
+    if (op.kind == OpKind::kRead && op.responded) {
+      reads[{op.proc, op.reg}].push_back(&op);
+    }
+  }
+  for (auto& [key, list] : reads) {
+    std::stable_sort(list.begin(), list.end(),
+                     [](const OpRecord* a, const OpRecord* b) {
+                       return a->response < b->response;
+                     });
+    Timestamp last = 0;
+    for (const OpRecord* op : list) {
+      if (op->ts < last) {
+        result.fail("[R4] read went backwards: " + describe_op(*op));
+      }
+      last = std::max(last, op->ts);
+    }
+  }
+  return result;
+}
+
+CheckResult check_single_writer(const std::vector<OpRecord>& ops) {
+  CheckResult result;
+  struct WriterState {
+    bool seen = false;
+    NodeId proc = 0;
+    Timestamp max_ts = 0;
+  };
+  std::map<RegisterId, WriterState> writers;
+  for (const OpRecord& op : ops) {
+    if (op.kind != OpKind::kWrite || op.ts == 0) continue;  // skip initials
+    WriterState& w = writers[op.reg];
+    if (w.seen && w.proc != op.proc) {
+      result.fail("[SW] second writer for register: " + describe_op(op));
+    }
+    if (w.seen && op.ts <= w.max_ts) {
+      result.fail("[SW] non-increasing write timestamp: " + describe_op(op));
+    }
+    w.seen = true;
+    w.proc = op.proc;
+    w.max_ts = std::max(w.max_ts, op.ts);
+  }
+  return result;
+}
+
+CheckResult check_regular(const std::vector<OpRecord>& ops) {
+  CheckResult result;
+  // Per register: a read may return the latest write completed before its
+  // invocation or any write concurrent with it; i.e. ts must lie in
+  // [latest completed before invoke, latest invoked before response].
+  std::map<RegisterId, std::vector<const OpRecord*>> writes;
+  for (const OpRecord& op : ops) {
+    if (op.kind == OpKind::kWrite) writes[op.reg].push_back(&op);
+  }
+  for (const OpRecord& op : ops) {
+    if (op.kind != OpKind::kRead || !op.responded) continue;
+    Timestamp lo = 0;
+    Timestamp hi = 0;
+    for (const OpRecord* w : writes[op.reg]) {
+      if (w->responded && w->response <= op.invoke) lo = std::max(lo, w->ts);
+      if (w->invoke <= op.response) hi = std::max(hi, w->ts);
+    }
+    if (op.ts < lo || op.ts > hi) {
+      std::ostringstream os;
+      os << "[REG] read outside the regular window [" << lo << ", " << hi
+         << "]: " << describe_op(op);
+      result.fail(os.str());
+    }
+  }
+  return result;
+}
+
+CheckResult check_atomic(const std::vector<OpRecord>& ops) {
+  CheckResult result = check_regular(ops);
+  // New/old inversion: order completed reads per register by response time
+  // and require non-decreasing timestamps whenever they do not overlap.
+  std::map<RegisterId, std::vector<const OpRecord*>> reads;
+  for (const OpRecord& op : ops) {
+    if (op.kind == OpKind::kRead && op.responded) reads[op.reg].push_back(&op);
+  }
+  for (auto& [reg, list] : reads) {
+    std::stable_sort(list.begin(), list.end(),
+                     [](const OpRecord* a, const OpRecord* b) {
+                       return a->response < b->response;
+                     });
+    // For each read, compare against the max timestamp of reads that
+    // completed strictly before it was invoked.
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      for (std::size_t j = 0; j < i; ++j) {
+        if (list[j]->response < list[i]->invoke &&
+            list[i]->ts < list[j]->ts) {
+          result.fail("[ATOMIC] new/old inversion: " + describe_op(*list[i]) +
+                      " after " + describe_op(*list[j]));
+        }
+      }
+    }
+  }
+  return result;
+}
+
+CheckResult check_random_register(const std::vector<OpRecord>& ops,
+                                  bool monotone) {
+  CheckResult merged;
+  for (const CheckResult& r :
+       {check_r1(ops), check_r2(ops), check_single_writer(ops),
+        monotone ? check_r4(ops) : CheckResult{}}) {
+    if (!r.ok) {
+      merged.ok = false;
+      merged.violations.insert(merged.violations.end(), r.violations.begin(),
+                               r.violations.end());
+    }
+  }
+  return merged;
+}
+
+}  // namespace pqra::core::spec

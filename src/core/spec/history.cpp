@@ -1,0 +1,65 @@
+#include "core/spec/history.hpp"
+
+#include "util/check.hpp"
+
+namespace pqra::core::spec {
+
+void HistoryRecorder::record_initial(RegisterId reg, NodeId writer) {
+  OpRecord rec;
+  rec.kind = OpKind::kWrite;
+  rec.proc = writer;
+  rec.reg = reg;
+  rec.invoke = 0.0;
+  rec.response = 0.0;
+  rec.responded = true;
+  rec.ts = 0;
+  ops_.push_back(rec);
+}
+
+HistoryRecorder::OpHandle HistoryRecorder::begin_read(NodeId proc,
+                                                      RegisterId reg,
+                                                      sim::Time now) {
+  OpRecord rec;
+  rec.kind = OpKind::kRead;
+  rec.proc = proc;
+  rec.reg = reg;
+  rec.invoke = now;
+  ops_.push_back(rec);
+  return ops_.size() - 1;
+}
+
+void HistoryRecorder::end_read(OpHandle h, sim::Time now,
+                               Timestamp ts_returned) {
+  PQRA_REQUIRE(h < ops_.size(), "bad op handle");
+  OpRecord& rec = ops_[h];
+  PQRA_REQUIRE(rec.kind == OpKind::kRead && !rec.responded,
+               "end_read on a non-pending read");
+  rec.response = now;
+  rec.responded = true;
+  rec.ts = ts_returned;
+}
+
+HistoryRecorder::OpHandle HistoryRecorder::begin_write(NodeId proc,
+                                                       RegisterId reg,
+                                                       sim::Time now,
+                                                       Timestamp ts) {
+  OpRecord rec;
+  rec.kind = OpKind::kWrite;
+  rec.proc = proc;
+  rec.reg = reg;
+  rec.invoke = now;
+  rec.ts = ts;
+  ops_.push_back(rec);
+  return ops_.size() - 1;
+}
+
+void HistoryRecorder::end_write(OpHandle h, sim::Time now) {
+  PQRA_REQUIRE(h < ops_.size(), "bad op handle");
+  OpRecord& rec = ops_[h];
+  PQRA_REQUIRE(rec.kind == OpKind::kWrite && !rec.responded,
+               "end_write on a non-pending write");
+  rec.response = now;
+  rec.responded = true;
+}
+
+}  // namespace pqra::core::spec

@@ -1,0 +1,97 @@
+#include "core/spec/probabilistic_checks.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace pqra::core::spec {
+
+double r3_survival_rate(const quorum::QuorumSystem& qs, std::size_t l,
+                        std::size_t trials, util::Rng& rng) {
+  PQRA_REQUIRE(trials > 0, "need at least one trial");
+  std::size_t n = qs.num_servers();
+  std::size_t survived = 0;
+  // holder[s] == current write's id at replica s; the target write is id 0,
+  // subsequent writes are 1..l.
+  std::vector<std::uint64_t> holder(n);
+  std::vector<quorum::ServerId> q;
+  for (std::size_t t = 0; t < trials; ++t) {
+    std::fill(holder.begin(), holder.end(), ~0ULL);
+    qs.pick(quorum::AccessKind::kWrite, rng, q);
+    std::vector<quorum::ServerId> target_quorum = q;
+    for (quorum::ServerId s : q) holder[s] = 0;
+    for (std::uint64_t w = 1; w <= l; ++w) {
+      qs.pick(quorum::AccessKind::kWrite, rng, q);
+      for (quorum::ServerId s : q) holder[s] = w;
+    }
+    bool alive = std::any_of(target_quorum.begin(), target_quorum.end(),
+                             [&](quorum::ServerId s) { return holder[s] == 0; });
+    if (alive) ++survived;
+  }
+  return static_cast<double>(survived) / static_cast<double>(trials);
+}
+
+std::vector<std::uint64_t> r5_y_samples(const quorum::QuorumSystem& qs,
+                                        std::size_t samples, util::Rng& rng,
+                                        std::uint64_t cap) {
+  PQRA_REQUIRE(samples > 0, "need at least one sample");
+  std::vector<std::uint64_t> out;
+  out.reserve(samples);
+  std::vector<quorum::ServerId> wq, rq;
+  std::vector<bool> in_write(qs.num_servers());
+  for (std::size_t t = 0; t < samples; ++t) {
+    qs.pick(quorum::AccessKind::kWrite, rng, wq);
+    std::fill(in_write.begin(), in_write.end(), false);
+    for (quorum::ServerId s : wq) in_write[s] = true;
+    std::uint64_t y = 0;
+    for (;;) {
+      ++y;
+      qs.pick(quorum::AccessKind::kRead, rng, rq);
+      bool overlap = std::any_of(rq.begin(), rq.end(), [&](quorum::ServerId s) {
+        return in_write[s];
+      });
+      if (overlap || y >= cap) break;
+    }
+    out.push_back(y);
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> y_samples_from_history(
+    const std::vector<OpRecord>& ops, RegisterId reg, NodeId proc) {
+  // Gather this register's completed writes and this process's completed
+  // reads, each sorted by time.
+  std::vector<const OpRecord*> writes, reads;
+  for (const OpRecord& op : ops) {
+    if (op.reg != reg || !op.responded) continue;
+    if (op.kind == OpKind::kWrite) writes.push_back(&op);
+    if (op.kind == OpKind::kRead && op.proc == proc) reads.push_back(&op);
+  }
+  auto by_response = [](const OpRecord* a, const OpRecord* b) {
+    return a->response < b->response;
+  };
+  std::sort(writes.begin(), writes.end(), by_response);
+  std::stable_sort(reads.begin(), reads.end(),
+                   [](const OpRecord* a, const OpRecord* b) {
+                     return a->invoke < b->invoke;
+                   });
+
+  std::vector<std::uint64_t> samples;
+  for (const OpRecord* w : writes) {
+    std::uint64_t count = 0;
+    bool resolved = false;
+    for (const OpRecord* r : reads) {
+      if (r->invoke < w->response) continue;  // not "after W"
+      ++count;
+      if (r->ts >= w->ts) {
+        resolved = true;
+        break;
+      }
+    }
+    if (resolved) samples.push_back(count);
+    // else: censored by the end of the execution; dropped.
+  }
+  return samples;
+}
+
+}  // namespace pqra::core::spec

@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file probabilistic_checks.hpp
+/// Statistical validators for the probabilistic register conditions.
+///
+/// [R3] and [R5] are statements about distributions, not single traces, so
+/// they are validated by dedicated quorum-level experiments (no transport —
+/// just the quorum sampling process, which is what the proofs of Theorem 1
+/// and Theorem 4 reason about) plus an extractor that pulls empirical
+/// Y samples out of full protocol histories.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/spec/history.hpp"
+#include "quorum/quorum_system.hpp"
+#include "util/rng.hpp"
+
+namespace pqra::core::spec {
+
+/// One trial of the [R3] survival process: perform a write W (random quorum),
+/// then l more writes; report whether some replica in W's quorum still holds
+/// W afterwards.  Returns the empirical survival probability over \p trials.
+/// Theorem 1 bounds this by k * ((n-k)/n)^l.
+double r3_survival_rate(const quorum::QuorumSystem& qs, std::size_t l,
+                        std::size_t trials, util::Rng& rng);
+
+/// Samples the [R5] variable Y directly: after a write with a random quorum,
+/// count read-quorum draws until one intersects the write's quorum.
+/// Theorem 4: P(Y = r) <= (1-q)^{r-1} q with q = 1 - C(n-k,k)/C(n,k).
+std::vector<std::uint64_t> r5_y_samples(const quorum::QuorumSystem& qs,
+                                        std::size_t samples, util::Rng& rng,
+                                        std::uint64_t cap = 1u << 20);
+
+/// Extracts empirical Y samples from a recorded protocol history: for each
+/// write W to \p reg and the reader \p proc, the number of reads by \p proc
+/// invoked after W completed until one returns W's timestamp or newer.
+/// Censored observations (history ends first) are dropped.
+std::vector<std::uint64_t> y_samples_from_history(
+    const std::vector<OpRecord>& ops, RegisterId reg, NodeId proc);
+
+}  // namespace pqra::core::spec

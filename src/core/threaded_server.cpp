@@ -1,0 +1,25 @@
+#include "core/threaded_server.hpp"
+
+#include <utility>
+
+namespace pqra::core {
+
+ThreadedServer::ThreadedServer(net::ThreadTransport& transport, NodeId self,
+                               Replica preloaded)
+    : transport_(transport), self_(self), replica_(std::move(preloaded)) {
+  thread_ = std::thread([this] { serve(); });
+}
+
+ThreadedServer::~ThreadedServer() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void ThreadedServer::serve() {
+  for (;;) {
+    std::optional<net::Envelope> env = transport_.recv(self_);
+    if (!env.has_value()) return;  // transport closed
+    transport_.send(self_, env->from, replica_.handle(env->msg));
+  }
+}
+
+}  // namespace pqra::core

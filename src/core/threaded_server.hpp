@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file threaded_server.hpp
+/// Replica server running on its own std::thread, pulling requests from its
+/// ThreadTransport mailbox.  Shares the Replica state machine with the
+/// simulated servers.  Stops when the transport is closed.
+
+#include <thread>
+
+#include "core/replica.hpp"
+#include "net/thread_transport.hpp"
+
+namespace pqra::core {
+
+class ThreadedServer {
+ public:
+  /// Starts serving immediately.  Initial register values must be preloaded
+  /// into \p preloaded before construction — the serving thread owns the
+  /// replica from here on.
+  ThreadedServer(net::ThreadTransport& transport, NodeId self,
+                 Replica preloaded = {});
+
+  ThreadedServer(const ThreadedServer&) = delete;
+  ThreadedServer& operator=(const ThreadedServer&) = delete;
+
+  /// Joins the server thread.  The transport must have been closed first
+  /// (otherwise this blocks forever — by design, it is a usage error).
+  ~ThreadedServer();
+
+  /// Post-shutdown inspection only (after the transport is closed and the
+  /// serving thread has exited).
+  const Replica& replica() const { return replica_; }
+
+  NodeId id() const { return self_; }
+
+ private:
+  void serve();
+
+  net::ThreadTransport& transport_;
+  NodeId self_;
+  Replica replica_;
+  std::thread thread_;
+};
+
+}  // namespace pqra::core

@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file typed_register.hpp
+/// Typed convenience wrapper over the byte-blob register client.
+///
+/// Applications hold a TypedRegister<T> per shared component and never touch
+/// the codec directly:
+///
+///   TypedRegister<std::vector<std::int64_t>> row(client, reg_id);
+///   row.write(distances, [](Timestamp) { ... });
+///   row.read([](Timestamp ts, std::vector<std::int64_t> v) { ... });
+
+#include <functional>
+#include <utility>
+
+#include "core/quorum_register_client.hpp"
+#include "util/codec.hpp"
+
+namespace pqra::core {
+
+template <typename T>
+class TypedRegister {
+ public:
+  using ReadCallback = std::function<void(Timestamp, T)>;
+  using WriteCallback = QuorumRegisterClient::WriteCallback;
+
+  TypedRegister(QuorumRegisterClient& client, RegisterId reg)
+      : client_(&client), reg_(reg) {}
+
+  void read(ReadCallback cb) {
+    client_->read(reg_, [cb = std::move(cb)](ReadResult r) {
+      cb(r.ts, util::decode<T>(r.value));
+    });
+  }
+
+  void write(const T& value, WriteCallback cb) {
+    client_->write(reg_, util::encode(value), std::move(cb));
+  }
+
+  RegisterId id() const { return reg_; }
+
+ private:
+  QuorumRegisterClient* client_;
+  RegisterId reg_;
+};
+
+}  // namespace pqra::core

@@ -1,0 +1,92 @@
+#pragma once
+
+/// \file aco.hpp
+/// Asynchronously contracting operators (Üresin & Dubois, §5).
+///
+/// An AcoOperator describes the function F : S -> S being iterated, one
+/// vector component at a time, over byte-encoded component values.  The
+/// fixed-point oracle mirrors the paper's experimental methodology: "the
+/// simulation compares each process's local copy ... against the precomputed
+/// correct answer" (§7).  Implementations encode/decode through
+/// util/codec.hpp.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/register_types.hpp"
+
+namespace pqra::iter {
+
+using core::Value;
+
+class AcoOperator {
+ public:
+  virtual ~AcoOperator() = default;
+
+  /// m, the number of vector components (== number of shared registers).
+  virtual std::size_t num_components() const = 0;
+
+  /// Component i of the initial vector (must lie in D(0)).
+  virtual Value initial(std::size_t i) const = 0;
+
+  /// F_i applied to the full vector \p x (x[j] is the used view of
+  /// component j).
+  virtual Value apply(std::size_t i, const std::vector<Value>& x) const = 0;
+
+  /// Equality of two encodings of component i (override for tolerance-based
+  /// comparison, e.g. floating-point solvers).
+  virtual bool component_equal(std::size_t /*i*/, const Value& a,
+                               const Value& b) const {
+    return a == b;
+  }
+
+  /// Component i of the precomputed fixed point of F.
+  virtual const Value& fixed_point(std::size_t i) const = 0;
+
+  /// True when \p v has reached the fixed point of component i.
+  virtual bool is_fixed(std::size_t i, const Value& v) const {
+    return component_equal(i, v, fixed_point(i));
+  }
+
+  /// Per-process termination test given the process's freshly computed value
+  /// of component i and the full view it was computed from.  The default is
+  /// the paper's §7 rule (compare against the precomputed fixed point);
+  /// operators whose goal is a relation between components — approximate
+  /// agreement's "all values within epsilon" — override this instead.
+  virtual bool locally_converged(std::size_t i, const Value& own,
+                                 const std::vector<Value>& view) const {
+    (void)view;
+    return is_fixed(i, own);
+  }
+
+  /// M: the worst-case number of pseudocycles to convergence, when known
+  /// (e.g. ceil(log2 d) for APSP on a graph of diameter d).
+  virtual std::optional<std::size_t> max_pseudocycles() const {
+    return std::nullopt;
+  }
+
+  /// The contraction boxes D(0) ⊇ D(1) ⊇ ... of the ACO definition
+  /// ([C1]-[C3] in §5): returns true when \p v lies in D(K)_i, the i-th
+  /// factor of the K-th box.  Operators that can compute their boxes
+  /// override this, which turns the Theorem 2 proof invariant — after
+  /// pseudocycle K the computed vector lies in D(K) — into a checkable
+  /// runtime assertion (see run_update_sequence's check_boxes option).
+  /// The default "everything is in every box" keeps the check vacuous for
+  /// operators without a box oracle.
+  virtual bool box_contains(std::size_t K, std::size_t i,
+                            const Value& v) const {
+    (void)K;
+    (void)i;
+    (void)v;
+    return true;
+  }
+
+  /// True when box_contains is a real oracle (not the vacuous default).
+  virtual bool has_box_oracle() const { return false; }
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace pqra::iter

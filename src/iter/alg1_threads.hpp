@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file alg1_threads.hpp
+/// Alg. 1 over the real-threads runtime: p client threads iterate against n
+/// replica server threads through blocking quorum registers.  Demonstrates
+/// that the protocol logic is runtime-agnostic; scheduling nondeterminism
+/// comes from the OS instead of a delay model, so results are not
+/// reproducible run-to-run (tests assert convergence, not round counts).
+
+#include <optional>
+
+#include "iter/aco.hpp"
+#include "net/transport.hpp"
+#include "quorum/quorum_system.hpp"
+
+namespace pqra::iter {
+
+struct Alg1ThreadsOptions {
+  const quorum::QuorumSystem* quorums = nullptr;  ///< required, non-owning
+  std::optional<std::size_t> num_processes;       ///< default: m
+  bool monotone = true;
+  std::uint64_t seed = 1;
+  std::size_t round_cap = 100000;
+};
+
+struct Alg1ThreadsResult {
+  bool converged = false;
+  std::size_t rounds = 0;
+  std::size_t iterations = 0;
+  net::MessageStats messages;
+  std::uint64_t monotone_cache_hits = 0;
+};
+
+/// Runs to convergence (or the round cap) and tears the runtime down.
+Alg1ThreadsResult run_alg1_threads(const AcoOperator& op,
+                                   const Alg1ThreadsOptions& options);
+
+}  // namespace pqra::iter

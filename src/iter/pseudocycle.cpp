@@ -1,0 +1,64 @@
+#include "iter/pseudocycle.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace pqra::iter {
+
+PseudocycleTracker::PseudocycleTracker(std::size_t num_processes,
+                                       std::size_t num_components)
+    : num_components_(num_components),
+      target_ts_(num_components, 0),
+      first_write_(num_components, 0),
+      good_(num_processes, false),
+      good_remaining_(num_processes) {
+  PQRA_REQUIRE(num_processes >= 1 && num_components >= 1,
+               "degenerate configuration");
+}
+
+void PseudocycleTracker::on_write(std::size_t j, core::Timestamp ts) {
+  PQRA_REQUIRE(j < num_components_, "component index out of range");
+  PQRA_REQUIRE(ts > 0, "writes carry positive timestamps");
+  if (first_write_[j] == 0) first_write_[j] = ts;
+}
+
+bool PseudocycleTracker::on_iteration(
+    std::size_t proc, const std::vector<core::Timestamp>& read_ts) {
+  PQRA_REQUIRE(proc < good_.size(), "process index out of range");
+  PQRA_REQUIRE(read_ts.size() == num_components_,
+               "iteration must report one read per register");
+  if (!good_[proc]) {
+    bool good = true;
+    for (std::size_t j = 0; j < num_components_; ++j) {
+      if (read_ts[j] < target_ts_[j]) {
+        good = false;
+        break;
+      }
+    }
+    if (good) {
+      good_[proc] = true;
+      --good_remaining_;
+    }
+  }
+  if (good_remaining_ == 0) {
+    close_pseudocycle();
+    return true;
+  }
+  return false;
+}
+
+void PseudocycleTracker::close_pseudocycle() {
+  ++completed_;
+  for (std::size_t j = 0; j < num_components_; ++j) {
+    // A register not written during this pseudocycle keeps its old target
+    // (cannot happen in Alg. 1, where owners write every iteration, but the
+    // tracker stays safe for other drivers).
+    if (first_write_[j] != 0) target_ts_[j] = first_write_[j];
+    first_write_[j] = 0;
+  }
+  std::fill(good_.begin(), good_.end(), false);
+  good_remaining_ = good_.size();
+}
+
+}  // namespace pqra::iter

@@ -1,0 +1,30 @@
+#include "iter/rounds.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace pqra::iter {
+
+RoundTracker::RoundTracker(std::size_t num_processes)
+    : done_(num_processes, false), remaining_(num_processes) {
+  PQRA_REQUIRE(num_processes >= 1, "need at least one process");
+}
+
+bool RoundTracker::iteration_completed(std::size_t proc) {
+  PQRA_REQUIRE(proc < done_.size(), "process index out of range");
+  ++iterations_;
+  if (!done_[proc]) {
+    done_[proc] = true;
+    --remaining_;
+  }
+  if (remaining_ == 0) {
+    ++rounds_;
+    std::fill(done_.begin(), done_.end(), false);
+    remaining_ = done_.size();
+    return true;
+  }
+  return false;
+}
+
+}  // namespace pqra::iter

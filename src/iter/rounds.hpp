@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file rounds.hpp
+/// Round accounting per §6.3/§7: a round is a minimal-length contiguous
+/// stretch of the execution in which every process completes at least one
+/// full loop iteration (read all, apply F, write own).  The tracker closes a
+/// round greedily as soon as the last missing process reports an iteration.
+
+#include <cstddef>
+#include <vector>
+
+namespace pqra::iter {
+
+class RoundTracker {
+ public:
+  explicit RoundTracker(std::size_t num_processes);
+
+  /// Records a completed iteration by \p proc.  Returns true when this
+  /// iteration closes the current round.
+  bool iteration_completed(std::size_t proc);
+
+  std::size_t completed_rounds() const { return rounds_; }
+  std::size_t iterations_total() const { return iterations_; }
+
+  /// True when the current (unfinished) round already contains iterations.
+  bool in_partial_round() const { return remaining_ < done_.size(); }
+
+  /// Rounds including the in-progress one — the §7 "rounds until
+  /// convergence" measure when sampled at the converging iteration.
+  std::size_t rounds_including_partial() const {
+    return rounds_ + (in_partial_round() ? 1 : 0);
+  }
+
+ private:
+  std::vector<bool> done_;
+  std::size_t remaining_;
+  std::size_t rounds_ = 0;
+  std::size_t iterations_ = 0;
+};
+
+}  // namespace pqra::iter

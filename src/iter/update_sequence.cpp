@@ -1,0 +1,192 @@
+#include "iter/update_sequence.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace pqra::iter {
+
+namespace {
+
+class SynchronousSchedule final : public ScheduleGenerator {
+ public:
+  UpdateStep next(std::size_t k, std::size_t m) override {
+    UpdateStep step;
+    step.change.resize(m);
+    for (std::size_t j = 0; j < m; ++j) step.change[j] = j;
+    step.view.assign(m, k - 1);
+    return step;
+  }
+
+  std::string name() const override { return "synchronous"; }
+};
+
+class RoundRobinSchedule final : public ScheduleGenerator {
+ public:
+  UpdateStep next(std::size_t k, std::size_t m) override {
+    UpdateStep step;
+    step.change.push_back((k - 1) % m);
+    step.view.assign(m, k - 1);
+    return step;
+  }
+
+  std::string name() const override { return "round-robin"; }
+};
+
+class BoundedStaleSchedule final : public ScheduleGenerator {
+ public:
+  BoundedStaleSchedule(std::size_t staleness, const util::Rng& rng)
+      : staleness_(staleness), rng_(rng.fork(0x7363686564ULL)) {
+    PQRA_REQUIRE(staleness >= 1, "staleness bound must be at least 1");
+  }
+
+  UpdateStep next(std::size_t k, std::size_t m) override {
+    UpdateStep step;
+    for (std::size_t j = 0; j < m; ++j) {
+      if (rng_.bernoulli(0.5)) step.change.push_back(j);
+    }
+    if (step.change.empty()) {
+      step.change.push_back(static_cast<std::size_t>(rng_.below(m)));
+    }
+    step.view.resize(m);
+    for (std::size_t j = 0; j < m; ++j) {
+      std::size_t oldest = k > staleness_ ? k - staleness_ : 0;
+      step.view[j] =
+          oldest + static_cast<std::size_t>(rng_.below(k - oldest));
+    }
+    return step;
+  }
+
+  std::string name() const override { return "bounded-stale"; }
+
+ private:
+  std::size_t staleness_;
+  util::Rng rng_;
+};
+
+class OldestViewSchedule final : public ScheduleGenerator {
+ public:
+  explicit OldestViewSchedule(std::size_t staleness) : staleness_(staleness) {
+    PQRA_REQUIRE(staleness >= 1, "staleness bound must be at least 1");
+  }
+
+  UpdateStep next(std::size_t k, std::size_t m) override {
+    UpdateStep step;
+    step.change.resize(m);
+    for (std::size_t j = 0; j < m; ++j) step.change[j] = j;
+    step.view.assign(m, k > staleness_ ? k - staleness_ : 0);
+    return step;
+  }
+
+  std::string name() const override { return "oldest-view"; }
+
+ private:
+  std::size_t staleness_;
+};
+
+}  // namespace
+
+std::unique_ptr<ScheduleGenerator> make_synchronous_schedule() {
+  return std::make_unique<SynchronousSchedule>();
+}
+
+std::unique_ptr<ScheduleGenerator> make_round_robin_schedule() {
+  return std::make_unique<RoundRobinSchedule>();
+}
+
+std::unique_ptr<ScheduleGenerator> make_bounded_stale_schedule(
+    std::size_t staleness, const util::Rng& rng) {
+  return std::make_unique<BoundedStaleSchedule>(staleness, rng);
+}
+
+std::unique_ptr<ScheduleGenerator> make_oldest_view_schedule(
+    std::size_t staleness) {
+  return std::make_unique<OldestViewSchedule>(staleness);
+}
+
+SequentialResult run_update_sequence(const AcoOperator& op,
+                                     ScheduleGenerator& schedule,
+                                     std::size_t max_updates,
+                                     bool check_boxes) {
+  const std::size_t m = op.num_components();
+  PQRA_REQUIRE(m >= 1, "operator must have at least one component");
+
+  // history[t][j]: value of component j after update t (t = 0: initial).
+  // tag[t][j]: pseudocycle in which that version was produced (initial
+  // versions carry tag 0; pseudocycle numbering starts at 1 so that the
+  // [B2] constraint "previous pseudocycle or later" is simply tag >= pc-1).
+  std::vector<std::vector<Value>> history;
+  std::vector<std::vector<std::size_t>> tag;
+  history.emplace_back();
+  history[0].reserve(m);
+  for (std::size_t j = 0; j < m; ++j) history[0].push_back(op.initial(j));
+  tag.emplace_back(m, 0);
+
+  SequentialResult result;
+
+  std::size_t pc = 1;                       // current pseudocycle number
+  std::vector<bool> good_update(m, false);  // per component, within this pc
+  std::size_t good_remaining = m;
+
+  std::vector<Value> views(m);
+  for (std::size_t k = 1; k <= max_updates; ++k) {
+    UpdateStep step = schedule.next(k, m);
+    PQRA_CHECK(step.view.size() == m, "schedule must supply one view per component");
+    PQRA_CHECK(!step.change.empty(), "schedule must change something");
+
+    // [A1] and view resolution.
+    bool b2_ok = true;
+    for (std::size_t j = 0; j < m; ++j) {
+      PQRA_CHECK(step.view[j] < k, "[A1] violated: view from the future");
+      views[j] = history[step.view[j]][j];
+      if (tag[step.view[j]][j] + 1 < pc) b2_ok = false;
+    }
+    if (!b2_ok) result.all_updates_b2 = false;
+
+    history.push_back(history[k - 1]);
+    tag.push_back(tag[k - 1]);
+    for (std::size_t j : step.change) {
+      PQRA_CHECK(j < m, "schedule changed a non-existent component");
+      history[k][j] = op.apply(j, views);
+      tag[k][j] = pc;
+      if (b2_ok && !good_update[j]) {
+        good_update[j] = true;
+        --good_remaining;
+      }
+    }
+
+    if (good_remaining == 0) {
+      ++result.pseudocycles;
+      if (check_boxes && result.all_updates_b2 && op.has_box_oracle()) {
+        for (std::size_t j = 0; j < m; ++j) {
+          if (!op.box_contains(result.pseudocycles, j, history[k][j])) {
+            ++result.box_violations;
+          }
+        }
+      }
+      ++pc;
+      std::fill(good_update.begin(), good_update.end(), false);
+      good_remaining = m;
+    }
+
+    bool all_fixed = true;
+    for (std::size_t j = 0; j < m; ++j) {
+      if (!op.locally_converged(j, history[k][j], history[k])) {
+        all_fixed = false;
+        break;
+      }
+    }
+    result.updates = k;
+    if (all_fixed) {
+      result.converged = true;
+      result.final_x = history[k];
+      return result;
+    }
+  }
+
+  result.final_x = history.back();
+  return result;
+}
+
+}  // namespace pqra::iter

@@ -1,0 +1,87 @@
+#pragma once
+
+/// \file update_sequence.hpp
+/// The sequential update-sequence machinery of Üresin & Dubois (§5).
+///
+/// This is the *theory* half of the framework: explicit change/view
+/// schedules, validation of conditions [A1]-[A3] on finite prefixes, online
+/// pseudocycle extraction per [B1]/[B2], and a runner used to exercise
+/// Theorem 2 directly (no registers, no network).  The distributed execution
+/// over random registers lives in alg1_des.hpp / alg1_threads.hpp.
+
+#include <memory>
+
+#include "iter/aco.hpp"
+#include "util/rng.hpp"
+
+namespace pqra::iter {
+
+/// Update k (k >= 1): which components are recomputed and, for every
+/// component j, the index view[j] in [0, k-1] of the version of x_j fed to F
+/// (version t = the value of x_j after update t; version 0 = initial).
+struct UpdateStep {
+  std::vector<std::size_t> change;
+  std::vector<std::size_t> view;
+};
+
+/// Produces the schedule one update at a time.
+class ScheduleGenerator {
+ public:
+  virtual ~ScheduleGenerator() = default;
+
+  /// The k-th update (k >= 1) for an m-component vector.  Must satisfy [A1]
+  /// (view[j] < k); the runner validates this.
+  virtual UpdateStep next(std::size_t k, std::size_t m) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// change(k) = all components, view_j(k) = k-1: the classic Jacobi schedule.
+/// Every update is a pseudocycle.
+std::unique_ptr<ScheduleGenerator> make_synchronous_schedule();
+
+/// change(k) = {(k-1) mod m}, view_j(k) = k-1: Gauss-Seidel-like sweep; one
+/// pseudocycle per m consecutive updates.
+std::unique_ptr<ScheduleGenerator> make_round_robin_schedule();
+
+/// Random schedules with bounded asynchrony: each update changes a random
+/// non-empty subset and draws each view uniformly from the last
+/// \p staleness versions.  Satisfies [A1]-[A3] with probability 1.
+std::unique_ptr<ScheduleGenerator> make_bounded_stale_schedule(
+    std::size_t staleness, const util::Rng& rng);
+
+/// Adversarially stale variant used in tests: always reads the *oldest*
+/// version allowed by the staleness bound.
+std::unique_ptr<ScheduleGenerator> make_oldest_view_schedule(
+    std::size_t staleness);
+
+struct SequentialResult {
+  bool converged = false;
+  std::size_t updates = 0;
+  /// Pseudocycles completed, counted by the online [B1]/[B2] tracker: a
+  /// pseudocycle closes once every component has been recomputed by an
+  /// update all of whose views were produced in the previous pseudocycle or
+  /// later.
+  std::size_t pseudocycles = 0;
+  /// False when some update used a view older than the previous pseudocycle
+  /// (such updates do not count towards closing one; see DESIGN.md).
+  bool all_updates_b2 = true;
+  /// When box checking is enabled: number of components found outside D(K)
+  /// at the close of pseudocycle K.  Theorem 2's proof invariant says this
+  /// stays 0 whenever every update satisfied [B2].
+  std::size_t box_violations = 0;
+  std::vector<Value> final_x;
+};
+
+/// Iterates \p op under \p schedule until the fixed point is reached or
+/// \p max_updates updates have been applied.  Throws on an [A1] violation.
+/// With \p check_boxes set and an operator providing a box oracle, verifies
+/// the Theorem 2 invariant "after pseudocycle K the vector lies in D(K)" at
+/// every pseudocycle boundary (skipped once a non-[B2] update occurs, since
+/// the invariant is only promised for valid update sequences).
+SequentialResult run_update_sequence(const AcoOperator& op,
+                                     ScheduleGenerator& schedule,
+                                     std::size_t max_updates,
+                                     bool check_boxes = false);
+
+}  // namespace pqra::iter

@@ -1,0 +1,77 @@
+#include "net/fault_plan.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace pqra::net {
+
+FaultPlan& FaultPlan::crash_at(sim::Time at, NodeId node) {
+  PQRA_REQUIRE(at >= 0.0, "events cannot be scheduled before time 0");
+  events_.push_back(Event{at, node, true});
+  return *this;
+}
+
+FaultPlan& FaultPlan::recover_at(sim::Time at, NodeId node) {
+  PQRA_REQUIRE(at >= 0.0, "events cannot be scheduled before time 0");
+  events_.push_back(Event{at, node, false});
+  return *this;
+}
+
+FaultPlan& FaultPlan::outage(NodeId node, sim::Time from, sim::Time duration) {
+  PQRA_REQUIRE(duration > 0.0, "outage must have positive duration");
+  crash_at(from, node);
+  recover_at(from + duration, node);
+  return *this;
+}
+
+FaultPlan FaultPlan::random_churn(std::size_t num_servers, sim::Time horizon,
+                                  sim::Time mean_uptime,
+                                  sim::Time mean_downtime, util::Rng& rng) {
+  PQRA_REQUIRE(horizon > 0.0, "horizon must be positive");
+  FaultPlan plan;
+  for (std::size_t s = 0; s < num_servers; ++s) {
+    sim::Time t = rng.exponential(mean_uptime);
+    while (t < horizon) {
+      sim::Time down = rng.exponential(mean_downtime);
+      plan.outage(static_cast<NodeId>(s), t, down);
+      t += down + rng.exponential(mean_uptime);
+    }
+  }
+  return plan;
+}
+
+void FaultPlan::install(sim::Simulator& simulator,
+                        SimTransport& transport) const {
+  for (const Event& ev : events_) {
+    simulator.schedule_at(ev.at, [&transport, ev] {
+      if (ev.crash) {
+        transport.crash(ev.node);
+      } else {
+        transport.recover(ev.node);
+      }
+    });
+  }
+}
+
+std::size_t FaultPlan::max_concurrent_down(std::size_t num_servers) const {
+  std::vector<Event> sorted = events_;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Event& a, const Event& b) { return a.at < b.at; });
+  std::vector<bool> down(num_servers, false);
+  std::size_t current = 0, worst = 0;
+  for (const Event& ev : sorted) {
+    if (ev.node >= num_servers) continue;
+    if (ev.crash && !down[ev.node]) {
+      down[ev.node] = true;
+      ++current;
+    } else if (!ev.crash && down[ev.node]) {
+      down[ev.node] = false;
+      --current;
+    }
+    worst = std::max(worst, current);
+  }
+  return worst;
+}
+
+}  // namespace pqra::net

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file fault_plan.hpp
+/// Deterministic crash/recovery schedules for the simulated network.
+///
+/// A FaultPlan is a list of timed crash and recover events installed onto a
+/// SimTransport before a run.  Combined with the register client's retry
+/// timeout, this drives the dynamic-availability experiments: probabilistic
+/// quorums keep making progress through churn that stalls strict systems.
+
+#include <vector>
+
+#include "net/sim_transport.hpp"
+
+namespace pqra::net {
+
+class FaultPlan {
+ public:
+  struct Event {
+    sim::Time at = 0.0;
+    NodeId node = 0;
+    bool crash = true;  ///< false = recover
+  };
+
+  FaultPlan& crash_at(sim::Time at, NodeId node);
+  FaultPlan& recover_at(sim::Time at, NodeId node);
+
+  /// Crash + recover pair: node is down during [from, from + duration).
+  FaultPlan& outage(NodeId node, sim::Time from, sim::Time duration);
+
+  /// Random churn over servers [0, n): each server suffers independent
+  /// outages with exponential up-time (mean \p mean_uptime) and down-time
+  /// (mean \p mean_downtime) until \p horizon.
+  static FaultPlan random_churn(std::size_t num_servers, sim::Time horizon,
+                                sim::Time mean_uptime, sim::Time mean_downtime,
+                                util::Rng& rng);
+
+  /// Schedules every event on the simulator against the transport.
+  void install(sim::Simulator& simulator, SimTransport& transport) const;
+
+  const std::vector<Event>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+
+  /// Largest number of servers in [0, num_servers) simultaneously down.
+  std::size_t max_concurrent_down(std::size_t num_servers) const;
+
+ private:
+  std::vector<Event> events_;
+};
+
+}  // namespace pqra::net

@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file message.hpp
+/// The wire vocabulary of the quorum register protocol.
+///
+/// The protocol of §4 needs exactly four message types: a read queries a
+/// quorum (ReadReq) and each queried replica answers with its timestamped
+/// value (ReadAck); a write pushes a new timestamped value to a quorum
+/// (WriteReq) and each replica acknowledges (WriteAck).
+
+#include <cstdint>
+#include <string>
+
+#include "util/codec.hpp"
+
+namespace pqra::net {
+
+/// Identifies a node (replica server or client process) on a transport.
+using NodeId = std::uint32_t;
+
+/// Identifies one shared register (one vector component of the iteration).
+using RegisterId = std::uint32_t;
+
+/// Register id used by snapshot reads: a ReadReq for kAllRegisters asks the
+/// replica for its whole store (one ReadAck whose value is the encoded
+/// store), letting a client read every register through a single quorum
+/// access.  Ordinary registers must not use this id.
+inline constexpr RegisterId kAllRegisters = 0xFFFFFFFFu;
+
+/// Client-local operation identifier; unique per (client, operation).
+using OpId = std::uint64_t;
+
+/// Write timestamps.  Each register has a single writer which numbers its
+/// writes 1, 2, 3, ...; timestamp 0 denotes the preloaded initial value.
+using Timestamp = std::uint64_t;
+
+/// Register payloads are opaque byte blobs (see util/codec.hpp).
+using Value = util::Bytes;
+
+enum class MsgType : std::uint8_t {
+  kReadReq = 0,
+  kReadAck = 1,
+  kWriteReq = 2,
+  kWriteAck = 3,
+  /// Server-to-server anti-entropy: value carries an encoded register store
+  /// (see Replica::encode_store); no reply.
+  kGossip = 4,
+};
+
+/// Number of distinct MsgType values (for counter arrays).
+inline constexpr std::size_t kNumMsgTypes = 5;
+
+const char* msg_type_name(MsgType t);
+
+/// One protocol message.  A single struct (rather than a variant) keeps the
+/// hot path allocation-free except for the value payload.
+struct Message {
+  MsgType type = MsgType::kReadReq;
+  RegisterId reg = 0;
+  OpId op = 0;
+  Timestamp ts = 0;
+  Value value;
+
+  static Message read_req(RegisterId reg, OpId op);
+  static Message read_ack(RegisterId reg, OpId op, Timestamp ts, Value value);
+  static Message write_req(RegisterId reg, OpId op, Timestamp ts, Value value);
+  static Message write_ack(RegisterId reg, OpId op, Timestamp ts);
+  static Message gossip(Value encoded_store);
+
+  /// Debug rendering, e.g. "ReadAck{reg=3 op=17 ts=5 |v|=272}".
+  std::string describe() const;
+};
+
+}  // namespace pqra::net

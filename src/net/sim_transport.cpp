@@ -1,0 +1,73 @@
+#include "net/sim_transport.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace pqra::net {
+
+SimTransport::SimTransport(sim::Simulator& simulator,
+                           sim::DelayModel& delay_model, const util::Rng& rng,
+                           NodeId max_nodes)
+    : simulator_(simulator),
+      delay_model_(delay_model),
+      rng_(rng.fork(0x7261705f74726e73ULL)),
+      receivers_(max_nodes, nullptr),
+      crashed_(max_nodes, false) {
+  stats_.received_by_node.assign(max_nodes, 0);
+}
+
+void SimTransport::register_receiver(NodeId node, Receiver* receiver) {
+  PQRA_REQUIRE(node < receivers_.size(), "node id out of range");
+  PQRA_REQUIRE(receiver != nullptr, "receiver must not be null");
+  PQRA_REQUIRE(receivers_[node] == nullptr, "node already registered");
+  receivers_[node] = receiver;
+}
+
+void SimTransport::send(NodeId from, NodeId to, Message msg) {
+  PQRA_REQUIRE(from < receivers_.size() && to < receivers_.size(),
+               "node id out of range");
+  PQRA_REQUIRE(receivers_[to] != nullptr, "destination not registered");
+  ++stats_.total;
+  ++stats_.by_type[static_cast<std::size_t>(msg.type)];
+  if (crashed_[from] || crashed_[to] ||
+      (drop_probability_ > 0.0 && rng_.bernoulli(drop_probability_))) {
+    ++stats_.dropped;
+    return;
+  }
+  sim::Time delay = delay_model_.sample(rng_);
+  simulator_.schedule_in(
+      delay, [this, from, to, m = std::move(msg)]() mutable {
+        // Re-check the destination: it may have crashed in flight.
+        if (crashed_[to]) {
+          ++stats_.dropped;
+          return;
+        }
+        ++stats_.received_by_node[to];
+        receivers_[to]->on_message(from, std::move(m));
+      });
+}
+
+MessageStats SimTransport::stats() const { return stats_; }
+
+void SimTransport::crash(NodeId node) {
+  PQRA_REQUIRE(node < crashed_.size(), "node id out of range");
+  crashed_[node] = true;
+}
+
+void SimTransport::recover(NodeId node) {
+  PQRA_REQUIRE(node < crashed_.size(), "node id out of range");
+  crashed_[node] = false;
+}
+
+bool SimTransport::is_crashed(NodeId node) const {
+  PQRA_REQUIRE(node < crashed_.size(), "node id out of range");
+  return crashed_[node];
+}
+
+void SimTransport::set_drop_probability(double p) {
+  PQRA_REQUIRE(p >= 0.0 && p < 1.0, "drop probability must be in [0, 1)");
+  drop_probability_ = p;
+}
+
+}  // namespace pqra::net

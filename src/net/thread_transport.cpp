@@ -1,0 +1,80 @@
+#include "net/thread_transport.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace pqra::net {
+
+ThreadTransport::ThreadTransport(NodeId max_nodes) {
+  mailboxes_.reserve(max_nodes);
+  for (NodeId i = 0; i < max_nodes; ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+  stats_.received_by_node.assign(max_nodes, 0);
+}
+
+void ThreadTransport::send(NodeId from, NodeId to, Message msg) {
+  PQRA_REQUIRE(from < mailboxes_.size() && to < mailboxes_.size(),
+               "node id out of range");
+  {
+    std::lock_guard lock(stats_mutex_);
+    if (closed_) {
+      ++stats_.dropped;
+      return;
+    }
+    ++stats_.total;
+    ++stats_.by_type[static_cast<std::size_t>(msg.type)];
+    ++stats_.received_by_node[to];
+  }
+  Mailbox& box = *mailboxes_[to];
+  {
+    std::lock_guard lock(box.mutex);
+    box.queue.push_back(Envelope{from, std::move(msg)});
+  }
+  box.cv.notify_one();
+}
+
+std::optional<Envelope> ThreadTransport::recv(NodeId node) {
+  PQRA_REQUIRE(node < mailboxes_.size(), "node id out of range");
+  Mailbox& box = *mailboxes_[node];
+  std::unique_lock lock(box.mutex);
+  box.cv.wait(lock, [this, &box] { return !box.queue.empty() || closed(); });
+  if (box.queue.empty()) return std::nullopt;
+  Envelope env = std::move(box.queue.front());
+  box.queue.pop_front();
+  return env;
+}
+
+std::optional<Envelope> ThreadTransport::try_recv(NodeId node) {
+  PQRA_REQUIRE(node < mailboxes_.size(), "node id out of range");
+  Mailbox& box = *mailboxes_[node];
+  std::lock_guard lock(box.mutex);
+  if (box.queue.empty()) return std::nullopt;
+  Envelope env = std::move(box.queue.front());
+  box.queue.pop_front();
+  return env;
+}
+
+void ThreadTransport::close() {
+  {
+    std::lock_guard lock(stats_mutex_);
+    closed_ = true;
+  }
+  for (auto& box : mailboxes_) {
+    std::lock_guard lock(box->mutex);
+    box->cv.notify_all();
+  }
+}
+
+bool ThreadTransport::closed() const {
+  std::lock_guard lock(stats_mutex_);
+  return closed_;
+}
+
+MessageStats ThreadTransport::stats() const {
+  std::lock_guard lock(stats_mutex_);
+  return stats_;
+}
+
+}  // namespace pqra::net

@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file thread_transport.hpp
+/// Mailbox transport for the real-threads runtime.
+///
+/// Each node owns a mutex+condvar mailbox; send() enqueues, recv() blocks.
+/// Unlike SimTransport there is no Receiver callback — threaded nodes pull
+/// from their mailbox, which matches how the blocking register client and
+/// threaded servers are written.  close() releases all blocked receivers so
+/// the runtime can shut down cleanly.
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "net/message.hpp"
+#include "net/transport.hpp"
+
+namespace pqra::net {
+
+/// A received message together with its sender.
+struct Envelope {
+  NodeId from = 0;
+  Message msg;
+};
+
+class ThreadTransport {
+ public:
+  explicit ThreadTransport(NodeId max_nodes);
+
+  /// Enqueues \p msg into \p to's mailbox.  Thread-safe.  Messages sent
+  /// after close() are dropped.
+  void send(NodeId from, NodeId to, Message msg);
+
+  /// Blocks until a message for \p node arrives or the transport is closed.
+  /// Returns nullopt on close with an empty mailbox.
+  std::optional<Envelope> recv(NodeId node);
+
+  /// Non-blocking variant; nullopt when the mailbox is empty.
+  std::optional<Envelope> try_recv(NodeId node);
+
+  /// Wakes all blocked receivers; subsequent recv() drains remaining
+  /// messages and then returns nullopt.
+  void close();
+
+  bool closed() const;
+
+  MessageStats stats() const;
+
+ private:
+  struct Mailbox {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<Envelope> queue;
+  };
+
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+
+  mutable std::mutex stats_mutex_;
+  MessageStats stats_;
+  bool closed_ = false;
+};
+
+}  // namespace pqra::net

@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file transport.hpp
+/// Transport abstraction shared by the simulated and threaded runtimes.
+///
+/// A Transport moves Messages between NodeIds and counts them; Receivers are
+/// registered per node.  The counters are the measurement instrument for the
+/// message-complexity experiments (§6.4), so they are part of the interface,
+/// not an implementation detail.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "net/message.hpp"
+
+namespace pqra::net {
+
+/// Receives messages addressed to one node.
+class Receiver {
+ public:
+  virtual ~Receiver() = default;
+  virtual void on_message(NodeId from, Message msg) = 0;
+};
+
+/// Snapshot of transport counters.
+struct MessageStats {
+  std::uint64_t total = 0;
+  std::uint64_t dropped = 0;  ///< messages lost to crashed nodes / drop prob.
+  std::array<std::uint64_t, kNumMsgTypes> by_type{};
+  std::vector<std::uint64_t> received_by_node;  ///< index = NodeId
+
+  /// Component-wise difference (this - earlier); used to attribute message
+  /// counts to a phase of an execution.
+  MessageStats minus(const MessageStats& earlier) const;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Delivers \p msg from \p from to \p to (asynchronously; implementations
+  /// define the delay semantics).  Both nodes must be registered.
+  virtual void send(NodeId from, NodeId to, Message msg) = 0;
+
+  /// Registers the receiver for \p node.  One receiver per node.
+  virtual void register_receiver(NodeId node, Receiver* receiver) = 0;
+
+  virtual MessageStats stats() const = 0;
+};
+
+}  // namespace pqra::net

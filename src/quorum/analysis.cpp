@@ -1,0 +1,168 @@
+#include "quorum/analysis.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "util/check.hpp"
+
+namespace pqra::quorum {
+
+namespace {
+
+bool disjoint(const std::vector<ServerId>& a, const std::vector<ServerId>& b) {
+  for (ServerId x : a) {
+    if (std::find(b.begin(), b.end(), x) != b.end()) return false;
+  }
+  return true;
+}
+
+bool all_alive(const std::vector<ServerId>& q,
+               const std::vector<bool>& crashed) {
+  for (ServerId s : q) {
+    if (s < crashed.size() && crashed[s]) return false;
+  }
+  return true;
+}
+
+/// Enumerates size-s subsets of {0..n-1}, calling visit(mask as bool vector);
+/// stops early when visit returns true.  Exponential — test/bench use only.
+bool for_each_subset(std::size_t n, std::size_t s,
+                     const std::function<bool(const std::vector<bool>&)>& visit) {
+  std::vector<std::size_t> idx(s);
+  for (std::size_t i = 0; i < s; ++i) idx[i] = i;
+  std::vector<bool> mask(n, false);
+  for (;;) {
+    std::fill(mask.begin(), mask.end(), false);
+    for (std::size_t i : idx) mask[i] = true;
+    if (visit(mask)) return true;
+    // Advance to the next combination.
+    std::size_t i = s;
+    while (i > 0) {
+      --i;
+      if (idx[i] != i + n - s) {
+        ++idx[i];
+        for (std::size_t j = i + 1; j < s; ++j) idx[j] = idx[j - 1] + 1;
+        break;
+      }
+      if (i == 0) return false;
+    }
+    if (s == 0) return false;
+  }
+}
+
+}  // namespace
+
+bool check_intersection(const QuorumSystem& qs, util::Rng& rng,
+                        std::size_t samples) {
+  if (qs.enumerable()) {
+    std::size_t nr = qs.num_quorums(AccessKind::kRead);
+    std::size_t nw = qs.num_quorums(AccessKind::kWrite);
+    std::vector<ServerId> r, w;
+    for (std::size_t i = 0; i < nr; ++i) {
+      qs.quorum(AccessKind::kRead, i, r);
+      for (std::size_t j = 0; j < nw; ++j) {
+        qs.quorum(AccessKind::kWrite, j, w);
+        if (disjoint(r, w)) return false;
+      }
+    }
+    return true;
+  }
+  std::vector<ServerId> r, w;
+  for (std::size_t t = 0; t < samples; ++t) {
+    qs.pick(AccessKind::kRead, rng, r);
+    qs.pick(AccessKind::kWrite, rng, w);
+    if (disjoint(r, w)) return false;
+  }
+  return true;
+}
+
+double empirical_nonoverlap(const QuorumSystem& qs, util::Rng& rng,
+                            std::size_t samples) {
+  PQRA_REQUIRE(samples > 0, "need at least one sample");
+  std::size_t misses = 0;
+  std::vector<ServerId> r, w;
+  for (std::size_t t = 0; t < samples; ++t) {
+    qs.pick(AccessKind::kRead, rng, r);
+    qs.pick(AccessKind::kWrite, rng, w);
+    if (disjoint(r, w)) ++misses;
+  }
+  return static_cast<double>(misses) / static_cast<double>(samples);
+}
+
+LoadEstimate empirical_load(const QuorumSystem& qs, AccessKind kind,
+                            util::Rng& rng, std::size_t samples) {
+  PQRA_REQUIRE(samples > 0, "need at least one sample");
+  std::vector<std::uint64_t> hits(qs.num_servers(), 0);
+  std::vector<ServerId> q;
+  for (std::size_t t = 0; t < samples; ++t) {
+    qs.pick(kind, rng, q);
+    for (ServerId s : q) ++hits[s];
+  }
+  LoadEstimate est;
+  est.per_server.reserve(hits.size());
+  double total = 0.0;
+  for (std::uint64_t h : hits) {
+    double f = static_cast<double>(h) / static_cast<double>(samples);
+    est.per_server.push_back(f);
+    est.busiest = std::max(est.busiest, f);
+    total += f;
+  }
+  est.average = total / static_cast<double>(hits.size());
+  return est;
+}
+
+double load_lower_bound(std::size_t n, std::size_t smallest_quorum) {
+  PQRA_REQUIRE(n >= 1 && smallest_quorum >= 1, "degenerate system");
+  double a = 1.0 / static_cast<double>(smallest_quorum);
+  double b = static_cast<double>(smallest_quorum) / static_cast<double>(n);
+  return std::max(a, b);
+}
+
+bool survives_crashes(const QuorumSystem& qs, AccessKind kind,
+                      const std::vector<bool>& crashed) {
+  if (qs.enumerable()) {
+    std::vector<ServerId> q;
+    for (std::size_t i = 0; i < qs.num_quorums(kind); ++i) {
+      qs.quorum(kind, i, q);
+      if (all_alive(q, crashed)) return true;
+    }
+    return false;
+  }
+  // The non-enumerable systems here (probabilistic, majority) accept *any*
+  // subset of the required size, so survival only depends on the live count.
+  std::size_t alive = 0;
+  for (std::size_t s = 0; s < qs.num_servers(); ++s) {
+    if (s >= crashed.size() || !crashed[s]) ++alive;
+  }
+  return alive >= qs.quorum_size(kind);
+}
+
+double survival_probability(const QuorumSystem& qs, AccessKind kind,
+                            double crash_prob, util::Rng& rng,
+                            std::size_t trials) {
+  PQRA_REQUIRE(crash_prob >= 0.0 && crash_prob <= 1.0,
+               "crash probability must be in [0, 1]");
+  PQRA_REQUIRE(trials > 0, "need at least one trial");
+  std::size_t survived = 0;
+  std::vector<bool> crashed(qs.num_servers());
+  for (std::size_t t = 0; t < trials; ++t) {
+    for (std::size_t s = 0; s < crashed.size(); ++s) {
+      crashed[s] = rng.bernoulli(crash_prob);
+    }
+    if (survives_crashes(qs, kind, crashed)) ++survived;
+  }
+  return static_cast<double>(survived) / static_cast<double>(trials);
+}
+
+std::size_t brute_force_min_kill(const QuorumSystem& qs, AccessKind kind) {
+  std::size_t n = qs.num_servers();
+  for (std::size_t s = 1; s <= n; ++s) {
+    bool found = for_each_subset(n, s, [&](const std::vector<bool>& mask) {
+      return !survives_crashes(qs, kind, mask);
+    });
+    if (found) return s;
+  }
+  return n + 1;  // unreachable for sane systems: killing everyone kills all
+}
+
+}  // namespace pqra::quorum

@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file analysis.hpp
+/// Measurement and verification tools for quorum systems: the load and
+/// availability notions reviewed in §4 (Naor–Wool, Peleg–Wool) plus
+/// empirical estimators used by the load_availability bench and by tests.
+
+#include <cstdint>
+#include <vector>
+
+#include "quorum/quorum_system.hpp"
+#include "util/rng.hpp"
+
+namespace pqra::quorum {
+
+/// Checks pairwise read-write intersection.  Enumerable systems are checked
+/// exhaustively; others are sampled \p samples times.  Returns true if no
+/// disjoint (read, write) pair was found.
+bool check_intersection(const QuorumSystem& qs, util::Rng& rng,
+                        std::size_t samples = 2000);
+
+/// Empirical per-access miss probability: fraction of sampled (read, write)
+/// quorum pairs that are disjoint.  For the probabilistic system this
+/// estimates C(n-k,k)/C(n,k).
+double empirical_nonoverlap(const QuorumSystem& qs, util::Rng& rng,
+                            std::size_t samples);
+
+/// Result of a load measurement.
+struct LoadEstimate {
+  double busiest = 0.0;   ///< access frequency of the busiest server
+  double average = 0.0;   ///< mean access frequency (= E[quorum size]/n)
+  std::vector<double> per_server;
+};
+
+/// Samples \p samples accesses of \p kind under the system's own strategy
+/// and reports per-server access frequencies.  The "busiest" field is the
+/// empirical load of that strategy.
+LoadEstimate empirical_load(const QuorumSystem& qs, AccessKind kind,
+                            util::Rng& rng, std::size_t samples);
+
+/// The Naor–Wool lower bound on the load of any n-server quorum system with
+/// smallest quorum size c: max(1/c, c/n).
+double load_lower_bound(std::size_t n, std::size_t smallest_quorum);
+
+/// True when a quorum of \p kind can still be formed with the given crashed
+/// servers.  Enumerable systems scan their family; the probabilistic system
+/// needs any k live servers; majority needs a live majority.
+bool survives_crashes(const QuorumSystem& qs, AccessKind kind,
+                      const std::vector<bool>& crashed);
+
+/// Monte-Carlo estimate of P[system survives] when each server crashes
+/// independently with probability \p crash_prob.
+double survival_probability(const QuorumSystem& qs, AccessKind kind,
+                            double crash_prob, util::Rng& rng,
+                            std::size_t trials);
+
+/// Brute-force minimum kill-set size (exact; exponential in n — tests only,
+/// n <= ~20 for non-enumerable systems, family scan otherwise).
+std::size_t brute_force_min_kill(const QuorumSystem& qs, AccessKind kind);
+
+}  // namespace pqra::quorum

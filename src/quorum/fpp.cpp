@@ -1,0 +1,73 @@
+#include "quorum/fpp.hpp"
+
+#include <array>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/math.hpp"
+
+namespace pqra::quorum {
+
+namespace {
+
+/// Homogeneous coordinates over GF(s), normalized so the first non-zero
+/// coordinate is 1.  Points and lines share this representation; point P
+/// lies on line L iff P . L == 0 (mod s).
+using Triple = std::array<std::uint32_t, 3>;
+
+std::vector<Triple> normalized_triples(std::uint32_t s) {
+  std::vector<Triple> out;
+  out.reserve(static_cast<std::size_t>(s) * s + s + 1);
+  for (std::uint32_t y = 0; y < s; ++y) {
+    for (std::uint32_t z = 0; z < s; ++z) out.push_back({1, y, z});
+  }
+  for (std::uint32_t z = 0; z < s; ++z) out.push_back({0, 1, z});
+  out.push_back({0, 0, 1});
+  return out;
+}
+
+bool incident(const Triple& p, const Triple& l, std::uint32_t s) {
+  std::uint64_t dot = 0;
+  for (int i = 0; i < 3; ++i) {
+    dot += static_cast<std::uint64_t>(p[i]) * l[i];
+  }
+  return dot % s == 0;
+}
+
+}  // namespace
+
+FppQuorums::FppQuorums(std::size_t order) : order_(order) {
+  PQRA_REQUIRE(util::is_prime(order), "FPP construction requires prime order");
+  auto s = static_cast<std::uint32_t>(order);
+  std::vector<Triple> points = normalized_triples(s);
+  std::vector<Triple> line_coords = normalized_triples(s);
+  lines_.reserve(line_coords.size());
+  for (const Triple& l : line_coords) {
+    std::vector<ServerId> line;
+    line.reserve(order + 1);
+    for (std::size_t pi = 0; pi < points.size(); ++pi) {
+      if (incident(points[pi], l, s)) line.push_back(static_cast<ServerId>(pi));
+    }
+    PQRA_CHECK(line.size() == order + 1, "projective line has s+1 points");
+    lines_.push_back(std::move(line));
+  }
+}
+
+void FppQuorums::pick(AccessKind, util::Rng& rng,
+                      std::vector<ServerId>& out) const {
+  out = lines_[rng.below(lines_.size())];
+}
+
+void FppQuorums::quorum(AccessKind, std::size_t idx,
+                        std::vector<ServerId>& out) const {
+  PQRA_REQUIRE(idx < lines_.size(), "quorum index out of range");
+  out = lines_[idx];
+}
+
+std::string FppQuorums::name() const {
+  std::ostringstream os;
+  os << "fpp(order=" << order_ << ", n=" << lines_.size() << ")";
+  return os.str();
+}
+
+}  // namespace pqra::quorum

@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file fpp.hpp
+/// Finite-projective-plane quorum system (Maekawa's sqrt(n) construction,
+/// cited in §6.4 via [17]).  For prime order s, the projective plane PG(2,s)
+/// has n = s^2 + s + 1 points and equally many lines; each line has s + 1
+/// points and any two lines meet in exactly one point, so the lines form a
+/// strict quorum system with quorum size ~ sqrt(n), optimal load ~ 1/sqrt(n)
+/// and availability s + 1 = Theta(sqrt n).
+
+#include <vector>
+
+#include "quorum/quorum_system.hpp"
+
+namespace pqra::quorum {
+
+class FppQuorums final : public QuorumSystem {
+ public:
+  /// \p order must be prime (prime powers would need GF(p^e) arithmetic,
+  /// which this construction intentionally avoids).
+  explicit FppQuorums(std::size_t order);
+
+  std::size_t num_servers() const override { return lines_.size(); }
+  std::size_t quorum_size(AccessKind) const override { return order_ + 1; }
+  void pick(AccessKind kind, util::Rng& rng,
+            std::vector<ServerId>& out) const override;
+  bool is_strict() const override { return true; }
+  bool enumerable() const override { return true; }
+  std::size_t num_quorums(AccessKind) const override { return lines_.size(); }
+  void quorum(AccessKind, std::size_t idx,
+              std::vector<ServerId>& out) const override;
+  std::size_t min_kill(AccessKind) const override {
+    // The smallest blocking set of PG(2, s) is a line (s + 1 points).
+    return order_ + 1;
+  }
+  std::string name() const override;
+
+  std::size_t order() const { return order_; }
+
+ private:
+  std::size_t order_;
+  std::vector<std::vector<ServerId>> lines_;
+};
+
+}  // namespace pqra::quorum

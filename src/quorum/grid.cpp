@@ -1,0 +1,54 @@
+#include "quorum/grid.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace pqra::quorum {
+
+GridQuorums::GridQuorums(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols) {
+  PQRA_REQUIRE(rows >= 1 && cols >= 1, "grid must be non-empty");
+}
+
+GridQuorums GridQuorums::square(std::size_t n) {
+  auto side = static_cast<std::size_t>(std::lround(std::sqrt(
+      static_cast<double>(n))));
+  PQRA_REQUIRE(side * side == n, "square grid needs a perfect-square n");
+  return GridQuorums(side, side);
+}
+
+void GridQuorums::build(std::size_t row, std::size_t col,
+                        std::vector<ServerId>& out) const {
+  out.clear();
+  out.reserve(rows_ + cols_ - 1);
+  for (std::size_t j = 0; j < cols_; ++j) {
+    out.push_back(static_cast<ServerId>(row * cols_ + j));
+  }
+  for (std::size_t i = 0; i < rows_; ++i) {
+    if (i == row) continue;  // (row, col) is already in the row part
+    out.push_back(static_cast<ServerId>(i * cols_ + col));
+  }
+}
+
+void GridQuorums::pick(AccessKind, util::Rng& rng,
+                       std::vector<ServerId>& out) const {
+  std::size_t row = rng.below(rows_);
+  std::size_t col = rng.below(cols_);
+  build(row, col, out);
+}
+
+void GridQuorums::quorum(AccessKind, std::size_t idx,
+                         std::vector<ServerId>& out) const {
+  PQRA_REQUIRE(idx < rows_ * cols_, "quorum index out of range");
+  build(idx / cols_, idx % cols_, out);
+}
+
+std::string GridQuorums::name() const {
+  std::ostringstream os;
+  os << "grid(" << rows_ << "x" << cols_ << ")";
+  return os.str();
+}
+
+}  // namespace pqra::quorum

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file grid.hpp
+/// The grid quorum system (Cheung–Ammar–Ahamad).  Servers are arranged in an
+/// r x c grid; a quorum is one full row plus one full column (size r+c-1).
+/// Any two quorums intersect (row of one crosses column of the other), so the
+/// system is strict.  With r = c = sqrt(n) the quorum size is Theta(sqrt n)
+/// and the load Theta(1/sqrt n) — the optimal-load end of the trade-off —
+/// but availability is only min(r, c) = Theta(sqrt n).
+
+#include "quorum/quorum_system.hpp"
+
+namespace pqra::quorum {
+
+class GridQuorums final : public QuorumSystem {
+ public:
+  /// n = rows * cols servers; server (i, j) has id i*cols + j.
+  GridQuorums(std::size_t rows, std::size_t cols);
+
+  /// Convenience: nearest-square grid over n servers (requires square n).
+  static GridQuorums square(std::size_t n);
+
+  std::size_t num_servers() const override { return rows_ * cols_; }
+  std::size_t quorum_size(AccessKind) const override {
+    return rows_ + cols_ - 1;
+  }
+  void pick(AccessKind kind, util::Rng& rng,
+            std::vector<ServerId>& out) const override;
+  bool is_strict() const override { return true; }
+  bool enumerable() const override { return true; }
+  std::size_t num_quorums(AccessKind) const override { return rows_ * cols_; }
+  void quorum(AccessKind, std::size_t idx,
+              std::vector<ServerId>& out) const override;
+  std::size_t min_kill(AccessKind) const override {
+    // Killing a full column (rows servers) hits every quorum, since each
+    // quorum contains a full row, and vice versa; any smaller kill set
+    // leaves some row and some column untouched, whose quorum survives.
+    return rows_ < cols_ ? rows_ : cols_;
+  }
+  std::string name() const override;
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+ private:
+  void build(std::size_t row, std::size_t col,
+             std::vector<ServerId>& out) const;
+
+  std::size_t rows_;
+  std::size_t cols_;
+};
+
+}  // namespace pqra::quorum

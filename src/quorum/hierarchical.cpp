@@ -1,0 +1,93 @@
+#include "quorum/hierarchical.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace pqra::quorum {
+
+HierarchicalQuorums::HierarchicalQuorums(std::size_t levels)
+    : levels_(levels) {
+  PQRA_REQUIRE(levels <= 10, "3^levels servers would be excessive");
+  num_servers_ = 1;
+  quorum_size_ = 1;
+  for (std::size_t l = 0; l < levels; ++l) {
+    num_servers_ *= 3;
+    quorum_size_ *= 2;
+  }
+  // Q(h) = 3 * Q(h-1)^2, saturating well above the enumerability cutoff.
+  num_quorums_ = 1;
+  for (std::size_t l = 0; l < levels; ++l) {
+    if (num_quorums_ > 1000000) break;  // saturate; enumerable() is false
+    num_quorums_ = 3 * num_quorums_ * num_quorums_;
+  }
+}
+
+std::size_t HierarchicalQuorums::count(std::size_t level) const {
+  std::size_t q = 1;
+  for (std::size_t l = 0; l < level; ++l) q = 3 * q * q;
+  return q;
+}
+
+void HierarchicalQuorums::pick_rec(std::size_t level, ServerId base,
+                                   util::Rng& rng,
+                                   std::vector<ServerId>& out) const {
+  if (level == 0) {
+    out.push_back(base);
+    return;
+  }
+  std::size_t subtree = 1;
+  for (std::size_t l = 1; l < level; ++l) subtree *= 3;
+  auto excluded = static_cast<std::size_t>(rng.below(3));
+  for (std::size_t child = 0; child < 3; ++child) {
+    if (child == excluded) continue;
+    pick_rec(level - 1, base + static_cast<ServerId>(child * subtree), rng,
+             out);
+  }
+}
+
+void HierarchicalQuorums::pick(AccessKind, util::Rng& rng,
+                               std::vector<ServerId>& out) const {
+  out.clear();
+  out.reserve(quorum_size_);
+  pick_rec(levels_, 0, rng, out);
+}
+
+void HierarchicalQuorums::quorum_rec(std::size_t level, ServerId base,
+                                     std::size_t idx,
+                                     std::vector<ServerId>& out) const {
+  if (level == 0) {
+    out.push_back(base);
+    return;
+  }
+  std::size_t sub_count = count(level - 1);
+  std::size_t subtree = 1;
+  for (std::size_t l = 1; l < level; ++l) subtree *= 3;
+  // idx = excluded * Q^2 + a * Q + b.
+  std::size_t excluded = idx / (sub_count * sub_count);
+  std::size_t rest = idx % (sub_count * sub_count);
+  std::size_t sub_idx[2] = {rest / sub_count, rest % sub_count};
+  std::size_t slot = 0;
+  for (std::size_t child = 0; child < 3; ++child) {
+    if (child == excluded) continue;
+    quorum_rec(level - 1, base + static_cast<ServerId>(child * subtree),
+               sub_idx[slot++], out);
+  }
+}
+
+void HierarchicalQuorums::quorum(AccessKind, std::size_t idx,
+                                 std::vector<ServerId>& out) const {
+  PQRA_REQUIRE(enumerable(), "quorum family too large to enumerate");
+  PQRA_REQUIRE(idx < num_quorums_, "quorum index out of range");
+  out.clear();
+  out.reserve(quorum_size_);
+  quorum_rec(levels_, 0, idx, out);
+}
+
+std::string HierarchicalQuorums::name() const {
+  std::ostringstream os;
+  os << "hierarchical(h=" << levels_ << ", n=" << num_servers_ << ")";
+  return os.str();
+}
+
+}  // namespace pqra::quorum

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file hierarchical.hpp
+/// Hierarchical quorum consensus (Kumar).  The n = 3^h servers are the
+/// leaves of a complete ternary tree; a quorum takes 2 of the 3 subtrees at
+/// every internal node, recursively.  Quorum size 2^h = n^{log3 2} ~ n^0.63
+/// sits between grid (~sqrt n) and majority (~n/2), and so does its
+/// availability (2^h crashes needed) — a third point on the §4 trade-off
+/// curve that the strict world cannot escape.
+
+#include "quorum/quorum_system.hpp"
+
+namespace pqra::quorum {
+
+class HierarchicalQuorums final : public QuorumSystem {
+ public:
+  /// \p levels = h >= 0; n = 3^h servers (h = 0 is the singleton tree).
+  explicit HierarchicalQuorums(std::size_t levels);
+
+  std::size_t num_servers() const override { return num_servers_; }
+  std::size_t quorum_size(AccessKind) const override { return quorum_size_; }
+  void pick(AccessKind, util::Rng& rng,
+            std::vector<ServerId>& out) const override;
+  bool is_strict() const override { return true; }
+  bool enumerable() const override { return num_quorums_ <= 100000; }
+  std::size_t num_quorums(AccessKind) const override { return num_quorums_; }
+  void quorum(AccessKind, std::size_t idx,
+              std::vector<ServerId>& out) const override;
+  /// Killing a node needs 2 of its children killed, recursively: 2^h.
+  std::size_t min_kill(AccessKind) const override { return quorum_size_; }
+  std::string name() const override;
+
+  std::size_t levels() const { return levels_; }
+
+ private:
+  void pick_rec(std::size_t level, ServerId base, util::Rng& rng,
+                std::vector<ServerId>& out) const;
+  void quorum_rec(std::size_t level, ServerId base, std::size_t idx,
+                  std::vector<ServerId>& out) const;
+  /// Number of quorums of a subtree with \p level levels.
+  std::size_t count(std::size_t level) const;
+
+  std::size_t levels_;
+  std::size_t num_servers_;
+  std::size_t quorum_size_;
+  std::size_t num_quorums_;
+};
+
+}  // namespace pqra::quorum

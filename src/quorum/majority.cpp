@@ -1,0 +1,28 @@
+#include "quorum/majority.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace pqra::quorum {
+
+MajorityQuorums::MajorityQuorums(std::size_t n) : n_(n) {
+  PQRA_REQUIRE(n >= 1, "need at least one server");
+}
+
+void MajorityQuorums::pick(AccessKind, util::Rng& rng,
+                           std::vector<ServerId>& out) const {
+  // Uniform over all majorities; this is also the load-optimal strategy for
+  // the majority system by symmetry.
+  auto sample = rng.sample_without_replacement(
+      static_cast<std::uint32_t>(n_), static_cast<std::uint32_t>(n_ / 2 + 1));
+  out.assign(sample.begin(), sample.end());
+}
+
+std::string MajorityQuorums::name() const {
+  std::ostringstream os;
+  os << "majority(n=" << n_ << ")";
+  return os.str();
+}
+
+}  // namespace pqra::quorum

@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file majority.hpp
+/// The majority quorum system: every subset of size floor(n/2)+1 is a
+/// quorum.  Strict, with the best availability a strict system can have
+/// (ceil(n/2) crashes needed to disable it) but load ~ 1/2 — the
+/// high-availability end of the Naor–Wool trade-off discussed in §4/§6.4.
+
+#include "quorum/quorum_system.hpp"
+
+namespace pqra::quorum {
+
+class MajorityQuorums final : public QuorumSystem {
+ public:
+  explicit MajorityQuorums(std::size_t n);
+
+  std::size_t num_servers() const override { return n_; }
+  std::size_t quorum_size(AccessKind) const override { return n_ / 2 + 1; }
+  void pick(AccessKind kind, util::Rng& rng,
+            std::vector<ServerId>& out) const override;
+  bool is_strict() const override { return true; }
+  std::size_t min_kill(AccessKind) const override {
+    return n_ - (n_ / 2 + 1) + 1;  // = ceil(n/2)
+  }
+  std::string name() const override;
+
+ private:
+  std::size_t n_;
+};
+
+}  // namespace pqra::quorum

@@ -1,0 +1,34 @@
+#include "quorum/probabilistic.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace pqra::quorum {
+
+ProbabilisticQuorums::ProbabilisticQuorums(std::size_t n, std::size_t k)
+    : n_(n), k_(k) {
+  PQRA_REQUIRE(n >= 1, "need at least one server");
+  PQRA_REQUIRE(k >= 1 && k <= n, "quorum size must be in [1, n]");
+}
+
+void ProbabilisticQuorums::pick(AccessKind, util::Rng& rng,
+                                std::vector<ServerId>& out) const {
+  auto sample = rng.sample_without_replacement(static_cast<std::uint32_t>(n_),
+                                               static_cast<std::uint32_t>(k_));
+  out.assign(sample.begin(), sample.end());
+}
+
+bool ProbabilisticQuorums::is_strict() const {
+  // When 2k > n every pair of k-subsets intersects, so the "probabilistic"
+  // system is in fact strict (this is the k >= 18 regime of §7).
+  return 2 * k_ > n_;
+}
+
+std::string ProbabilisticQuorums::name() const {
+  std::ostringstream os;
+  os << "probabilistic(n=" << n_ << ", k=" << k_ << ")";
+  return os.str();
+}
+
+}  // namespace pqra::quorum

@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file probabilistic.hpp
+/// The probabilistic quorum system of Malkhi, Reiter and Wright (PODC'97):
+/// every k-subset of the n servers is a quorum, and each access draws one
+/// uniformly at random.  With k = l*sqrt(n) two quorums intersect with
+/// probability >= 1 - e^{-l^2}; availability is n-k+1 and the uniform access
+/// strategy gives load k/n.
+
+#include "quorum/quorum_system.hpp"
+
+namespace pqra::quorum {
+
+class ProbabilisticQuorums final : public QuorumSystem {
+ public:
+  /// \p n servers, quorum size \p k (both reads and writes), 1 <= k <= n.
+  ProbabilisticQuorums(std::size_t n, std::size_t k);
+
+  std::size_t num_servers() const override { return n_; }
+  std::size_t quorum_size(AccessKind) const override { return k_; }
+  void pick(AccessKind kind, util::Rng& rng,
+            std::vector<ServerId>& out) const override;
+  bool is_strict() const override;
+  std::size_t min_kill(AccessKind) const override { return n_ - k_ + 1; }
+  std::string name() const override;
+
+ private:
+  std::size_t n_;
+  std::size_t k_;
+};
+
+}  // namespace pqra::quorum

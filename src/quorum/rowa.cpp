@@ -1,0 +1,42 @@
+#include "quorum/rowa.hpp"
+
+#include <numeric>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace pqra::quorum {
+
+ReadOneWriteAll::ReadOneWriteAll(std::size_t n) : n_(n) {
+  PQRA_REQUIRE(n >= 1, "need at least one server");
+}
+
+void ReadOneWriteAll::pick(AccessKind kind, util::Rng& rng,
+                           std::vector<ServerId>& out) const {
+  if (kind == AccessKind::kRead) {
+    out.assign(1, static_cast<ServerId>(rng.below(n_)));
+  } else {
+    out.resize(n_);
+    std::iota(out.begin(), out.end(), 0);
+  }
+}
+
+void ReadOneWriteAll::quorum(AccessKind kind, std::size_t idx,
+                             std::vector<ServerId>& out) const {
+  if (kind == AccessKind::kRead) {
+    PQRA_REQUIRE(idx < n_, "quorum index out of range");
+    out.assign(1, static_cast<ServerId>(idx));
+  } else {
+    PQRA_REQUIRE(idx == 0, "there is exactly one write quorum");
+    out.resize(n_);
+    std::iota(out.begin(), out.end(), 0);
+  }
+}
+
+std::string ReadOneWriteAll::name() const {
+  std::ostringstream os;
+  os << "read-one-write-all(n=" << n_ << ")";
+  return os.str();
+}
+
+}  // namespace pqra::quorum

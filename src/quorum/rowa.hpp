@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file rowa.hpp
+/// Read-one / write-all: a read quorum is any single server (chosen
+/// uniformly), a write quorum is all n servers.  Strict, read load 1/n, but
+/// a single crash disables writes — the classic asymmetric baseline.
+
+#include "quorum/quorum_system.hpp"
+
+namespace pqra::quorum {
+
+class ReadOneWriteAll final : public QuorumSystem {
+ public:
+  explicit ReadOneWriteAll(std::size_t n);
+
+  std::size_t num_servers() const override { return n_; }
+  std::size_t quorum_size(AccessKind kind) const override {
+    return kind == AccessKind::kRead ? 1 : n_;
+  }
+  void pick(AccessKind kind, util::Rng& rng,
+            std::vector<ServerId>& out) const override;
+  bool is_strict() const override { return true; }
+  bool enumerable() const override { return true; }
+  std::size_t num_quorums(AccessKind kind) const override {
+    return kind == AccessKind::kRead ? n_ : 1;
+  }
+  void quorum(AccessKind kind, std::size_t idx,
+              std::vector<ServerId>& out) const override;
+  std::size_t min_kill(AccessKind kind) const override {
+    return kind == AccessKind::kRead ? n_ : 1;
+  }
+  std::string name() const override;
+
+ private:
+  std::size_t n_;
+};
+
+}  // namespace pqra::quorum

@@ -1,0 +1,25 @@
+#include "quorum/singleton.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace pqra::quorum {
+
+SingletonQuorums::SingletonQuorums(std::size_t n) : n_(n) {
+  PQRA_REQUIRE(n >= 1, "need at least one server");
+}
+
+void SingletonQuorums::quorum(AccessKind, std::size_t idx,
+                              std::vector<ServerId>& out) const {
+  PQRA_REQUIRE(idx == 0, "singleton system has exactly one quorum");
+  out.assign(1, 0);
+}
+
+std::string SingletonQuorums::name() const {
+  std::ostringstream os;
+  os << "singleton(n=" << n_ << ")";
+  return os.str();
+}
+
+}  // namespace pqra::quorum

@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file singleton.hpp
+/// Degenerate centralized quorum system: every quorum is {server 0}.
+/// Strict (trivially), load 1 on the coordinator, availability 1.  Serves as
+/// the extreme baseline in the load/availability tables.
+
+#include "quorum/quorum_system.hpp"
+
+namespace pqra::quorum {
+
+class SingletonQuorums final : public QuorumSystem {
+ public:
+  explicit SingletonQuorums(std::size_t n);
+
+  std::size_t num_servers() const override { return n_; }
+  std::size_t quorum_size(AccessKind) const override { return 1; }
+  void pick(AccessKind, util::Rng&, std::vector<ServerId>& out) const override {
+    out.assign(1, 0);
+  }
+  bool is_strict() const override { return true; }
+  bool enumerable() const override { return true; }
+  std::size_t num_quorums(AccessKind) const override { return 1; }
+  void quorum(AccessKind, std::size_t idx,
+              std::vector<ServerId>& out) const override;
+  std::size_t min_kill(AccessKind) const override { return 1; }
+  std::string name() const override;
+
+ private:
+  std::size_t n_;
+};
+
+}  // namespace pqra::quorum

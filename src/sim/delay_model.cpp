@@ -1,0 +1,120 @@
+#include "sim/delay_model.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace pqra::sim {
+
+namespace {
+
+class ConstantDelay final : public DelayModel {
+ public:
+  explicit ConstantDelay(Time delay) : delay_(delay) {
+    PQRA_REQUIRE(delay >= 0.0, "delay must be non-negative");
+  }
+
+  Time sample(util::Rng&) override { return delay_; }
+
+  std::string describe() const override {
+    std::ostringstream os;
+    os << "constant(" << delay_ << ")";
+    return os.str();
+  }
+
+ private:
+  Time delay_;
+};
+
+class ExponentialDelay final : public DelayModel {
+ public:
+  explicit ExponentialDelay(Time mean) : mean_(mean) {
+    PQRA_REQUIRE(mean > 0.0, "mean must be positive");
+  }
+
+  Time sample(util::Rng& rng) override { return rng.exponential(mean_); }
+
+  std::string describe() const override {
+    std::ostringstream os;
+    os << "exponential(mean=" << mean_ << ")";
+    return os.str();
+  }
+
+ private:
+  Time mean_;
+};
+
+class UniformDelay final : public DelayModel {
+ public:
+  UniformDelay(Time lo, Time hi) : lo_(lo), hi_(hi) {
+    PQRA_REQUIRE(lo >= 0.0 && hi >= lo, "need 0 <= lo <= hi");
+  }
+
+  Time sample(util::Rng& rng) override {
+    return lo_ + (hi_ - lo_) * rng.uniform01();
+  }
+
+  std::string describe() const override {
+    std::ostringstream os;
+    os << "uniform(" << lo_ << ", " << hi_ << ")";
+    return os.str();
+  }
+
+ private:
+  Time lo_;
+  Time hi_;
+};
+
+class LognormalDelay final : public DelayModel {
+ public:
+  LognormalDelay(Time min_delay, double mu, double sigma)
+      : min_(min_delay), mu_(mu), sigma_(sigma) {
+    PQRA_REQUIRE(min_delay >= 0.0, "minimum delay must be non-negative");
+    PQRA_REQUIRE(sigma >= 0.0, "sigma must be non-negative");
+  }
+
+  Time sample(util::Rng& rng) override {
+    // Box–Muller; one normal draw per sample is fine here.
+    double u1;
+    do {
+      u1 = rng.uniform01();
+    } while (u1 <= 0.0);
+    double u2 = rng.uniform01();
+    double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+    return min_ + std::exp(mu_ + sigma_ * z);
+  }
+
+  std::string describe() const override {
+    std::ostringstream os;
+    os << "lognormal(min=" << min_ << ", mu=" << mu_ << ", sigma=" << sigma_
+       << ")";
+    return os.str();
+  }
+
+ private:
+  Time min_;
+  double mu_;
+  double sigma_;
+};
+
+}  // namespace
+
+std::unique_ptr<DelayModel> make_constant_delay(Time delay) {
+  return std::make_unique<ConstantDelay>(delay);
+}
+
+std::unique_ptr<DelayModel> make_exponential_delay(Time mean) {
+  return std::make_unique<ExponentialDelay>(mean);
+}
+
+std::unique_ptr<DelayModel> make_uniform_delay(Time lo, Time hi) {
+  return std::make_unique<UniformDelay>(lo, hi);
+}
+
+std::unique_ptr<DelayModel> make_lognormal_delay(Time min_delay, double mu,
+                                                 double sigma) {
+  return std::make_unique<LognormalDelay>(min_delay, mu, sigma);
+}
+
+}  // namespace pqra::sim

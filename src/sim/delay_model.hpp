@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file delay_model.hpp
+/// Message-delay distributions for the simulated network.
+///
+/// The paper's synchronous executions use constant delays and its
+/// asynchronous executions use exponentially distributed delays (§7); both
+/// are provided, plus uniform and shifted-lognormal variants for wider
+/// experimentation.
+
+#include <memory>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace pqra::sim {
+
+/// Simulated time (abstract units; one constant message delay = 1.0).
+using Time = double;
+
+/// Samples one network delay per message.
+class DelayModel {
+ public:
+  virtual ~DelayModel() = default;
+
+  /// Returns a non-negative delay.
+  virtual Time sample(util::Rng& rng) = 0;
+
+  /// Human-readable description for logs and experiment records.
+  virtual std::string describe() const = 0;
+};
+
+/// Every message takes exactly \p delay — the synchronous model.
+std::unique_ptr<DelayModel> make_constant_delay(Time delay = 1.0);
+
+/// Exponentially distributed delays with the given mean — the asynchronous
+/// model of §7.
+std::unique_ptr<DelayModel> make_exponential_delay(Time mean = 1.0);
+
+/// Uniform delays on [lo, hi].
+std::unique_ptr<DelayModel> make_uniform_delay(Time lo, Time hi);
+
+/// min_delay + Lognormal(mu, sigma) — heavy-tailed delays for stress tests.
+std::unique_ptr<DelayModel> make_lognormal_delay(Time min_delay, double mu,
+                                                 double sigma);
+
+}  // namespace pqra::sim

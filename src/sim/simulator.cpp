@@ -1,0 +1,50 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace pqra::sim {
+
+void Simulator::schedule_in(Time delay, EventFn fn) {
+  PQRA_REQUIRE(delay >= 0.0, "cannot schedule into the past");
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+void Simulator::schedule_at(Time t, EventFn fn) {
+  PQRA_REQUIRE(t >= now_, "cannot schedule into the past");
+  PQRA_REQUIRE(static_cast<bool>(fn), "event callback must be callable");
+  heap_.push_back(Event{t, next_seq_++, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+}
+
+bool Simulator::step() {
+  if (heap_.empty()) return false;
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Event ev = std::move(heap_.back());
+  heap_.pop_back();
+  now_ = ev.t;
+  ++processed_;
+  ev.fn();
+  return true;
+}
+
+std::size_t Simulator::run() {
+  std::size_t n = 0;
+  while (!stop_requested_ && step()) ++n;
+  return n;
+}
+
+std::size_t Simulator::run_until(Time t) {
+  PQRA_REQUIRE(t >= now_, "cannot run into the past");
+  std::size_t n = 0;
+  while (!stop_requested_ && !heap_.empty() && next_event_time() <= t) {
+    step();
+    ++n;
+  }
+  if (!stop_requested_ && now_ < t) now_ = t;
+  return n;
+}
+
+}  // namespace pqra::sim

@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file check.hpp
+/// Precondition / invariant checking macros.
+///
+/// PQRA_CHECK throws std::logic_error on violation; it is always on (the cost
+/// is negligible next to simulation work) so that library misuse fails loudly
+/// in release builds too.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pqra::util {
+
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "PQRA_CHECK failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace pqra::util
+
+/// Throws std::logic_error when \p cond is false.
+#define PQRA_CHECK(cond, msg)                                              \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::pqra::util::throw_check_failure(#cond, __FILE__, __LINE__, (msg)); \
+    }                                                                      \
+  } while (0)
+
+/// Argument-validation flavour: identical behaviour, documents intent.
+#define PQRA_REQUIRE(cond, msg) PQRA_CHECK(cond, msg)

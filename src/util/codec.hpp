@@ -1,0 +1,114 @@
+#pragma once
+
+/// \file codec.hpp
+/// Byte-blob encoding of register values.
+///
+/// Registers transport opaque byte vectors; applications encode their
+/// component types (rows of int64 distances, bitset words, doubles, ...)
+/// through Codec<T>.  Decoding validates sizes and throws on malformed
+/// input — a register never hands back a partially decoded value.
+
+#include <cstddef>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace pqra::util {
+
+/// The wire/storage representation of one register value.
+using Bytes = std::vector<std::byte>;
+
+namespace detail {
+
+template <typename T>
+inline void append_raw(Bytes& out, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::size_t off = out.size();
+  out.resize(off + sizeof(T));
+  std::memcpy(out.data() + off, &v, sizeof(T));
+}
+
+template <typename T>
+inline T read_raw(const Bytes& in, std::size_t& off) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  PQRA_CHECK(off + sizeof(T) <= in.size(), "codec: truncated value");
+  T v;
+  std::memcpy(&v, in.data() + off, sizeof(T));
+  off += sizeof(T);
+  return v;
+}
+
+}  // namespace detail
+
+/// Primary template: trivially copyable scalars.
+template <typename T, typename Enable = void>
+struct Codec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "provide a Codec specialization for non-trivial types");
+
+  static Bytes encode(const T& v) {
+    Bytes out;
+    out.reserve(sizeof(T));
+    detail::append_raw(out, v);
+    return out;
+  }
+
+  static T decode(const Bytes& in) {
+    std::size_t off = 0;
+    T v = detail::read_raw<T>(in, off);
+    PQRA_CHECK(off == in.size(), "codec: trailing bytes");
+    return v;
+  }
+};
+
+/// Vectors of trivially copyable elements (rows of distances, bitset words).
+template <typename E>
+struct Codec<std::vector<E>, std::enable_if_t<std::is_trivially_copyable_v<E>>> {
+  static Bytes encode(const std::vector<E>& v) {
+    Bytes out;
+    out.reserve(sizeof(std::uint64_t) + v.size() * sizeof(E));
+    detail::append_raw(out, static_cast<std::uint64_t>(v.size()));
+    for (const E& e : v) detail::append_raw(out, e);
+    return out;
+  }
+
+  static std::vector<E> decode(const Bytes& in) {
+    std::size_t off = 0;
+    auto n = detail::read_raw<std::uint64_t>(in, off);
+    PQRA_CHECK(in.size() - off == n * sizeof(E), "codec: vector size mismatch");
+    std::vector<E> v;
+    v.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) v.push_back(detail::read_raw<E>(in, off));
+    return v;
+  }
+};
+
+/// Strings (handy for examples and debugging).
+template <>
+struct Codec<std::string> {
+  static Bytes encode(const std::string& s) {
+    Bytes out(s.size());
+    std::memcpy(out.data(), s.data(), s.size());
+    return out;
+  }
+
+  static std::string decode(const Bytes& in) {
+    return std::string(reinterpret_cast<const char*>(in.data()), in.size());
+  }
+};
+
+/// Convenience free functions.
+template <typename T>
+Bytes encode(const T& v) {
+  return Codec<T>::encode(v);
+}
+
+template <typename T>
+T decode(const Bytes& in) {
+  return Codec<T>::decode(in);
+}
+
+}  // namespace pqra::util

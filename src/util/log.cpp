@@ -1,0 +1,50 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace pqra::util {
+
+namespace {
+
+LogLevel resolve_level() {
+  const char* env = std::getenv("PQRA_LOG");
+  if (env == nullptr) return LogLevel::kWarn;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  return LogLevel::kWarn;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kDebug:
+      return "debug";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() {
+  static const LogLevel level = resolve_level();
+  return level;
+}
+
+bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) <= static_cast<int>(log_level());
+}
+
+void log_line(LogLevel level, const std::string& message) {
+  std::fprintf(stderr, "[pqra %s] %s\n", level_name(level), message.c_str());
+}
+
+}  // namespace pqra::util

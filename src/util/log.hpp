@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file log.hpp
+/// Minimal leveled logger.  Level comes from the PQRA_LOG environment
+/// variable (error|warn|info|debug, default warn); output goes to stderr.
+
+#include <sstream>
+#include <string>
+
+namespace pqra::util {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// Global log level, resolved once from the environment.
+LogLevel log_level();
+
+/// True when messages at \p level should be emitted.
+bool log_enabled(LogLevel level);
+
+/// Writes one formatted line ("[pqra level] message") to stderr.
+void log_line(LogLevel level, const std::string& message);
+
+}  // namespace pqra::util
+
+#define PQRA_LOG(level, expr)                                      \
+  do {                                                             \
+    if (::pqra::util::log_enabled(level)) {                        \
+      std::ostringstream pqra_log_os_;                             \
+      pqra_log_os_ << expr;                                        \
+      ::pqra::util::log_line(level, pqra_log_os_.str());           \
+    }                                                              \
+  } while (0)
+
+#define PQRA_LOG_ERROR(expr) PQRA_LOG(::pqra::util::LogLevel::kError, expr)
+#define PQRA_LOG_WARN(expr) PQRA_LOG(::pqra::util::LogLevel::kWarn, expr)
+#define PQRA_LOG_INFO(expr) PQRA_LOG(::pqra::util::LogLevel::kInfo, expr)
+#define PQRA_LOG_DEBUG(expr) PQRA_LOG(::pqra::util::LogLevel::kDebug, expr)

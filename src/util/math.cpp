@@ -1,0 +1,106 @@
+#include "util/math.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace pqra::util {
+
+double log_choose(std::uint64_t n, std::uint64_t k) {
+  if (k > n) return -std::numeric_limits<double>::infinity();
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+double choose(std::uint64_t n, std::uint64_t k) {
+  if (k > n) return 0.0;
+  if (k > n - k) k = n - k;
+  double result = 1.0;
+  for (std::uint64_t i = 0; i < k; ++i) {
+    result *= static_cast<double>(n - i);
+    result /= static_cast<double>(i + 1);
+  }
+  return result;
+}
+
+double quorum_nonoverlap_probability(std::uint64_t n, std::uint64_t k) {
+  PQRA_REQUIRE(k >= 1 && k <= n, "quorum size must be in [1, n]");
+  if (2 * k > n) return 0.0;
+  // C(n-k, k) / C(n, k) = prod_{i=0}^{k-1} (n - k - i) / (n - i).
+  double p = 1.0;
+  for (std::uint64_t i = 0; i < k; ++i) {
+    p *= static_cast<double>(n - k - i) / static_cast<double>(n - i);
+  }
+  return p;
+}
+
+double quorum_overlap_probability(std::uint64_t n, std::uint64_t k) {
+  return 1.0 - quorum_nonoverlap_probability(n, k);
+}
+
+double nonoverlap_upper_bound(std::uint64_t n, std::uint64_t k) {
+  PQRA_REQUIRE(k >= 1 && k <= n, "quorum size must be in [1, n]");
+  return std::pow(static_cast<double>(n - k) / static_cast<double>(n),
+                  static_cast<double>(k));
+}
+
+double corollary7_rounds_per_pseudocycle(std::uint64_t n, std::uint64_t k) {
+  double bound = nonoverlap_upper_bound(n, k);
+  return 1.0 / (1.0 - bound);
+}
+
+double r3_survival_bound(std::uint64_t n, std::uint64_t k, std::uint64_t l) {
+  double b = static_cast<double>(k) *
+             std::pow(static_cast<double>(n - k) / static_cast<double>(n),
+                      static_cast<double>(l));
+  return b > 1.0 ? 1.0 : b;
+}
+
+double expected_reads_until_overlap(std::uint64_t n, std::uint64_t k) {
+  return 1.0 / quorum_overlap_probability(n, k);
+}
+
+double hypergeometric_pmf(std::uint64_t population, std::uint64_t marked,
+                          std::uint64_t draws, std::uint64_t i) {
+  PQRA_REQUIRE(marked <= population && draws <= population,
+               "invalid hypergeometric parameters");
+  if (i > draws || i > marked) return 0.0;
+  if (draws - i > population - marked) return 0.0;
+  double log_p = log_choose(marked, i) +
+                 log_choose(population - marked, draws - i) -
+                 log_choose(population, draws);
+  return std::exp(log_p);
+}
+
+double hypergeometric_cdf(std::uint64_t population, std::uint64_t marked,
+                          std::uint64_t draws, std::uint64_t i) {
+  double acc = 0.0;
+  for (std::uint64_t j = 0; j <= i; ++j) {
+    acc += hypergeometric_pmf(population, marked, draws, j);
+  }
+  return acc > 1.0 ? 1.0 : acc;
+}
+
+double masking_error_probability(std::uint64_t n, std::uint64_t k,
+                                 std::uint64_t b) {
+  PQRA_REQUIRE(k >= 1 && k <= n, "quorum size must be in [1, n]");
+  return hypergeometric_cdf(n, k, k, 2 * b);
+}
+
+bool is_prime(std::uint64_t v) {
+  if (v < 2) return false;
+  for (std::uint64_t d = 2; d * d <= v; ++d) {
+    if (v % d == 0) return false;
+  }
+  return true;
+}
+
+std::int64_t saturating_add(std::int64_t a, std::int64_t b) {
+  if (a >= kPathInf || b >= kPathInf) return kPathInf;
+  std::int64_t s = a + b;
+  return s >= kPathInf ? kPathInf : s;
+}
+
+}  // namespace pqra::util

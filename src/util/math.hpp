@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file math.hpp
+/// The combinatorial and probability formulas the paper relies on.
+///
+/// Everything is computed in a numerically safe way: ratios of binomial
+/// coefficients are evaluated as telescoping products of factors < 1, never
+/// by forming the (astronomically large) coefficients themselves.
+
+#include <cstdint>
+
+namespace pqra::util {
+
+/// ln C(n, k).  Returns -inf when k > n (an empty selection set).
+double log_choose(std::uint64_t n, std::uint64_t k);
+
+/// C(n, k) as a double (exact for small arguments, may overflow to inf for
+/// very large ones — callers wanting ratios should use the *_probability
+/// helpers below instead).
+double choose(std::uint64_t n, std::uint64_t k);
+
+/// Probability that two independently and uniformly chosen k-subsets of an
+/// n-set are disjoint: C(n-k, k) / C(n, k).  This is the per-read "miss"
+/// probability of the probabilistic quorum system (Theorem 4).
+/// Returns 0 when 2k > n (every pair of quorums must intersect — the system
+/// degenerates to a strict one).
+double quorum_nonoverlap_probability(std::uint64_t n, std::uint64_t k);
+
+/// Theorem 4's q: probability that a uniformly random read quorum intersects
+/// a fixed write quorum, q = 1 - C(n-k,k)/C(n,k).
+double quorum_overlap_probability(std::uint64_t n, std::uint64_t k);
+
+/// The upper bound on the nonoverlap probability used in Corollary 7:
+/// ((n-k)/n)^k, which dominates C(n-k,k)/C(n,k) (Prop. 3.2 of Malkhi et al.).
+double nonoverlap_upper_bound(std::uint64_t n, std::uint64_t k);
+
+/// Corollary 7: upper bound on the expected number of rounds per pseudocycle
+/// of the monotone probabilistic quorum algorithm, 1 / (1 - ((n-k)/n)^k).
+double corollary7_rounds_per_pseudocycle(std::uint64_t n, std::uint64_t k);
+
+/// Theorem 1's decay bound: probability that at least one replica of a
+/// write's quorum still holds that write after l subsequent writes is at
+/// most k * ((n-k)/n)^l.  (Clamped to [0, 1].)
+double r3_survival_bound(std::uint64_t n, std::uint64_t k, std::uint64_t l);
+
+/// Expected value 1/q of the geometric distribution from [R5].
+double expected_reads_until_overlap(std::uint64_t n, std::uint64_t k);
+
+/// Hypergeometric pmf: drawing \p draws from a population of \p population
+/// containing \p marked marked elements, P[exactly i marked drawn].
+double hypergeometric_pmf(std::uint64_t population, std::uint64_t marked,
+                          std::uint64_t draws, std::uint64_t i);
+
+/// P[at most i marked drawn] (hypergeometric CDF).
+double hypergeometric_cdf(std::uint64_t population, std::uint64_t marked,
+                          std::uint64_t draws, std::uint64_t i);
+
+/// Masking-quorum error probability (Malkhi–Reiter–Wright): with b Byzantine
+/// servers, a read is safe when its quorum intersects the write's quorum in
+/// at least 2b+1 servers (>= b+1 correct vouchers beat <= b liars).  Both
+/// quorums are uniform k-subsets of n, so |R ∩ W| is hypergeometric and the
+/// error probability is P[|R ∩ W| <= 2b].
+double masking_error_probability(std::uint64_t n, std::uint64_t k,
+                                 std::uint64_t b);
+
+/// True if \p v is prime (trial division; intended for FPP orders, so small).
+bool is_prime(std::uint64_t v);
+
+/// Saturating addition for shortest-path arithmetic: a + b, clamped so that
+/// "infinity" (kPathInf) absorbs.
+std::int64_t saturating_add(std::int64_t a, std::int64_t b);
+
+/// Sentinel used as +infinity by the graph/APSP code.
+inline constexpr std::int64_t kPathInf = (1LL << 62);
+
+}  // namespace pqra::util

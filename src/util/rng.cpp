@@ -1,0 +1,96 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace pqra::util {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+}
+
+Rng::result_type Rng::operator()() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+Rng Rng::fork(std::uint64_t stream_id) const {
+  std::uint64_t sm = seed_ ^ (0xd1b54a32d192ed03ULL * (stream_id + 1));
+  return Rng(splitmix64(sm));
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  PQRA_REQUIRE(bound > 0, "bound must be positive");
+  // Lemire's multiply-shift with rejection for exact uniformity.
+  std::uint64_t threshold = (-bound) % bound;
+  for (;;) {
+    std::uint64_t r = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(r) * bound;
+    if (static_cast<std::uint64_t>(m) >= threshold) {
+      return static_cast<std::uint64_t>(m >> 64);
+    }
+  }
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  PQRA_REQUIRE(lo <= hi, "empty range");
+  std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(below(span));
+}
+
+double Rng::uniform01() {
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::exponential(double mean) {
+  PQRA_REQUIRE(mean > 0.0, "mean must be positive");
+  double u;
+  do {
+    u = uniform01();
+  } while (u <= 0.0);
+  return -mean * std::log(u);
+}
+
+bool Rng::bernoulli(double p) { return uniform01() < p; }
+
+std::vector<std::uint32_t> Rng::sample_without_replacement(std::uint32_t n,
+                                                           std::uint32_t k) {
+  PQRA_REQUIRE(k <= n, "cannot sample more elements than the population");
+  // Robert Floyd's algorithm: for j = n-k .. n-1, draw t in [0, j]; insert t
+  // unless already chosen, in which case insert j.
+  std::vector<std::uint32_t> out;
+  out.reserve(k);
+  auto contains = [&out](std::uint32_t x) {
+    for (std::uint32_t y : out) {
+      if (y == x) return true;
+    }
+    return false;
+  };
+  for (std::uint32_t j = n - k; j < n; ++j) {
+    auto t = static_cast<std::uint32_t>(below(j + 1));
+    out.push_back(contains(t) ? j : t);
+  }
+  return out;
+}
+
+}  // namespace pqra::util

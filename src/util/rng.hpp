@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file rng.hpp
+/// Deterministic pseudo-random number generation.
+///
+/// The whole repository draws randomness through Rng (xoshiro256**) so that
+/// every simulation is reproducible from a single seed.  Independent logical
+/// streams (one per process, per transport, per experiment run) are derived
+/// with Rng::fork(stream_id), which hashes the parent seed with the stream id
+/// through splitmix64 — streams are decorrelated without sharing state.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace pqra::util {
+
+/// splitmix64 step; used for seeding and stream derivation.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** generator.  Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words by running splitmix64 on \p seed.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()();
+
+  /// Derives an independent child generator for logical stream \p stream_id.
+  /// Deterministic: same parent seed + stream id => same child sequence.
+  Rng fork(std::uint64_t stream_id) const;
+
+  /// Uniform integer in [0, bound).  \p bound must be positive.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Exponentially distributed double with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Bernoulli trial with success probability \p p.
+  bool bernoulli(double p);
+
+  /// Samples \p k distinct values from {0, .., n-1} using Robert Floyd's
+  /// algorithm; O(k) expected time, output unsorted.
+  std::vector<std::uint32_t> sample_without_replacement(std::uint32_t n,
+                                                        std::uint32_t k);
+
+  /// Fisher–Yates shuffle of \p v.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// The seed this generator was constructed from (for logging/repro).
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::uint64_t s_[4];
+  std::uint64_t seed_;
+};
+
+}  // namespace pqra::util

@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file stats.hpp
+/// Streaming and batch statistics used by the experiment harnesses.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pqra::util {
+
+/// Welford online mean/variance accumulator.
+class OnlineStats {
+ public:
+  void add(double x);
+
+  /// Folds another accumulator into this one (Chan et al. parallel merge).
+  void merge(const OnlineStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  /// Half-width of a normal-approximation 95% confidence interval on the
+  /// mean; 0 for fewer than two samples.
+  double ci95_halfwidth() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch summary of a sample vector.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double median = 0.0;
+  double max = 0.0;
+};
+
+/// Computes the batch Summary of \p samples (empty input => zeroed summary).
+Summary summarize(const std::vector<double>& samples);
+
+/// p-th percentile (0 <= p <= 100) with linear interpolation; \p samples need
+/// not be sorted (a copy is sorted internally).
+double percentile(std::vector<double> samples, double p);
+
+/// Fixed-width histogram over [lo, hi); samples outside are clamped into the
+/// boundary bins.  Used by the statistical register-spec validators.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bin_count(std::size_t i) const;
+  std::size_t total() const { return total_; }
+  std::size_t num_bins() const { return counts_.size(); }
+  double bin_low(std::size_t i) const;
+  double bin_high(std::size_t i) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace pqra::util

@@ -1,0 +1,123 @@
+#include "apps/approx_agreement.hpp"
+
+#include <gtest/gtest.h>
+
+#include "iter/alg1_des.hpp"
+#include "iter/update_sequence.hpp"
+#include "quorum/majority.hpp"
+#include "quorum/probabilistic.hpp"
+#include "util/codec.hpp"
+
+namespace pqra::apps {
+namespace {
+
+std::vector<double> decode_all(const std::vector<iter::Value>& x) {
+  std::vector<double> out;
+  for (const auto& v : x) out.push_back(util::decode<double>(v));
+  return out;
+}
+
+double spread(const std::vector<double>& v) {
+  double lo = v[0], hi = v[0];
+  for (double d : v) {
+    lo = std::min(lo, d);
+    hi = std::max(hi, d);
+  }
+  return hi - lo;
+}
+
+TEST(ApproxAgreementTest, MidpointHalvesTheRangeSynchronously) {
+  ApproxAgreementOperator op({0.0, 8.0, 4.0, 2.0}, 1e-9);
+  std::vector<iter::Value> x;
+  for (std::size_t i = 0; i < 4; ++i) x.push_back(op.initial(i));
+  // One synchronous application: everyone moves to (0 + 8)/2 = 4.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(util::decode<double>(op.apply(i, x)), 4.0);
+  }
+}
+
+TEST(ApproxAgreementTest, SequentialConvergesWithinEpsilon) {
+  ApproxAgreementOperator op({-3.0, 1.5, 7.25, 10.0, 0.0}, 1e-6);
+  auto schedule = iter::make_bounded_stale_schedule(3, util::Rng(5));
+  auto r = run_update_sequence(op, *schedule, 50000);
+  ASSERT_TRUE(r.converged);
+  auto values = decode_all(r.final_x);
+  EXPECT_LE(spread(values), 1e-6);
+  // Validity: the agreed band lies inside the input range.
+  for (double v : values) {
+    EXPECT_GE(v, -3.0);
+    EXPECT_LE(v, 10.0);
+  }
+}
+
+TEST(ApproxAgreementTest, DistributedOverStrictQuorums) {
+  ApproxAgreementOperator op({0.0, 100.0, 50.0, 25.0, 75.0, 10.0}, 0.01);
+  quorum::MajorityQuorums qs(6);
+  iter::Alg1Options options;
+  options.quorums = &qs;
+  iter::Alg1Result r = iter::run_alg1(op, options);
+  EXPECT_TRUE(r.converged);
+  // Full-view midpoint with fresh reads agrees instantly: round 1 moves
+  // everyone to (0+100)/2, round 2 observes the agreement.
+  EXPECT_LE(r.rounds, 3u);
+}
+
+struct AaParam {
+  std::size_t k;
+  bool synchronous;
+  std::uint64_t seed;
+};
+
+class ApproxAgreementSweep : public ::testing::TestWithParam<AaParam> {};
+
+TEST_P(ApproxAgreementSweep, DistributedOverRandomRegisters) {
+  auto [k, synchronous, seed] = GetParam();
+  ApproxAgreementOperator op({0.0, 64.0, 32.0, 16.0, 8.0, 4.0, 2.0, 1.0},
+                             0.5);
+  quorum::ProbabilisticQuorums qs(8, k);
+  iter::Alg1Options options;
+  options.quorums = &qs;
+  options.monotone = true;
+  options.synchronous = synchronous;
+  options.seed = seed;
+  options.round_cap = 20000;
+  iter::Alg1Result r = iter::run_alg1(op, options);
+  EXPECT_TRUE(r.converged) << "k=" << k << " seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Params, ApproxAgreementSweep,
+    ::testing::Values(AaParam{2, true, 1}, AaParam{2, false, 2},
+                      AaParam{3, true, 3}, AaParam{3, false, 4},
+                      AaParam{5, true, 5}, AaParam{5, false, 6}));
+
+TEST(ApproxAgreementTest, ValidityInvariantUnderStaleness) {
+  // Even the adversarially stale schedule keeps every proposal inside the
+  // input range — midpoints of values in [lo, hi] stay in [lo, hi].
+  ApproxAgreementOperator op({-5.0, 5.0, 1.0}, 1e-3);
+  auto schedule = iter::make_oldest_view_schedule(6);
+  auto r = run_update_sequence(op, *schedule, 20000);
+  ASSERT_TRUE(r.converged);
+  for (double v : decode_all(r.final_x)) {
+    EXPECT_GE(v, -5.0);
+    EXPECT_LE(v, 5.0);
+  }
+}
+
+TEST(ApproxAgreementTest, RejectsBadArguments) {
+  EXPECT_THROW(ApproxAgreementOperator({}, 0.1), std::logic_error);
+  EXPECT_THROW(ApproxAgreementOperator({1.0}, 0.0), std::logic_error);
+}
+
+TEST(ApproxAgreementTest, AlreadyAgreedInputsFinishInOneRound) {
+  ApproxAgreementOperator op({1.0, 1.0001, 0.9999}, 0.01);
+  quorum::MajorityQuorums qs(3);
+  iter::Alg1Options options;
+  options.quorums = &qs;
+  iter::Alg1Result r = iter::run_alg1(op, options);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.rounds, 1u);
+}
+
+}  // namespace
+}  // namespace pqra::apps

@@ -1,0 +1,89 @@
+#include "apps/graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pqra::apps {
+namespace {
+
+TEST(GraphTest, ChainStructureAndDistances) {
+  Graph g = make_chain(34);
+  EXPECT_EQ(g.size(), 34u);
+  auto dist = floyd_warshall(g);
+  // The paper's chain: vertex 33 (source) reaches vertex 0 (sink) in 33
+  // steps; nothing flows the other way.
+  EXPECT_EQ(dist[33][0], 33);
+  EXPECT_EQ(dist[5][0], 5);
+  EXPECT_EQ(dist[0][33], kInf);
+  EXPECT_EQ(weighted_diameter(g), 33);
+  EXPECT_EQ(apsp_pseudocycle_bound(g), 6u);  // ceil(log2 33) = 6 (paper §7)
+}
+
+TEST(GraphTest, CycleDistances) {
+  Graph g = make_cycle(5);
+  auto dist = floyd_warshall(g);
+  EXPECT_EQ(dist[0][1], 1);
+  EXPECT_EQ(dist[1][0], 4);
+  EXPECT_EQ(weighted_diameter(g), 4);
+}
+
+TEST(GraphTest, GridIsSymmetricAndHasManhattanDistances) {
+  Graph g = make_grid_graph(3, 4);
+  auto dist = floyd_warshall(g);
+  // (0,0) to (2,3): 2 + 3 = 5.
+  EXPECT_EQ(dist[0][2 * 4 + 3], 5);
+  EXPECT_EQ(dist[2 * 4 + 3][0], 5);
+  EXPECT_EQ(weighted_diameter(g), 5);
+}
+
+TEST(GraphTest, DiagonalIsZeroAndTriangleInequalityHolds) {
+  util::Rng rng(5);
+  Graph g = make_random_gnp(12, 0.3, 1, 9, rng);
+  auto dist = floyd_warshall(g);
+  for (std::size_t i = 0; i < 12; ++i) {
+    EXPECT_EQ(dist[i][i], 0);
+    for (std::size_t j = 0; j < 12; ++j) {
+      for (std::size_t k = 0; k < 12; ++k) {
+        EXPECT_LE(dist[i][j],
+                  util::saturating_add(dist[i][k], dist[k][j]));
+      }
+    }
+  }
+}
+
+TEST(GraphTest, CompleteGraphAllPairsFinite) {
+  util::Rng rng(7);
+  Graph g = make_complete(8, 1, 5, rng);
+  auto dist = floyd_warshall(g);
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t j = 0; j < 8; ++j) {
+      EXPECT_LT(dist[i][j], kInf);
+    }
+  }
+}
+
+TEST(GraphTest, RandomTreeReachesAllFromRoot) {
+  util::Rng rng(9);
+  Graph g = make_random_tree(20, rng);
+  auto dist = floyd_warshall(g);
+  for (std::size_t j = 1; j < 20; ++j) {
+    EXPECT_LT(dist[0][j], kInf) << "root must reach vertex " << j;
+  }
+}
+
+TEST(GraphTest, ShorterParallelEdgeWins) {
+  Graph g(2);
+  g.add_edge(0, 1, 5);
+  g.add_edge(0, 1, 2);
+  auto dist = floyd_warshall(g);
+  EXPECT_EQ(dist[0][1], 2);
+}
+
+TEST(GraphTest, RejectsBadInput) {
+  Graph g(3);
+  EXPECT_THROW(g.add_edge(0, 3, 1), std::logic_error);
+  EXPECT_THROW(g.add_edge(0, 1, -2), std::logic_error);
+  EXPECT_THROW(make_chain(1), std::logic_error);
+}
+
+}  // namespace
+}  // namespace pqra::apps

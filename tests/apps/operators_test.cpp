@@ -1,0 +1,305 @@
+#include <gtest/gtest.h>
+
+#include "apps/apsp.hpp"
+#include "apps/csp.hpp"
+#include "apps/graph.hpp"
+#include "apps/linear.hpp"
+#include "apps/transitive_closure.hpp"
+#include "iter/update_sequence.hpp"
+#include "util/codec.hpp"
+
+namespace pqra::apps {
+namespace {
+
+// ---------------------------------------------------------------------- APSP
+TEST(ApspOperatorTest, InitialRowsAreEdgeWeights) {
+  Graph g = make_chain(5);
+  ApspOperator op(g);
+  auto row4 = util::decode<std::vector<Weight>>(op.initial(4));
+  EXPECT_EQ(row4[4], 0);
+  EXPECT_EQ(row4[3], 1);
+  EXPECT_EQ(row4[0], kInf);
+}
+
+TEST(ApspOperatorTest, OneSynchronousApplicationDoublesHorizon) {
+  Graph g = make_chain(5);
+  ApspOperator op(g);
+  std::vector<iter::Value> x;
+  for (std::size_t i = 0; i < 5; ++i) x.push_back(op.initial(i));
+  auto row4 = util::decode<std::vector<Weight>>(op.apply(4, x));
+  EXPECT_EQ(row4[2], 2);     // two hops now visible
+  EXPECT_EQ(row4[1], kInf);  // three hops not yet
+}
+
+TEST(ApspOperatorTest, FixedPointIsFloydWarshall) {
+  util::Rng rng(3);
+  Graph g = make_random_gnp(10, 0.3, 1, 4, rng);
+  ApspOperator op(g);
+  auto fw = floyd_warshall(g);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(util::decode<std::vector<Weight>>(op.fixed_point(i)), fw[i]);
+  }
+}
+
+TEST(ApspOperatorTest, FixedPointIsActuallyFixed) {
+  util::Rng rng(5);
+  Graph g = make_random_gnp(9, 0.4, 1, 5, rng);
+  ApspOperator op(g);
+  std::vector<iter::Value> x;
+  for (std::size_t i = 0; i < 9; ++i) x.push_back(op.fixed_point(i));
+  for (std::size_t i = 0; i < 9; ++i) {
+    EXPECT_EQ(op.apply(i, x), op.fixed_point(i)) << "row " << i;
+  }
+}
+
+struct GraphCase {
+  const char* name;
+  std::size_t seed;
+};
+
+class ApspRandomSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ApspRandomSweep, SequentialAsyncIterationMatchesFloydWarshall) {
+  util::Rng rng(GetParam());
+  Graph g = make_random_gnp(8, 0.35, 1, 6, rng);
+  ApspOperator op(g);
+  auto schedule =
+      iter::make_bounded_stale_schedule(4, util::Rng(GetParam() * 7 + 1));
+  auto r = run_update_sequence(op, *schedule, 30000);
+  ASSERT_TRUE(r.converged) << "seed " << GetParam();
+  auto fw = floyd_warshall(g);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(util::decode<std::vector<Weight>>(r.final_x[i]), fw[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ApspRandomSweep,
+                         ::testing::Range<std::size_t>(1, 11));
+
+// ---------------------------------------------------------- transitive closure
+TEST(TransitiveClosureTest, ChainClosureIsLowerTriangle) {
+  Graph g = make_chain(5);  // edges i -> i-1
+  TransitiveClosureOperator op(g);
+  const auto& ref = op.reference();
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) {
+      EXPECT_EQ(TransitiveClosureOperator::test_bit(ref[i], j), j <= i)
+          << i << "," << j;
+    }
+  }
+}
+
+TEST(TransitiveClosureTest, CycleClosureIsComplete) {
+  Graph g = make_cycle(6);
+  TransitiveClosureOperator op(g);
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = 0; j < 6; ++j) {
+      EXPECT_TRUE(TransitiveClosureOperator::test_bit(op.reference()[i], j));
+    }
+  }
+}
+
+TEST(TransitiveClosureTest, FixedPointIsFixed) {
+  util::Rng rng(11);
+  Graph g = make_random_gnp(12, 0.2, 1, 1, rng);
+  TransitiveClosureOperator op(g);
+  std::vector<iter::Value> x;
+  for (std::size_t i = 0; i < 12; ++i) x.push_back(op.fixed_point(i));
+  for (std::size_t i = 0; i < 12; ++i) {
+    EXPECT_EQ(op.apply(i, x), op.fixed_point(i));
+  }
+}
+
+class TcRandomSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TcRandomSweep, AsyncIterationMatchesWarshall) {
+  util::Rng rng(GetParam() + 100);
+  Graph g = make_random_gnp(10, 0.25, 1, 1, rng);
+  TransitiveClosureOperator op(g);
+  auto schedule =
+      iter::make_bounded_stale_schedule(3, util::Rng(GetParam() * 13 + 5));
+  auto r = run_update_sequence(op, *schedule, 30000);
+  ASSERT_TRUE(r.converged);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(r.final_x[i], op.fixed_point(i));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TcRandomSweep,
+                         ::testing::Range<std::size_t>(1, 9));
+
+TEST(TransitiveClosureTest, WorksBeyond64Vertices) {
+  Graph g = make_chain(100);  // two bitset words per row
+  TransitiveClosureOperator op(g);
+  EXPECT_TRUE(TransitiveClosureOperator::test_bit(op.reference()[99], 0));
+  EXPECT_FALSE(TransitiveClosureOperator::test_bit(op.reference()[0], 99));
+}
+
+// ----------------------------------------------------------------------- CSP
+TEST(CspTest, DifferenceConstraintAlonePrunesNothing) {
+  // With two values per side, every value of u keeps a support in v, so arc
+  // consistency leaves both domains full.
+  Csp csp(2, 2);
+  // u != v constraint.
+  csp.add_constraint(0, 1, {0b10, 0b01});
+  auto dom = ac3(csp);
+  EXPECT_EQ(dom[0], 0b11u);  // nothing prunable yet
+  EXPECT_EQ(dom[1], 0b11u);
+}
+
+TEST(CspTest, SupportlessValueIsPruned) {
+  Csp csp(2, 3);
+  // Value 2 of variable 0 has no support in variable 1.
+  csp.add_constraint(0, 1, {0b011, 0b101, 0b000});
+  auto dom = ac3(csp);
+  EXPECT_EQ(dom[0], 0b011u);
+  EXPECT_EQ(dom[1], 0b111u);
+}
+
+TEST(CspTest, PruningCascades) {
+  // Chain of 3 variables where pruning propagates end to end.
+  Csp csp(3, 2);
+  csp.add_constraint(0, 1, {0b01, 0b00});  // (0,b) allowed only b=0; 1 dead
+  csp.add_constraint(1, 2, {0b10, 0b11});  // v1=0 forces v2=1
+  auto dom = ac3(csp);
+  EXPECT_EQ(dom[0], 0b01u);
+  EXPECT_EQ(dom[1], 0b01u);
+  EXPECT_EQ(dom[2], 0b10u);
+}
+
+TEST(CspTest, OperatorFixedPointMatchesAc3) {
+  util::Rng rng(17);
+  for (int trial = 0; trial < 10; ++trial) {
+    Csp csp = make_random_csp(8, 5, 0.4, 0.4, rng);
+    ArcConsistencyOperator op(csp);
+    auto schedule =
+        iter::make_bounded_stale_schedule(3, util::Rng(trial * 31 + 2));
+    auto r = run_update_sequence(op, *schedule, 20000);
+    ASSERT_TRUE(r.converged) << "trial " << trial;
+    auto ref = ac3(csp);
+    for (std::size_t v = 0; v < 8; ++v) {
+      EXPECT_EQ(util::decode<DomainMask>(r.final_x[v]), ref[v]);
+    }
+  }
+}
+
+TEST(CspTest, ColoringCspPrunesNothingOnTriangleWith3Colors) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges{
+      {0, 1}, {1, 2}, {0, 2}};
+  Csp csp = make_coloring_csp(edges, 3, 3);
+  auto dom = ac3(csp);
+  for (auto d : dom) EXPECT_EQ(d, 0b111u);
+}
+
+TEST(CspTest, OrderingChainPrunesToStaircaseDomains) {
+  // x_0 < x_1 < ... < x_{n-1} over {0..d-1}: AC leaves dom(x_i) = {i..d-n+i}.
+  const std::size_t n = 5, d = 7;
+  Csp csp = make_ordering_csp(n, d);
+  auto dom = ac3(csp);
+  for (std::size_t i = 0; i < n; ++i) {
+    DomainMask expected = 0;
+    for (std::size_t v = i; v <= d - n + i; ++v) expected |= 1ULL << v;
+    EXPECT_EQ(dom[i], expected) << "variable " << i;
+  }
+}
+
+TEST(CspTest, OrderingChainDistributedMatchesAc3) {
+  Csp csp = make_ordering_csp(6, 6);
+  auto ref = ac3(csp);
+  ArcConsistencyOperator op(std::move(csp));
+  auto schedule = iter::make_bounded_stale_schedule(2, util::Rng(4));
+  auto r = run_update_sequence(op, *schedule, 20000);
+  ASSERT_TRUE(r.converged);
+  for (std::size_t v = 0; v < 6; ++v) {
+    EXPECT_EQ(util::decode<DomainMask>(r.final_x[v]), ref[v]);
+  }
+}
+
+TEST(CspTest, RejectsBadParameters) {
+  EXPECT_THROW(Csp(0, 3), std::logic_error);
+  EXPECT_THROW(Csp(3, 0), std::logic_error);
+  EXPECT_THROW(Csp(3, 65), std::logic_error);
+  Csp csp(3, 2);
+  EXPECT_THROW(csp.add_constraint(0, 0, {0b01, 0b10}), std::logic_error);
+  EXPECT_THROW(csp.add_constraint(0, 1, {0b01}), std::logic_error);
+}
+
+// -------------------------------------------------------------------- linear
+TEST(LinearTest, DirectSolverSolvesKnownSystem) {
+  LinearSystem sys;
+  sys.a = {{2.0, 1.0}, {1.0, 3.0}};
+  sys.b = {5.0, 10.0};
+  auto x = solve_direct(sys);
+  EXPECT_NEAR(x[0], 1.0, 1e-9);
+  EXPECT_NEAR(x[1], 3.0, 1e-9);
+}
+
+TEST(LinearTest, GeneratorRespectsDominance) {
+  util::Rng rng(23);
+  LinearSystem sys = make_dominant_system(12, 0.6, rng);
+  EXPECT_NEAR(sys.contraction_factor(), 0.6, 1e-9);
+}
+
+TEST(LinearTest, ResidualOfDirectSolveIsTiny) {
+  util::Rng rng(29);
+  LinearSystem sys = make_dominant_system(15, 0.7, rng);
+  auto x = solve_direct(sys);
+  for (std::size_t i = 0; i < 15; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < 15; ++j) acc += sys.a[i][j] * x[j];
+    EXPECT_NEAR(acc, sys.b[i], 1e-8);
+  }
+}
+
+TEST(LinearTest, JacobiOperatorConvergesSequentially) {
+  util::Rng rng(31);
+  LinearSystem sys = make_dominant_system(10, 0.5, rng);
+  JacobiOperator op(sys, 1e-8);
+  auto schedule = iter::make_synchronous_schedule();
+  auto r = run_update_sequence(op, *schedule, 1000);
+  ASSERT_TRUE(r.converged);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_NEAR(util::decode<double>(r.final_x[i]), op.solution()[i], 1e-7);
+  }
+}
+
+TEST(LinearTest, JacobiConvergesUnderAsynchrony) {
+  util::Rng rng(37);
+  LinearSystem sys = make_dominant_system(8, 0.6, rng);
+  JacobiOperator op(sys, 1e-6);
+  auto schedule = iter::make_bounded_stale_schedule(5, util::Rng(9));
+  auto r = run_update_sequence(op, *schedule, 50000);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(LinearTest, SlowerContractionNeedsMoreUpdates) {
+  util::Rng rng(41);
+  LinearSystem fast_sys = make_dominant_system(8, 0.3, rng);
+  LinearSystem slow_sys = make_dominant_system(8, 0.9, rng);
+  JacobiOperator fast_op(fast_sys, 1e-8);
+  JacobiOperator slow_op(slow_sys, 1e-8);
+  auto s1 = iter::make_synchronous_schedule();
+  auto s2 = iter::make_synchronous_schedule();
+  auto r_fast = run_update_sequence(fast_op, *s1, 10000);
+  auto r_slow = run_update_sequence(slow_op, *s2, 10000);
+  ASSERT_TRUE(r_fast.converged);
+  ASSERT_TRUE(r_slow.converged);
+  EXPECT_LT(r_fast.updates, r_slow.updates);
+}
+
+TEST(LinearTest, RejectsNonDominantSystems) {
+  LinearSystem sys;
+  sys.a = {{1.0, 2.0}, {2.0, 1.0}};  // factor 2 > 1
+  sys.b = {1.0, 1.0};
+  EXPECT_THROW(JacobiOperator(sys, 1e-6), std::logic_error);
+}
+
+TEST(LinearTest, SingularSystemThrowsInDirectSolve) {
+  LinearSystem sys;
+  sys.a = {{1.0, 1.0}, {1.0, 1.0}};
+  sys.b = {1.0, 2.0};
+  EXPECT_THROW(solve_direct(sys), std::logic_error);
+}
+
+}  // namespace
+}  // namespace pqra::apps

@@ -1,0 +1,204 @@
+#include "core/byzantine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/server_process.hpp"
+#include "net/sim_transport.hpp"
+#include "quorum/probabilistic.hpp"
+#include "util/codec.hpp"
+#include "util/math.hpp"
+
+namespace pqra::core {
+namespace {
+
+/// n servers, the first \p byzantine of which lie in the given mode.
+struct ByzCluster {
+  ByzCluster(std::size_t n, std::size_t byzantine, ByzantineMode mode,
+             std::size_t fault_bound, const quorum::QuorumSystem& qs,
+             std::uint64_t seed = 1)
+      : delay(sim::make_constant_delay(1.0)),
+        transport(sim, *delay, util::Rng(seed),
+                  static_cast<net::NodeId>(n + 1)),
+        client(sim, transport, static_cast<net::NodeId>(n), qs, 0,
+               util::Rng(seed).fork(55), fault_bound) {
+    for (std::size_t s = 0; s < n; ++s) {
+      if (s < byzantine) {
+        liars.push_back(std::make_unique<ByzantineServerProcess>(
+            transport, static_cast<net::NodeId>(s), mode));
+      } else {
+        honest.push_back(std::make_unique<ServerProcess>(
+            transport, static_cast<net::NodeId>(s)));
+        honest.back()->replica().preload(0, util::encode<std::int64_t>(0));
+      }
+    }
+  }
+
+  sim::Simulator sim;
+  std::unique_ptr<sim::DelayModel> delay;
+  net::SimTransport transport;
+  std::vector<std::unique_ptr<ByzantineServerProcess>> liars;
+  std::vector<std::unique_ptr<ServerProcess>> honest;
+  MaskingRegisterClient client;
+};
+
+constexpr Timestamp kFabricatedTs = 1ULL << 40;
+
+TEST(MaskingMathTest, HypergeometricPmfSmallCases) {
+  // Population 5, 2 marked, draw 2: P[0]=3/10, P[1]=6/10, P[2]=1/10.
+  EXPECT_NEAR(util::hypergeometric_pmf(5, 2, 2, 0), 0.3, 1e-12);
+  EXPECT_NEAR(util::hypergeometric_pmf(5, 2, 2, 1), 0.6, 1e-12);
+  EXPECT_NEAR(util::hypergeometric_pmf(5, 2, 2, 2), 0.1, 1e-12);
+  EXPECT_NEAR(util::hypergeometric_cdf(5, 2, 2, 2), 1.0, 1e-12);
+}
+
+TEST(MaskingMathTest, ErrorProbabilityDecreasesWithK) {
+  double prev = 1.0;
+  for (std::uint64_t k = 5; k <= 50; k += 5) {
+    double e = util::masking_error_probability(100, k, 2);
+    EXPECT_LE(e, prev + 1e-12) << "k=" << k;
+    prev = e;
+  }
+  EXPECT_LT(util::masking_error_probability(100, 40, 2), 1e-6);
+}
+
+TEST(MaskingMathTest, ZeroFaultBoundReducesToPlainOverlap) {
+  // b = 0: error = P[|R ∩ W| = 0] = the §4 nonoverlap probability.
+  for (std::uint64_t k : {1u, 3u, 6u}) {
+    EXPECT_NEAR(util::masking_error_probability(34, k, 0),
+                util::quorum_nonoverlap_probability(34, k), 1e-12);
+  }
+}
+
+TEST(ByzantineTest, CleanClusterBehavesLikeARegister) {
+  quorum::ProbabilisticQuorums qs(10, 6);
+  ByzCluster c(10, 0, ByzantineMode::kStaleLie, 1, qs);
+  bool done = false;
+  c.client.write(0, util::encode<std::int64_t>(9), [&](Timestamp ts) {
+    EXPECT_EQ(ts, 1u);
+    c.client.read(0, [&](MaskedReadResult r) {
+      EXPECT_TRUE(r.vouched);
+      EXPECT_EQ(r.ts, 1u);
+      EXPECT_EQ(util::decode<std::int64_t>(r.value), 9);
+      done = true;
+    });
+  });
+  c.sim.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(ByzantineTest, FabricatedValuesNeverAcceptedWithinTheFaultBound) {
+  // b = 2 colluding fabricators, fault bound 2: they can never assemble the
+  // required 3 vouchers, so across many reads the fabricated timestamp must
+  // never be returned.
+  quorum::ProbabilisticQuorums qs(12, 8);
+  ByzCluster c(12, 2, ByzantineMode::kFabricateHighTs, 2, qs, 7);
+  int fabricated = 0;
+  int vouched_reads = 0;
+  std::function<void(int)> loop = [&](int remaining) {
+    if (remaining == 0) return;
+    c.client.write(0, util::encode<std::int64_t>(remaining),
+                   [&, remaining](Timestamp) {
+                     c.client.read(0, [&, remaining](MaskedReadResult r) {
+                       if (r.vouched) {
+                         ++vouched_reads;
+                         if (r.ts >= kFabricatedTs) ++fabricated;
+                       }
+                       loop(remaining - 1);
+                     });
+                   });
+  };
+  loop(50);
+  c.sim.run();
+  EXPECT_GT(vouched_reads, 25);
+  EXPECT_EQ(fabricated, 0);
+}
+
+TEST(ByzantineTest, ExceedingTheFaultBoundAllowsDeception) {
+  // 4 colluders against a client masking only b = 2: quorums of 8 of 12
+  // usually include >= 3 colluders, whose identical lie now has enough
+  // vouchers and the giant timestamp wins.
+  quorum::ProbabilisticQuorums qs(12, 8);
+  ByzCluster c(12, 4, ByzantineMode::kFabricateHighTs, 2, qs, 7);
+  int fabricated = 0;
+  std::function<void(int)> loop = [&](int remaining) {
+    if (remaining == 0) return;
+    c.client.write(0, util::encode<std::int64_t>(remaining),
+                   [&, remaining](Timestamp) {
+                     c.client.read(0, [&, remaining](MaskedReadResult r) {
+                       if (r.vouched && r.ts >= kFabricatedTs) ++fabricated;
+                       loop(remaining - 1);
+                     });
+                   });
+  };
+  loop(30);
+  c.sim.run();
+  EXPECT_GT(fabricated, 0) << "beyond the bound, collusion must win sometimes";
+}
+
+TEST(ByzantineTest, StaleLiarsCostFreshnessNotSafety) {
+  quorum::ProbabilisticQuorums qs(12, 8);
+  ByzCluster c(12, 3, ByzantineMode::kStaleLie, 3, qs, 5);
+  bool done = false;
+  c.client.write(0, util::encode<std::int64_t>(4), [&](Timestamp) {
+    c.client.read(0, [&](MaskedReadResult r) {
+      ASSERT_TRUE(r.vouched);
+      // Either the fresh value (ts 1) or the initial (ts 0) — never junk.
+      EXPECT_LE(r.ts, 1u);
+      if (r.ts == 1) {
+        EXPECT_EQ(util::decode<std::int64_t>(r.value), 4);
+      }
+      done = true;
+    });
+  });
+  c.sim.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(ByzantineTest, CorruptedValuesAreOutvoted) {
+  quorum::ProbabilisticQuorums qs(10, 7);
+  ByzCluster c(10, 2, ByzantineMode::kCorruptValue, 2, qs, 3);
+  int bad_payload = 0;
+  std::function<void(int)> loop = [&](int remaining) {
+    if (remaining == 0) return;
+    c.client.write(0, util::encode<std::int64_t>(remaining),
+                   [&, remaining](Timestamp ts) {
+                     c.client.read(0, [&, remaining, ts](MaskedReadResult r) {
+                       if (r.vouched && r.ts == ts &&
+                           util::decode<std::int64_t>(r.value) != remaining) {
+                         ++bad_payload;
+                       }
+                       loop(remaining - 1);
+                     });
+                   });
+  };
+  loop(40);
+  c.sim.run();
+  EXPECT_EQ(bad_payload, 0);
+}
+
+TEST(ByzantineTest, TooSmallQuorumsReportUnvouchedInsteadOfLying) {
+  // k = 2 with fault bound 2 can never produce 3 vouchers: every read must
+  // come back unvouched — the client refuses to guess.
+  quorum::ProbabilisticQuorums qs(10, 2);
+  ByzCluster c(10, 2, ByzantineMode::kFabricateHighTs, 2, qs, 11);
+  int vouched = 0;
+  int total = 0;
+  std::function<void(int)> loop = [&](int remaining) {
+    if (remaining == 0) return;
+    c.client.read(0, [&, remaining](MaskedReadResult r) {
+      ++total;
+      if (r.vouched) ++vouched;
+      loop(remaining - 1);
+    });
+  };
+  loop(20);
+  c.sim.run();
+  EXPECT_EQ(total, 20);
+  EXPECT_EQ(vouched, 0);
+  EXPECT_EQ(c.client.unvouched_reads(), 20u);
+}
+
+}  // namespace
+}  // namespace pqra::core

@@ -1,0 +1,211 @@
+#include "core/multi_writer_client.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "core/server_process.hpp"
+#include "net/sim_transport.hpp"
+#include "quorum/majority.hpp"
+#include "quorum/probabilistic.hpp"
+#include "util/codec.hpp"
+
+namespace pqra::core {
+namespace {
+
+struct MwCluster {
+  MwCluster(std::size_t n, std::size_t num_clients,
+            const quorum::QuorumSystem& qs, bool monotone = false,
+            std::uint64_t seed = 1)
+      : delay(sim::make_exponential_delay(1.0)),
+        transport(sim, *delay, util::Rng(seed),
+                  static_cast<net::NodeId>(n + num_clients)) {
+    for (std::size_t s = 0; s < n; ++s) {
+      servers.push_back(std::make_unique<ServerProcess>(
+          transport, static_cast<net::NodeId>(s)));
+      servers.back()->replica().preload(0, util::encode<std::int64_t>(0));
+    }
+    for (std::size_t c = 0; c < num_clients; ++c) {
+      clients.push_back(std::make_unique<MultiWriterRegisterClient>(
+          sim, transport, static_cast<net::NodeId>(n + c),
+          static_cast<std::uint32_t>(c + 1), qs, 0,
+          util::Rng(seed).fork(900 + c), monotone));
+    }
+  }
+
+  sim::Simulator sim;
+  std::unique_ptr<sim::DelayModel> delay;
+  net::SimTransport transport;
+  std::vector<std::unique_ptr<ServerProcess>> servers;
+  std::vector<std::unique_ptr<MultiWriterRegisterClient>> clients;
+};
+
+TEST(TagTest, PackUnpackRoundTrip) {
+  for (Tag t : {Tag{0, 0}, Tag{1, 7}, Tag{12345678, 65535},
+                Tag{(1ULL << 48) - 1, 42}}) {
+    EXPECT_EQ(unpack_tag(pack_tag(t)), t);
+  }
+}
+
+TEST(TagTest, PackingPreservesOrder) {
+  EXPECT_LT(pack_tag({1, 9}), pack_tag({2, 1}));  // counter dominates
+  EXPECT_LT(pack_tag({3, 1}), pack_tag({3, 2}));  // writer breaks ties
+}
+
+TEST(TagTest, OverflowRejected) {
+  EXPECT_THROW(pack_tag({1ULL << 48, 0}), std::logic_error);
+  EXPECT_THROW(pack_tag({0, 1u << 16}), std::logic_error);
+}
+
+TEST(MultiWriterTest, SingleWriterRoundTrip) {
+  quorum::MajorityQuorums qs(5);
+  MwCluster c(5, 1, qs);
+  bool done = false;
+  c.clients[0]->write(0, util::encode<std::int64_t>(10), [&](Tag tag) {
+    EXPECT_EQ(tag.counter, 1u);
+    EXPECT_EQ(tag.writer, 1u);
+    c.clients[0]->read(0, [&](MwReadResult r) {
+      EXPECT_EQ(r.tag, (Tag{1, 1}));
+      EXPECT_EQ(util::decode<std::int64_t>(r.value), 10);
+      done = true;
+    });
+  });
+  c.sim.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(MultiWriterTest, SequentialWritersSeeEachOther) {
+  // With strict quorums: writer 2's phase-1 read must see writer 1's write,
+  // so counters strictly increase across writers.
+  quorum::MajorityQuorums qs(7);
+  MwCluster c(7, 2, qs);
+  bool done = false;
+  c.clients[0]->write(0, util::encode<std::int64_t>(1), [&](Tag t1) {
+    c.clients[1]->write(0, util::encode<std::int64_t>(2), [&, t1](Tag t2) {
+      EXPECT_GT(t2, t1);
+      c.clients[0]->read(0, [&, t2](MwReadResult r) {
+        EXPECT_EQ(r.tag, t2);
+        EXPECT_EQ(util::decode<std::int64_t>(r.value), 2);
+        done = true;
+      });
+    });
+  });
+  c.sim.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(MultiWriterTest, ConcurrentWritersGetDistinctTags) {
+  quorum::MajorityQuorums qs(7);
+  MwCluster c(7, 4, qs);
+  std::set<Timestamp> tags;
+  int pending = 0;
+  for (int round = 0; round < 10; ++round) {
+    for (auto& client : c.clients) {
+      ++pending;
+      client->write(0, util::encode<std::int64_t>(round), [&](Tag tag) {
+        EXPECT_TRUE(tags.insert(pack_tag(tag)).second)
+            << "duplicate tag " << tag.counter << "/" << tag.writer;
+        --pending;
+      });
+    }
+  }
+  c.sim.run();
+  EXPECT_EQ(pending, 0);
+  EXPECT_EQ(tags.size(), 40u);
+}
+
+TEST(MultiWriterTest, TagsUniqueEvenOnProbabilisticQuorums) {
+  // Tiny quorums: phase-1 reads miss constantly, counters collide across
+  // writers — the writer-id component must keep tags unique.
+  quorum::ProbabilisticQuorums qs(20, 2);
+  MwCluster c(20, 3, qs, false, 7);
+  std::set<Timestamp> tags;
+  int completed = 0;
+  std::function<void(std::size_t, int)> chain = [&](std::size_t who,
+                                                    int remaining) {
+    if (remaining == 0) return;
+    c.clients[who]->write(
+        0, util::encode<std::int64_t>(remaining), [&, who, remaining](Tag t) {
+          EXPECT_TRUE(tags.insert(pack_tag(t)).second);
+          ++completed;
+          chain(who, remaining - 1);
+        });
+  };
+  for (std::size_t who = 0; who < 3; ++who) chain(who, 25);
+  c.sim.run();
+  EXPECT_EQ(completed, 75);
+  EXPECT_EQ(tags.size(), 75u);
+}
+
+TEST(MultiWriterTest, OwnWritesAlwaysAdvance) {
+  // Even when the phase-1 read misses this writer's own previous write
+  // (probabilistic quorums), its next tag must still be larger.
+  quorum::ProbabilisticQuorums qs(20, 1);
+  MwCluster c(20, 1, qs, false, 3);
+  Tag last{0, 0};
+  bool ordered = true;
+  std::function<void(int)> chain = [&](int remaining) {
+    if (remaining == 0) return;
+    c.clients[0]->write(0, util::encode<std::int64_t>(remaining),
+                        [&, remaining](Tag t) {
+                          if (!(last < t)) ordered = false;
+                          last = t;
+                          chain(remaining - 1);
+                        });
+  };
+  chain(50);
+  c.sim.run();
+  EXPECT_TRUE(ordered);
+}
+
+TEST(MultiWriterTest, ReadsReturnSomeWrittenValueOrInitial) {
+  quorum::ProbabilisticQuorums qs(12, 3);
+  MwCluster c(12, 2, qs, false, 11);
+  std::map<Timestamp, std::int64_t> written{{0, 0}};  // initial
+  int reads = 0;
+  std::function<void(int)> loop = [&](int remaining) {
+    if (remaining == 0) return;
+    c.clients[0]->write(0, util::encode<std::int64_t>(remaining),
+                        [&, remaining](Tag t) {
+                          written[pack_tag(t)] = remaining;
+                          c.clients[1]->read(0, [&, remaining](MwReadResult r) {
+                            auto it = written.find(pack_tag(r.tag));
+                            ASSERT_NE(it, written.end())
+                                << "read returned a never-written tag";
+                            EXPECT_EQ(util::decode<std::int64_t>(r.value),
+                                      it->second);
+                            ++reads;
+                            loop(remaining - 1);
+                          });
+                        });
+  };
+  loop(30);
+  c.sim.run();
+  EXPECT_EQ(reads, 30);
+}
+
+TEST(MultiWriterTest, MonotoneModeNeverRegresses) {
+  quorum::ProbabilisticQuorums qs(20, 2);
+  MwCluster c(20, 2, qs, /*monotone=*/true, 13);
+  Tag last{0, 0};
+  bool regressed = false;
+  std::function<void(int)> loop = [&](int remaining) {
+    if (remaining == 0) return;
+    c.clients[0]->write(0, util::encode<std::int64_t>(remaining),
+                        [&, remaining](Tag) {
+                          c.clients[1]->read(0, [&, remaining](MwReadResult r) {
+                            if (r.tag < last) regressed = true;
+                            last = r.tag;
+                            loop(remaining - 1);
+                          });
+                        });
+  };
+  loop(60);
+  c.sim.run();
+  EXPECT_FALSE(regressed);
+}
+
+}  // namespace
+}  // namespace pqra::core

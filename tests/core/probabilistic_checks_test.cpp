@@ -1,0 +1,130 @@
+#include "core/spec/probabilistic_checks.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "quorum/majority.hpp"
+#include "quorum/probabilistic.hpp"
+#include "util/math.hpp"
+#include "util/stats.hpp"
+
+namespace pqra::core::spec {
+namespace {
+
+TEST(R3SurvivalTest, RespectsTheTheorem1Bound) {
+  // Theorem 1: P[some replica of W's quorum survives l writes]
+  //            <= k ((n-k)/n)^l.
+  util::Rng rng(1);
+  quorum::ProbabilisticQuorums qs(34, 4);
+  for (std::size_t l : {5u, 10u, 20u, 40u}) {
+    double rate = r3_survival_rate(qs, l, 4000, rng);
+    double bound = util::r3_survival_bound(34, 4, l);
+    EXPECT_LE(rate, bound + 0.02) << "l=" << l;
+  }
+}
+
+TEST(R3SurvivalTest, DecaysTowardsZero) {
+  util::Rng rng(2);
+  quorum::ProbabilisticQuorums qs(34, 6);
+  double early = r3_survival_rate(qs, 2, 4000, rng);
+  double late = r3_survival_rate(qs, 40, 4000, rng);
+  EXPECT_GT(early, late);
+  EXPECT_LT(late, 0.02);
+}
+
+TEST(R3SurvivalTest, StrictSystemNeverDecaysBelowCoverage) {
+  // With majority quorums every subsequent write overwrites a majority, so a
+  // write's quorum can be fully overwritten quickly; this just sanity-checks
+  // the harness on a strict system (survival still well-defined).
+  util::Rng rng(3);
+  quorum::MajorityQuorums qs(9);
+  double rate = r3_survival_rate(qs, 1, 2000, rng);
+  EXPECT_GT(rate, 0.0);
+}
+
+TEST(R5GeometricTest, MeanMatchesOneOverQ) {
+  util::Rng rng(5);
+  for (std::size_t k : {1u, 2u, 4u, 6u}) {
+    quorum::ProbabilisticQuorums qs(34, k);
+    auto samples = r5_y_samples(qs, 20000, rng);
+    double mean = std::accumulate(samples.begin(), samples.end(), 0.0) /
+                  static_cast<double>(samples.size());
+    double expected = util::expected_reads_until_overlap(34, k);
+    EXPECT_NEAR(mean, expected, 0.05 * expected + 0.05) << "k=" << k;
+  }
+}
+
+TEST(R5GeometricTest, TailIsGeometric) {
+  // [R5]: P(Y = r) <= (1-q)^{r-1} q.  Equivalent and easier to test
+  // empirically: P(Y > r) <= (1-q)^r.
+  util::Rng rng(7);
+  quorum::ProbabilisticQuorums qs(34, 3);
+  double q = util::quorum_overlap_probability(34, 3);
+  auto samples = r5_y_samples(qs, 30000, rng);
+  for (std::size_t r : {1u, 2u, 5u, 10u}) {
+    double tail = 0;
+    for (auto y : samples) {
+      if (y > r) ++tail;
+    }
+    tail /= static_cast<double>(samples.size());
+    double bound = std::pow(1.0 - q, static_cast<double>(r));
+    EXPECT_LE(tail, bound + 0.02) << "r=" << r;
+  }
+}
+
+TEST(R5GeometricTest, StrictQuorumsAlwaysHitFirstRead) {
+  util::Rng rng(9);
+  quorum::ProbabilisticQuorums qs(10, 6);  // 2k > n: strict
+  auto samples = r5_y_samples(qs, 1000, rng);
+  for (auto y : samples) EXPECT_EQ(y, 1u);
+}
+
+TEST(YFromHistoryTest, CountsReadsUntilCatchUp) {
+  HistoryRecorder rec;
+  rec.record_initial(0);
+  // Write ts 1 completes at t=2.
+  auto w = rec.begin_write(0, 0, 1.0, 1);
+  rec.end_write(w, 2.0);
+  // Process 1 then reads stale, stale, fresh.
+  for (int i = 0; i < 2; ++i) {
+    auto r = rec.begin_read(1, 0, 3.0 + i);
+    rec.end_read(r, 3.5 + i, 0);
+  }
+  auto r = rec.begin_read(1, 0, 6.0);
+  rec.end_read(r, 6.5, 1);
+  auto samples = y_samples_from_history(rec.ops(), 0, 1);
+  // Initial write (ts 0) is seen by the very first read: Y = 1.
+  // Write ts 1 needs 3 reads: Y = 3.
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_EQ(samples[0], 1u);
+  EXPECT_EQ(samples[1], 3u);
+}
+
+TEST(YFromHistoryTest, CensoredWritesAreDropped) {
+  HistoryRecorder rec;
+  auto w = rec.begin_write(0, 0, 1.0, 1);
+  rec.end_write(w, 2.0);
+  auto r = rec.begin_read(1, 0, 3.0);
+  rec.end_read(r, 3.5, 0);  // never catches up before the history ends
+  EXPECT_TRUE(y_samples_from_history(rec.ops(), 0, 1).empty());
+}
+
+TEST(YFromHistoryTest, ReadsBeforeTheWriteDoNotCount) {
+  HistoryRecorder rec;
+  rec.record_initial(0);
+  auto r0 = rec.begin_read(1, 0, 0.5);
+  rec.end_read(r0, 0.9, 0);
+  auto w = rec.begin_write(0, 0, 1.0, 1);
+  rec.end_write(w, 2.0);
+  auto r1 = rec.begin_read(1, 0, 3.0);
+  rec.end_read(r1, 3.5, 1);
+  auto samples = y_samples_from_history(rec.ops(), 0, 1);
+  // For write ts 1, only the read invoked after its completion counts.
+  ASSERT_EQ(samples.size(), 2u);  // initial write + write 1
+  EXPECT_EQ(samples[1], 1u);
+}
+
+}  // namespace
+}  // namespace pqra::core::spec

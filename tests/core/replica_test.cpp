@@ -1,0 +1,83 @@
+#include "core/replica.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/codec.hpp"
+
+namespace pqra::core {
+namespace {
+
+Value val(std::int64_t x) { return util::encode(x); }
+
+TEST(ReplicaTest, ReadOfUnknownRegisterReturnsTimestampZero) {
+  Replica r;
+  net::Message ack = r.handle(net::Message::read_req(3, 1));
+  EXPECT_EQ(ack.type, net::MsgType::kReadAck);
+  EXPECT_EQ(ack.reg, 3u);
+  EXPECT_EQ(ack.op, 1u);
+  EXPECT_EQ(ack.ts, 0u);
+  EXPECT_TRUE(ack.value.empty());
+}
+
+TEST(ReplicaTest, WriteThenReadReturnsValue) {
+  Replica r;
+  net::Message wack = r.handle(net::Message::write_req(0, 1, 1, val(42)));
+  EXPECT_EQ(wack.type, net::MsgType::kWriteAck);
+  EXPECT_EQ(wack.ts, 1u);
+  net::Message rack = r.handle(net::Message::read_req(0, 2));
+  EXPECT_EQ(rack.ts, 1u);
+  EXPECT_EQ(util::decode<std::int64_t>(rack.value), 42);
+}
+
+TEST(ReplicaTest, StaleWriteIsAckedButIgnored) {
+  Replica r;
+  r.handle(net::Message::write_req(0, 1, 5, val(5)));
+  net::Message ack = r.handle(net::Message::write_req(0, 2, 3, val(3)));
+  EXPECT_EQ(ack.type, net::MsgType::kWriteAck);  // still acknowledged
+  EXPECT_EQ(r.get(0)->ts, 5u);
+  EXPECT_EQ(util::decode<std::int64_t>(r.get(0)->value), 5);
+  EXPECT_EQ(r.writes_applied(), 1u);
+}
+
+TEST(ReplicaTest, EqualTimestampWriteIgnored) {
+  Replica r;
+  r.handle(net::Message::write_req(0, 1, 2, val(1)));
+  r.handle(net::Message::write_req(0, 2, 2, val(99)));
+  EXPECT_EQ(util::decode<std::int64_t>(r.get(0)->value), 1);
+}
+
+TEST(ReplicaTest, RegistersAreIndependent) {
+  Replica r;
+  r.handle(net::Message::write_req(0, 1, 1, val(10)));
+  r.handle(net::Message::write_req(1, 2, 7, val(20)));
+  EXPECT_EQ(r.get(0)->ts, 1u);
+  EXPECT_EQ(r.get(1)->ts, 7u);
+  EXPECT_EQ(r.num_registers(), 2u);
+}
+
+TEST(ReplicaTest, PreloadInstallsTimestampZero) {
+  Replica r;
+  r.preload(4, val(8));
+  EXPECT_EQ(r.get(4)->ts, 0u);
+  net::Message ack = r.handle(net::Message::read_req(4, 1));
+  EXPECT_EQ(util::decode<std::int64_t>(ack.value), 8);
+  // Any real write supersedes the preload.
+  r.handle(net::Message::write_req(4, 2, 1, val(9)));
+  EXPECT_EQ(r.get(4)->ts, 1u);
+}
+
+TEST(ReplicaTest, PreloadAfterWriteIsRejected) {
+  Replica r;
+  r.handle(net::Message::write_req(0, 1, 1, val(1)));
+  EXPECT_THROW(r.preload(0, val(2)), std::logic_error);
+}
+
+TEST(ReplicaTest, RejectsAckMessages) {
+  Replica r;
+  EXPECT_THROW(r.handle(net::Message::read_ack(0, 1, 0, {})),
+               std::logic_error);
+  EXPECT_THROW(r.handle(net::Message::write_ack(0, 1, 0)), std::logic_error);
+}
+
+}  // namespace
+}  // namespace pqra::core

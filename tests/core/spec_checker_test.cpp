@@ -1,0 +1,170 @@
+#include "core/spec/checker.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pqra::core::spec {
+namespace {
+
+TEST(SpecCheckerTest, CleanHistoryPassesEverything) {
+  HistoryRecorder rec;
+  rec.record_initial(0);
+  auto w1 = rec.begin_write(0, 0, 1.0, 1);
+  rec.end_write(w1, 2.0);
+  auto r1 = rec.begin_read(1, 0, 3.0);
+  rec.end_read(r1, 4.0, 1);
+  auto result = check_random_register(rec.ops(), true);
+  EXPECT_TRUE(result.ok);
+  EXPECT_TRUE(check_regular(rec.ops()).ok);
+}
+
+TEST(SpecCheckerTest, R1CatchesUnrespondedOps) {
+  HistoryRecorder rec;
+  rec.begin_read(0, 0, 1.0);
+  auto result = check_r1(rec.ops());
+  ASSERT_FALSE(result.ok);
+  EXPECT_NE(result.violations[0].find("[R1]"), std::string::npos);
+}
+
+TEST(SpecCheckerTest, R2CatchesInventedTimestamp) {
+  HistoryRecorder rec;
+  rec.record_initial(0);
+  auto r = rec.begin_read(1, 0, 1.0);
+  rec.end_read(r, 2.0, 7);  // ts 7 was never written
+  auto result = check_r2(rec.ops());
+  ASSERT_FALSE(result.ok);
+  EXPECT_NE(result.violations[0].find("never-written"), std::string::npos);
+}
+
+TEST(SpecCheckerTest, R2CatchesReadFromTheFuture) {
+  HistoryRecorder rec;
+  rec.record_initial(0);
+  auto r = rec.begin_read(1, 0, 1.0);
+  rec.end_read(r, 2.0, 1);  // returns ts 1 ...
+  auto w = rec.begin_write(0, 0, 5.0, 1);  // ... written only later
+  rec.end_write(w, 6.0);
+  auto result = check_r2(rec.ops());
+  ASSERT_FALSE(result.ok);
+  EXPECT_NE(result.violations[0].find("began after"), std::string::npos);
+}
+
+TEST(SpecCheckerTest, R2AllowsReadingConcurrentWrite) {
+  HistoryRecorder rec;
+  auto w = rec.begin_write(0, 0, 1.0, 1);
+  auto r = rec.begin_read(1, 0, 1.5);  // overlaps the write
+  rec.end_read(r, 2.0, 1);
+  rec.end_write(w, 3.0);
+  EXPECT_TRUE(check_r2(rec.ops()).ok);
+}
+
+TEST(SpecCheckerTest, R4CatchesBackwardReads) {
+  HistoryRecorder rec;
+  rec.record_initial(0);
+  for (Timestamp ts = 1; ts <= 2; ++ts) {
+    auto w = rec.begin_write(0, 0, ts * 10.0, ts);
+    rec.end_write(w, ts * 10.0 + 1);
+  }
+  auto r1 = rec.begin_read(1, 0, 30.0);
+  rec.end_read(r1, 31.0, 2);
+  auto r2 = rec.begin_read(1, 0, 32.0);
+  rec.end_read(r2, 33.0, 1);  // older than the previous read
+  auto result = check_r4(rec.ops());
+  ASSERT_FALSE(result.ok);
+  EXPECT_NE(result.violations[0].find("[R4]"), std::string::npos);
+}
+
+TEST(SpecCheckerTest, R4IsPerProcess) {
+  HistoryRecorder rec;
+  rec.record_initial(0);
+  for (Timestamp ts = 1; ts <= 2; ++ts) {
+    auto w = rec.begin_write(0, 0, ts * 10.0, ts);
+    rec.end_write(w, ts * 10.0 + 1);
+  }
+  auto r1 = rec.begin_read(1, 0, 30.0);
+  rec.end_read(r1, 31.0, 2);
+  auto r2 = rec.begin_read(2, 0, 32.0);  // *different* process
+  rec.end_read(r2, 33.0, 1);
+  EXPECT_TRUE(check_r4(rec.ops()).ok);
+}
+
+TEST(SpecCheckerTest, R4IsPerRegister) {
+  HistoryRecorder rec;
+  rec.record_initial(0);
+  rec.record_initial(1);
+  auto w = rec.begin_write(0, 0, 1.0, 1);
+  rec.end_write(w, 2.0);
+  auto r1 = rec.begin_read(1, 0, 3.0);
+  rec.end_read(r1, 4.0, 1);
+  auto r2 = rec.begin_read(1, 1, 5.0);
+  rec.end_read(r2, 6.0, 0);  // register 1 still at its initial version
+  EXPECT_TRUE(check_r4(rec.ops()).ok);
+}
+
+TEST(SpecCheckerTest, SingleWriterCatchesSecondWriter) {
+  HistoryRecorder rec;
+  auto w1 = rec.begin_write(0, 0, 1.0, 1);
+  rec.end_write(w1, 2.0);
+  auto w2 = rec.begin_write(1, 0, 3.0, 2);
+  rec.end_write(w2, 4.0);
+  auto result = check_single_writer(rec.ops());
+  ASSERT_FALSE(result.ok);
+  EXPECT_NE(result.violations[0].find("second writer"), std::string::npos);
+}
+
+TEST(SpecCheckerTest, SingleWriterCatchesTimestampReuse) {
+  HistoryRecorder rec;
+  auto w1 = rec.begin_write(0, 0, 1.0, 1);
+  rec.end_write(w1, 2.0);
+  auto w2 = rec.begin_write(0, 0, 3.0, 1);
+  rec.end_write(w2, 4.0);
+  EXPECT_FALSE(check_single_writer(rec.ops()).ok);
+}
+
+TEST(SpecCheckerTest, RegularityCatchesStaleRead) {
+  HistoryRecorder rec;
+  rec.record_initial(0);
+  auto w = rec.begin_write(0, 0, 1.0, 1);
+  rec.end_write(w, 2.0);
+  auto r = rec.begin_read(1, 0, 5.0);  // invoked well after the write ended
+  rec.end_read(r, 6.0, 0);             // ...but returns the initial value
+  auto result = check_regular(rec.ops());
+  ASSERT_FALSE(result.ok);
+  EXPECT_NE(result.violations[0].find("[REG]"), std::string::npos);
+  // The same history is a perfectly fine *random* register execution.
+  EXPECT_TRUE(check_random_register(rec.ops(), false).ok);
+}
+
+TEST(SpecCheckerTest, FigureOneScenario) {
+  // Figure 1 of the paper: several writes, a read overlapping some of them.
+  // W1 writes a (ts 1), W4 writes b (ts 4) concurrent with R, W6 writes c
+  // (ts 6) also concurrent.  R may return a, b, or c — all pass [R2]; a
+  // value never written (ts 9) fails.
+  for (Timestamp returned : {1u, 4u, 6u}) {
+    HistoryRecorder rec;
+    for (Timestamp ts = 1; ts <= 3; ++ts) {
+      auto w = rec.begin_write(0, 0, static_cast<double>(ts), ts);
+      rec.end_write(w, ts + 0.5);
+    }
+    auto r = rec.begin_read(1, 0, 3.8);
+    auto w4 = rec.begin_write(0, 0, 4.0, 4);
+    rec.end_write(w4, 4.5);
+    auto w5 = rec.begin_write(0, 0, 5.0, 5);
+    rec.end_write(w5, 5.5);
+    auto w6 = rec.begin_write(0, 0, 6.0, 6);
+    rec.end_read(r, 6.5, returned);
+    rec.end_write(w6, 7.0);
+    EXPECT_TRUE(check_r2(rec.ops()).ok) << "returned ts " << returned;
+  }
+}
+
+TEST(SpecCheckerTest, MergedCheckAggregatesViolations) {
+  HistoryRecorder rec;
+  rec.begin_read(0, 0, 1.0);  // unresponded -> R1
+  auto r = rec.begin_read(1, 0, 2.0);
+  rec.end_read(r, 3.0, 9);  // invented ts -> R2
+  auto result = check_random_register(rec.ops(), false);
+  EXPECT_FALSE(result.ok);
+  EXPECT_GE(result.violations.size(), 2u);
+}
+
+}  // namespace
+}  // namespace pqra::core::spec

@@ -1,0 +1,74 @@
+#include "iter/alg1_threads.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/apsp.hpp"
+#include "apps/graph.hpp"
+#include "apps/transitive_closure.hpp"
+#include "quorum/majority.hpp"
+#include "quorum/probabilistic.hpp"
+
+namespace pqra::iter {
+namespace {
+
+TEST(Alg1ThreadsTest, ConvergesWithMajorityQuorums) {
+  apps::Graph g = apps::make_chain(6);
+  apps::ApspOperator op(g);
+  quorum::MajorityQuorums qs(5);
+  Alg1ThreadsOptions options;
+  options.quorums = &qs;
+  Alg1ThreadsResult r = run_alg1_threads(op, options);
+  EXPECT_TRUE(r.converged);
+  EXPECT_GE(r.rounds, 1u);
+  EXPECT_GT(r.messages.total, 0u);
+}
+
+TEST(Alg1ThreadsTest, ConvergesWithMonotoneProbabilisticQuorums) {
+  apps::Graph g = apps::make_chain(6);
+  apps::ApspOperator op(g);
+  quorum::ProbabilisticQuorums qs(8, 3);
+  Alg1ThreadsOptions options;
+  options.quorums = &qs;
+  options.monotone = true;
+  options.round_cap = 100000;
+  Alg1ThreadsResult r = run_alg1_threads(op, options);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(Alg1ThreadsTest, FewerProcessesThanComponents) {
+  apps::Graph g = apps::make_chain(8);
+  apps::ApspOperator op(g);
+  quorum::MajorityQuorums qs(5);
+  Alg1ThreadsOptions options;
+  options.quorums = &qs;
+  options.num_processes = 2;
+  Alg1ThreadsResult r = run_alg1_threads(op, options);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(Alg1ThreadsTest, RoundCapStopsTheRun) {
+  apps::Graph g = apps::make_chain(12);
+  apps::ApspOperator op(g);
+  quorum::ProbabilisticQuorums qs(16, 1);  // tiny quorums: very slow
+  Alg1ThreadsOptions options;
+  options.quorums = &qs;
+  options.monotone = false;
+  options.round_cap = 3;
+  Alg1ThreadsResult r = run_alg1_threads(op, options);
+  if (!r.converged) {
+    EXPECT_GE(r.rounds, 3u);
+  }
+}
+
+TEST(Alg1ThreadsTest, OtherOperatorsRunToo) {
+  apps::Graph g = apps::make_cycle(6);
+  apps::TransitiveClosureOperator op(g);
+  quorum::MajorityQuorums qs(5);
+  Alg1ThreadsOptions options;
+  options.quorums = &qs;
+  Alg1ThreadsResult r = run_alg1_threads(op, options);
+  EXPECT_TRUE(r.converged);
+}
+
+}  // namespace
+}  // namespace pqra::iter

@@ -1,0 +1,99 @@
+#include "iter/pseudocycle.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pqra::iter {
+namespace {
+
+TEST(PseudocycleTest, FirstPseudocycleHasNoViewRequirement) {
+  PseudocycleTracker t(2, 2);
+  // Both processes iterate with only initial values (ts 0): closes pc 0.
+  EXPECT_FALSE(t.on_iteration(0, {0, 0}));
+  t.on_write(0, 1);
+  t.on_write(1, 1);
+  EXPECT_TRUE(t.on_iteration(1, {0, 0}));
+  EXPECT_EQ(t.completed(), 1u);
+}
+
+TEST(PseudocycleTest, SecondPseudocycleRequiresFreshViews) {
+  PseudocycleTracker t(1, 1);
+  t.on_write(0, 1);
+  EXPECT_TRUE(t.on_iteration(0, {0}));  // pc 0 closes; target becomes ts 1
+
+  // A stale iteration (still reading ts 0) does not close pc 1 ...
+  t.on_write(0, 2);
+  EXPECT_FALSE(t.on_iteration(0, {0}));
+  // ... but once the process reads ts >= 1, it does.
+  t.on_write(0, 3);
+  EXPECT_TRUE(t.on_iteration(0, {1}));
+  EXPECT_EQ(t.completed(), 2u);
+}
+
+TEST(PseudocycleTest, TargetIsFirstWriteOfPreviousPc) {
+  PseudocycleTracker t(1, 1);
+  // pc 0: writes ts 1, 2, 3 happen; first is ts 1.
+  t.on_write(0, 1);
+  t.on_write(0, 2);
+  t.on_write(0, 3);
+  EXPECT_TRUE(t.on_iteration(0, {0}));
+  // pc 1: reading ts 1 (>= first write of pc 0) suffices even though ts 3
+  // exists.
+  t.on_write(0, 4);
+  EXPECT_TRUE(t.on_iteration(0, {1}));
+  EXPECT_EQ(t.completed(), 2u);
+}
+
+TEST(PseudocycleTest, AllProcessesMustHaveFreshViews) {
+  PseudocycleTracker t(2, 1);
+  t.on_write(0, 1);
+  t.on_iteration(0, {0});
+  EXPECT_TRUE(t.on_iteration(1, {0}));  // pc 0 done, target ts 1
+
+  t.on_write(0, 2);
+  EXPECT_FALSE(t.on_iteration(0, {2}));  // process 0 fresh
+  EXPECT_FALSE(t.on_iteration(1, {0}));  // process 1 stale: pc stays open
+  EXPECT_TRUE(t.on_iteration(1, {2}));
+  EXPECT_EQ(t.completed(), 2u);
+}
+
+TEST(PseudocycleTest, GoodFlagIsSticky) {
+  // Once a process contributed a good iteration to the pseudocycle, later
+  // stale iterations by the same process do not revoke it.
+  PseudocycleTracker t(2, 1);
+  t.on_write(0, 1);
+  t.on_iteration(0, {0});
+  t.on_iteration(1, {0});  // pc 0 closed, target ts 1
+
+  t.on_write(0, 2);
+  EXPECT_FALSE(t.on_iteration(0, {2}));  // good
+  EXPECT_FALSE(t.on_iteration(0, {0}));  // stale again, but already counted
+  EXPECT_TRUE(t.on_iteration(1, {1}));
+  EXPECT_EQ(t.completed(), 2u);
+}
+
+TEST(PseudocycleTest, StrictSynchronousPatternOnePcPerRound) {
+  // With always-fresh reads (strict quorums, synchronous), every round is a
+  // pseudocycle.
+  PseudocycleTracker t(2, 2);
+  core::Timestamp ts = 0;
+  for (int round = 0; round < 5; ++round) {
+    ++ts;
+    t.on_write(0, ts);
+    t.on_write(1, ts);
+    t.on_iteration(0, {ts, ts});
+    t.on_iteration(1, {ts, ts});
+  }
+  EXPECT_EQ(t.completed(), 5u);
+}
+
+TEST(PseudocycleTest, RejectsBadArguments) {
+  EXPECT_THROW(PseudocycleTracker(0, 1), std::logic_error);
+  EXPECT_THROW(PseudocycleTracker(1, 0), std::logic_error);
+  PseudocycleTracker t(1, 1);
+  EXPECT_THROW(t.on_write(1, 1), std::logic_error);
+  EXPECT_THROW(t.on_write(0, 0), std::logic_error);
+  EXPECT_THROW(t.on_iteration(0, {0, 0}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace pqra::iter

@@ -1,0 +1,62 @@
+#include "iter/rounds.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pqra::iter {
+namespace {
+
+TEST(RoundTrackerTest, RoundClosesWhenEveryoneIterated) {
+  RoundTracker t(3);
+  EXPECT_FALSE(t.iteration_completed(0));
+  EXPECT_FALSE(t.iteration_completed(1));
+  EXPECT_TRUE(t.iteration_completed(2));
+  EXPECT_EQ(t.completed_rounds(), 1u);
+}
+
+TEST(RoundTrackerTest, ExtraIterationsDoNotDoubleCount) {
+  RoundTracker t(2);
+  EXPECT_FALSE(t.iteration_completed(0));
+  EXPECT_FALSE(t.iteration_completed(0));
+  EXPECT_FALSE(t.iteration_completed(0));
+  EXPECT_TRUE(t.iteration_completed(1));
+  EXPECT_EQ(t.completed_rounds(), 1u);
+  EXPECT_EQ(t.iterations_total(), 4u);
+}
+
+TEST(RoundTrackerTest, PartialRoundDetection) {
+  RoundTracker t(2);
+  EXPECT_FALSE(t.in_partial_round());
+  EXPECT_EQ(t.rounds_including_partial(), 0u);
+  t.iteration_completed(0);
+  EXPECT_TRUE(t.in_partial_round());
+  EXPECT_EQ(t.rounds_including_partial(), 1u);
+  t.iteration_completed(1);
+  EXPECT_FALSE(t.in_partial_round());
+  EXPECT_EQ(t.rounds_including_partial(), 1u);
+}
+
+TEST(RoundTrackerTest, SingleProcessEveryIterationIsARound) {
+  RoundTracker t(1);
+  for (int i = 1; i <= 5; ++i) {
+    EXPECT_TRUE(t.iteration_completed(0));
+    EXPECT_EQ(t.completed_rounds(), static_cast<std::size_t>(i));
+  }
+}
+
+TEST(RoundTrackerTest, ManyRounds) {
+  RoundTracker t(4);
+  for (int round = 0; round < 10; ++round) {
+    for (std::size_t p = 0; p < 4; ++p) t.iteration_completed(p);
+  }
+  EXPECT_EQ(t.completed_rounds(), 10u);
+  EXPECT_EQ(t.iterations_total(), 40u);
+}
+
+TEST(RoundTrackerTest, RejectsBadInput) {
+  EXPECT_THROW(RoundTracker(0), std::logic_error);
+  RoundTracker t(2);
+  EXPECT_THROW(t.iteration_completed(2), std::logic_error);
+}
+
+}  // namespace
+}  // namespace pqra::iter

@@ -1,0 +1,135 @@
+#include "iter/update_sequence.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/apsp.hpp"
+#include "apps/graph.hpp"
+
+namespace pqra::iter {
+namespace {
+
+/// A schedule that violates [A1] by viewing the current update.
+class FutureViewSchedule final : public ScheduleGenerator {
+ public:
+  UpdateStep next(std::size_t k, std::size_t m) override {
+    UpdateStep step;
+    step.change.push_back(0);
+    step.view.assign(m, k);  // view from "now": illegal
+    return step;
+  }
+  std::string name() const override { return "future-view"; }
+};
+
+TEST(UpdateSequenceTest, SynchronousConvergesInLogDiameterUpdates) {
+  apps::Graph g = apps::make_chain(8);  // diameter 7, M = ceil(log2 7) = 3
+  apps::ApspOperator op(g);
+  ASSERT_EQ(op.max_pseudocycles().value(), 3u);
+  auto schedule = make_synchronous_schedule();
+  SequentialResult r = run_update_sequence(op, *schedule, 100);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LE(r.updates, 3u);  // Theorem 2: at most M pseudocycles
+  EXPECT_EQ(r.pseudocycles, r.updates);  // each sync update is a pseudocycle
+  EXPECT_TRUE(r.all_updates_b2);
+  for (std::size_t i = 0; i < op.num_components(); ++i) {
+    EXPECT_EQ(r.final_x[i], op.fixed_point(i));
+  }
+}
+
+TEST(UpdateSequenceTest, RoundRobinConverges) {
+  apps::Graph g = apps::make_chain(6);
+  apps::ApspOperator op(g);
+  auto schedule = make_round_robin_schedule();
+  SequentialResult r = run_update_sequence(op, *schedule, 1000);
+  EXPECT_TRUE(r.converged);
+  // One pseudocycle per m consecutive updates, and Theorem 2 bounds the
+  // number of pseudocycles by M.
+  EXPECT_LE(r.pseudocycles,
+            op.max_pseudocycles().value() + 1);  // +1: partial pc at the end
+  EXPECT_TRUE(r.all_updates_b2);
+}
+
+struct StaleParam {
+  std::size_t staleness;
+  std::uint64_t seed;
+};
+
+class BoundedStaleSweep : public ::testing::TestWithParam<StaleParam> {};
+
+TEST_P(BoundedStaleSweep, ConvergesUnderBoundedAsynchrony) {
+  auto [staleness, seed] = GetParam();
+  apps::Graph g = apps::make_chain(7);
+  apps::ApspOperator op(g);
+  auto schedule = make_bounded_stale_schedule(staleness, util::Rng(seed));
+  SequentialResult r = run_update_sequence(op, *schedule, 20000);
+  EXPECT_TRUE(r.converged) << "staleness=" << staleness << " seed=" << seed;
+  for (std::size_t i = 0; i < op.num_components(); ++i) {
+    EXPECT_EQ(r.final_x[i], op.fixed_point(i));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Staleness, BoundedStaleSweep,
+    ::testing::Values(StaleParam{1, 1}, StaleParam{1, 2}, StaleParam{3, 1},
+                      StaleParam{3, 7}, StaleParam{10, 1}, StaleParam{10, 3},
+                      StaleParam{25, 5}));
+
+TEST(UpdateSequenceTest, OldestViewStillConverges) {
+  // Adversarially stale (but bounded) views: convergence is slower yet
+  // guaranteed — this is exactly what [A3]/[B2] buy.
+  apps::Graph g = apps::make_chain(6);
+  apps::ApspOperator op(g);
+  auto schedule = make_oldest_view_schedule(4);
+  SequentialResult r = run_update_sequence(op, *schedule, 5000);
+  EXPECT_TRUE(r.converged);
+  auto sync = make_synchronous_schedule();
+  SequentialResult fast = run_update_sequence(op, *sync, 100);
+  EXPECT_GE(r.updates, fast.updates);
+}
+
+TEST(UpdateSequenceTest, MoreStalenessMeansMoreUpdates) {
+  apps::Graph g = apps::make_chain(10);
+  apps::ApspOperator op(g);
+  auto fresh = make_oldest_view_schedule(1);
+  auto stale = make_oldest_view_schedule(8);
+  auto r_fresh = run_update_sequence(op, *fresh, 10000);
+  auto r_stale = run_update_sequence(op, *stale, 10000);
+  ASSERT_TRUE(r_fresh.converged);
+  ASSERT_TRUE(r_stale.converged);
+  EXPECT_LT(r_fresh.updates, r_stale.updates);
+}
+
+TEST(UpdateSequenceTest, A1ViolationThrows) {
+  apps::Graph g = apps::make_chain(4);
+  apps::ApspOperator op(g);
+  FutureViewSchedule schedule;
+  EXPECT_THROW(run_update_sequence(op, schedule, 10), std::logic_error);
+}
+
+TEST(UpdateSequenceTest, MaxUpdatesHonoredWithoutConvergence) {
+  apps::Graph g = apps::make_chain(16);
+  apps::ApspOperator op(g);
+  auto schedule = make_round_robin_schedule();
+  SequentialResult r = run_update_sequence(op, *schedule, 5);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.updates, 5u);
+  EXPECT_EQ(r.final_x.size(), op.num_components());
+}
+
+TEST(UpdateSequenceTest, AlreadyConvergedInitialVectorStopsInOneUpdate) {
+  // A complete graph with all direct edges optimal: initial == fixed point.
+  util::Rng rng(3);
+  apps::Graph g(3);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    for (std::uint32_t j = 0; j < 3; ++j) {
+      if (i != j) g.add_edge(i, j, 1);
+    }
+  }
+  apps::ApspOperator op(g);
+  auto schedule = make_synchronous_schedule();
+  SequentialResult r = run_update_sequence(op, *schedule, 10);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.updates, 1u);
+}
+
+}  // namespace
+}  // namespace pqra::iter

@@ -1,0 +1,83 @@
+#include "net/fault_plan.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pqra::net {
+namespace {
+
+class NullReceiver final : public Receiver {
+ public:
+  void on_message(NodeId, Message) override { ++received; }
+  int received = 0;
+};
+
+TEST(FaultPlanTest, InstallDrivesCrashAndRecovery) {
+  sim::Simulator sim;
+  auto delay = sim::make_constant_delay(0.1);
+  SimTransport transport(sim, *delay, util::Rng(1), 2);
+  NullReceiver rx0, rx1;
+  transport.register_receiver(0, &rx0);
+  transport.register_receiver(1, &rx1);
+
+  FaultPlan plan;
+  plan.outage(1, 5.0, 10.0);
+  plan.install(sim, transport);
+
+  // Before the outage: delivered.
+  transport.send(0, 1, Message::read_req(0, 1));
+  sim.run_until(2.0);
+  EXPECT_EQ(rx1.received, 1);
+  // During the outage: dropped.
+  sim.run_until(7.0);
+  EXPECT_TRUE(transport.is_crashed(1));
+  transport.send(0, 1, Message::read_req(0, 2));
+  sim.run_until(9.0);
+  EXPECT_EQ(rx1.received, 1);
+  // After recovery: delivered again.
+  sim.run_until(16.0);
+  EXPECT_FALSE(transport.is_crashed(1));
+  transport.send(0, 1, Message::read_req(0, 3));
+  sim.run();
+  EXPECT_EQ(rx1.received, 2);
+}
+
+TEST(FaultPlanTest, MaxConcurrentDownComputesOverlap) {
+  FaultPlan plan;
+  plan.outage(0, 1.0, 5.0);   // down [1, 6)
+  plan.outage(1, 3.0, 5.0);   // down [3, 8)
+  plan.outage(2, 10.0, 1.0);  // down [10, 11)
+  EXPECT_EQ(plan.max_concurrent_down(3), 2u);
+  EXPECT_EQ(plan.max_concurrent_down(1), 1u);  // only server 0 considered
+}
+
+TEST(FaultPlanTest, RandomChurnProducesPairedEvents) {
+  util::Rng rng(7);
+  FaultPlan plan = FaultPlan::random_churn(10, 100.0, 20.0, 5.0, rng);
+  EXPECT_FALSE(plan.empty());
+  EXPECT_EQ(plan.events().size() % 2, 0u);  // crash/recover pairs
+  for (const auto& ev : plan.events()) {
+    EXPECT_LT(ev.node, 10u);
+    EXPECT_GE(ev.at, 0.0);
+  }
+}
+
+TEST(FaultPlanTest, ChurnIsDeterministicGivenSeed) {
+  util::Rng a(3), b(3);
+  FaultPlan p1 = FaultPlan::random_churn(5, 50.0, 10.0, 2.0, a);
+  FaultPlan p2 = FaultPlan::random_churn(5, 50.0, 10.0, 2.0, b);
+  ASSERT_EQ(p1.events().size(), p2.events().size());
+  for (std::size_t i = 0; i < p1.events().size(); ++i) {
+    EXPECT_DOUBLE_EQ(p1.events()[i].at, p2.events()[i].at);
+    EXPECT_EQ(p1.events()[i].node, p2.events()[i].node);
+    EXPECT_EQ(p1.events()[i].crash, p2.events()[i].crash);
+  }
+}
+
+TEST(FaultPlanTest, RejectsBadArguments) {
+  FaultPlan plan;
+  EXPECT_THROW(plan.crash_at(-1.0, 0), std::logic_error);
+  EXPECT_THROW(plan.outage(0, 1.0, 0.0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace pqra::net

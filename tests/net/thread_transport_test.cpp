@@ -1,0 +1,112 @@
+#include "net/thread_transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace pqra::net {
+namespace {
+
+TEST(ThreadTransportTest, SendThenTryRecv) {
+  ThreadTransport t(2);
+  t.send(0, 1, Message::read_req(5, 9));
+  auto env = t.try_recv(1);
+  ASSERT_TRUE(env.has_value());
+  EXPECT_EQ(env->from, 0u);
+  EXPECT_EQ(env->msg.reg, 5u);
+  EXPECT_FALSE(t.try_recv(1).has_value());
+}
+
+TEST(ThreadTransportTest, FifoPerMailbox) {
+  ThreadTransport t(2);
+  for (OpId i = 0; i < 10; ++i) t.send(0, 1, Message::read_req(0, i));
+  for (OpId i = 0; i < 10; ++i) {
+    auto env = t.try_recv(1);
+    ASSERT_TRUE(env.has_value());
+    EXPECT_EQ(env->msg.op, i);
+  }
+}
+
+TEST(ThreadTransportTest, BlockingRecvWakesOnSend) {
+  ThreadTransport t(2);
+  std::atomic<bool> got{false};
+  std::thread receiver([&] {
+    auto env = t.recv(1);
+    got = env.has_value() && env->msg.op == 42;
+  });
+  t.send(0, 1, Message::read_req(0, 42));
+  receiver.join();
+  EXPECT_TRUE(got);
+}
+
+TEST(ThreadTransportTest, CloseUnblocksReceivers) {
+  ThreadTransport t(2);
+  std::atomic<bool> returned_empty{false};
+  std::thread receiver([&] {
+    auto env = t.recv(1);
+    returned_empty = !env.has_value();
+  });
+  t.close();
+  receiver.join();
+  EXPECT_TRUE(returned_empty);
+}
+
+TEST(ThreadTransportTest, RecvDrainsRemainingAfterClose) {
+  ThreadTransport t(2);
+  t.send(0, 1, Message::read_req(0, 1));
+  t.close();
+  EXPECT_TRUE(t.recv(1).has_value());
+  EXPECT_FALSE(t.recv(1).has_value());
+}
+
+TEST(ThreadTransportTest, SendAfterCloseIsDropped) {
+  ThreadTransport t(2);
+  t.close();
+  t.send(0, 1, Message::read_req(0, 1));
+  EXPECT_EQ(t.stats().dropped, 1u);
+  EXPECT_FALSE(t.try_recv(1).has_value());
+}
+
+TEST(ThreadTransportTest, StatsCountTotalsAndPerNode) {
+  ThreadTransport t(3);
+  t.send(0, 1, Message::read_req(0, 1));
+  t.send(0, 2, Message::write_req(0, 2, 1, {}));
+  t.send(1, 2, Message::write_ack(0, 2, 1));
+  MessageStats stats = t.stats();
+  EXPECT_EQ(stats.total, 3u);
+  EXPECT_EQ(stats.received_by_node[1], 1u);
+  EXPECT_EQ(stats.received_by_node[2], 2u);
+}
+
+TEST(ThreadTransportTest, ManyProducersOneConsumer) {
+  constexpr int kProducers = 8;
+  constexpr int kPerProducer = 500;
+  ThreadTransport t(kProducers + 1);
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&t, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        t.send(static_cast<NodeId>(p), kProducers,
+               Message::read_req(0, static_cast<OpId>(i)));
+      }
+    });
+  }
+  int received = 0;
+  while (received < kProducers * kPerProducer) {
+    if (t.recv(kProducers).has_value()) ++received;
+  }
+  for (auto& p : producers) p.join();
+  EXPECT_EQ(t.stats().total,
+            static_cast<std::uint64_t>(kProducers) * kPerProducer);
+}
+
+TEST(ThreadTransportTest, RejectsOutOfRangeNodes) {
+  ThreadTransport t(2);
+  EXPECT_THROW(t.send(0, 5, Message::read_req(0, 1)), std::logic_error);
+  EXPECT_THROW(t.try_recv(5), std::logic_error);
+}
+
+}  // namespace
+}  // namespace pqra::net

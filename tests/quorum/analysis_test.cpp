@@ -1,0 +1,162 @@
+#include "quorum/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "quorum/fpp.hpp"
+#include "quorum/grid.hpp"
+#include "quorum/majority.hpp"
+#include "quorum/probabilistic.hpp"
+#include "quorum/rowa.hpp"
+#include "quorum/singleton.hpp"
+#include "util/math.hpp"
+
+namespace pqra::quorum {
+namespace {
+
+TEST(IntersectionTest, StrictSystemsAlwaysIntersect) {
+  util::Rng rng(1);
+  EXPECT_TRUE(check_intersection(MajorityQuorums(9), rng));
+  EXPECT_TRUE(check_intersection(GridQuorums(4, 4), rng));
+  EXPECT_TRUE(check_intersection(FppQuorums(3), rng));
+  EXPECT_TRUE(check_intersection(SingletonQuorums(5), rng));
+  EXPECT_TRUE(check_intersection(ReadOneWriteAll(5), rng));
+}
+
+TEST(IntersectionTest, SmallProbabilisticQuorumsMiss) {
+  util::Rng rng(2);
+  // n = 34, k = 2: nonoverlap probability ~ 0.886 — misses show up fast.
+  EXPECT_FALSE(check_intersection(ProbabilisticQuorums(34, 2), rng, 200));
+}
+
+TEST(IntersectionTest, OverHalfProbabilisticQuorumsAreStrict) {
+  util::Rng rng(3);
+  EXPECT_TRUE(check_intersection(ProbabilisticQuorums(34, 18), rng, 500));
+}
+
+TEST(EmpiricalNonoverlapTest, MatchesTheFormula) {
+  util::Rng rng(5);
+  for (std::size_t k : {1u, 3u, 6u, 10u}) {
+    double expected = util::quorum_nonoverlap_probability(34, k);
+    double measured = empirical_nonoverlap(ProbabilisticQuorums(34, k), rng,
+                                           20000);
+    EXPECT_NEAR(measured, expected, 0.02) << "k=" << k;
+  }
+}
+
+TEST(LoadTest, ProbabilisticLoadIsKOverN) {
+  util::Rng rng(7);
+  ProbabilisticQuorums qs(36, 6);
+  LoadEstimate est = empirical_load(qs, AccessKind::kRead, rng, 40000);
+  // Uniform strategy: every server accessed with frequency k/n ~ 1/6.
+  EXPECT_NEAR(est.busiest, 6.0 / 36.0, 0.01);
+  EXPECT_NEAR(est.average, 6.0 / 36.0, 0.005);
+}
+
+TEST(LoadTest, MajorityLoadIsAboutHalf) {
+  util::Rng rng(9);
+  LoadEstimate est =
+      empirical_load(MajorityQuorums(35), AccessKind::kRead, rng, 20000);
+  EXPECT_NEAR(est.busiest, 18.0 / 35.0, 0.02);
+}
+
+TEST(LoadTest, GridLoadIsOrderInverseSqrtN) {
+  util::Rng rng(11);
+  GridQuorums qs(6, 6);  // n = 36, quorum size 11
+  LoadEstimate est = empirical_load(qs, AccessKind::kRead, rng, 40000);
+  EXPECT_NEAR(est.busiest, 11.0 / 36.0, 0.02);
+}
+
+TEST(LoadTest, SingletonLoadIsOne) {
+  util::Rng rng(13);
+  LoadEstimate est =
+      empirical_load(SingletonQuorums(5), AccessKind::kRead, rng, 100);
+  EXPECT_DOUBLE_EQ(est.busiest, 1.0);
+}
+
+TEST(LoadTest, NaorWoolLowerBoundHolds) {
+  util::Rng rng(15);
+  struct Case {
+    std::unique_ptr<QuorumSystem> qs;
+  };
+  std::vector<std::unique_ptr<QuorumSystem>> systems;
+  systems.push_back(std::make_unique<ProbabilisticQuorums>(36, 6));
+  systems.push_back(std::make_unique<MajorityQuorums>(36));
+  systems.push_back(std::make_unique<GridQuorums>(6, 6));
+  systems.push_back(std::make_unique<FppQuorums>(5));
+  for (const auto& qs : systems) {
+    double bound =
+        load_lower_bound(qs->num_servers(), qs->quorum_size(AccessKind::kRead));
+    LoadEstimate est = empirical_load(*qs, AccessKind::kRead, rng, 20000);
+    EXPECT_GE(est.busiest + 0.02, bound) << qs->name();
+  }
+}
+
+TEST(SurvivalTest, SurvivesCrashesMatchesSemantics) {
+  ProbabilisticQuorums prob(6, 2);
+  std::vector<bool> crashed(6, false);
+  EXPECT_TRUE(survives_crashes(prob, AccessKind::kRead, crashed));
+  for (int i = 0; i < 5; ++i) crashed[i] = true;  // one server left < k = 2
+  EXPECT_FALSE(survives_crashes(prob, AccessKind::kRead, crashed));
+  crashed[0] = false;  // two alive
+  EXPECT_TRUE(survives_crashes(prob, AccessKind::kRead, crashed));
+}
+
+TEST(SurvivalTest, GridDiesWithARow) {
+  GridQuorums qs(3, 3);
+  std::vector<bool> crashed(9, false);
+  crashed[0] = crashed[1] = crashed[2] = true;  // full top row
+  EXPECT_FALSE(survives_crashes(qs, AccessKind::kRead, crashed));
+  crashed[2] = false;  // partial row: column 2 quorums survive
+  EXPECT_TRUE(survives_crashes(qs, AccessKind::kRead, crashed));
+}
+
+TEST(SurvivalTest, MonteCarloProbabilityOrdering) {
+  // At 30% crash probability, the probabilistic sqrt-n system should survive
+  // far more often than FPP of comparable quorum size.
+  util::Rng rng(17);
+  FppQuorums fpp(5);                              // n = 31, quorums of 6
+  ProbabilisticQuorums prob(31, 6);               // same n, same size
+  double p_fpp = survival_probability(fpp, AccessKind::kRead, 0.3, rng, 4000);
+  double p_prob = survival_probability(prob, AccessKind::kRead, 0.3, rng, 4000);
+  EXPECT_GT(p_prob, 0.99);
+  EXPECT_LT(p_fpp, p_prob);
+}
+
+TEST(BruteForceMinKillTest, MatchesAnalyticValues) {
+  EXPECT_EQ(brute_force_min_kill(ProbabilisticQuorums(6, 2),
+                                 AccessKind::kRead),
+            5u);
+  EXPECT_EQ(brute_force_min_kill(MajorityQuorums(7), AccessKind::kRead), 4u);
+  EXPECT_EQ(brute_force_min_kill(GridQuorums(3, 3), AccessKind::kRead), 3u);
+  EXPECT_EQ(brute_force_min_kill(FppQuorums(2), AccessKind::kRead), 3u);
+  EXPECT_EQ(brute_force_min_kill(SingletonQuorums(4), AccessKind::kRead), 1u);
+}
+
+TEST(BruteForceMinKillTest, AgreesWithMinKillAcrossSystems) {
+  std::vector<std::unique_ptr<QuorumSystem>> systems;
+  systems.push_back(std::make_unique<ProbabilisticQuorums>(8, 3));
+  systems.push_back(std::make_unique<MajorityQuorums>(8));
+  systems.push_back(std::make_unique<GridQuorums>(2, 4));
+  systems.push_back(std::make_unique<FppQuorums>(2));
+  systems.push_back(std::make_unique<ReadOneWriteAll>(5));
+  for (const auto& qs : systems) {
+    for (AccessKind kind : {AccessKind::kRead, AccessKind::kWrite}) {
+      EXPECT_EQ(brute_force_min_kill(*qs, kind), qs->min_kill(kind))
+          << qs->name();
+    }
+  }
+}
+
+TEST(AvailabilityTradeoffTest, ProbabilisticBreaksTheTradeoff) {
+  // §4: strict systems with optimal sqrt(n) load have only O(sqrt n)
+  // availability; the probabilistic system with the same load has Theta(n).
+  FppQuorums fpp(5);  // n = 31, load ~ 6/31
+  ProbabilisticQuorums prob(31, 6);
+  EXPECT_EQ(fpp.min_kill(AccessKind::kRead), 6u);          // Theta(sqrt n)
+  EXPECT_EQ(prob.min_kill(AccessKind::kRead), 31u - 6 + 1);  // Theta(n)
+}
+
+}  // namespace
+}  // namespace pqra::quorum

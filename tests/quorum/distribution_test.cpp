@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "quorum/analysis.hpp"
+#include "quorum/fpp.hpp"
+#include "quorum/hierarchical.hpp"
+#include "quorum/majority.hpp"
+#include "quorum/probabilistic.hpp"
+#include "util/math.hpp"
+
+/// Distributional properties of the quorum sampling strategies, and an
+/// analytic cross-check of the Monte-Carlo survival estimator.
+
+namespace pqra::quorum {
+namespace {
+
+TEST(DistributionTest, FppPicksLinesUniformly) {
+  FppQuorums qs(3);  // 13 lines
+  util::Rng rng(3);
+  std::map<std::vector<ServerId>, int> counts;
+  constexpr int kDraws = 26000;
+  std::vector<ServerId> q;
+  for (int i = 0; i < kDraws; ++i) {
+    qs.pick(AccessKind::kRead, rng, q);
+    ++counts[q];
+  }
+  EXPECT_EQ(counts.size(), 13u);
+  for (const auto& [line, count] : counts) {
+    EXPECT_NEAR(count, kDraws / 13, 300);
+  }
+}
+
+TEST(DistributionTest, ProbabilisticPairInclusionIsUniform) {
+  // P[servers {a, b} both in a k-subset] = k(k-1)/(n(n-1)) for all pairs.
+  const std::size_t n = 10, k = 4;
+  ProbabilisticQuorums qs(n, k);
+  util::Rng rng(7);
+  constexpr int kDraws = 60000;
+  std::vector<std::vector<int>> pair_counts(n, std::vector<int>(n, 0));
+  std::vector<ServerId> q;
+  for (int i = 0; i < kDraws; ++i) {
+    qs.pick(AccessKind::kRead, rng, q);
+    for (std::size_t a = 0; a < q.size(); ++a) {
+      for (std::size_t b = a + 1; b < q.size(); ++b) {
+        ++pair_counts[std::min(q[a], q[b])][std::max(q[a], q[b])];
+      }
+    }
+  }
+  double expected = static_cast<double>(k) * (k - 1) /
+                    (static_cast<double>(n) * (n - 1)) * kDraws;
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) {
+      EXPECT_NEAR(pair_counts[a][b], expected, expected * 0.08)
+          << "pair " << a << "," << b;
+    }
+  }
+}
+
+TEST(DistributionTest, HierarchicalLeavesAreEquallyLoaded) {
+  HierarchicalQuorums qs(2);  // 9 leaves, quorums of 4
+  util::Rng rng(11);
+  LoadEstimate est = empirical_load(qs, AccessKind::kRead, rng, 45000);
+  for (double f : est.per_server) {
+    EXPECT_NEAR(f, 4.0 / 9.0, 0.01);
+  }
+}
+
+TEST(DistributionTest, SurvivalMatchesBinomialForProbabilisticSystems) {
+  // The probabilistic system survives iff >= k servers stay alive, so the
+  // Monte-Carlo estimator must match the exact binomial sum.
+  const std::size_t n = 20, k = 6;
+  ProbabilisticQuorums qs(n, k);
+  util::Rng rng(13);
+  for (double f : {0.1, 0.5, 0.8}) {
+    double analytic = 0.0;
+    for (std::size_t alive = k; alive <= n; ++alive) {
+      analytic += util::choose(n, alive) *
+                  std::pow(1.0 - f, static_cast<double>(alive)) *
+                  std::pow(f, static_cast<double>(n - alive));
+    }
+    double mc = survival_probability(qs, AccessKind::kRead, f, rng, 40000);
+    EXPECT_NEAR(mc, analytic, 0.01) << "f=" << f;
+  }
+}
+
+TEST(DistributionTest, MajoritySurvivalHasSharpThreshold) {
+  MajorityQuorums qs(21);
+  util::Rng rng(17);
+  double below = survival_probability(qs, AccessKind::kRead, 0.3, rng, 20000);
+  double above = survival_probability(qs, AccessKind::kRead, 0.7, rng, 20000);
+  EXPECT_GT(below, 0.95);
+  EXPECT_LT(above, 0.05);
+}
+
+}  // namespace
+}  // namespace pqra::quorum

@@ -1,0 +1,64 @@
+#include "util/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pqra::util {
+namespace {
+
+TEST(CodecTest, ScalarRoundTrip) {
+  EXPECT_EQ(decode<std::int64_t>(encode<std::int64_t>(-42)), -42);
+  EXPECT_EQ(decode<std::uint64_t>(encode<std::uint64_t>(~0ULL)), ~0ULL);
+  EXPECT_DOUBLE_EQ(decode<double>(encode(3.14159)), 3.14159);
+}
+
+TEST(CodecTest, VectorRoundTrip) {
+  std::vector<std::int64_t> v{1, -2, 3, 1LL << 60};
+  EXPECT_EQ(decode<std::vector<std::int64_t>>(encode(v)), v);
+}
+
+TEST(CodecTest, EmptyVectorRoundTrip) {
+  std::vector<std::int64_t> v;
+  EXPECT_EQ(decode<std::vector<std::int64_t>>(encode(v)), v);
+}
+
+TEST(CodecTest, DoubleVectorRoundTrip) {
+  std::vector<double> v{0.0, -1.5, 1e300};
+  EXPECT_EQ(decode<std::vector<double>>(encode(v)), v);
+}
+
+TEST(CodecTest, StringRoundTrip) {
+  std::string s = "hello quorum";
+  EXPECT_EQ(decode<std::string>(encode(s)), s);
+  EXPECT_EQ(decode<std::string>(encode(std::string{})), "");
+}
+
+TEST(CodecTest, TruncatedScalarThrows) {
+  Bytes b = encode<std::int64_t>(7);
+  b.pop_back();
+  EXPECT_THROW(decode<std::int64_t>(b), std::logic_error);
+}
+
+TEST(CodecTest, TrailingBytesThrow) {
+  Bytes b = encode<std::int64_t>(7);
+  b.push_back(std::byte{0});
+  EXPECT_THROW(decode<std::int64_t>(b), std::logic_error);
+}
+
+TEST(CodecTest, CorruptedVectorLengthThrows) {
+  std::vector<std::int64_t> v{1, 2, 3};
+  Bytes b = encode(v);
+  b.pop_back();
+  EXPECT_THROW(decode<std::vector<std::int64_t>>(b), std::logic_error);
+}
+
+TEST(CodecTest, EncodingIsDeterministic) {
+  std::vector<std::int64_t> v{5, 6, 7};
+  EXPECT_EQ(encode(v), encode(v));
+}
+
+}  // namespace
+}  // namespace pqra::util

@@ -1,0 +1,174 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace pqra::util {
+namespace {
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, ForkIsDeterministicAndDecorrelated) {
+  Rng parent(7);
+  Rng c1 = parent.fork(1);
+  Rng c1_again = Rng(7).fork(1);
+  Rng c2 = parent.fork(2);
+  EXPECT_EQ(c1(), c1_again());
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (c1() == c2()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, ForkDoesNotPerturbParent) {
+  Rng a(9);
+  Rng b(9);
+  (void)a.fork(5);
+  EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng rng(3);
+  for (std::uint64_t bound : {1ULL, 2ULL, 7ULL, 100ULL, 1'000'000'007ULL}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, BelowOneIsAlwaysZero) {
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(RngTest, BelowRejectsZeroBound) {
+  Rng rng(3);
+  EXPECT_THROW(rng.below(0), std::logic_error);
+}
+
+TEST(RngTest, BelowIsRoughlyUniform) {
+  Rng rng(11);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.below(kBuckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, 500);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    std::int64_t v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, Uniform01InHalfOpenInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, ExponentialHasRequestedMean) {
+  Rng rng(17);
+  double sum = 0.0;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / kDraws, 2.0, 0.05);
+}
+
+TEST(RngTest, ExponentialIsPositive) {
+  Rng rng(19);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.exponential(0.5), 0.0);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(23);
+  int hits = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+TEST(RngTest, SampleWithoutReplacementBasicProperties) {
+  Rng rng(29);
+  for (std::uint32_t n : {1u, 5u, 34u, 100u}) {
+    for (std::uint32_t k = 1; k <= n; k = k * 2 + 1) {
+      auto sample = rng.sample_without_replacement(n, k);
+      EXPECT_EQ(sample.size(), k);
+      std::set<std::uint32_t> unique(sample.begin(), sample.end());
+      EXPECT_EQ(unique.size(), k) << "duplicates in sample";
+      for (std::uint32_t v : sample) EXPECT_LT(v, n);
+    }
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementRejectsOversample) {
+  Rng rng(31);
+  EXPECT_THROW(rng.sample_without_replacement(3, 4), std::logic_error);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsUniformOverElements) {
+  // Each element of {0..9} should appear in a 3-subset with prob 3/10.
+  Rng rng(37);
+  constexpr int kDraws = 60000;
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    for (std::uint32_t v : rng.sample_without_replacement(10, 3)) ++counts[v];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kDraws, 0.3, 0.02);
+  }
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(41);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(SplitMixTest, KnownSequenceIsStable) {
+  std::uint64_t s1 = 0, s2 = 0;
+  EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  EXPECT_EQ(s1, s2);
+  EXPECT_NE(splitmix64(s1), splitmix64(s1));
+}
+
+}  // namespace
+}  // namespace pqra::util

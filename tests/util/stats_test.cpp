@@ -1,0 +1,127 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pqra::util {
+namespace {
+
+TEST(OnlineStatsTest, EmptyIsZeroed) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95_halfwidth(), 0.0);
+}
+
+TEST(OnlineStatsTest, SingleSample) {
+  OnlineStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(OnlineStatsTest, KnownMoments) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Population variance is 4; sample variance = 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStatsTest, CiShrinksWithSamples) {
+  OnlineStats small, big;
+  for (int i = 0; i < 10; ++i) small.add(i % 2);
+  for (int i = 0; i < 1000; ++i) big.add(i % 2);
+  EXPECT_GT(small.ci95_halfwidth(), big.ci95_halfwidth());
+}
+
+TEST(OnlineStatsTest, MergeMatchesSingleAccumulator) {
+  OnlineStats a, b, whole;
+  for (int i = 0; i < 10; ++i) {
+    a.add(i * 1.5);
+    whole.add(i * 1.5);
+  }
+  for (int i = 10; i < 25; ++i) {
+    b.add(i * -0.5 + 3.0);
+    whole.add(i * -0.5 + 3.0);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(OnlineStatsTest, MergeWithEmptySides) {
+  OnlineStats empty, filled;
+  filled.add(1.0);
+  filled.add(3.0);
+  OnlineStats target = filled;
+  target.merge(empty);
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_DOUBLE_EQ(target.mean(), 2.0);
+  empty.merge(filled);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(SummarizeTest, EmptyInput) {
+  Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+}
+
+TEST(SummarizeTest, BasicFields) {
+  Summary s = summarize({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+}
+
+TEST(PercentileTest, InterpolatesLinearly) {
+  std::vector<double> v{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 25.0);
+}
+
+TEST(PercentileTest, SingleElement) {
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 50.0), 7.0);
+}
+
+TEST(PercentileTest, RejectsBadInput) {
+  EXPECT_THROW(percentile({}, 50.0), std::logic_error);
+  EXPECT_THROW(percentile({1.0}, 101.0), std::logic_error);
+}
+
+TEST(HistogramTest, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);    // bin 0
+  h.add(9.5);    // bin 4
+  h.add(-3.0);   // clamped into bin 0
+  h.add(100.0);  // clamped into bin 4
+  h.add(5.0);    // bin 2
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(2), 1u);
+  EXPECT_EQ(h.bin_count(4), 2u);
+  EXPECT_DOUBLE_EQ(h.bin_low(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(4), 10.0);
+}
+
+TEST(HistogramTest, RejectsDegenerateConfig) {
+  EXPECT_THROW(Histogram(0.0, 0.0, 5), std::logic_error);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace pqra::util
