@@ -20,6 +20,8 @@
 #include "apps/graph.hpp"
 #include "bench_common.hpp"
 #include "iter/alg1_des.hpp"
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
 #include "quorum/fpp.hpp"
 #include "quorum/grid.hpp"
 #include "quorum/majority.hpp"
@@ -49,18 +51,23 @@ Row measure(const std::string& label, const quorum::QuorumSystem& qs,
   row.k = qs.quorum_size(quorum::AccessKind::kRead);
   util::OnlineStats rpp, mpp;
   for (std::size_t run = 0; run < runs; ++run) {
+    // Fresh registry per run: the message counter must be divided by this
+    // run's pseudocycle count, so it cannot accumulate across runs.
+    obs::Registry registry(obs::Concurrency::kSingleThread);
     iter::Alg1Options options;
     options.quorums = &qs;
     options.monotone = monotone;
     options.synchronous = true;
     options.seed = seed + run;
     options.round_cap = 50000;
+    options.metrics = &registry;
     iter::Alg1Result r = iter::run_alg1(op, options);
     if (!r.converged || r.pseudocycles == 0) continue;
+    const double msgs_total = static_cast<double>(
+        registry.counter(obs::names::kTransportMessages, "").value());
     rpp.add(static_cast<double>(r.rounds) /
             static_cast<double>(r.pseudocycles));
-    mpp.add(static_cast<double>(r.messages.total) /
-            static_cast<double>(r.pseudocycles));
+    mpp.add(msgs_total / static_cast<double>(r.pseudocycles));
   }
   row.rounds_per_pc = rpp.mean();
   row.msgs_per_pc = mpp.mean();

@@ -14,6 +14,8 @@
 #include "apps/graph.hpp"
 #include "bench_common.hpp"
 #include "iter/alg1_des.hpp"
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
 #include "quorum/probabilistic.hpp"
 
 namespace {
@@ -51,7 +53,10 @@ int main() {
                      13);
   table.print_header();
   for (std::size_t k : {1u, 2u, 4u, 8u, 16u, 18u}) {
-    util::OnlineStats sync_r, sync_w, async_r, async_w;
+    // One metrics registry per delay model; the client latency histograms
+    // (exact sum/count, so exact means) accumulate across the runs.
+    obs::Registry sync_reg(obs::Concurrency::kSingleThread);
+    obs::Registry async_reg(obs::Concurrency::kSingleThread);
     quorum::ProbabilisticQuorums qs(n, k);
     for (std::size_t run = 0; run < runs; ++run) {
       for (bool synchronous : {true, false}) {
@@ -60,16 +65,16 @@ int main() {
         options.synchronous = synchronous;
         options.seed = seed + run * 17 + k;
         options.round_cap = 5000;
-        iter::Alg1Result r = iter::run_alg1(op, options);
-        (synchronous ? sync_r : async_r).merge(r.read_latency);
-        (synchronous ? sync_w : async_w).merge(r.write_latency);
+        options.metrics = synchronous ? &sync_reg : &async_reg;
+        iter::run_alg1(op, options);
       }
     }
+    namespace names = obs::names;
     table.cell(k);
-    table.cell(sync_r.mean(), 3);
-    table.cell(sync_w.mean(), 3);
-    table.cell(async_r.mean(), 3);
-    table.cell(async_w.mean(), 3);
+    table.cell(sync_reg.histogram(names::kClientReadLatency, "").mean(), 3);
+    table.cell(sync_reg.histogram(names::kClientWriteLatency, "").mean(), 3);
+    table.cell(async_reg.histogram(names::kClientReadLatency, "").mean(), 3);
+    table.cell(async_reg.histogram(names::kClientWriteLatency, "").mean(), 3);
     table.cell(expected_max_erlang2(k), 3);
     table.end_row();
   }

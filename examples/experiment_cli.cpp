@@ -18,8 +18,16 @@
 ///   runs    = repetitions (3)   seed = master seed (1)
 ///   cap     = round cap (20000)
 ///   churn   = 0|1 add random server churn + retries (0)
+///
+/// Observability outputs (all optional; `--key value` and `--key=value`
+/// spellings also accepted, so these read naturally as flags):
+///   --metrics-out FILE   JSON snapshot of the metrics registry
+///   --prom-out FILE      Prometheus text exposition of the same registry
+///   --trace-out FILE     JSONL op trace of run 0 (spec-checkable)
+///   --chrome-out FILE    run 0's trace as Chrome trace-event JSON
 
 #include <cstdio>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <string>
@@ -30,7 +38,12 @@
 #include "apps/graph.hpp"
 #include "apps/linear.hpp"
 #include "apps/transitive_closure.hpp"
+#include "core/spec/checker.hpp"
+#include "core/spec/trace_bridge.hpp"
 #include "iter/alg1_des.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "quorum/fpp.hpp"
 #include "quorum/grid.hpp"
 #include "quorum/hierarchical.hpp"
@@ -46,16 +59,21 @@ namespace {
 
 class Args {
  public:
+  /// Accepts `key=value`, `--key=value` and `--key value` interchangeably.
   Args(int argc, char** argv) {
     for (int i = 1; i < argc; ++i) {
       std::string arg = argv[i];
+      while (!arg.empty() && arg.front() == '-') arg.erase(arg.begin());
       auto eq = arg.find('=');
-      if (eq == std::string::npos) {
-        std::fprintf(stderr, "ignoring malformed argument '%s'\n",
-                     arg.c_str());
+      if (eq != std::string::npos) {
+        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
         continue;
       }
-      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      if (i + 1 < argc) {
+        values_[arg] = argv[++i];
+        continue;
+      }
+      std::fprintf(stderr, "ignoring malformed argument '%s'\n", arg.c_str());
     }
   }
 
@@ -156,6 +174,20 @@ std::unique_ptr<quorum::QuorumSystem> make_quorums(const std::string& kind,
   return nullptr;
 }
 
+/// Opens \p path for writing and hands the stream to \p write.  Returns
+/// false (with a message) if the file cannot be created.
+template <typename WriteFn>
+bool write_file(const std::string& path, const char* what, WriteFn write) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for %s output\n", path.c_str(), what);
+    return false;
+  }
+  write(out);
+  std::printf("wrote %s to %s\n", what, path.c_str());
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -172,6 +204,10 @@ int main(int argc, char** argv) {
   const std::uint64_t seed = args.get_n("seed", 1);
   const std::size_t cap = args.get_n("cap", 20000);
   const bool churn = args.get_n("churn", 0) != 0;
+  const std::string metrics_out = args.get("metrics-out", "");
+  const std::string prom_out = args.get("prom-out", "");
+  const std::string trace_out = args.get("trace-out", "");
+  const std::string chrome_out = args.get("chrome-out", "");
 
   util::Rng rng(seed);
   std::unique_ptr<iter::AcoOperator> op = make_app(app, graph, size, rng);
@@ -184,6 +220,14 @@ int main(int argc, char** argv) {
               quorums->name().c_str(), monotone ? "monotone" : "plain",
               sync ? "sync" : "async", churn ? ", churn" : "", runs);
 
+  // One registry accumulates across all runs; the op trace records run 0
+  // only (a trace of one execution is what the spec checkers and the Chrome
+  // viewer want — concatenating runs would interleave unrelated histories).
+  const bool want_metrics = !metrics_out.empty() || !prom_out.empty();
+  const bool want_trace = !trace_out.empty() || !chrome_out.empty();
+  obs::Registry registry(obs::Concurrency::kSingleThread);
+  obs::OpTraceSink trace;
+
   util::OnlineStats rounds, pcs, msgs, read_lat;
   std::size_t converged = 0;
   for (std::size_t run = 0; run < runs; ++run) {
@@ -193,6 +237,8 @@ int main(int argc, char** argv) {
     options.synchronous = sync;
     options.seed = seed + run * 7919;
     options.round_cap = cap;
+    if (want_metrics) options.metrics = &registry;
+    if (want_trace && run == 0) options.trace = &trace;
     util::Rng churn_rng(seed + run);
     net::FaultPlan plan;
     if (churn) {
@@ -219,5 +265,41 @@ int main(int argc, char** argv) {
               "%.2f | msgs %.0f | read latency %.2f\n",
               converged, runs, rounds.mean(), rounds.ci95_halfwidth(),
               pcs.mean(), msgs.mean(), read_lat.mean());
-  return converged == runs ? 0 : 1;
+
+  bool outputs_ok = true;
+  if (!metrics_out.empty()) {
+    outputs_ok &= write_file(metrics_out, "metrics JSON", [&](auto& out) {
+      obs::write_json(registry, out);
+    });
+  }
+  if (!prom_out.empty()) {
+    outputs_ok &= write_file(prom_out, "Prometheus metrics", [&](auto& out) {
+      obs::write_prometheus(registry, out);
+    });
+  }
+  if (want_trace) {
+    // The trace claims to be a valid single-writer register history; hold it
+    // to that before handing it to anyone (replays run 0 through the same
+    // [R1]/[R2]/[R4] checkers the tests use).
+    core::spec::CheckResult check = core::spec::check_random_register(
+        core::spec::to_op_records(trace.events()), monotone);
+    std::printf("op trace: %zu events, spec check %s\n", trace.size(),
+                check.ok ? "ok" : "FAILED");
+    for (const std::string& v : check.violations) {
+      std::fprintf(stderr, "  %s\n", v.c_str());
+    }
+    if (!check.ok) outputs_ok = false;
+  }
+  if (!trace_out.empty()) {
+    outputs_ok &= write_file(trace_out, "op trace JSONL", [&](auto& out) {
+      obs::write_jsonl(trace.events(), out);
+    });
+  }
+  if (!chrome_out.empty()) {
+    outputs_ok &= write_file(chrome_out, "Chrome trace", [&](auto& out) {
+      obs::write_chrome_trace(trace.events(), out);
+    });
+  }
+
+  return (converged == runs && outputs_ok) ? 0 : 1;
 }

@@ -1,21 +1,48 @@
 #include "core/blocking_register.hpp"
 
+#include <chrono>
 #include <utility>
 
+#include "obs/names.hpp"
 #include "util/check.hpp"
 
 namespace pqra::core {
 
+namespace {
+
+double wall_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
 BlockingRegisterClient::BlockingRegisterClient(
     net::ThreadTransport& transport, NodeId self,
     const quorum::QuorumSystem& quorums, NodeId server_base,
-    const util::Rng& rng, bool monotone)
+    const util::Rng& rng, bool monotone, obs::Registry* metrics)
     : transport_(transport),
       self_(self),
       quorums_(quorums),
       server_base_(server_base),
       rng_(rng.fork(0x626c6f636b000000ULL ^ self)),
-      monotone_(monotone) {}
+      monotone_(monotone) {
+  if (metrics != nullptr) {
+    PQRA_REQUIRE(metrics->mode() == obs::Concurrency::kThreadSafe,
+                 "BlockingRegisterClient needs a thread-safe registry");
+    namespace n = obs::names;
+    instruments_.reads = &metrics->counter(n::kClientReads, "Reads completed");
+    instruments_.writes =
+        &metrics->counter(n::kClientWrites, "Writes completed");
+    instruments_.cache_hits = &metrics->counter(
+        n::kClientCacheHits, "Reads served from the monotone cache (§6.2)");
+    instruments_.read_latency = &metrics->histogram(
+        n::kClientReadLatency, "Read latency, invocation to response");
+    instruments_.write_latency = &metrics->histogram(
+        n::kClientWriteLatency, "Write latency, invocation to response");
+  }
+}
 
 bool BlockingRegisterClient::await_acks(OpId op, net::MsgType expected,
                                         std::size_t needed, Timestamp& best_ts,
@@ -43,6 +70,7 @@ bool BlockingRegisterClient::await_acks(OpId op, net::MsgType expected,
 
 std::optional<BlockingReadResult> BlockingRegisterClient::read(RegisterId reg) {
   OpId op = next_op_++;
+  const double started = wall_seconds();
   std::vector<quorum::ServerId> quorum =
       quorums_.sample(quorum::AccessKind::kRead, rng_);
   for (quorum::ServerId s : quorum) {
@@ -65,10 +93,17 @@ std::optional<BlockingReadResult> BlockingRegisterClient::read(RegisterId reg) {
       result.value = cached.value;
       result.from_monotone_cache = true;
       ++monotone_cache_hits_;
+      if (instruments_.cache_hits != nullptr) instruments_.cache_hits->inc();
     } else {
       cached.ts = result.ts;
       cached.value = result.value;
     }
+  }
+  const double elapsed = wall_seconds() - started;
+  read_latency_.add(elapsed);
+  if (instruments_.reads != nullptr) instruments_.reads->inc();
+  if (instruments_.read_latency != nullptr) {
+    instruments_.read_latency->observe(elapsed);
   }
   return result;
 }
@@ -76,6 +111,7 @@ std::optional<BlockingReadResult> BlockingRegisterClient::read(RegisterId reg) {
 std::optional<Timestamp> BlockingRegisterClient::write(RegisterId reg,
                                                        Value value) {
   OpId op = next_op_++;
+  const double started = wall_seconds();
   Timestamp ts = ++write_ts_[reg];
   std::vector<quorum::ServerId> quorum =
       quorums_.sample(quorum::AccessKind::kWrite, rng_);
@@ -88,6 +124,12 @@ std::optional<Timestamp> BlockingRegisterClient::write(RegisterId reg,
   if (!await_acks(op, net::MsgType::kWriteAck, quorum.size(), unused_ts,
                   unused_value)) {
     return std::nullopt;
+  }
+  const double elapsed = wall_seconds() - started;
+  write_latency_.add(elapsed);
+  if (instruments_.writes != nullptr) instruments_.writes->inc();
+  if (instruments_.write_latency != nullptr) {
+    instruments_.write_latency->observe(elapsed);
   }
   return ts;
 }

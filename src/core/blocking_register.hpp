@@ -16,8 +16,10 @@
 
 #include "core/register_types.hpp"
 #include "net/thread_transport.hpp"
+#include "obs/metrics.hpp"
 #include "quorum/quorum_system.hpp"
 #include "util/rng.hpp"
+#include "util/stats.hpp"
 
 namespace pqra::core {
 
@@ -29,10 +31,14 @@ struct BlockingReadResult {
 
 class BlockingRegisterClient {
  public:
+  /// \p metrics: optional thread-safe registry (non-owning); operation
+  /// counts and wall-clock latency histograms (seconds) report under the
+  /// same obs/names.hpp client names as the DES client.
   BlockingRegisterClient(net::ThreadTransport& transport, NodeId self,
                          const quorum::QuorumSystem& quorums,
                          NodeId server_base, const util::Rng& rng,
-                         bool monotone = false);
+                         bool monotone = false,
+                         obs::Registry* metrics = nullptr);
 
   /// Blocks until a read quorum answers.  Returns nullopt if the transport
   /// is closed mid-operation (shutdown).
@@ -44,6 +50,12 @@ class BlockingRegisterClient {
 
   NodeId id() const { return self_; }
   std::uint64_t monotone_cache_hits() const { return monotone_cache_hits_; }
+
+  /// Wall-clock operation latency in seconds, accumulated lock-free (the
+  /// client is single-threaded by construction); merge across clients with
+  /// util::OnlineStats::merge after the worker threads join.
+  const util::OnlineStats& read_latency() const { return read_latency_; }
+  const util::OnlineStats& write_latency() const { return write_latency_; }
 
  private:
   /// Collects acks for \p op until \p needed distinct servers answered.
@@ -62,6 +74,17 @@ class BlockingRegisterClient {
   std::unordered_map<RegisterId, Timestamp> write_ts_;
   std::unordered_map<RegisterId, TimestampedValue> monotone_cache_;
   std::uint64_t monotone_cache_hits_ = 0;
+  util::OnlineStats read_latency_;
+  util::OnlineStats write_latency_;
+
+  struct Instruments {
+    obs::Counter* reads = nullptr;
+    obs::Counter* writes = nullptr;
+    obs::Counter* cache_hits = nullptr;
+    obs::Histogram* read_latency = nullptr;
+    obs::Histogram* write_latency = nullptr;
+  };
+  Instruments instruments_;
 };
 
 }  // namespace pqra::core

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "core/replica.hpp"
+#include "obs/names.hpp"
 #include "util/check.hpp"
 
 namespace pqra::core {
@@ -21,6 +22,46 @@ QuorumRegisterClient::QuorumRegisterClient(
       options_(options),
       history_(history) {
   transport_.register_receiver(self_, this);
+  if (options_.metrics != nullptr) {
+    obs::Registry& reg = *options_.metrics;
+    namespace n = obs::names;
+    instruments_.reads = &reg.counter(n::kClientReads, "Reads completed");
+    instruments_.writes = &reg.counter(n::kClientWrites, "Writes completed");
+    instruments_.cache_hits = &reg.counter(
+        n::kClientCacheHits, "Reads served from the monotone cache (§6.2)");
+    instruments_.retries =
+        &reg.counter(n::kClientRetries, "Operations retried on a fresh quorum");
+    instruments_.repairs = &reg.counter(
+        n::kClientRepairs, "Stale replicas repaired after reads");
+    instruments_.write_backs = &reg.counter(
+        n::kClientWriteBacks, "Atomic-mode write-back phases");
+    instruments_.read_latency = &reg.histogram(
+        n::kClientReadLatency, "Read latency, invocation to response");
+    instruments_.write_latency = &reg.histogram(
+        n::kClientWriteLatency, "Write latency, invocation to response");
+    instruments_.stale_depth = &reg.histogram(
+        n::kClientStaleDepth,
+        "Writes the read quorum's best answer lagged behind the newest "
+        "timestamp known to the client");
+  }
+}
+
+void QuorumRegisterClient::record_trace(obs::TraceOpKind kind,
+                                        const PendingOp& pending,
+                                        RegisterId reg, Timestamp ts,
+                                        bool from_cache) {
+  obs::OpTraceEvent ev;
+  ev.kind = kind;
+  ev.proc = self_;
+  ev.reg = reg;
+  ev.invoke = pending.started;
+  ev.response = simulator_.now();
+  ev.ts = ts;
+  ev.from_cache = from_cache;
+  ev.attempts = pending.attempt + 1;
+  ev.stale_depth = kind == obs::TraceOpKind::kRead ? pending.stale_depth : 0;
+  ev.quorum.assign(pending.responders.begin(), pending.responders.end());
+  options_.trace->record(std::move(ev));
 }
 
 void QuorumRegisterClient::read(RegisterId reg, ReadCallback cb) {
@@ -125,6 +166,7 @@ void QuorumRegisterClient::arm_retry(OpId op, std::uint32_t attempt) {
     }
     ++it->second.attempt;
     ++counters_.retries;
+    if (instruments_.retries != nullptr) instruments_.retries->inc();
     send_to_quorum(op, it->second);
   });
 }
@@ -188,6 +230,8 @@ void QuorumRegisterClient::complete_snapshot(OpId op, PendingOp& pending) {
     ReadResult result;
     result.ts = best.ts;
     result.value = std::move(best.value);
+    Timestamp& seen = max_seen_ts_[reg];
+    pending.stale_depth = seen > result.ts ? seen - result.ts : 0;
     if (options_.monotone) {
       TimestampedValue& cached = monotone_cache_[reg];
       if (cached.ts > result.ts) {
@@ -195,17 +239,33 @@ void QuorumRegisterClient::complete_snapshot(OpId op, PendingOp& pending) {
         result.value = cached.value;
         result.from_monotone_cache = true;
         ++counters_.monotone_cache_hits;
+        if (instruments_.cache_hits != nullptr) instruments_.cache_hits->inc();
       } else {
         cached.ts = result.ts;
         cached.value = result.value;
       }
     }
+    if (seen < result.ts) seen = result.ts;
+    if (instruments_.stale_depth != nullptr) {
+      instruments_.stale_depth->observe(
+          static_cast<double>(pending.stale_depth));
+    }
     if (pending.has_hist) {
       history_->end_read(pending.snap_hists[i], simulator_.now(), result.ts);
+    }
+    if (options_.trace != nullptr) {
+      record_trace(obs::TraceOpKind::kRead, pending, reg, result.ts,
+                   result.from_monotone_cache);
     }
     results.push_back(std::move(result));
   }
   read_latency_.add(simulator_.now() - pending.started);
+  if (instruments_.read_latency != nullptr) {
+    instruments_.read_latency->observe(simulator_.now() - pending.started);
+  }
+  if (instruments_.reads != nullptr) {
+    instruments_.reads->inc(pending.snap_regs.size());
+  }
   counters_.reads_completed += pending.snap_regs.size();
   SnapshotCallback cb = std::move(pending.snap_cb);
   pending_.erase(op);
@@ -214,6 +274,14 @@ void QuorumRegisterClient::complete_snapshot(OpId op, PendingOp& pending) {
 
 void QuorumRegisterClient::complete_read(OpId op, PendingOp& pending) {
   bool from_cache = false;
+  {
+    // Staleness depth t is judged against the quorum's answer, before the
+    // monotone cache papers over it — the cache is the cure, not the
+    // measurement.
+    Timestamp seen = max_seen_ts_[pending.reg];
+    pending.stale_depth =
+        seen > pending.best_ts ? seen - pending.best_ts : 0;
+  }
   if (options_.monotone) {
     TimestampedValue& cached = monotone_cache_[pending.reg];
     if (cached.ts > pending.best_ts) {
@@ -223,10 +291,15 @@ void QuorumRegisterClient::complete_read(OpId op, PendingOp& pending) {
       pending.best_value = cached.value;
       from_cache = true;
       ++counters_.monotone_cache_hits;
+      if (instruments_.cache_hits != nullptr) instruments_.cache_hits->inc();
     } else {
       cached.ts = pending.best_ts;
       cached.value = pending.best_value;
     }
+  }
+  {
+    Timestamp& seen = max_seen_ts_[pending.reg];
+    if (seen < pending.best_ts) seen = pending.best_ts;
   }
   pending.from_cache = from_cache;
 
@@ -251,11 +324,13 @@ void QuorumRegisterClient::send_read_repair(const PendingOp& pending,
     transport_.send(self_, pending.responders[i],
                     net::Message::write_req(pending.reg, repair_op, ts, value));
     ++counters_.repairs_sent;
+    if (instruments_.repairs != nullptr) instruments_.repairs->inc();
   }
 }
 
 void QuorumRegisterClient::start_write_back(OpId op, PendingOp& pending) {
   ++counters_.write_backs;
+  if (instruments_.write_backs != nullptr) instruments_.write_backs->inc();
   pending.in_write_back = true;
   pending.needed = quorums_.quorum_size(quorum::AccessKind::kWrite);
   pending.responders.clear();
@@ -272,7 +347,18 @@ void QuorumRegisterClient::deliver_read(OpId op, PendingOp& pending) {
     history_->end_read(pending.hist, simulator_.now(), result.ts);
   }
   read_latency_.add(simulator_.now() - pending.started);
+  if (instruments_.read_latency != nullptr) {
+    instruments_.read_latency->observe(simulator_.now() - pending.started);
+  }
+  if (instruments_.stale_depth != nullptr) {
+    instruments_.stale_depth->observe(static_cast<double>(pending.stale_depth));
+  }
+  if (instruments_.reads != nullptr) instruments_.reads->inc();
   ++counters_.reads_completed;
+  if (options_.trace != nullptr) {
+    record_trace(obs::TraceOpKind::kRead, pending, pending.reg, result.ts,
+                 result.from_monotone_cache);
+  }
   ReadCallback cb = std::move(pending.read_cb);
   pending_.erase(op);
   cb(std::move(result));
@@ -283,8 +369,19 @@ void QuorumRegisterClient::complete_write(OpId op, PendingOp& pending) {
     history_->end_write(pending.hist, simulator_.now());
   }
   write_latency_.add(simulator_.now() - pending.started);
+  if (instruments_.write_latency != nullptr) {
+    instruments_.write_latency->observe(simulator_.now() - pending.started);
+  }
+  if (instruments_.writes != nullptr) instruments_.writes->inc();
   ++counters_.writes_completed;
   Timestamp ts = pending.write_ts;
+  {
+    Timestamp& seen = max_seen_ts_[pending.reg];
+    if (seen < ts) seen = ts;
+  }
+  if (options_.trace != nullptr) {
+    record_trace(obs::TraceOpKind::kWrite, pending, pending.reg, ts, false);
+  }
   WriteCallback cb = std::move(pending.write_cb);
   pending_.erase(op);
   cb(ts);

@@ -40,6 +40,8 @@
 #include "core/register_types.hpp"
 #include "core/spec/history.hpp"
 #include "net/transport.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "quorum/quorum_system.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
@@ -69,8 +71,21 @@ struct ClientOptions {
   /// register (no new/old inversion between readers); costs one extra
   /// round trip per read.
   bool write_back = false;
+  /// Unified metrics pipeline (non-owning, may be nullptr): operation
+  /// counters, sim-time latency histograms and the stale-read-depth
+  /// histogram are reported under the obs/names.hpp client names,
+  /// aggregated over every client sharing the registry.
+  obs::Registry* metrics = nullptr;
+  /// Structured op-trace sink (non-owning, may be nullptr): every completed
+  /// read/write is recorded with its quorum membership; see obs/trace.hpp.
+  obs::OpTraceSink* trace = nullptr;
 };
 
+/// Per-client operation tallies.  This is the per-process attribution view
+/// (what each Alg. 1 process did); the cross-layer pipeline is the
+/// obs::Registry passed through ClientOptions::metrics, which aggregates the
+/// same events over all clients.  Kept as a plain struct so reading it costs
+/// nothing and per-process deltas stay trivial.
 struct ClientCounters {
   std::uint64_t reads_completed = 0;
   std::uint64_t writes_completed = 0;
@@ -151,9 +166,29 @@ class QuorumRegisterClient final : public net::Receiver {
     Value write_value;
     std::uint32_t attempt = 0;
     sim::Time started = 0.0;
+    /// Staleness depth t of the completed read: how many writes the quorum's
+    /// freshest answer lagged behind the newest timestamp this client had
+    /// evidence of (0 = fresh).  Fixed in complete_read.
+    Timestamp stale_depth = 0;
     spec::HistoryRecorder::OpHandle hist = 0;
     bool has_hist = false;
   };
+
+  /// Shared-registry instrument pointers (null when metrics are off).
+  struct Instruments {
+    obs::Counter* reads = nullptr;
+    obs::Counter* writes = nullptr;
+    obs::Counter* cache_hits = nullptr;
+    obs::Counter* retries = nullptr;
+    obs::Counter* repairs = nullptr;
+    obs::Counter* write_backs = nullptr;
+    obs::Histogram* read_latency = nullptr;
+    obs::Histogram* write_latency = nullptr;
+    obs::Histogram* stale_depth = nullptr;
+  };
+
+  void record_trace(obs::TraceOpKind kind, const PendingOp& pending,
+                    RegisterId reg, Timestamp ts, bool from_cache);
 
   void send_to_quorum(OpId op, PendingOp& pending);
   void arm_retry(OpId op, std::uint32_t attempt);
@@ -178,7 +213,12 @@ class QuorumRegisterClient final : public net::Receiver {
   std::unordered_map<OpId, PendingOp> pending_;
   std::unordered_map<RegisterId, Timestamp> write_ts_;
   std::unordered_map<RegisterId, TimestampedValue> monotone_cache_;
+  /// Newest timestamp this client has seen per register (reads and own
+  /// writes), independent of the monotone cache so staleness depth is
+  /// measurable for plain clients too.
+  std::unordered_map<RegisterId, Timestamp> max_seen_ts_;
   ClientCounters counters_;
+  Instruments instruments_;
   util::OnlineStats read_latency_;
   util::OnlineStats write_latency_;
 };

@@ -2,24 +2,39 @@
 
 #include <utility>
 
+#include "obs/names.hpp"
 #include "util/check.hpp"
 
 namespace pqra::core {
 
-ServerProcess::ServerProcess(net::Transport& transport, NodeId self)
+ServerMetrics::ServerMetrics(obs::Registry& registry)
+    : requests(&registry.counter(obs::names::kServerRequests,
+                                 "Protocol requests served by replicas")),
+      ts_advances(&registry.counter(
+          obs::names::kServerTsAdvances,
+          "Writes that advanced a replica register timestamp")),
+      gossip_merges(&registry.counter(
+          obs::names::kServerGossipMerges,
+          "Registers advanced by anti-entropy gossip merges")) {}
+
+ServerProcess::ServerProcess(net::Transport& transport, NodeId self,
+                             obs::Registry* metrics)
     : transport_(transport), self_(self), rng_(0) {
   transport_.register_receiver(self_, this);
+  if (metrics != nullptr) metrics_.emplace(*metrics);
 }
 
 ServerProcess::ServerProcess(net::Transport& transport, NodeId self,
                              sim::Simulator& simulator,
-                             const GossipOptions& gossip, const util::Rng& rng)
+                             const GossipOptions& gossip, const util::Rng& rng,
+                             obs::Registry* metrics)
     : transport_(transport),
       self_(self),
       simulator_(&simulator),
       gossip_(gossip),
       rng_(rng.fork(0x676f73736970ULL ^ self)) {
   transport_.register_receiver(self_, this);
+  if (metrics != nullptr) metrics_.emplace(*metrics);
   if (gossip_.interval > 0.0) {
     PQRA_REQUIRE(gossip_.group_size >= 2,
                  "gossip needs at least two servers in the group");
@@ -33,16 +48,25 @@ ServerProcess::ServerProcess(net::Transport& transport, NodeId self,
 
 void ServerProcess::on_message(NodeId from, net::Message msg) {
   if (msg.type == net::MsgType::kGossip) {
-    gossip_merges_ += replica_.merge_store(msg.value);
+    std::size_t advanced = replica_.merge_store(msg.value);
+    gossip_merges_ += advanced;
+    if (metrics_.has_value()) metrics_->gossip_merges->inc(advanced);
     return;
   }
   if (msg.type == net::MsgType::kReadReq && msg.reg == net::kAllRegisters) {
+    if (metrics_.has_value()) metrics_->requests->inc();
     transport_.send(self_, from,
                     net::Message::read_ack(net::kAllRegisters, msg.op, 0,
                                            replica_.encode_store()));
     return;
   }
-  transport_.send(self_, from, replica_.handle(msg));
+  std::uint64_t applied_before = replica_.writes_applied();
+  net::Message reply = replica_.handle(msg);
+  if (metrics_.has_value()) {
+    metrics_->requests->inc();
+    metrics_->ts_advances->inc(replica_.writes_applied() - applied_before);
+  }
+  transport_.send(self_, from, reply);
 }
 
 void ServerProcess::schedule_gossip(sim::Time delay) {

@@ -11,12 +11,26 @@
 /// timestamp-wise.  Gossip changes the staleness economics for tiny quorums
 /// — measured in bench/register_modes.
 
+#include <optional>
+
 #include "core/replica.hpp"
 #include "net/transport.hpp"
+#include "obs/metrics.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
 
 namespace pqra::core {
+
+/// Registry-backed replica-server instruments, shared by ServerProcess and
+/// ThreadedServer (obs/names.hpp server names).  Aggregated over all
+/// servers bound to the same registry.
+struct ServerMetrics {
+  explicit ServerMetrics(obs::Registry& registry);
+
+  obs::Counter* requests;     ///< protocol requests served (read+write)
+  obs::Counter* ts_advances;  ///< writes that advanced a register timestamp
+  obs::Counter* gossip_merges;
+};
 
 /// Anti-entropy configuration; disabled by default.
 struct GossipOptions {
@@ -30,12 +44,14 @@ struct GossipOptions {
 
 class ServerProcess final : public net::Receiver {
  public:
-  ServerProcess(net::Transport& transport, NodeId self);
+  /// \p metrics: optional unified metrics registry (non-owning).
+  ServerProcess(net::Transport& transport, NodeId self,
+                obs::Registry* metrics = nullptr);
 
   /// Gossiping server; \p simulator drives the periodic pushes.
   ServerProcess(net::Transport& transport, NodeId self,
                 sim::Simulator& simulator, const GossipOptions& gossip,
-                const util::Rng& rng);
+                const util::Rng& rng, obs::Registry* metrics = nullptr);
 
   void on_message(NodeId from, net::Message msg) override;
 
@@ -55,6 +71,7 @@ class ServerProcess final : public net::Receiver {
   GossipOptions gossip_;
   util::Rng rng_;
   std::uint64_t gossip_merges_ = 0;
+  std::optional<ServerMetrics> metrics_;
 };
 
 }  // namespace pqra::core

@@ -1,0 +1,43 @@
+#include "core/spec/trace_bridge.hpp"
+
+namespace pqra::core::spec {
+
+std::vector<OpRecord> to_op_records(
+    const std::vector<obs::OpTraceEvent>& events) {
+  std::vector<OpRecord> ops;
+  ops.reserve(events.size());
+  for (const obs::OpTraceEvent& ev : events) {
+    OpRecord rec;
+    rec.kind =
+        ev.kind == obs::TraceOpKind::kRead ? OpKind::kRead : OpKind::kWrite;
+    rec.proc = ev.proc;
+    rec.reg = ev.reg;
+    rec.invoke = ev.invoke;
+    rec.response = ev.response;
+    rec.responded = true;
+    rec.ts = ev.ts;
+    ops.push_back(rec);
+  }
+  return ops;
+}
+
+std::vector<obs::OpTraceEvent> to_trace_events(
+    const std::vector<OpRecord>& ops) {
+  std::vector<obs::OpTraceEvent> events;
+  events.reserve(ops.size());
+  for (const OpRecord& rec : ops) {
+    if (!rec.responded) continue;
+    obs::OpTraceEvent ev;
+    ev.kind = rec.kind == OpKind::kRead ? obs::TraceOpKind::kRead
+                                        : obs::TraceOpKind::kWrite;
+    ev.proc = rec.proc;
+    ev.reg = rec.reg;
+    ev.invoke = rec.invoke;
+    ev.response = rec.response;
+    ev.ts = rec.ts;
+    events.push_back(std::move(ev));
+  }
+  return events;
+}
+
+}  // namespace pqra::core::spec

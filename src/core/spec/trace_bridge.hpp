@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file trace_bridge.hpp
+/// Converts obs:: op-trace events into spec::OpRecord rows so a captured
+/// (or re-parsed) JSONL trace can be replayed through the [R1]/[R2]/[R4]
+/// register-spec checkers.  The two vocabularies coincide by construction —
+/// obs::OpTraceEvent carries the history fields plus protocol extras the
+/// checkers do not consume (quorum membership, retries, staleness depth).
+
+#include <vector>
+
+#include "core/spec/history.hpp"
+#include "obs/trace.hpp"
+
+namespace pqra::core::spec {
+
+/// One OpRecord per trace event, in trace order.  Every trace event is a
+/// completed operation, so the records all have responded = true.
+std::vector<OpRecord> to_op_records(const std::vector<obs::OpTraceEvent>& events);
+
+/// The reverse direction, for emitting an existing HistoryRecorder capture
+/// through the obs:: writers.  Unresponded records are skipped (a trace only
+/// contains completed operations); protocol extras default to empty.
+std::vector<obs::OpTraceEvent> to_trace_events(const std::vector<OpRecord>& ops);
+
+}  // namespace pqra::core::spec

@@ -2,11 +2,18 @@
 
 #include <utility>
 
+#include "util/check.hpp"
+
 namespace pqra::core {
 
 ThreadedServer::ThreadedServer(net::ThreadTransport& transport, NodeId self,
-                               Replica preloaded)
+                               Replica preloaded, obs::Registry* metrics)
     : transport_(transport), self_(self), replica_(std::move(preloaded)) {
+  if (metrics != nullptr) {
+    PQRA_REQUIRE(metrics->mode() == obs::Concurrency::kThreadSafe,
+                 "ThreadedServer needs a thread-safe registry");
+    metrics_.emplace(*metrics);
+  }
   thread_ = std::thread([this] { serve(); });
 }
 
@@ -18,7 +25,13 @@ void ThreadedServer::serve() {
   for (;;) {
     std::optional<net::Envelope> env = transport_.recv(self_);
     if (!env.has_value()) return;  // transport closed
-    transport_.send(self_, env->from, replica_.handle(env->msg));
+    std::uint64_t applied_before = replica_.writes_applied();
+    net::Message reply = replica_.handle(env->msg);
+    if (metrics_.has_value()) {
+      metrics_->requests->inc();
+      metrics_->ts_advances->inc(replica_.writes_applied() - applied_before);
+    }
+    transport_.send(self_, env->from, reply);
   }
 }
 

@@ -5,9 +5,11 @@
 /// ThreadTransport mailbox.  Shares the Replica state machine with the
 /// simulated servers.  Stops when the transport is closed.
 
+#include <optional>
 #include <thread>
 
 #include "core/replica.hpp"
+#include "core/server_process.hpp"
 #include "net/thread_transport.hpp"
 
 namespace pqra::core {
@@ -16,9 +18,10 @@ class ThreadedServer {
  public:
   /// Starts serving immediately.  Initial register values must be preloaded
   /// into \p preloaded before construction — the serving thread owns the
-  /// replica from here on.
+  /// replica from here on.  \p metrics: optional thread-safe registry the
+  /// serving thread reports into (non-owning; must outlive the server).
   ThreadedServer(net::ThreadTransport& transport, NodeId self,
-                 Replica preloaded = {});
+                 Replica preloaded = {}, obs::Registry* metrics = nullptr);
 
   ThreadedServer(const ThreadedServer&) = delete;
   ThreadedServer& operator=(const ThreadedServer&) = delete;
@@ -39,6 +42,7 @@ class ThreadedServer {
   net::ThreadTransport& transport_;
   NodeId self_;
   Replica replica_;
+  std::optional<ServerMetrics> metrics_;
   std::thread thread_;
 };
 

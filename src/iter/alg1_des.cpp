@@ -6,6 +6,7 @@
 #include "iter/pseudocycle.hpp"
 #include "iter/rounds.hpp"
 #include "net/sim_transport.hpp"
+#include "obs/names.hpp"
 #include "sim/simulator.hpp"
 #include "util/check.hpp"
 #include "util/codec.hpp"
@@ -155,6 +156,7 @@ Alg1Result run_alg1(const AcoOperator& op, const Alg1Options& options) {
                           : sim::make_exponential_delay(1.0);
   net::SimTransport transport(simulator, *delays, master.fork(1),
                               static_cast<net::NodeId>(n + p));
+  if (options.metrics != nullptr) transport.bind_metrics(*options.metrics);
 
   // Servers at NodeIds [0, n), preloaded with the initial vector.
   core::GossipOptions gossip;
@@ -169,10 +171,10 @@ Alg1Result run_alg1(const AcoOperator& op, const Alg1Options& options) {
     if (gossip.interval > 0.0) {
       servers.push_back(std::make_unique<core::ServerProcess>(
           transport, static_cast<net::NodeId>(s), simulator, gossip,
-          master.fork(5000 + s)));
+          master.fork(5000 + s), options.metrics));
     } else {
       servers.push_back(std::make_unique<core::ServerProcess>(
-          transport, static_cast<net::NodeId>(s)));
+          transport, static_cast<net::NodeId>(s), options.metrics));
     }
     for (std::size_t j = 0; j < m; ++j) {
       servers.back()->replica().preload(static_cast<net::RegisterId>(j),
@@ -191,12 +193,19 @@ Alg1Result run_alg1(const AcoOperator& op, const Alg1Options& options) {
       history->record_initial(static_cast<net::RegisterId>(j));
     }
   }
+  if (options.trace != nullptr) {
+    for (std::size_t j = 0; j < m; ++j) {
+      options.trace->record_initial(static_cast<net::RegisterId>(j));
+    }
+  }
 
   core::ClientOptions client_options;
   client_options.monotone = options.monotone;
   client_options.retry_timeout = options.retry_timeout;
   client_options.read_repair = options.read_repair;
   client_options.write_back = options.write_back;
+  client_options.metrics = options.metrics;
+  client_options.trace = options.trace;
 
   RoundTracker rounds(p);
   PseudocycleTracker pseudocycles(p, m);
@@ -266,6 +275,26 @@ Alg1Result run_alg1(const AcoOperator& op, const Alg1Options& options) {
     result.write_latency.merge(proc->write_latency());
   }
   result.history = history;
+
+  // End-of-run publication: simulator and executor figures land in the
+  // registry only after the event loop stops, so instrumentation cannot
+  // perturb event ordering (the determinism test relies on this).
+  if (options.metrics != nullptr) {
+    namespace n = obs::names;
+    obs::Registry& reg = *options.metrics;
+    reg.counter(n::kSimEvents, "Events processed by the DES main loop")
+        .inc(simulator.events_processed());
+    reg.gauge(n::kSimHeapHighWater, "Event-heap high-water mark")
+        .record_max(static_cast<double>(simulator.max_pending_events()));
+    reg.gauge(n::kSimTime, "Simulated time at end of run")
+        .set(simulator.now());
+    reg.gauge(n::kAlg1Rounds, "Rounds until convergence (or the cap)")
+        .set(static_cast<double>(result.rounds));
+    reg.gauge(n::kAlg1Pseudocycles, "Completed pseudocycles (§7)")
+        .set(static_cast<double>(result.pseudocycles));
+    reg.gauge(n::kAlg1Converged, "1 if the run converged, else 0")
+        .set(result.converged ? 1.0 : 0.0);
+  }
   return result;
 }
 

@@ -20,6 +20,8 @@
 #include "iter/aco.hpp"
 #include "net/fault_plan.hpp"
 #include "net/transport.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "quorum/quorum_system.hpp"
 #include "util/stats.hpp"
 
@@ -79,6 +81,16 @@ struct Alg1Options {
   /// execution can stall forever (e.g. a strict system with too many crashed
   /// servers keeps retrying without progress).
   std::optional<sim::Time> max_sim_time;
+
+  /// Optional metrics registry (non-owning).  All layers — clients, servers,
+  /// transport, simulator — report into it; instruments only count, they
+  /// never schedule events, so the simulated execution is unchanged.
+  obs::Registry* metrics = nullptr;
+
+  /// Optional structured op-trace sink (non-owning).  Records one event per
+  /// completed read/write in spec/history vocabulary, replayable through the
+  /// [R1]/[R2]/[R4] checkers via core::spec::to_op_records.
+  obs::OpTraceSink* trace = nullptr;
 };
 
 struct Alg1Result {

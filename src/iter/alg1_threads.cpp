@@ -25,6 +25,7 @@ Alg1ThreadsResult run_alg1_threads(const AcoOperator& op,
 
   util::Rng master(options.seed);
   net::ThreadTransport transport(static_cast<net::NodeId>(n + p));
+  if (options.metrics != nullptr) transport.bind_metrics(*options.metrics);
 
   // Server threads at NodeIds [0, n), replicas preloaded before they start.
   std::vector<std::unique_ptr<core::ThreadedServer>> servers;
@@ -35,7 +36,8 @@ Alg1ThreadsResult run_alg1_threads(const AcoOperator& op,
       replica.preload(static_cast<net::RegisterId>(j), op.initial(j));
     }
     servers.push_back(std::make_unique<core::ThreadedServer>(
-        transport, static_cast<net::NodeId>(s), std::move(replica)));
+        transport, static_cast<net::NodeId>(s), std::move(replica),
+        options.metrics));
   }
 
   Alg1ThreadsResult result;
@@ -51,7 +53,8 @@ Alg1ThreadsResult run_alg1_threads(const AcoOperator& op,
   auto worker = [&](std::size_t i) {
     core::BlockingRegisterClient client(
         transport, static_cast<net::NodeId>(n + i), quorums,
-        /*server_base=*/0, master.fork(100 + i), options.monotone);
+        /*server_base=*/0, master.fork(100 + i), options.monotone,
+        options.metrics);
     std::vector<std::size_t> owned;
     for (std::size_t j = i; j < m; j += p) owned.push_back(j);
 
@@ -112,8 +115,13 @@ Alg1ThreadsResult run_alg1_threads(const AcoOperator& op,
       }
     }
 
+    // Teardown-only aggregation: the client accumulated its latency stats
+    // lock-free while running; one merge per thread happens here, after the
+    // iteration loop, so the hot path never takes a global lock.
     std::lock_guard lock(progress_mutex);
     cache_hits_total += client.monotone_cache_hits();
+    result.read_latency.merge(client.read_latency());
+    result.write_latency.merge(client.write_latency());
   };
 
   {

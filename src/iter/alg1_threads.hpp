@@ -11,7 +11,9 @@
 
 #include "iter/aco.hpp"
 #include "net/transport.hpp"
+#include "obs/metrics.hpp"
 #include "quorum/quorum_system.hpp"
+#include "util/stats.hpp"
 
 namespace pqra::iter {
 
@@ -21,6 +23,11 @@ struct Alg1ThreadsOptions {
   bool monotone = true;
   std::uint64_t seed = 1;
   std::size_t round_cap = 100000;
+
+  /// Optional metrics registry (non-owning).  Must be thread-safe
+  /// (obs::Concurrency::kThreadSafe): clients, servers and the transport all
+  /// report into it concurrently.
+  obs::Registry* metrics = nullptr;
 };
 
 struct Alg1ThreadsResult {
@@ -29,6 +36,12 @@ struct Alg1ThreadsResult {
   std::size_t iterations = 0;
   net::MessageStats messages;
   std::uint64_t monotone_cache_hits = 0;
+  /// Wall-clock operation latency in seconds.  Each worker accumulates into
+  /// its own util::OnlineStats lock-free on the hot path; the per-thread
+  /// stats are merged (util::OnlineStats::merge) only after the workers
+  /// join, so no global lock is touched per operation.
+  util::OnlineStats read_latency;
+  util::OnlineStats write_latency;
 };
 
 /// Runs to convergence (or the round cap) and tears the runtime down.

@@ -30,9 +30,11 @@ void SimTransport::send(NodeId from, NodeId to, Message msg) {
   PQRA_REQUIRE(receivers_[to] != nullptr, "destination not registered");
   ++stats_.total;
   ++stats_.by_type[static_cast<std::size_t>(msg.type)];
+  if (metrics_.has_value()) metrics_->on_send(msg);
   if (crashed_[from] || crashed_[to] ||
       (drop_probability_ > 0.0 && rng_.bernoulli(drop_probability_))) {
     ++stats_.dropped;
+    if (metrics_.has_value()) metrics_->on_drop();
     return;
   }
   sim::Time delay = delay_model_.sample(rng_);
@@ -41,6 +43,7 @@ void SimTransport::send(NodeId from, NodeId to, Message msg) {
         // Re-check the destination: it may have crashed in flight.
         if (crashed_[to]) {
           ++stats_.dropped;
+          if (metrics_.has_value()) metrics_->on_drop();
           return;
         }
         ++stats_.received_by_node[to];
@@ -49,6 +52,10 @@ void SimTransport::send(NodeId from, NodeId to, Message msg) {
 }
 
 MessageStats SimTransport::stats() const { return stats_; }
+
+void SimTransport::bind_metrics(obs::Registry& registry) {
+  metrics_.emplace(registry);
+}
 
 void SimTransport::crash(NodeId node) {
   PQRA_REQUIRE(node < crashed_.size(), "node id out of range");

@@ -9,6 +9,7 @@
 /// Fault injection (node crashes, link drop probability) is available for
 /// the availability experiments; the paper's own runs use none.
 
+#include <optional>
 #include <unordered_set>
 #include <vector>
 
@@ -38,6 +39,11 @@ class SimTransport final : public Transport {
   /// Independently drops each message with probability \p p (default 0).
   void set_drop_probability(double p);
 
+  /// Routes message/drop/byte counts into \p registry (obs/names.hpp names)
+  /// in addition to the legacy MessageStats snapshot.  Counting does not
+  /// schedule events, so binding cannot perturb DES determinism.
+  void bind_metrics(obs::Registry& registry);
+
  private:
   sim::Simulator& simulator_;
   sim::DelayModel& delay_model_;
@@ -46,6 +52,7 @@ class SimTransport final : public Transport {
   std::vector<bool> crashed_;
   double drop_probability_ = 0.0;
   MessageStats stats_;
+  std::optional<TransportMetrics> metrics_;
 };
 
 }  // namespace pqra::net

@@ -21,11 +21,13 @@ void ThreadTransport::send(NodeId from, NodeId to, Message msg) {
     std::lock_guard lock(stats_mutex_);
     if (closed_) {
       ++stats_.dropped;
+      if (metrics_.has_value()) metrics_->on_drop();
       return;
     }
     ++stats_.total;
     ++stats_.by_type[static_cast<std::size_t>(msg.type)];
     ++stats_.received_by_node[to];
+    if (metrics_.has_value()) metrics_->on_send(msg);
   }
   Mailbox& box = *mailboxes_[to];
   {
@@ -75,6 +77,13 @@ bool ThreadTransport::closed() const {
 MessageStats ThreadTransport::stats() const {
   std::lock_guard lock(stats_mutex_);
   return stats_;
+}
+
+void ThreadTransport::bind_metrics(obs::Registry& registry) {
+  PQRA_REQUIRE(registry.mode() == obs::Concurrency::kThreadSafe,
+               "ThreadTransport needs a thread-safe registry");
+  std::lock_guard lock(stats_mutex_);
+  metrics_.emplace(registry);
 }
 
 }  // namespace pqra::net

@@ -16,6 +16,8 @@
 #include <optional>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 #include "net/message.hpp"
 #include "net/transport.hpp"
 
@@ -50,6 +52,12 @@ class ThreadTransport {
 
   MessageStats stats() const;
 
+  /// Routes message/drop/byte counts into \p registry in addition to the
+  /// legacy MessageStats snapshot.  The registry must be thread-safe
+  /// (Concurrency::kThreadSafe): increments happen on every sender thread.
+  /// Bind before the first send.
+  void bind_metrics(obs::Registry& registry);
+
  private:
   struct Mailbox {
     std::mutex mutex;
@@ -61,6 +69,7 @@ class ThreadTransport {
 
   mutable std::mutex stats_mutex_;
   MessageStats stats_;
+  std::optional<TransportMetrics> metrics_;
   bool closed_ = false;
 };
 

@@ -1,8 +1,22 @@
 #include "net/transport.hpp"
 
+#include "obs/names.hpp"
 #include "util/check.hpp"
 
 namespace pqra::net {
+
+TransportMetrics::TransportMetrics(obs::Registry& registry)
+    : messages_(&registry.counter(obs::names::kTransportMessages,
+                                  "Messages sent (including dropped)")),
+      dropped_(&registry.counter(
+          obs::names::kTransportDropped,
+          "Messages lost to crashed nodes / drop probability / shutdown")),
+      payload_bytes_(&registry.counter(obs::names::kTransportPayloadBytes,
+                                       "Payload bytes sent")) {
+  for (std::size_t i = 0; i < kNumMsgTypes; ++i) {
+    by_type_[i] = &registry.counter(obs::names::kTransportMessagesByType[i]);
+  }
+}
 
 MessageStats MessageStats::minus(const MessageStats& earlier) const {
   PQRA_REQUIRE(total >= earlier.total, "stats snapshots out of order");

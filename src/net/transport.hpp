@@ -7,12 +7,19 @@
 /// registered per node.  The counters are the measurement instrument for the
 /// message-complexity experiments (§6.4), so they are part of the interface,
 /// not an implementation detail.
+///
+/// Counting happens in two forms: the legacy MessageStats snapshot (kept as
+/// the per-run/per-link view the benches difference across phases) and,
+/// when a transport is bound to an obs::Registry via bind_metrics(), the
+/// unified metrics pipeline (messages/drops/bytes by type) that the rest of
+/// the system exports through.
 
 #include <array>
 #include <cstdint>
 #include <vector>
 
 #include "net/message.hpp"
+#include "obs/metrics.hpp"
 
 namespace pqra::net {
 
@@ -33,6 +40,29 @@ struct MessageStats {
   /// Component-wise difference (this - earlier); used to attribute message
   /// counts to a phase of an execution.
   MessageStats minus(const MessageStats& earlier) const;
+};
+
+/// Registry-backed transport instruments, shared by SimTransport and
+/// ThreadTransport so both runtimes report under the same names (see
+/// obs/names.hpp).  Instrument pointers are grabbed once at bind time; the
+/// per-send path is branch + relaxed increments.
+class TransportMetrics {
+ public:
+  explicit TransportMetrics(obs::Registry& registry);
+
+  void on_send(const Message& msg) {
+    messages_->inc();
+    by_type_[static_cast<std::size_t>(msg.type)]->inc();
+    payload_bytes_->inc(msg.value.size());
+  }
+
+  void on_drop() { dropped_->inc(); }
+
+ private:
+  obs::Counter* messages_;
+  obs::Counter* dropped_;
+  obs::Counter* payload_bytes_;
+  std::array<obs::Counter*, kNumMsgTypes> by_type_;
 };
 
 class Transport {

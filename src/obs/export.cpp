@@ -1,0 +1,155 @@
+#include "obs/export.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace pqra::obs {
+
+namespace {
+
+/// Index of the first bucket worth emitting: everything below is empty.
+std::size_t first_used_bucket(const HistogramSnapshot& h) {
+  for (std::size_t i = 0; i < h.cumulative.size(); ++i) {
+    if (h.cumulative[i] > 0) return i;
+  }
+  return h.cumulative.empty() ? 0 : h.cumulative.size() - 1;
+}
+
+/// Index one past the last bucket whose cumulative count still grows; the
+/// remaining buckets all repeat the total and collapse into `+Inf`.
+std::size_t last_used_bucket(const HistogramSnapshot& h) {
+  std::size_t last = first_used_bucket(h);
+  for (std::size_t i = last; i + 1 < h.cumulative.size(); ++i) {
+    if (h.cumulative[i + 1] > h.cumulative[i]) last = i + 1;
+  }
+  return last;
+}
+
+void write_json_string(const std::string& s, std::ostream& out) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+std::string format_double(double x) {
+  if (std::isnan(x)) return "NaN";
+  if (std::isinf(x)) return x > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  // %.17g round-trips; try shorter forms first for readable output.
+  for (int prec = 6; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, x);
+    double back = 0.0;
+    std::sscanf(buf, "%lf", &back);
+    if (back == x) break;
+  }
+  return buf;
+}
+
+void write_prometheus(const RegistrySnapshot& snap, std::ostream& out) {
+  for (const auto& c : snap.counters) {
+    if (!c.help.empty()) out << "# HELP " << c.name << ' ' << c.help << '\n';
+    out << "# TYPE " << c.name << " counter\n";
+    out << c.name << ' ' << c.value << '\n';
+  }
+  for (const auto& g : snap.gauges) {
+    if (!g.help.empty()) out << "# HELP " << g.name << ' ' << g.help << '\n';
+    out << "# TYPE " << g.name << " gauge\n";
+    out << g.name << ' ' << format_double(g.value) << '\n';
+  }
+  for (const auto& h : snap.histograms) {
+    if (!h.help.empty()) out << "# HELP " << h.name << ' ' << h.help << '\n';
+    out << "# TYPE " << h.name << " histogram\n";
+    const HistogramSnapshot& d = h.data;
+    if (d.count > 0) {
+      std::size_t lo = first_used_bucket(d);
+      std::size_t hi = last_used_bucket(d);
+      for (std::size_t i = lo; i <= hi; ++i) {
+        if (std::isinf(d.upper_bounds[i])) continue;  // folded into +Inf
+        out << h.name << "_bucket{le=\"" << format_double(d.upper_bounds[i])
+            << "\"} " << d.cumulative[i] << '\n';
+      }
+    }
+    out << h.name << "_bucket{le=\"+Inf\"} " << d.count << '\n';
+    out << h.name << "_sum " << format_double(d.sum) << '\n';
+    out << h.name << "_count " << d.count << '\n';
+  }
+}
+
+void write_prometheus(const Registry& registry, std::ostream& out) {
+  write_prometheus(registry.snapshot(), out);
+}
+
+void write_json(const RegistrySnapshot& snap, std::ostream& out) {
+  out << "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    out << (i == 0 ? "\n    " : ",\n    ");
+    write_json_string(snap.counters[i].name, out);
+    out << ": " << snap.counters[i].value;
+  }
+  out << "\n  },\n  \"gauges\": {";
+  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+    out << (i == 0 ? "\n    " : ",\n    ");
+    write_json_string(snap.gauges[i].name, out);
+    double v = snap.gauges[i].value;
+    if (std::isfinite(v)) {
+      out << ": " << format_double(v);
+    } else {
+      out << ": ";
+      write_json_string(format_double(v), out);
+    }
+  }
+  out << "\n  },\n  \"histograms\": {";
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    const auto& h = snap.histograms[i];
+    out << (i == 0 ? "\n    " : ",\n    ");
+    write_json_string(h.name, out);
+    out << ": {\"count\": " << h.data.count
+        << ", \"sum\": " << format_double(h.data.sum) << ", \"buckets\": [";
+    if (h.data.count > 0) {
+      std::size_t lo = first_used_bucket(h.data);
+      std::size_t hi = last_used_bucket(h.data);
+      bool first = true;
+      for (std::size_t j = lo; j <= hi; ++j) {
+        if (std::isinf(h.data.upper_bounds[j])) continue;
+        if (!first) out << ", ";
+        first = false;
+        out << "{\"le\": " << format_double(h.data.upper_bounds[j])
+            << ", \"count\": " << h.data.cumulative[j] << '}';
+      }
+    }
+    out << "]}";
+  }
+  out << "\n  }\n}\n";
+}
+
+void write_json(const Registry& registry, std::ostream& out) {
+  write_json(registry.snapshot(), out);
+}
+
+}  // namespace pqra::obs

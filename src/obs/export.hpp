@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file export.hpp
+/// Registry exporters: Prometheus text exposition and a JSON snapshot.
+///
+/// Both operate on a RegistrySnapshot (or a Registry, snapshotting
+/// internally), so they can run while the threaded runtime is still
+/// mutating instruments.  Output order is the registry's sorted instrument
+/// order, which makes both formats golden-file testable.
+
+#include <ostream>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace pqra::obs {
+
+/// Prometheus text exposition format 0.0.4: `# HELP` / `# TYPE` comment
+/// pairs followed by the samples.  Histograms emit the standard
+/// `_bucket{le="..."}` / `_sum` / `_count` series; empty leading/trailing
+/// buckets are elided (the `+Inf` bucket is always present).
+void write_prometheus(const RegistrySnapshot& snap, std::ostream& out);
+void write_prometheus(const Registry& registry, std::ostream& out);
+
+/// JSON object {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+/// Histogram buckets appear as [{"le": bound, "count": cumulative}, ...]
+/// with the same elision rule as the Prometheus writer.
+void write_json(const RegistrySnapshot& snap, std::ostream& out);
+void write_json(const Registry& registry, std::ostream& out);
+
+/// Renders a double the way both exporters do: shortest round-trip decimal,
+/// "+Inf"/"-Inf"/"NaN" for non-finite values (JSON gets them as strings).
+std::string format_double(double x);
+
+}  // namespace pqra::obs

@@ -1,0 +1,137 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace pqra::obs {
+
+void Histogram::bump(std::atomic<std::uint64_t>& cell) {
+  if (atomic_) {
+    cell.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    cell.store(cell.load(std::memory_order_relaxed) + 1,
+               std::memory_order_relaxed);
+  }
+}
+
+void Histogram::observe(double x) {
+  if (std::isnan(x)) {
+    bump(nans_);
+    return;
+  }
+  int exp = 0;
+  if (x > 0.0 && !std::isinf(x)) std::frexp(x, &exp);
+  std::size_t idx = 0;
+  if (std::isinf(x)) {
+    idx = kNumBuckets - 1;
+  } else if (x > 0.0) {
+    long shifted = static_cast<long>(exp) + kBias;
+    if (shifted < 0) shifted = 0;
+    if (shifted >= static_cast<long>(kNumBuckets)) shifted = kNumBuckets - 1;
+    idx = static_cast<std::size_t>(shifted);
+  }
+  bump(buckets_[idx]);
+  bump(count_);
+  if (atomic_) {
+    double cur = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(cur, cur + x,
+                                       std::memory_order_relaxed)) {
+    }
+  } else {
+    sum_.store(sum_.load(std::memory_order_relaxed) + x,
+               std::memory_order_relaxed);
+  }
+}
+
+double Histogram::mean() const {
+  std::uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+std::uint64_t Histogram::bucket_count(std::size_t i) const {
+  PQRA_REQUIRE(i < kNumBuckets, "histogram bucket index out of range");
+  return buckets_[i].load(std::memory_order_relaxed);
+}
+
+double Histogram::bucket_upper_bound(std::size_t i) {
+  PQRA_REQUIRE(i < kNumBuckets, "histogram bucket index out of range");
+  if (i == kNumBuckets - 1) return std::numeric_limits<double>::infinity();
+  // Bucket i holds frexp exponents == i - kBias, i.e. x < 2^(i - kBias).
+  return std::ldexp(1.0, static_cast<int>(i) - kBias);
+}
+
+Registry::Entry& Registry::lookup(const std::string& name, Kind kind,
+                                  const std::string& help) {
+  PQRA_REQUIRE(!name.empty(), "instrument name must not be empty");
+  std::lock_guard lock(mutex_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    PQRA_CHECK(it->second.kind == kind,
+               "instrument '" + name + "' already registered as another kind");
+    return it->second;
+  }
+  Entry entry;
+  entry.kind = kind;
+  entry.help = help;
+  const bool atomic = mode_ == Concurrency::kThreadSafe;
+  switch (kind) {
+    case Kind::kCounter:
+      entry.counter.reset(new Counter(atomic));
+      break;
+    case Kind::kGauge:
+      entry.gauge.reset(new Gauge(atomic));
+      break;
+    case Kind::kHistogram:
+      entry.histogram.reset(new Histogram(atomic));
+      break;
+  }
+  return entries_.emplace(name, std::move(entry)).first->second;
+}
+
+Counter& Registry::counter(const std::string& name, const std::string& help) {
+  return *lookup(name, Kind::kCounter, help).counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, const std::string& help) {
+  return *lookup(name, Kind::kGauge, help).gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               const std::string& help) {
+  return *lookup(name, Kind::kHistogram, help).histogram;
+}
+
+RegistrySnapshot Registry::snapshot() const {
+  RegistrySnapshot snap;
+  std::lock_guard lock(mutex_);
+  for (const auto& [name, entry] : entries_) {  // std::map: sorted by name
+    switch (entry.kind) {
+      case Kind::kCounter:
+        snap.counters.push_back({name, entry.help, entry.counter->value()});
+        break;
+      case Kind::kGauge:
+        snap.gauges.push_back({name, entry.help, entry.gauge->value()});
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        HistogramSnapshot data;
+        data.count = h.count();
+        data.sum = h.sum();
+        data.nans = h.nan_count();
+        std::uint64_t running = 0;
+        for (std::size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+          running += h.bucket_count(i);
+          data.upper_bounds.push_back(Histogram::bucket_upper_bound(i));
+          data.cumulative.push_back(running);
+        }
+        snap.histograms.push_back({name, entry.help, std::move(data)});
+        break;
+      }
+    }
+  }
+  return snap;
+}
+
+}  // namespace pqra::obs

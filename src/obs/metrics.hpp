@@ -1,0 +1,207 @@
+#pragma once
+
+/// \file metrics.hpp
+/// Unified metrics registry shared by the DES and real-threads runtimes.
+///
+/// Instruments are named Counters, Gauges and log-bucketed Histograms,
+/// created once through a Registry and then incremented lock-free on the hot
+/// path.  The registry runs in one of two concurrency modes, fixed at
+/// construction:
+///
+///   - kSingleThread: the DES fast path.  Increments compile to plain
+///     load/add/store (no lock prefix), so instrumenting the simulator adds
+///     no atomic traffic and cannot perturb event ordering.
+///   - kThreadSafe: the real-threads runtime.  The same instruments update
+///     with relaxed atomic RMWs, so p client threads and n server threads
+///     can share one registry without a lock on the hot path.
+///
+/// Registration (Registry::counter/gauge/histogram) is always
+/// mutex-protected and idempotent: asking for an existing name returns the
+/// same instrument, which is how several clients share one aggregate
+/// counter.  Instrument references stay valid for the registry's lifetime.
+///
+/// Naming convention (see docs/OBSERVABILITY.md): `pqra_<layer>_<what>`,
+/// counters suffixed `_total`, e.g. `pqra_client_reads_total`.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace pqra::obs {
+
+enum class Concurrency { kSingleThread, kThreadSafe };
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) {
+    if (atomic_) {
+      v_.fetch_add(n, std::memory_order_relaxed);
+    } else {
+      v_.store(v_.load(std::memory_order_relaxed) + n,
+               std::memory_order_relaxed);
+    }
+  }
+
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class Registry;
+  explicit Counter(bool atomic) : atomic_(atomic) {}
+
+  std::atomic<std::uint64_t> v_{0};
+  const bool atomic_;
+};
+
+/// Point-in-time value (heap depth, simulated clock, ...).
+class Gauge {
+ public:
+  void set(double x) { v_.store(x, std::memory_order_relaxed); }
+
+  void add(double dx) {
+    if (atomic_) {
+      double cur = v_.load(std::memory_order_relaxed);
+      while (!v_.compare_exchange_weak(cur, cur + dx,
+                                       std::memory_order_relaxed)) {
+      }
+    } else {
+      v_.store(v_.load(std::memory_order_relaxed) + dx,
+               std::memory_order_relaxed);
+    }
+  }
+
+  /// Raises the gauge to \p x if larger (high-water marks).
+  void record_max(double x) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (cur < x &&
+           !v_.compare_exchange_weak(cur, x, std::memory_order_relaxed)) {
+    }
+  }
+
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class Registry;
+  explicit Gauge(bool atomic) : atomic_(atomic) {}
+
+  std::atomic<double> v_{0.0};
+  const bool atomic_;
+};
+
+/// Log-bucketed (base-2) histogram of non-negative samples.
+///
+/// Bucket i holds samples x with 2^(i - kBias - 1) <= x < 2^(i - kBias)
+/// (frexp exponent = i - kBias); bucket 0 additionally absorbs everything
+/// below its range (including zero and negatives), the last bucket
+/// everything above.  NaN samples are dropped and tallied separately.  The
+/// layout is fixed, so two histograms merge bucket-wise and export needs no
+/// per-instrument configuration.
+class Histogram {
+ public:
+  /// Buckets cover ~[2^-17, 2^46): sub-microsecond wall clocks up to ~weeks
+  /// of simulated time without saturating a boundary bucket.
+  static constexpr std::size_t kNumBuckets = 64;
+  static constexpr int kBias = 17;  // bucket 0 tops out at 2^-kBias
+
+  void observe(double x);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Mean of all observed samples (0 when empty).
+  double mean() const;
+  std::uint64_t nan_count() const {
+    return nans_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bucket_count(std::size_t i) const;
+  /// Inclusive upper bound of bucket \p i (Prometheus `le`); +inf for the
+  /// last bucket.
+  static double bucket_upper_bound(std::size_t i);
+
+ private:
+  friend class Registry;
+  explicit Histogram(bool atomic) : atomic_(atomic) {}
+
+  void bump(std::atomic<std::uint64_t>& cell);
+
+  std::atomic<std::uint64_t> buckets_[kNumBuckets]{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> nans_{0};
+  std::atomic<double> sum_{0.0};
+  const bool atomic_;
+};
+
+/// Plain-data snapshot of one histogram, for exporters and tests.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  std::uint64_t nans = 0;
+  /// Parallel arrays: cumulative count of samples <= upper_bound[i].
+  std::vector<double> upper_bounds;
+  std::vector<std::uint64_t> cumulative;
+};
+
+/// Plain-data snapshot of a whole registry (export boundary; decoupled from
+/// live instruments so exporters need no locking discipline).
+struct RegistrySnapshot {
+  struct CounterSample {
+    std::string name;
+    std::string help;
+    std::uint64_t value = 0;
+  };
+  struct GaugeSample {
+    std::string name;
+    std::string help;
+    double value = 0.0;
+  };
+  struct HistogramSample {
+    std::string name;
+    std::string help;
+    HistogramSnapshot data;
+  };
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+};
+
+class Registry {
+ public:
+  explicit Registry(Concurrency mode = Concurrency::kSingleThread)
+      : mode_(mode) {}
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Concurrency mode() const { return mode_; }
+
+  /// Returns the instrument named \p name, creating it on first use.  The
+  /// help string is set by whichever call registers first.  Requesting an
+  /// existing name as a different instrument kind throws.
+  Counter& counter(const std::string& name, const std::string& help = "");
+  Gauge& gauge(const std::string& name, const std::string& help = "");
+  Histogram& histogram(const std::string& name, const std::string& help = "");
+
+  /// Snapshot of every instrument, sorted by name (deterministic export).
+  RegistrySnapshot snapshot() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& lookup(const std::string& name, Kind kind, const std::string& help);
+
+  const Concurrency mode_;
+  mutable std::mutex mutex_;  // registration + snapshot only, never hot
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace pqra::obs

@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file names.hpp
+/// Well-known instrument names, so every layer reports into the same
+/// registry entries and exporters/tests/dashboards can reference them
+/// without string drift.  Convention: `pqra_<layer>_<what>`, counters
+/// suffixed `_total`.  See docs/OBSERVABILITY.md.
+
+namespace pqra::obs::names {
+
+// Quorum register clients (DES QuorumRegisterClient + threaded
+// BlockingRegisterClient), aggregated over all client processes.
+inline constexpr const char* kClientReads = "pqra_client_reads_total";
+inline constexpr const char* kClientWrites = "pqra_client_writes_total";
+inline constexpr const char* kClientRetries = "pqra_client_retries_total";
+inline constexpr const char* kClientCacheHits =
+    "pqra_client_monotone_cache_hits_total";
+inline constexpr const char* kClientRepairs = "pqra_client_repairs_total";
+inline constexpr const char* kClientWriteBacks =
+    "pqra_client_write_backs_total";
+inline constexpr const char* kClientReadLatency = "pqra_client_read_latency";
+inline constexpr const char* kClientWriteLatency = "pqra_client_write_latency";
+inline constexpr const char* kClientStaleDepth = "pqra_client_stale_depth";
+
+// Replica servers (DES ServerProcess + ThreadedServer).
+inline constexpr const char* kServerRequests = "pqra_server_requests_total";
+inline constexpr const char* kServerTsAdvances =
+    "pqra_server_ts_advances_total";
+inline constexpr const char* kServerGossipMerges =
+    "pqra_server_gossip_merges_total";
+
+// Transports (SimTransport + ThreadTransport).
+inline constexpr const char* kTransportMessages =
+    "pqra_transport_messages_total";
+inline constexpr const char* kTransportDropped =
+    "pqra_transport_dropped_total";
+inline constexpr const char* kTransportPayloadBytes =
+    "pqra_transport_payload_bytes_total";
+/// Per message type: kTransportMessagesByType[MsgType].
+inline constexpr const char* kTransportMessagesByType[] = {
+    "pqra_transport_messages_read_req_total",
+    "pqra_transport_messages_read_ack_total",
+    "pqra_transport_messages_write_req_total",
+    "pqra_transport_messages_write_ack_total",
+    "pqra_transport_messages_gossip_total",
+};
+
+// Discrete-event simulator (published once per run; the hot loop is never
+// instrumented directly).
+inline constexpr const char* kSimEvents = "pqra_sim_events_total";
+inline constexpr const char* kSimHeapHighWater = "pqra_sim_heap_high_water";
+inline constexpr const char* kSimTime = "pqra_sim_time";
+
+// Alg. 1 executors.
+inline constexpr const char* kAlg1Rounds = "pqra_alg1_rounds";
+inline constexpr const char* kAlg1Pseudocycles = "pqra_alg1_pseudocycles";
+inline constexpr const char* kAlg1Converged = "pqra_alg1_converged";
+
+}  // namespace pqra::obs::names

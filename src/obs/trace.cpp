@@ -1,0 +1,260 @@
+#include "obs/trace.hpp"
+
+#include <cctype>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "obs/export.hpp"
+#include "util/check.hpp"
+
+namespace pqra::obs {
+
+const char* trace_op_kind_name(TraceOpKind kind) {
+  return kind == TraceOpKind::kRead ? "read" : "write";
+}
+
+void OpTraceSink::record_initial(std::uint32_t reg, std::uint32_t writer) {
+  OpTraceEvent ev;
+  ev.kind = TraceOpKind::kWrite;
+  ev.proc = writer;
+  ev.reg = reg;
+  ev.invoke = 0.0;
+  ev.response = 0.0;
+  ev.ts = 0;
+  events_.push_back(std::move(ev));
+}
+
+void write_jsonl(const std::vector<OpTraceEvent>& events, std::ostream& out) {
+  for (const OpTraceEvent& ev : events) {
+    out << "{\"op\":\"" << trace_op_kind_name(ev.kind)
+        << "\",\"proc\":" << ev.proc << ",\"reg\":" << ev.reg
+        << ",\"invoke\":" << format_double(ev.invoke)
+        << ",\"response\":" << format_double(ev.response) << ",\"ts\":" << ev.ts
+        << ",\"cache\":" << (ev.from_cache ? "true" : "false")
+        << ",\"attempts\":" << ev.attempts << ",\"stale\":" << ev.stale_depth
+        << ",\"quorum\":[";
+    for (std::size_t i = 0; i < ev.quorum.size(); ++i) {
+      if (i != 0) out << ',';
+      out << ev.quorum[i];
+    }
+    out << "]}\n";
+  }
+}
+
+namespace {
+
+/// Minimal recursive-descent parser for the flat JSON objects write_jsonl
+/// emits.  Strict about structure, lenient about whitespace and key order.
+class LineParser {
+ public:
+  explicit LineParser(const std::string& line) : s_(line) {}
+
+  OpTraceEvent parse() {
+    OpTraceEvent ev;
+    expect('{');
+    bool first = true;
+    while (true) {
+      skip_ws();
+      if (peek() == '}') {
+        ++pos_;
+        break;
+      }
+      if (!first) expect(',');
+      first = false;
+      std::string key = parse_string();
+      expect(':');
+      apply(key, ev);
+    }
+    skip_ws();
+    PQRA_CHECK(pos_ == s_.size(), "op trace: trailing garbage on line");
+    return ev;
+  }
+
+ private:
+  void apply(const std::string& key, OpTraceEvent& ev) {
+    if (key == "op") {
+      std::string v = parse_string();
+      if (v == "read") {
+        ev.kind = TraceOpKind::kRead;
+      } else if (v == "write") {
+        ev.kind = TraceOpKind::kWrite;
+      } else {
+        PQRA_CHECK(false, "op trace: unknown op kind '" + v + "'");
+      }
+    } else if (key == "proc") {
+      ev.proc = static_cast<std::uint32_t>(parse_number());
+    } else if (key == "reg") {
+      ev.reg = static_cast<std::uint32_t>(parse_number());
+    } else if (key == "invoke") {
+      ev.invoke = parse_number();
+    } else if (key == "response") {
+      ev.response = parse_number();
+    } else if (key == "ts") {
+      ev.ts = static_cast<std::uint64_t>(parse_number());
+    } else if (key == "cache") {
+      ev.from_cache = parse_bool();
+    } else if (key == "attempts") {
+      ev.attempts = static_cast<std::uint32_t>(parse_number());
+    } else if (key == "stale") {
+      ev.stale_depth = static_cast<std::uint64_t>(parse_number());
+    } else if (key == "quorum") {
+      expect('[');
+      skip_ws();
+      if (peek() == ']') {
+        ++pos_;
+        return;
+      }
+      while (true) {
+        ev.quorum.push_back(static_cast<std::uint32_t>(parse_number()));
+        skip_ws();
+        if (peek() == ']') {
+          ++pos_;
+          break;
+        }
+        expect(',');
+      }
+    } else {
+      PQRA_CHECK(false, "op trace: unknown key '" + key + "'");
+    }
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    PQRA_CHECK(pos_ < s_.size(), "op trace: truncated line");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    skip_ws();
+    PQRA_CHECK(peek() == c, std::string("op trace: expected '") + c + "'");
+    ++pos_;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (peek() != '"') {
+      char c = s_[pos_++];
+      if (c == '\\') {
+        char esc = peek();
+        ++pos_;
+        switch (esc) {
+          case '"':
+            out += '"';
+            break;
+          case '\\':
+            out += '\\';
+            break;
+          case 'n':
+            out += '\n';
+            break;
+          case 't':
+            out += '\t';
+            break;
+          default:
+            PQRA_CHECK(false, "op trace: unsupported escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  bool parse_bool() {
+    skip_ws();
+    if (s_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      return true;
+    }
+    if (s_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      return false;
+    }
+    PQRA_CHECK(false, "op trace: expected a boolean");
+    return false;
+  }
+
+  double parse_number() {
+    skip_ws();
+    std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+    }
+    PQRA_CHECK(pos_ > start, "op trace: expected a number");
+    return std::stod(s_.substr(start, pos_ - start));
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<OpTraceEvent> parse_jsonl(std::istream& in) {
+  std::vector<OpTraceEvent> events;
+  std::string line;
+  while (std::getline(in, line)) {
+    bool blank = true;
+    for (char c : line) {
+      if (!std::isspace(static_cast<unsigned char>(c))) blank = false;
+    }
+    if (blank) continue;
+    events.push_back(LineParser(line).parse());
+  }
+  return events;
+}
+
+void write_chrome_trace(const std::vector<OpTraceEvent>& events,
+                        std::ostream& out, double us_per_time_unit) {
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const OpTraceEvent& ev : events) {
+    if (!first) out << ',';
+    first = false;
+    double dur = (ev.response - ev.invoke) * us_per_time_unit;
+    if (dur <= 0.0) dur = 1.0;  // zero-width slices vanish in the viewer
+    out << "\n{\"name\":\"" << trace_op_kind_name(ev.kind) << " r" << ev.reg
+        << "\",\"cat\":\"" << trace_op_kind_name(ev.kind)
+        << "\",\"ph\":\"X\",\"pid\":0,\"tid\":" << ev.proc
+        << ",\"ts\":" << format_double(ev.invoke * us_per_time_unit)
+        << ",\"dur\":" << format_double(dur) << ",\"args\":{\"ts\":" << ev.ts
+        << ",\"attempts\":" << ev.attempts
+        << ",\"cache\":" << (ev.from_cache ? "true" : "false")
+        << ",\"stale\":" << ev.stale_depth << ",\"quorum\":\"";
+    for (std::size_t i = 0; i < ev.quorum.size(); ++i) {
+      if (i != 0) out << ' ';
+      out << ev.quorum[i];
+    }
+    out << "\"}}";
+  }
+  // Name the lanes: one metadata event per distinct tid.
+  std::vector<std::uint32_t> procs;
+  for (const OpTraceEvent& ev : events) {
+    bool seen = false;
+    for (std::uint32_t p : procs) {
+      if (p == ev.proc) seen = true;
+    }
+    if (!seen) procs.push_back(ev.proc);
+  }
+  for (std::uint32_t p : procs) {
+    if (!first) out << ',';
+    first = false;
+    out << "\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << p
+        << ",\"args\":{\"name\":\"proc " << p << "\"}}";
+  }
+  out << "\n]}\n";
+}
+
+}  // namespace pqra::obs

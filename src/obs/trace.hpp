@@ -1,0 +1,92 @@
+#pragma once
+
+/// \file trace.hpp
+/// Structured operation tracing for register protocols.
+///
+/// Every completed read/write becomes one OpTraceEvent carrying the
+/// spec/history vocabulary (§3's operation records: invocation/response
+/// times and the timestamp written/returned) plus protocol detail the
+/// checkers ignore but humans want: the responding quorum, retry attempts,
+/// monotone-cache provenance and the staleness depth t (how many writes
+/// behind the freshest value this client had evidence of).
+///
+/// Three serializations:
+///   - JSONL (write_jsonl / parse_jsonl): one JSON object per line,
+///     round-trippable, and convertible to spec::OpRecord rows (see
+///     core/spec/trace_bridge.hpp) so a captured trace can be replayed
+///     through the [R1]/[R2]/[R4] checkers.
+///   - Chrome trace-event JSON (write_chrome_trace): load in
+///     about://tracing or https://ui.perfetto.dev — one lane per process,
+///     one slice per operation over simulated time.
+///
+/// The sink itself is an append-only vector: single-threaded, matching the
+/// DES (the threaded runtime records per-thread and concatenates).
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pqra::obs {
+
+enum class TraceOpKind : std::uint8_t { kRead = 0, kWrite = 1 };
+
+struct OpTraceEvent {
+  TraceOpKind kind = TraceOpKind::kRead;
+  std::uint32_t proc = 0;  ///< client NodeId
+  std::uint32_t reg = 0;
+  double invoke = 0.0;    ///< invocation time (sim-time or wall seconds)
+  double response = 0.0;  ///< response time; >= invoke
+  /// Writes: the timestamp written.  Reads: the timestamp returned.
+  std::uint64_t ts = 0;
+  /// Reads only: result served from the §6.2 monotone cache.
+  bool from_cache = false;
+  /// Quorum accesses performed, >= 1 (retries add accesses).
+  std::uint32_t attempts = 1;
+  /// Reads only: staleness depth t — how many writes the quorum's freshest
+  /// answer lagged behind the newest timestamp this client knew of.
+  std::uint64_t stale_depth = 0;
+  /// Servers whose acks completed the operation (NodeIds).
+  std::vector<std::uint32_t> quorum;
+
+  bool operator==(const OpTraceEvent&) const = default;
+};
+
+/// Append-only event collector.  Not thread-safe by design (see file
+/// comment); the DES drives it from a single event loop.
+class OpTraceSink {
+ public:
+  void record(OpTraceEvent event) { events_.push_back(std::move(event)); }
+
+  /// Convenience for the preloaded initial values: a write of timestamp 0
+  /// by pseudo-process \p writer completing at time 0, one per register —
+  /// the same convention as spec::HistoryRecorder::record_initial.
+  void record_initial(std::uint32_t reg, std::uint32_t writer = 0);
+
+  const std::vector<OpTraceEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+
+ private:
+  std::vector<OpTraceEvent> events_;
+};
+
+/// One compact JSON object per event, e.g.
+///   {"op":"read","proc":35,"reg":2,"invoke":4,"response":6,"ts":3,
+///    "cache":false,"attempts":1,"stale":0,"quorum":[0,7,12]}
+void write_jsonl(const std::vector<OpTraceEvent>& events, std::ostream& out);
+
+/// Parses write_jsonl output (field order-insensitive; unknown keys are
+/// rejected).  Throws std::logic_error on malformed input.  Blank lines are
+/// skipped.
+std::vector<OpTraceEvent> parse_jsonl(std::istream& in);
+
+/// Chrome trace-event format: complete ("X") events, one lane (tid) per
+/// process, \p us_per_time_unit microseconds per trace time unit (the
+/// default renders 1 sim-time unit as 1ms so quorum round trips are visible
+/// at default zoom).
+void write_chrome_trace(const std::vector<OpTraceEvent>& events,
+                        std::ostream& out, double us_per_time_unit = 1000.0);
+
+const char* trace_op_kind_name(TraceOpKind kind);
+
+}  // namespace pqra::obs

@@ -17,6 +17,7 @@ void Simulator::schedule_at(Time t, EventFn fn) {
   PQRA_REQUIRE(static_cast<bool>(fn), "event callback must be callable");
   heap_.push_back(Event{t, next_seq_++, std::move(fn)});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
+  if (heap_.size() > heap_high_water_) heap_high_water_ = heap_.size();
 }
 
 bool Simulator::step() {

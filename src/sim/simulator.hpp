@@ -60,6 +60,9 @@ class Simulator {
   bool empty() const { return heap_.empty(); }
   std::size_t pending_events() const { return heap_.size(); }
   std::uint64_t events_processed() const { return processed_; }
+  /// Largest number of simultaneously pending events so far (the event
+  /// heap's high-water mark — the memory footprint the run actually needed).
+  std::size_t max_pending_events() const { return heap_high_water_; }
 
  private:
   struct Event {
@@ -79,6 +82,7 @@ class Simulator {
   Time next_event_time() const { return heap_.front().t; }
 
   std::vector<Event> heap_;
+  std::size_t heap_high_water_ = 0;
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;

@@ -1,24 +1,64 @@
 #include "util/log.hpp"
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
+#include <utility>
 
 namespace pqra::util {
 
 namespace {
 
-LogLevel resolve_level() {
+LogLevel resolve_env_level() {
   const char* env = std::getenv("PQRA_LOG");
   if (env == nullptr) return LogLevel::kWarn;
-  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
-  if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
-  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
-  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
-  return LogLevel::kWarn;
+  return parse_log_level(env);
 }
 
-const char* level_name(LogLevel level) {
+LogLevel& level_slot() {
+  static LogLevel level = resolve_env_level();
+  return level;
+}
+
+LogSink& sink_slot() {
+  static LogSink sink;
+  return sink;
+}
+
+}  // namespace
+
+LogLevel parse_log_level(std::string_view name, LogLevel fallback) {
+  std::string lower(name);
+  for (char& c : lower) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "error" || lower == "err") return LogLevel::kError;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "info" || lower == "verbose") return LogLevel::kInfo;
+  if (lower == "debug" || lower == "trace") return LogLevel::kDebug;
+  return fallback;
+}
+
+LogLevel log_level() { return level_slot(); }
+
+void set_log_level(LogLevel level) { level_slot() = level; }
+
+bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) <= static_cast<int>(log_level());
+}
+
+void set_log_sink(LogSink sink) { sink_slot() = std::move(sink); }
+
+void log_line(LogLevel level, const std::string& message) {
+  if (sink_slot()) {
+    sink_slot()(level, message);
+    return;
+  }
+  std::fprintf(stderr, "[pqra %s] %s\n", log_level_name(level),
+               message.c_str());
+}
+
+const char* log_level_name(LogLevel level) {
   switch (level) {
     case LogLevel::kError:
       return "error";
@@ -30,21 +70,6 @@ const char* level_name(LogLevel level) {
       return "debug";
   }
   return "?";
-}
-
-}  // namespace
-
-LogLevel log_level() {
-  static const LogLevel level = resolve_level();
-  return level;
-}
-
-bool log_enabled(LogLevel level) {
-  return static_cast<int>(level) <= static_cast<int>(log_level());
-}
-
-void log_line(LogLevel level, const std::string& message) {
-  std::fprintf(stderr, "[pqra %s] %s\n", level_name(level), message.c_str());
 }
 
 }  // namespace pqra::util

@@ -2,23 +2,46 @@
 
 /// \file log.hpp
 /// Minimal leveled logger.  Level comes from the PQRA_LOG environment
-/// variable (error|warn|info|debug, default warn); output goes to stderr.
+/// variable (error|warn|info|debug plus common aliases, case-insensitive,
+/// default warn); output goes to stderr unless a sink is installed.
 
+#include <functional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace pqra::util {
 
 enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
 
-/// Global log level, resolved once from the environment.
+/// Parses a PQRA_LOG-style level name.  Case-insensitive; accepts the
+/// canonical names plus common aliases: err, warning, verbose and trace
+/// (mapped to kDebug — there is no finer level).  Unknown names fall back
+/// to \p fallback.  Pure function, exposed for tests.
+LogLevel parse_log_level(std::string_view name,
+                         LogLevel fallback = LogLevel::kWarn);
+
+/// Global log level: resolved from the environment on first use, or
+/// whatever set_log_level() installed last.
 LogLevel log_level();
+
+/// Overrides the global level (tests, embedders).
+void set_log_level(LogLevel level);
 
 /// True when messages at \p level should be emitted.
 bool log_enabled(LogLevel level);
 
-/// Writes one formatted line ("[pqra level] message") to stderr.
+/// Redirects log output; pass nullptr to restore the stderr default.  The
+/// sink receives the raw message without the "[pqra level]" prefix.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+void set_log_sink(LogSink sink);
+
+/// Writes one formatted line ("[pqra level] message") to stderr, or hands
+/// the message to the installed sink.
 void log_line(LogLevel level, const std::string& message);
+
+/// Canonical lowercase name of \p level.
+const char* log_level_name(LogLevel level);
 
 }  // namespace pqra::util
 

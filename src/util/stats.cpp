@@ -87,11 +87,20 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 }
 
 void Histogram::add(double x) {
-  double t = (x - lo_) / (hi_ - lo_);
-  auto idx = static_cast<std::ptrdiff_t>(t * static_cast<double>(counts_.size()));
-  idx = std::clamp<std::ptrdiff_t>(idx, 0,
-                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
-  ++counts_[static_cast<std::size_t>(idx)];
+  if (std::isnan(x)) {
+    // A NaN belongs to no bin; silently clamping it anywhere would invent a
+    // sample.  Tally it so callers can detect polluted inputs.
+    ++nan_count_;
+    return;
+  }
+  // Clamp in floating point BEFORE the integer conversion: for values far
+  // outside [lo, hi) — including ±inf — the scaled index exceeds the
+  // integer's range and the cast itself would be undefined behaviour.
+  if (x < lo_) x = lo_;
+  double scaled = (x - lo_) / (hi_ - lo_) * static_cast<double>(counts_.size());
+  double max_index = static_cast<double>(counts_.size() - 1);
+  if (!(scaled < max_index)) scaled = max_index;
+  ++counts_[static_cast<std::size_t>(scaled)];
   ++total_;
 }
 

@@ -53,8 +53,10 @@ Summary summarize(const std::vector<double>& samples);
 /// not be sorted (a copy is sorted internally).
 double percentile(std::vector<double> samples, double p);
 
-/// Fixed-width histogram over [lo, hi); samples outside are clamped into the
-/// boundary bins.  Used by the statistical register-spec validators.
+/// Fixed-width histogram over [lo, hi); samples outside (including ±inf)
+/// are clamped into the boundary bins.  NaN samples are not binned — they
+/// are tallied separately (nan_count) and excluded from total().  Used by
+/// the statistical register-spec validators.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
@@ -62,6 +64,7 @@ class Histogram {
   void add(double x);
   std::size_t bin_count(std::size_t i) const;
   std::size_t total() const { return total_; }
+  std::size_t nan_count() const { return nan_count_; }
   std::size_t num_bins() const { return counts_.size(); }
   double bin_low(std::size_t i) const;
   double bin_high(std::size_t i) const;
@@ -71,6 +74,7 @@ class Histogram {
   double hi_;
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
+  std::size_t nan_count_ = 0;
 };
 
 }  // namespace pqra::util

@@ -5,6 +5,8 @@
 #include "apps/apsp.hpp"
 #include "apps/graph.hpp"
 #include "apps/transitive_closure.hpp"
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
 #include "quorum/majority.hpp"
 #include "quorum/probabilistic.hpp"
 
@@ -58,6 +60,49 @@ TEST(Alg1ThreadsTest, RoundCapStopsTheRun) {
   if (!r.converged) {
     EXPECT_GE(r.rounds, 3u);
   }
+}
+
+TEST(Alg1ThreadsTest, SharedMetricsRegistryCountsAllLayers) {
+  apps::Graph g = apps::make_chain(6);
+  apps::ApspOperator op(g);
+  quorum::MajorityQuorums qs(5);
+  obs::Registry registry(obs::Concurrency::kThreadSafe);
+  Alg1ThreadsOptions options;
+  options.quorums = &qs;
+  options.metrics = &registry;
+  Alg1ThreadsResult r = run_alg1_threads(op, options);
+  ASSERT_TRUE(r.converged);
+
+  // Every layer reported: clients, servers, transport.  The registry totals
+  // must be consistent with the runtime's own counts even though p client
+  // threads and n server threads updated them concurrently.
+  namespace names = obs::names;
+  std::uint64_t reads = registry.counter(names::kClientReads).value();
+  std::uint64_t writes = registry.counter(names::kClientWrites).value();
+  EXPECT_GT(reads, 0u);
+  EXPECT_GT(writes, 0u);
+  EXPECT_EQ(registry.counter(names::kTransportMessages).value(),
+            r.messages.total);
+  EXPECT_EQ(registry.counter(names::kClientCacheHits).value(),
+            r.monotone_cache_hits);
+  EXPECT_GT(registry.counter(names::kServerRequests).value(), 0u);
+  EXPECT_EQ(registry.histogram(names::kClientReadLatency).count(), reads);
+
+  // Satellite stats: per-thread wall-clock latency merged at teardown.
+  EXPECT_EQ(r.read_latency.count(), reads);
+  EXPECT_EQ(r.write_latency.count(), writes);
+  EXPECT_GT(r.read_latency.mean(), 0.0);
+}
+
+TEST(Alg1ThreadsTest, RejectsSingleThreadRegistry) {
+  apps::Graph g = apps::make_chain(4);
+  apps::ApspOperator op(g);
+  quorum::MajorityQuorums qs(3);
+  obs::Registry registry(obs::Concurrency::kSingleThread);
+  Alg1ThreadsOptions options;
+  options.quorums = &qs;
+  options.metrics = &registry;
+  EXPECT_THROW(run_alg1_threads(op, options), std::logic_error);
 }
 
 TEST(Alg1ThreadsTest, OtherOperatorsRunToo) {

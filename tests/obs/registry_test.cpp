@@ -1,0 +1,202 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "obs/export.hpp"
+
+namespace pqra::obs {
+namespace {
+
+TEST(CounterTest, IncrementsAndReads) {
+  Registry reg(Concurrency::kSingleThread);
+  Counter& c = reg.counter("pqra_test_total", "help");
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(GaugeTest, SetAddRecordMax) {
+  Registry reg(Concurrency::kSingleThread);
+  Gauge& g = reg.gauge("pqra_test_gauge");
+  g.set(5.0);
+  g.add(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 7.5);
+  g.record_max(3.0);  // below current value: no change
+  EXPECT_DOUBLE_EQ(g.value(), 7.5);
+  g.record_max(10.0);
+  EXPECT_DOUBLE_EQ(g.value(), 10.0);
+}
+
+TEST(RegistryTest, RegistrationIsIdempotentByName) {
+  Registry reg(Concurrency::kSingleThread);
+  Counter& a = reg.counter("pqra_shared_total", "first help wins");
+  Counter& b = reg.counter("pqra_shared_total", "ignored");
+  EXPECT_EQ(&a, &b);
+  a.inc();
+  EXPECT_EQ(b.value(), 1u);
+  RegistrySnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].help, "first help wins");
+}
+
+TEST(RegistryTest, KindConflictThrows) {
+  Registry reg(Concurrency::kSingleThread);
+  reg.counter("pqra_name");
+  EXPECT_THROW(reg.gauge("pqra_name"), std::logic_error);
+  EXPECT_THROW(reg.histogram("pqra_name"), std::logic_error);
+}
+
+TEST(RegistryTest, SnapshotIsSortedByName) {
+  Registry reg(Concurrency::kSingleThread);
+  reg.counter("pqra_zzz_total");
+  reg.counter("pqra_aaa_total");
+  reg.counter("pqra_mmm_total");
+  RegistrySnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 3u);
+  EXPECT_EQ(snap.counters[0].name, "pqra_aaa_total");
+  EXPECT_EQ(snap.counters[1].name, "pqra_mmm_total");
+  EXPECT_EQ(snap.counters[2].name, "pqra_zzz_total");
+}
+
+TEST(RegistryTest, ConcurrentCounterIncrementsSumExactly) {
+  Registry reg(Concurrency::kThreadSafe);
+  Counter& c = reg.counter("pqra_contended_total");
+  Histogram& h = reg.histogram("pqra_contended_latency");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c, &h] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.inc();
+        h.observe(1.5);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(h.sum(), 1.5 * kThreads * kPerThread);
+}
+
+TEST(HistogramTest, BucketBoundaries) {
+  Registry reg(Concurrency::kSingleThread);
+  Histogram& h = reg.histogram("pqra_test_latency");
+
+  // The frexp convention: x in [2^(e-1), 2^e) has exponent e, landing in
+  // bucket e + kBias.  1.0 = 2^0 * 0.5 has exponent 1.
+  h.observe(1.0);
+  EXPECT_EQ(h.bucket_count(1 + Histogram::kBias), 1u);
+  h.observe(0.999);  // exponent 0 — one bucket below 1.0
+  EXPECT_EQ(h.bucket_count(0 + Histogram::kBias), 1u);
+  h.observe(2.0);
+  h.observe(3.999);  // same bucket as 2.0: [2, 4)
+  EXPECT_EQ(h.bucket_count(2 + Histogram::kBias), 2u);
+
+  // Bucket i covers [ub/2, ub): an exact power of two opens the next
+  // bucket, like frexp's exponent convention.
+  EXPECT_DOUBLE_EQ(Histogram::bucket_upper_bound(1 + Histogram::kBias), 2.0);
+  EXPECT_DOUBLE_EQ(Histogram::bucket_upper_bound(Histogram::kBias), 1.0);
+}
+
+TEST(HistogramTest, UnderflowOverflowAndNan) {
+  Registry reg(Concurrency::kSingleThread);
+  Histogram& h = reg.histogram("pqra_test_latency");
+  h.observe(0.0);     // bucket 0 absorbs zero...
+  h.observe(-5.0);    // ...and negatives...
+  h.observe(1e-300);  // ...and underflow
+  EXPECT_EQ(h.bucket_count(0), 3u);
+  h.observe(std::numeric_limits<double>::infinity());
+  h.observe(1e300);
+  EXPECT_EQ(h.bucket_count(Histogram::kNumBuckets - 1), 2u);
+  h.observe(std::nan(""));
+  EXPECT_EQ(h.nan_count(), 1u);
+  EXPECT_EQ(h.count(), 5u);  // NaN excluded
+  EXPECT_TRUE(std::isinf(
+      Histogram::bucket_upper_bound(Histogram::kNumBuckets - 1)));
+}
+
+TEST(HistogramTest, MeanIsExact) {
+  Registry reg(Concurrency::kSingleThread);
+  Histogram& h = reg.histogram("pqra_test_latency");
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  h.observe(2.0);
+  h.observe(4.0);
+  h.observe(6.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 4.0);  // sum/count, not bucket midpoints
+}
+
+TEST(PrometheusExportTest, GoldenOutput) {
+  Registry reg(Concurrency::kSingleThread);
+  reg.counter("pqra_ops_total", "Operations completed").inc(3);
+  reg.gauge("pqra_depth", "Current depth").set(2.5);
+  Histogram& h = reg.histogram("pqra_latency", "Op latency");
+  h.observe(1.0);
+  h.observe(1.5);
+  h.observe(3.0);
+
+  std::ostringstream out;
+  write_prometheus(reg, out);
+  // 1.0 and 1.5 share the [1, 2) bucket, 3.0 sits in [2, 4); empty buckets
+  // outside the used range are elided, the +Inf bucket always appears.
+  const std::string expected =
+      "# HELP pqra_ops_total Operations completed\n"
+      "# TYPE pqra_ops_total counter\n"
+      "pqra_ops_total 3\n"
+      "# HELP pqra_depth Current depth\n"
+      "# TYPE pqra_depth gauge\n"
+      "pqra_depth 2.5\n"
+      "# HELP pqra_latency Op latency\n"
+      "# TYPE pqra_latency histogram\n"
+      "pqra_latency_bucket{le=\"2\"} 2\n"
+      "pqra_latency_bucket{le=\"4\"} 3\n"
+      "pqra_latency_bucket{le=\"+Inf\"} 3\n"
+      "pqra_latency_sum 5.5\n"
+      "pqra_latency_count 3\n";
+  EXPECT_EQ(out.str(), expected);
+}
+
+TEST(JsonExportTest, GoldenOutput) {
+  Registry reg(Concurrency::kSingleThread);
+  reg.counter("pqra_ops_total", "Operations completed").inc(7);
+  reg.gauge("pqra_depth").set(1.0);
+  reg.histogram("pqra_latency").observe(1.0);
+
+  std::ostringstream out;
+  write_json(reg, out);
+  const std::string expected =
+      "{\n"
+      "  \"counters\": {\n"
+      "    \"pqra_ops_total\": 7\n"
+      "  },\n"
+      "  \"gauges\": {\n"
+      "    \"pqra_depth\": 1\n"
+      "  },\n"
+      "  \"histograms\": {\n"
+      "    \"pqra_latency\": {\"count\": 1, \"sum\": 1, "
+      "\"buckets\": [{\"le\": 2, \"count\": 1}]}\n"
+      "  }\n"
+      "}\n";
+  EXPECT_EQ(out.str(), expected);
+}
+
+TEST(FormatDoubleTest, ShortestRoundTrip) {
+  EXPECT_EQ(format_double(1.0), "1");
+  EXPECT_EQ(format_double(2.5), "2.5");
+  EXPECT_EQ(format_double(0.1), "0.1");
+  EXPECT_EQ(format_double(std::numeric_limits<double>::infinity()), "+Inf");
+  EXPECT_EQ(format_double(-std::numeric_limits<double>::infinity()), "-Inf");
+  EXPECT_EQ(format_double(std::nan("")), "NaN");
+}
+
+}  // namespace
+}  // namespace pqra::obs

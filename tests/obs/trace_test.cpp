@@ -1,0 +1,211 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "apps/apsp.hpp"
+#include "apps/graph.hpp"
+#include "core/spec/checker.hpp"
+#include "core/spec/trace_bridge.hpp"
+#include "iter/alg1_des.hpp"
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
+#include "quorum/probabilistic.hpp"
+
+namespace pqra {
+namespace {
+
+obs::OpTraceEvent sample_read() {
+  obs::OpTraceEvent e;
+  e.kind = obs::TraceOpKind::kRead;
+  e.proc = 35;
+  e.reg = 2;
+  e.invoke = 4.0;
+  e.response = 6.5;
+  e.ts = 3;
+  e.from_cache = true;
+  e.attempts = 2;
+  e.stale_depth = 1;
+  e.quorum = {0, 7, 12};
+  return e;
+}
+
+obs::OpTraceEvent sample_write() {
+  obs::OpTraceEvent e;
+  e.kind = obs::TraceOpKind::kWrite;
+  e.proc = 40;
+  e.reg = 0;
+  e.invoke = 6.5;
+  e.response = 8.0;
+  e.ts = 4;
+  e.quorum = {1, 2};
+  return e;
+}
+
+TEST(OpTraceJsonlTest, RoundTripsExactly) {
+  std::vector<obs::OpTraceEvent> events{sample_read(), sample_write()};
+  std::ostringstream out;
+  obs::write_jsonl(events, out);
+  std::istringstream in(out.str());
+  EXPECT_EQ(obs::parse_jsonl(in), events);
+}
+
+TEST(OpTraceJsonlTest, ParserIsFieldOrderInsensitive) {
+  std::istringstream in(
+      R"({"reg":2,"op":"read","ts":3,"proc":35,"response":6.5,"invoke":4,)"
+      R"("quorum":[0,7,12],"stale":1,"attempts":2,"cache":true})");
+  std::vector<obs::OpTraceEvent> events = obs::parse_jsonl(in);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0], sample_read());
+}
+
+TEST(OpTraceJsonlTest, SkipsBlankLines) {
+  std::ostringstream out;
+  obs::write_jsonl({sample_read()}, out);
+  std::istringstream in("\n" + out.str() + "\n\n");
+  EXPECT_EQ(obs::parse_jsonl(in).size(), 1u);
+}
+
+TEST(OpTraceJsonlTest, RejectsMalformedInput) {
+  std::istringstream unknown_key(
+      R"({"op":"read","proc":0,"reg":0,"invoke":0,"response":0,"ts":0,)"
+      R"("cache":false,"attempts":1,"stale":0,"quorum":[],"bogus":1})");
+  EXPECT_THROW(obs::parse_jsonl(unknown_key), std::logic_error);
+  std::istringstream not_json("reads=12");
+  EXPECT_THROW(obs::parse_jsonl(not_json), std::logic_error);
+  std::istringstream bad_kind(
+      R"({"op":"scan","proc":0,"reg":0,"invoke":0,"response":0,"ts":0,)"
+      R"("cache":false,"attempts":1,"stale":0,"quorum":[]})");
+  EXPECT_THROW(obs::parse_jsonl(bad_kind), std::logic_error);
+}
+
+TEST(OpTraceSinkTest, RecordInitialMatchesHistoryConvention) {
+  obs::OpTraceSink sink;
+  sink.record_initial(3);
+  ASSERT_EQ(sink.size(), 1u);
+  const obs::OpTraceEvent& e = sink.events()[0];
+  EXPECT_EQ(e.kind, obs::TraceOpKind::kWrite);
+  EXPECT_EQ(e.proc, 0u);
+  EXPECT_EQ(e.reg, 3u);
+  EXPECT_EQ(e.ts, 0u);
+  EXPECT_DOUBLE_EQ(e.invoke, 0.0);
+  EXPECT_DOUBLE_EQ(e.response, 0.0);
+}
+
+TEST(TraceBridgeTest, ConvertsBothDirections) {
+  std::vector<obs::OpTraceEvent> events{sample_read(), sample_write()};
+  std::vector<core::spec::OpRecord> records =
+      core::spec::to_op_records(events);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].kind, core::spec::OpKind::kRead);
+  EXPECT_EQ(records[0].proc, 35u);
+  EXPECT_EQ(records[0].reg, 2u);
+  EXPECT_DOUBLE_EQ(records[0].invoke, 4.0);
+  EXPECT_DOUBLE_EQ(records[0].response, 6.5);
+  EXPECT_TRUE(records[0].responded);
+  EXPECT_EQ(records[0].ts, 3u);
+  EXPECT_EQ(records[1].kind, core::spec::OpKind::kWrite);
+
+  std::vector<obs::OpTraceEvent> back = core::spec::to_trace_events(records);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].kind, obs::TraceOpKind::kRead);
+  EXPECT_EQ(back[0].ts, 3u);
+  // Protocol extras are not part of OpRecord and default away.
+  EXPECT_TRUE(back[0].quorum.empty());
+}
+
+TEST(ChromeTraceTest, EmitsCompleteEventsPerProcess) {
+  std::ostringstream out;
+  obs::write_chrome_trace({sample_read(), sample_write()}, out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);
+  // One lane per proc: thread_name metadata for both 35 and 40.
+  EXPECT_NE(text.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(text.find("\"tid\":35"), std::string::npos);
+  EXPECT_NE(text.find("\"tid\":40"), std::string::npos);
+}
+
+/// End-to-end: a DES run wired for metrics + tracing yields a trace the
+/// register-spec checkers accept and nonzero instruments in every layer.
+TEST(Alg1ObservabilityTest, TraceReplaysThroughSpecCheckers) {
+  apps::Graph g = apps::make_chain(6);
+  apps::ApspOperator op(g);
+  quorum::ProbabilisticQuorums quorums(8, 3);
+
+  obs::Registry registry(obs::Concurrency::kSingleThread);
+  obs::OpTraceSink trace;
+  iter::Alg1Options options;
+  options.quorums = &quorums;
+  options.seed = 7;
+  options.metrics = &registry;
+  options.trace = &trace;
+  iter::Alg1Result r = iter::run_alg1(op, options);
+  ASSERT_TRUE(r.converged);
+
+  core::spec::CheckResult check = core::spec::check_random_register(
+      core::spec::to_op_records(trace.events()), /*monotone=*/true);
+  EXPECT_TRUE(check.ok) << (check.violations.empty()
+                                ? ""
+                                : check.violations.front());
+
+  namespace names = obs::names;
+  EXPECT_GT(registry.counter(names::kClientReads).value(), 0u);
+  EXPECT_GT(registry.counter(names::kClientWrites).value(), 0u);
+  EXPECT_GT(registry.counter(names::kServerRequests).value(), 0u);
+  EXPECT_GT(registry.counter(names::kTransportMessages).value(), 0u);
+  EXPECT_GT(registry.counter(names::kSimEvents).value(), 0u);
+  EXPECT_GT(registry.gauge(names::kSimHeapHighWater).value(), 0.0);
+  EXPECT_GT(registry.histogram(names::kClientReadLatency).count(), 0u);
+
+  // The trace and the registry agree on operation counts (minus the m
+  // initial-value pseudo-writes the trace carries for the checkers).
+  std::size_t reads = 0, writes = 0;
+  for (const obs::OpTraceEvent& e : trace.events()) {
+    (e.kind == obs::TraceOpKind::kRead ? reads : writes) += 1;
+  }
+  EXPECT_EQ(reads, registry.counter(names::kClientReads).value());
+  EXPECT_EQ(writes, registry.counter(names::kClientWrites).value() +
+                        op.num_components());
+}
+
+/// Instrumentation must not change what the DES does: the same seed gives
+/// the identical execution with and without a registry attached.
+TEST(Alg1ObservabilityTest, MetricsDoNotPerturbDeterminism) {
+  apps::Graph g = apps::make_chain(5);
+  apps::ApspOperator op(g);
+  quorum::ProbabilisticQuorums quorums(8, 3);
+
+  iter::Alg1Options plain;
+  plain.quorums = &quorums;
+  plain.seed = 11;
+  plain.synchronous = false;  // exponential delays: orderings are fragile
+  iter::Alg1Result bare = iter::run_alg1(op, plain);
+
+  obs::Registry registry(obs::Concurrency::kSingleThread);
+  obs::OpTraceSink trace1, trace2;
+  iter::Alg1Options instrumented = plain;
+  instrumented.metrics = &registry;
+  instrumented.trace = &trace1;
+  iter::Alg1Result with_metrics = iter::run_alg1(op, instrumented);
+
+  EXPECT_EQ(bare.converged, with_metrics.converged);
+  EXPECT_EQ(bare.rounds, with_metrics.rounds);
+  EXPECT_EQ(bare.iterations, with_metrics.iterations);
+  EXPECT_DOUBLE_EQ(bare.sim_time, with_metrics.sim_time);
+  EXPECT_EQ(bare.messages.total, with_metrics.messages.total);
+
+  // And the trace itself is reproducible event-for-event.
+  obs::Registry registry2(obs::Concurrency::kSingleThread);
+  iter::Alg1Options again = instrumented;
+  again.metrics = &registry2;
+  again.trace = &trace2;
+  iter::run_alg1(op, again);
+  EXPECT_EQ(trace1.events(), trace2.events());
+}
+
+}  // namespace
+}  // namespace pqra

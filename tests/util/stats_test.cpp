@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 namespace pqra::util {
 namespace {
@@ -120,7 +121,51 @@ TEST(HistogramTest, BinningAndClamping) {
 
 TEST(HistogramTest, RejectsDegenerateConfig) {
   EXPECT_THROW(Histogram(0.0, 0.0, 5), std::logic_error);
+  EXPECT_THROW(Histogram(0.5, 0.4, 3), std::logic_error);
   EXPECT_THROW(Histogram(0.0, 1.0, 0), std::logic_error);
+}
+
+TEST(HistogramTest, ExactBoundaries) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.0);   // lo lands in bin 0
+  h.add(2.0);   // first interior edge opens bin 1
+  h.add(10.0);  // hi (outside the half-open range) clamps into the last bin
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(1), 1u);
+  EXPECT_EQ(h.bin_count(4), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(HistogramTest, ExtremeValuesClampWithoutOverflow) {
+  // Far-out finite values and infinities used to scale to indices beyond
+  // the integer range (an undefined cast); they must clamp like any other
+  // out-of-range sample.
+  Histogram h(0.0, 1.0, 4);
+  h.add(1e308);
+  h.add(-1e308);
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(3), 2u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(HistogramTest, NanIsCountedNotBinned) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(std::nan(""));
+  h.add(0.25);
+  EXPECT_EQ(h.total(), 1u);
+  EXPECT_EQ(h.nan_count(), 1u);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(1), 0u);
+}
+
+TEST(HistogramTest, SingleBinTakesEverything) {
+  Histogram h(-1.0, 1.0, 1);
+  h.add(-50.0);
+  h.add(0.0);
+  h.add(50.0);
+  EXPECT_EQ(h.bin_count(0), 3u);
 }
 
 }  // namespace
