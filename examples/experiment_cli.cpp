@@ -8,7 +8,7 @@
 ///                    monotone=1 sync=1 runs=3 seed=1
 ///
 /// keys (defaults):
-///   app     = apsp | tc | csp | jacobi | agree        (apsp)
+///   app     = apsp | tc | csp | jacobi | agree | avail (apsp)
 ///   graph   = chain | cycle | grid | random | tree    (chain; apsp/tc only)
 ///   size    = problem size                            (16)
 ///   quorum  = prob | majority | grid | fpp | hier | rowa | singleton (prob)
@@ -17,7 +17,19 @@
 ///   monotone= 0|1 (1)        sync = 0|1 (1)
 ///   runs    = repetitions (3)   seed = master seed (1)
 ///   cap     = round cap (20000)
-///   churn   = 0|1 add random server churn + retries (0)
+///   churn   = server churn intensity: 0 = off, d in (0,1) = each server is
+///             down a fraction d of the time (exponential up/down periods),
+///             >= 1 = the legacy light-churn preset (0)
+///   fault-plan = explicit fault schedule (net::FaultPlan::parse grammar,
+///             e.g. "crash:2@10;recover:2@50;drop=0.02"); overrides churn
+///
+/// app=avail is the dynamic-availability experiment (ISSUE: churn where
+/// probabilistic quorums keep answering while strict majorities stall): one
+/// client issues alternating writes/reads under a deadline retry policy
+/// against the selected quorum system AND a strict-majority baseline on the
+/// same churn schedule, and reports each system's operation success rate.
+/// Exit status 0 means the paper's claim held (selected >= 95% success,
+/// majority < 50%).
 ///
 /// Observability outputs (all optional; `--key value` and `--key=value`
 /// spellings also accepted, so these read naturally as flags):
@@ -38,9 +50,13 @@
 #include "apps/graph.hpp"
 #include "apps/linear.hpp"
 #include "apps/transitive_closure.hpp"
+#include "core/quorum_register_client.hpp"
+#include "core/server_process.hpp"
 #include "core/spec/checker.hpp"
 #include "core/spec/trace_bridge.hpp"
 #include "iter/alg1_des.hpp"
+#include "net/fault_plan.hpp"
+#include "net/sim_transport.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -85,6 +101,11 @@ class Args {
   std::size_t get_n(const std::string& key, std::size_t fallback) const {
     auto it = values_.find(key);
     return it == values_.end() ? fallback : std::stoul(it->second);
+  }
+
+  double get_f(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stod(it->second);
   }
 
  private:
@@ -188,11 +209,217 @@ bool write_file(const std::string& path, const char* what, WriteFn write) {
   return true;
 }
 
+/// Churn as a downtime fraction d: each server alternates exponential up
+/// and down periods whose means split an ~80-time-unit cycle d/(1-d), so a
+/// server is down a fraction d of the run in expectation.  Down periods are
+/// long relative to an operation deadline, which is what starves strict
+/// majorities while probabilistic quorums keep finding k live servers.
+net::FaultPlan make_churn_plan(std::size_t num_servers, double downtime_frac,
+                               double horizon, util::Rng& rng) {
+  constexpr double kCycle = 400.0;
+  return net::FaultPlan::random_churn(num_servers, horizon,
+                                      kCycle * (1.0 - downtime_frac),
+                                      kCycle * downtime_frac, rng);
+}
+
+/// The retry policy the availability experiment holds every system to: a
+/// short per-attempt timeout, exponential backoff, and a hard operation
+/// deadline well below typical down-period length.
+core::RetryPolicy avail_retry_policy() {
+  core::RetryPolicy retry;
+  retry.rpc_timeout = 2.0;
+  retry.backoff_factor = 1.5;
+  retry.max_backoff = 4.0;
+  retry.jitter = 0.1;
+  retry.deadline = 25.0;
+  return retry;
+}
+
+struct AvailTally {
+  std::uint64_t attempted = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t failed = 0;
+
+  double success_rate() const {
+    return attempted == 0 ? 0.0
+                          : static_cast<double>(ok) /
+                                static_cast<double>(attempted);
+  }
+};
+
+/// Drives one client: alternating write/read on one register, a new
+/// operation one time unit after the previous one settles, until the
+/// horizon.  Lives on the heap for the simulator's lifetime (callbacks
+/// capture `this`).
+class AvailLoop {
+ public:
+  AvailLoop(sim::Simulator& simulator, core::QuorumRegisterClient& client,
+            double horizon, AvailTally& tally)
+      : simulator_(simulator),
+        client_(client),
+        horizon_(horizon),
+        tally_(tally) {}
+
+  void start() { step(); }
+
+ private:
+  void step() {
+    if (simulator_.now() >= horizon_) return;
+    ++tally_.attempted;
+    if (tally_.attempted % 2 == 1) {
+      client_.write(0, util::Codec<std::uint64_t>::encode(next_value_++),
+                    [this](core::WriteResult r) { settle(r.status); });
+    } else {
+      client_.read(0, [this](core::ReadResult r) { settle(r.status); });
+    }
+  }
+
+  void settle(core::OpStatus status) {
+    if (status == core::OpStatus::kOk ||
+        status == core::OpStatus::kDegraded) {
+      ++tally_.ok;
+    } else {
+      ++tally_.failed;
+    }
+    simulator_.schedule_in(1.0, [this] { step(); });
+  }
+
+  sim::Simulator& simulator_;
+  core::QuorumRegisterClient& client_;
+  double horizon_;
+  AvailTally& tally_;
+  std::uint64_t next_value_ = 1;
+};
+
+/// One availability run of one quorum system under one churn schedule.
+AvailTally run_availability_once(const quorum::QuorumSystem& quorums,
+                                 double downtime_frac, double horizon,
+                                 std::uint64_t seed, obs::Registry* metrics) {
+  const std::size_t n = quorums.num_servers();
+  util::Rng master(seed);
+  sim::Simulator simulator;
+  std::unique_ptr<sim::DelayModel> delays = sim::make_exponential_delay(1.0);
+  net::SimTransport transport(simulator, *delays, master.fork(1),
+                              static_cast<net::NodeId>(n + 1));
+  if (metrics != nullptr) {
+    transport.bind_metrics(*metrics);
+    transport.faults().bind_metrics(*metrics);
+  }
+
+  std::vector<std::unique_ptr<core::ServerProcess>> servers;
+  servers.reserve(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    servers.push_back(std::make_unique<core::ServerProcess>(
+        transport, static_cast<net::NodeId>(s), metrics));
+    servers.back()->replica().preload(0, net::Value{});
+  }
+
+  util::Rng churn_rng(seed * 1000003 + 17);
+  net::FaultPlan plan = make_churn_plan(n, downtime_frac, horizon, churn_rng);
+  plan.install(simulator, transport);
+
+  core::ClientOptions copts;
+  copts.retry = avail_retry_policy();
+  copts.metrics = metrics;
+  core::QuorumRegisterClient client(simulator, transport,
+                                    static_cast<net::NodeId>(n), quorums,
+                                    /*server_base=*/0, master.fork(2), copts);
+
+  AvailTally tally;
+  AvailLoop loop(simulator, client, horizon, tally);
+  loop.start();
+  // Slack past the horizon lets the last operation reach its deadline.
+  simulator.run_until(horizon + 100.0);
+  return tally;
+}
+
+/// app=avail: the selected system and a strict-majority baseline face the
+/// same churn process; reports both success rates and exits 0 iff the
+/// paper's availability claim held.
+int run_availability(const Args& args) {
+  const std::size_t servers = args.get_n("servers", 25);
+  const std::size_t k = args.get_n("k", 4);
+  const std::string quorum_kind = args.get("quorum", "prob");
+  const std::size_t runs = args.get_n("runs", 3);
+  const std::uint64_t seed = args.get_n("seed", 1);
+  double churn = args.get_f("churn", 0.6);
+  if (churn <= 0.0 || churn >= 1.0) {
+    std::fprintf(stderr,
+                 "app=avail needs churn in (0,1); using 0.6 instead of %g\n",
+                 churn);
+    churn = 0.6;
+  }
+  const double horizon = args.get_f("horizon", 6000.0);
+  const std::string metrics_out = args.get("metrics-out", "");
+  const std::string prom_out = args.get("prom-out", "");
+
+  std::unique_ptr<quorum::QuorumSystem> selected =
+      make_quorums(quorum_kind, servers, k);
+  if (selected == nullptr) return 2;
+  quorum::MajorityQuorums majority(servers);
+
+  std::printf("availability under churn: n=%zu, downtime fraction %.2f, "
+              "horizon %.0f, %zu runs\n  %s vs %s baseline\n\n",
+              servers, churn, horizon, runs, selected->name().c_str(),
+              majority.name().c_str());
+
+  // The registry sees only the selected system's runs: mixing the baseline
+  // into the same counters would make the exported fault/retry metrics
+  // unattributable.
+  const bool want_metrics = !metrics_out.empty() || !prom_out.empty();
+  obs::Registry registry(obs::Concurrency::kSingleThread);
+
+  AvailTally sel_total, maj_total;
+  for (std::size_t run = 0; run < runs; ++run) {
+    const std::uint64_t run_seed = seed + run * 7919;
+    AvailTally sel = run_availability_once(*selected, churn, horizon,
+                                           run_seed,
+                                           want_metrics ? &registry : nullptr);
+    AvailTally maj =
+        run_availability_once(majority, churn, horizon, run_seed, nullptr);
+    std::printf("  run %zu: %s %5.1f%% (%llu/%llu) | majority %5.1f%% "
+                "(%llu/%llu)\n",
+                run, selected->name().c_str(), 100.0 * sel.success_rate(),
+                static_cast<unsigned long long>(sel.ok),
+                static_cast<unsigned long long>(sel.attempted),
+                100.0 * maj.success_rate(),
+                static_cast<unsigned long long>(maj.ok),
+                static_cast<unsigned long long>(maj.attempted));
+    sel_total.attempted += sel.attempted;
+    sel_total.ok += sel.ok;
+    sel_total.failed += sel.failed;
+    maj_total.attempted += maj.attempted;
+    maj_total.ok += maj.ok;
+    maj_total.failed += maj.failed;
+  }
+
+  const double sel_rate = sel_total.success_rate();
+  const double maj_rate = maj_total.success_rate();
+  const bool claim_holds = sel_rate >= 0.95 && maj_rate < 0.5;
+  std::printf("\n%s success %.1f%% | majority success %.1f%% | claim %s\n",
+              selected->name().c_str(), 100.0 * sel_rate, 100.0 * maj_rate,
+              claim_holds ? "HOLDS" : "FAILED");
+
+  bool outputs_ok = true;
+  if (!metrics_out.empty()) {
+    outputs_ok &= write_file(metrics_out, "metrics JSON", [&](auto& out) {
+      obs::write_json(registry, out);
+    });
+  }
+  if (!prom_out.empty()) {
+    outputs_ok &= write_file(prom_out, "Prometheus metrics", [&](auto& out) {
+      obs::write_prometheus(registry, out);
+    });
+  }
+  return (claim_holds && outputs_ok) ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Args args(argc, argv);
   const std::string app = args.get("app", "apsp");
+  if (app == "avail") return run_availability(args);
   const std::string graph = args.get("graph", "chain");
   const std::size_t size = args.get_n("size", 16);
   const std::string quorum_kind = args.get("quorum", "prob");
@@ -203,7 +430,8 @@ int main(int argc, char** argv) {
   const std::size_t runs = args.get_n("runs", 3);
   const std::uint64_t seed = args.get_n("seed", 1);
   const std::size_t cap = args.get_n("cap", 20000);
-  const bool churn = args.get_n("churn", 0) != 0;
+  const double churn = args.get_f("churn", 0.0);
+  const std::string fault_spec = args.get("fault-plan", "");
   const std::string metrics_out = args.get("metrics-out", "");
   const std::string prom_out = args.get("prom-out", "");
   const std::string trace_out = args.get("trace-out", "");
@@ -215,10 +443,21 @@ int main(int argc, char** argv) {
       make_quorums(quorum_kind, servers, k);
   if (op == nullptr || quorums == nullptr) return 2;
 
+  net::FaultPlan parsed_plan;
+  if (!fault_spec.empty()) {
+    try {
+      parsed_plan = net::FaultPlan::parse(fault_spec);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
+  }
+  const bool faulty = !fault_spec.empty() || churn > 0.0;
+
   std::printf("app=%s m=%zu | quorums=%s | %s, %s%s | %zu runs\n\n",
               op->name().c_str(), op->num_components(),
               quorums->name().c_str(), monotone ? "monotone" : "plain",
-              sync ? "sync" : "async", churn ? ", churn" : "", runs);
+              sync ? "sync" : "async", faulty ? ", faults" : "", runs);
 
   // One registry accumulates across all runs; the op trace records run 0
   // only (a trace of one execution is what the spec checkers and the Chrome
@@ -227,6 +466,7 @@ int main(int argc, char** argv) {
   const bool want_trace = !trace_out.empty() || !chrome_out.empty();
   obs::Registry registry(obs::Concurrency::kSingleThread);
   obs::OpTraceSink trace;
+  std::shared_ptr<core::spec::HistoryRecorder> run0_history;
 
   util::OnlineStats rounds, pcs, msgs, read_lat;
   std::size_t converged = 0;
@@ -238,17 +478,40 @@ int main(int argc, char** argv) {
     options.seed = seed + run * 7919;
     options.round_cap = cap;
     if (want_metrics) options.metrics = &registry;
-    if (want_trace && run == 0) options.trace = &trace;
+    if (want_trace && run == 0) {
+      options.trace = &trace;
+      // A faulted run can end with ops still in flight, which the
+      // completion-only trace cannot represent; record the full history so
+      // the self-check below stays sound (see docs/FAULTS.md).
+      options.record_history = faulty;
+    }
     util::Rng churn_rng(seed + run);
     net::FaultPlan plan;
-    if (churn) {
+    if (!fault_spec.empty()) {
+      // Explicit schedule: identical for every run (determinism tests rely
+      // on byte-identical behaviour across invocations).
+      plan = parsed_plan;
+    } else if (churn > 0.0 && churn < 1.0) {
+      plan = net::FaultPlan::random_churn(quorums->num_servers(), 2000.0,
+                                          160.0 * (1.0 - churn),
+                                          160.0 * churn, churn_rng);
+    } else if (churn >= 1.0) {
+      // Legacy preset: light churn, ~20% downtime.
       plan = net::FaultPlan::random_churn(quorums->num_servers(), 2000.0,
                                           60.0, 15.0, churn_rng);
+    }
+    if (faulty) {
       options.fault_plan = &plan;
-      options.retry_timeout = 10.0;
+      core::RetryPolicy retry;
+      retry.rpc_timeout = 10.0;
+      retry.backoff_factor = 2.0;
+      retry.max_backoff = 40.0;
+      retry.jitter = 0.1;  // drawn from a dedicated stream; see FAULTS.md
+      options.retry = retry;
       options.max_sim_time = 50000.0;
     }
     iter::Alg1Result r = iter::run_alg1(*op, options);
+    if (run == 0) run0_history = r.history;
     converged += r.converged;
     rounds.add(static_cast<double>(r.rounds));
     pcs.add(static_cast<double>(r.pseudocycles));
@@ -280,9 +543,28 @@ int main(int argc, char** argv) {
   if (want_trace) {
     // The trace claims to be a valid single-writer register history; hold it
     // to that before handing it to anyone (replays run 0 through the same
-    // [R1]/[R2]/[R4] checkers the tests use).
-    core::spec::CheckResult check = core::spec::check_random_register(
-        core::spec::to_op_records(trace.events()), monotone);
+    // [R1]/[R2]/[R4] checkers the tests use).  A faulted execution is
+    // truncated at convergence, so [R1] does not apply and the safety
+    // conditions are checked on the recorded history, whose unresponded
+    // write records cover reads that observed a still-in-flight write.
+    core::spec::CheckResult check;
+    if (faulty && run0_history != nullptr) {
+      const auto& ops = run0_history->ops();
+      check = core::spec::check_r2(ops);
+      for (core::spec::CheckResult part :
+           {core::spec::check_single_writer(ops),
+            monotone ? core::spec::check_r4(ops) : core::spec::CheckResult{}}) {
+        if (!part.ok) {
+          check.ok = false;
+          check.violations.insert(check.violations.end(),
+                                  part.violations.begin(),
+                                  part.violations.end());
+        }
+      }
+    } else {
+      check = core::spec::check_random_register(
+          core::spec::to_op_records(trace.events()), monotone);
+    }
     std::printf("op trace: %zu events, spec check %s\n", trace.size(),
                 check.ok ? "ok" : "FAILED");
     for (const std::string& v : check.violations) {

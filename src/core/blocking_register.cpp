@@ -1,10 +1,12 @@
 #include "core/blocking_register.hpp"
 
-#include <chrono>
+#include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "obs/names.hpp"
 #include "util/check.hpp"
+#include "util/math.hpp"
 
 namespace pqra::core {
 
@@ -16,18 +18,26 @@ double wall_seconds() {
       .count();
 }
 
+std::chrono::steady_clock::duration seconds_duration(double s) {
+  return std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(s));
+}
+
 }  // namespace
 
 BlockingRegisterClient::BlockingRegisterClient(
     net::ThreadTransport& transport, NodeId self,
     const quorum::QuorumSystem& quorums, NodeId server_base,
-    const util::Rng& rng, bool monotone, obs::Registry* metrics)
+    const util::Rng& rng, bool monotone, obs::Registry* metrics,
+    RetryPolicy retry)
     : transport_(transport),
       self_(self),
       quorums_(quorums),
       server_base_(server_base),
       rng_(rng.fork(0x626c6f636b000000ULL ^ self)),
-      monotone_(monotone) {
+      retry_rng_(rng.fork(0x7265747279000000ULL ^ self)),
+      monotone_(monotone),
+      retry_(retry) {
   if (metrics != nullptr) {
     PQRA_REQUIRE(metrics->mode() == obs::Concurrency::kThreadSafe,
                  "BlockingRegisterClient needs a thread-safe registry");
@@ -37,6 +47,16 @@ BlockingRegisterClient::BlockingRegisterClient(
         &metrics->counter(n::kClientWrites, "Writes completed");
     instruments_.cache_hits = &metrics->counter(
         n::kClientCacheHits, "Reads served from the monotone cache (§6.2)");
+    instruments_.retries = &metrics->counter(
+        n::kClientRetries, "Operations retried on a fresh quorum");
+    instruments_.degraded_reads = &metrics->counter(
+        n::kClientDegradedReads,
+        "Reads completed on a partial access set at the deadline");
+    instruments_.degraded_writes = &metrics->counter(
+        n::kClientDegradedWrites,
+        "Writes completed on a partial access set at the deadline");
+    instruments_.op_failures = &metrics->counter(
+        n::kClientOpFailures, "Operations that timed out outright");
     instruments_.read_latency = &metrics->histogram(
         n::kClientReadLatency, "Read latency, invocation to response");
     instruments_.write_latency = &metrics->histogram(
@@ -44,13 +64,17 @@ BlockingRegisterClient::BlockingRegisterClient(
   }
 }
 
-bool BlockingRegisterClient::await_acks(OpId op, net::MsgType expected,
-                                        std::size_t needed, Timestamp& best_ts,
-                                        Value& best_value) {
-  std::vector<NodeId> responders;
+BlockingRegisterClient::Await BlockingRegisterClient::await_acks(
+    OpId op, net::MsgType expected, std::size_t needed,
+    std::vector<NodeId>& responders, Timestamp& best_ts, Value& best_value,
+    const std::optional<Clock::time_point>& until) {
   while (responders.size() < needed) {
-    std::optional<net::Envelope> env = transport_.recv(self_);
-    if (!env.has_value()) return false;  // shutdown
+    std::optional<net::Envelope> env =
+        until.has_value() ? transport_.recv_until(self_, *until)
+                          : transport_.recv(self_);
+    if (!env.has_value()) {
+      return transport_.closed() ? Await::kShutdown : Await::kTimeout;
+    }
     if (env->msg.op != op || env->msg.type != expected) {
       continue;  // stale ack from an earlier (completed) operation
     }
@@ -65,27 +89,101 @@ bool BlockingRegisterClient::await_acks(OpId op, net::MsgType expected,
       best_value = std::move(env->msg.value);
     }
   }
-  return true;
+  return Await::kDone;
+}
+
+BlockingRegisterClient::OpOutcome BlockingRegisterClient::run_op(
+    RegisterId reg, bool is_read, OpId op, Timestamp write_ts,
+    const Value& write_value, Timestamp& best_ts, Value& best_value) {
+  const auto kind =
+      is_read ? quorum::AccessKind::kRead : quorum::AccessKind::kWrite;
+  const net::MsgType expected =
+      is_read ? net::MsgType::kReadAck : net::MsgType::kWriteAck;
+  const std::size_t needed = quorums_.quorum_size(kind);
+
+  std::optional<Clock::time_point> deadline_at;
+  if (retry_.deadline.has_value()) {
+    deadline_at = Clock::now() + seconds_duration(*retry_.deadline);
+  }
+
+  std::vector<NodeId> responders;
+  std::uint32_t attempt = 0;
+  for (;;) {
+    // Each attempt contacts a freshly sampled quorum; acks accumulate across
+    // attempts under the same op id.
+    std::vector<quorum::ServerId> quorum = quorums_.sample(kind, rng_);
+    for (quorum::ServerId s : quorum) {
+      NodeId server = server_base_ + s;
+      if (is_read) {
+        transport_.send(self_, server, net::Message::read_req(reg, op));
+      } else {
+        transport_.send(self_, server,
+                        net::Message::write_req(reg, op, write_ts,
+                                                write_value));
+      }
+    }
+
+    std::optional<Clock::time_point> until = deadline_at;
+    if (retry_.rpc_timeout.has_value()) {
+      double wait = retry_.backoff(attempt, retry_rng_);
+      Clock::time_point attempt_until = Clock::now() + seconds_duration(wait);
+      until = until.has_value() ? std::min(*until, attempt_until)
+                                : attempt_until;
+    }
+
+    Await out = await_acks(op, expected, needed, responders, best_ts,
+                           best_value, until);
+    if (out == Await::kDone) {
+      return OpOutcome{OpStatus::kOk, responders.size()};
+    }
+    if (out == Await::kShutdown) {
+      return OpOutcome{OpStatus::kShutdown, responders.size()};
+    }
+    const bool deadline_hit =
+        deadline_at.has_value() && Clock::now() >= *deadline_at;
+    if (deadline_hit || !retry_.rpc_timeout.has_value()) {
+      // Out of budget (or no retries configured at all): settle.
+      if (retry_.degraded_ok &&
+          responders.size() >=
+              std::max<std::size_t>(retry_.min_degraded_acks, 1)) {
+        return OpOutcome{OpStatus::kDegraded, responders.size()};
+      }
+      return OpOutcome{OpStatus::kTimedOut, responders.size()};
+    }
+    ++attempt;
+    ++retries_;
+    if (instruments_.retries != nullptr) instruments_.retries->inc();
+  }
 }
 
 std::optional<BlockingReadResult> BlockingRegisterClient::read(RegisterId reg) {
   OpId op = next_op_++;
   const double started = wall_seconds();
-  std::vector<quorum::ServerId> quorum =
-      quorums_.sample(quorum::AccessKind::kRead, rng_);
-  for (quorum::ServerId s : quorum) {
-    transport_.send(self_, server_base_ + s, net::Message::read_req(reg, op));
-  }
   Timestamp best_ts = 0;
   Value best_value;
-  if (!await_acks(op, net::MsgType::kReadAck, quorum.size(), best_ts,
-                  best_value)) {
+  OpOutcome outcome =
+      run_op(reg, /*is_read=*/true, op, 0, Value{}, best_ts, best_value);
+  last_status_ = outcome.status;
+  if (outcome.status == OpStatus::kShutdown) return std::nullopt;
+  if (outcome.status == OpStatus::kTimedOut) {
+    ++op_failures_;
+    if (instruments_.op_failures != nullptr) instruments_.op_failures->inc();
     return std::nullopt;
   }
 
   BlockingReadResult result;
   result.ts = best_ts;
   result.value = std::move(best_value);
+  result.status = outcome.status;
+  result.acks = outcome.acks;
+  if (outcome.status == OpStatus::kDegraded) {
+    result.staleness_bound = util::asymmetric_nonoverlap_probability(
+        quorums_.num_servers(),
+        quorums_.quorum_size(quorum::AccessKind::kWrite), outcome.acks);
+    if (instruments_.degraded_reads != nullptr) {
+      instruments_.degraded_reads->inc();
+    }
+  }
   if (monotone_) {
     TimestampedValue& cached = monotone_cache_[reg];
     if (cached.ts > result.ts) {
@@ -113,17 +211,20 @@ std::optional<Timestamp> BlockingRegisterClient::write(RegisterId reg,
   OpId op = next_op_++;
   const double started = wall_seconds();
   Timestamp ts = ++write_ts_[reg];
-  std::vector<quorum::ServerId> quorum =
-      quorums_.sample(quorum::AccessKind::kWrite, rng_);
-  for (quorum::ServerId s : quorum) {
-    transport_.send(self_, server_base_ + s,
-                    net::Message::write_req(reg, op, ts, value));
-  }
   Timestamp unused_ts = 0;
   Value unused_value;
-  if (!await_acks(op, net::MsgType::kWriteAck, quorum.size(), unused_ts,
-                  unused_value)) {
+  OpOutcome outcome =
+      run_op(reg, /*is_read=*/false, op, ts, value, unused_ts, unused_value);
+  last_status_ = outcome.status;
+  if (outcome.status == OpStatus::kShutdown) return std::nullopt;
+  if (outcome.status == OpStatus::kTimedOut) {
+    ++op_failures_;
+    if (instruments_.op_failures != nullptr) instruments_.op_failures->inc();
     return std::nullopt;
+  }
+  if (outcome.status == OpStatus::kDegraded &&
+      instruments_.degraded_writes != nullptr) {
+    instruments_.degraded_writes->inc();
   }
   const double elapsed = wall_seconds() - started;
   write_latency_.add(elapsed);

@@ -8,8 +8,15 @@
 /// the quorum has answered.  One client object per thread (it owns the
 /// thread's NodeId mailbox); monotone caching is per client, matching the
 /// per-process cache of §6.2.
+///
+/// Recovery (docs/FAULTS.md): the same core::RetryPolicy the DES client
+/// uses, in wall-clock seconds.  When an attempt's timeout expires the
+/// client re-sends to a fresh quorum while acks keep accumulating; when the
+/// operation deadline expires it either completes degraded (on a partial
+/// access set) or returns nullopt with last_status() == kTimedOut — this is
+/// what keeps a read against a fully-crashed quorum from blocking forever.
 
-#include <mutex>
+#include <chrono>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -27,6 +34,12 @@ struct BlockingReadResult {
   Timestamp ts = 0;
   Value value;
   bool from_monotone_cache = false;
+  OpStatus status = OpStatus::kOk;
+  /// Distinct servers that answered.
+  std::size_t acks = 0;
+  /// Degraded reads only: C(n - k_w, acks) / C(n, acks), the probability the
+  /// partial access set missed the latest write's quorum.
+  double staleness_bound = 0.0;
 };
 
 class BlockingRegisterClient {
@@ -34,22 +47,34 @@ class BlockingRegisterClient {
   /// \p metrics: optional thread-safe registry (non-owning); operation
   /// counts and wall-clock latency histograms (seconds) report under the
   /// same obs/names.hpp client names as the DES client.
+  /// \p retry: recovery policy in wall-clock seconds.  The default policy
+  /// (no rpc_timeout, no deadline) blocks until the quorum answers, the
+  /// pre-policy behaviour.
   BlockingRegisterClient(net::ThreadTransport& transport, NodeId self,
                          const quorum::QuorumSystem& quorums,
                          NodeId server_base, const util::Rng& rng,
                          bool monotone = false,
-                         obs::Registry* metrics = nullptr);
+                         obs::Registry* metrics = nullptr,
+                         RetryPolicy retry = {});
 
-  /// Blocks until a read quorum answers.  Returns nullopt if the transport
-  /// is closed mid-operation (shutdown).
+  /// Blocks until a read quorum answers, the retry policy's deadline passes,
+  /// or the transport closes.  nullopt on shutdown or timeout — consult
+  /// last_status() to tell the two apart.  Degraded completions return a
+  /// value with status == kDegraded.
   std::optional<BlockingReadResult> read(RegisterId reg);
 
-  /// Blocks until a write quorum acks.  Returns the timestamp written, or
-  /// nullopt on shutdown.  This client must be the register's only writer.
+  /// Blocks until a write quorum acks (same giving-up rules as read()).
+  /// Returns the timestamp written, or nullopt on shutdown/timeout.  This
+  /// client must be the register's only writer.
   std::optional<Timestamp> write(RegisterId reg, Value value);
+
+  /// How the most recent operation on this client finished.
+  OpStatus last_status() const { return last_status_; }
 
   NodeId id() const { return self_; }
   std::uint64_t monotone_cache_hits() const { return monotone_cache_hits_; }
+  std::uint64_t retries() const { return retries_; }
+  std::uint64_t op_failures() const { return op_failures_; }
 
   /// Wall-clock operation latency in seconds, accumulated lock-free (the
   /// client is single-threaded by construction); merge across clients with
@@ -58,22 +83,45 @@ class BlockingRegisterClient {
   const util::OnlineStats& write_latency() const { return write_latency_; }
 
  private:
-  /// Collects acks for \p op until \p needed distinct servers answered.
-  /// Returns false on transport shutdown.
-  bool await_acks(OpId op, net::MsgType expected, std::size_t needed,
-                  Timestamp& best_ts, Value& best_value);
+  using Clock = std::chrono::steady_clock;
+
+  enum class Await { kDone, kTimeout, kShutdown };
+
+  /// How one whole operation (all attempts) ended.
+  struct OpOutcome {
+    OpStatus status = OpStatus::kOk;
+    std::size_t acks = 0;
+  };
+
+  /// Collects acks for \p op until \p needed distinct servers answered,
+  /// the optional wall-clock deadline \p until passes, or shutdown.
+  /// Responders accumulate across calls (retry attempts share the op id).
+  Await await_acks(OpId op, net::MsgType expected, std::size_t needed,
+                   std::vector<NodeId>& responders, Timestamp& best_ts,
+                   Value& best_value,
+                   const std::optional<Clock::time_point>& until);
+
+  /// Runs the attempt/backoff/deadline loop for one operation.
+  OpOutcome run_op(RegisterId reg, bool is_read, OpId op, Timestamp write_ts,
+                   const Value& write_value, Timestamp& best_ts,
+                   Value& best_value);
 
   net::ThreadTransport& transport_;
   NodeId self_;
   const quorum::QuorumSystem& quorums_;
   NodeId server_base_;
   util::Rng rng_;
+  util::Rng retry_rng_;  ///< jitter stream, separate from quorum sampling
   bool monotone_;
+  RetryPolicy retry_;
 
   OpId next_op_ = 1;
   std::unordered_map<RegisterId, Timestamp> write_ts_;
   std::unordered_map<RegisterId, TimestampedValue> monotone_cache_;
   std::uint64_t monotone_cache_hits_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t op_failures_ = 0;
+  OpStatus last_status_ = OpStatus::kOk;
   util::OnlineStats read_latency_;
   util::OnlineStats write_latency_;
 
@@ -81,6 +129,10 @@ class BlockingRegisterClient {
     obs::Counter* reads = nullptr;
     obs::Counter* writes = nullptr;
     obs::Counter* cache_hits = nullptr;
+    obs::Counter* retries = nullptr;
+    obs::Counter* degraded_reads = nullptr;
+    obs::Counter* degraded_writes = nullptr;
+    obs::Counter* op_failures = nullptr;
     obs::Histogram* read_latency = nullptr;
     obs::Histogram* write_latency = nullptr;
   };

@@ -24,7 +24,8 @@ Tag unpack_tag(Timestamp ts) {
 MultiWriterRegisterClient::MultiWriterRegisterClient(
     sim::Simulator& simulator, net::Transport& transport, NodeId self,
     std::uint32_t writer_id, const quorum::QuorumSystem& quorums,
-    NodeId server_base, const util::Rng& rng, bool monotone)
+    NodeId server_base, const util::Rng& rng, bool monotone,
+    RetryPolicy retry)
     : simulator_(simulator),
       transport_(transport),
       self_(self),
@@ -32,7 +33,9 @@ MultiWriterRegisterClient::MultiWriterRegisterClient(
       quorums_(quorums),
       server_base_(server_base),
       rng_(rng.fork(0x6d756c7469777200ULL ^ self)),
-      monotone_(monotone) {
+      retry_rng_(rng.fork(0x7265747279000000ULL ^ self)),
+      monotone_(monotone),
+      retry_(retry) {
   PQRA_REQUIRE(writer_id <= kWriterMask, "writer id must fit in 16 bits");
   transport_.register_receiver(self_, this);
 }
@@ -41,12 +44,16 @@ void MultiWriterRegisterClient::read(RegisterId reg, ReadCallback cb) {
   PQRA_REQUIRE(static_cast<bool>(cb), "read needs a callback");
   OpId op = next_op_++;
   PendingOp pending;
-  pending.phase = Phase::kRead;
   pending.reg = reg;
   pending.read_cb = std::move(cb);
+  if (retry_.deadline.has_value()) {
+    pending.has_deadline = true;
+    pending.deadline_at = simulator_.now() + *retry_.deadline;
+  }
   auto [it, inserted] = pending_.emplace(op, std::move(pending));
   PQRA_CHECK(inserted, "op id collision");
-  send_query(op, it->second);
+  start_phase(op, it->second, Phase::kRead);
+  if (it->second.has_deadline) arm_deadline(op);
 }
 
 void MultiWriterRegisterClient::write(RegisterId reg, Value value,
@@ -54,34 +61,103 @@ void MultiWriterRegisterClient::write(RegisterId reg, Value value,
   PQRA_REQUIRE(static_cast<bool>(cb), "write needs a callback");
   OpId op = next_op_++;
   PendingOp pending;
-  pending.phase = Phase::kWriteQuery;
   pending.reg = reg;
   pending.write_cb = std::move(cb);
   pending.write_value = std::move(value);
+  if (retry_.deadline.has_value()) {
+    pending.has_deadline = true;
+    pending.deadline_at = simulator_.now() + *retry_.deadline;
+  }
   auto [it, inserted] = pending_.emplace(op, std::move(pending));
   PQRA_CHECK(inserted, "op id collision");
-  send_query(op, it->second);
+  start_phase(op, it->second, Phase::kWriteQuery);
+  if (it->second.has_deadline) arm_deadline(op);
 }
 
-void MultiWriterRegisterClient::send_query(OpId op, PendingOp& pending) {
-  pending.needed = quorums_.quorum_size(quorum::AccessKind::kRead);
+void MultiWriterRegisterClient::start_phase(OpId op, PendingOp& pending,
+                                            Phase phase) {
+  pending.phase = phase;
+  pending.needed = quorums_.quorum_size(phase == Phase::kWriteInstall
+                                            ? quorum::AccessKind::kWrite
+                                            : quorum::AccessKind::kRead);
   pending.responders.clear();
-  for (quorum::ServerId s :
-       quorums_.sample(quorum::AccessKind::kRead, rng_)) {
-    transport_.send(self_, server_base_ + s,
-                    net::Message::read_req(pending.reg, op));
+  send_phase(op, pending);
+}
+
+void MultiWriterRegisterClient::send_phase(OpId op, PendingOp& pending) {
+  bool install = pending.phase == Phase::kWriteInstall;
+  auto kind = install ? quorum::AccessKind::kWrite : quorum::AccessKind::kRead;
+  for (quorum::ServerId s : quorums_.sample(kind, rng_)) {
+    NodeId server = server_base_ + s;
+    if (install) {
+      transport_.send(self_, server,
+                      net::Message::write_req(pending.reg, op,
+                                              pending.install_ts,
+                                              pending.write_value));
+    } else {
+      transport_.send(self_, server, net::Message::read_req(pending.reg, op));
+    }
   }
+  if (retry_.rpc_timeout.has_value()) arm_retry(op, pending.attempt);
 }
 
-void MultiWriterRegisterClient::send_install(OpId op, PendingOp& pending) {
-  pending.needed = quorums_.quorum_size(quorum::AccessKind::kWrite);
-  pending.responders.clear();
-  for (quorum::ServerId s :
-       quorums_.sample(quorum::AccessKind::kWrite, rng_)) {
-    transport_.send(self_, server_base_ + s,
-                    net::Message::write_req(pending.reg, op,
-                                            pending.install_ts,
-                                            pending.write_value));
+void MultiWriterRegisterClient::arm_retry(OpId op, std::uint32_t attempt) {
+  sim::Time wait = retry_.backoff(attempt, retry_rng_);
+  simulator_.schedule_in(wait, [this, op, attempt] {
+    auto it = pending_.find(op);
+    if (it == pending_.end() || it->second.attempt != attempt) {
+      return;  // completed, moved phase, or already retried
+    }
+    PendingOp& pending = it->second;
+    if (pending.has_deadline && simulator_.now() >= pending.deadline_at) {
+      return;  // the deadline event settles this op
+    }
+    ++pending.attempt;
+    ++retries_;
+    // Re-send the *current* phase to a fresh quorum; responders accumulate.
+    send_phase(op, pending);
+  });
+}
+
+void MultiWriterRegisterClient::arm_deadline(OpId op) {
+  simulator_.schedule_in(*retry_.deadline, [this, op] {
+    auto it = pending_.find(op);
+    if (it == pending_.end()) return;  // completed in time
+    finish_deadline(op, it->second);
+  });
+}
+
+void MultiWriterRegisterClient::finish_deadline(OpId op, PendingOp& pending) {
+  const std::size_t acks = pending.responders.size();
+  const bool enough =
+      retry_.degraded_ok &&
+      acks >= std::max<std::size_t>(retry_.min_degraded_acks, 1);
+  // A write that never reached its install phase has written nothing —
+  // there is no partial result to degrade to.
+  if (!enough || pending.phase == Phase::kWriteQuery) {
+    fail_op(op, pending);
+    return;
+  }
+  pending.status = OpStatus::kDegraded;
+  complete(op, pending);
+}
+
+void MultiWriterRegisterClient::fail_op(OpId op, PendingOp& pending) {
+  ++op_failures_;
+  if (pending.phase == Phase::kRead) {
+    ReadCallback cb = std::move(pending.read_cb);
+    MwReadResult result;
+    result.status = OpStatus::kTimedOut;
+    result.acks = pending.responders.size();
+    pending_.erase(op);
+    cb(std::move(result));
+  } else {
+    WriteCallback cb = std::move(pending.write_cb);
+    MwWriteResult result;
+    result.status = OpStatus::kTimedOut;
+    result.acks = pending.responders.size();
+    pending_.erase(op);
+    cb(result);
   }
 }
 
@@ -90,14 +166,18 @@ void MultiWriterRegisterClient::on_message(NodeId from, net::Message msg) {
   if (it == pending_.end()) return;  // late ack
   PendingOp& pending = it->second;
 
+  bool is_ack_for_query = pending.phase != Phase::kWriteInstall;
+  if (is_ack_for_query != (msg.type == net::MsgType::kReadAck)) {
+    // Stale query-phase ack after the op moved to its install phase
+    // (possible with retries); ignore.
+    return;
+  }
+
   for (NodeId seen : pending.responders) {
     if (seen == from) return;
   }
   pending.responders.push_back(from);
 
-  bool is_ack_for_query = pending.phase != Phase::kWriteInstall;
-  PQRA_CHECK(is_ack_for_query == (msg.type == net::MsgType::kReadAck),
-             "ack type mismatch");
   if (is_ack_for_query && msg.ts >= pending.best_ts) {
     pending.best_ts = msg.ts;
     pending.best_value = std::move(msg.value);
@@ -118,8 +198,8 @@ void MultiWriterRegisterClient::on_message(NodeId from, net::Message msg) {
       std::uint64_t counter = std::max(seen.counter, own) + 1;
       own = counter;
       pending.install_ts = pack_tag(Tag{counter, writer_id_});
-      pending.phase = Phase::kWriteInstall;
-      send_install(msg.op, pending);
+      ++pending.attempt;  // invalidate query-phase retry timers
+      start_phase(msg.op, pending, Phase::kWriteInstall);
       break;
     }
   }
@@ -130,6 +210,8 @@ void MultiWriterRegisterClient::complete(OpId op, PendingOp& pending) {
     MwReadResult result;
     result.tag = unpack_tag(pending.best_ts);
     result.value = std::move(pending.best_value);
+    result.status = pending.status;
+    result.acks = pending.responders.size();
     if (monotone_) {
       TimestampedValue& cached = monotone_cache_[pending.reg];
       if (cached.ts > pending.best_ts) {
@@ -145,11 +227,14 @@ void MultiWriterRegisterClient::complete(OpId op, PendingOp& pending) {
     pending_.erase(op);
     cb(std::move(result));
   } else {
-    Tag tag = unpack_tag(pending.install_ts);
+    MwWriteResult result;
+    result.tag = unpack_tag(pending.install_ts);
+    result.status = pending.status;
+    result.acks = pending.responders.size();
     ++writes_completed_;
     WriteCallback cb = std::move(pending.write_cb);
     pending_.erase(op);
-    cb(tag);
+    cb(result);
   }
 }
 

@@ -50,21 +50,37 @@ Tag unpack_tag(Timestamp ts);
 struct MwReadResult {
   Tag tag;
   Value value;
+  OpStatus status = OpStatus::kOk;
+  std::size_t acks = 0;  ///< distinct servers that answered the final phase
+};
+
+struct MwWriteResult {
+  Tag tag;
+  OpStatus status = OpStatus::kOk;
+  std::size_t acks = 0;
+
+  /// Implicit on purpose: legacy write callbacks take the bare tag.
+  operator Tag() const { return tag; }  // NOLINT(google-explicit-*)
 };
 
 class MultiWriterRegisterClient final : public net::Receiver {
  public:
   using ReadCallback = std::function<void(MwReadResult)>;
-  using WriteCallback = std::function<void(Tag)>;
+  /// MwWriteResult converts to Tag, so `[](Tag tag)` lambdas work.
+  using WriteCallback = std::function<void(MwWriteResult)>;
 
   /// \p writer_id must be unique among all clients of the register and fit
   /// in 16 bits.
+  /// \p retry: recovery policy (docs/FAULTS.md), applied per phase: each
+  /// rpc_timeout re-sends the current phase to a fresh quorum; the deadline
+  /// spans the whole operation.  A write still in its query phase at the
+  /// deadline fails outright — only the install phase can degrade.
   MultiWriterRegisterClient(sim::Simulator& simulator,
                             net::Transport& transport, NodeId self,
                             std::uint32_t writer_id,
                             const quorum::QuorumSystem& quorums,
                             NodeId server_base, const util::Rng& rng,
-                            bool monotone = false);
+                            bool monotone = false, RetryPolicy retry = {});
 
   void read(RegisterId reg, ReadCallback cb);
 
@@ -76,6 +92,8 @@ class MultiWriterRegisterClient final : public net::Receiver {
 
   std::uint64_t reads_completed() const { return reads_completed_; }
   std::uint64_t writes_completed() const { return writes_completed_; }
+  std::uint64_t retries() const { return retries_; }
+  std::uint64_t op_failures() const { return op_failures_; }
 
  private:
   enum class Phase : std::uint8_t { kRead, kWriteQuery, kWriteInstall };
@@ -91,10 +109,18 @@ class MultiWriterRegisterClient final : public net::Receiver {
     WriteCallback write_cb;
     Value write_value;
     Timestamp install_ts = 0;
+    std::uint32_t attempt = 0;
+    bool has_deadline = false;
+    sim::Time deadline_at = 0.0;
+    OpStatus status = OpStatus::kOk;
   };
 
-  void send_query(OpId op, PendingOp& pending);
-  void send_install(OpId op, PendingOp& pending);
+  void start_phase(OpId op, PendingOp& pending, Phase phase);
+  void send_phase(OpId op, PendingOp& pending);
+  void arm_retry(OpId op, std::uint32_t attempt);
+  void arm_deadline(OpId op);
+  void finish_deadline(OpId op, PendingOp& pending);
+  void fail_op(OpId op, PendingOp& pending);
   void complete(OpId op, PendingOp& pending);
 
   sim::Simulator& simulator_;
@@ -104,7 +130,9 @@ class MultiWriterRegisterClient final : public net::Receiver {
   const quorum::QuorumSystem& quorums_;
   NodeId server_base_;
   util::Rng rng_;
+  util::Rng retry_rng_;  ///< jitter stream, separate from quorum sampling
   bool monotone_;
+  RetryPolicy retry_;
 
   OpId next_op_ = 1;
   std::unordered_map<OpId, PendingOp> pending_;
@@ -114,6 +142,8 @@ class MultiWriterRegisterClient final : public net::Receiver {
   std::unordered_map<RegisterId, std::uint64_t> own_counter_;
   std::uint64_t reads_completed_ = 0;
   std::uint64_t writes_completed_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t op_failures_ = 0;
 };
 
 }  // namespace pqra::core

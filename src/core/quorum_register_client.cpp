@@ -1,10 +1,13 @@
 #include "core/quorum_register_client.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "core/replica.hpp"
 #include "obs/names.hpp"
 #include "util/check.hpp"
+#include "util/math.hpp"
 
 namespace pqra::core {
 
@@ -19,6 +22,7 @@ QuorumRegisterClient::QuorumRegisterClient(
       quorums_(quorums),
       server_base_(server_base),
       rng_(rng.fork(0x636c69656e740000ULL ^ self)),
+      retry_rng_(rng.fork(0x7265747279000000ULL ^ self)),
       options_(options),
       history_(history) {
   transport_.register_receiver(self_, this);
@@ -35,6 +39,14 @@ QuorumRegisterClient::QuorumRegisterClient(
         n::kClientRepairs, "Stale replicas repaired after reads");
     instruments_.write_backs = &reg.counter(
         n::kClientWriteBacks, "Atomic-mode write-back phases");
+    instruments_.degraded_reads = &reg.counter(
+        n::kClientDegradedReads,
+        "Reads completed on a partial access set at the deadline");
+    instruments_.degraded_writes = &reg.counter(
+        n::kClientDegradedWrites,
+        "Writes completed on a partial access set at the deadline");
+    instruments_.op_failures = &reg.counter(
+        n::kClientOpFailures, "Operations that timed out outright");
     instruments_.read_latency = &reg.histogram(
         n::kClientReadLatency, "Read latency, invocation to response");
     instruments_.write_latency = &reg.histogram(
@@ -77,9 +89,14 @@ void QuorumRegisterClient::read(RegisterId reg, ReadCallback cb) {
     pending.hist = history_->begin_read(self_, reg, simulator_.now());
     pending.has_hist = true;
   }
+  if (options_.retry.deadline.has_value()) {
+    pending.has_deadline = true;
+    pending.deadline_at = pending.started + *options_.retry.deadline;
+  }
   auto [it, inserted] = pending_.emplace(op, std::move(pending));
   PQRA_CHECK(inserted, "op id collision");
   send_to_quorum(op, it->second);
+  if (it->second.has_deadline) arm_deadline(op);
 }
 
 void QuorumRegisterClient::read_snapshot(std::vector<RegisterId> regs,
@@ -105,9 +122,14 @@ void QuorumRegisterClient::read_snapshot(std::vector<RegisterId> regs,
     pending.has_hist = true;
   }
   pending.snap_regs = std::move(regs);
+  if (options_.retry.deadline.has_value()) {
+    pending.has_deadline = true;
+    pending.deadline_at = pending.started + *options_.retry.deadline;
+  }
   auto [it, inserted] = pending_.emplace(op, std::move(pending));
   PQRA_CHECK(inserted, "op id collision");
   send_to_quorum(op, it->second);
+  if (it->second.has_deadline) arm_deadline(op);
 }
 
 void QuorumRegisterClient::write(RegisterId reg, Value value,
@@ -127,9 +149,14 @@ void QuorumRegisterClient::write(RegisterId reg, Value value,
     pending.hist = history_->begin_write(self_, reg, simulator_.now(), ts);
     pending.has_hist = true;
   }
+  if (options_.retry.deadline.has_value()) {
+    pending.has_deadline = true;
+    pending.deadline_at = pending.started + *options_.retry.deadline;
+  }
   auto [it, inserted] = pending_.emplace(op, std::move(pending));
   PQRA_CHECK(inserted, "op id collision");
   send_to_quorum(op, it->second);
+  if (it->second.has_deadline) arm_deadline(op);
 }
 
 void QuorumRegisterClient::send_to_quorum(OpId op, PendingOp& pending) {
@@ -153,22 +180,93 @@ void QuorumRegisterClient::send_to_quorum(OpId op, PendingOp& pending) {
                                               pending.write_value));
     }
   }
-  if (options_.retry_timeout.has_value()) {
+  if (options_.retry.rpc_timeout.has_value()) {
     arm_retry(op, pending.attempt);
   }
 }
 
 void QuorumRegisterClient::arm_retry(OpId op, std::uint32_t attempt) {
-  simulator_.schedule_in(*options_.retry_timeout, [this, op, attempt] {
+  sim::Time wait = options_.retry.backoff(attempt, retry_rng_);
+  simulator_.schedule_in(wait, [this, op, attempt] {
     auto it = pending_.find(op);
     if (it == pending_.end() || it->second.attempt != attempt) {
       return;  // completed, or already retried by an older timer
     }
-    ++it->second.attempt;
+    PendingOp& pending = it->second;
+    if (pending.has_deadline && simulator_.now() >= pending.deadline_at) {
+      return;  // the deadline event settles this op
+    }
+    ++pending.attempt;
     ++counters_.retries;
     if (instruments_.retries != nullptr) instruments_.retries->inc();
-    send_to_quorum(op, it->second);
+    send_to_quorum(op, pending);
   });
+}
+
+void QuorumRegisterClient::arm_deadline(OpId op) {
+  simulator_.schedule_in(*options_.retry.deadline, [this, op] {
+    auto it = pending_.find(op);
+    if (it == pending_.end()) return;  // completed in time
+    finish_deadline(op, it->second);
+  });
+}
+
+void QuorumRegisterClient::finish_deadline(OpId op, PendingOp& pending) {
+  const RetryPolicy& policy = options_.retry;
+  const std::size_t acks = pending.responders.size();
+  if (!policy.degraded_ok || acks < std::max<std::size_t>(
+                                 policy.min_degraded_acks, 1)) {
+    fail_op(op, pending);
+    return;
+  }
+  pending.status = OpStatus::kDegraded;
+  const auto n = static_cast<std::uint64_t>(quorums_.num_servers());
+  if (pending.in_write_back) {
+    // The read itself resolved; only the write-back phase is short.  Deliver
+    // the value — atomicity degrades, regularity does not.
+    deliver_read(op, pending);
+  } else if (pending.is_snapshot) {
+    pending.staleness_bound = util::asymmetric_nonoverlap_probability(
+        n, quorums_.quorum_size(quorum::AccessKind::kWrite), acks);
+    complete_snapshot(op, pending);
+  } else if (pending.is_read) {
+    pending.staleness_bound = util::asymmetric_nonoverlap_probability(
+        n, quorums_.quorum_size(quorum::AccessKind::kWrite), acks);
+    complete_read(op, pending);
+  } else {
+    pending.staleness_bound = util::asymmetric_nonoverlap_probability(
+        n, acks, quorums_.quorum_size(quorum::AccessKind::kRead));
+    complete_write(op, pending);
+  }
+}
+
+void QuorumRegisterClient::fail_op(OpId op, PendingOp& pending) {
+  // The history record stays unresponded (the spec checkers skip open ops)
+  // and no trace event is emitted: a failed operation never took effect at
+  // the register interface.
+  ++counters_.op_failures;
+  if (instruments_.op_failures != nullptr) instruments_.op_failures->inc();
+  if (pending.is_snapshot) {
+    SnapshotCallback cb = std::move(pending.snap_cb);
+    std::vector<ReadResult> results(pending.snap_regs.size());
+    for (ReadResult& r : results) r.status = OpStatus::kTimedOut;
+    pending_.erase(op);
+    cb(std::move(results));
+  } else if (pending.is_read) {
+    ReadCallback cb = std::move(pending.read_cb);
+    pending_.erase(op);
+    ReadResult result;
+    result.status = OpStatus::kTimedOut;
+    cb(std::move(result));
+  } else {
+    WriteCallback cb = std::move(pending.write_cb);
+    WriteResult result;
+    result.ts = pending.write_ts;
+    result.status = OpStatus::kTimedOut;
+    result.acks = pending.responders.size();
+    pending_.erase(op);
+    cb(result);
+  }
 }
 
 void QuorumRegisterClient::on_message(NodeId from, net::Message msg) {
@@ -230,6 +328,9 @@ void QuorumRegisterClient::complete_snapshot(OpId op, PendingOp& pending) {
     ReadResult result;
     result.ts = best.ts;
     result.value = std::move(best.value);
+    result.status = pending.status;
+    result.acks = pending.responders.size();
+    result.staleness_bound = pending.staleness_bound;
     Timestamp& seen = max_seen_ts_[reg];
     pending.stale_depth = seen > result.ts ? seen - result.ts : 0;
     if (options_.monotone) {
@@ -267,6 +368,12 @@ void QuorumRegisterClient::complete_snapshot(OpId op, PendingOp& pending) {
     instruments_.reads->inc(pending.snap_regs.size());
   }
   counters_.reads_completed += pending.snap_regs.size();
+  if (pending.status == OpStatus::kDegraded) {
+    counters_.degraded_reads += pending.snap_regs.size();
+    if (instruments_.degraded_reads != nullptr) {
+      instruments_.degraded_reads->inc(pending.snap_regs.size());
+    }
+  }
   SnapshotCallback cb = std::move(pending.snap_cb);
   pending_.erase(op);
   cb(std::move(results));
@@ -307,7 +414,9 @@ void QuorumRegisterClient::complete_read(OpId op, PendingOp& pending) {
     send_read_repair(pending, pending.best_ts, pending.best_value);
   }
 
-  if (options_.write_back) {
+  if (options_.write_back && pending.status == OpStatus::kOk) {
+    // Degraded reads skip the write-back phase: the deadline has already
+    // expired, and the atomicity upgrade is forfeit anyway.
     start_write_back(op, pending);
     return;
   }
@@ -343,6 +452,15 @@ void QuorumRegisterClient::deliver_read(OpId op, PendingOp& pending) {
   result.ts = pending.best_ts;
   result.value = std::move(pending.best_value);
   result.from_monotone_cache = pending.from_cache;
+  result.status = pending.status;
+  result.acks = pending.responders.size();
+  result.staleness_bound = pending.staleness_bound;
+  if (pending.status == OpStatus::kDegraded) {
+    ++counters_.degraded_reads;
+    if (instruments_.degraded_reads != nullptr) {
+      instruments_.degraded_reads->inc();
+    }
+  }
   if (pending.has_hist) {
     history_->end_read(pending.hist, simulator_.now(), result.ts);
   }
@@ -374,6 +492,12 @@ void QuorumRegisterClient::complete_write(OpId op, PendingOp& pending) {
   }
   if (instruments_.writes != nullptr) instruments_.writes->inc();
   ++counters_.writes_completed;
+  if (pending.status == OpStatus::kDegraded) {
+    ++counters_.degraded_writes;
+    if (instruments_.degraded_writes != nullptr) {
+      instruments_.degraded_writes->inc();
+    }
+  }
   Timestamp ts = pending.write_ts;
   {
     Timestamp& seen = max_seen_ts_[pending.reg];
@@ -382,9 +506,14 @@ void QuorumRegisterClient::complete_write(OpId op, PendingOp& pending) {
   if (options_.trace != nullptr) {
     record_trace(obs::TraceOpKind::kWrite, pending, pending.reg, ts, false);
   }
+  WriteResult result;
+  result.ts = ts;
+  result.status = pending.status;
+  result.acks = pending.responders.size();
+  result.staleness_bound = pending.staleness_bound;
   WriteCallback cb = std::move(pending.write_cb);
   pending_.erase(op);
-  cb(ts);
+  cb(result);
 }
 
 Timestamp QuorumRegisterClient::last_written_ts(RegisterId reg) const {

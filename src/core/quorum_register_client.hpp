@@ -26,10 +26,14 @@
 /// parallel — but per register the application must not pipeline operations
 /// (condition (3) of §3's register interface).
 ///
-/// An optional per-operation timeout retries with a *fresh* quorum, which
-/// keeps the probabilistic register live when servers crash (availability
-/// experiments); strict systems may block forever in that regime, which is
-/// exactly the availability gap §4 describes.
+/// Recovery (docs/FAULTS.md): ClientOptions::retry is a full RetryPolicy —
+/// per-attempt timeout, exponential backoff with deterministic jitter, an
+/// absolute operation deadline, and optional graceful degradation.  Each
+/// retry samples a *fresh* quorum while acks keep accumulating under the
+/// same operation id, which keeps the probabilistic register live when
+/// servers crash (availability experiments); strict systems may block
+/// forever in that regime, which is exactly the availability gap §4
+/// describes.
 
 #include <cstdint>
 #include <functional>
@@ -53,14 +57,34 @@ struct ReadResult {
   Timestamp ts = 0;
   Value value;
   bool from_monotone_cache = false;
+  /// How the read completed; value/ts are meaningless for kTimedOut.
+  OpStatus status = OpStatus::kOk;
+  /// Distinct servers that answered the operation's final phase.
+  std::size_t acks = 0;
+  /// Degraded reads only: probability the partial access set missed the
+  /// latest write's quorum, C(n - k_w, acks) / C(n, acks).
+  double staleness_bound = 0.0;
+};
+
+struct WriteResult {
+  Timestamp ts = 0;
+  OpStatus status = OpStatus::kOk;
+  std::size_t acks = 0;
+  /// Degraded writes only: probability a later read quorum misses the
+  /// partial set of servers that acked, C(n - acks, k_r) / C(n, k_r).
+  double staleness_bound = 0.0;
+
+  /// Implicit on purpose: legacy write callbacks take the bare timestamp.
+  operator Timestamp() const { return ts; }  // NOLINT(google-explicit-*)
 };
 
 struct ClientOptions {
   /// Enables the §6.2 monotone cache.
   bool monotone = false;
-  /// When set, an operation that has not completed after this much simulated
-  /// time is retried on a freshly sampled quorum (crash tolerance).
-  std::optional<sim::Time> retry_timeout;
+  /// Recovery policy: retry.rpc_timeout re-sends to a freshly sampled quorum
+  /// with backoff/jitter; retry.deadline bounds the whole operation (failing
+  /// it or, with retry.degraded_ok, completing it on a partial access set).
+  RetryPolicy retry;
   /// Read repair: after a read, asynchronously pushes the freshest
   /// (ts, value) seen to the responders that answered with older data.
   /// Fire-and-forget: does not delay the read.  Speeds up propagation.
@@ -93,12 +117,16 @@ struct ClientCounters {
   std::uint64_t retries = 0;
   std::uint64_t repairs_sent = 0;     ///< stale replicas repaired after reads
   std::uint64_t write_backs = 0;      ///< atomic-mode write-back phases
+  std::uint64_t degraded_reads = 0;   ///< reads completed on a partial set
+  std::uint64_t degraded_writes = 0;  ///< writes completed on a partial set
+  std::uint64_t op_failures = 0;      ///< operations that timed out outright
 };
 
 class QuorumRegisterClient final : public net::Receiver {
  public:
   using ReadCallback = std::function<void(ReadResult)>;
-  using WriteCallback = std::function<void(Timestamp)>;
+  /// WriteResult converts to Timestamp, so `[](Timestamp ts)` lambdas work.
+  using WriteCallback = std::function<void(WriteResult)>;
 
   /// \p server_base: servers occupy NodeIds [server_base, server_base + n)
   /// in the order of the quorum system's ServerIds.
@@ -166,6 +194,12 @@ class QuorumRegisterClient final : public net::Receiver {
     Value write_value;
     std::uint32_t attempt = 0;
     sim::Time started = 0.0;
+    /// Absolute completion budget (started + retry.deadline), when armed.
+    bool has_deadline = false;
+    sim::Time deadline_at = 0.0;
+    /// Settled by the deadline handler; kOk on the normal path.
+    OpStatus status = OpStatus::kOk;
+    double staleness_bound = 0.0;
     /// Staleness depth t of the completed read: how many writes the quorum's
     /// freshest answer lagged behind the newest timestamp this client had
     /// evidence of (0 = fresh).  Fixed in complete_read.
@@ -182,6 +216,9 @@ class QuorumRegisterClient final : public net::Receiver {
     obs::Counter* retries = nullptr;
     obs::Counter* repairs = nullptr;
     obs::Counter* write_backs = nullptr;
+    obs::Counter* degraded_reads = nullptr;
+    obs::Counter* degraded_writes = nullptr;
+    obs::Counter* op_failures = nullptr;
     obs::Histogram* read_latency = nullptr;
     obs::Histogram* write_latency = nullptr;
     obs::Histogram* stale_depth = nullptr;
@@ -192,6 +229,9 @@ class QuorumRegisterClient final : public net::Receiver {
 
   void send_to_quorum(OpId op, PendingOp& pending);
   void arm_retry(OpId op, std::uint32_t attempt);
+  void arm_deadline(OpId op);
+  void finish_deadline(OpId op, PendingOp& pending);
+  void fail_op(OpId op, PendingOp& pending);
   void complete_read(OpId op, PendingOp& pending);
   void complete_write(OpId op, PendingOp& pending);
   void send_read_repair(const PendingOp& pending, Timestamp ts,
@@ -206,6 +246,9 @@ class QuorumRegisterClient final : public net::Receiver {
   const quorum::QuorumSystem& quorums_;
   NodeId server_base_;
   util::Rng rng_;
+  /// Dedicated stream for retry jitter: backoff draws never perturb the
+  /// quorum-sampling stream, so fault-free replays stay byte-identical.
+  util::Rng retry_rng_;
   ClientOptions options_;
   spec::HistoryRecorder* history_;
 

@@ -6,6 +6,36 @@
 
 namespace pqra::core::spec {
 
+namespace {
+
+std::vector<bool> crash_mask(const quorum::QuorumSystem& qs,
+                             const std::vector<quorum::ServerId>& crashed) {
+  std::vector<bool> down(qs.num_servers(), false);
+  for (quorum::ServerId s : crashed) {
+    PQRA_REQUIRE(s < qs.num_servers(), "crashed server id out of range");
+    down[s] = true;
+  }
+  std::size_t f = static_cast<std::size_t>(
+      std::count(down.begin(), down.end(), true));
+  PQRA_REQUIRE(
+      qs.num_servers() - f >= qs.quorum_size(quorum::AccessKind::kRead) &&
+          qs.num_servers() - f >= qs.quorum_size(quorum::AccessKind::kWrite),
+      "fewer live servers than an access set needs");
+  return down;
+}
+
+/// Draws quorums until one avoids every crashed server.
+void pick_live(const quorum::QuorumSystem& qs, quorum::AccessKind kind,
+               util::Rng& rng, const std::vector<bool>& down,
+               std::vector<quorum::ServerId>& out) {
+  do {
+    qs.pick(kind, rng, out);
+  } while (std::any_of(out.begin(), out.end(),
+                       [&](quorum::ServerId s) { return down[s]; }));
+}
+
+}  // namespace
+
 double r3_survival_rate(const quorum::QuorumSystem& qs, std::size_t l,
                         std::size_t trials, util::Rng& rng) {
   PQRA_REQUIRE(trials > 0, "need at least one trial");
@@ -47,6 +77,58 @@ std::vector<std::uint64_t> r5_y_samples(const quorum::QuorumSystem& qs,
     for (;;) {
       ++y;
       qs.pick(quorum::AccessKind::kRead, rng, rq);
+      bool overlap = std::any_of(rq.begin(), rq.end(), [&](quorum::ServerId s) {
+        return in_write[s];
+      });
+      if (overlap || y >= cap) break;
+    }
+    out.push_back(y);
+  }
+  return out;
+}
+
+double r3_survival_rate_under_crashes(
+    const quorum::QuorumSystem& qs, std::size_t l, std::size_t trials,
+    util::Rng& rng, const std::vector<quorum::ServerId>& crashed) {
+  PQRA_REQUIRE(trials > 0, "need at least one trial");
+  const std::vector<bool> down = crash_mask(qs, crashed);
+  std::size_t n = qs.num_servers();
+  std::size_t survived = 0;
+  std::vector<std::uint64_t> holder(n);
+  std::vector<quorum::ServerId> q;
+  for (std::size_t t = 0; t < trials; ++t) {
+    std::fill(holder.begin(), holder.end(), ~0ULL);
+    pick_live(qs, quorum::AccessKind::kWrite, rng, down, q);
+    std::vector<quorum::ServerId> target_quorum = q;
+    for (quorum::ServerId s : q) holder[s] = 0;
+    for (std::uint64_t w = 1; w <= l; ++w) {
+      pick_live(qs, quorum::AccessKind::kWrite, rng, down, q);
+      for (quorum::ServerId s : q) holder[s] = w;
+    }
+    bool alive = std::any_of(target_quorum.begin(), target_quorum.end(),
+                             [&](quorum::ServerId s) { return holder[s] == 0; });
+    if (alive) ++survived;
+  }
+  return static_cast<double>(survived) / static_cast<double>(trials);
+}
+
+std::vector<std::uint64_t> r5_y_samples_under_crashes(
+    const quorum::QuorumSystem& qs, std::size_t samples, util::Rng& rng,
+    const std::vector<quorum::ServerId>& crashed, std::uint64_t cap) {
+  PQRA_REQUIRE(samples > 0, "need at least one sample");
+  const std::vector<bool> down = crash_mask(qs, crashed);
+  std::vector<std::uint64_t> out;
+  out.reserve(samples);
+  std::vector<quorum::ServerId> wq, rq;
+  std::vector<bool> in_write(qs.num_servers());
+  for (std::size_t t = 0; t < samples; ++t) {
+    pick_live(qs, quorum::AccessKind::kWrite, rng, down, wq);
+    std::fill(in_write.begin(), in_write.end(), false);
+    for (quorum::ServerId s : wq) in_write[s] = true;
+    std::uint64_t y = 0;
+    for (;;) {
+      ++y;
+      pick_live(qs, quorum::AccessKind::kRead, rng, down, rq);
       bool overlap = std::any_of(rq.begin(), rq.end(), [&](quorum::ServerId s) {
         return in_write[s];
       });

@@ -32,6 +32,21 @@ std::vector<std::uint64_t> r5_y_samples(const quorum::QuorumSystem& qs,
                                         std::size_t samples, util::Rng& rng,
                                         std::uint64_t cap = 1u << 20);
 
+/// Under-fault variants: the servers listed in \p crashed are unavailable
+/// and every quorum draw is rejection-sampled until it avoids all of them —
+/// the sampling process a retrying client (acks accumulating across fresh
+/// quorums, docs/FAULTS.md) converges to.  Conditional on avoiding the
+/// crashed set, an access set is a uniform k-subset of the n' = n - f live
+/// servers, so the [R5] tail stays geometric with the ratio recomputed at
+/// n': q' = 1 - C(n'-k,k)/C(n',k).  Requires n' >= the access-set size.
+double r3_survival_rate_under_crashes(
+    const quorum::QuorumSystem& qs, std::size_t l, std::size_t trials,
+    util::Rng& rng, const std::vector<quorum::ServerId>& crashed);
+
+std::vector<std::uint64_t> r5_y_samples_under_crashes(
+    const quorum::QuorumSystem& qs, std::size_t samples, util::Rng& rng,
+    const std::vector<quorum::ServerId>& crashed, std::uint64_t cap = 1u << 20);
+
 /// Extracts empirical Y samples from a recorded protocol history: for each
 /// write W to \p reg and the reader \p proc, the number of reads by \p proc
 /// invoked after W completed until one returns W's timestamp or newer.

@@ -201,7 +201,11 @@ Alg1Result run_alg1(const AcoOperator& op, const Alg1Options& options) {
 
   core::ClientOptions client_options;
   client_options.monotone = options.monotone;
-  client_options.retry_timeout = options.retry_timeout;
+  if (options.retry.has_value()) {
+    client_options.retry = *options.retry;
+  } else if (options.retry_timeout.has_value()) {
+    client_options.retry = core::RetryPolicy::fixed(*options.retry_timeout);
+  }
   client_options.read_repair = options.read_repair;
   client_options.write_back = options.write_back;
   client_options.metrics = options.metrics;

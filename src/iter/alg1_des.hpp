@@ -75,7 +75,13 @@ struct Alg1Options {
   const net::FaultPlan* fault_plan = nullptr;
 
   /// Per-operation retry timeout (needed for liveness under crashes).
+  /// Shorthand for a fixed-interval core::RetryPolicy; ignored when `retry`
+  /// below is set.
   std::optional<sim::Time> retry_timeout;
+
+  /// Full recovery policy (backoff, jitter, deadline, graceful degradation —
+  /// docs/FAULTS.md).  Overrides retry_timeout when set.
+  std::optional<core::RetryPolicy> retry;
 
   /// Hard wall on simulated time; ends the run unconverged.  Needed when an
   /// execution can stall forever (e.g. a strict system with too many crashed

@@ -6,9 +6,12 @@
 #include <utility>
 #include <vector>
 
+#include <memory>
+
 #include "core/blocking_register.hpp"
 #include "core/threaded_server.hpp"
 #include "iter/rounds.hpp"
+#include "net/fault_plan.hpp"
 #include "net/thread_transport.hpp"
 #include "util/check.hpp"
 
@@ -24,8 +27,12 @@ Alg1ThreadsResult run_alg1_threads(const AcoOperator& op,
   const std::size_t n = quorums.num_servers();
 
   util::Rng master(options.seed);
-  net::ThreadTransport transport(static_cast<net::NodeId>(n + p));
-  if (options.metrics != nullptr) transport.bind_metrics(*options.metrics);
+  net::ThreadTransport transport(static_cast<net::NodeId>(n + p),
+                                 /*fault_seed=*/options.seed);
+  if (options.metrics != nullptr) {
+    transport.bind_metrics(*options.metrics);
+    transport.bind_fault_metrics(*options.metrics);
+  }
 
   // Server threads at NodeIds [0, n), replicas preloaded before they start.
   std::vector<std::unique_ptr<core::ThreadedServer>> servers;
@@ -54,22 +61,30 @@ Alg1ThreadsResult run_alg1_threads(const AcoOperator& op,
     core::BlockingRegisterClient client(
         transport, static_cast<net::NodeId>(n + i), quorums,
         /*server_base=*/0, master.fork(100 + i), options.monotone,
-        options.metrics);
+        options.metrics, options.retry);
     std::vector<std::size_t> owned;
     for (std::size_t j = i; j < m; j += p) owned.push_back(j);
 
     std::vector<Value> local(m);
     bool transport_closed = false;
     while (!transport_closed && !stop.load(std::memory_order_acquire)) {
+      // A sweep abandoned by an operation timeout (kTimedOut, possible only
+      // under fault injection with a deadline policy) just starts the next
+      // round — Alg. 1 tolerates the resulting stale local view.
+      bool sweep_failed = false;
       for (std::size_t j = 0; j < m; ++j) {
         auto r = client.read(static_cast<net::RegisterId>(j));
         if (!r.has_value()) {
-          transport_closed = true;
+          if (client.last_status() == core::OpStatus::kShutdown) {
+            transport_closed = true;
+          } else {
+            sweep_failed = true;
+          }
           break;
         }
         local[j] = std::move(r->value);
       }
-      if (transport_closed) break;
+      if (transport_closed || sweep_failed) continue;
       std::vector<Value> updated;
       updated.reserve(owned.size());
       for (std::size_t j : owned) updated.push_back(op.apply(j, local));
@@ -80,11 +95,15 @@ Alg1ThreadsResult run_alg1_threads(const AcoOperator& op,
         if (!client.write(static_cast<net::RegisterId>(j),
                           util::Bytes(local[j]))
                  .has_value()) {
-          transport_closed = true;
+          if (client.last_status() == core::OpStatus::kShutdown) {
+            transport_closed = true;
+          } else {
+            sweep_failed = true;
+          }
           break;
         }
       }
-      if (transport_closed) break;
+      if (transport_closed || sweep_failed) continue;
 
       bool now_correct = true;
       for (std::size_t j : owned) {
@@ -120,20 +139,33 @@ Alg1ThreadsResult run_alg1_threads(const AcoOperator& op,
     // iteration loop, so the hot path never takes a global lock.
     std::lock_guard lock(progress_mutex);
     cache_hits_total += client.monotone_cache_hits();
+    result.retries += client.retries();
+    result.op_failures += client.op_failures();
     result.read_latency.merge(client.read_latency());
     result.write_latency.merge(client.write_latency());
   };
 
   {
+    // The fault driver (if any) runs for the workers' whole lifetime and is
+    // stopped before the transport closes so it never races teardown.
+    std::unique_ptr<net::LiveFaultDriver> driver;
+    if (options.fault_plan != nullptr && !options.fault_plan->empty()) {
+      driver = std::make_unique<net::LiveFaultDriver>(
+          *options.fault_plan, transport, options.seconds_per_time_unit);
+    }
     std::vector<std::thread> threads;
     threads.reserve(p);
     for (std::size_t i = 0; i < p; ++i) {
       threads.emplace_back([&worker, i] { worker(i); });
     }
     for (auto& t : threads) t.join();
+    if (driver) driver->stop();
   }
 
-  // All clients are done; unblock and join the servers.
+  // All clients are done; unblock and join the servers.  A still-crashed
+  // server is no obstacle: crash only drops its messages at send time, and
+  // close() unblocks every mailbox.
+  result.faults = transport.fault_counters();
   transport.close();
   servers.clear();
 

@@ -9,7 +9,9 @@
 
 #include <optional>
 
+#include "core/register_types.hpp"
 #include "iter/aco.hpp"
+#include "net/fault_plan.hpp"
 #include "net/transport.hpp"
 #include "obs/metrics.hpp"
 #include "quorum/quorum_system.hpp"
@@ -28,6 +30,20 @@ struct Alg1ThreadsOptions {
   /// (obs::Concurrency::kThreadSafe): clients, servers and the transport all
   /// report into it concurrently.
   obs::Registry* metrics = nullptr;
+
+  /// Optional fault schedule (non-owning), replayed in scaled wall-clock
+  /// time by a net::LiveFaultDriver while the workers run.  Plan times are
+  /// multiplied by seconds_per_time_unit.  When injecting faults, also set
+  /// a retry policy with an rpc_timeout, or workers may block on crashed
+  /// servers until the driver recovers them.
+  const net::FaultPlan* fault_plan = nullptr;
+  double seconds_per_time_unit = 0.01;
+
+  /// Recovery policy for the blocking clients (docs/FAULTS.md).  A worker
+  /// whose operation times out outright abandons the sweep and starts its
+  /// next round; the iteration still converges because Alg. 1 tolerates
+  /// stale reads.
+  core::RetryPolicy retry;
 };
 
 struct Alg1ThreadsResult {
@@ -36,6 +52,9 @@ struct Alg1ThreadsResult {
   std::size_t iterations = 0;
   net::MessageStats messages;
   std::uint64_t monotone_cache_hits = 0;
+  std::uint64_t retries = 0;       ///< operation retries across all clients
+  std::uint64_t op_failures = 0;   ///< operations that timed out outright
+  net::FaultCounters faults;       ///< what the injector actually did
   /// Wall-clock operation latency in seconds.  Each worker accumulates into
   /// its own util::OnlineStats lock-free on the hot path; the per-thread
   /// stats are merged (util::OnlineStats::merge) only after the workers

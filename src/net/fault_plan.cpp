@@ -1,20 +1,41 @@
 #include "net/fault_plan.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <sstream>
 
 #include "util/check.hpp"
 
 namespace pqra::net {
 
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kRecover:
+      return "recover";
+    case FaultKind::kSlow:
+      return "slow";
+    case FaultKind::kClearSlow:
+      return "noslow";
+    case FaultKind::kPartition:
+      return "partition";
+    case FaultKind::kHeal:
+      return "heal";
+  }
+  return "?";
+}
+
 FaultPlan& FaultPlan::crash_at(sim::Time at, NodeId node) {
   PQRA_REQUIRE(at >= 0.0, "events cannot be scheduled before time 0");
-  events_.push_back(Event{at, node, true});
+  events_.push_back(Event{at, FaultKind::kCrash, node, 1.0, {}});
   return *this;
 }
 
 FaultPlan& FaultPlan::recover_at(sim::Time at, NodeId node) {
   PQRA_REQUIRE(at >= 0.0, "events cannot be scheduled before time 0");
-  events_.push_back(Event{at, node, false});
+  events_.push_back(Event{at, FaultKind::kRecover, node, 1.0, {}});
   return *this;
 }
 
@@ -22,6 +43,39 @@ FaultPlan& FaultPlan::outage(NodeId node, sim::Time from, sim::Time duration) {
   PQRA_REQUIRE(duration > 0.0, "outage must have positive duration");
   crash_at(from, node);
   recover_at(from + duration, node);
+  return *this;
+}
+
+FaultPlan& FaultPlan::slow_at(sim::Time at, NodeId node, double factor) {
+  PQRA_REQUIRE(at >= 0.0, "events cannot be scheduled before time 0");
+  PQRA_REQUIRE(factor >= 1.0, "slow factor must be >= 1");
+  events_.push_back(Event{at, FaultKind::kSlow, node, factor, {}});
+  return *this;
+}
+
+FaultPlan& FaultPlan::clear_slow_at(sim::Time at, NodeId node) {
+  PQRA_REQUIRE(at >= 0.0, "events cannot be scheduled before time 0");
+  events_.push_back(Event{at, FaultKind::kClearSlow, node, 1.0, {}});
+  return *this;
+}
+
+FaultPlan& FaultPlan::partition_at(sim::Time at,
+                                   std::vector<std::vector<NodeId>> groups) {
+  PQRA_REQUIRE(at >= 0.0, "events cannot be scheduled before time 0");
+  PQRA_REQUIRE(groups.size() >= 2, "a partition needs at least two groups");
+  events_.push_back(
+      Event{at, FaultKind::kPartition, 0, 1.0, std::move(groups)});
+  return *this;
+}
+
+FaultPlan& FaultPlan::heal_at(sim::Time at) {
+  PQRA_REQUIRE(at >= 0.0, "events cannot be scheduled before time 0");
+  events_.push_back(Event{at, FaultKind::kHeal, 0, 1.0, {}});
+  return *this;
+}
+
+FaultPlan& FaultPlan::with_message_faults(const MessageFaults& faults) {
+  message_faults_ = faults;
   return *this;
 }
 
@@ -41,16 +95,233 @@ FaultPlan FaultPlan::random_churn(std::size_t num_servers, sim::Time horizon,
   return plan;
 }
 
-void FaultPlan::install(sim::Simulator& simulator,
-                        SimTransport& transport) const {
-  for (const Event& ev : events_) {
-    simulator.schedule_at(ev.at, [&transport, ev] {
-      if (ev.crash) {
-        transport.crash(ev.node);
+namespace {
+
+[[noreturn]] void parse_fail(const std::string& clause, const char* why) {
+  throw std::logic_error("bad fault-plan clause '" + clause + "': " + why);
+}
+
+double parse_number(const std::string& clause, const std::string& text) {
+  char* end = nullptr;
+  double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') {
+    parse_fail(clause, "expected a number");
+  }
+  return v;
+}
+
+/// Parses `a-b` ranges and `,`-lists into a node group, e.g. "0-3,7".
+std::vector<NodeId> parse_group(const std::string& clause,
+                                const std::string& text) {
+  std::vector<NodeId> nodes;
+  std::istringstream in(text);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    auto dash = item.find('-');
+    if (dash == std::string::npos) {
+      nodes.push_back(static_cast<NodeId>(parse_number(clause, item)));
+      continue;
+    }
+    auto lo = static_cast<NodeId>(
+        parse_number(clause, item.substr(0, dash)));
+    auto hi = static_cast<NodeId>(parse_number(clause, item.substr(dash + 1)));
+    if (hi < lo) parse_fail(clause, "range upper bound below lower bound");
+    for (NodeId n = lo; n <= hi; ++n) nodes.push_back(n);
+  }
+  if (nodes.empty()) parse_fail(clause, "empty node group");
+  return nodes;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  MessageFaults message;
+  std::istringstream in(spec);
+  std::string clause;
+  while (std::getline(in, clause, ';')) {
+    // Whitespace around clauses is allowed: "crash:2@10; drop=0.02".
+    const auto first = clause.find_first_not_of(" \t\n");
+    if (first == std::string::npos) continue;
+    clause = clause.substr(first, clause.find_last_not_of(" \t\n") - first + 1);
+    auto eq = clause.find('=');
+    if (eq != std::string::npos && clause.find('@') == std::string::npos) {
+      // Message-fault knob.
+      const std::string key = clause.substr(0, eq);
+      const std::string val = clause.substr(eq + 1);
+      if (key == "drop") {
+        message.drop_probability = parse_number(clause, val);
+      } else if (key == "dup") {
+        message.duplicate_probability = parse_number(clause, val);
+      } else if (key == "delay") {
+        message.extra_delay = parse_number(clause, val);
+      } else if (key == "reorder") {
+        auto colon = val.find(':');
+        if (colon == std::string::npos) {
+          parse_fail(clause, "reorder needs 'probability:max_delay'");
+        }
+        message.reorder_probability =
+            parse_number(clause, val.substr(0, colon));
+        message.reorder_delay_max =
+            parse_number(clause, val.substr(colon + 1));
       } else {
-        transport.recover(ev.node);
+        parse_fail(clause, "unknown message-fault knob");
+      }
+      continue;
+    }
+
+    auto pos = clause.rfind('@');
+    if (pos == std::string::npos) parse_fail(clause, "missing '@time'");
+    const std::string head = clause.substr(0, pos);
+    const std::string time_text = clause.substr(pos + 1);
+    auto colon = head.find(':');
+    const std::string kind = head.substr(0, colon);
+    const std::string arg =
+        colon == std::string::npos ? "" : head.substr(colon + 1);
+    if (kind == "outage") {
+      // outage:N@T1-T2 — the time field is a range, not a single instant.
+      auto dash = time_text.find('-');
+      if (dash == std::string::npos) {
+        parse_fail(clause, "outage needs '@from-to'");
+      }
+      double from = parse_number(clause, time_text.substr(0, dash));
+      double to = parse_number(clause, time_text.substr(dash + 1));
+      if (to <= from) parse_fail(clause, "outage end must be after start");
+      plan.outage(static_cast<NodeId>(parse_number(clause, arg)), from,
+                  to - from);
+      continue;
+    }
+    const double at = parse_number(clause, time_text);
+    if (kind == "heal") {
+      plan.heal_at(at);
+    } else if (kind == "crash") {
+      plan.crash_at(at, static_cast<NodeId>(parse_number(clause, arg)));
+    } else if (kind == "recover") {
+      plan.recover_at(at, static_cast<NodeId>(parse_number(clause, arg)));
+    } else if (kind == "slow") {
+      auto star = arg.find('*');
+      if (star == std::string::npos) parse_fail(clause, "slow needs 'N*F'");
+      plan.slow_at(at,
+                   static_cast<NodeId>(
+                       parse_number(clause, arg.substr(0, star))),
+                   parse_number(clause, arg.substr(star + 1)));
+    } else if (kind == "noslow") {
+      plan.clear_slow_at(at, static_cast<NodeId>(parse_number(clause, arg)));
+    } else if (kind == "partition") {
+      std::vector<std::vector<NodeId>> groups;
+      std::istringstream gin(arg);
+      std::string group;
+      while (std::getline(gin, group, '|')) {
+        groups.push_back(parse_group(clause, group));
+      }
+      plan.partition_at(at, std::move(groups));
+    } else {
+      parse_fail(clause, "unknown event kind");
+    }
+  }
+  plan.with_message_faults(message);
+  return plan;
+}
+
+void FaultPlan::install(sim::Simulator& simulator,
+                        FaultInjector& injector) const {
+  if (message_faults_.any()) injector.set_message_faults(message_faults_);
+  for (const Event& ev : events_) {
+    simulator.schedule_at(ev.at, [&injector, ev] {
+      switch (ev.kind) {
+        case FaultKind::kCrash:
+          injector.crash(ev.node);
+          break;
+        case FaultKind::kRecover:
+          injector.recover(ev.node);
+          break;
+        case FaultKind::kSlow:
+          injector.set_slow(ev.node, ev.factor);
+          break;
+        case FaultKind::kClearSlow:
+          injector.clear_slow(ev.node);
+          break;
+        case FaultKind::kPartition:
+          injector.partition(ev.groups);
+          break;
+        case FaultKind::kHeal:
+          injector.heal();
+          break;
       }
     });
+  }
+}
+
+void FaultPlan::install(sim::Simulator& simulator,
+                        SimTransport& transport) const {
+  install(simulator, transport.faults());
+}
+
+LiveFaultDriver::LiveFaultDriver(const FaultPlan& plan,
+                                 ThreadTransport& transport,
+                                 double seconds_per_time_unit)
+    : transport_(transport) {
+  PQRA_REQUIRE(seconds_per_time_unit > 0.0, "time scale must be positive");
+  thread_ = std::thread([this, plan, seconds_per_time_unit] {
+    run(plan, seconds_per_time_unit);
+  });
+}
+
+LiveFaultDriver::~LiveFaultDriver() { stop(); }
+
+void LiveFaultDriver::stop() {
+  {
+    std::lock_guard lock(mutex_);
+    stopped_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void LiveFaultDriver::run(FaultPlan plan, double scale) {
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point start = Clock::now();
+
+  if (plan.message_faults().any()) {
+    MessageFaults scaled = plan.message_faults();
+    scaled.extra_delay *= scale;
+    scaled.reorder_delay_max *= scale;
+    transport_.set_message_faults(scaled);
+  }
+
+  std::vector<FaultPlan::Event> events = plan.events();
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FaultPlan::Event& a, const FaultPlan::Event& b) {
+                     return a.at < b.at;
+                   });
+  for (const FaultPlan::Event& ev : events) {
+    const auto due =
+        start + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(ev.at * scale));
+    {
+      std::unique_lock lock(mutex_);
+      if (cv_.wait_until(lock, due, [this] { return stopped_; })) return;
+    }
+    switch (ev.kind) {
+      case FaultKind::kCrash:
+        transport_.crash(ev.node);
+        break;
+      case FaultKind::kRecover:
+        transport_.recover(ev.node);
+        break;
+      case FaultKind::kSlow:
+        transport_.set_slow(ev.node, ev.factor);
+        break;
+      case FaultKind::kClearSlow:
+        transport_.clear_slow(ev.node);
+        break;
+      case FaultKind::kPartition:
+        transport_.partition(ev.groups);
+        break;
+      case FaultKind::kHeal:
+        transport_.heal();
+        break;
+    }
   }
 }
 
@@ -62,10 +333,10 @@ std::size_t FaultPlan::max_concurrent_down(std::size_t num_servers) const {
   std::size_t current = 0, worst = 0;
   for (const Event& ev : sorted) {
     if (ev.node >= num_servers) continue;
-    if (ev.crash && !down[ev.node]) {
+    if (ev.kind == FaultKind::kCrash && !down[ev.node]) {
       down[ev.node] = true;
       ++current;
-    } else if (!ev.crash && down[ev.node]) {
+    } else if (ev.kind == FaultKind::kRecover && down[ev.node]) {
       down[ev.node] = false;
       --current;
     }

@@ -1,25 +1,48 @@
 #pragma once
 
 /// \file fault_plan.hpp
-/// Deterministic crash/recovery schedules for the simulated network.
+/// Deterministic fault schedules for both runtimes.
 ///
-/// A FaultPlan is a list of timed crash and recover events installed onto a
-/// SimTransport before a run.  Combined with the register client's retry
-/// timeout, this drives the dynamic-availability experiments: probabilistic
-/// quorums keep making progress through churn that stalls strict systems.
+/// A FaultPlan is a list of timed fault events — crash/recover, slow-node,
+/// partition/heal — plus an optional message-fault configuration, applied to
+/// a FaultInjector.  On the DES the plan is installed onto the simulator
+/// (bit-reproducible from the seed); on the threaded runtime a
+/// LiveFaultDriver (net/faults.hpp + alg1_threads) replays it in scaled
+/// wall-clock time.  Combined with the register clients' retry policy this
+/// drives the dynamic-availability experiments: probabilistic quorums keep
+/// making progress through churn that stalls strict systems.
 
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
 #include <vector>
 
+#include "net/faults.hpp"
 #include "net/sim_transport.hpp"
+#include "net/thread_transport.hpp"
 
 namespace pqra::net {
+
+enum class FaultKind : std::uint8_t {
+  kCrash,
+  kRecover,
+  kSlow,       ///< multiply the node's message delays by `factor`
+  kClearSlow,
+  kPartition,  ///< split the listed nodes into isolated groups
+  kHeal,       ///< remove the partition
+};
+
+const char* fault_kind_name(FaultKind kind);
 
 class FaultPlan {
  public:
   struct Event {
     sim::Time at = 0.0;
-    NodeId node = 0;
-    bool crash = true;  ///< false = recover
+    FaultKind kind = FaultKind::kCrash;
+    NodeId node = 0;      ///< crash/recover/slow/clear-slow
+    double factor = 1.0;  ///< slow only
+    std::vector<std::vector<NodeId>> groups;  ///< partition only
   };
 
   FaultPlan& crash_at(sim::Time at, NodeId node);
@@ -28,6 +51,21 @@ class FaultPlan {
   /// Crash + recover pair: node is down during [from, from + duration).
   FaultPlan& outage(NodeId node, sim::Time from, sim::Time duration);
 
+  /// Node is slow (delay factor \p factor >= 1) during [from, from+duration),
+  /// or from \p from onwards when duration is 0.
+  FaultPlan& slow_at(sim::Time at, NodeId node, double factor);
+  FaultPlan& clear_slow_at(sim::Time at, NodeId node);
+
+  /// Partition the listed nodes into isolated groups at \p at; heal_at ends
+  /// it.  Unlisted nodes keep talking to everyone (see FaultInjector).
+  FaultPlan& partition_at(sim::Time at,
+                          std::vector<std::vector<NodeId>> groups);
+  FaultPlan& heal_at(sim::Time at);
+
+  /// Message-level faults applied for the whole run (install time 0).
+  FaultPlan& with_message_faults(const MessageFaults& faults);
+  const MessageFaults& message_faults() const { return message_faults_; }
+
   /// Random churn over servers [0, n): each server suffers independent
   /// outages with exponential up-time (mean \p mean_uptime) and down-time
   /// (mean \p mean_downtime) until \p horizon.
@@ -35,17 +73,63 @@ class FaultPlan {
                                 sim::Time mean_uptime, sim::Time mean_downtime,
                                 util::Rng& rng);
 
-  /// Schedules every event on the simulator against the transport.
+  /// Parses the experiment_cli `--fault-plan` grammar: `;`-separated
+  /// clauses, each either a timed event or a message-fault knob:
+  ///
+  ///   crash:N@T       recover:N@T      outage:N@T1-T2
+  ///   slow:N*F@T      noslow:N@T
+  ///   partition:0-3|4-9@T   (groups of `,`-lists and `a-b` ranges)
+  ///   heal@T
+  ///   drop=P   dup=P   delay=D   reorder=P:MAXDELAY
+  ///
+  /// e.g. "crash:2@10;recover:2@50;drop=0.02;reorder=0.1:3".
+  /// Throws std::logic_error (with the offending clause) on bad input.
+  static FaultPlan parse(const std::string& spec);
+
+  /// Schedules every event on the simulator against \p injector, and applies
+  /// the message faults immediately.
+  void install(sim::Simulator& simulator, FaultInjector& injector) const;
+
+  /// Convenience: installs onto the transport's own injector.
   void install(sim::Simulator& simulator, SimTransport& transport) const;
 
   const std::vector<Event>& events() const { return events_; }
-  bool empty() const { return events_.empty(); }
+  bool empty() const { return events_.empty() && !message_faults_.any(); }
 
   /// Largest number of servers in [0, num_servers) simultaneously down.
   std::size_t max_concurrent_down(std::size_t num_servers) const;
 
  private:
   std::vector<Event> events_;
+  MessageFaults message_faults_;
+};
+
+/// Replays a FaultPlan against a live ThreadTransport: a driver thread
+/// sleeps until each event's scaled wall-clock time and applies it through
+/// the transport's thread-safe fault wrappers.  Plan times (and message-
+/// fault delays) are multiplied by \p seconds_per_time_unit.  The driver
+/// starts in the constructor; stop() (or destruction) cancels any remaining
+/// events and joins.
+class LiveFaultDriver {
+ public:
+  LiveFaultDriver(const FaultPlan& plan, ThreadTransport& transport,
+                  double seconds_per_time_unit);
+  ~LiveFaultDriver();
+
+  LiveFaultDriver(const LiveFaultDriver&) = delete;
+  LiveFaultDriver& operator=(const LiveFaultDriver&) = delete;
+
+  /// Cancels remaining events and joins the driver thread.  Idempotent.
+  void stop();
+
+ private:
+  void run(FaultPlan plan, double scale);
+
+  ThreadTransport& transport_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopped_ = false;
+  std::thread thread_;
 };
 
 }  // namespace pqra::net

@@ -1,0 +1,149 @@
+#include "net/faults.hpp"
+
+#include "obs/names.hpp"
+#include "util/check.hpp"
+
+namespace pqra::net {
+
+FaultInjector::FaultInjector(NodeId max_nodes)
+    : crashed_(max_nodes, false),
+      slow_(max_nodes, 1.0),
+      group_(max_nodes, kNoGroup) {}
+
+void FaultInjector::crash(NodeId node) {
+  PQRA_REQUIRE(node < crashed_.size(), "node id out of range");
+  if (crashed_[node]) return;
+  crashed_[node] = true;
+  ++num_crashed_;
+  ++counters_.crashes;
+  if (instruments_.crashes != nullptr) {
+    instruments_.crashes->inc();
+    instruments_.injected->inc();
+  }
+}
+
+void FaultInjector::recover(NodeId node) {
+  PQRA_REQUIRE(node < crashed_.size(), "node id out of range");
+  if (!crashed_[node]) return;
+  crashed_[node] = false;
+  --num_crashed_;
+  ++counters_.recoveries;
+  if (instruments_.recoveries != nullptr) instruments_.recoveries->inc();
+}
+
+bool FaultInjector::is_crashed(NodeId node) const {
+  PQRA_REQUIRE(node < crashed_.size(), "node id out of range");
+  return crashed_[node];
+}
+
+void FaultInjector::set_slow(NodeId node, double factor) {
+  PQRA_REQUIRE(node < slow_.size(), "node id out of range");
+  PQRA_REQUIRE(factor >= 1.0, "slow factor must be >= 1");
+  slow_[node] = factor;
+}
+
+void FaultInjector::clear_slow(NodeId node) {
+  PQRA_REQUIRE(node < slow_.size(), "node id out of range");
+  slow_[node] = 1.0;
+}
+
+double FaultInjector::slow_factor(NodeId node) const {
+  PQRA_REQUIRE(node < slow_.size(), "node id out of range");
+  return slow_[node];
+}
+
+void FaultInjector::partition(
+    const std::vector<std::vector<NodeId>>& groups) {
+  std::fill(group_.begin(), group_.end(), kNoGroup);
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    for (NodeId node : groups[g]) {
+      PQRA_REQUIRE(node < group_.size(), "node id out of range");
+      PQRA_REQUIRE(group_[node] == kNoGroup, "node in two partition groups");
+      group_[node] = static_cast<std::uint32_t>(g);
+    }
+  }
+  partitioned_ = true;
+}
+
+void FaultInjector::heal() {
+  std::fill(group_.begin(), group_.end(), kNoGroup);
+  partitioned_ = false;
+}
+
+bool FaultInjector::partitioned(NodeId a, NodeId b) const {
+  PQRA_REQUIRE(a < group_.size() && b < group_.size(),
+               "node id out of range");
+  if (!partitioned_) return false;
+  return group_[a] != kNoGroup && group_[b] != kNoGroup &&
+         group_[a] != group_[b];
+}
+
+void FaultInjector::count_drop(std::uint64_t FaultCounters::*slot) {
+  ++(counters_.*slot);
+  if (instruments_.msg_dropped != nullptr) {
+    instruments_.msg_dropped->inc();
+    instruments_.injected->inc();
+  }
+}
+
+FaultDecision FaultInjector::on_send(NodeId from, NodeId to, util::Rng& rng) {
+  FaultDecision d;
+  if (crashed_[from] || crashed_[to]) {
+    d.drop = true;
+    count_drop(&FaultCounters::crash_drops);
+    return d;
+  }
+  if (partitioned_ && partitioned(from, to)) {
+    d.drop = true;
+    count_drop(&FaultCounters::partition_drops);
+    return d;
+  }
+  if (message_.drop_probability > 0.0 &&
+      rng.bernoulli(message_.drop_probability)) {
+    d.drop = true;
+    count_drop(&FaultCounters::random_drops);
+    return d;
+  }
+  if (message_.duplicate_probability > 0.0 &&
+      rng.bernoulli(message_.duplicate_probability)) {
+    d.duplicate = true;
+    ++counters_.duplicates;
+    if (instruments_.msg_duplicated != nullptr) {
+      instruments_.msg_duplicated->inc();
+      instruments_.injected->inc();
+    }
+  }
+  d.delay_factor = slow_[from] * slow_[to];
+  d.extra_delay = message_.extra_delay * d.delay_factor;
+  if (message_.reorder_probability > 0.0 &&
+      rng.bernoulli(message_.reorder_probability)) {
+    d.extra_delay += rng.uniform01() * message_.reorder_delay_max;
+  }
+  if (d.extra_delay > 0.0 || d.delay_factor != 1.0) {
+    ++counters_.delayed;
+    if (instruments_.msg_delayed != nullptr) {
+      instruments_.msg_delayed->inc();
+      instruments_.injected->inc();
+    }
+  }
+  return d;
+}
+
+void FaultInjector::bind_metrics(obs::Registry& registry) {
+  namespace n = obs::names;
+  instruments_.injected = &registry.counter(
+      n::kFaultsInjected, "Total injected faults, all kinds");
+  instruments_.crashes =
+      &registry.counter(n::kFaultsCrashes, "Node crash events injected");
+  instruments_.recoveries =
+      &registry.counter(n::kFaultsRecoveries, "Node recovery events");
+  instruments_.msg_dropped = &registry.counter(
+      n::kFaultsMsgDropped,
+      "Messages lost to crashes, partitions or drop probability");
+  instruments_.msg_duplicated = &registry.counter(
+      n::kFaultsMsgDuplicated, "Messages delivered twice by injection");
+  instruments_.msg_delayed = &registry.counter(
+      n::kFaultsMsgDelayed, "Messages given extra delay (slow nodes/reorder)");
+}
+
+}  // namespace pqra::net

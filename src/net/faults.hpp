@@ -1,0 +1,153 @@
+#pragma once
+
+/// \file faults.hpp
+/// Unified fault-injection subsystem shared by both runtimes.
+///
+/// A FaultInjector holds the live fault state of one network — crashed
+/// nodes, slow nodes, a partition, and message-level fault probabilities —
+/// and renders a per-send FaultDecision from it.  The transports own one
+/// injector each and consult it on every send:
+///
+///   - SimTransport asks the injector inside the DES event loop, drawing
+///     from the transport's seeded RNG, so an installed FaultPlan yields a
+///     bit-reproducible fault schedule (the deterministic-replay tests rely
+///     on this).
+///   - ThreadTransport asks it under the transport mutex with live threads
+///     on both ends; a LiveFaultDriver replays a FaultPlan against it in
+///     wall-clock time.
+///
+/// The injector never delivers or delays anything itself — it only decides.
+/// Each transport applies the decision with its own delivery machinery, so
+/// the fault model stays identical across runtimes (docs/FAULTS.md).
+///
+/// RNG discipline: on_send draws from the caller's RNG only for fault types
+/// that are actually enabled, so configuring no faults leaves the caller's
+/// random stream exactly as it was — existing seeded experiments reproduce
+/// unchanged.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/message.hpp"
+#include "obs/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace pqra::net {
+
+/// Message-level fault configuration.  All probabilities independent per
+/// message; delays in the transport's time unit (sim-time units for the DES,
+/// seconds for the threaded runtime).
+struct MessageFaults {
+  /// Independently lose each message.
+  double drop_probability = 0.0;
+  /// Independently deliver a second copy of each message (with its own
+  /// independently sampled delay, so the copies may arrive in either order).
+  double duplicate_probability = 0.0;
+  /// Fixed extra delay added to every message (scaled by slow-node factors).
+  double extra_delay = 0.0;
+  /// With this probability, add a further uniform delay in
+  /// [0, reorder_delay_max) — enough to reorder messages behind later sends.
+  double reorder_probability = 0.0;
+  double reorder_delay_max = 0.0;
+
+  /// True when any knob is set (fast-path guard).
+  bool any() const {
+    return drop_probability > 0.0 || duplicate_probability > 0.0 ||
+           extra_delay > 0.0 || reorder_probability > 0.0;
+  }
+};
+
+/// What the injector decided for one message.
+struct FaultDecision {
+  bool drop = false;       ///< lose the message (crash, partition or chance)
+  bool duplicate = false;  ///< deliver a second, independently delayed copy
+  double extra_delay = 0.0;   ///< add to the model delay
+  double delay_factor = 1.0;  ///< multiply the model delay (slow nodes)
+};
+
+/// Running totals of injected faults (plain struct: cheap to read in tests;
+/// the obs::Registry pipeline is bound separately via bind_metrics).
+struct FaultCounters {
+  std::uint64_t crashes = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t crash_drops = 0;      ///< messages lost to crashed endpoints
+  std::uint64_t partition_drops = 0;  ///< messages lost across the partition
+  std::uint64_t random_drops = 0;     ///< messages lost to drop_probability
+  std::uint64_t duplicates = 0;
+  std::uint64_t delayed = 0;  ///< messages given extra delay (slow/reorder)
+
+  std::uint64_t injected() const {
+    return crash_drops + partition_drops + random_drops + duplicates + delayed;
+  }
+};
+
+/// Fault state of one network.  Not internally synchronized: SimTransport
+/// uses it from the single DES thread, ThreadTransport guards it with its
+/// own mutex (see faults() accessors on the transports).
+class FaultInjector {
+ public:
+  explicit FaultInjector(NodeId max_nodes);
+
+  // -- node-level faults ----------------------------------------------------
+
+  /// Crashed nodes silently lose all traffic to and from them.  Idempotent.
+  void crash(NodeId node);
+  void recover(NodeId node);
+  bool is_crashed(NodeId node) const;
+  std::size_t num_crashed() const { return num_crashed_; }
+
+  /// Slow node: messages to or from it have their delay multiplied by
+  /// \p factor (>= 1; factors of both endpoints compound).
+  void set_slow(NodeId node, double factor);
+  void clear_slow(NodeId node);
+  double slow_factor(NodeId node) const;
+
+  /// Network partition: nodes in different groups cannot exchange messages.
+  /// Nodes in no group (e.g. clients) keep talking to everyone — partitioning
+  /// the servers does not sever the clients.  Replaces any prior partition.
+  void partition(const std::vector<std::vector<NodeId>>& groups);
+  void heal();
+  bool partitioned(NodeId a, NodeId b) const;
+
+  // -- message-level faults -------------------------------------------------
+
+  void set_message_faults(const MessageFaults& faults) { message_ = faults; }
+  const MessageFaults& message_faults() const { return message_; }
+
+  /// Renders the decision for one message.  Draws from \p rng only for fault
+  /// types that are enabled (see file comment).
+  FaultDecision on_send(NodeId from, NodeId to, util::Rng& rng);
+
+  const FaultCounters& counters() const { return counters_; }
+
+  /// Reports every injected fault into \p registry under the
+  /// obs/names.hpp `pqra_faults_*` instruments.
+  void bind_metrics(obs::Registry& registry);
+
+ private:
+  struct Instruments {
+    obs::Counter* injected = nullptr;
+    obs::Counter* crashes = nullptr;
+    obs::Counter* recoveries = nullptr;
+    obs::Counter* msg_dropped = nullptr;
+    obs::Counter* msg_duplicated = nullptr;
+    obs::Counter* msg_delayed = nullptr;
+  };
+
+  void count_drop(std::uint64_t FaultCounters::*slot);
+
+  std::vector<bool> crashed_;
+  std::vector<double> slow_;
+  /// Partition group per node; kNoGroup = unrestricted.
+  std::vector<std::uint32_t> group_;
+  bool partitioned_ = false;
+  MessageFaults message_;
+  FaultCounters counters_;
+  std::size_t num_crashed_ = 0;
+  Instruments instruments_;
+
+  static constexpr std::uint32_t kNoGroup = 0xFFFFFFFFu;
+};
+
+}  // namespace pqra::net

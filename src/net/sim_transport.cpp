@@ -13,7 +13,7 @@ SimTransport::SimTransport(sim::Simulator& simulator,
       delay_model_(delay_model),
       rng_(rng.fork(0x7261705f74726e73ULL)),
       receivers_(max_nodes, nullptr),
-      crashed_(max_nodes, false) {
+      faults_(max_nodes) {
   stats_.received_by_node.assign(max_nodes, 0);
 }
 
@@ -24,24 +24,12 @@ void SimTransport::register_receiver(NodeId node, Receiver* receiver) {
   receivers_[node] = receiver;
 }
 
-void SimTransport::send(NodeId from, NodeId to, Message msg) {
-  PQRA_REQUIRE(from < receivers_.size() && to < receivers_.size(),
-               "node id out of range");
-  PQRA_REQUIRE(receivers_[to] != nullptr, "destination not registered");
-  ++stats_.total;
-  ++stats_.by_type[static_cast<std::size_t>(msg.type)];
-  if (metrics_.has_value()) metrics_->on_send(msg);
-  if (crashed_[from] || crashed_[to] ||
-      (drop_probability_ > 0.0 && rng_.bernoulli(drop_probability_))) {
-    ++stats_.dropped;
-    if (metrics_.has_value()) metrics_->on_drop();
-    return;
-  }
-  sim::Time delay = delay_model_.sample(rng_);
+void SimTransport::deliver_after(sim::Time delay, NodeId from, NodeId to,
+                                 Message msg) {
   simulator_.schedule_in(
       delay, [this, from, to, m = std::move(msg)]() mutable {
         // Re-check the destination: it may have crashed in flight.
-        if (crashed_[to]) {
+        if (faults_.is_crashed(to)) {
           ++stats_.dropped;
           if (metrics_.has_value()) metrics_->on_drop();
           return;
@@ -51,30 +39,42 @@ void SimTransport::send(NodeId from, NodeId to, Message msg) {
       });
 }
 
+void SimTransport::send(NodeId from, NodeId to, Message msg) {
+  PQRA_REQUIRE(from < receivers_.size() && to < receivers_.size(),
+               "node id out of range");
+  PQRA_REQUIRE(receivers_[to] != nullptr, "destination not registered");
+  ++stats_.total;
+  ++stats_.by_type[static_cast<std::size_t>(msg.type)];
+  if (metrics_.has_value()) metrics_->on_send(msg);
+  FaultDecision fault = faults_.on_send(from, to, rng_);
+  if (fault.drop) {
+    ++stats_.dropped;
+    if (metrics_.has_value()) metrics_->on_drop();
+    return;
+  }
+  sim::Time delay =
+      delay_model_.sample(rng_) * fault.delay_factor + fault.extra_delay;
+  if (fault.duplicate) {
+    // The copy gets its own independently sampled delay, so the two copies
+    // may arrive in either order.
+    sim::Time copy_delay =
+        delay_model_.sample(rng_) * fault.delay_factor + fault.extra_delay;
+    deliver_after(copy_delay, from, to, msg);
+  }
+  deliver_after(delay, from, to, std::move(msg));
+}
+
 MessageStats SimTransport::stats() const { return stats_; }
 
 void SimTransport::bind_metrics(obs::Registry& registry) {
   metrics_.emplace(registry);
 }
 
-void SimTransport::crash(NodeId node) {
-  PQRA_REQUIRE(node < crashed_.size(), "node id out of range");
-  crashed_[node] = true;
-}
-
-void SimTransport::recover(NodeId node) {
-  PQRA_REQUIRE(node < crashed_.size(), "node id out of range");
-  crashed_[node] = false;
-}
-
-bool SimTransport::is_crashed(NodeId node) const {
-  PQRA_REQUIRE(node < crashed_.size(), "node id out of range");
-  return crashed_[node];
-}
-
 void SimTransport::set_drop_probability(double p) {
   PQRA_REQUIRE(p >= 0.0 && p < 1.0, "drop probability must be in [0, 1)");
-  drop_probability_ = p;
+  MessageFaults faults = faults_.message_faults();
+  faults.drop_probability = p;
+  faults_.set_message_faults(faults);
 }
 
 }  // namespace pqra::net

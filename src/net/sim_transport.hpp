@@ -6,13 +6,14 @@
 /// Matches the paper's model: every message sent (between live nodes) is
 /// eventually received, delays come from a pluggable DelayModel, and there is
 /// no duplication or reordering guarantee beyond what the delays induce.
-/// Fault injection (node crashes, link drop probability) is available for
-/// the availability experiments; the paper's own runs use none.
+/// Fault injection (crashes, partitions, slow nodes, message loss — see
+/// net/faults.hpp) is available for the availability experiments; the
+/// paper's own runs use none.
 
 #include <optional>
-#include <unordered_set>
 #include <vector>
 
+#include "net/faults.hpp"
 #include "net/transport.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
@@ -31,10 +32,16 @@ class SimTransport final : public Transport {
   void register_receiver(NodeId node, Receiver* receiver) override;
   MessageStats stats() const override;
 
-  /// Crashed nodes silently lose all traffic to and from them.
-  void crash(NodeId node);
-  void recover(NodeId node);
-  bool is_crashed(NodeId node) const;
+  /// Full fault state of this network (crash/partition/slow/message faults).
+  /// Fault draws share the transport's RNG stream, but only happen for fault
+  /// types that are enabled, so fault-free runs replay unchanged.
+  FaultInjector& faults() { return faults_; }
+  const FaultInjector& faults() const { return faults_; }
+
+  // Convenience wrappers kept for existing call sites.
+  void crash(NodeId node) { faults_.crash(node); }
+  void recover(NodeId node) { faults_.recover(node); }
+  bool is_crashed(NodeId node) const { return faults_.is_crashed(node); }
 
   /// Independently drops each message with probability \p p (default 0).
   void set_drop_probability(double p);
@@ -45,12 +52,13 @@ class SimTransport final : public Transport {
   void bind_metrics(obs::Registry& registry);
 
  private:
+  void deliver_after(sim::Time delay, NodeId from, NodeId to, Message msg);
+
   sim::Simulator& simulator_;
   sim::DelayModel& delay_model_;
   util::Rng rng_;
   std::vector<Receiver*> receivers_;
-  std::vector<bool> crashed_;
-  double drop_probability_ = 0.0;
+  FaultInjector faults_;
   MessageStats stats_;
   std::optional<TransportMetrics> metrics_;
 };

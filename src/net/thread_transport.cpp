@@ -1,12 +1,24 @@
 #include "net/thread_transport.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/check.hpp"
 
 namespace pqra::net {
 
-ThreadTransport::ThreadTransport(NodeId max_nodes) {
+namespace {
+using Clock = std::chrono::steady_clock;
+
+Clock::time_point delay_to_ready(double seconds) {
+  return Clock::now() +
+         std::chrono::duration_cast<Clock::duration>(
+             std::chrono::duration<double>(seconds));
+}
+}  // namespace
+
+ThreadTransport::ThreadTransport(NodeId max_nodes, std::uint64_t fault_seed)
+    : faults_(max_nodes), fault_rng_(fault_seed) {
   mailboxes_.reserve(max_nodes);
   for (NodeId i = 0; i < max_nodes; ++i) {
     mailboxes_.push_back(std::make_unique<Mailbox>());
@@ -14,12 +26,38 @@ ThreadTransport::ThreadTransport(NodeId max_nodes) {
   stats_.received_by_node.assign(max_nodes, 0);
 }
 
+void ThreadTransport::enqueue(NodeId to, Timed entry) {
+  Mailbox& box = *mailboxes_[to];
+  {
+    std::lock_guard lock(box.mutex);
+    if (entry.ready == Clock::time_point{} || box.queue.empty() ||
+        box.queue.back().ready <= entry.ready) {
+      box.queue.push_back(std::move(entry));
+    } else {
+      // Delayed copy overtaken by nothing: keep the queue sorted by ready
+      // time so recv() only ever has to look at the front.
+      auto pos = std::upper_bound(
+          box.queue.begin(), box.queue.end(), entry,
+          [](const Timed& a, const Timed& b) { return a.ready < b.ready; });
+      box.queue.insert(pos, std::move(entry));
+    }
+  }
+  box.cv.notify_one();
+}
+
 void ThreadTransport::send(NodeId from, NodeId to, Message msg) {
   PQRA_REQUIRE(from < mailboxes_.size() && to < mailboxes_.size(),
                "node id out of range");
+  FaultDecision fault;
   {
     std::lock_guard lock(stats_mutex_);
     if (closed_) {
+      ++stats_.dropped;
+      if (metrics_.has_value()) metrics_->on_drop();
+      return;
+    }
+    fault = faults_.on_send(from, to, fault_rng_);
+    if (fault.drop) {
       ++stats_.dropped;
       if (metrics_.has_value()) metrics_->on_drop();
       return;
@@ -29,23 +67,45 @@ void ThreadTransport::send(NodeId from, NodeId to, Message msg) {
     ++stats_.received_by_node[to];
     if (metrics_.has_value()) metrics_->on_send(msg);
   }
-  Mailbox& box = *mailboxes_[to];
-  {
-    std::lock_guard lock(box.mutex);
-    box.queue.push_back(Envelope{from, std::move(msg)});
-  }
-  box.cv.notify_one();
+  Clock::time_point ready = fault.extra_delay > 0.0
+                                ? delay_to_ready(fault.extra_delay)
+                                : Clock::time_point{};
+  if (fault.duplicate) enqueue(to, Timed{Envelope{from, msg}, ready});
+  enqueue(to, Timed{Envelope{from, std::move(msg)}, ready});
 }
 
 std::optional<Envelope> ThreadTransport::recv(NodeId node) {
+  return recv_until(node, Clock::time_point::max());
+}
+
+std::optional<Envelope> ThreadTransport::recv_until(
+    NodeId node, Clock::time_point deadline) {
   PQRA_REQUIRE(node < mailboxes_.size(), "node id out of range");
   Mailbox& box = *mailboxes_[node];
   std::unique_lock lock(box.mutex);
-  box.cv.wait(lock, [this, &box] { return !box.queue.empty() || closed(); });
-  if (box.queue.empty()) return std::nullopt;
-  Envelope env = std::move(box.queue.front());
-  box.queue.pop_front();
-  return env;
+  for (;;) {
+    if (closed()) {
+      // Drain what is queued, ignoring injected delays, then report closed.
+      if (box.queue.empty()) return std::nullopt;
+      Envelope env = std::move(box.queue.front().env);
+      box.queue.pop_front();
+      return env;
+    }
+    Clock::time_point now = Clock::now();
+    if (!box.queue.empty() && box.queue.front().ready <= now) {
+      Envelope env = std::move(box.queue.front().env);
+      box.queue.pop_front();
+      return env;
+    }
+    if (now >= deadline) return std::nullopt;
+    Clock::time_point until = deadline;
+    if (!box.queue.empty()) until = std::min(until, box.queue.front().ready);
+    if (until == Clock::time_point::max()) {
+      box.cv.wait(lock);
+    } else {
+      box.cv.wait_until(lock, until);
+    }
+  }
 }
 
 std::optional<Envelope> ThreadTransport::try_recv(NodeId node) {
@@ -53,7 +113,8 @@ std::optional<Envelope> ThreadTransport::try_recv(NodeId node) {
   Mailbox& box = *mailboxes_[node];
   std::lock_guard lock(box.mutex);
   if (box.queue.empty()) return std::nullopt;
-  Envelope env = std::move(box.queue.front());
+  if (!closed() && box.queue.front().ready > Clock::now()) return std::nullopt;
+  Envelope env = std::move(box.queue.front().env);
   box.queue.pop_front();
   return env;
 }
@@ -77,6 +138,59 @@ bool ThreadTransport::closed() const {
 MessageStats ThreadTransport::stats() const {
   std::lock_guard lock(stats_mutex_);
   return stats_;
+}
+
+void ThreadTransport::crash(NodeId node) {
+  std::lock_guard lock(stats_mutex_);
+  faults_.crash(node);
+}
+
+void ThreadTransport::recover(NodeId node) {
+  std::lock_guard lock(stats_mutex_);
+  faults_.recover(node);
+}
+
+bool ThreadTransport::is_crashed(NodeId node) const {
+  std::lock_guard lock(stats_mutex_);
+  return faults_.is_crashed(node);
+}
+
+void ThreadTransport::set_slow(NodeId node, double factor) {
+  std::lock_guard lock(stats_mutex_);
+  faults_.set_slow(node, factor);
+}
+
+void ThreadTransport::clear_slow(NodeId node) {
+  std::lock_guard lock(stats_mutex_);
+  faults_.clear_slow(node);
+}
+
+void ThreadTransport::partition(
+    const std::vector<std::vector<NodeId>>& groups) {
+  std::lock_guard lock(stats_mutex_);
+  faults_.partition(groups);
+}
+
+void ThreadTransport::heal() {
+  std::lock_guard lock(stats_mutex_);
+  faults_.heal();
+}
+
+void ThreadTransport::set_message_faults(const MessageFaults& faults) {
+  std::lock_guard lock(stats_mutex_);
+  faults_.set_message_faults(faults);
+}
+
+FaultCounters ThreadTransport::fault_counters() const {
+  std::lock_guard lock(stats_mutex_);
+  return faults_.counters();
+}
+
+void ThreadTransport::bind_fault_metrics(obs::Registry& registry) {
+  PQRA_REQUIRE(registry.mode() == obs::Concurrency::kThreadSafe,
+               "ThreadTransport needs a thread-safe registry");
+  std::lock_guard lock(stats_mutex_);
+  faults_.bind_metrics(registry);
 }
 
 void ThreadTransport::bind_metrics(obs::Registry& registry) {

@@ -8,7 +8,15 @@
 /// from their mailbox, which matches how the blocking register client and
 /// threaded servers are written.  close() releases all blocked receivers so
 /// the runtime can shut down cleanly.
+///
+/// Fault injection: the transport owns a FaultInjector (net/faults.hpp)
+/// consulted on every send under the transport mutex.  Dropped messages
+/// vanish; delayed messages are enqueued with a wall-clock ready time and
+/// withheld from recv() until it passes.  All fault state is mutated through
+/// the locking wrappers below — typically by a LiveFaultDriver replaying a
+/// FaultPlan — so it is safe against concurrent senders.
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <memory>
@@ -18,8 +26,10 @@
 
 #include "obs/metrics.hpp"
 
+#include "net/faults.hpp"
 #include "net/message.hpp"
 #include "net/transport.hpp"
+#include "util/rng.hpp"
 
 namespace pqra::net {
 
@@ -31,26 +41,54 @@ struct Envelope {
 
 class ThreadTransport {
  public:
-  explicit ThreadTransport(NodeId max_nodes);
+  explicit ThreadTransport(NodeId max_nodes, std::uint64_t fault_seed = 1);
 
   /// Enqueues \p msg into \p to's mailbox.  Thread-safe.  Messages sent
-  /// after close() are dropped.
+  /// after close() are dropped, as are messages the fault injector drops.
   void send(NodeId from, NodeId to, Message msg);
 
   /// Blocks until a message for \p node arrives or the transport is closed.
   /// Returns nullopt on close with an empty mailbox.
   std::optional<Envelope> recv(NodeId node);
 
+  /// Like recv() but gives up at \p deadline; nullopt on timeout or close.
+  std::optional<Envelope> recv_until(
+      NodeId node, std::chrono::steady_clock::time_point deadline);
+
   /// Non-blocking variant; nullopt when the mailbox is empty.
   std::optional<Envelope> try_recv(NodeId node);
 
   /// Wakes all blocked receivers; subsequent recv() drains remaining
-  /// messages and then returns nullopt.
+  /// messages (ignoring injected delays) and then returns nullopt.
   void close();
 
   bool closed() const;
 
   MessageStats stats() const;
+
+  // -- fault injection (all thread-safe wrappers over the owned injector) ---
+
+  /// Crashed nodes silently lose all traffic to and from them.
+  void crash(NodeId node);
+  void recover(NodeId node);
+  bool is_crashed(NodeId node) const;
+
+  /// Delay scaling for \p node; with no base delay model, slow factors only
+  /// take effect by scaling MessageFaults::extra_delay (seconds).
+  void set_slow(NodeId node, double factor);
+  void clear_slow(NodeId node);
+
+  /// Partition/heal, same semantics as FaultInjector.
+  void partition(const std::vector<std::vector<NodeId>>& groups);
+  void heal();
+
+  /// Message-level faults; delays are in seconds on this runtime.
+  void set_message_faults(const MessageFaults& faults);
+
+  FaultCounters fault_counters() const;
+
+  /// Reports injected faults into \p registry (must be thread-safe).
+  void bind_fault_metrics(obs::Registry& registry);
 
   /// Routes message/drop/byte counts into \p registry in addition to the
   /// legacy MessageStats snapshot.  The registry must be thread-safe
@@ -59,17 +97,27 @@ class ThreadTransport {
   void bind_metrics(obs::Registry& registry);
 
  private:
+  /// Mailbox entry: deliverable once `ready` has passed (injected delay).
+  struct Timed {
+    Envelope env;
+    std::chrono::steady_clock::time_point ready;
+  };
+
   struct Mailbox {
     std::mutex mutex;
     std::condition_variable cv;
-    std::deque<Envelope> queue;
+    std::deque<Timed> queue;
   };
+
+  void enqueue(NodeId to, Timed entry);
 
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
 
   mutable std::mutex stats_mutex_;
   MessageStats stats_;
   std::optional<TransportMetrics> metrics_;
+  FaultInjector faults_;
+  util::Rng fault_rng_;
   bool closed_ = false;
 };
 

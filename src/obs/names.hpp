@@ -21,6 +21,26 @@ inline constexpr const char* kClientWriteBacks =
 inline constexpr const char* kClientReadLatency = "pqra_client_read_latency";
 inline constexpr const char* kClientWriteLatency = "pqra_client_write_latency";
 inline constexpr const char* kClientStaleDepth = "pqra_client_stale_depth";
+// Recovery policy (docs/FAULTS.md): degraded completions accepted at the
+// operation deadline, and operations that failed outright.
+inline constexpr const char* kClientDegradedReads =
+    "pqra_client_degraded_reads_total";
+inline constexpr const char* kClientDegradedWrites =
+    "pqra_client_degraded_writes_total";
+inline constexpr const char* kClientOpFailures =
+    "pqra_client_op_failures_total";
+
+// Fault injection (net/faults.hpp), aggregated over the whole network.
+inline constexpr const char* kFaultsInjected = "pqra_faults_injected_total";
+inline constexpr const char* kFaultsCrashes = "pqra_faults_crashes_total";
+inline constexpr const char* kFaultsRecoveries =
+    "pqra_faults_recoveries_total";
+inline constexpr const char* kFaultsMsgDropped =
+    "pqra_faults_messages_dropped_total";
+inline constexpr const char* kFaultsMsgDuplicated =
+    "pqra_faults_messages_duplicated_total";
+inline constexpr const char* kFaultsMsgDelayed =
+    "pqra_faults_messages_delayed_total";
 
 // Replica servers (DES ServerProcess + ThreadedServer).
 inline constexpr const char* kServerRequests = "pqra_server_requests_total";

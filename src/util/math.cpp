@@ -40,6 +40,19 @@ double quorum_overlap_probability(std::uint64_t n, std::uint64_t k) {
   return 1.0 - quorum_nonoverlap_probability(n, k);
 }
 
+double asymmetric_nonoverlap_probability(std::uint64_t n, std::uint64_t k1,
+                                         std::uint64_t k2) {
+  PQRA_REQUIRE(k1 >= 1 && k1 <= n, "fixed subset size must be in [1, n]");
+  PQRA_REQUIRE(k2 >= 1 && k2 <= n, "chosen subset size must be in [1, n]");
+  if (k1 + k2 > n) return 0.0;
+  // C(n-k1, k2) / C(n, k2) = prod_{i=0}^{k2-1} (n - k1 - i) / (n - i).
+  double p = 1.0;
+  for (std::uint64_t i = 0; i < k2; ++i) {
+    p *= static_cast<double>(n - k1 - i) / static_cast<double>(n - i);
+  }
+  return p;
+}
+
 double nonoverlap_upper_bound(std::uint64_t n, std::uint64_t k) {
   PQRA_REQUIRE(k >= 1 && k <= n, "quorum size must be in [1, n]");
   return std::pow(static_cast<double>(n - k) / static_cast<double>(n),

@@ -30,6 +30,13 @@ double quorum_nonoverlap_probability(std::uint64_t n, std::uint64_t k);
 /// a fixed write quorum, q = 1 - C(n-k,k)/C(n,k).
 double quorum_overlap_probability(std::uint64_t n, std::uint64_t k);
 
+/// Asymmetric variant: probability that a uniformly chosen k2-subset misses
+/// a fixed k1-subset of an n-set, C(n-k1, k2) / C(n, k2).  Used for the
+/// degraded-mode staleness bound where a retrying client settles for an
+/// access set smaller than the configured quorum (docs/FAULTS.md).
+double asymmetric_nonoverlap_probability(std::uint64_t n, std::uint64_t k1,
+                                         std::uint64_t k2);
+
 /// The upper bound on the nonoverlap probability used in Corollary 7:
 /// ((n-k)/n)^k, which dominates C(n-k,k)/C(n,k) (Prop. 3.2 of Malkhi et al.).
 double nonoverlap_upper_bound(std::uint64_t n, std::uint64_t k);

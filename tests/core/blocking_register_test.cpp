@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -137,6 +138,78 @@ TEST(BlockingRegisterTest, ShutdownUnblocksClient) {
   });
   t.join();
   EXPECT_TRUE(got_nullopt);
+}
+
+TEST(BlockingRegisterTest, TimesOutInsteadOfBlockingOnACrashedQuorum) {
+  // Regression for the fault-injection ISSUE: with every server crashed an
+  // operation used to block forever; under a deadline policy it must return
+  // nullopt with last_status() == kTimedOut.
+  quorum::ProbabilisticQuorums qs(4, 2);
+  ThreadedCluster cluster(4, 1, /*preload_registers=*/1);
+  for (net::NodeId s = 0; s < 4; ++s) cluster.transport.crash(s);
+
+  RetryPolicy retry;
+  retry.rpc_timeout = 0.01;
+  retry.deadline = 0.05;
+  BlockingRegisterClient client(cluster.transport, 4, qs, 0, util::Rng(1),
+                                /*monotone=*/false, /*metrics=*/nullptr,
+                                retry);
+  EXPECT_FALSE(client.read(0).has_value());
+  EXPECT_EQ(client.last_status(), OpStatus::kTimedOut);
+  EXPECT_FALSE(client.write(0, util::encode<std::int64_t>(1)).has_value());
+  EXPECT_EQ(client.last_status(), OpStatus::kTimedOut);
+  EXPECT_EQ(client.op_failures(), 2u);
+  EXPECT_GT(client.retries(), 0u);
+}
+
+TEST(BlockingRegisterTest, RetriesThroughATransientCrash) {
+  quorum::ProbabilisticQuorums qs(3, 3);
+  ThreadedCluster cluster(3, 1, /*preload_registers=*/1);
+  cluster.transport.crash(0);
+
+  RetryPolicy retry;
+  retry.rpc_timeout = 0.02;
+  retry.backoff_factor = 1.0;
+  BlockingRegisterClient client(cluster.transport, 3, qs, 0, util::Rng(1),
+                                /*monotone=*/false, /*metrics=*/nullptr,
+                                retry);
+  std::thread healer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    cluster.transport.recover(0);
+  });
+  // No deadline: the read keeps retrying and completes once node 0 is back.
+  auto r = client.read(0);
+  healer.join();
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->status, OpStatus::kOk);
+  EXPECT_EQ(r->acks, 3u);
+  EXPECT_GT(client.retries(), 0u);
+}
+
+TEST(BlockingRegisterTest, DegradedReadReportsPartialAccessSet) {
+  // Only server 0 is alive; a degraded-ok policy settles at the deadline
+  // with however many acks accumulated and a nonzero staleness bound.
+  quorum::ProbabilisticQuorums qs(4, 3);
+  ThreadedCluster cluster(4, 1, /*preload_registers=*/1);
+  for (net::NodeId s = 1; s < 4; ++s) cluster.transport.crash(s);
+
+  RetryPolicy retry;
+  retry.rpc_timeout = 0.02;
+  retry.backoff_factor = 1.0;
+  retry.deadline = 0.4;
+  retry.degraded_ok = true;
+  retry.min_degraded_acks = 1;
+  BlockingRegisterClient client(cluster.transport, 4, qs, 0, util::Rng(1),
+                                /*monotone=*/false, /*metrics=*/nullptr,
+                                retry);
+  auto r = client.read(0);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->status, OpStatus::kDegraded);
+  EXPECT_EQ(client.last_status(), OpStatus::kDegraded);
+  EXPECT_GE(r->acks, 1u);
+  EXPECT_LT(r->acks, 3u);
+  EXPECT_GT(r->staleness_bound, 0.0);
+  EXPECT_LE(r->staleness_bound, 1.0);
 }
 
 }  // namespace

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/spec/probabilistic_checks.hpp"
+#include "quorum/probabilistic.hpp"
+#include "util/math.hpp"
+
+/// Statistical [R3]/[R5] validation under server crashes (ISSUE satellite:
+/// the geometric stale-read tail survives faults).  With f servers crashed
+/// and clients retrying until their access set is fully live, every quorum
+/// is a uniform k-subset of the n' = n - f live servers — so Theorems 1 and
+/// 4 hold verbatim with n replaced by n'.
+
+namespace pqra::core::spec {
+namespace {
+
+std::vector<quorum::ServerId> first_f(std::size_t f) {
+  std::vector<quorum::ServerId> crashed;
+  for (std::size_t s = 0; s < f; ++s) {
+    crashed.push_back(static_cast<quorum::ServerId>(s));
+  }
+  return crashed;
+}
+
+TEST(FaultyR5Test, NoCrashesMatchesTheUnfaultedSampler) {
+  util::Rng rng_a(11), rng_b(11);
+  quorum::ProbabilisticQuorums qs(34, 4);
+  auto plain = r5_y_samples(qs, 2000, rng_a);
+  auto faulted = r5_y_samples_under_crashes(qs, 2000, rng_b, {});
+  EXPECT_EQ(plain, faulted);  // no crashes => rejection never triggers
+}
+
+TEST(FaultyR5Test, MeanMatchesLiveServerCount) {
+  // E[Y] = 1/q' with q' computed at n' = n - f.
+  util::Rng rng(13);
+  quorum::ProbabilisticQuorums qs(34, 4);
+  for (std::size_t f : {5u, 10u, 17u}) {
+    auto samples = r5_y_samples_under_crashes(qs, 20000, rng, first_f(f));
+    double mean = std::accumulate(samples.begin(), samples.end(), 0.0) /
+                  static_cast<double>(samples.size());
+    double expected = util::expected_reads_until_overlap(34 - f, 4);
+    EXPECT_NEAR(mean, expected, 0.05 * expected + 0.05) << "f=" << f;
+  }
+}
+
+TEST(FaultyR5Test, TailStaysGeometricUnderCrashes) {
+  // [R5] with n' live servers: P(Y > r) <= (1-q')^r.
+  util::Rng rng(17);
+  quorum::ProbabilisticQuorums qs(34, 3);
+  const std::size_t f = 10;
+  double q = util::quorum_overlap_probability(34 - f, 3);
+  auto samples = r5_y_samples_under_crashes(qs, 30000, rng, first_f(f));
+  for (std::size_t r : {1u, 2u, 5u, 10u}) {
+    double tail = 0;
+    for (auto y : samples) {
+      if (y > r) ++tail;
+    }
+    tail /= static_cast<double>(samples.size());
+    double bound = std::pow(1.0 - q, static_cast<double>(r));
+    EXPECT_LE(tail, bound + 0.02) << "r=" << r;
+  }
+}
+
+TEST(FaultyR5Test, CrashesShortenTheTail) {
+  // Fewer live servers => denser overlap => stochastically smaller Y.
+  util::Rng rng(19);
+  quorum::ProbabilisticQuorums qs(34, 4);
+  auto healthy = r5_y_samples(qs, 20000, rng);
+  auto faulted = r5_y_samples_under_crashes(qs, 20000, rng, first_f(17));
+  auto mean = [](const std::vector<std::uint64_t>& v) {
+    return std::accumulate(v.begin(), v.end(), 0.0) /
+           static_cast<double>(v.size());
+  };
+  EXPECT_LT(mean(faulted), mean(healthy));
+}
+
+TEST(FaultyR3Test, SurvivalBoundHoldsAtTheLiveServerCount) {
+  // Theorem 1 at n': P[W's quorum survives l writes] <= k ((n'-k)/n')^l.
+  util::Rng rng(23);
+  quorum::ProbabilisticQuorums qs(34, 4);
+  const std::size_t f = 10;
+  for (std::size_t l : {5u, 10u, 20u, 40u}) {
+    double rate = r3_survival_rate_under_crashes(qs, l, 4000, rng, first_f(f));
+    double bound = util::r3_survival_bound(34 - f, 4, l);
+    EXPECT_LE(rate, bound + 0.02) << "l=" << l;
+  }
+}
+
+TEST(FaultyR3Test, CrashesAccelerateOverwriting) {
+  // With fewer live servers each subsequent write covers a larger fraction
+  // of them, so the target quorum is overwritten sooner.
+  util::Rng rng(29);
+  quorum::ProbabilisticQuorums qs(34, 4);
+  const std::size_t l = 10;
+  double healthy = r3_survival_rate(qs, l, 4000, rng);
+  double faulted = r3_survival_rate_under_crashes(qs, l, 4000, rng,
+                                                  first_f(17));
+  EXPECT_LT(faulted, healthy);
+}
+
+}  // namespace
+}  // namespace pqra::core::spec

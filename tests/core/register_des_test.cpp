@@ -218,7 +218,7 @@ TEST(RegisterDesTest, ParallelReadsOfDistinctRegistersComplete) {
 TEST(RegisterDesTest, RetryRecoversFromCrashedServers) {
   quorum::ProbabilisticQuorums qs(10, 3);
   ClientOptions options;
-  options.retry_timeout = 10.0;
+  options.retry = RetryPolicy::fixed(10.0);
   Cluster c(10, 1, qs, options);
   // Crash 6 of 10 servers; 4 alive >= k = 3, so retries eventually find a
   // live quorum.

@@ -154,7 +154,7 @@ TEST(FullStackTest, LossyNetworkWithRetriesStillConvergesAndSatisfiesR2) {
   history.record_initial(0);
   core::ClientOptions copts;
   copts.monotone = true;
-  copts.retry_timeout = 6.0;
+  copts.retry = core::RetryPolicy::fixed(6.0);
   core::QuorumRegisterClient writer(sim, transport, 10, qs, 0,
                                     master.fork(2), copts, &history);
   core::QuorumRegisterClient reader(sim, transport, 11, qs, 0,
@@ -198,7 +198,7 @@ TEST_P(LossSweep, RegisterSurvivesMessageLossWithRetries) {
   history.record_initial(0);
   core::ClientOptions copts;
   copts.monotone = true;
-  copts.retry_timeout = 8.0;
+  copts.retry = core::RetryPolicy::fixed(8.0);
   core::QuorumRegisterClient client(sim, transport, 10, qs, 0,
                                     master.fork(2), copts, &history);
   int completed = 0;

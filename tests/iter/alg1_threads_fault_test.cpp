@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "apps/apsp.hpp"
+#include "apps/graph.hpp"
+#include "iter/alg1_threads.hpp"
+#include "net/fault_plan.hpp"
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
+#include "quorum/probabilistic.hpp"
+
+/// Fault injection on the real-threads runtime (ISSUE satellite): a
+/// LiveFaultDriver crashes and recovers ThreadedServers in scaled wall-clock
+/// time while the workers iterate; the retry policy carries them through and
+/// the run still converges.  Suite name starts with "Alg1Threads" so the
+/// PQRA_SANITIZE=thread CI job's --gtest_filter picks these up.
+
+namespace pqra::iter {
+namespace {
+
+core::RetryPolicy fast_retry() {
+  core::RetryPolicy retry;  // wall-clock seconds on this runtime
+  retry.rpc_timeout = 0.05;
+  retry.backoff_factor = 1.5;
+  retry.max_backoff = 0.2;
+  retry.jitter = 0.1;
+  return retry;
+}
+
+TEST(Alg1ThreadsFaultTest, ConvergesThroughCrashAndRecover) {
+  apps::Graph g = apps::make_chain(6);
+  apps::ApspOperator op(g);
+  quorum::ProbabilisticQuorums qs(8, 3);
+
+  // Server 0 is down from the start for ~150 ms (plan time 30 at 5 ms per
+  // unit), so the first rounds are guaranteed to run against a crashed
+  // server; server 5 follows shortly after.
+  net::FaultPlan plan;
+  plan.outage(0, 0.0, 30.0);
+  plan.outage(5, 2.0, 30.0);
+
+  Alg1ThreadsOptions options;
+  options.quorums = &qs;
+  options.fault_plan = &plan;
+  options.seconds_per_time_unit = 0.005;
+  options.retry = fast_retry();
+  Alg1ThreadsResult r = run_alg1_threads(op, options);
+  EXPECT_TRUE(r.converged);
+  // The t=0 crash always lands; the second only if the run is still going.
+  EXPECT_GE(r.faults.crashes, 1u);
+  EXPECT_GT(r.retries, 0u);
+}
+
+TEST(Alg1ThreadsFaultTest, ConvergesUnderMessageDrops) {
+  apps::Graph g = apps::make_chain(5);
+  apps::ApspOperator op(g);
+  quorum::ProbabilisticQuorums qs(6, 3);
+
+  net::FaultPlan plan;
+  net::MessageFaults message;
+  message.drop_probability = 0.05;
+  message.duplicate_probability = 0.02;
+  plan.with_message_faults(message);
+
+  Alg1ThreadsOptions options;
+  options.quorums = &qs;
+  options.fault_plan = &plan;
+  options.seconds_per_time_unit = 0.005;
+  options.retry = fast_retry();
+  Alg1ThreadsResult r = run_alg1_threads(op, options);
+  EXPECT_TRUE(r.converged);
+  EXPECT_GT(r.faults.random_drops, 0u);
+}
+
+TEST(Alg1ThreadsFaultTest, FaultAndRetryMetricsReachTheRegistry) {
+  apps::Graph g = apps::make_chain(5);
+  apps::ApspOperator op(g);
+  quorum::ProbabilisticQuorums qs(6, 3);
+
+  net::FaultPlan plan;
+  plan.outage(0, 0.0, 20.0);
+
+  obs::Registry registry(obs::Concurrency::kThreadSafe);
+  Alg1ThreadsOptions options;
+  options.quorums = &qs;
+  options.metrics = &registry;
+  options.fault_plan = &plan;
+  options.seconds_per_time_unit = 0.005;
+  options.retry = fast_retry();
+  Alg1ThreadsResult r = run_alg1_threads(op, options);
+  EXPECT_TRUE(r.converged);
+
+  namespace n = obs::names;
+  EXPECT_GE(registry.counter(n::kFaultsCrashes).value(), 1u);
+  EXPECT_EQ(registry.counter(n::kClientRetries).value(), r.retries);
+  EXPECT_EQ(registry.counter(n::kFaultsCrashes).value(), r.faults.crashes);
+}
+
+}  // namespace
+}  // namespace pqra::iter

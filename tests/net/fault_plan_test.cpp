@@ -69,7 +69,7 @@ TEST(FaultPlanTest, ChurnIsDeterministicGivenSeed) {
   for (std::size_t i = 0; i < p1.events().size(); ++i) {
     EXPECT_DOUBLE_EQ(p1.events()[i].at, p2.events()[i].at);
     EXPECT_EQ(p1.events()[i].node, p2.events()[i].node);
-    EXPECT_EQ(p1.events()[i].crash, p2.events()[i].crash);
+    EXPECT_EQ(p1.events()[i].kind, p2.events()[i].kind);
   }
 }
 
@@ -77,6 +77,56 @@ TEST(FaultPlanTest, RejectsBadArguments) {
   FaultPlan plan;
   EXPECT_THROW(plan.crash_at(-1.0, 0), std::logic_error);
   EXPECT_THROW(plan.outage(0, 1.0, 0.0), std::logic_error);
+  EXPECT_THROW(plan.slow_at(1.0, 0, 0.5), std::logic_error);
+  EXPECT_THROW(plan.partition_at(1.0, {{0, 1}}), std::logic_error);
+}
+
+TEST(FaultPlanTest, ParseAcceptsFullGrammar) {
+  FaultPlan plan = FaultPlan::parse(
+      "crash:2@10;recover:2@50;outage:3@60-70;slow:1*4@5;noslow:1@25;"
+      "partition:0-2|3,4@30;heal@40;drop=0.02;dup=0.01;delay=0.5;"
+      "reorder=0.1:3");
+  ASSERT_EQ(plan.events().size(), 8u);
+  EXPECT_EQ(plan.events()[0].kind, FaultKind::kCrash);
+  EXPECT_EQ(plan.events()[0].node, 2u);
+  EXPECT_DOUBLE_EQ(plan.events()[0].at, 10.0);
+  EXPECT_EQ(plan.events()[1].kind, FaultKind::kRecover);
+  // outage expands to a crash/recover pair
+  EXPECT_EQ(plan.events()[2].kind, FaultKind::kCrash);
+  EXPECT_DOUBLE_EQ(plan.events()[2].at, 60.0);
+  EXPECT_EQ(plan.events()[3].kind, FaultKind::kRecover);
+  EXPECT_DOUBLE_EQ(plan.events()[3].at, 70.0);
+  EXPECT_EQ(plan.events()[4].kind, FaultKind::kSlow);
+  EXPECT_DOUBLE_EQ(plan.events()[4].factor, 4.0);
+  EXPECT_EQ(plan.events()[5].kind, FaultKind::kClearSlow);
+  const auto& part = plan.events()[6];
+  EXPECT_EQ(part.kind, FaultKind::kPartition);
+  ASSERT_EQ(part.groups.size(), 2u);
+  EXPECT_EQ(part.groups[0], (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_EQ(part.groups[1], (std::vector<NodeId>{3, 4}));
+  EXPECT_EQ(plan.events()[7].kind, FaultKind::kHeal);
+  const MessageFaults& mf = plan.message_faults();
+  EXPECT_DOUBLE_EQ(mf.drop_probability, 0.02);
+  EXPECT_DOUBLE_EQ(mf.duplicate_probability, 0.01);
+  EXPECT_DOUBLE_EQ(mf.extra_delay, 0.5);
+  EXPECT_DOUBLE_EQ(mf.reorder_probability, 0.1);
+  EXPECT_DOUBLE_EQ(mf.reorder_delay_max, 3.0);
+}
+
+TEST(FaultPlanTest, ParseRejectsBadClauses) {
+  EXPECT_THROW(FaultPlan::parse("crash:1"), std::logic_error);
+  EXPECT_THROW(FaultPlan::parse("explode:1@5"), std::logic_error);
+  EXPECT_THROW(FaultPlan::parse("slow:1@5"), std::logic_error);
+  EXPECT_THROW(FaultPlan::parse("outage:1@9-3"), std::logic_error);
+  EXPECT_THROW(FaultPlan::parse("frob=0.1"), std::logic_error);
+  EXPECT_THROW(FaultPlan::parse("drop=abc"), std::logic_error);
+}
+
+TEST(FaultPlanTest, EmptyConsidersMessageFaults) {
+  FaultPlan plan;
+  EXPECT_TRUE(plan.empty());
+  plan.with_message_faults(MessageFaults{.drop_probability = 0.1});
+  EXPECT_FALSE(plan.empty());
 }
 
 }  // namespace

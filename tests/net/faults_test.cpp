@@ -1,0 +1,156 @@
+#include "net/faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
+#include "util/rng.hpp"
+
+namespace pqra::net {
+namespace {
+
+TEST(FaultInjectorTest, DefaultInjectsNothing) {
+  FaultInjector faults(8);
+  util::Rng rng(1);
+  FaultDecision d = faults.on_send(0, 1, rng);
+  EXPECT_FALSE(d.drop);
+  EXPECT_FALSE(d.duplicate);
+  EXPECT_EQ(d.extra_delay, 0.0);
+  EXPECT_EQ(d.delay_factor, 1.0);
+  EXPECT_EQ(faults.counters().injected(), 0u);
+}
+
+TEST(FaultInjectorTest, NoFaultsLeaveTheRngStreamUntouched) {
+  // The deterministic-replay guarantee: a fault-free injector must not
+  // perturb the caller's random stream.
+  FaultInjector faults(8);
+  util::Rng used(42), untouched(42);
+  for (int i = 0; i < 100; ++i) faults.on_send(0, 1, used);
+  EXPECT_EQ(used.uniform01(), untouched.uniform01());
+}
+
+TEST(FaultInjectorTest, CrashDropsBothDirectionsUntilRecovery) {
+  FaultInjector faults(4);
+  util::Rng rng(1);
+  faults.crash(2);
+  EXPECT_TRUE(faults.is_crashed(2));
+  EXPECT_TRUE(faults.on_send(0, 2, rng).drop);  // to the crashed node
+  EXPECT_TRUE(faults.on_send(2, 0, rng).drop);  // from the crashed node
+  EXPECT_FALSE(faults.on_send(0, 1, rng).drop);
+  faults.recover(2);
+  EXPECT_FALSE(faults.is_crashed(2));
+  EXPECT_FALSE(faults.on_send(0, 2, rng).drop);
+  EXPECT_EQ(faults.counters().crashes, 1u);
+  EXPECT_EQ(faults.counters().recoveries, 1u);
+  EXPECT_EQ(faults.counters().crash_drops, 2u);
+}
+
+TEST(FaultInjectorTest, CrashAndRecoverAreIdempotent) {
+  FaultInjector faults(4);
+  faults.crash(1);
+  faults.crash(1);
+  EXPECT_EQ(faults.counters().crashes, 1u);
+  EXPECT_EQ(faults.num_crashed(), 1u);
+  faults.recover(1);
+  faults.recover(1);
+  faults.recover(3);  // never crashed
+  EXPECT_EQ(faults.counters().recoveries, 1u);
+  EXPECT_EQ(faults.num_crashed(), 0u);
+}
+
+TEST(FaultInjectorTest, PartitionSeversGroupsButNotOutsiders) {
+  FaultInjector faults(8);
+  util::Rng rng(1);
+  faults.partition({{0, 1}, {2, 3}});
+  EXPECT_TRUE(faults.partitioned(0, 2));
+  EXPECT_FALSE(faults.partitioned(0, 1));
+  EXPECT_TRUE(faults.on_send(0, 2, rng).drop);
+  EXPECT_FALSE(faults.on_send(0, 1, rng).drop);
+  // Node 5 is in no group: it talks across the partition (a client).
+  EXPECT_FALSE(faults.on_send(5, 0, rng).drop);
+  EXPECT_FALSE(faults.on_send(5, 3, rng).drop);
+  EXPECT_EQ(faults.counters().partition_drops, 1u);
+  faults.heal();
+  EXPECT_FALSE(faults.partitioned(0, 2));
+  EXPECT_FALSE(faults.on_send(0, 2, rng).drop);
+}
+
+TEST(FaultInjectorTest, SlowNodeFactorsCompound) {
+  FaultInjector faults(4);
+  util::Rng rng(1);
+  faults.set_slow(1, 4.0);
+  EXPECT_DOUBLE_EQ(faults.on_send(0, 1, rng).delay_factor, 4.0);
+  EXPECT_DOUBLE_EQ(faults.on_send(1, 0, rng).delay_factor, 4.0);
+  faults.set_slow(0, 2.0);
+  EXPECT_DOUBLE_EQ(faults.on_send(0, 1, rng).delay_factor, 8.0);
+  faults.clear_slow(1);
+  EXPECT_DOUBLE_EQ(faults.on_send(0, 1, rng).delay_factor, 2.0);
+  EXPECT_DOUBLE_EQ(faults.slow_factor(0), 2.0);
+}
+
+TEST(FaultInjectorTest, DropProbabilityOneLosesEveryMessage) {
+  FaultInjector faults(4);
+  util::Rng rng(1);
+  MessageFaults message;
+  message.drop_probability = 1.0;
+  faults.set_message_faults(message);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(faults.on_send(0, 1, rng).drop);
+  EXPECT_EQ(faults.counters().random_drops, 10u);
+}
+
+TEST(FaultInjectorTest, DuplicateAndDelayDecisions) {
+  FaultInjector faults(4);
+  util::Rng rng(1);
+  MessageFaults message;
+  message.duplicate_probability = 1.0;
+  message.extra_delay = 0.5;
+  message.reorder_probability = 1.0;
+  message.reorder_delay_max = 2.0;
+  faults.set_message_faults(message);
+  for (int i = 0; i < 20; ++i) {
+    FaultDecision d = faults.on_send(0, 1, rng);
+    EXPECT_FALSE(d.drop);
+    EXPECT_TRUE(d.duplicate);
+    // Fixed extra delay plus a uniform reorder delay in [0, 2).
+    EXPECT_GE(d.extra_delay, 0.5);
+    EXPECT_LT(d.extra_delay, 2.5);
+  }
+  EXPECT_EQ(faults.counters().duplicates, 20u);
+  EXPECT_EQ(faults.counters().delayed, 20u);
+}
+
+TEST(FaultInjectorTest, SlowFactorScalesTheExtraDelay) {
+  FaultInjector faults(4);
+  util::Rng rng(1);
+  MessageFaults message;
+  message.extra_delay = 1.0;
+  faults.set_message_faults(message);
+  faults.set_slow(1, 3.0);
+  FaultDecision d = faults.on_send(0, 1, rng);
+  EXPECT_DOUBLE_EQ(d.extra_delay, 3.0);
+  EXPECT_DOUBLE_EQ(d.delay_factor, 3.0);
+}
+
+TEST(FaultInjectorTest, MetricsMirrorTheCounters) {
+  obs::Registry registry(obs::Concurrency::kSingleThread);
+  FaultInjector faults(4);
+  faults.bind_metrics(registry);
+  util::Rng rng(1);
+  faults.crash(0);
+  faults.on_send(1, 0, rng);  // crash drop
+  faults.recover(0);
+  MessageFaults message;
+  message.drop_probability = 1.0;
+  faults.set_message_faults(message);
+  faults.on_send(1, 2, rng);  // random drop
+
+  namespace n = obs::names;
+  EXPECT_EQ(registry.counter(n::kFaultsCrashes).value(), 1u);
+  EXPECT_EQ(registry.counter(n::kFaultsRecoveries).value(), 1u);
+  EXPECT_EQ(registry.counter(n::kFaultsMsgDropped).value(), 2u);
+  // "All kinds" includes the crash event itself on top of the two drops.
+  EXPECT_EQ(registry.counter(n::kFaultsInjected).value(), 3u);
+}
+
+}  // namespace
+}  // namespace pqra::net

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 #include <vector>
 
@@ -106,6 +107,86 @@ TEST(ThreadTransportTest, RejectsOutOfRangeNodes) {
   ThreadTransport t(2);
   EXPECT_THROW(t.send(0, 5, Message::read_req(0, 1)), std::logic_error);
   EXPECT_THROW(t.try_recv(5), std::logic_error);
+}
+
+TEST(ThreadTransportTest, CrashedNodeLosesTraffic) {
+  ThreadTransport t(3);
+  t.crash(1);
+  t.send(0, 1, Message::read_req(0, 1));  // to the crashed node
+  t.send(1, 2, Message::read_req(0, 2));  // from the crashed node
+  EXPECT_FALSE(t.try_recv(1).has_value());
+  EXPECT_FALSE(t.try_recv(2).has_value());
+  EXPECT_EQ(t.stats().dropped, 2u);
+  EXPECT_EQ(t.fault_counters().crash_drops, 2u);
+
+  t.recover(1);
+  t.send(0, 1, Message::read_req(0, 3));
+  auto env = t.try_recv(1);
+  ASSERT_TRUE(env.has_value());
+  EXPECT_EQ(env->msg.op, 3u);
+}
+
+TEST(ThreadTransportTest, PartitionAndHeal) {
+  ThreadTransport t(4);
+  t.partition({{0, 1}, {2, 3}});
+  t.send(0, 2, Message::read_req(0, 1));
+  EXPECT_FALSE(t.try_recv(2).has_value());
+  t.send(0, 1, Message::read_req(0, 2));
+  EXPECT_TRUE(t.try_recv(1).has_value());
+  t.heal();
+  t.send(0, 2, Message::read_req(0, 3));
+  EXPECT_TRUE(t.try_recv(2).has_value());
+}
+
+TEST(ThreadTransportTest, ExtraDelayHoldsDeliveryBack) {
+  ThreadTransport t(2);
+  MessageFaults faults;
+  faults.extra_delay = 0.05;  // seconds on this runtime
+  t.set_message_faults(faults);
+  t.send(0, 1, Message::read_req(0, 7));
+  // Not ready yet; a deadline shorter than the delay must time out.
+  EXPECT_FALSE(t.try_recv(1).has_value());
+  auto env = t.recv_until(
+      1, std::chrono::steady_clock::now() + std::chrono::seconds(5));
+  ASSERT_TRUE(env.has_value());
+  EXPECT_EQ(env->msg.op, 7u);
+  EXPECT_EQ(t.fault_counters().delayed, 1u);
+}
+
+TEST(ThreadTransportTest, RecvUntilTimesOutOnAnEmptyMailbox) {
+  ThreadTransport t(2);
+  auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(20);
+  EXPECT_FALSE(t.recv_until(1, deadline).has_value());
+  EXPECT_FALSE(t.closed());  // timeout, not shutdown
+}
+
+TEST(ThreadTransportTest, CloseDrainsDelayedMessagesImmediately) {
+  ThreadTransport t(2);
+  MessageFaults faults;
+  faults.extra_delay = 30.0;  // far beyond the test's lifetime
+  t.set_message_faults(faults);
+  t.send(0, 1, Message::read_req(0, 9));
+  t.close();
+  // Drain ignores pending delays so teardown never waits on them.
+  auto env = t.recv(1);
+  ASSERT_TRUE(env.has_value());
+  EXPECT_EQ(env->msg.op, 9u);
+}
+
+TEST(ThreadTransportTest, DuplicateDeliversTwoCopies) {
+  ThreadTransport t(2);
+  MessageFaults faults;
+  faults.duplicate_probability = 1.0;
+  t.set_message_faults(faults);
+  t.send(0, 1, Message::read_req(0, 4));
+  auto first = t.try_recv(1);
+  auto second = t.try_recv(1);
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(first->msg.op, 4u);
+  EXPECT_EQ(second->msg.op, 4u);
+  EXPECT_EQ(t.fault_counters().duplicates, 1u);
 }
 
 }  // namespace
