@@ -8,6 +8,9 @@
 ///   PQRA_RUNS=<n>   override the number of repetitions per configuration
 ///   PQRA_FAST=1     shrink sweeps for a quick smoke run
 ///   PQRA_SEED=<n>   master seed (default 1)
+///   PQRA_JOBS=<n>   worker threads for replication loops (0 / unset =
+///                   hardware concurrency).  Output is byte-identical for
+///                   any value — see docs/PERFORMANCE.md.
 
 #include <cstdio>
 #include <cstdlib>
@@ -35,6 +38,10 @@ inline std::uint64_t env_seed() {
 inline std::size_t env_runs(std::size_t fallback = 7) {
   return env_size_t("PQRA_RUNS", env_fast() ? 2 : fallback);
 }
+
+/// Worker threads for the replication loops (sim::ParallelRunner); 0 means
+/// hardware concurrency.
+inline std::size_t env_jobs() { return env_size_t("PQRA_JOBS", 0); }
 
 /// Fixed-width table writer.
 class Table {

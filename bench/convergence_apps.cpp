@@ -17,6 +17,7 @@
 #include "bench_common.hpp"
 #include "iter/alg1_des.hpp"
 #include "quorum/probabilistic.hpp"
+#include "sim/parallel_runner.hpp"
 #include "util/math.hpp"
 #include "util/stats.hpp"
 
@@ -24,8 +25,8 @@ namespace {
 
 using namespace pqra;
 
-void sweep(const iter::AcoOperator& op, std::size_t n, std::size_t runs,
-           std::uint64_t seed) {
+void sweep(sim::ParallelRunner& pool, const iter::AcoOperator& op,
+           std::size_t n, std::size_t runs, std::uint64_t seed) {
   std::printf("%s  (m = %zu components, n = %zu replicas, %zu runs)\n",
               op.name().c_str(), op.num_components(), n, runs);
   bench::Table table({"k", "rounds", "pseudocycles", "msgs/round"}, 14);
@@ -36,15 +37,20 @@ void sweep(const iter::AcoOperator& op, std::size_t n, std::size_t runs,
   for (std::size_t k : ks) {
     if (k > n) continue;
     quorum::ProbabilisticQuorums qs(n, k);
+    // Independent replications, folded back in run order (PQRA_JOBS moves
+    // wall-clock only, never the table).
+    std::vector<iter::Alg1Result> rs =
+        pool.map<iter::Alg1Result>(runs, [&](std::size_t run) {
+          iter::Alg1Options options;
+          options.quorums = &qs;
+          options.monotone = true;
+          options.synchronous = true;
+          options.seed = seed + run * 31 + k;
+          options.round_cap = 20000;
+          return iter::run_alg1(op, options);
+        });
     util::OnlineStats rounds, pcs, mpr;
-    for (std::size_t run = 0; run < runs; ++run) {
-      iter::Alg1Options options;
-      options.quorums = &qs;
-      options.monotone = true;
-      options.synchronous = true;
-      options.seed = seed + run * 31 + k;
-      options.round_cap = 20000;
-      iter::Alg1Result r = iter::run_alg1(op, options);
+    for (const iter::Alg1Result& r : rs) {
       if (!r.converged) continue;
       rounds.add(static_cast<double>(r.rounds));
       pcs.add(static_cast<double>(r.pseudocycles));
@@ -67,23 +73,24 @@ int main() {
   const std::uint64_t seed = bench::env_seed();
   const std::size_t scale = bench::env_fast() ? 8 : 16;
   util::Rng gen(seed);
+  sim::ParallelRunner pool(bench::env_jobs());
 
   std::printf("ACO applications over monotone probabilistic quorum "
               "registers — rounds vs quorum size\n\n");
 
   apps::Graph tc_graph = apps::make_chain(scale);
   apps::TransitiveClosureOperator tc(tc_graph);
-  sweep(tc, scale, runs, seed);
+  sweep(pool, tc, scale, runs, seed);
 
   // Ordering chain: arc consistency must propagate pruning across the whole
   // variable chain, so convergence depth scales with m.
   apps::Csp csp = apps::make_ordering_csp(scale, scale);
   apps::ArcConsistencyOperator ac(std::move(csp));
-  sweep(ac, scale, runs, seed + 1000);
+  sweep(pool, ac, scale, runs, seed + 1000);
 
   apps::LinearSystem sys = apps::make_dominant_system(scale, 0.7, gen);
   apps::JacobiOperator jacobi(std::move(sys), 1e-6);
-  sweep(jacobi, scale, runs, seed + 2000);
+  sweep(pool, jacobi, scale, runs, seed + 2000);
 
   std::printf("same story as Figure 2 in all three domains: small quorums "
               "converge with modest extra rounds, and by k ~ 4 the monotone "

@@ -20,6 +20,7 @@
 #include "bench_common.hpp"
 #include "iter/alg1_des.hpp"
 #include "quorum/probabilistic.hpp"
+#include "sim/parallel_runner.hpp"
 #include "util/math.hpp"
 #include "util/stats.hpp"
 
@@ -32,14 +33,19 @@ struct CellResult {
   bool capped = false;  // some run hit the round cap: value is a lower bound
 };
 
-CellResult run_cell(const apps::ApspOperator& op, std::size_t n,
-                    std::size_t k, bool monotone, bool synchronous,
-                    std::size_t runs, std::size_t round_cap,
+CellResult run_cell(sim::ParallelRunner& pool, const apps::ApspOperator& op,
+                    std::size_t n, std::size_t k, bool monotone,
+                    bool synchronous, std::size_t runs, std::size_t round_cap,
                     std::uint64_t seed_base) {
   quorum::ProbabilisticQuorums qs(n, k);
-  util::OnlineStats rounds;
-  CellResult cell;
-  for (std::size_t run = 0; run < runs; ++run) {
+  // Replications are independent seeded executions; fan them out and fold
+  // the per-run figures back IN RUN ORDER, so the table is identical for
+  // any PQRA_JOBS value.
+  struct RunOut {
+    double rounds = 0.0;
+    bool converged = false;
+  };
+  std::vector<RunOut> outs = pool.map<RunOut>(runs, [&](std::size_t run) {
     iter::Alg1Options options;
     options.quorums = &qs;
     options.monotone = monotone;
@@ -48,8 +54,13 @@ CellResult run_cell(const apps::ApspOperator& op, std::size_t n,
     options.seed = seed_base + run * 9973 + k * 131 +
                    (monotone ? 17 : 0) + (synchronous ? 5 : 0);
     iter::Alg1Result r = iter::run_alg1(op, options);
-    rounds.add(static_cast<double>(r.rounds));
-    if (!r.converged) cell.capped = true;
+    return RunOut{static_cast<double>(r.rounds), r.converged};
+  });
+  util::OnlineStats rounds;
+  CellResult cell;
+  for (const RunOut& o : outs) {
+    rounds.add(o.rounds);
+    if (!o.converged) cell.capped = true;
   }
   cell.mean_rounds = rounds.mean();
   return cell;
@@ -86,6 +97,8 @@ int main() {
               "lower bounds (as in the paper)\n\n",
               plain_cap);
 
+  sim::ParallelRunner pool(bench::env_jobs());
+
   bench::Table table({"k", "cor7_bound", "mono_sync", "mono_async",
                       "plain_sync", "plain_async"});
   table.print_header();
@@ -93,13 +106,13 @@ int main() {
     double bound = static_cast<double>(M) *
                    util::corollary7_rounds_per_pseudocycle(n, k);
     CellResult mono_sync =
-        run_cell(op, n, k, true, true, runs, mono_cap, seed);
+        run_cell(pool, op, n, k, true, true, runs, mono_cap, seed);
     CellResult mono_async =
-        run_cell(op, n, k, true, false, runs, mono_cap, seed + 1);
+        run_cell(pool, op, n, k, true, false, runs, mono_cap, seed + 1);
     CellResult plain_sync =
-        run_cell(op, n, k, false, true, runs, plain_cap, seed + 2);
+        run_cell(pool, op, n, k, false, true, runs, plain_cap, seed + 2);
     CellResult plain_async =
-        run_cell(op, n, k, false, false, runs, plain_cap, seed + 3);
+        run_cell(pool, op, n, k, false, false, runs, plain_cap, seed + 3);
 
     table.cell(k);
     table.cell(bound);

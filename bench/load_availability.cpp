@@ -20,13 +20,14 @@
 #include "quorum/probabilistic.hpp"
 #include "quorum/rowa.hpp"
 #include "quorum/singleton.hpp"
+#include "sim/parallel_runner.hpp"
 
 int main() {
   using namespace pqra;
   using namespace pqra::quorum;
   const std::size_t samples = bench::env_fast() ? 5000 : 50000;
   const std::size_t trials = bench::env_fast() ? 2000 : 20000;
-  util::Rng rng(bench::env_seed());
+  const util::Rng master(bench::env_seed());
 
   // Comparable sizes: FPP(5) has n = 31; everything else uses n ~ 31-36.
   std::vector<std::unique_ptr<QuorumSystem>> systems;
@@ -50,13 +51,31 @@ int main() {
                       "surv_w(.3)"},
                      13);
   table.print_header();
-  for (const auto& qs : systems) {
+  // Each system's Monte-Carlo estimates draw from a forked stream keyed on
+  // its row index, so the rows are order-independent and can run on the
+  // PQRA_JOBS worker pool without changing any printed number.
+  struct Row {
+    LoadEstimate load_r;
+    LoadEstimate load_w;
+    double surv_r = 0.0;
+    double surv_w = 0.0;
+  };
+  sim::ParallelRunner pool(bench::env_jobs());
+  std::vector<Row> rows = pool.map<Row>(systems.size(), [&](std::size_t i) {
+    const QuorumSystem& qs = *systems[i];
+    util::Rng rng = master.fork(100 + i);
+    Row row;
+    row.load_r = empirical_load(qs, AccessKind::kRead, rng, samples);
+    row.load_w = empirical_load(qs, AccessKind::kWrite, rng, samples);
+    row.surv_r = survival_probability(qs, AccessKind::kRead, 0.3, rng, trials);
+    row.surv_w = survival_probability(qs, AccessKind::kWrite, 0.3, rng, trials);
+    return row;
+  });
+  for (std::size_t i = 0; i < systems.size(); ++i) {
+    const auto& qs = systems[i];
     std::size_t n = qs->num_servers();
     std::size_t cr = qs->quorum_size(AccessKind::kRead);
     std::size_t cw = qs->quorum_size(AccessKind::kWrite);
-    LoadEstimate load_r = empirical_load(*qs, AccessKind::kRead, rng, samples);
-    LoadEstimate load_w =
-        empirical_load(*qs, AccessKind::kWrite, rng, samples);
     table.cell(qs->name().substr(0, 12));
     table.cell(n);
     table.cell(cr);
@@ -64,14 +83,12 @@ int main() {
     // Naor–Wool applies to the smallest quorum of the (bipartite) system;
     // the busiest server over a mixed workload pays at least this.
     table.cell(load_lower_bound(n, std::min(cr, cw)), 3);
-    table.cell(load_r.busiest, 3);
-    table.cell(load_w.busiest, 3);
+    table.cell(rows[i].load_r.busiest, 3);
+    table.cell(rows[i].load_w.busiest, 3);
     table.cell(qs->min_kill(AccessKind::kRead));
     table.cell(qs->min_kill(AccessKind::kWrite));
-    table.cell(survival_probability(*qs, AccessKind::kRead, 0.3, rng, trials),
-               3);
-    table.cell(
-        survival_probability(*qs, AccessKind::kWrite, 0.3, rng, trials), 3);
+    table.cell(rows[i].surv_r, 3);
+    table.cell(rows[i].surv_w, 3);
     table.end_row();
   }
 

@@ -22,6 +22,12 @@
 ///             >= 1 = the legacy light-churn preset (0)
 ///   fault-plan = explicit fault schedule (net::FaultPlan::parse grammar,
 ///             e.g. "crash:2@10;recover:2@50;drop=0.02"); overrides churn
+///   jobs    = worker threads for the replication loop (0 = hardware
+///             concurrency; default 0).  Runs are independent seeded
+///             replications, each with its own simulator and metrics shard,
+///             merged in run order — stdout and every exported file are
+///             byte-identical for any jobs value (the determinism regression
+///             in tests/ enforces this).  Wall-clock timing goes to stderr.
 ///
 /// app=avail is the dynamic-availability experiment (ISSUE: churn where
 /// probabilistic quorums keep answering while strict majorities stall): one
@@ -38,11 +44,13 @@
 ///   --trace-out FILE     JSONL op trace of run 0 (spec-checkable)
 ///   --chrome-out FILE    run 0's trace as Chrome trace-event JSON
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "apps/apsp.hpp"
 #include "apps/approx_agreement.hpp"
@@ -59,6 +67,7 @@
 #include "net/sim_transport.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/names.hpp"
 #include "obs/trace.hpp"
 #include "quorum/fpp.hpp"
 #include "quorum/grid.hpp"
@@ -67,6 +76,7 @@
 #include "quorum/probabilistic.hpp"
 #include "quorum/rowa.hpp"
 #include "quorum/singleton.hpp"
+#include "sim/parallel_runner.hpp"
 #include "util/stats.hpp"
 
 using namespace pqra;
@@ -365,18 +375,43 @@ int run_availability(const Args& args) {
 
   // The registry sees only the selected system's runs: mixing the baseline
   // into the same counters would make the exported fault/retry metrics
-  // unattributable.
+  // unattributable.  Each run reports into a private shard, merged below in
+  // run order, so the export is identical for any jobs value.
   const bool want_metrics = !metrics_out.empty() || !prom_out.empty();
   obs::Registry registry(obs::Concurrency::kSingleThread);
 
+  struct AvailRunOutput {
+    AvailTally sel;
+    AvailTally maj;
+    std::unique_ptr<obs::Registry> shard;
+  };
+  sim::ParallelRunner pool(args.get_n("jobs", 0));
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::vector<AvailRunOutput> outputs = pool.map<AvailRunOutput>(
+      runs, [&](std::size_t run) {
+        AvailRunOutput out;
+        if (want_metrics) {
+          out.shard =
+              std::make_unique<obs::Registry>(obs::Concurrency::kSingleThread);
+        }
+        const std::uint64_t run_seed = seed + run * 7919;
+        out.sel = run_availability_once(*selected, churn, horizon, run_seed,
+                                        out.shard.get());
+        out.maj =
+            run_availability_once(majority, churn, horizon, run_seed, nullptr);
+        return out;
+      });
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+
   AvailTally sel_total, maj_total;
   for (std::size_t run = 0; run < runs; ++run) {
-    const std::uint64_t run_seed = seed + run * 7919;
-    AvailTally sel = run_availability_once(*selected, churn, horizon,
-                                           run_seed,
-                                           want_metrics ? &registry : nullptr);
-    AvailTally maj =
-        run_availability_once(majority, churn, horizon, run_seed, nullptr);
+    const AvailRunOutput& out = outputs[run];
+    if (out.shard != nullptr) registry.merge_from(*out.shard);
+    const AvailTally& sel = out.sel;
+    const AvailTally& maj = out.maj;
     std::printf("  run %zu: %s %5.1f%% (%llu/%llu) | majority %5.1f%% "
                 "(%llu/%llu)\n",
                 run, selected->name().c_str(), 100.0 * sel.success_rate(),
@@ -392,6 +427,15 @@ int run_availability(const Args& args) {
     maj_total.ok += maj.ok;
     maj_total.failed += maj.failed;
   }
+  // Wall-clock is nondeterministic by nature, so it goes to stderr: stdout
+  // stays byte-comparable across jobs values.
+  std::fprintf(stderr,
+               "timing: %zu runs in %.3f s wall (jobs=%zu) | %.0f ops/s\n",
+               runs, wall_s, pool.jobs(),
+               wall_s > 0.0 ? static_cast<double>(sel_total.attempted +
+                                                  maj_total.attempted) /
+                                  wall_s
+                            : 0.0);
 
   const double sel_rate = sel_total.success_rate();
   const double maj_rate = maj_total.success_rate();
@@ -459,58 +503,82 @@ int main(int argc, char** argv) {
               quorums->name().c_str(), monotone ? "monotone" : "plain",
               sync ? "sync" : "async", faulty ? ", faults" : "", runs);
 
-  // One registry accumulates across all runs; the op trace records run 0
-  // only (a trace of one execution is what the spec checkers and the Chrome
-  // viewer want — concatenating runs would interleave unrelated histories).
-  const bool want_metrics = !metrics_out.empty() || !prom_out.empty();
+  // The op trace records run 0 only (a trace of one execution is what the
+  // spec checkers and the Chrome viewer want — concatenating runs would
+  // interleave unrelated histories).  Each run is an independent seeded
+  // replication: it gets its own simulator, fault plan and metrics shard,
+  // and the shards are merged into one registry IN RUN ORDER below, so
+  // stdout and every exported file are byte-identical for any --jobs value.
   const bool want_trace = !trace_out.empty() || !chrome_out.empty();
   obs::Registry registry(obs::Concurrency::kSingleThread);
   obs::OpTraceSink trace;
-  std::shared_ptr<core::spec::HistoryRecorder> run0_history;
 
+  struct RunOutput {
+    iter::Alg1Result r;
+    std::unique_ptr<obs::Registry> shard;
+  };
+  sim::ParallelRunner pool(args.get_n("jobs", 0));
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::vector<RunOutput> outputs = pool.map<RunOutput>(
+      runs, [&](std::size_t run) {
+        RunOutput out;
+        out.shard =
+            std::make_unique<obs::Registry>(obs::Concurrency::kSingleThread);
+        iter::Alg1Options options;
+        options.quorums = quorums.get();
+        options.monotone = monotone;
+        options.synchronous = sync;
+        options.seed = seed + run * 7919;
+        options.round_cap = cap;
+        options.metrics = out.shard.get();
+        if (want_trace && run == 0) {
+          // Only run 0 touches the shared sink, so this stays race-free
+          // under jobs > 1.
+          options.trace = &trace;
+          // A faulted run can end with ops still in flight, which the
+          // completion-only trace cannot represent; record the full history
+          // so the self-check below stays sound (see docs/FAULTS.md).
+          options.record_history = faulty;
+        }
+        util::Rng churn_rng(seed + run);
+        net::FaultPlan plan;
+        if (!fault_spec.empty()) {
+          // Explicit schedule: identical for every run (determinism tests
+          // rely on byte-identical behaviour across invocations).
+          plan = parsed_plan;
+        } else if (churn > 0.0 && churn < 1.0) {
+          plan = net::FaultPlan::random_churn(quorums->num_servers(), 2000.0,
+                                              160.0 * (1.0 - churn),
+                                              160.0 * churn, churn_rng);
+        } else if (churn >= 1.0) {
+          // Legacy preset: light churn, ~20% downtime.
+          plan = net::FaultPlan::random_churn(quorums->num_servers(), 2000.0,
+                                              60.0, 15.0, churn_rng);
+        }
+        if (faulty) {
+          options.fault_plan = &plan;
+          core::RetryPolicy retry;
+          retry.rpc_timeout = 10.0;
+          retry.backoff_factor = 2.0;
+          retry.max_backoff = 40.0;
+          retry.jitter = 0.1;  // dedicated stream; see FAULTS.md
+          options.retry = retry;
+          options.max_sim_time = 50000.0;
+        }
+        out.r = iter::run_alg1(*op, options);
+        return out;
+      });
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+
+  std::shared_ptr<core::spec::HistoryRecorder> run0_history;
   util::OnlineStats rounds, pcs, msgs, read_lat;
   std::size_t converged = 0;
   for (std::size_t run = 0; run < runs; ++run) {
-    iter::Alg1Options options;
-    options.quorums = quorums.get();
-    options.monotone = monotone;
-    options.synchronous = sync;
-    options.seed = seed + run * 7919;
-    options.round_cap = cap;
-    if (want_metrics) options.metrics = &registry;
-    if (want_trace && run == 0) {
-      options.trace = &trace;
-      // A faulted run can end with ops still in flight, which the
-      // completion-only trace cannot represent; record the full history so
-      // the self-check below stays sound (see docs/FAULTS.md).
-      options.record_history = faulty;
-    }
-    util::Rng churn_rng(seed + run);
-    net::FaultPlan plan;
-    if (!fault_spec.empty()) {
-      // Explicit schedule: identical for every run (determinism tests rely
-      // on byte-identical behaviour across invocations).
-      plan = parsed_plan;
-    } else if (churn > 0.0 && churn < 1.0) {
-      plan = net::FaultPlan::random_churn(quorums->num_servers(), 2000.0,
-                                          160.0 * (1.0 - churn),
-                                          160.0 * churn, churn_rng);
-    } else if (churn >= 1.0) {
-      // Legacy preset: light churn, ~20% downtime.
-      plan = net::FaultPlan::random_churn(quorums->num_servers(), 2000.0,
-                                          60.0, 15.0, churn_rng);
-    }
-    if (faulty) {
-      options.fault_plan = &plan;
-      core::RetryPolicy retry;
-      retry.rpc_timeout = 10.0;
-      retry.backoff_factor = 2.0;
-      retry.max_backoff = 40.0;
-      retry.jitter = 0.1;  // drawn from a dedicated stream; see FAULTS.md
-      options.retry = retry;
-      options.max_sim_time = 50000.0;
-    }
-    iter::Alg1Result r = iter::run_alg1(*op, options);
+    const iter::Alg1Result& r = outputs[run].r;
+    registry.merge_from(*outputs[run].shard);
     if (run == 0) run0_history = r.history;
     converged += r.converged;
     rounds.add(static_cast<double>(r.rounds));
@@ -523,6 +591,14 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(r.messages.total),
                 static_cast<unsigned long long>(r.retries));
   }
+  // Nondeterministic wall-clock figures go to stderr so stdout stays
+  // byte-comparable across --jobs values.
+  const double events =
+      static_cast<double>(registry.counter(obs::names::kSimEvents).value());
+  std::fprintf(stderr,
+               "timing: %zu runs in %.3f s wall (jobs=%zu) | %.0f events/s\n",
+               runs, wall_s, pool.jobs(),
+               wall_s > 0.0 ? events / wall_s : 0.0);
 
   std::printf("\nconverged %zu/%zu | rounds %.2f +- %.2f | pseudocycles "
               "%.2f | msgs %.0f | read latency %.2f\n",

@@ -44,7 +44,9 @@ void ByzantineServerProcess::on_message(NodeId from, net::Message msg) {
       return;
     case ByzantineMode::kCorruptValue: {
       net::Message genuine = replica_.handle(msg);
-      for (std::byte& b : genuine.value) b ^= std::byte{0xFF};
+      // Corrupt a private copy: mutable_bytes() clones the buffer the honest
+      // replica still shares with its store (copy-on-write discipline).
+      for (std::byte& b : genuine.value.mutable_bytes()) b ^= std::byte{0xFF};
       if (genuine.value.empty()) {
         genuine.value = util::encode<std::int64_t>(-1);
       }

@@ -163,8 +163,10 @@ void QuorumRegisterClient::send_to_quorum(OpId op, PendingOp& pending) {
   bool sends_reads = pending.is_read && !pending.in_write_back;
   auto kind =
       sends_reads ? quorum::AccessKind::kRead : quorum::AccessKind::kWrite;
-  std::vector<quorum::ServerId> quorum = quorums_.sample(kind, rng_);
-  for (quorum::ServerId s : quorum) {
+  // Per-access quorum draw into reusable scratch: pick() samples in place,
+  // so the steady-state access path allocates nothing here.
+  quorums_.pick(kind, rng_, quorum_scratch_);
+  for (quorum::ServerId s : quorum_scratch_) {
     NodeId server = server_base_ + s;
     if (sends_reads) {
       transport_.send(self_, server, net::Message::read_req(pending.reg, op));

@@ -253,6 +253,9 @@ class QuorumRegisterClient final : public net::Receiver {
   spec::HistoryRecorder* history_;
 
   OpId next_op_ = 1;
+  /// Scratch for per-access quorum draws (send_to_quorum): pick() fills it
+  /// in place, reusing capacity across every operation and retry.
+  std::vector<quorum::ServerId> quorum_scratch_;
   std::unordered_map<OpId, PendingOp> pending_;
   std::unordered_map<RegisterId, Timestamp> write_ts_;
   std::unordered_map<RegisterId, TimestampedValue> monotone_cache_;

@@ -46,7 +46,7 @@ const TimestampedValue* Replica::get(RegisterId reg) const {
 }
 
 Value Replica::encode_store() const {
-  Value out;
+  util::Bytes out;
   util::detail::append_raw(out, static_cast<std::uint64_t>(store_.size()));
   for (const auto& [reg, tv] : store_) {
     util::detail::append_raw(out, reg);
@@ -81,8 +81,9 @@ std::vector<Replica::StoreEntry> Replica::decode_store(const Value& encoded) {
     entry.ts = util::detail::read_raw<Timestamp>(encoded, off);
     auto len = util::detail::read_raw<std::uint64_t>(encoded, off);
     PQRA_CHECK(off + len <= encoded.size(), "store: truncated payload");
-    entry.value.assign(encoded.begin() + static_cast<std::ptrdiff_t>(off),
-                       encoded.begin() + static_cast<std::ptrdiff_t>(off + len));
+    entry.value = util::Bytes(
+        encoded.begin() + static_cast<std::ptrdiff_t>(off),
+        encoded.begin() + static_cast<std::ptrdiff_t>(off + len));
     off += len;
     entries.push_back(std::move(entry));
   }

@@ -101,8 +101,9 @@ class Alg1Process {
     }
     writes_outstanding_ = owned_.size();
     for (std::size_t j : owned_) {
-      client_.write(static_cast<net::RegisterId>(j),
-                    util::Bytes(local_[j]),
+      // A Value copy shares the buffer with local_ (and with every WriteReq
+      // the client fans out) — no byte duplication on the write path.
+      client_.write(static_cast<net::RegisterId>(j), local_[j],
                     [this, j](core::Timestamp ts) {
                       pseudocycles_->on_write(j, ts);
                       if (--writes_outstanding_ == 0) end_iteration();
@@ -288,8 +289,17 @@ Alg1Result run_alg1(const AcoOperator& op, const Alg1Options& options) {
     obs::Registry& reg = *options.metrics;
     reg.counter(n::kSimEvents, "Events processed by the DES main loop")
         .inc(simulator.events_processed());
-    reg.gauge(n::kSimHeapHighWater, "Event-heap high-water mark")
+    reg.gauge(n::kSimHeapHighWater, "Event-heap high-water mark",
+              obs::GaugeMerge::kMax)
         .record_max(static_cast<double>(simulator.max_pending_events()));
+    reg.counter(n::kSimEventHeapAllocs,
+                "Heap allocations by the event-closure path (arena chunk "
+                "growth + oversize fallbacks)")
+        .inc(simulator.alloc_stats().heap_allocations());
+    reg.gauge(n::kSimEventBlocksHighWater,
+              "Event-arena live-block high-water mark",
+              obs::GaugeMerge::kMax)
+        .record_max(static_cast<double>(simulator.alloc_stats().blocks_high_water));
     reg.gauge(n::kSimTime, "Simulated time at end of run")
         .set(simulator.now());
     reg.gauge(n::kAlg1Rounds, "Rounds until convergence (or the cap)")

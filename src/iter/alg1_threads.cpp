@@ -92,8 +92,7 @@ Alg1ThreadsResult run_alg1_threads(const AcoOperator& op,
         local[owned[idx]] = std::move(updated[idx]);
       }
       for (std::size_t j : owned) {
-        if (!client.write(static_cast<net::RegisterId>(j),
-                          util::Bytes(local[j]))
+        if (!client.write(static_cast<net::RegisterId>(j), local[j])
                  .has_value()) {
           if (client.last_status() == core::OpStatus::kShutdown) {
             transport_closed = true;

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <string>
 
+#include "net/value.hpp"
 #include "util/codec.hpp"
 
 namespace pqra::net {
@@ -34,8 +35,9 @@ using OpId = std::uint64_t;
 /// writes 1, 2, 3, ...; timestamp 0 denotes the preloaded initial value.
 using Timestamp = std::uint64_t;
 
-/// Register payloads are opaque byte blobs (see util/codec.hpp).
-using Value = util::Bytes;
+/// Register payloads are opaque, immutable, refcounted byte blobs (see
+/// net/value.hpp): copying one — e.g. fanning a WriteReq out to a k-quorum —
+/// shares the buffer instead of duplicating it.
 
 enum class MsgType : std::uint8_t {
   kReadReq = 0,

@@ -1,0 +1,123 @@
+#pragma once
+
+/// \file value.hpp
+/// Refcounted immutable register payload.
+///
+/// Every quorum access fans one payload out to k servers, and replicas,
+/// client caches and Alg. 1's local vectors all hold copies of the same
+/// bytes.  Value makes those copies free: it is a shared_ptr<const Bytes>
+/// behind a Bytes-shaped surface, so copying a Value bumps a refcount
+/// instead of duplicating the buffer, and a WriteReq broadcast to a k-quorum
+/// ships ONE buffer instead of k.
+///
+/// Sharing discipline (docs/PERFORMANCE.md):
+///   - The byte content of a Value is immutable.  "Mutation" is assignment
+///     of a whole new Value; nobody may scribble on bytes another holder can
+///     see.
+///   - mutable_bytes() is the copy-on-write escape hatch: it clones the
+///     buffer unless this Value is the sole owner, then allows in-place
+///     edits.  Use it only on values you just built.
+///   - The refcount is atomic (shared_ptr), so Values may be handed across
+///     threads (ThreadTransport) and dropped concurrently.
+///
+/// Value converts implicitly from and to util::Bytes (the conversion *to*
+/// Bytes is by const reference and never copies), so Codec-based call sites
+/// keep reading naturally: `Value v = util::encode<T>(x);` and
+/// `util::decode<T>(v)` both work unchanged.
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+#include "util/codec.hpp"
+
+namespace pqra::net {
+
+class Value {
+ public:
+  /// Empty payload; allocates nothing.
+  Value() noexcept = default;
+
+  /// Takes ownership of \p bytes.  Implicit on purpose: Codec::encode
+  /// returns Bytes and every call site hands that straight to a Value.
+  Value(util::Bytes bytes)  // NOLINT(google-explicit-constructor)
+      : rep_(bytes.empty()
+                 ? nullptr
+                 : std::make_shared<const util::Bytes>(std::move(bytes))) {}
+
+  /// Wraps an already-shared buffer (advanced callers; may be null).
+  static Value adopt(std::shared_ptr<const util::Bytes> rep) {
+    Value v;
+    if (rep != nullptr && !rep->empty()) v.rep_ = std::move(rep);
+    return v;
+  }
+
+  /// The underlying bytes, by reference — never copies.
+  const util::Bytes& bytes() const noexcept {
+    return rep_ == nullptr ? empty_bytes() : *rep_;
+  }
+
+  /// Implicit view as Bytes so Codec and the other byte-level readers work
+  /// unchanged.
+  operator const util::Bytes&() const noexcept {  // NOLINT
+    return bytes();
+  }
+
+  std::size_t size() const noexcept { return rep_ == nullptr ? 0 : rep_->size(); }
+  bool empty() const noexcept { return size() == 0; }
+  const std::byte* data() const noexcept { return bytes().data(); }
+  util::Bytes::const_iterator begin() const noexcept { return bytes().begin(); }
+  util::Bytes::const_iterator end() const noexcept { return bytes().end(); }
+
+  /// Copy-on-write: returns an exclusively owned mutable buffer, cloning the
+  /// shared one first if anyone else holds it.  The returned reference is
+  /// invalidated by any copy/move/assignment of this Value.
+  util::Bytes& mutable_bytes() {
+    if (rep_ == nullptr) {
+      rep_ = std::make_shared<const util::Bytes>();
+    } else if (rep_.use_count() > 1) {
+      rep_ = std::make_shared<const util::Bytes>(*rep_);
+    }
+    // Sole owner here, so shedding const is safe: no other holder can
+    // observe the edit.
+    return const_cast<util::Bytes&>(*rep_);
+  }
+
+  /// Number of Values sharing this buffer (0 for empty) — lets tests assert
+  /// that a quorum fan-out shared one buffer instead of copying k times.
+  long use_count() const noexcept { return rep_ == nullptr ? 0 : rep_.use_count(); }
+
+  /// True when \p other shares this Value's buffer (or both are empty).
+  bool shares_buffer_with(const Value& other) const noexcept {
+    return rep_ == other.rep_;
+  }
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.rep_ == b.rep_ || a.bytes() == b.bytes();
+  }
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+  friend bool operator==(const Value& a, const util::Bytes& b) {
+    return a.bytes() == b;
+  }
+  friend bool operator==(const util::Bytes& a, const Value& b) {
+    return a == b.bytes();
+  }
+  friend bool operator!=(const Value& a, const util::Bytes& b) {
+    return !(a == b);
+  }
+  friend bool operator!=(const util::Bytes& a, const Value& b) {
+    return !(a == b);
+  }
+
+ private:
+  static const util::Bytes& empty_bytes() noexcept {
+    static const util::Bytes kEmpty;
+    return kEmpty;
+  }
+
+  /// Invariant: null or non-empty — the empty payload is always represented
+  /// by null, so default-constructed and emptied Values compare fast.
+  std::shared_ptr<const util::Bytes> rep_;
+};
+
+}  // namespace pqra::net

@@ -36,6 +36,16 @@ namespace pqra::obs {
 
 enum class Concurrency { kSingleThread, kThreadSafe };
 
+/// How a gauge combines when a shard registry is merged into an aggregate
+/// (Registry::merge_from — the parallel runner's per-run shards).  Counters
+/// and histograms always merge by summation; gauges are point-in-time values
+/// whose aggregation semantics depend on what they measure:
+///   kLast — the merged-in shard overwrites (e.g. "sim time at end of run",
+///           matching what sequential runs sharing one registry produced);
+///   kMax  — keep the maximum (high-water marks);
+///   kSum  — accumulate (additive quantities exported as gauges).
+enum class GaugeMerge { kLast, kMax, kSum };
+
 /// Monotonically increasing event count.
 class Counter {
  public:
@@ -181,23 +191,38 @@ class Registry {
   /// help string is set by whichever call registers first.  Requesting an
   /// existing name as a different instrument kind throws.
   Counter& counter(const std::string& name, const std::string& help = "");
-  Gauge& gauge(const std::string& name, const std::string& help = "");
+  /// \p merge fixes how this gauge combines under merge_from; like help, the
+  /// first registration wins.
+  Gauge& gauge(const std::string& name, const std::string& help = "",
+               GaugeMerge merge = GaugeMerge::kLast);
   Histogram& histogram(const std::string& name, const std::string& help = "");
 
   /// Snapshot of every instrument, sorted by name (deterministic export).
   RegistrySnapshot snapshot() const;
+
+  /// Folds \p shard into this registry: counters add, histograms add
+  /// bucket-wise, gauges combine per their GaugeMerge policy (this registry's
+  /// entry decides; instruments missing here are created with the shard's
+  /// help/policy, consistent with first-registration-wins).  \p shard must be
+  /// quiescent (its run has finished).  Merging per-run shards IN RUN ORDER
+  /// is what makes parallel replications (sim::ParallelRunner) produce
+  /// byte-identical exports regardless of job count — see
+  /// docs/PERFORMANCE.md.
+  void merge_from(const Registry& shard);
 
  private:
   enum class Kind { kCounter, kGauge, kHistogram };
   struct Entry {
     Kind kind;
     std::string help;
+    GaugeMerge gauge_merge = GaugeMerge::kLast;
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<Histogram> histogram;
   };
 
-  Entry& lookup(const std::string& name, Kind kind, const std::string& help);
+  Entry& lookup(const std::string& name, Kind kind, const std::string& help,
+                GaugeMerge merge = GaugeMerge::kLast);
 
   const Concurrency mode_;
   mutable std::mutex mutex_;  // registration + snapshot only, never hot

@@ -70,6 +70,13 @@ inline constexpr const char* kTransportMessagesByType[] = {
 inline constexpr const char* kSimEvents = "pqra_sim_events_total";
 inline constexpr const char* kSimHeapHighWater = "pqra_sim_heap_high_water";
 inline constexpr const char* kSimTime = "pqra_sim_time";
+// Event-closure storage (sim/event_fn.hpp): heap allocations the event path
+// performed (arena chunk growth + oversize fallbacks; 0 once the arena is
+// warm) and the arena's live-block high-water mark.
+inline constexpr const char* kSimEventHeapAllocs =
+    "pqra_sim_event_heap_allocs_total";
+inline constexpr const char* kSimEventBlocksHighWater =
+    "pqra_sim_event_blocks_high_water";
 
 // Alg. 1 executors.
 inline constexpr const char* kAlg1Rounds = "pqra_alg1_rounds";

@@ -14,9 +14,8 @@ void MajorityQuorums::pick(AccessKind, util::Rng& rng,
                            std::vector<ServerId>& out) const {
   // Uniform over all majorities; this is also the load-optimal strategy for
   // the majority system by symmetry.
-  auto sample = rng.sample_without_replacement(
-      static_cast<std::uint32_t>(n_), static_cast<std::uint32_t>(n_ / 2 + 1));
-  out.assign(sample.begin(), sample.end());
+  rng.sample_without_replacement(static_cast<std::uint32_t>(n_),
+                                 static_cast<std::uint32_t>(n_ / 2 + 1), out);
 }
 
 std::string MajorityQuorums::name() const {

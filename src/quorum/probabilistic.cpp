@@ -14,9 +14,11 @@ ProbabilisticQuorums::ProbabilisticQuorums(std::size_t n, std::size_t k)
 
 void ProbabilisticQuorums::pick(AccessKind, util::Rng& rng,
                                 std::vector<ServerId>& out) const {
-  auto sample = rng.sample_without_replacement(static_cast<std::uint32_t>(n_),
-                                               static_cast<std::uint32_t>(k_));
-  out.assign(sample.begin(), sample.end());
+  // Samples straight into the caller's scratch vector (ServerId is the
+  // sample's element type) — the per-access draw reuses capacity instead of
+  // returning a fresh vector.
+  rng.sample_without_replacement(static_cast<std::uint32_t>(n_),
+                                 static_cast<std::uint32_t>(k_), out);
 }
 
 bool ProbabilisticQuorums::is_strict() const {

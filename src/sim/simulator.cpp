@@ -7,13 +7,7 @@
 
 namespace pqra::sim {
 
-void Simulator::schedule_in(Time delay, EventFn fn) {
-  PQRA_REQUIRE(delay >= 0.0, "cannot schedule into the past");
-  schedule_at(now_ + delay, std::move(fn));
-}
-
-void Simulator::schedule_at(Time t, EventFn fn) {
-  PQRA_REQUIRE(t >= now_, "cannot schedule into the past");
+void Simulator::push_event(Time t, EventFn fn) {
   PQRA_REQUIRE(static_cast<bool>(fn), "event callback must be callable");
   heap_.push_back(Event{t, next_seq_++, std::move(fn)});
   std::push_heap(heap_.begin(), heap_.end(), Later{});

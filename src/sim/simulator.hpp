@@ -10,20 +10,24 @@
 ///
 /// The event heap is managed manually (std::push_heap / std::pop_heap over a
 /// vector) instead of std::priority_queue so the hot path can *move* events
-/// out; Figure 2 alone schedules tens of millions of them.
+/// out; Figure 2 alone schedules tens of millions of them.  Callbacks are
+/// EventFn (sim/event_fn.hpp), not std::function: small captures live inside
+/// the event and oversized ones in a recycled slab, so the schedule→fire
+/// path performs zero heap allocations — asserted by tests against
+/// alloc_stats(), not just by inspection.
 
 #include <cstdint>
-#include <functional>
+#include <utility>
 #include <vector>
 
 #include "sim/delay_model.hpp"
+#include "sim/event_fn.hpp"
+#include "util/check.hpp"
 
 namespace pqra::sim {
 
 class Simulator {
  public:
-  using EventFn = std::function<void()>;
-
   Simulator() = default;
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
@@ -33,10 +37,18 @@ class Simulator {
 
   /// Schedules \p fn to run \p delay after now().  Negative delays are
   /// rejected.
-  void schedule_in(Time delay, EventFn fn);
+  template <typename F>
+  void schedule_in(Time delay, F&& fn) {
+    PQRA_REQUIRE(delay >= 0.0, "cannot schedule into the past");
+    schedule_at(now_ + delay, std::forward<F>(fn));
+  }
 
   /// Schedules \p fn at absolute time \p t (must be >= now()).
-  void schedule_at(Time t, EventFn fn);
+  template <typename F>
+  void schedule_at(Time t, F&& fn) {
+    PQRA_REQUIRE(t >= now_, "cannot schedule into the past");
+    push_event(t, EventFn(std::forward<F>(fn), arena_));
+  }
 
   /// Runs one event.  Returns false when the queue is empty.
   bool step();
@@ -64,6 +76,12 @@ class Simulator {
   /// heap's high-water mark — the memory footprint the run actually needed).
   std::size_t max_pending_events() const { return heap_high_water_; }
 
+  /// Event-capture allocation tallies (inline vs slab vs counted heap
+  /// fallback) — the sibling of max_pending_events() for the allocation
+  /// story.  alloc_stats().heap_allocations() == 0 is the zero-allocation
+  /// contract the unit tests assert for small captures.
+  const EventArena::Stats& alloc_stats() const { return arena_.stats(); }
+
  private:
   struct Event {
     Time t;
@@ -79,8 +97,11 @@ class Simulator {
     }
   };
 
+  void push_event(Time t, EventFn fn);
+
   Time next_event_time() const { return heap_.front().t; }
 
+  EventArena arena_;
   std::vector<Event> heap_;
   std::size_t heap_high_water_ = 0;
   Time now_ = 0.0;

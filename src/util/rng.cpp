@@ -75,10 +75,17 @@ bool Rng::bernoulli(double p) { return uniform01() < p; }
 
 std::vector<std::uint32_t> Rng::sample_without_replacement(std::uint32_t n,
                                                            std::uint32_t k) {
+  std::vector<std::uint32_t> out;
+  sample_without_replacement(n, k, out);
+  return out;
+}
+
+void Rng::sample_without_replacement(std::uint32_t n, std::uint32_t k,
+                                     std::vector<std::uint32_t>& out) {
   PQRA_REQUIRE(k <= n, "cannot sample more elements than the population");
   // Robert Floyd's algorithm: for j = n-k .. n-1, draw t in [0, j]; insert t
   // unless already chosen, in which case insert j.
-  std::vector<std::uint32_t> out;
+  out.clear();
   out.reserve(k);
   auto contains = [&out](std::uint32_t x) {
     for (std::uint32_t y : out) {
@@ -90,7 +97,6 @@ std::vector<std::uint32_t> Rng::sample_without_replacement(std::uint32_t n,
     auto t = static_cast<std::uint32_t>(below(j + 1));
     out.push_back(contains(t) ? j : t);
   }
-  return out;
 }
 
 }  // namespace pqra::util

@@ -56,6 +56,14 @@ class Rng {
   std::vector<std::uint32_t> sample_without_replacement(std::uint32_t n,
                                                         std::uint32_t k);
 
+  /// In-place variant: clears \p out and fills it with the sample, reusing
+  /// its capacity.  This is the hot-path form — every quorum access draws
+  /// one sample, so the per-access allocation matters (quorum systems pass
+  /// the client's scratch vector through pick()).  Draws the same values as
+  /// the returning overload for the same RNG state.
+  void sample_without_replacement(std::uint32_t n, std::uint32_t k,
+                                  std::vector<std::uint32_t>& out);
+
   /// Fisher–Yates shuffle of \p v.
   template <typename T>
   void shuffle(std::vector<T>& v) {

@@ -42,7 +42,7 @@ TEST(ReplicaStoreTest, MergeRejectsCorruptedPayload) {
   Replica a;
   a.handle(net::Message::write_req(0, 1, 1, val(1)));
   Value enc = a.encode_store();
-  enc.pop_back();
+  enc.mutable_bytes().pop_back();
   Replica b;
   EXPECT_THROW(b.merge_store(enc), std::logic_error);
 }

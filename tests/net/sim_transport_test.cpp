@@ -153,7 +153,7 @@ TEST(SimTransportOrderTest, ExponentialDelaysReorderMessages) {
 }
 
 TEST(MessageTest, FactoriesAndDescribe) {
-  Message m = Message::read_ack(3, 17, 5, Value(4));
+  Message m = Message::read_ack(3, 17, 5, Value(util::Bytes(4)));
   EXPECT_EQ(m.type, MsgType::kReadAck);
   EXPECT_EQ(m.describe(), "ReadAck{reg=3 op=17 ts=5 |v|=4}");
   EXPECT_STREQ(msg_type_name(MsgType::kWriteReq), "WriteReq");

@@ -1,0 +1,132 @@
+/// \file value_test.cpp
+/// net::Value, the refcounted immutable payload: copies share one buffer,
+/// mutable_bytes() copies on write only when the buffer is shared, and the
+/// refcount survives cross-thread handoff (exercised under TSan in CI —
+/// quorum fan-out in the threaded runtime bumps the count from many
+/// threads).
+
+#include "net/value.hpp"
+
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/message.hpp"
+#include "util/codec.hpp"
+
+namespace pqra::net {
+namespace {
+
+util::Bytes bytes_of(std::initializer_list<int> xs) {
+  util::Bytes b;
+  for (int x : xs) b.push_back(static_cast<std::byte>(x));
+  return b;
+}
+
+TEST(Value, DefaultIsEmpty) {
+  Value v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v, Value(util::Bytes{}));
+}
+
+TEST(Value, CopiesShareOneBuffer) {
+  Value a(bytes_of({1, 2, 3}));
+  EXPECT_EQ(a.use_count(), 1);
+
+  Value b = a;
+  Value c = a;
+  EXPECT_EQ(a.use_count(), 3);
+  EXPECT_TRUE(a.shares_buffer_with(b));
+  EXPECT_TRUE(b.shares_buffer_with(c));
+  EXPECT_EQ(a.bytes().data(), b.bytes().data())
+      << "copy must alias, not duplicate";
+
+  c = Value();
+  EXPECT_EQ(a.use_count(), 2);
+}
+
+TEST(Value, QuorumFanOutSharesThePayload) {
+  // The k messages of one write all carry the same buffer: this is the
+  // fan-out pattern in QuorumRegisterClient::send_to_quorum.
+  Value payload(bytes_of({9, 8, 7, 6}));
+  std::vector<Message> msgs;
+  for (int i = 0; i < 5; ++i) {
+    Message m;
+    m.type = MsgType::kWriteReq;
+    m.value = payload;
+    msgs.push_back(std::move(m));
+  }
+  EXPECT_EQ(payload.use_count(), 6);  // the original + 5 messages
+  for (const Message& m : msgs) {
+    EXPECT_TRUE(m.value.shares_buffer_with(payload));
+  }
+}
+
+TEST(Value, MutableBytesClonesWhenShared) {
+  Value a(bytes_of({1, 2, 3}));
+  Value b = a;
+  const std::byte* before = a.bytes().data();
+
+  b.mutable_bytes()[0] = std::byte{42};
+  EXPECT_FALSE(a.shares_buffer_with(b)) << "write must detach the copy";
+  EXPECT_EQ(a.bytes().data(), before) << "the other holder is untouched";
+  EXPECT_EQ(a.bytes()[0], std::byte{1});
+  EXPECT_EQ(b.bytes()[0], std::byte{42});
+}
+
+TEST(Value, MutableBytesSkipsCloneWhenSole) {
+  Value a(bytes_of({5, 6}));
+  const std::byte* before = a.bytes().data();
+  a.mutable_bytes()[1] = std::byte{60};
+  EXPECT_EQ(a.bytes().data(), before)
+      << "a sole owner mutates in place, no copy";
+  EXPECT_EQ(a.bytes()[1], std::byte{60});
+}
+
+TEST(Value, ComparesByContentNotIdentity) {
+  Value a(bytes_of({1, 2}));
+  Value b(bytes_of({1, 2}));
+  EXPECT_FALSE(a.shares_buffer_with(b));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, bytes_of({1, 2}));
+  EXPECT_EQ(bytes_of({1, 2}), a);
+  EXPECT_NE(a, Value(bytes_of({1, 3})));
+}
+
+TEST(Value, ConvertsToBytesForCodecs) {
+  Value v(util::Codec<std::uint64_t>::encode(123456789ULL));
+  // Implicit conversion keeps every Codec::decode call site unchanged.
+  EXPECT_EQ(util::Codec<std::uint64_t>::decode(v), 123456789ULL);
+}
+
+TEST(Value, EmptyBytesNormalizeToNullRep) {
+  Value v((util::Bytes()));
+  EXPECT_TRUE(v.empty());
+  Value w = v;
+  EXPECT_TRUE(v.shares_buffer_with(w));  // both null reps
+}
+
+TEST(Value, RefcountSurvivesCrossThreadHandoff) {
+  Value payload(bytes_of({1, 2, 3, 4, 5, 6, 7, 8}));
+  constexpr int kThreads = 8;
+  constexpr int kCopiesPerThread = 1000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&payload] {
+      for (int i = 0; i < kCopiesPerThread; ++i) {
+        Value local = payload;              // refcount bump
+        EXPECT_EQ(local.size(), 8u);        // read through the shared buffer
+        EXPECT_EQ(local.bytes()[0], std::byte{1});
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(payload.use_count(), 1);
+}
+
+}  // namespace
+}  // namespace pqra::net

@@ -198,5 +198,111 @@ TEST(FormatDoubleTest, ShortestRoundTrip) {
   EXPECT_EQ(format_double(std::nan("")), "NaN");
 }
 
+// merge_from is what makes per-run registry shards (sim::ParallelRunner)
+// equivalent to the sequential everyone-shares-one-registry pattern: merging
+// R shards in run order must yield the exact instrument values a single
+// registry fed by the same runs in sequence would hold.
+
+TEST(RegistryMergeTest, CountersAdd) {
+  Registry total(Concurrency::kSingleThread);
+  total.counter("pqra_ops_total").inc(10);
+  Registry shard(Concurrency::kSingleThread);
+  shard.counter("pqra_ops_total").inc(32);
+  shard.counter("pqra_new_total").inc(5);  // not yet in the aggregate
+  total.merge_from(shard);
+  EXPECT_EQ(total.counter("pqra_ops_total").value(), 42u);
+  EXPECT_EQ(total.counter("pqra_new_total").value(), 5u);
+}
+
+TEST(RegistryMergeTest, GaugePolicies) {
+  Registry total(Concurrency::kSingleThread);
+  total.gauge("pqra_last", "", GaugeMerge::kLast).set(7.0);
+  total.gauge("pqra_max", "", GaugeMerge::kMax).set(7.0);
+  total.gauge("pqra_sum", "", GaugeMerge::kSum).set(7.0);
+
+  Registry shard(Concurrency::kSingleThread);
+  shard.gauge("pqra_last").set(3.0);
+  shard.gauge("pqra_max").set(3.0);
+  shard.gauge("pqra_sum").set(3.0);
+
+  total.merge_from(shard);
+  EXPECT_DOUBLE_EQ(total.gauge("pqra_last").value(), 3.0);  // shard overwrites
+  EXPECT_DOUBLE_EQ(total.gauge("pqra_max").value(), 7.0);   // kept the max
+  EXPECT_DOUBLE_EQ(total.gauge("pqra_sum").value(), 10.0);  // accumulated
+}
+
+TEST(RegistryMergeTest, GaugePolicyCarriesOverFromShard) {
+  // A gauge first seen via merge adopts the shard's policy, so later merges
+  // keep behaving like first-registration-wins.
+  Registry total(Concurrency::kSingleThread);
+  Registry shard1(Concurrency::kSingleThread);
+  shard1.gauge("pqra_hw", "", GaugeMerge::kMax).record_max(9.0);
+  total.merge_from(shard1);
+  Registry shard2(Concurrency::kSingleThread);
+  shard2.gauge("pqra_hw", "", GaugeMerge::kMax).record_max(4.0);
+  total.merge_from(shard2);
+  EXPECT_DOUBLE_EQ(total.gauge("pqra_hw").value(), 9.0);
+}
+
+TEST(RegistryMergeTest, HistogramsMergeBucketWise) {
+  Registry total(Concurrency::kSingleThread);
+  Histogram& ht = total.histogram("pqra_lat");
+  ht.observe(1.5);
+  ht.observe(100.0);
+
+  Registry shard(Concurrency::kSingleThread);
+  Histogram& hs = shard.histogram("pqra_lat");
+  hs.observe(1.5);
+  hs.observe(0.25);
+  hs.observe(std::nan(""));
+
+  total.merge_from(shard);
+  EXPECT_EQ(ht.count(), 4u);
+  EXPECT_DOUBLE_EQ(ht.sum(), 1.5 + 100.0 + 1.5 + 0.25);
+  EXPECT_EQ(ht.nan_count(), 1u);
+
+  // Bucket-wise equality against a histogram fed all samples directly.
+  Registry ref(Concurrency::kSingleThread);
+  Histogram& hr = ref.histogram("pqra_lat");
+  for (double x : {1.5, 100.0, 1.5, 0.25}) hr.observe(x);
+  for (std::size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+    EXPECT_EQ(ht.bucket_count(i), hr.bucket_count(i)) << "bucket " << i;
+  }
+}
+
+TEST(RegistryMergeTest, ShardMergeEqualsSequentialSharedRegistry) {
+  // Simulate 3 "runs", each reporting counters, a kLast gauge, a kMax gauge
+  // and a histogram — once sequentially into one registry, once into
+  // per-run shards merged in run order.  The snapshots must match exactly.
+  auto report = [](Registry& reg, int run) {
+    reg.counter("pqra_events_total").inc(100 + static_cast<std::uint64_t>(run));
+    reg.gauge("pqra_sim_time").set(50.0 * (run + 1));
+    reg.gauge("pqra_high_water", "", GaugeMerge::kMax)
+        .record_max(10.0 * ((run % 2) + 1));
+    reg.histogram("pqra_lat").observe(0.5 * (run + 1));
+  };
+
+  Registry sequential(Concurrency::kSingleThread);
+  for (int run = 0; run < 3; ++run) report(sequential, run);
+
+  Registry merged(Concurrency::kSingleThread);
+  for (int run = 0; run < 3; ++run) {
+    Registry shard(Concurrency::kSingleThread);
+    report(shard, run);
+    merged.merge_from(shard);
+  }
+
+  std::ostringstream seq_out, mrg_out;
+  write_prometheus(sequential, seq_out);
+  write_prometheus(merged, mrg_out);
+  EXPECT_EQ(seq_out.str(), mrg_out.str());
+}
+
+TEST(RegistryMergeTest, SelfMergeThrows) {
+  Registry reg(Concurrency::kSingleThread);
+  reg.counter("pqra_x_total").inc();
+  EXPECT_THROW(reg.merge_from(reg), std::exception);
+}
+
 }  // namespace
 }  // namespace pqra::obs
