@@ -28,6 +28,22 @@ CORES=$(nproc 2>/dev/null || echo 1)
 CLI="$BUILD_DIR/examples/experiment_cli"
 BENCH="$BUILD_DIR/bench"
 
+# Refuse to record numbers from a tree that violates the project's
+# determinism invariants: BENCH_*.json timings are only comparable across
+# revisions when every run is byte-identically replayable, and pqra_lint is
+# the source-level gate for exactly that (docs/STATIC_ANALYSIS.md).
+REPO_ROOT=$(cd "$(dirname "$0")/.." && pwd)
+LINT=$(cd "$BUILD_DIR" 2>/dev/null && pwd)/tools/lint/pqra_lint
+if [ ! -x "$LINT" ]; then
+  echo "run_benches.sh: $LINT not built; run" >&2
+  echo "  cmake --build $BUILD_DIR --target pqra_lint" >&2
+  exit 1
+fi
+if ! (cd "$REPO_ROOT" && "$LINT" --config .pqra-lint.toml src bench examples); then
+  echo "run_benches.sh: pqra_lint found violations; refusing to bench" >&2
+  exit 1
+fi
+
 now_ns() { date +%s%N; }
 
 # time_best VAR_PREFIX -- cmd...: best-of-$REPEAT wall seconds into

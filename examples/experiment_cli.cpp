@@ -4,7 +4,7 @@
 /// metrics back.  This is the scripting entry point for anything the fixed
 /// bench binaries do not cover.
 ///
-///   ./experiment_cli app=apsp graph=chain size=34 quorum=prob k=4 \
+///   ./experiment_cli app=apsp graph=chain size=34 quorum=prob k=4
 ///                    monotone=1 sync=1 runs=3 seed=1
 ///
 /// keys (defaults):

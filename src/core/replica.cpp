@@ -1,5 +1,6 @@
 #include "core/replica.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/check.hpp"
@@ -28,6 +29,7 @@ net::Message Replica::handle(const net::Message& request) {
     }
     case net::MsgType::kReadAck:
     case net::MsgType::kWriteAck:
+    case net::MsgType::kGossip:  // anti-entropy is driven via merge_store()
       break;
   }
   PQRA_CHECK(false, "replica received a non-request message");
@@ -46,9 +48,20 @@ const TimestampedValue* Replica::get(RegisterId reg) const {
 }
 
 Value Replica::encode_store() const {
+  // Gossip payload bytes feed transport metrics and replay comparisons, so
+  // the encoding must not depend on hash iteration order: snapshot the
+  // entries and emit them sorted by register id.
+  std::vector<const decltype(store_)::value_type*> entries;
+  entries.reserve(store_.size());
+  for (const auto& entry : store_) {  // pqra-lint: allow(unordered-iter)
+    entries.push_back(&entry);
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
   util::Bytes out;
   util::detail::append_raw(out, static_cast<std::uint64_t>(store_.size()));
-  for (const auto& [reg, tv] : store_) {
+  for (const auto* entry : entries) {
+    const auto& [reg, tv] = *entry;
     util::detail::append_raw(out, reg);
     util::detail::append_raw(out, tv.ts);
     util::detail::append_raw(out, static_cast<std::uint64_t>(tv.value.size()));

@@ -81,7 +81,8 @@ class LognormalDelay final : public DelayModel {
       u1 = rng.uniform01();
     } while (u1 <= 0.0);
     double u2 = rng.uniform01();
-    double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+    double z =
+        std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
     return min_ + std::exp(mu_ + sigma_ * z);
   }
 
@@ -101,19 +102,23 @@ class LognormalDelay final : public DelayModel {
 }  // namespace
 
 std::unique_ptr<DelayModel> make_constant_delay(Time delay) {
+  // pqra-lint: allow(hotpath-alloc) — construction-time factory
   return std::make_unique<ConstantDelay>(delay);
 }
 
 std::unique_ptr<DelayModel> make_exponential_delay(Time mean) {
+  // pqra-lint: allow(hotpath-alloc) — construction-time factory
   return std::make_unique<ExponentialDelay>(mean);
 }
 
 std::unique_ptr<DelayModel> make_uniform_delay(Time lo, Time hi) {
+  // pqra-lint: allow(hotpath-alloc) — construction-time factory
   return std::make_unique<UniformDelay>(lo, hi);
 }
 
 std::unique_ptr<DelayModel> make_lognormal_delay(Time min_delay, double mu,
                                                  double sigma) {
+  // pqra-lint: allow(hotpath-alloc) — construction-time factory
   return std::make_unique<LognormalDelay>(min_delay, mu, sigma);
 }
 

@@ -106,6 +106,7 @@ class EventArena {
   };
 
   void grow() {
+    // pqra-lint: allow(hotpath-alloc) — this IS the counted arena growth
     chunks_.push_back(std::make_unique<Block[]>(kBlocksPerChunk));
     ++stats_.chunks_allocated;
     Block* chunk = chunks_.back().get();

@@ -90,12 +90,15 @@ struct Codec<std::vector<E>, std::enable_if_t<std::is_trivially_copyable_v<E>>> 
 template <>
 struct Codec<std::string> {
   static Bytes encode(const std::string& s) {
+    // memcpy with a null source is UB even for zero bytes, and an empty
+    // vector's data() may be null — guard the empty case.
     Bytes out(s.size());
-    std::memcpy(out.data(), s.data(), s.size());
+    if (!s.empty()) std::memcpy(out.data(), s.data(), s.size());
     return out;
   }
 
   static std::string decode(const Bytes& in) {
+    if (in.empty()) return std::string();
     return std::string(reinterpret_cast<const char*>(in.data()), in.size());
   }
 };

@@ -1,0 +1,12 @@
+// Fixture: this file appears on determinism-rng's allow list in lint.toml
+// (the way src/util/rng.* is allowlisted in the real config), so its raw
+// engine must not be reported.  Its clock use is NOT allowlisted and the
+// golden expects exactly that one diagnostic.
+// Never compiled — linted only (tests/lint/lint_golden.cmake).
+#include <ctime>
+#include <random>
+
+long allowlisted_engine() {
+  std::mt19937 gen(7);            // allowlisted: not reported
+  return static_cast<long>(gen()) + time(nullptr);  // still reported
+}

@@ -1,0 +1,13 @@
+// Fixture: wall-clock reads the determinism-clock rule must reject.
+// Never compiled — linted only (tests/lint/lint_golden.cmake).
+#include <chrono>
+#include <ctime>
+
+long bad_clock() {
+  auto wall = std::chrono::system_clock::now();   // identity-revealing clock
+  std::time_t t = time(nullptr);                  // libc wall clock
+  // steady_clock is fine: monotonic, used for threaded-runtime timeouts.
+  auto mono = std::chrono::steady_clock::now();
+  return static_cast<long>(t) + wall.time_since_epoch().count() +
+         mono.time_since_epoch().count();
+}

@@ -1,0 +1,31 @@
+// Fixture: DES hot-path hygiene violations (the fixture config puts
+// fixtures/ in hot-path scope the way .pqra-lint.toml puts src/sim/ there).
+// Never compiled — linted only (tests/lint/lint_golden.cmake).
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+struct Event {
+  std::function<void()> fn;           // heap-allocating callable storage
+};
+
+void schedule(Event& e) {
+  auto* leaked = new Event();         // raw allocation in event code
+  auto owned = std::make_unique<Event>();
+  std::mutex m;                       // blocking primitive in DES code
+  std::lock_guard<std::mutex> lock(m);
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  e.fn = [leaked, &owned] { (void)leaked; (void)owned; };
+}
+
+struct Arena {
+  // The sanctioned forms never trip the rule: placement new targets arena
+  // storage, and operator new is the arena's own counted fallback.
+  void* grow(std::size_t bytes) { return ::operator new(bytes); }
+  template <typename T>
+  T* construct(void* at) {
+    return ::new (at) T();
+  }
+};

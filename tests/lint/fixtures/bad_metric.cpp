@@ -1,0 +1,12 @@
+// Fixture: metric-name literals outside src/obs/names.hpp (string drift
+// between emitters, exporters and dashboards).
+// Never compiled — linted only (tests/lint/lint_golden.cmake).
+#include <string>
+
+std::string bad_metric() {
+  std::string name = "pqra_client_reads_total";   // must come from names.hpp
+  std::string hist = "pqra_client_read_latency";
+  // Non-name-shaped strings that merely mention the prefix are fine:
+  std::string prose = "pqra_… metrics are documented in OBSERVABILITY.md";
+  return name + hist + prose;
+}

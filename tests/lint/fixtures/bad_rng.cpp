@@ -1,0 +1,21 @@
+// Fixture: every construct the determinism-rng rule must reject.
+// Never compiled — linted only (tests/lint/lint_golden.cmake).
+#include <cstdlib>
+#include <random>
+
+int bad_rng() {
+  std::random_device rd;            // seeding from hardware entropy
+  std::mt19937 gen(rd());           // raw standard-library engine
+  std::mt19937_64 gen64(1234);      // 64-bit variant
+  srand(42);                        // libc seeding
+  int x = rand();                   // libc draw
+  return static_cast<int>(gen() + gen64()) + x;
+}
+
+struct Sampler {
+  // Member access spelled like the banned call is legal: only free calls
+  // count, so a class may expose its own rand() without tripping the rule.
+  int rand() const { return 4; }
+};
+
+int ok_member_call(const Sampler& s) { return s.rand(); }

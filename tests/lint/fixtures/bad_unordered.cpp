@@ -1,0 +1,27 @@
+// Fixture: hash-order iteration the unordered-iter rule must reject.
+// Never compiled — linted only (tests/lint/lint_golden.cmake).
+#include "unordered_member.hpp"
+
+#include <map>
+#include <unordered_set>
+#include <vector>
+
+void Store::emit() const {
+  for (const auto& [k, v] : entries_) {  // member declared in the header
+    (void)k;
+    (void)v;
+  }
+}
+
+int local_iteration() {
+  std::unordered_set<int> seen;
+  seen.insert(3);
+  int sum = 0;
+  for (int v : seen) sum += v;            // range-for over a local
+  auto it = seen.begin();                 // explicit iterator walk
+  sum += *it;
+  // Ordered containers never trip the rule.
+  std::map<int, int> sorted;
+  for (const auto& [k, v] : sorted) sum += k + v;
+  return sum;
+}

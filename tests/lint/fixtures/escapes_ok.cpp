@@ -1,0 +1,22 @@
+// Fixture: inline escapes silence a diagnostic on their own line and the
+// line below — this file must lint clean despite containing violations.
+// Never compiled — linted only (tests/lint/lint_golden.cmake).
+#include <cstdlib>
+#include <unordered_map>
+
+int escaped_rng() {
+  return rand();  // pqra-lint: allow(determinism-rng)
+}
+
+int escaped_next_line() {
+  // pqra-lint: allow(determinism-rng) — next-line form, with justification
+  return rand();
+}
+
+int escaped_multiple() {
+  std::unordered_map<int, int> m{{1, 2}};
+  int sum = 0;
+  // pqra-lint: allow(unordered-iter, determinism-rng) — commutative fold
+  for (const auto& [k, v] : m) sum += k + v + rand();
+  return sum;
+}

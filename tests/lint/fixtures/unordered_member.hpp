@@ -1,0 +1,10 @@
+// Fixture header: declares an unordered member that bad_unordered.cpp
+// iterates, exercising the cross-file (direct-include) member lookup.
+#pragma once
+#include <string>
+#include <unordered_map>
+
+struct Store {
+  void emit() const;
+  std::unordered_map<int, std::string> entries_;
+};

@@ -1,0 +1,33 @@
+# Golden-file check for pqra_lint (driven by the lint_golden_* ctest
+# entries): lint one known-bad fixture and require the diagnostics to match
+# the expected output byte-for-byte, and the exit status to match.
+#
+# Inputs: -DLINT=<pqra_lint binary> -DFIXTURE=<name, e.g. bad_rng>
+#         -DSRC_DIR=<tests/lint source dir> -DEXPECT_RC=<0 or 1>
+
+if(NOT LINT OR NOT FIXTURE OR NOT SRC_DIR OR NOT DEFINED EXPECT_RC)
+  message(FATAL_ERROR
+    "lint_golden.cmake needs -DLINT=... -DFIXTURE=... -DSRC_DIR=... "
+    "-DEXPECT_RC=...")
+endif()
+
+execute_process(
+  COMMAND "${LINT}" --config fixtures/lint.toml "fixtures/${FIXTURE}.cpp"
+  WORKING_DIRECTORY "${SRC_DIR}"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+
+if(NOT rc EQUAL EXPECT_RC)
+  message(FATAL_ERROR
+    "pqra_lint on ${FIXTURE}.cpp exited ${rc}, expected ${EXPECT_RC}\n"
+    "stdout:\n${out}\nstderr:\n${err}")
+endif()
+
+file(READ "${SRC_DIR}/golden/${FIXTURE}.txt" expected)
+if(NOT out STREQUAL expected)
+  message(FATAL_ERROR
+    "pqra_lint diagnostics for ${FIXTURE}.cpp diverged from the golden "
+    "(tests/lint/golden/${FIXTURE}.txt).\n--- expected ---\n${expected}\n"
+    "--- actual ---\n${out}")
+endif()

@@ -1,0 +1,861 @@
+/// \file pqra_lint.cpp
+/// Project-invariant static analysis for the pqra tree.
+///
+/// The paper's tail bounds are only falsifiable here because every experiment
+/// replays byte-identically from a seed (docs/PERFORMANCE.md).  That property
+/// is enforced at runtime by the cli_jobs_determinism / cli_fault_replay
+/// gates, but nothing stops a stray std::random_device, wall-clock read or
+/// unordered_map iteration from being merged in the first place.  pqra_lint
+/// closes that gap at the source level: a lightweight tokenizer (no libclang)
+/// plus a per-file rule engine that machine-checks the invariants previous
+/// PRs established by convention.  Rules, scopes and allowlists live in
+/// .pqra-lint.toml; one-off justified exceptions use inline escapes:
+///
+///   // pqra-lint: allow(<rule-id>[, <rule-id>...])   -- this line + the next
+///
+/// Exit status: 0 clean, 1 violations found, 2 usage/configuration error.
+/// See docs/STATIC_ANALYSIS.md for the rule catalogue and rationale.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+enum class TokKind { kIdent, kPunct, kString, kNumber };
+
+struct Token {
+  TokKind kind;
+  std::string text;  // for kString: the literal's *contents*, unescaped-ish
+  int line;
+};
+
+struct FileScan {
+  std::string path;  // as given on the command line / directory walk
+  std::vector<Token> tokens;
+  // line -> rule ids allowed by an inline escape on that line (an escape
+  // also covers the following line, handled at query time).
+  std::map<int, std::set<std::string>> escapes;
+  // #include "..." targets, so a .cpp sees the unordered members its own
+  // header declares.
+  std::vector<std::string> includes;
+};
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Parses "pqra-lint: allow(a, b)" out of a comment body; returns the rule
+/// ids (empty if the comment is not an escape).
+std::set<std::string> parse_escape(const std::string& comment) {
+  std::set<std::string> rules;
+  const std::string key = "pqra-lint:";
+  auto at = comment.find(key);
+  if (at == std::string::npos) return rules;
+  auto open = comment.find("allow(", at + key.size());
+  if (open == std::string::npos) return rules;
+  auto close = comment.find(')', open);
+  if (close == std::string::npos) return rules;
+  std::string list = comment.substr(open + 6, close - open - 6);
+  std::string cur;
+  for (char c : list) {
+    if (c == ',') {
+      if (!cur.empty()) rules.insert(cur);
+      cur.clear();
+    } else if (!std::isspace(static_cast<unsigned char>(c))) {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) rules.insert(cur);
+  return rules;
+}
+
+/// Tokenizes C++ source: strips comments (capturing pqra-lint escapes),
+/// skips preprocessor lines (so `#include <new>` is not an allocation) and
+/// collapses string literals to single tokens so banned identifiers inside
+/// text never fire.  Line numbers are 1-based.
+FileScan tokenize(const std::string& path, const std::string& src) {
+  FileScan scan;
+  scan.path = path;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  int line = 1;
+  bool at_line_start = true;  // only whitespace seen since the last newline
+
+  auto record_escape = [&scan](int ln, const std::string& body) {
+    std::set<std::string> rules = parse_escape(body);
+    if (!rules.empty()) scan.escapes[ln].insert(rules.begin(), rules.end());
+  };
+
+  while (i < n) {
+    char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Preprocessor directive: skip to end of line, honouring continuations.
+    // Quoted includes are recorded for cross-file member-type lookup.
+    if (c == '#' && at_line_start) {
+      std::size_t start = i;
+      while (i < n) {
+        if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
+          ++line;
+          i += 2;
+          continue;
+        }
+        if (src[i] == '\n') break;
+        ++i;
+      }
+      std::string directive = src.substr(start, i - start);
+      auto inc = directive.find("include");
+      if (inc != std::string::npos) {
+        auto q1 = directive.find('"', inc);
+        if (q1 != std::string::npos) {
+          auto q2 = directive.find('"', q1 + 1);
+          if (q2 != std::string::npos) {
+            scan.includes.push_back(directive.substr(q1 + 1, q2 - q1 - 1));
+          }
+        }
+      }
+      continue;
+    }
+    at_line_start = false;
+    // Line comment (may carry an escape annotation).
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      std::size_t end = src.find('\n', i);
+      if (end == std::string::npos) end = n;
+      record_escape(line, src.substr(i + 2, end - i - 2));
+      i = end;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      std::size_t end = src.find("*/", i + 2);
+      if (end == std::string::npos) end = n;
+      std::string body = src.substr(i + 2, end - i - 2);
+      record_escape(line, body);
+      line += static_cast<int>(std::count(body.begin(), body.end(), '\n'));
+      i = (end == n) ? n : end + 2;
+      continue;
+    }
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      std::size_t p = i + 2;
+      std::string delim;
+      while (p < n && src[p] != '(') delim += src[p++];
+      std::string closer = ")" + delim + "\"";
+      std::size_t end = src.find(closer, p);
+      if (end == std::string::npos) end = n;
+      std::string body = src.substr(p + 1, end - p - 1);
+      scan.tokens.push_back({TokKind::kString, body, line});
+      line += static_cast<int>(std::count(src.begin() + static_cast<long>(i),
+                                          src.begin() + static_cast<long>(
+                                              std::min(end + closer.size(), n)),
+                                          '\n'));
+      i = std::min(end + closer.size(), n);
+      continue;
+    }
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      std::size_t p = i + 1;
+      std::string body;
+      while (p < n && src[p] != quote) {
+        if (src[p] == '\\' && p + 1 < n) {
+          body += src[p + 1];
+          p += 2;
+        } else {
+          if (src[p] == '\n') ++line;
+          body += src[p++];
+        }
+      }
+      if (quote == '"') scan.tokens.push_back({TokKind::kString, body, line});
+      i = (p < n) ? p + 1 : n;
+      continue;
+    }
+    if (ident_start(c)) {
+      std::size_t p = i;
+      while (p < n && ident_char(src[p])) ++p;
+      scan.tokens.push_back({TokKind::kIdent, src.substr(i, p - i), line});
+      i = p;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t p = i;
+      while (p < n && (ident_char(src[p]) || src[p] == '.' || src[p] == '\'')) {
+        ++p;
+      }
+      scan.tokens.push_back({TokKind::kNumber, src.substr(i, p - i), line});
+      i = p;
+      continue;
+    }
+    // Punctuation.  "::" and "->" are kept whole (qualification / member
+    // access matter to the rules); everything else is a single char so angle
+    // bracket depth can be tracked without a ">>" special case.
+    if (c == ':' && i + 1 < n && src[i + 1] == ':') {
+      scan.tokens.push_back({TokKind::kPunct, "::", line});
+      i += 2;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && src[i + 1] == '>') {
+      scan.tokens.push_back({TokKind::kPunct, "->", line});
+      i += 2;
+      continue;
+    }
+    scan.tokens.push_back({TokKind::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  return scan;
+}
+
+// ---------------------------------------------------------------------------
+// Configuration (.pqra-lint.toml — a deliberately small TOML subset:
+// [sections], key = "string" | [ "array", "of", "strings" ], # comments)
+// ---------------------------------------------------------------------------
+
+struct RuleConfig {
+  std::vector<std::string> allow;  // path globs exempt from the rule
+  std::vector<std::string> paths;  // if non-empty, rule only applies here
+};
+
+struct Config {
+  std::vector<std::string> extensions = {".cpp", ".hpp", ".cc", ".h"};
+  std::map<std::string, RuleConfig> rules;
+};
+
+std::string trim(const std::string& s) {
+  std::size_t a = s.find_first_not_of(" \t\r");
+  if (a == std::string::npos) return "";
+  std::size_t b = s.find_last_not_of(" \t\r");
+  return s.substr(a, b - a + 1);
+}
+
+/// Splits a TOML string array body ("a", "b") into its elements.
+std::vector<std::string> parse_string_array(const std::string& body) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < body.size()) {
+    if (body[i] == '"') {
+      std::size_t end = body.find('"', i + 1);
+      if (end == std::string::npos) break;
+      out.push_back(body.substr(i + 1, end - i - 1));
+      i = end + 1;
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+bool load_config(const std::string& file, Config& cfg, std::string& err) {
+  std::ifstream in(file);
+  if (!in) {
+    err = "cannot open config file: " + file;
+    return false;
+  }
+  std::string line, section, pending_key, pending_array;
+  bool in_array = false;
+  auto commit = [&](const std::string& key, const std::string& value) {
+    std::vector<std::string> items = parse_string_array(value);
+    if (section == "lint") {
+      if (key == "extensions") cfg.extensions = items;
+    } else if (section.rfind("rule.", 0) == 0) {
+      RuleConfig& rc = cfg.rules[section.substr(5)];
+      if (key == "allow") rc.allow = items;
+      if (key == "paths") rc.paths = items;
+    }
+  };
+  while (std::getline(in, line)) {
+    // Strip comments (a '#' outside quotes).
+    bool quoted = false;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      if (line[i] == '"') quoted = !quoted;
+      if (line[i] == '#' && !quoted) {
+        line = line.substr(0, i);
+        break;
+      }
+    }
+    line = trim(line);
+    if (in_array) {
+      pending_array += line;
+      if (line.find(']') != std::string::npos) {
+        commit(pending_key, pending_array);
+        in_array = false;
+      }
+      continue;
+    }
+    if (line.empty()) continue;
+    if (line.front() == '[' && line.back() == ']') {
+      section = trim(line.substr(1, line.size() - 2));
+      continue;
+    }
+    std::size_t eq = line.find('=');
+    if (eq == std::string::npos) continue;
+    std::string key = trim(line.substr(0, eq));
+    std::string value = trim(line.substr(eq + 1));
+    if (!value.empty() && value.front() == '[' &&
+        value.find(']') == std::string::npos) {
+      in_array = true;
+      pending_key = key;
+      pending_array = value;
+      continue;
+    }
+    commit(key, value);
+  }
+  return true;
+}
+
+/// Glob match supporting '*' (any run of chars, including '/').  A pattern
+/// with a trailing '/' matches the whole subtree.
+bool glob_match(const std::string& pat, const std::string& path) {
+  if (!pat.empty() && pat.back() == '/') {
+    return path.rfind(pat, 0) == 0;
+  }
+  // Iterative wildcard match.
+  std::size_t p = 0, s = 0, star = std::string::npos, mark = 0;
+  while (s < path.size()) {
+    if (p < pat.size() && (pat[p] == path[s])) {
+      ++p, ++s;
+    } else if (p < pat.size() && pat[p] == '*') {
+      star = p++;
+      mark = s;
+    } else if (star != std::string::npos) {
+      p = star + 1;
+      s = ++mark;
+    } else {
+      return false;
+    }
+  }
+  while (p < pat.size() && pat[p] == '*') ++p;
+  return p == pat.size();
+}
+
+bool matches_any(const std::vector<std::string>& pats,
+                 const std::string& path) {
+  for (const std::string& pat : pats) {
+    if (glob_match(pat, path)) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Rule engine
+// ---------------------------------------------------------------------------
+
+struct Violation {
+  std::string path;
+  int line;
+  std::string rule;
+  std::string message;
+  std::string hint;
+};
+
+struct RuleInfo {
+  std::string id;
+  std::string summary;
+};
+
+/// Names declared with an unordered container type in this token stream
+/// (members, locals, parameters).  Tracks `using X = std::unordered_map<..>`
+/// aliases declared earlier in the same file.
+std::set<std::string> collect_unordered_names(const std::vector<Token>& t) {
+  static const std::set<std::string> kUnordered = {
+      "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset"};
+  std::set<std::string> names;    // variables of unordered type
+  std::set<std::string> aliases;  // using X = std::unordered_map<...>
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent) continue;
+    bool unordered_type =
+        kUnordered.count(t[i].text) > 0 || aliases.count(t[i].text) > 0;
+    if (!unordered_type) continue;
+    // `using X = ...unordered_map<...>;` registers an alias, not a var.
+    bool in_using = false;
+    for (std::size_t b = i; b-- > 0;) {
+      if (t[b].text == ";" || t[b].text == "{" || t[b].text == "}") break;
+      if (t[b].kind == TokKind::kIdent && t[b].text == "using") {
+        in_using = true;
+        // The alias name is right after `using`.
+        if (b + 1 < t.size() && t[b + 1].kind == TokKind::kIdent) {
+          aliases.insert(t[b + 1].text);
+        }
+        break;
+      }
+    }
+    std::size_t j = i + 1;
+    // Skip the template argument list.
+    if (j < t.size() && t[j].text == "<") {
+      int depth = 0;
+      for (; j < t.size(); ++j) {
+        if (t[j].text == "<") ++depth;
+        if (t[j].text == ">" && --depth == 0) {
+          ++j;
+          break;
+        }
+      }
+    }
+    if (in_using) continue;
+    // Declarator: the last identifier before ; = { ) or , — a `(` or a
+    // closing `>` means this was a return type / nested template argument.
+    std::string last_ident;
+    for (; j < t.size(); ++j) {
+      const std::string& x = t[j].text;
+      if (x == "(" || x == "<" || x == ">") {
+        last_ident.clear();
+        break;
+      }
+      if (x == ";" || x == "=" || x == "{" || x == ")" || x == ",") break;
+      if (t[j].kind == TokKind::kIdent && x != "const" && x != "constexpr" &&
+          x != "static" && x != "mutable") {
+        last_ident = x;
+      }
+    }
+    if (!last_ident.empty()) names.insert(last_ident);
+  }
+  return names;
+}
+
+const std::vector<RuleInfo> kRules = {
+    {"determinism-rng",
+     "raw RNG sources (std::random_device, mt19937, rand) outside util::Rng"},
+    {"determinism-clock",
+     "wall-clock reads (system_clock, time(), gettimeofday) in simulated code"},
+    {"unordered-iter",
+     "iteration over std::unordered_{map,set} (hash order leaks into output)"},
+    {"hotpath-function", "std::function in DES hot-path code (heap-allocates)"},
+    {"hotpath-alloc",
+     "heap allocation (new/make_unique/malloc) in DES hot-path code"},
+    {"hotpath-blocking",
+     "blocking primitives (mutex/condition_variable/sleep) in DES code"},
+    {"metric-name",
+     "metric-name string literal outside src/obs/names.hpp (string drift)"},
+};
+
+class Linter {
+ public:
+  explicit Linter(Config cfg) : cfg_(std::move(cfg)) {}
+
+  /// \p extra_names: unordered-container variable names contributed by the
+  /// file's directly-included project headers.
+  void lint_file(const FileScan& scan, std::set<std::string> extra_names) {
+    scan_ = &scan;
+    extra_names_ = std::move(extra_names);
+    if (applies("determinism-rng")) check_determinism_rng();
+    if (applies("determinism-clock")) check_determinism_clock();
+    if (applies("unordered-iter")) check_unordered_iter();
+    if (applies("hotpath-function")) check_hotpath_function();
+    if (applies("hotpath-alloc")) check_hotpath_alloc();
+    if (applies("hotpath-blocking")) check_hotpath_blocking();
+    if (applies("metric-name")) check_metric_names();
+  }
+
+  const std::vector<Violation>& violations() const { return violations_; }
+
+ private:
+  bool applies(const std::string& rule) const {
+    auto it = cfg_.rules.find(rule);
+    if (it == cfg_.rules.end()) return true;  // unconfigured: global scope
+    const RuleConfig& rc = it->second;
+    if (!rc.paths.empty() && !matches_any(rc.paths, scan_->path)) return false;
+    return !matches_any(rc.allow, scan_->path);
+  }
+
+  bool escaped(const std::string& rule, int line) const {
+    for (int ln : {line, line - 1}) {
+      auto it = scan_->escapes.find(ln);
+      if (it == scan_->escapes.end()) continue;
+      if (it->second.count(rule) || it->second.count("all")) return true;
+    }
+    return false;
+  }
+
+  void report(const std::string& rule, int line, const std::string& message,
+              const std::string& hint) {
+    if (escaped(rule, line)) return;
+    violations_.push_back({scan_->path, line, rule, message, hint});
+  }
+
+  const std::vector<Token>& toks() const { return scan_->tokens; }
+
+  /// True when token i is a free-function *call* of the given name (not a
+  /// member access: `x.time(...)` / `x->clock()` stay legal).
+  bool is_free_call(std::size_t i, const std::string& name) const {
+    const auto& t = toks();
+    if (t[i].kind != TokKind::kIdent || t[i].text != name) return false;
+    if (i + 1 >= t.size() || t[i + 1].text != "(") return false;
+    if (i == 0) return true;
+    const std::string& prev = t[i - 1].text;
+    if (prev == "." || prev == "->") return false;
+    if (prev == "::") {
+      // std::rand / ::rand are still the banned function; Foo::rand is not.
+      if (i >= 2 && toks()[i - 2].kind == TokKind::kIdent &&
+          toks()[i - 2].text != "std") {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void ban_idents(const std::string& rule, const std::set<std::string>& banned,
+                  const std::string& what, const std::string& hint) {
+    for (const Token& t : toks()) {
+      if (t.kind == TokKind::kIdent && banned.count(t.text)) {
+        report(rule, t.line, what + " `" + t.text + "`", hint);
+      }
+    }
+  }
+
+  // -- determinism ----------------------------------------------------------
+
+  void check_determinism_rng() {
+    const std::string hint =
+        "draw randomness through util::Rng (src/util/rng.hpp); derive "
+        "per-stream generators with Rng::fork(stream_id)";
+    ban_idents("determinism-rng",
+               {"random_device", "mt19937", "mt19937_64", "minstd_rand",
+                "default_random_engine", "knuth_b", "random_shuffle"},
+               "non-reproducible RNG source", hint);
+    for (std::size_t i = 0; i < toks().size(); ++i) {
+      for (const char* fn : {"rand", "srand", "rand_r", "drand48"}) {
+        if (is_free_call(i, fn)) {
+          report("determinism-rng", toks()[i].line,
+                 std::string("libc RNG `") + fn + "()`", hint);
+        }
+      }
+    }
+  }
+
+  void check_determinism_clock() {
+    const std::string hint =
+        "simulated code must take time from sim::Simulator::now(); threaded "
+        "runtime timeouts use steady_clock (allowlisted files only)";
+    ban_idents("determinism-clock",
+               {"system_clock", "gettimeofday", "localtime", "gmtime",
+                "ctime", "timespec_get"},
+               "wall-clock source", hint);
+    for (std::size_t i = 0; i < toks().size(); ++i) {
+      if (is_free_call(i, "time") || is_free_call(i, "clock")) {
+        report("determinism-clock", toks()[i].line,
+               "libc wall-clock call `" + toks()[i].text + "()`", hint);
+      }
+    }
+  }
+
+  // -- replay safety --------------------------------------------------------
+
+  /// Flags range-fors and explicit .begin()/.cbegin() iteration over names
+  /// declared with an unordered container type — in this file or in one of
+  /// its directly-included project headers (extra_names).  Hash iteration
+  /// order is implementation-defined; once it feeds bytes, metrics or
+  /// traces, replay stops being byte-identical across standard libraries.
+  void check_unordered_iter() {
+    const auto& t = toks();
+    std::set<std::string> names = collect_unordered_names(t);
+    names.insert(extra_names_.begin(), extra_names_.end());
+    if (names.empty()) return;
+    const std::string hint =
+        "iterate a sorted snapshot (copy keys/entries into a std::vector and "
+        "std::sort) or use std::map/std::set when order reaches any output";
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+      if (t[i].kind == TokKind::kIdent && t[i].text == "for" &&
+          t[i + 1].text == "(") {
+        // Find the range-for `:` at paren depth 1, then the range expr.
+        int depth = 0;
+        std::size_t colon = 0, close = 0;
+        for (std::size_t j = i + 1; j < t.size(); ++j) {
+          if (t[j].text == "(") ++depth;
+          if (t[j].text == ")" && --depth == 0) {
+            close = j;
+            break;
+          }
+          if (t[j].text == ":" && depth == 1 && colon == 0) colon = j;
+        }
+        if (colon == 0 || close == 0) continue;
+        for (std::size_t j = colon + 1; j < close; ++j) {
+          if (t[j].kind == TokKind::kIdent && names.count(t[j].text)) {
+            report("unordered-iter", t[j].line,
+                   "range-for over unordered container `" + t[j].text + "`",
+                   hint);
+            break;
+          }
+        }
+      }
+      // Explicit iterator loops / algorithm calls.
+      if (t[i].kind == TokKind::kIdent && names.count(t[i].text) &&
+          i + 2 < t.size() && (t[i + 1].text == "." || t[i + 1].text == "->") &&
+          (t[i + 2].text == "begin" || t[i + 2].text == "cbegin" ||
+           t[i + 2].text == "rbegin")) {
+        report("unordered-iter", t[i].line,
+               "iterator walk over unordered container `" + t[i].text + "`",
+               hint);
+      }
+    }
+  }
+
+  // -- DES hot-path hygiene (scope restricted via [rule.*].paths) -----------
+
+  void check_hotpath_function() {
+    const auto& t = toks();
+    for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+      if (t[i].text == "std" && t[i + 1].text == "::" &&
+          t[i + 2].text == "function") {
+        report("hotpath-function", t[i].line,
+               "std::function in DES hot-path code",
+               "use sim::EventFn (sim/event_fn.hpp): small-buffer storage, "
+               "no heap allocation in the schedule->fire loop");
+      }
+    }
+  }
+
+  void check_hotpath_alloc() {
+    const auto& t = toks();
+    const std::string hint =
+        "event-path storage must come from sim::EventArena (recycled slab "
+        "blocks); construction-time factories need an inline escape";
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (t[i].kind != TokKind::kIdent) continue;
+      if (t[i].text == "new") {
+        // Placement / arena forms are the sanctioned implementation detail:
+        // `::new (ptr) T` and `operator new`.
+        bool placement =
+            (i > 0 && (t[i - 1].text == "::" || t[i - 1].text == "operator"));
+        if (!placement) {
+          report("hotpath-alloc", t[i].line, "`new` in DES hot-path code",
+                 hint);
+        }
+      } else if (t[i].text == "make_unique" || t[i].text == "make_shared") {
+        report("hotpath-alloc", t[i].line,
+               "`" + t[i].text + "` in DES hot-path code", hint);
+      } else if (is_free_call(i, "malloc") || is_free_call(i, "calloc") ||
+                 is_free_call(i, "realloc")) {
+        report("hotpath-alloc", t[i].line,
+               "`" + t[i].text + "()` in DES hot-path code", hint);
+      }
+    }
+  }
+
+  void check_hotpath_blocking() {
+    ban_idents(
+        "hotpath-blocking",
+        {"mutex", "condition_variable", "condition_variable_any", "sleep_for",
+         "sleep_until", "lock_guard", "unique_lock", "scoped_lock",
+         "shared_mutex", "recursive_mutex"},
+        "blocking primitive in DES code",
+        "the DES is single-threaded by contract (docs/PERFORMANCE.md); "
+        "threaded-runtime files belong on the rule's allowlist");
+  }
+
+  // -- metrics discipline ---------------------------------------------------
+
+  /// A literal that *is* a metric name ("pqra_<layer>_<what>") must live in
+  /// src/obs/names.hpp; everywhere else references the constant, so that
+  /// exporters/tests/dashboards can never drift from the emitting site.
+  void check_metric_names() {
+    for (const Token& t : toks()) {
+      if (t.kind != TokKind::kString) continue;
+      const std::string& s = t.text;
+      if (s.rfind("pqra_", 0) != 0 || s.size() <= 5) continue;
+      bool name_shaped = true;
+      for (char c : s) {
+        if (!(std::islower(static_cast<unsigned char>(c)) ||
+              std::isdigit(static_cast<unsigned char>(c)) || c == '_')) {
+          name_shaped = false;
+          break;
+        }
+      }
+      if (!name_shaped) continue;
+      report("metric-name", t.line,
+             "metric-name literal \"" + s + "\" outside src/obs/names.hpp",
+             "add a constant to src/obs/names.hpp and reference it "
+             "(obs::names::k...)");
+    }
+  }
+
+  Config cfg_;
+  const FileScan* scan_ = nullptr;
+  std::set<std::string> extra_names_;
+  std::vector<Violation> violations_;
+};
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+std::string normalize(std::string p) {
+  std::replace(p.begin(), p.end(), '\\', '/');
+  if (p.rfind("./", 0) == 0) p = p.substr(2);
+  return p;
+}
+
+bool has_extension(const Config& cfg, const std::string& path) {
+  for (const std::string& ext : cfg.extensions) {
+    if (path.size() >= ext.size() &&
+        path.compare(path.size() - ext.size(), ext.size(), ext) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0
+      << " [--config FILE] [--list-rules] PATH...\n"
+         "Scans the given files/directories (relative to the working\n"
+         "directory) for pqra project-invariant violations.  With no\n"
+         "--config, reads .pqra-lint.toml from the working directory when\n"
+         "present.  Exit: 0 clean, 1 violations, 2 error.\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string config_file;
+  std::vector<std::string> roots;
+  bool list_rules = false;
+  for (int a = 1; a < argc; ++a) {
+    std::string arg = argv[a];
+    if (arg == "--config") {
+      if (++a >= argc) return usage(argv[0]);
+      config_file = argv[a];
+    } else if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(argv[0]);
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (list_rules) {
+    for (const RuleInfo& r : kRules) {
+      std::printf("%-20s %s\n", r.id.c_str(), r.summary.c_str());
+    }
+    return 0;
+  }
+  if (roots.empty()) return usage(argv[0]);
+
+  Config cfg;
+  if (config_file.empty() && fs::exists(".pqra-lint.toml")) {
+    config_file = ".pqra-lint.toml";
+  }
+  if (!config_file.empty()) {
+    std::string err;
+    if (!load_config(config_file, cfg, err)) {
+      std::cerr << "pqra_lint: " << err << "\n";
+      return 2;
+    }
+  }
+
+  // Collect files (sorted for deterministic diagnostics).
+  std::vector<std::string> files;
+  for (const std::string& root : roots) {
+    fs::path rp(root);
+    std::error_code ec;
+    if (fs::is_directory(rp, ec)) {
+      for (fs::recursive_directory_iterator it(rp, ec), end; it != end;
+           it.increment(ec)) {
+        if (ec) break;
+        if (!it->is_regular_file()) continue;
+        std::string p = normalize(it->path().generic_string());
+        if (has_extension(cfg, p)) files.push_back(p);
+      }
+    } else if (fs::is_regular_file(rp, ec)) {
+      files.push_back(normalize(rp.generic_string()));
+    } else {
+      std::cerr << "pqra_lint: no such file or directory: " << root << "\n";
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  // Unordered-container declarations from a header, cached by resolved
+  // path.  Quoted includes resolve the way the build does: against src/
+  // (the project include root), then the including file's own directory.
+  std::map<std::string, std::set<std::string>> header_names;
+  auto names_from_header = [&header_names](const fs::path& candidate)
+      -> const std::set<std::string>* {
+    std::error_code ec;
+    if (!fs::is_regular_file(candidate, ec)) return nullptr;
+    std::string key = normalize(candidate.generic_string());
+    auto it = header_names.find(key);
+    if (it == header_names.end()) {
+      std::ifstream in(candidate, std::ios::binary);
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      FileScan hs = tokenize(key, ss.str());
+      it = header_names.emplace(key, collect_unordered_names(hs.tokens)).first;
+    }
+    return &it->second;
+  };
+
+  Linter linter(cfg);
+  for (const std::string& f : files) {
+    std::ifstream in(f, std::ios::binary);
+    if (!in) {
+      std::cerr << "pqra_lint: cannot read " << f << "\n";
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    FileScan scan = tokenize(f, ss.str());
+    std::set<std::string> extra;
+    for (const std::string& inc : scan.includes) {
+      for (const fs::path& candidate :
+           {fs::path("src") / inc, fs::path(f).parent_path() / inc,
+            fs::path(inc)}) {
+        if (const std::set<std::string>* names = names_from_header(candidate)) {
+          extra.insert(names->begin(), names->end());
+          break;
+        }
+      }
+    }
+    linter.lint_file(scan, std::move(extra));
+  }
+
+  std::vector<Violation> sorted = linter.violations();
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Violation& a, const Violation& b) {
+              return std::tie(a.path, a.line, a.rule) <
+                     std::tie(b.path, b.line, b.rule);
+            });
+  for (const Violation& v : sorted) {
+    std::cout << v.path << ":" << v.line << ": [" << v.rule << "] "
+              << v.message << "\n    hint: " << v.hint << "\n";
+  }
+  if (!sorted.empty()) {
+    std::cout << "pqra_lint: " << sorted.size() << " violation"
+              << (sorted.size() == 1 ? "" : "s") << " in " << files.size()
+              << " files scanned\n";
+    return 1;
+  }
+  std::cout << "pqra_lint: clean (" << files.size() << " files scanned)\n";
+  return 0;
+}
