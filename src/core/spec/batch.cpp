@@ -1,0 +1,83 @@
+#include "core/spec/batch.hpp"
+
+namespace pqra::core::spec {
+
+const char* rule_id(Rule rule) {
+  switch (rule) {
+    case Rule::kR1:
+      return "R1";
+    case Rule::kR2:
+      return "R2";
+    case Rule::kR4:
+      return "R4";
+    case Rule::kSingleWriter:
+      return "single-writer";
+    case Rule::kRegular:
+      return "regular";
+    case Rule::kAtomic:
+      return "atomic";
+  }
+  return "?";
+}
+
+std::optional<Rule> parse_rule(std::string_view id) {
+  for (Rule rule : {Rule::kR1, Rule::kR2, Rule::kR4, Rule::kSingleWriter,
+                    Rule::kRegular, Rule::kAtomic}) {
+    if (id == rule_id(rule)) return rule;
+  }
+  return std::nullopt;
+}
+
+bool BatchResult::ok() const {
+  for (const RuleOutcome& outcome : outcomes) {
+    if (!outcome.result.ok) return false;
+  }
+  return true;
+}
+
+const RuleOutcome* BatchResult::first_failure() const {
+  for (const RuleOutcome& outcome : outcomes) {
+    if (!outcome.result.ok) return &outcome;
+  }
+  return nullptr;
+}
+
+std::string BatchResult::summary() const {
+  const RuleOutcome* failure = first_failure();
+  if (failure == nullptr) return "ok";
+  std::string out = rule_id(failure->rule);
+  out += ": ";
+  out += failure->result.violations.empty() ? "(no detail)"
+                                            : failure->result.violations[0];
+  const std::size_t extra = num_violations() - 1;
+  if (extra > 0) out += " (+" + std::to_string(extra) + " more)";
+  return out;
+}
+
+std::size_t BatchResult::num_violations() const {
+  std::size_t n = 0;
+  for (const RuleOutcome& outcome : outcomes) {
+    n += outcome.result.violations.size();
+  }
+  return n;
+}
+
+BatchResult check_batch(const std::vector<OpRecord>& ops,
+                        const BatchOptions& options) {
+  BatchResult result;
+  if (options.r1) result.outcomes.push_back({Rule::kR1, check_r1(ops)});
+  if (options.r2) result.outcomes.push_back({Rule::kR2, check_r2(ops)});
+  if (options.r4) result.outcomes.push_back({Rule::kR4, check_r4(ops)});
+  if (options.single_writer) {
+    result.outcomes.push_back({Rule::kSingleWriter, check_single_writer(ops)});
+  }
+  if (options.regular) {
+    result.outcomes.push_back({Rule::kRegular, check_regular(ops)});
+  }
+  if (options.atomic) {
+    result.outcomes.push_back({Rule::kAtomic, check_atomic(ops)});
+  }
+  return result;
+}
+
+}  // namespace pqra::core::spec

@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file batch.hpp
+/// Batch entry points over the individual spec checkers, keyed by stable
+/// rule ids.
+///
+/// The schedule-exploration fuzzer (tools/explore) pipes every recorded
+/// history through a configurable set of checkers and needs to know *which*
+/// rule a violating schedule broke — the shrinker only accepts a reduction
+/// when the candidate still fails the same rule, and repro files name the
+/// rule they reproduce.  check_batch runs the selected checkers and returns
+/// per-rule outcomes; tests/core/spec_batch_test.cpp pins the id
+/// attribution (a history violating exactly one rule is flagged with
+/// exactly that id).
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/spec/checker.hpp"
+#include "core/spec/history.hpp"
+
+namespace pqra::core::spec {
+
+/// The deterministically checkable rules of the register spec (checker.hpp).
+enum class Rule : std::uint8_t {
+  kR1,            ///< completeness: every operation responded
+  kR2,            ///< reads-from: returned timestamps were really written
+  kR4,            ///< monotone reads per process and register
+  kSingleWriter,  ///< one writer, strictly increasing timestamps
+  kRegular,       ///< Lamport regularity (strict-quorum baseline)
+  kAtomic,        ///< single-writer atomicity (write-back mode)
+};
+
+/// Stable id used in repro files, test names and diagnostics:
+/// "R1", "R2", "R4", "single-writer", "regular", "atomic".
+const char* rule_id(Rule rule);
+
+/// Inverse of rule_id; nullopt for unknown ids.
+std::optional<Rule> parse_rule(std::string_view id);
+
+/// Which rules to run.  The defaults are the safety conditions every
+/// recorded history must satisfy; R4 additionally requires the clients
+/// under test to be monotone, and regular/atomic require a strict quorum
+/// system (+ write-back for atomic), so those are opt-in.
+struct BatchOptions {
+  bool r1 = true;
+  bool r2 = true;
+  bool r4 = false;
+  bool single_writer = true;
+  bool regular = false;
+  bool atomic = false;
+};
+
+struct RuleOutcome {
+  Rule rule = Rule::kR1;
+  CheckResult result;
+};
+
+struct BatchResult {
+  /// One outcome per selected rule, in Rule declaration order.
+  std::vector<RuleOutcome> outcomes;
+
+  bool ok() const;
+
+  /// First failing outcome in rule order (deterministic attribution when a
+  /// history breaks several rules at once), nullptr when ok().
+  const RuleOutcome* first_failure() const;
+
+  /// "<rule-id>: <first violation> (+N more)" for the first failure, or
+  /// "ok" — the one-line form the fuzzer logs and embeds in repro files.
+  std::string summary() const;
+
+  /// Total violations across all selected rules.
+  std::size_t num_violations() const;
+};
+
+/// Runs every rule selected in \p options against \p ops.
+BatchResult check_batch(const std::vector<OpRecord>& ops,
+                        const BatchOptions& options);
+
+}  // namespace pqra::core::spec

@@ -1,0 +1,66 @@
+#include "core/spec/probes.hpp"
+
+#include <sstream>
+
+namespace pqra::core::spec {
+
+namespace {
+
+std::string where(NodeId server, RegisterId reg) {
+  std::ostringstream os;
+  os << "server=" << server << ", reg=" << reg;
+  return os.str();
+}
+
+}  // namespace
+
+CheckResult StoreProbe::observe(NodeId server, const Replica& replica) {
+  CheckResult result;
+  // encode_store() emits a sorted snapshot (replica.cpp), so the iteration
+  // order here is deterministic and the probe itself exercises the gossip
+  // wire format on every observation.
+  const std::vector<Replica::StoreEntry> snapshot =
+      Replica::decode_store(replica.encode_store());
+  for (const Replica::StoreEntry& entry : snapshot) {
+    const TimestampedValue* live = replica.get(entry.reg);
+    if (live == nullptr) {
+      result.fail("[probe:store-ts] encoded store advertises a register the "
+                  "live store lacks: " +
+                  where(server, entry.reg));
+      continue;
+    }
+    if (live->ts != entry.ts || live->value.bytes() != entry.value.bytes()) {
+      result.fail("[probe:store-ts] encode/decode snapshot diverged from the "
+                  "live store: " +
+                  where(server, entry.reg));
+    }
+    // net::Value invariant: the empty payload is represented by a null rep
+    // (use_count 0); a non-empty payload owns a buffer (use_count >= 1).
+    const bool empty = live->value.empty();
+    const long refs = live->value.use_count();
+    if (empty ? refs != 0 : refs < 1) {
+      std::ostringstream os;
+      os << "[probe:value-cow] payload refcount out of contract (empty="
+         << empty << ", use_count=" << refs << "): " << where(server,
+                                                             entry.reg);
+      result.fail(os.str());
+    }
+    const auto key = std::make_pair(server, entry.reg);
+    auto it = last_seen_.find(key);
+    if (it != last_seen_.end() && entry.ts < it->second) {
+      std::ostringstream os;
+      os << "[probe:store-ts] replica timestamp went backwards ("
+         << it->second << " -> " << entry.ts << "): "
+         << where(server, entry.reg);
+      result.fail(os.str());
+    }
+    if (it == last_seen_.end()) {
+      last_seen_.emplace(key, entry.ts);
+    } else {
+      it->second = std::max(it->second, entry.ts);
+    }
+  }
+  return result;
+}
+
+}  // namespace pqra::core::spec

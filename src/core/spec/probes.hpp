@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file probes.hpp
+/// Cheap runtime invariant probes for the schedule-exploration fuzzer.
+///
+/// The spec checkers (checker.hpp) judge the recorded operation history
+/// after a run; these probes additionally watch *internal* state the
+/// history cannot see — replica stores and the COW payload representation —
+/// at points the fuzzer chooses (periodic probe events plus one final
+/// observation).  Each probe reports through the same CheckResult type so
+/// a probe failure shrinks and replays exactly like a spec violation,
+/// under the rule ids "probe:store-ts" and "probe:value-cow".
+
+#include <map>
+#include <utility>
+
+#include "core/replica.hpp"
+#include "core/spec/checker.hpp"
+
+namespace pqra::core::spec {
+
+/// Watches replica stores across observations:
+///
+///   - store timestamp monotonicity: a replica's stored timestamp for a
+///     register never decreases between observations (stale WriteReqs and
+///     gossip merges must be ignored, never applied);
+///   - COW net::Value refcount sanity: a stored payload is either empty
+///     with no buffer, or non-empty with use_count() >= 1 (value.hpp's
+///     null-or-non-empty invariant, observed through the public API);
+///   - snapshot consistency: decode_store(encode_store()) agrees with the
+///     live store entry by entry (the gossip wire format cannot drift from
+///     the store it advertises).
+///
+/// observe() is deterministic and read-only; call it from a scheduled DES
+/// event as often as the budget allows.
+class StoreProbe {
+ public:
+  /// Checks one replica's store against everything seen so far and folds
+  /// the replica's current timestamps into the watch state.
+  CheckResult observe(NodeId server, const Replica& replica);
+
+ private:
+  std::map<std::pair<NodeId, RegisterId>, Timestamp> last_seen_;
+};
+
+}  // namespace pqra::core::spec

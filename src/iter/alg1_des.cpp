@@ -272,6 +272,8 @@ Alg1Result run_alg1(const AcoOperator& op, const Alg1Options& options) {
   result.iterations = rounds.iterations_total();
   result.pseudocycles = pseudocycles.completed();
   result.sim_time = simulator.now();
+  result.fingerprint = simulator.fingerprint();
+  result.events_processed = simulator.events_processed();
   result.messages = transport.stats();
   for (auto& proc : processes) {
     result.monotone_cache_hits += proc->counters().monotone_cache_hits;

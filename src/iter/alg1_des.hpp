@@ -108,6 +108,11 @@ struct Alg1Result {
   std::size_t iterations = 0;
   std::size_t pseudocycles = 0;
   sim::Time sim_time = 0.0;
+  /// Schedule identity of the run (Simulator::fingerprint /
+  /// events_processed): equal pairs mean the exact same event schedule
+  /// executed — what the exploration fuzzer's replay check asserts.
+  std::uint64_t fingerprint = 0;
+  std::uint64_t events_processed = 0;
   net::MessageStats messages;
   std::uint64_t monotone_cache_hits = 0;
   std::uint64_t retries = 0;

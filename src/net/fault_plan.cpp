@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "util/check.hpp"
+#include "util/math.hpp"
 
 namespace pqra::net {
 
@@ -74,8 +75,21 @@ FaultPlan& FaultPlan::heal_at(sim::Time at) {
   return *this;
 }
 
+namespace {
+
+/// A reorder delay with zero probability is unobservable and has no clause
+/// in the serialize() grammar; normalizing it away here keeps
+/// parse(serialize(plan)) structurally equal to plan, not just
+/// string-equal (tests/net/fault_plan_roundtrip_test.cpp).
+MessageFaults normalized(MessageFaults faults) {
+  if (faults.reorder_probability <= 0.0) faults.reorder_delay_max = 0.0;
+  return faults;
+}
+
+}  // namespace
+
 FaultPlan& FaultPlan::with_message_faults(const MessageFaults& faults) {
-  message_faults_ = faults;
+  message_faults_ = normalized(faults);
   return *this;
 }
 
@@ -221,6 +235,163 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
   }
   plan.with_message_faults(message);
   return plan;
+}
+
+std::string FaultPlan::serialize() const {
+  std::string out;
+  auto clause = [&](const std::string& text) {
+    if (!out.empty()) out += ';';
+    out += text;
+  };
+  for (const Event& ev : events_) {
+    const std::string at = util::format_double(ev.at);
+    switch (ev.kind) {
+      case FaultKind::kCrash:
+        clause("crash:" + std::to_string(ev.node) + "@" + at);
+        break;
+      case FaultKind::kRecover:
+        clause("recover:" + std::to_string(ev.node) + "@" + at);
+        break;
+      case FaultKind::kSlow:
+        clause("slow:" + std::to_string(ev.node) + "*" +
+               util::format_double(ev.factor) + "@" + at);
+        break;
+      case FaultKind::kClearSlow:
+        clause("noslow:" + std::to_string(ev.node) + "@" + at);
+        break;
+      case FaultKind::kPartition: {
+        std::string groups;
+        for (const std::vector<NodeId>& group : ev.groups) {
+          if (!groups.empty()) groups += '|';
+          for (std::size_t i = 0; i < group.size(); ++i) {
+            if (i > 0) groups += ',';
+            groups += std::to_string(group[i]);
+          }
+        }
+        clause("partition:" + groups + "@" + at);
+        break;
+      }
+      case FaultKind::kHeal:
+        clause("heal@" + at);
+        break;
+    }
+  }
+  if (message_faults_.drop_probability > 0.0) {
+    clause("drop=" + util::format_double(message_faults_.drop_probability));
+  }
+  if (message_faults_.duplicate_probability > 0.0) {
+    clause("dup=" +
+           util::format_double(message_faults_.duplicate_probability));
+  }
+  if (message_faults_.extra_delay > 0.0) {
+    clause("delay=" + util::format_double(message_faults_.extra_delay));
+  }
+  if (message_faults_.reorder_probability > 0.0) {
+    clause("reorder=" +
+           util::format_double(message_faults_.reorder_probability) + ":" +
+           util::format_double(message_faults_.reorder_delay_max));
+  }
+  return out;
+}
+
+FaultPlan FaultPlan::from_parts(std::vector<Event> events,
+                                const MessageFaults& faults) {
+  FaultPlan plan;
+  plan.events_ = std::move(events);
+  plan.message_faults_ = normalized(faults);
+  return plan;
+}
+
+void FaultPlan::mutate(std::size_t num_servers, sim::Time horizon,
+                       util::Rng& rng) {
+  PQRA_REQUIRE(num_servers > 0, "mutation needs at least one server");
+  PQRA_REQUIRE(horizon > 0.0, "mutation needs a positive horizon");
+  const auto random_node = [&] {
+    return static_cast<NodeId>(rng.below(num_servers));
+  };
+  const auto random_time = [&] { return rng.uniform01() * horizon; };
+  std::uint64_t edit = rng.below(8);
+  // Structural edits need existing events / enough servers; degrade to the
+  // always-possible edits instead of consuming extra draws.
+  if ((edit == 5 || edit == 6) && events_.empty()) edit = 1;
+  if (edit == 4 && num_servers < 2) edit = 0;
+  switch (edit) {
+    case 0: {  // crash/recover window
+      const sim::Time from = rng.uniform01() * horizon * 0.9;
+      const sim::Time duration = std::min(
+          std::max(rng.exponential(horizon / 8.0), horizon * 0.01),
+          horizon - from);
+      outage(random_node(), from, duration);
+      break;
+    }
+    case 1:  // lone crash (the run harness recovers everyone at the horizon)
+      crash_at(random_time(), random_node());
+      break;
+    case 2:
+      recover_at(random_time(), random_node());
+      break;
+    case 3: {  // slow window
+      const NodeId node = random_node();
+      const sim::Time from = rng.uniform01() * horizon * 0.9;
+      slow_at(from, node, 1.0 + rng.uniform01() * 9.0);
+      clear_slow_at(
+          std::min(from + rng.exponential(horizon / 8.0), horizon), node);
+      break;
+    }
+    case 4: {  // partition window over a random split of the servers
+      std::vector<NodeId> nodes(num_servers);
+      for (std::size_t i = 0; i < num_servers; ++i) {
+        nodes[i] = static_cast<NodeId>(i);
+      }
+      rng.shuffle(nodes);
+      const std::size_t cut =
+          1 + static_cast<std::size_t>(rng.below(num_servers - 1));
+      std::vector<std::vector<NodeId>> groups(2);
+      groups[0].assign(nodes.begin(), nodes.begin() + cut);
+      groups[1].assign(nodes.begin() + cut, nodes.end());
+      const sim::Time from = rng.uniform01() * horizon * 0.9;
+      partition_at(from, std::move(groups));
+      heal_at(std::min(from + rng.exponential(horizon / 8.0), horizon));
+      break;
+    }
+    case 5:  // drop one event
+      events_.erase(events_.begin() +
+                    static_cast<std::ptrdiff_t>(rng.below(events_.size())));
+      break;
+    case 6: {  // perturb one event's time
+      Event& ev = events_[rng.below(events_.size())];
+      ev.at = std::min(std::max(ev.at + (rng.uniform01() - 0.5) * horizon * 0.2,
+                                0.0),
+                       horizon);
+      break;
+    }
+    case 7:  // jiggle one message-fault knob (bounded: retries stay live)
+      switch (rng.below(4)) {
+        case 0:
+          message_faults_.drop_probability =
+              rng.bernoulli(0.25) ? 0.0 : rng.uniform01() * 0.25;
+          break;
+        case 1:
+          message_faults_.duplicate_probability =
+              rng.bernoulli(0.25) ? 0.0 : rng.uniform01() * 0.2;
+          break;
+        case 2:
+          message_faults_.extra_delay =
+              rng.bernoulli(0.25) ? 0.0 : rng.uniform01() * 2.0;
+          break;
+        default:
+          if (rng.bernoulli(0.25)) {
+            message_faults_.reorder_probability = 0.0;
+            message_faults_.reorder_delay_max = 0.0;
+          } else {
+            message_faults_.reorder_probability = rng.uniform01() * 0.3;
+            message_faults_.reorder_delay_max = rng.uniform01() * 5.0;
+          }
+          break;
+      }
+      message_faults_ = normalized(message_faults_);
+      break;
+  }
 }
 
 void FaultPlan::install(sim::Simulator& simulator,

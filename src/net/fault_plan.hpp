@@ -43,6 +43,14 @@ class FaultPlan {
     NodeId node = 0;      ///< crash/recover/slow/clear-slow
     double factor = 1.0;  ///< slow only
     std::vector<std::vector<NodeId>> groups;  ///< partition only
+
+    friend bool operator==(const Event& a, const Event& b) {
+      return a.at == b.at && a.kind == b.kind && a.node == b.node &&
+             a.factor == b.factor && a.groups == b.groups;
+    }
+    friend bool operator!=(const Event& a, const Event& b) {
+      return !(a == b);
+    }
   };
 
   FaultPlan& crash_at(sim::Time at, NodeId node);
@@ -86,6 +94,26 @@ class FaultPlan {
   /// Throws std::logic_error (with the offending clause) on bad input.
   static FaultPlan parse(const std::string& spec);
 
+  /// Canonical text form in the parse() grammar: one clause per event in
+  /// stored order, then the message-fault knobs that are set.  Numbers use
+  /// util::format_double (shortest round-trip), so
+  /// serialize→parse→serialize is byte-identical — the contract the
+  /// pqra_explore `--replay` files and tests/net/fault_plan_roundtrip_test
+  /// depend on.  Note outage() pairs serialize as their underlying
+  /// crash/recover clauses.
+  std::string serialize() const;
+
+  /// Rebuilds a plan from raw parts (shrinker use: event-subset candidates).
+  static FaultPlan from_parts(std::vector<Event> events,
+                              const MessageFaults& faults);
+
+  /// One random schedule edit drawn entirely from \p rng: add a
+  /// crash/recover/outage/slow-window/partition-window, remove an event,
+  /// perturb an event's time, or jiggle a message-fault knob.  Event times
+  /// stay within [0, horizon]; node ids within [0, num_servers).  This is
+  /// the fuzzer's FaultPlan-churn mutation operator (docs/EXPLORATION.md).
+  void mutate(std::size_t num_servers, sim::Time horizon, util::Rng& rng);
+
   /// Schedules every event on the simulator against \p injector, and applies
   /// the message faults immediately.
   void install(sim::Simulator& simulator, FaultInjector& injector) const;
@@ -95,6 +123,13 @@ class FaultPlan {
 
   const std::vector<Event>& events() const { return events_; }
   bool empty() const { return events_.empty() && !message_faults_.any(); }
+
+  friend bool operator==(const FaultPlan& a, const FaultPlan& b) {
+    return a.events_ == b.events_ && a.message_faults_ == b.message_faults_;
+  }
+  friend bool operator!=(const FaultPlan& a, const FaultPlan& b) {
+    return !(a == b);
+  }
 
   /// Largest number of servers in [0, num_servers) simultaneously down.
   std::size_t max_concurrent_down(std::size_t num_servers) const;

@@ -56,6 +56,8 @@ struct MessageFaults {
     return drop_probability > 0.0 || duplicate_probability > 0.0 ||
            extra_delay > 0.0 || reorder_probability > 0.0;
   }
+
+  friend bool operator==(const MessageFaults&, const MessageFaults&) = default;
 };
 
 /// What the injector decided for one message.

@@ -83,4 +83,20 @@ inline constexpr const char* kAlg1Rounds = "pqra_alg1_rounds";
 inline constexpr const char* kAlg1Pseudocycles = "pqra_alg1_pseudocycles";
 inline constexpr const char* kAlg1Converged = "pqra_alg1_converged";
 
+// Schedule-exploration fuzzer (tools/explore, docs/EXPLORATION.md).
+inline constexpr const char* kExploreRuns = "pqra_explore_runs_total";
+inline constexpr const char* kExploreViolations =
+    "pqra_explore_violations_total";
+inline constexpr const char* kExploreOpsChecked =
+    "pqra_explore_ops_checked_total";
+inline constexpr const char* kExploreEvents =
+    "pqra_explore_sim_events_total";
+inline constexpr const char* kExploreShrinkAttempts =
+    "pqra_explore_shrink_attempts_total";
+inline constexpr const char* kExploreShrinkAccepted =
+    "pqra_explore_shrink_accepted_total";
+/// Fingerprint of the most recent run (gauge; see Simulator::fingerprint).
+inline constexpr const char* kExploreLastFingerprint =
+    "pqra_explore_last_fingerprint";
+
 }  // namespace pqra::obs::names

@@ -1,9 +1,12 @@
 #include "sim/delay_model.hpp"
 
 #include <cmath>
+#include <cstdlib>
 #include <sstream>
+#include <stdexcept>
 
 #include "util/check.hpp"
+#include "util/math.hpp"
 
 namespace pqra::sim {
 
@@ -120,6 +123,85 @@ std::unique_ptr<DelayModel> make_lognormal_delay(Time min_delay, double mu,
                                                  double sigma) {
   // pqra-lint: allow(hotpath-alloc) — construction-time factory
   return std::make_unique<LognormalDelay>(min_delay, mu, sigma);
+}
+
+std::unique_ptr<DelayModel> DelaySpec::make() const {
+  switch (kind) {
+    case Kind::kConstant:
+      return make_constant_delay(a);
+    case Kind::kExponential:
+      return make_exponential_delay(a);
+    case Kind::kUniform:
+      return make_uniform_delay(a, b);
+    case Kind::kLognormal:
+      return make_lognormal_delay(a, b, c);
+  }
+  PQRA_REQUIRE(false, "invalid DelaySpec kind");
+  return nullptr;
+}
+
+std::string DelaySpec::serialize() const {
+  switch (kind) {
+    case Kind::kConstant:
+      return "constant:" + util::format_double(a);
+    case Kind::kExponential:
+      return "exp:" + util::format_double(a);
+    case Kind::kUniform:
+      return "uniform:" + util::format_double(a) + ":" +
+             util::format_double(b);
+    case Kind::kLognormal:
+      return "lognormal:" + util::format_double(a) + ":" +
+             util::format_double(b) + ":" + util::format_double(c);
+  }
+  PQRA_REQUIRE(false, "invalid DelaySpec kind");
+  return {};
+}
+
+DelaySpec DelaySpec::parse(const std::string& text) {
+  std::vector<std::string> parts;
+  std::istringstream in(text);
+  std::string item;
+  while (std::getline(in, item, ':')) parts.push_back(item);
+  auto number = [&](std::size_t i) {
+    char* end = nullptr;
+    double v = std::strtod(parts[i].c_str(), &end);
+    if (end == parts[i].c_str() || *end != '\0') {
+      throw std::logic_error("bad delay spec '" + text +
+                             "': expected a number");
+    }
+    return v;
+  };
+  auto arity = [&](std::size_t n) {
+    if (parts.size() != n + 1) {
+      throw std::logic_error("bad delay spec '" + text +
+                             "': wrong parameter count");
+    }
+  };
+  DelaySpec spec;
+  if (parts.empty()) throw std::logic_error("empty delay spec");
+  if (parts[0] == "constant") {
+    arity(1);
+    spec.kind = Kind::kConstant;
+    spec.a = number(1);
+  } else if (parts[0] == "exp") {
+    arity(1);
+    spec.kind = Kind::kExponential;
+    spec.a = number(1);
+  } else if (parts[0] == "uniform") {
+    arity(2);
+    spec.kind = Kind::kUniform;
+    spec.a = number(1);
+    spec.b = number(2);
+  } else if (parts[0] == "lognormal") {
+    arity(3);
+    spec.kind = Kind::kLognormal;
+    spec.a = number(1);
+    spec.b = number(2);
+    spec.c = number(3);
+  } else {
+    throw std::logic_error("bad delay spec '" + text + "': unknown kind");
+  }
+  return spec;
 }
 
 }  // namespace pqra::sim

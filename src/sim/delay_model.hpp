@@ -44,4 +44,41 @@ std::unique_ptr<DelayModel> make_uniform_delay(Time lo, Time hi);
 std::unique_ptr<DelayModel> make_lognormal_delay(Time min_delay, double mu,
                                                  double sigma);
 
+/// Value-type description of a delay model, so a schedule can be mutated,
+/// serialized into a replay file and rebuilt bit-identically (the
+/// pqra_explore fuzzer's delay-model mutation dimension).  Grammar, using
+/// util::format_double for numbers:
+///
+///   constant:D   exp:MEAN   uniform:LO:HI   lognormal:MIN:MU:SIGMA
+struct DelaySpec {
+  enum class Kind : std::uint8_t {
+    kConstant,
+    kExponential,
+    kUniform,
+    kLognormal,
+  };
+
+  Kind kind = Kind::kConstant;
+  /// Parameter meaning by kind: constant {a=delay}; exponential {a=mean};
+  /// uniform {a=lo, b=hi}; lognormal {a=min, b=mu, c=sigma}.
+  double a = 1.0;
+  double b = 0.0;
+  double c = 0.0;
+
+  /// Builds the model (same factories as above; validates parameters).
+  std::unique_ptr<DelayModel> make() const;
+
+  std::string serialize() const;
+
+  /// Parses the grammar above; throws std::logic_error on bad input.
+  static DelaySpec parse(const std::string& text);
+
+  friend bool operator==(const DelaySpec& x, const DelaySpec& y) {
+    return x.kind == y.kind && x.a == y.a && x.b == y.b && x.c == y.c;
+  }
+  friend bool operator!=(const DelaySpec& x, const DelaySpec& y) {
+    return !(x == y);
+  }
+};
+
 }  // namespace pqra::sim

@@ -1,11 +1,23 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <utility>
 
 #include "util/check.hpp"
 
 namespace pqra::sim {
+
+namespace {
+
+/// One FNV-1a step folding a 64-bit word byte-wise would cost 8 multiplies;
+/// a single multiply-xor per word keeps the fingerprint off the hot path's
+/// critical cost while still mixing every bit of (time, seq).
+inline std::uint64_t fold(std::uint64_t h, std::uint64_t word) {
+  return (h ^ word) * 0x100000001b3ULL;  // FNV-1a prime
+}
+
+}  // namespace
 
 void Simulator::push_event(Time t, EventFn fn) {
   PQRA_REQUIRE(static_cast<bool>(fn), "event callback must be callable");
@@ -21,6 +33,8 @@ bool Simulator::step() {
   heap_.pop_back();
   now_ = ev.t;
   ++processed_;
+  fingerprint_ = fold(fold(fingerprint_, std::bit_cast<std::uint64_t>(ev.t)),
+                      ev.seq);
   ev.fn();
   return true;
 }

@@ -72,6 +72,14 @@ class Simulator {
   bool empty() const { return heap_.empty(); }
   std::size_t pending_events() const { return heap_.size(); }
   std::uint64_t events_processed() const { return processed_; }
+
+  /// Execution fingerprint: an FNV-1a fold of every fired event's (time,
+  /// sequence number) pair, updated as the schedule→fire loop runs.  Two
+  /// runs with equal fingerprints (and equal events_processed()) executed
+  /// the exact same event schedule, so the schedule-exploration fuzzer can
+  /// assert byte-identical replays without recording the schedule itself
+  /// (docs/EXPLORATION.md).  Costs two multiplies per event.
+  std::uint64_t fingerprint() const { return fingerprint_; }
   /// Largest number of simultaneously pending events so far (the event
   /// heap's high-water mark — the memory footprint the run actually needed).
   std::size_t max_pending_events() const { return heap_high_water_; }
@@ -107,6 +115,7 @@ class Simulator {
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
+  std::uint64_t fingerprint_ = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
   bool stop_requested_ = false;
 };
 

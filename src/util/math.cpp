@@ -1,11 +1,26 @@
 #include "util/math.hpp"
 
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <limits>
 
 #include "util/check.hpp"
 
 namespace pqra::util {
+
+std::string format_double(double x) {
+  if (std::isnan(x)) return "nan";
+  if (std::isinf(x)) return x > 0 ? "inf" : "-inf";
+  char buf[64];
+  // %.17g always round-trips; shorter precisions are preferred when they
+  // already parse back to the identical bits (readable serialized plans).
+  for (int prec = 1; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, x);
+    if (std::strtod(buf, nullptr) == x) break;
+  }
+  return buf;
+}
 
 double log_choose(std::uint64_t n, std::uint64_t k) {
   if (k > n) return -std::numeric_limits<double>::infinity();

@@ -8,8 +8,17 @@
 /// by forming the (astronomically large) coefficients themselves.
 
 #include <cstdint>
+#include <string>
 
 namespace pqra::util {
+
+/// Shortest round-trip decimal rendering of a finite double ("1", "0.25",
+/// "1e-09"), "inf"/"-inf"/"nan" otherwise.  This is the canonical number
+/// format of every serialized schedule artifact (sim::DelaySpec,
+/// net::FaultPlan::serialize, the pqra_explore replay files): strtod parses
+/// it back to the identical bits, so serialize→parse→serialize is
+/// byte-stable.
+std::string format_double(double x);
 
 /// ln C(n, k).  Returns -inf when k > n (an empty selection set).
 double log_choose(std::uint64_t n, std::uint64_t k);

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/spec/batch.hpp"
+
+namespace pqra::core::spec {
+namespace {
+
+OpRecord write_op(NodeId proc, RegisterId reg, Timestamp ts, sim::Time t0,
+                  sim::Time t1, bool responded = true) {
+  return OpRecord{OpKind::kWrite, proc, reg, t0, t1, responded, ts};
+}
+
+OpRecord read_op(NodeId proc, RegisterId reg, Timestamp ts, sim::Time t0,
+                 sim::Time t1, bool responded = true) {
+  return OpRecord{OpKind::kRead, proc, reg, t0, t1, responded, ts};
+}
+
+/// Clean single-writer history: initial, one write, one fresh read.
+std::vector<OpRecord> clean_history() {
+  return {
+      write_op(/*proc=*/0, /*reg=*/0, /*ts=*/0, 0.0, 0.0),  // initial
+      write_op(/*proc=*/1, /*reg=*/0, /*ts=*/1, 1.0, 2.0),
+      read_op(/*proc=*/2, /*reg=*/0, /*ts=*/1, 3.0, 4.0),
+  };
+}
+
+BatchOptions all_rules() {
+  BatchOptions o;
+  o.r1 = o.r2 = o.r4 = o.single_writer = true;
+  return o;
+}
+
+TEST(SpecBatchTest, RuleIdsRoundTrip) {
+  const Rule rules[] = {Rule::kR1,           Rule::kR2,      Rule::kR4,
+                        Rule::kSingleWriter, Rule::kRegular, Rule::kAtomic};
+  for (Rule r : rules) {
+    const auto back = parse_rule(rule_id(r));
+    ASSERT_TRUE(back.has_value()) << rule_id(r);
+    EXPECT_EQ(*back, r);
+  }
+  EXPECT_EQ(std::string(rule_id(Rule::kR4)), "R4");
+  EXPECT_EQ(std::string(rule_id(Rule::kSingleWriter)), "single-writer");
+  EXPECT_FALSE(parse_rule("R9").has_value());
+  EXPECT_FALSE(parse_rule("").has_value());
+}
+
+TEST(SpecBatchTest, CleanHistoryPassesEveryRule) {
+  const BatchResult r = check_batch(clean_history(), all_rules());
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.first_failure(), nullptr);
+  EXPECT_EQ(r.summary(), "ok");
+  EXPECT_EQ(r.num_violations(), 0u);
+  EXPECT_EQ(r.outcomes.size(), 4u);  // R1, R2, R4, single-writer selected
+}
+
+// Each of the following histories violates exactly ONE rule; the batch
+// checker must attribute it to exactly that rule id.
+
+TEST(SpecBatchTest, UnrespondedReadFlagsOnlyR1) {
+  std::vector<OpRecord> ops = clean_history();
+  ops.push_back(read_op(3, 0, 0, 5.0, 0.0, /*responded=*/false));
+  const BatchResult r = check_batch(ops, all_rules());
+  ASSERT_FALSE(r.ok());
+  ASSERT_NE(r.first_failure(), nullptr);
+  EXPECT_EQ(r.first_failure()->rule, Rule::kR1);
+  EXPECT_EQ(r.num_violations(), 1u);
+  EXPECT_EQ(r.summary().substr(0, 4), "R1: ");
+}
+
+TEST(SpecBatchTest, NeverWrittenTimestampFlagsOnlyR2) {
+  std::vector<OpRecord> ops = clean_history();
+  ops.push_back(read_op(3, 0, /*ts=*/7, 5.0, 6.0));
+  const BatchResult r = check_batch(ops, all_rules());
+  ASSERT_FALSE(r.ok());
+  ASSERT_NE(r.first_failure(), nullptr);
+  EXPECT_EQ(r.first_failure()->rule, Rule::kR2);
+  EXPECT_EQ(r.num_violations(), 1u);
+  EXPECT_EQ(r.summary().substr(0, 4), "R2: ");
+}
+
+TEST(SpecBatchTest, BackwardsReadFlagsOnlyR4) {
+  std::vector<OpRecord> ops = clean_history();
+  // Same process reads ts 1 then ts 0: legal for [R2] (both were written)
+  // but monotone reads are violated.
+  ops.push_back(read_op(2, 0, /*ts=*/0, 5.0, 6.0));
+  const BatchResult r = check_batch(ops, all_rules());
+  ASSERT_FALSE(r.ok());
+  ASSERT_NE(r.first_failure(), nullptr);
+  EXPECT_EQ(r.first_failure()->rule, Rule::kR4);
+  EXPECT_EQ(r.num_violations(), 1u);
+  EXPECT_EQ(r.summary().substr(0, 4), "R4: ");
+}
+
+TEST(SpecBatchTest, SecondWriterFlagsOnlySingleWriter) {
+  std::vector<OpRecord> ops = clean_history();
+  ops.push_back(write_op(/*proc=*/5, /*reg=*/0, /*ts=*/2, 5.0, 6.0));
+  const BatchResult r = check_batch(ops, all_rules());
+  ASSERT_FALSE(r.ok());
+  ASSERT_NE(r.first_failure(), nullptr);
+  EXPECT_EQ(r.first_failure()->rule, Rule::kSingleWriter);
+  EXPECT_EQ(r.num_violations(), 1u);
+}
+
+TEST(SpecBatchTest, DeselectedRuleIsNotRun) {
+  std::vector<OpRecord> ops = clean_history();
+  ops.push_back(read_op(2, 0, 0, 5.0, 6.0));  // [R4] violation
+  BatchOptions o = all_rules();
+  o.r4 = false;
+  const BatchResult r = check_batch(ops, o);
+  EXPECT_TRUE(r.ok()) << r.summary();
+  EXPECT_EQ(r.outcomes.size(), 3u);
+}
+
+TEST(SpecBatchTest, FirstFailureFollowsRuleOrder) {
+  // Violates both [R1] (unresponded read) and single-writer (second
+  // writer); attribution must deterministically pick the first rule in
+  // declaration order, R1.
+  std::vector<OpRecord> ops = clean_history();
+  ops.push_back(read_op(3, 0, 0, 5.0, 0.0, /*responded=*/false));
+  ops.push_back(write_op(5, 0, 2, 5.0, 6.0));
+  const BatchResult r = check_batch(ops, all_rules());
+  ASSERT_NE(r.first_failure(), nullptr);
+  EXPECT_EQ(r.first_failure()->rule, Rule::kR1);
+  EXPECT_EQ(r.num_violations(), 2u);
+}
+
+TEST(SpecBatchTest, SummaryCountsExtraViolations) {
+  std::vector<OpRecord> ops = clean_history();
+  ops.push_back(read_op(3, 0, 7, 5.0, 6.0));
+  ops.push_back(read_op(3, 0, 9, 7.0, 8.0));
+  const BatchResult r = check_batch(ops, all_rules());
+  ASSERT_FALSE(r.ok());
+  // Two [R2] violations -> "R2: <first> (+1 more)".
+  EXPECT_NE(r.summary().find("(+1 more)"), std::string::npos) << r.summary();
+}
+
+}  // namespace
+}  // namespace pqra::core::spec

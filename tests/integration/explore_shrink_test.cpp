@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "explore/profile.hpp"
+#include "explore/runner.hpp"
+#include "explore/shrink.hpp"
+
+namespace pqra::explore {
+namespace {
+
+/// Non-monotone clients over tiny quorums on a wide cluster: reads go
+/// backwards with near-certainty (the registered failure mode of
+/// tests/core/register_des_test.cpp's NonMonotoneClientDoesGoBackwards).
+/// check_monotone stays on, so the [R4] checker flags it — the stand-in for
+/// a real monotone-cache regression.
+ScheduleProfile non_monotone_profile() {
+  ScheduleProfile p;
+  p.seed = 1;
+  p.num_servers = 30;
+  p.quorum_size = 2;
+  p.num_clients = 2;
+  p.ops_per_client = 40;
+  p.monotone = false;
+  p.check_monotone = true;
+  p.alg1 = false;
+  p.delay = {sim::DelaySpec::Kind::kExponential, 1.0};
+  p.horizon = 60.0;
+  return p;
+}
+
+TEST(ExploreShrinkTest, NonMonotoneScheduleViolatesR4) {
+  const RunOutcome out = run_profile(non_monotone_profile());
+  ASSERT_TRUE(out.violation) << "expected a stale backwards read";
+  EXPECT_EQ(out.rule, "R4") << out.detail;
+  EXPECT_GT(out.ops_checked, 0u);
+}
+
+TEST(ExploreShrinkTest, ShrinkerPreservesRuleAndNeverGrows) {
+  const ScheduleProfile original = non_monotone_profile();
+  const RunOutcome original_outcome = run_profile(original);
+  ASSERT_TRUE(original_outcome.violation);
+
+  const ShrinkResult shrunk = shrink(original, original_outcome,
+                                     /*max_runs=*/300);
+  // Still violating, same rule, and no longer than what we started with.
+  EXPECT_TRUE(shrunk.outcome.violation);
+  EXPECT_EQ(shrunk.outcome.rule, original_outcome.rule);
+  EXPECT_LE(shrunk.profile.cost(), original.cost());
+  // The shrinker had something to remove here (workload + horizon), so it
+  // must actually have made progress, not just returned the input.
+  EXPECT_GT(shrunk.stats.accepted, 0u);
+  EXPECT_LT(shrunk.profile.cost(), original.cost());
+  EXPECT_GE(shrunk.stats.attempts, shrunk.stats.accepted);
+
+  // The minimal profile is what lands in a --replay file: it must survive
+  // the serialization round-trip bit-identically.
+  const std::string text = shrunk.profile.serialize();
+  EXPECT_EQ(ScheduleProfile::parse(text), shrunk.profile);
+  EXPECT_EQ(ScheduleProfile::parse(text).serialize(), text);
+}
+
+TEST(ExploreShrinkTest, ShrunkProfileReplaysByteIdentically) {
+  const ScheduleProfile original = non_monotone_profile();
+  const RunOutcome original_outcome = run_profile(original);
+  ASSERT_TRUE(original_outcome.violation);
+  const ShrinkResult shrunk = shrink(original, original_outcome,
+                                     /*max_runs=*/300);
+
+  const RunOutcome a = run_profile(shrunk.profile);
+  const RunOutcome b = run_profile(shrunk.profile);
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  EXPECT_EQ(a.ops_checked, b.ops_checked);
+  EXPECT_EQ(a.rule, b.rule);
+  EXPECT_EQ(a.detail, b.detail);
+  EXPECT_TRUE(a.violation);
+  EXPECT_EQ(a.rule, original_outcome.rule);
+}
+
+TEST(ExploreShrinkTest, GeneratedProfilesRoundTripAndReplay) {
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    const ScheduleProfile p = ScheduleProfile::from_seed(seed);
+    const std::string text = p.serialize();
+    EXPECT_EQ(ScheduleProfile::parse(text), p) << text;
+    EXPECT_EQ(ScheduleProfile::parse(text).serialize(), text) << text;
+  }
+  // Spot-check execution determinism on a few seeds (the full sweep is the
+  // explore_smoke ctest).
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const ScheduleProfile p = ScheduleProfile::from_seed(seed);
+    const RunOutcome a = run_profile(p);
+    const RunOutcome b = run_profile(p);
+    EXPECT_EQ(a.fingerprint, b.fingerprint) << "seed " << seed;
+    EXPECT_EQ(a.events_processed, b.events_processed) << "seed " << seed;
+    EXPECT_EQ(a.rule, b.rule) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace pqra::explore

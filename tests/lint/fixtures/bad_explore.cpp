@@ -1,0 +1,26 @@
+// Fixture: a schedule-exploration runner written the *wrong* way.  The
+// fuzzer's per-run code (tools/explore/runner.*) sits inside hot-path lint
+// scope in the real .pqra-lint.toml — thousands of simulations per fuzzing
+// minute make it event-path code — and it must draw every random bit from
+// util::Rng so a repro file replays byte-identically.
+// Never compiled — linted only (tests/lint/lint_golden.cmake).
+#include <functional>
+#include <memory>
+#include <random>
+
+struct Profile {
+  unsigned seed;
+};
+
+struct Runner {
+  std::mt19937 engine;                // unsanctioned generator: replay breaks
+  std::function<void()> on_violation; // heap-allocating callable storage
+};
+
+void fuzz_one(Runner& r, Profile& p) {
+  std::random_device entropy;         // nondeterministic seed source
+  p.seed = entropy();
+  auto driver = std::make_shared<Runner>();  // allocation per fuzz run
+  driver->engine.seed(p.seed);
+  r.on_violation = [driver] { (void)driver; };
+}

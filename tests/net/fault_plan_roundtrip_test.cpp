@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "net/fault_plan.hpp"
+#include "util/rng.hpp"
+
+namespace pqra::net {
+namespace {
+
+TEST(FaultPlanRoundtripTest, HandWrittenPlanRoundTrips) {
+  FaultPlan plan;
+  plan.crash_at(10.0, 2)
+      .recover_at(50.0, 2)
+      .slow_at(5.0, 1, 3.5)
+      .clear_slow_at(25.0, 1)
+      .partition_at(30.0, {{0, 1}, {2, 3, 4}})
+      .heal_at(60.0);
+  MessageFaults mf;
+  mf.drop_probability = 0.02;
+  mf.duplicate_probability = 0.01;
+  mf.extra_delay = 0.5;
+  mf.reorder_probability = 0.1;
+  mf.reorder_delay_max = 3.0;
+  plan.with_message_faults(mf);
+
+  const std::string text = plan.serialize();
+  const FaultPlan parsed = FaultPlan::parse(text);
+  EXPECT_EQ(parsed, plan);
+  EXPECT_EQ(parsed.serialize(), text);
+}
+
+TEST(FaultPlanRoundtripTest, MutatedPlansRoundTripByteIdentically) {
+  // The fuzzer's mutation operator is the plan generator that matters:
+  // whatever it can produce must serialize -> parse -> serialize
+  // byte-identically (the --replay file contract).
+  util::Rng rng(20260807);
+  for (int trial = 0; trial < 400; ++trial) {
+    FaultPlan plan;
+    const std::size_t edits = 1 + static_cast<std::size_t>(rng.below(10));
+    for (std::size_t i = 0; i < edits; ++i) {
+      plan.mutate(/*num_servers=*/8, /*horizon=*/100.0, rng);
+    }
+    if (plan.empty()) continue;
+    const std::string text = plan.serialize();
+    FaultPlan parsed;
+    ASSERT_NO_THROW(parsed = FaultPlan::parse(text)) << text;
+    // Structural equality, not just string equality: nothing the grammar
+    // cannot express may survive inside a mutated plan (e.g. a reorder
+    // delay with zero probability — normalized away by mutate()).
+    EXPECT_EQ(parsed, plan) << text;
+    EXPECT_EQ(parsed.serialize(), text) << text;
+  }
+}
+
+TEST(FaultPlanRoundtripTest, ReorderDelayWithoutProbabilityIsNormalized) {
+  // The serialize() grammar has no clause for an unobservable reorder
+  // delay; the builders normalize it away so structural round-trips hold.
+  MessageFaults mf;
+  mf.reorder_probability = 0.0;
+  mf.reorder_delay_max = 5.0;
+  FaultPlan plan;
+  plan.crash_at(1.0, 0).with_message_faults(mf);
+  EXPECT_EQ(plan.message_faults().reorder_delay_max, 0.0);
+  EXPECT_EQ(FaultPlan::parse(plan.serialize()), plan);
+
+  const FaultPlan rebuilt = FaultPlan::from_parts(plan.events(), mf);
+  EXPECT_EQ(rebuilt.message_faults().reorder_delay_max, 0.0);
+  EXPECT_EQ(rebuilt, plan);
+}
+
+TEST(FaultPlanRoundtripTest, FromPartsPreservesEventOrderAndKnobs) {
+  util::Rng rng(7);
+  FaultPlan plan;
+  for (int i = 0; i < 6; ++i) plan.mutate(5, 80.0, rng);
+  const FaultPlan rebuilt =
+      FaultPlan::from_parts(plan.events(), plan.message_faults());
+  EXPECT_EQ(rebuilt, plan);
+  EXPECT_EQ(rebuilt.serialize(), plan.serialize());
+}
+
+}  // namespace
+}  // namespace pqra::net

@@ -1,0 +1,211 @@
+#include "explore/profile.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/math.hpp"
+
+namespace pqra::explore {
+
+namespace {
+
+using DelayKind = sim::DelaySpec::Kind;
+
+[[noreturn]] void bad_line(const std::string& line, const char* why) {
+  throw std::logic_error("bad profile line (" + std::string(why) + "): " +
+                         line);
+}
+
+std::uint64_t parse_u64(const std::string& value, const std::string& line) {
+  char* end = nullptr;
+  const std::uint64_t v = std::strtoull(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0') bad_line(line, "expected integer");
+  return v;
+}
+
+double parse_f64(const std::string& value, const std::string& line) {
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0') bad_line(line, "expected number");
+  return v;
+}
+
+bool parse_bool(const std::string& value, const std::string& line) {
+  if (value == "0") return false;
+  if (value == "1") return true;
+  bad_line(line, "expected 0 or 1");
+}
+
+}  // namespace
+
+ScheduleProfile ScheduleProfile::from_seed(std::uint64_t seed) {
+  ScheduleProfile p;
+  p.seed = seed;
+  util::Rng root(seed);
+
+  // Shape stream: every structural dimension in a fixed draw order, so the
+  // profile is a pure function of the seed.
+  util::Rng shape = root.fork(1);
+  p.num_servers = 3 + static_cast<std::size_t>(shape.below(28));  // [3, 30]
+  p.quorum_size = 1 + static_cast<std::size_t>(shape.below(
+                          std::min<std::uint64_t>(p.num_servers, 6)));
+  p.num_clients = 1 + static_cast<std::size_t>(shape.below(4));
+  p.ops_per_client = 10 + static_cast<std::size_t>(shape.below(31));
+  p.alg1 = shape.bernoulli(0.15);
+  // Plain (non-monotone) probabilistic registers give Alg. 1 no convergence
+  // guarantee, so the iterative scenario always runs monotone clients.
+  p.monotone = shape.bernoulli(0.6) || p.alg1;
+  p.check_monotone = p.monotone;
+  p.read_repair = shape.bernoulli(0.25);
+  p.write_back = shape.bernoulli(0.15);
+  // Snapshot reads and atomic write-back are mutually exclusive in the
+  // client (write-back of a whole-store read is undefined).
+  p.snapshot_reads = !p.write_back && shape.bernoulli(0.2);
+  p.gossip_interval =
+      shape.bernoulli(0.3) ? 5.0 + 20.0 * shape.uniform01() : 0.0;
+  switch (shape.below(4)) {
+    case 0:
+      p.delay = {DelayKind::kConstant, 1.0};
+      break;
+    case 1:
+      p.delay = {DelayKind::kExponential, 1.0};
+      break;
+    case 2:
+      p.delay = {DelayKind::kUniform, 0.5, 0.5 + 3.0 * shape.uniform01()};
+      break;
+    default:
+      p.delay = {DelayKind::kLognormal, 0.1, 0.0,
+                 0.5 + 0.5 * shape.uniform01()};
+      break;
+  }
+  p.horizon = 60.0 + 120.0 * shape.uniform01();
+
+  // Fault stream: schedule churn through the same mutation operator the
+  // shrinker understands how to take apart.
+  util::Rng fault_rng = root.fork(2);
+  const std::size_t edits = 1 + static_cast<std::size_t>(fault_rng.below(6));
+  for (std::size_t i = 0; i < edits; ++i) {
+    p.faults.mutate(p.num_servers, p.horizon, fault_rng);
+  }
+  if (p.alg1) {
+    // Heavy message loss on top of crash churn can push convergence past any
+    // reasonable round cap; the iterative scenario tests ordering and
+    // staleness, not raw packet loss, so cap the loss knobs.
+    net::MessageFaults mf = p.faults.message_faults();
+    mf.drop_probability = std::min(mf.drop_probability, 0.05);
+    mf.duplicate_probability = std::min(mf.duplicate_probability, 0.1);
+    mf.reorder_probability = std::min(mf.reorder_probability, 0.1);
+    p.faults = net::FaultPlan::from_parts(p.faults.events(), mf);
+  }
+  return p;
+}
+
+std::string ScheduleProfile::serialize() const {
+  std::ostringstream os;
+  os << "pqra-explore-profile v1\n";
+  os << "seed " << seed << "\n";
+  os << "servers " << num_servers << "\n";
+  os << "quorum " << quorum_size << "\n";
+  os << "clients " << num_clients << "\n";
+  os << "ops " << ops_per_client << "\n";
+  os << "monotone " << (monotone ? 1 : 0) << "\n";
+  os << "check-monotone " << (check_monotone ? 1 : 0) << "\n";
+  os << "read-repair " << (read_repair ? 1 : 0) << "\n";
+  os << "write-back " << (write_back ? 1 : 0) << "\n";
+  os << "snapshot-reads " << (snapshot_reads ? 1 : 0) << "\n";
+  os << "alg1 " << (alg1 ? 1 : 0) << "\n";
+  os << "gossip " << util::format_double(gossip_interval) << "\n";
+  os << "delay " << delay.serialize() << "\n";
+  os << "horizon " << util::format_double(horizon) << "\n";
+  os << "faults " << (faults.empty() ? "-" : faults.serialize()) << "\n";
+  return os.str();
+}
+
+ScheduleProfile ScheduleProfile::parse(const std::string& text) {
+  ScheduleProfile p;
+  std::istringstream in(text);
+  std::string line;
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    if (!saw_header) {
+      if (line != "pqra-explore-profile v1") {
+        bad_line(line, "expected 'pqra-explore-profile v1' header");
+      }
+      saw_header = true;
+      continue;
+    }
+    const std::size_t space = line.find(' ');
+    if (space == std::string::npos) bad_line(line, "expected 'key value'");
+    const std::string key = line.substr(0, space);
+    const std::string value = line.substr(space + 1);
+    if (key == "seed") {
+      p.seed = parse_u64(value, line);
+    } else if (key == "servers") {
+      p.num_servers = static_cast<std::size_t>(parse_u64(value, line));
+    } else if (key == "quorum") {
+      p.quorum_size = static_cast<std::size_t>(parse_u64(value, line));
+    } else if (key == "clients") {
+      p.num_clients = static_cast<std::size_t>(parse_u64(value, line));
+    } else if (key == "ops") {
+      p.ops_per_client = static_cast<std::size_t>(parse_u64(value, line));
+    } else if (key == "monotone") {
+      p.monotone = parse_bool(value, line);
+    } else if (key == "check-monotone") {
+      p.check_monotone = parse_bool(value, line);
+    } else if (key == "read-repair") {
+      p.read_repair = parse_bool(value, line);
+    } else if (key == "write-back") {
+      p.write_back = parse_bool(value, line);
+    } else if (key == "snapshot-reads") {
+      p.snapshot_reads = parse_bool(value, line);
+    } else if (key == "alg1") {
+      p.alg1 = parse_bool(value, line);
+    } else if (key == "gossip") {
+      p.gossip_interval = parse_f64(value, line);
+    } else if (key == "delay") {
+      p.delay = sim::DelaySpec::parse(value);
+    } else if (key == "horizon") {
+      p.horizon = parse_f64(value, line);
+    } else if (key == "faults") {
+      p.faults = value == "-" ? net::FaultPlan{} : net::FaultPlan::parse(value);
+    } else {
+      bad_line(line, "unknown key");
+    }
+  }
+  if (!saw_header) {
+    throw std::logic_error("not a pqra-explore profile: missing header");
+  }
+  if (p.num_servers == 0 || p.num_clients == 0 || p.quorum_size == 0 ||
+      p.quorum_size > p.num_servers || p.horizon <= 0.0 ||
+      (p.snapshot_reads && p.write_back)) {
+    throw std::logic_error("profile out of range: " + p.serialize());
+  }
+  return p;
+}
+
+std::size_t ScheduleProfile::cost() const {
+  const net::MessageFaults& mf = faults.message_faults();
+  const std::size_t knobs =
+      static_cast<std::size_t>(mf.drop_probability > 0.0) +
+      static_cast<std::size_t>(mf.duplicate_probability > 0.0) +
+      static_cast<std::size_t>(mf.extra_delay > 0.0) +
+      static_cast<std::size_t>(mf.reorder_probability > 0.0);
+  const std::size_t flags =
+      static_cast<std::size_t>(gossip_interval > 0.0) +
+      static_cast<std::size_t>(read_repair) +
+      static_cast<std::size_t>(write_back) +
+      static_cast<std::size_t>(snapshot_reads);
+  // Fault events dominate (removing one always wins), then workload size,
+  // then cluster shape and the horizon so every shrinking pass can lower it.
+  return 16 * faults.events().size() + num_clients * ops_per_client +
+         num_servers + quorum_size + 4 * knobs + 2 * flags +
+         static_cast<std::size_t>(horizon);
+}
+
+}  // namespace pqra::explore

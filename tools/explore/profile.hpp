@@ -1,0 +1,102 @@
+#pragma once
+
+/// \file profile.hpp
+/// Schedule profiles: the fuzzer's unit of search.
+///
+/// A ScheduleProfile is a complete, value-typed description of one
+/// simulated execution — cluster shape, client workload, protocol options,
+/// delay model, fault schedule, horizon — such that running it is a pure
+/// function of the profile (tools/explore/runner.hpp).  Profiles are
+///
+///   - generated from a bare seed (from_seed: every dimension drawn from
+///     decorrelated util::Rng streams, including 1..6 FaultPlan::mutate
+///     edits),
+///   - serialized to a line-based text form and parsed back bit-identically
+///     (the `--replay` file format, docs/EXPLORATION.md),
+///   - compared by cost() during shrinking (smaller = simpler repro).
+
+#include <cstdint>
+#include <string>
+
+#include "net/fault_plan.hpp"
+#include "sim/delay_model.hpp"
+#include "util/rng.hpp"
+
+namespace pqra::explore {
+
+struct ScheduleProfile {
+  /// Seed of every RNG stream the run forks (clients, transport, gossip).
+  std::uint64_t seed = 1;
+
+  std::size_t num_servers = 5;
+  std::size_t quorum_size = 2;
+  std::size_t num_clients = 2;
+  /// Operations per client in the direct register workload (ignored by the
+  /// Alg. 1 scenario, which runs to convergence).
+  std::size_t ops_per_client = 20;
+
+  /// Protocol options under test (ClientOptions / Alg1Options).
+  bool monotone = true;
+  /// Run the [R4] monotone-reads checker.  from_seed keeps this equal to
+  /// `monotone` (the rule only holds for monotone clients); regression
+  /// hunts and tests/integration/explore_shrink_test set it independently
+  /// to demonstrate that a non-monotone schedule is caught and shrunk.
+  bool check_monotone = true;
+  bool read_repair = false;
+  bool write_back = false;
+  bool snapshot_reads = false;
+
+  /// Scenario switch: false = direct register workload (each client writes
+  /// its own register, reads everyone's); true = Alg. 1 APSP on a 5-chain
+  /// run to convergence under the same schedule dimensions.
+  bool alg1 = false;
+
+  /// Server anti-entropy period; 0 disables gossip.
+  sim::Time gossip_interval = 0.0;
+
+  /// Message-delay distribution.  The Alg. 1 scenario only distinguishes
+  /// constant (synchronous) from everything else (asynchronous) because
+  /// run_alg1 owns its delay model.
+  sim::DelaySpec delay;
+
+  /// Fault events live in [0, horizon]; at the horizon the runner recovers
+  /// every server, heals partitions and clears message faults so pending
+  /// operations can complete ([R1] stays checkable).
+  sim::Time horizon = 120.0;
+
+  net::FaultPlan faults;
+
+  /// Draws a complete profile from \p seed: shape dimensions from one
+  /// stream, then 1..6 FaultPlan::mutate edits from another.  alg1 profiles
+  /// are forced monotone (plain registers need not converge) and get their
+  /// drop/duplicate probabilities capped so convergence stays guaranteed.
+  static ScheduleProfile from_seed(std::uint64_t seed);
+
+  /// Line-based text form:
+  ///
+  ///   pqra-explore-profile v1
+  ///   seed 17
+  ///   servers 5
+  ///   ...
+  ///   delay exp:1
+  ///   faults crash:1@10;recover:1@50;drop=0.02
+  ///
+  /// `faults -` encodes the empty plan.  Numbers use util::format_double,
+  /// so serialize→parse→serialize is byte-identical.
+  std::string serialize() const;
+
+  /// Parses serialize()'s format.  Lines starting with '#' and blank lines
+  /// are skipped (repro files carry `#` headers).  Throws std::logic_error
+  /// naming the offending line on bad input.
+  static ScheduleProfile parse(const std::string& text);
+
+  /// Shrinking order: fault events + workload size + cluster size + message
+  /// knobs + option flags + horizon.  The shrinker only accepts candidates
+  /// whose cost does not grow.
+  std::size_t cost() const;
+
+  friend bool operator==(const ScheduleProfile&,
+                         const ScheduleProfile&) = default;
+};
+
+}  // namespace pqra::explore

@@ -1,0 +1,320 @@
+#include "explore/runner.hpp"
+
+#include <deque>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "apps/apsp.hpp"
+#include "apps/graph.hpp"
+#include "core/quorum_register_client.hpp"
+#include "core/server_process.hpp"
+#include "core/spec/batch.hpp"
+#include "core/spec/probes.hpp"
+#include "iter/alg1_des.hpp"
+#include "net/sim_transport.hpp"
+#include "quorum/probabilistic.hpp"
+#include "util/codec.hpp"
+
+namespace pqra::explore {
+
+namespace {
+
+namespace spec = core::spec;
+
+/// "[probe:xxx] ..." -> "probe:xxx" (probes tag their violations with their
+/// rule id so the shrinker can match on it).
+std::string probe_rule(const std::string& violation) {
+  if (!violation.empty() && violation.front() == '[') {
+    const std::size_t close = violation.find(']');
+    if (close != std::string::npos) return violation.substr(1, close - 1);
+  }
+  return "probe";
+}
+
+void fold(spec::CheckResult& into, const spec::CheckResult& from) {
+  for (const std::string& v : from.violations) into.fail(v);
+}
+
+core::RetryPolicy explore_retry() {
+  core::RetryPolicy retry;
+  retry.rpc_timeout = 6.0;
+  retry.backoff_factor = 1.5;
+  retry.max_backoff = 24.0;
+  retry.jitter = 0.1;
+  return retry;
+}
+
+/// Issues one client's randomized op sequence, one op at a time (condition
+/// (3) of §3: no pipelining per register), with a short think delay before
+/// each op so client interleavings vary across profiles.  All draws come
+/// from the driver's forked Rng stream.
+struct ClientDriver {
+  sim::Simulator* sim = nullptr;
+  core::QuorumRegisterClient* client = nullptr;
+  util::Rng rng;
+  std::size_t remaining = 0;
+  std::size_t num_regs = 1;
+  core::RegisterId own_reg = 0;
+  bool snapshot_reads = false;
+  std::int64_t next_value = 0;
+
+  void step() {
+    if (remaining == 0) return;
+    --remaining;
+    sim->schedule_in(rng.uniform01() * 2.0, [this] { issue(); });
+  }
+
+  void issue() {
+    if (rng.bernoulli(0.4)) {
+      ++next_value;
+      client->write(own_reg, util::encode(next_value),
+                    [this](core::Timestamp) { step(); });
+    } else if (snapshot_reads && rng.bernoulli(0.3)) {
+      std::vector<core::RegisterId> regs;
+      regs.reserve(num_regs);
+      for (std::size_t r = 0; r < num_regs; ++r) {
+        regs.push_back(static_cast<core::RegisterId>(r));
+      }
+      client->read_snapshot(std::move(regs),
+                            [this](std::vector<core::ReadResult>) { step(); });
+    } else {
+      const auto reg = static_cast<core::RegisterId>(rng.below(num_regs));
+      client->read(reg, [this](core::ReadResult) { step(); });
+    }
+  }
+};
+
+/// Direct register workload: clients [n, n+c) against servers [0, n), one
+/// register per client (client i is register i's single writer).
+RunOutcome run_direct(const ScheduleProfile& p) {
+  RunOutcome out;
+  util::Rng master(p.seed);
+  const auto n = static_cast<net::NodeId>(p.num_servers);
+  const std::size_t c = p.num_clients;
+
+  quorum::ProbabilisticQuorums quorums(p.num_servers, p.quorum_size);
+  sim::Simulator sim;
+  const std::unique_ptr<sim::DelayModel> delay = p.delay.make();
+  net::SimTransport transport(sim, *delay, master.fork(10),
+                              static_cast<net::NodeId>(p.num_servers + c));
+
+  std::deque<core::ServerProcess> servers;
+  for (net::NodeId s = 0; s < n; ++s) {
+    if (p.gossip_interval > 0.0) {
+      core::GossipOptions gossip;
+      gossip.interval = p.gossip_interval;
+      gossip.group_base = 0;
+      gossip.group_size = p.num_servers;
+      servers.emplace_back(transport, s, sim, gossip,
+                           master.fork(200 + static_cast<std::uint64_t>(s)));
+    } else {
+      servers.emplace_back(transport, s);
+    }
+  }
+
+  spec::HistoryRecorder history;
+  core::ClientOptions options;
+  options.monotone = p.monotone;
+  options.read_repair = p.read_repair;
+  options.write_back = p.write_back;
+  options.retry = explore_retry();
+
+  std::deque<core::QuorumRegisterClient> clients;
+  for (std::size_t i = 0; i < c; ++i) {
+    clients.emplace_back(sim, transport,
+                         static_cast<net::NodeId>(p.num_servers + i), quorums,
+                         /*server_base=*/0, master.fork(500 + i), options,
+                         &history);
+  }
+
+  // Every register carries a preloaded initial so reads before the first
+  // write are well-defined for [R2].
+  for (std::size_t r = 0; r < c; ++r) {
+    const auto reg = static_cast<core::RegisterId>(r);
+    for (core::ServerProcess& s : servers) {
+      s.replica().preload(reg, util::encode<std::int64_t>(0));
+    }
+    history.record_initial(reg);
+  }
+
+  std::deque<ClientDriver> drivers;
+  for (std::size_t i = 0; i < c; ++i) {
+    ClientDriver d;
+    d.sim = &sim;
+    d.client = &clients[i];
+    d.rng = master.fork(900 + i);
+    d.remaining = p.ops_per_client;
+    d.num_regs = c;
+    d.own_reg = static_cast<core::RegisterId>(i);
+    d.snapshot_reads = p.snapshot_reads;
+    drivers.push_back(d);
+  }
+
+  p.faults.install(sim, transport);
+  // Horizon recovery, scheduled AFTER the plan so plan events at exactly
+  // the horizon fire first: from here on the cluster is fault-free and all
+  // pending operations can complete — [R1] stays a checkable property.
+  sim.schedule_at(p.horizon, [&transport, n] {
+    net::FaultInjector& inj = transport.faults();
+    for (net::NodeId s = 0; s < n; ++s) {
+      inj.recover(s);
+      inj.clear_slow(s);
+    }
+    inj.heal();
+    inj.set_message_faults(net::MessageFaults{});
+  });
+
+  // Store/COW probes at 7 interior points of the horizon plus one final
+  // observation after the run.
+  spec::StoreProbe probe;
+  spec::CheckResult probe_failures;
+  for (int k = 1; k <= 7; ++k) {
+    sim.schedule_at(p.horizon * static_cast<double>(k) / 8.0,
+                    [&probe, &probe_failures, &servers] {
+                      for (core::ServerProcess& s : servers) {
+                        fold(probe_failures, probe.observe(s.id(), s.replica()));
+                      }
+                    });
+  }
+
+  for (ClientDriver& d : drivers) d.step();
+
+  // Gossip (and stray retry timers) keep the queue alive, so run to a cap
+  // generous enough that every op finishes long after horizon recovery.
+  const sim::Time cap =
+      p.horizon + 1000.0 + 60.0 * static_cast<double>(p.ops_per_client);
+  sim.run_until(cap);
+
+  for (core::ServerProcess& s : servers) {
+    fold(probe_failures, probe.observe(s.id(), s.replica()));
+  }
+
+  out.fingerprint = sim.fingerprint();
+  out.events_processed = sim.events_processed();
+  out.sim_time = sim.now();
+  out.ops_checked = history.ops().size();
+
+  spec::BatchOptions bo;
+  bo.r4 = p.check_monotone;
+  const spec::BatchResult batch = spec::check_batch(history.ops(), bo);
+  if (!batch.ok()) {
+    out.violation = true;
+    out.rule = spec::rule_id(batch.first_failure()->rule);
+    out.detail = batch.summary();
+  } else if (!probe_failures.ok) {
+    out.violation = true;
+    out.rule = probe_rule(probe_failures.violations.front());
+    out.detail = probe_failures.violations.front();
+  }
+  return out;
+}
+
+/// Alg. 1 scenario: APSP on the paper's 5-chain, run to convergence over
+/// the profile's cluster shape and fault schedule.
+RunOutcome run_alg1_scenario(const ScheduleProfile& p) {
+  RunOutcome out;
+  const apps::Graph g = apps::make_chain(5);
+  const apps::ApspOperator op(g);
+
+  quorum::ProbabilisticQuorums quorums(p.num_servers, p.quorum_size);
+  // Append full recovery at the horizon (run_alg1 owns the simulator, so
+  // the recovery must travel inside the plan).  Message faults persist past
+  // the horizon, which is why from_seed caps the loss knobs for alg1.
+  net::FaultPlan plan = p.faults;
+  const auto n = static_cast<net::NodeId>(p.num_servers);
+  for (net::NodeId s = 0; s < n; ++s) {
+    plan.recover_at(p.horizon, s);
+    plan.clear_slow_at(p.horizon, s);
+  }
+  plan.heal_at(p.horizon);
+
+  iter::Alg1Options o;
+  o.quorums = &quorums;
+  o.monotone = p.monotone;
+  o.read_repair = p.read_repair;
+  o.write_back = p.write_back;
+  o.snapshot_reads = p.snapshot_reads;
+  // run_alg1 owns its delay model; the profile's spec degrades to the
+  // synchronous/asynchronous switch.
+  o.synchronous = p.delay.kind == sim::DelaySpec::Kind::kConstant;
+  if (p.gossip_interval > 0.0) o.gossip_interval = p.gossip_interval;
+  o.seed = p.seed;
+  o.round_cap = 5000;
+  o.record_history = true;
+  o.fault_plan = &plan;
+  o.retry = explore_retry();
+  o.max_sim_time = p.horizon + 20000.0;
+
+  const iter::Alg1Result result = iter::run_alg1(op, o);
+  out.fingerprint = result.fingerprint;
+  out.events_processed = result.events_processed;
+  out.sim_time = result.sim_time;
+  out.ops_checked = result.history->ops().size();
+
+  spec::BatchOptions bo;
+  // The run truncates at convergence (or the time wall) with ops still in
+  // flight, so completeness [R1] is not checkable here.
+  bo.r1 = false;
+  bo.r4 = p.monotone && p.check_monotone;
+  const spec::BatchResult batch = spec::check_batch(result.history->ops(), bo);
+  if (!batch.ok()) {
+    out.violation = true;
+    out.rule = spec::rule_id(batch.first_failure()->rule);
+    out.detail = batch.summary();
+    return out;
+  }
+
+  // §6.2: the monotone iteration converges on every schedule.  (Plain
+  // registers carry no such guarantee, so non-monotone profiles skip this.)
+  if (p.monotone && !result.converged) {
+    out.violation = true;
+    out.rule = "alg1-convergence";
+    std::ostringstream os;
+    os << "monotone Alg. 1 run failed to converge (rounds=" << result.rounds
+       << ", sim_time=" << result.sim_time << ", round_cap=" << o.round_cap
+       << ")";
+    out.detail = os.str();
+    return out;
+  }
+
+  if (result.converged) {
+    // Fixed-point/ACO-box probe: the answer the run converged to really is
+    // a fixed point of F and lies in every contraction box D(0..3).
+    std::vector<iter::Value> x;
+    x.reserve(op.num_components());
+    for (std::size_t i = 0; i < op.num_components(); ++i) {
+      x.push_back(op.fixed_point(i));
+    }
+    for (std::size_t i = 0; i < op.num_components() && !out.violation; ++i) {
+      if (!op.component_equal(i, op.apply(i, x), x[i])) {
+        out.violation = true;
+        out.rule = "probe:alg1-fixed-point";
+        std::ostringstream os;
+        os << "[probe:alg1-fixed-point] F(x*) != x* at component " << i;
+        out.detail = os.str();
+        break;
+      }
+      for (std::size_t K = 0; K <= 3; ++K) {
+        if (op.has_box_oracle() && !op.box_contains(K, i, x[i])) {
+          out.violation = true;
+          out.rule = "probe:alg1-fixed-point";
+          std::ostringstream os;
+          os << "[probe:alg1-fixed-point] fixed point escapes box D(" << K
+             << ") at component " << i;
+          out.detail = os.str();
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+RunOutcome run_profile(const ScheduleProfile& profile) {
+  return profile.alg1 ? run_alg1_scenario(profile) : run_direct(profile);
+}
+
+}  // namespace pqra::explore

@@ -1,0 +1,167 @@
+#include "explore/shrink.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace pqra::explore {
+
+namespace {
+
+using FaultEvent = net::FaultPlan::Event;
+
+void with_faults(std::vector<ScheduleProfile>& out, const ScheduleProfile& cur,
+                 std::vector<FaultEvent> events,
+                 const net::MessageFaults& knobs) {
+  ScheduleProfile c = cur;
+  c.faults = net::FaultPlan::from_parts(std::move(events), knobs);
+  out.push_back(std::move(c));
+}
+
+/// All one-step reductions of \p cur, most aggressive first.  Every pass
+/// strictly removes or decreases something (identity candidates are
+/// filtered by the caller), so repeated acceptance terminates.
+std::vector<ScheduleProfile> candidates(const ScheduleProfile& cur) {
+  std::vector<ScheduleProfile> out;
+  const std::vector<FaultEvent>& events = cur.faults.events();
+  const net::MessageFaults knobs = cur.faults.message_faults();
+  const std::size_t ne = events.size();
+
+  // Fault-event chunk removal, ddmin-style: drop aligned chunks, halving
+  // the chunk size (the whole plan first, single events last).
+  for (std::size_t chunk = ne; chunk >= 1; chunk /= 2) {
+    for (std::size_t start = 0; start < ne; start += chunk) {
+      std::vector<FaultEvent> kept;
+      kept.reserve(ne - std::min(chunk, ne - start));
+      for (std::size_t i = 0; i < ne; ++i) {
+        if (i < start || i >= start + chunk) kept.push_back(events[i]);
+      }
+      with_faults(out, cur, std::move(kept), knobs);
+    }
+    if (chunk == 1) break;
+  }
+
+  // Zero the message-fault knobs: all at once, then one at a time.
+  if (knobs.any()) {
+    with_faults(out, cur, events, net::MessageFaults{});
+  }
+  if (knobs.drop_probability > 0.0) {
+    net::MessageFaults m = knobs;
+    m.drop_probability = 0.0;
+    with_faults(out, cur, events, m);
+  }
+  if (knobs.duplicate_probability > 0.0) {
+    net::MessageFaults m = knobs;
+    m.duplicate_probability = 0.0;
+    with_faults(out, cur, events, m);
+  }
+  if (knobs.extra_delay > 0.0) {
+    net::MessageFaults m = knobs;
+    m.extra_delay = 0.0;
+    with_faults(out, cur, events, m);
+  }
+  if (knobs.reorder_probability > 0.0) {
+    net::MessageFaults m = knobs;
+    m.reorder_probability = 0.0;
+    m.reorder_delay_max = 0.0;
+    with_faults(out, cur, events, m);
+  }
+
+  // Workload: halve the op count (floor 2 keeps at least a write+read), then
+  // a single-op nibble; drop one client.
+  {
+    ScheduleProfile c = cur;
+    c.ops_per_client = std::max<std::size_t>(2, cur.ops_per_client / 2);
+    out.push_back(std::move(c));
+  }
+  if (cur.ops_per_client > 2) {
+    ScheduleProfile c = cur;
+    c.ops_per_client = cur.ops_per_client - 1;
+    out.push_back(std::move(c));
+  }
+  if (cur.num_clients > 1) {
+    ScheduleProfile c = cur;
+    c.num_clients = cur.num_clients - 1;
+    out.push_back(std::move(c));
+  }
+
+  // Halve the horizon (floor 10), dropping fault events past the new end.
+  if (cur.horizon > 10.0) {
+    ScheduleProfile c = cur;
+    c.horizon = std::max(10.0, cur.horizon / 2.0);
+    std::vector<FaultEvent> kept;
+    for (const FaultEvent& e : events) {
+      if (e.at <= c.horizon) kept.push_back(e);
+    }
+    c.faults = net::FaultPlan::from_parts(std::move(kept), knobs);
+    out.push_back(std::move(c));
+  }
+
+  // Clear protocol extensions one at a time.
+  if (cur.gossip_interval > 0.0) {
+    ScheduleProfile c = cur;
+    c.gossip_interval = 0.0;
+    out.push_back(std::move(c));
+  }
+  if (cur.read_repair) {
+    ScheduleProfile c = cur;
+    c.read_repair = false;
+    out.push_back(std::move(c));
+  }
+  if (cur.write_back) {
+    ScheduleProfile c = cur;
+    c.write_back = false;
+    out.push_back(std::move(c));
+  }
+  if (cur.snapshot_reads) {
+    ScheduleProfile c = cur;
+    c.snapshot_reads = false;
+    out.push_back(std::move(c));
+  }
+
+  // Simplify the schedule dimensions that stay: smaller quorum, plainest
+  // delay model.  (num_servers is left alone — node ids thread through the
+  // fault plan and the quorum system, so shrinking it would change the
+  // meaning of everything else.)
+  if (cur.quorum_size > 1) {
+    ScheduleProfile c = cur;
+    c.quorum_size = cur.quorum_size - 1;
+    out.push_back(std::move(c));
+  }
+  if (cur.delay.kind != sim::DelaySpec::Kind::kConstant) {
+    ScheduleProfile c = cur;
+    c.delay = sim::DelaySpec{};  // constant:1
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+}  // namespace
+
+ShrinkResult shrink(const ScheduleProfile& original,
+                    const RunOutcome& original_outcome, std::size_t max_runs) {
+  ShrinkResult r;
+  r.profile = original;
+  r.outcome = original_outcome;
+  bool progress = true;
+  while (progress && r.stats.attempts < max_runs) {
+    progress = false;
+    for (ScheduleProfile& cand : candidates(r.profile)) {
+      if (cand == r.profile) continue;
+      if (cand.cost() > r.profile.cost()) continue;
+      if (r.stats.attempts >= max_runs) break;
+      ++r.stats.attempts;
+      RunOutcome out = run_profile(cand);
+      if (out.violation && out.rule == r.outcome.rule) {
+        r.profile = std::move(cand);
+        r.outcome = std::move(out);
+        ++r.stats.accepted;
+        progress = true;
+        break;  // restart candidate generation from the smaller profile
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace pqra::explore

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file shrink.hpp
+/// Delta-debugging shrinker for violating schedule profiles.
+///
+/// Given a profile whose run violates some rule, shrink() greedily applies
+/// reduction passes — remove fault-event chunks (ddmin-style, halving chunk
+/// sizes), zero message-fault knobs, halve the op count, drop clients,
+/// halve the horizon, clear protocol extensions, shrink the quorum — and
+/// re-runs each candidate, accepting it only when it still violates the
+/// SAME rule and its cost() did not grow.  The loop restarts from every
+/// accepted candidate and stops when a full sweep accepts nothing (or the
+/// run budget is exhausted), yielding a locally-minimal repro.
+///
+/// Deterministic: candidate order is fixed and every candidate run is a
+/// pure function of its profile, so shrinking the same violation twice
+/// produces the same minimal profile.
+
+#include <cstddef>
+
+#include "explore/profile.hpp"
+#include "explore/runner.hpp"
+
+namespace pqra::explore {
+
+struct ShrinkStats {
+  std::size_t attempts = 0;  ///< candidate runs executed
+  std::size_t accepted = 0;  ///< candidates that kept the violation
+};
+
+struct ShrinkResult {
+  ScheduleProfile profile;  ///< locally-minimal violating profile
+  RunOutcome outcome;       ///< its (still-violating) outcome
+  ShrinkStats stats;
+};
+
+/// \p original must violate (\p original_outcome.violation); \p max_runs
+/// bounds the total candidate executions.
+ShrinkResult shrink(const ScheduleProfile& original,
+                    const RunOutcome& original_outcome,
+                    std::size_t max_runs = 500);
+
+}  // namespace pqra::explore
