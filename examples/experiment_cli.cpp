@@ -43,6 +43,15 @@
 ///   --prom-out FILE      Prometheus text exposition of the same registry
 ///   --trace-out FILE     JSONL op trace of run 0 (spec-checkable)
 ///   --chrome-out FILE    run 0's trace as Chrome trace-event JSON
+///   --spans-out FILE     JSONL causal spans of run 0 (obs/span.hpp)
+///   --spans-chrome-out FILE  run 0's spans as Chrome trace-event JSON
+///   --span-sample N      trace every Nth (hashed) operation (default 1 =
+///                        all; 0 = none); deterministic in (seed, proc, op)
+///   --profile-out FILE   DES self-profiler JSON for run 0 (per-event-tag
+///                        fire counts + wall/simulated-time histograms).
+///                        Wall times are nondeterministic by nature and go
+///                        ONLY to this file; stdout and all other exports
+///                        stay byte-identical with or without it.
 
 #include <chrono>
 #include <cstdio>
@@ -68,6 +77,7 @@
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/names.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "quorum/fpp.hpp"
 #include "quorum/grid.hpp"
@@ -77,6 +87,7 @@
 #include "quorum/rowa.hpp"
 #include "quorum/singleton.hpp"
 #include "sim/parallel_runner.hpp"
+#include "sim/profiler.hpp"
 #include "util/stats.hpp"
 
 using namespace pqra;
@@ -480,6 +491,10 @@ int main(int argc, char** argv) {
   const std::string prom_out = args.get("prom-out", "");
   const std::string trace_out = args.get("trace-out", "");
   const std::string chrome_out = args.get("chrome-out", "");
+  const std::string spans_out = args.get("spans-out", "");
+  const std::string spans_chrome_out = args.get("spans-chrome-out", "");
+  const std::uint64_t span_sample = args.get_n("span-sample", 1);
+  const std::string profile_out = args.get("profile-out", "");
 
   util::Rng rng(seed);
   std::unique_ptr<iter::AcoOperator> op = make_app(app, graph, size, rng);
@@ -510,8 +525,16 @@ int main(int argc, char** argv) {
   // and the shards are merged into one registry IN RUN ORDER below, so
   // stdout and every exported file are byte-identical for any --jobs value.
   const bool want_trace = !trace_out.empty() || !chrome_out.empty();
+  // Spans and the profiler follow the same run-0-only discipline: one
+  // execution's causal tree (or cost profile) is the useful artifact, and
+  // keeping the shared sinks off every other run makes them race-free and
+  // byte-identical under jobs > 1.
+  const bool want_spans = !spans_out.empty() || !spans_chrome_out.empty();
+  const bool want_profile = !profile_out.empty();
   obs::Registry registry(obs::Concurrency::kSingleThread);
   obs::OpTraceSink trace;
+  obs::SpanSink spans(obs::SpanSink::Options{seed, span_sample});
+  sim::Profiler profiler;
 
   struct RunOutput {
     iter::Alg1Result r;
@@ -540,6 +563,8 @@ int main(int argc, char** argv) {
           // so the self-check below stays sound (see docs/FAULTS.md).
           options.record_history = faulty;
         }
+        if (want_spans && run == 0) options.spans = &spans;
+        if (want_profile && run == 0) options.profiler = &profiler;
         util::Rng churn_rng(seed + run);
         net::FaultPlan plan;
         if (!fault_spec.empty()) {
@@ -656,6 +681,31 @@ int main(int argc, char** argv) {
   if (!chrome_out.empty()) {
     outputs_ok &= write_file(chrome_out, "Chrome trace", [&](auto& out) {
       obs::write_chrome_trace(trace.events(), out);
+    });
+  }
+  if (want_spans) {
+    // Structural audit before export: parents precede children, closed
+    // spans are coherent.  A run cut off by max_sim_time can leave ops (and
+    // their spans) legitimately in flight, so open spans are allowed here —
+    // the open count is reported so a human notices.
+    spans.check(/*require_closed=*/false);
+    std::printf("spans: %zu recorded, %zu still open\n", spans.size(),
+                spans.open_spans());
+  }
+  if (!spans_out.empty()) {
+    outputs_ok &= write_file(spans_out, "span JSONL", [&](auto& out) {
+      obs::write_spans_jsonl(spans.spans(), out);
+    });
+  }
+  if (!spans_chrome_out.empty()) {
+    outputs_ok &= write_file(spans_chrome_out, "span Chrome trace",
+                             [&](auto& out) {
+                               obs::write_spans_chrome(spans.spans(), out);
+                             });
+  }
+  if (want_profile) {
+    outputs_ok &= write_file(profile_out, "DES profile JSON", [&](auto& out) {
+      profiler.write_json(out);
     });
   }
 

@@ -76,6 +76,75 @@ void QuorumRegisterClient::record_trace(obs::TraceOpKind kind,
   options_.trace->record(std::move(ev));
 }
 
+void QuorumRegisterClient::begin_op_span(OpId op, PendingOp& pending,
+                                         bool is_write, RegisterId reg) {
+  if (options_.spans == nullptr || !options_.spans->sampled(self_, op)) return;
+  pending.root_span = options_.spans->begin(obs::SpanKind::kClientOp,
+                                            /*parent=*/0, self_,
+                                            pending.started);
+  obs::SpanRecord& rec = options_.spans->at(pending.root_span);
+  rec.reg = reg;
+  rec.op = op;
+  rec.is_write = is_write;
+}
+
+void QuorumRegisterClient::close_rpc_span(PendingOp& pending, NodeId from,
+                                          Timestamp ts) {
+  for (std::size_t i = 0; i < pending.rpc_servers.size(); ++i) {
+    if (pending.rpc_servers[i] != from) continue;
+    obs::SpanRecord& rec = options_.spans->at(pending.rpc_spans[i]);
+    if (!rec.open) continue;  // acked in an earlier attempt
+    rec.ts = ts;
+    options_.spans->finish(pending.rpc_spans[i], obs::SpanStatus::kOk,
+                           simulator_.now());
+    return;
+  }
+}
+
+void QuorumRegisterClient::close_open_rpc_spans(PendingOp& pending) {
+  for (obs::SpanId id : pending.rpc_spans) {
+    if (!options_.spans->at(id).open) continue;
+    options_.spans->finish(id, obs::SpanStatus::kUnanswered, simulator_.now());
+  }
+}
+
+void QuorumRegisterClient::close_op_span(PendingOp& pending,
+                                         obs::SpanStatus status, Timestamp ts,
+                                         bool from_cache) {
+  if (pending.root_span == 0) return;
+  close_open_rpc_spans(pending);
+  obs::SpanRecord& rec = options_.spans->at(pending.root_span);
+  rec.ts = ts;
+  rec.from_cache = from_cache;
+  rec.attempt = pending.attempt + 1;
+  rec.stale_depth = pending.stale_depth;
+  rec.quorum.assign(pending.responders.begin(), pending.responders.end());
+  rec.fresh.assign(pending.fresh.begin(), pending.fresh.end());
+  options_.spans->finish(pending.root_span, status, simulator_.now());
+  pending.root_span = 0;
+}
+
+namespace {
+
+obs::SpanStatus span_status_of(OpStatus status) {
+  switch (status) {
+    case OpStatus::kOk:
+      return obs::SpanStatus::kOk;
+    case OpStatus::kDegraded:
+      return obs::SpanStatus::kDegraded;
+    case OpStatus::kTimedOut:
+      return obs::SpanStatus::kTimedOut;
+    case OpStatus::kShutdown:
+      // Threaded-runtime-only status; the DES client never produces it, but
+      // a torn-down op maps naturally onto an expired one.
+      return obs::SpanStatus::kTimedOut;
+  }
+  PQRA_CHECK(false, "unknown OpStatus");
+  return obs::SpanStatus::kOk;
+}
+
+}  // namespace
+
 void QuorumRegisterClient::read(RegisterId reg, ReadCallback cb) {
   PQRA_REQUIRE(static_cast<bool>(cb), "read needs a callback");
   OpId op = next_op_++;
@@ -85,6 +154,7 @@ void QuorumRegisterClient::read(RegisterId reg, ReadCallback cb) {
   pending.needed = quorums_.quorum_size(quorum::AccessKind::kRead);
   pending.read_cb = std::move(cb);
   pending.started = simulator_.now();
+  begin_op_span(op, pending, /*is_write=*/false, reg);
   if (history_ != nullptr) {
     pending.hist = history_->begin_read(self_, reg, simulator_.now());
     pending.has_hist = true;
@@ -113,6 +183,7 @@ void QuorumRegisterClient::read_snapshot(std::vector<RegisterId> regs,
   pending.needed = quorums_.quorum_size(quorum::AccessKind::kRead);
   pending.snap_cb = std::move(cb);
   pending.started = simulator_.now();
+  begin_op_span(op, pending, /*is_write=*/false, net::kAllRegisters);
   if (history_ != nullptr) {
     pending.snap_hists.reserve(regs.size());
     for (RegisterId reg : regs) {
@@ -145,6 +216,7 @@ void QuorumRegisterClient::write(RegisterId reg, Value value,
   pending.write_ts = ts;
   pending.write_value = std::move(value);
   pending.started = simulator_.now();
+  begin_op_span(op, pending, /*is_write=*/true, reg);
   if (history_ != nullptr) {
     pending.hist = history_->begin_write(self_, reg, simulator_.now(), ts);
     pending.has_hist = true;
@@ -168,19 +240,31 @@ void QuorumRegisterClient::send_to_quorum(OpId op, PendingOp& pending) {
   quorums_.pick(kind, rng_, quorum_scratch_);
   for (quorum::ServerId s : quorum_scratch_) {
     NodeId server = server_base_ + s;
+    net::Message msg;
     if (sends_reads) {
-      transport_.send(self_, server, net::Message::read_req(pending.reg, op));
+      msg = net::Message::read_req(pending.reg, op);
     } else if (pending.in_write_back) {
-      transport_.send(self_, server,
-                      net::Message::write_req(pending.reg, op,
-                                              pending.best_ts,
-                                              pending.best_value));
+      msg = net::Message::write_req(pending.reg, op, pending.best_ts,
+                                    pending.best_value);
     } else {
-      transport_.send(self_, server,
-                      net::Message::write_req(pending.reg, op,
-                                              pending.write_ts,
-                                              pending.write_value));
+      msg = net::Message::write_req(pending.reg, op, pending.write_ts,
+                                    pending.write_value);
     }
+    if (pending.root_span != 0) {
+      obs::SpanId rpc = options_.spans->begin(
+          obs::SpanKind::kRpcAttempt, pending.root_span, self_,
+          simulator_.now());
+      obs::SpanRecord& rec = options_.spans->at(rpc);
+      rec.reg = pending.reg;
+      rec.op = op;
+      rec.server = server;
+      rec.attempt = pending.attempt + 1;
+      pending.rpc_servers.push_back(server);
+      pending.rpc_spans.push_back(rpc);
+      msg.trace = options_.spans->at(pending.root_span).trace;
+      msg.span = rpc;
+    }
+    transport_.send(self_, server, std::move(msg));
   }
   if (options_.retry.rpc_timeout.has_value()) {
     arm_retry(op, pending.attempt);
@@ -189,7 +273,8 @@ void QuorumRegisterClient::send_to_quorum(OpId op, PendingOp& pending) {
 
 void QuorumRegisterClient::arm_retry(OpId op, std::uint32_t attempt) {
   sim::Time wait = options_.retry.backoff(attempt, retry_rng_);
-  simulator_.schedule_in(wait, [this, op, attempt] {
+  simulator_.schedule_in(wait, sim::EventTag::kRetryTimer, [this, op,
+                                                           attempt, wait] {
     auto it = pending_.find(op);
     if (it == pending_.end() || it->second.attempt != attempt) {
       return;  // completed, or already retried by an older timer
@@ -201,16 +286,30 @@ void QuorumRegisterClient::arm_retry(OpId op, std::uint32_t attempt) {
     ++pending.attempt;
     ++counters_.retries;
     if (instruments_.retries != nullptr) instruments_.retries->inc();
+    if (pending.root_span != 0) {
+      // Recorded only when the timer actually fires and escalates, so a
+      // completed op never leaves a dangling wait span.  The wait covers
+      // [fire - backoff, fire].
+      obs::SpanId waited = options_.spans->begin(
+          obs::SpanKind::kRetryWait, pending.root_span, self_,
+          simulator_.now() - wait);
+      obs::SpanRecord& rec = options_.spans->at(waited);
+      rec.reg = pending.reg;
+      rec.op = op;
+      rec.attempt = pending.attempt + 1;  // the attempt this wait leads to
+      options_.spans->finish(waited, obs::SpanStatus::kOk, simulator_.now());
+    }
     send_to_quorum(op, pending);
   });
 }
 
 void QuorumRegisterClient::arm_deadline(OpId op) {
-  simulator_.schedule_in(*options_.retry.deadline, [this, op] {
-    auto it = pending_.find(op);
-    if (it == pending_.end()) return;  // completed in time
-    finish_deadline(op, it->second);
-  });
+  simulator_.schedule_in(*options_.retry.deadline, sim::EventTag::kDeadline,
+                         [this, op] {
+                           auto it = pending_.find(op);
+                           if (it == pending_.end()) return;  // done in time
+                           finish_deadline(op, it->second);
+                         });
 }
 
 void QuorumRegisterClient::finish_deadline(OpId op, PendingOp& pending) {
@@ -245,7 +344,10 @@ void QuorumRegisterClient::finish_deadline(OpId op, PendingOp& pending) {
 void QuorumRegisterClient::fail_op(OpId op, PendingOp& pending) {
   // The history record stays unresponded (the spec checkers skip open ops)
   // and no trace event is emitted: a failed operation never took effect at
-  // the register interface.
+  // the register interface.  The span *is* closed (kTimedOut): causal
+  // tracing exists precisely to show where the deadline budget went.
+  close_op_span(pending, obs::SpanStatus::kTimedOut, /*ts=*/0,
+                /*from_cache=*/false);
   ++counters_.op_failures;
   if (instruments_.op_failures != nullptr) instruments_.op_failures->inc();
   if (pending.is_snapshot) {
@@ -290,6 +392,7 @@ void QuorumRegisterClient::on_message(NodeId from, net::Message msg) {
     if (seen == from) return;
   }
   pending.responders.push_back(from);
+  if (pending.root_span != 0) close_rpc_span(pending, from, msg.ts);
 
   if (expects_read_acks) {
     if (pending.is_snapshot) {
@@ -301,7 +404,11 @@ void QuorumRegisterClient::on_message(NodeId from, net::Message msg) {
         }
       }
     } else {
-      if (options_.read_repair) pending.responder_ts.push_back(msg.ts);
+      // The per-responder timestamps feed read repair and the span root's
+      // fresh-set (ε-intersection) annotation.
+      if (options_.read_repair || pending.root_span != 0) {
+        pending.responder_ts.push_back(msg.ts);
+      }
       if (msg.ts >= pending.best_ts) {
         pending.best_ts = msg.ts;
         pending.best_value = std::move(msg.value);
@@ -376,6 +483,8 @@ void QuorumRegisterClient::complete_snapshot(OpId op, PendingOp& pending) {
       instruments_.degraded_reads->inc(pending.snap_regs.size());
     }
   }
+  close_op_span(pending, span_status_of(pending.status),
+                /*ts=*/0, /*from_cache=*/false);
   SnapshotCallback cb = std::move(pending.snap_cb);
   pending_.erase(op);
   cb(std::move(results));
@@ -390,6 +499,16 @@ void QuorumRegisterClient::complete_read(OpId op, PendingOp& pending) {
     Timestamp seen = max_seen_ts_[pending.reg];
     pending.stale_depth =
         seen > pending.best_ts ? seen - pending.best_ts : 0;
+  }
+  if (pending.root_span != 0) {
+    // ε-intersection outcome: which responders held the quorum's freshest
+    // timestamp — judged against the raw quorum answer for the same reason
+    // as stale_depth above.
+    for (std::size_t i = 0; i < pending.responder_ts.size(); ++i) {
+      if (pending.responder_ts[i] == pending.best_ts) {
+        pending.fresh.push_back(pending.responders[i]);
+      }
+    }
   }
   if (options_.monotone) {
     TimestampedValue& cached = monotone_cache_[pending.reg];
@@ -442,6 +561,9 @@ void QuorumRegisterClient::send_read_repair(const PendingOp& pending,
 void QuorumRegisterClient::start_write_back(OpId op, PendingOp& pending) {
   ++counters_.write_backs;
   if (instruments_.write_backs != nullptr) instruments_.write_backs->inc();
+  // Read-phase RPC spans end here: a late ReadAck is ignored by on_message
+  // once the phase flips, so it must not be able to close anything.
+  if (pending.root_span != 0) close_open_rpc_spans(pending);
   pending.in_write_back = true;
   pending.needed = quorums_.quorum_size(quorum::AccessKind::kWrite);
   pending.responders.clear();
@@ -479,6 +601,8 @@ void QuorumRegisterClient::deliver_read(OpId op, PendingOp& pending) {
     record_trace(obs::TraceOpKind::kRead, pending, pending.reg, result.ts,
                  result.from_monotone_cache);
   }
+  close_op_span(pending, span_status_of(pending.status), result.ts,
+                result.from_monotone_cache);
   ReadCallback cb = std::move(pending.read_cb);
   pending_.erase(op);
   cb(std::move(result));
@@ -508,6 +632,7 @@ void QuorumRegisterClient::complete_write(OpId op, PendingOp& pending) {
   if (options_.trace != nullptr) {
     record_trace(obs::TraceOpKind::kWrite, pending, pending.reg, ts, false);
   }
+  close_op_span(pending, span_status_of(pending.status), ts, false);
   WriteResult result;
   result.ts = ts;
   result.status = pending.status;

@@ -45,6 +45,7 @@
 #include "core/spec/history.hpp"
 #include "net/transport.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "quorum/quorum_system.hpp"
 #include "sim/simulator.hpp"
@@ -103,6 +104,12 @@ struct ClientOptions {
   /// Structured op-trace sink (non-owning, may be nullptr): every completed
   /// read/write is recorded with its quorum membership; see obs/trace.hpp.
   obs::OpTraceSink* trace = nullptr;
+  /// Causal span sink (non-owning, may be nullptr): sampled operations emit
+  /// a span tree — client op → per-replica RPC attempt → retry wait — with
+  /// the quorum membership and ε-intersection outcome annotated on the
+  /// root.  Ids propagate in message headers so replicas can parent their
+  /// handling spans; see obs/span.hpp and docs/OBSERVABILITY.md.
+  obs::SpanSink* spans = nullptr;
 };
 
 /// Per-client operation tallies.  This is the per-process attribution view
@@ -178,8 +185,20 @@ class QuorumRegisterClient final : public net::Receiver {
     std::size_t needed = 0;             ///< quorum size
     std::vector<NodeId> responders;     ///< distinct servers that acked
     /// Timestamp each read responder reported (parallel to responders;
-    /// kept only when read repair is on).
+    /// kept only when read repair or span tracing is on).
     std::vector<Timestamp> responder_ts;
+    /// Span state (obs/span.hpp).  root_span == 0 ⇔ this op is untraced
+    /// (no sink, or not sampled); all other span work is gated on it.
+    obs::SpanId root_span = 0;
+    /// Open/closed RPC-attempt spans, parallel vectors: rpc_spans[i] is the
+    /// span for the request sent to rpc_servers[i].  Closed on the first
+    /// ack from that server; leftovers close as kUnanswered when the op
+    /// settles or changes phase.
+    std::vector<NodeId> rpc_servers;
+    std::vector<obs::SpanId> rpc_spans;
+    /// Responders that reported the quorum's best timestamp (the
+    /// ε-intersection outcome), fixed in complete_read.
+    std::vector<NodeId> fresh;
     Timestamp best_ts = 0;
     Value best_value;
     /// Snapshot state: requested registers, per-register best, callback and
@@ -226,6 +245,19 @@ class QuorumRegisterClient final : public net::Receiver {
 
   void record_trace(obs::TraceOpKind kind, const PendingOp& pending,
                     RegisterId reg, Timestamp ts, bool from_cache);
+
+  /// Opens the root kClientOp span when a sink is bound and (self, op) is
+  /// sampled; no-op otherwise.
+  void begin_op_span(OpId op, PendingOp& pending, bool is_write,
+                     RegisterId reg);
+  /// Closes the first still-open RPC span to \p from with the acked ts.
+  void close_rpc_span(PendingOp& pending, NodeId from, Timestamp ts);
+  /// Closes every still-open RPC span as kUnanswered (op settled or moved
+  /// to its write-back phase).
+  void close_open_rpc_spans(PendingOp& pending);
+  /// Annotates and closes the root span (quorum, fresh set, ts, staleness).
+  void close_op_span(PendingOp& pending, obs::SpanStatus status, Timestamp ts,
+                     bool from_cache);
 
   void send_to_quorum(OpId op, PendingOp& pending);
   void arm_retry(OpId op, std::uint32_t attempt);

@@ -46,6 +46,22 @@ ServerProcess::ServerProcess(net::Transport& transport, NodeId self,
   }
 }
 
+void ServerProcess::record_handle_span(const net::Message& request,
+                                       Timestamp reply_ts) {
+  if (spans_ == nullptr || request.span == 0) return;
+  // Zero duration by construction: the paper's model folds service time
+  // into the link delays, so handling is instantaneous in simulated time.
+  sim::Time now = span_sim_->now();
+  obs::SpanId id = spans_->begin(obs::SpanKind::kServerHandle, request.span,
+                                 self_, now);
+  obs::SpanRecord& rec = spans_->at(id);
+  rec.reg = request.reg;
+  rec.op = request.op;
+  rec.server = self_;
+  rec.ts = reply_ts;
+  spans_->finish(id, obs::SpanStatus::kOk, now);
+}
+
 void ServerProcess::on_message(NodeId from, net::Message msg) {
   if (msg.type == net::MsgType::kGossip) {
     std::size_t advanced = replica_.merge_store(msg.value);
@@ -55,22 +71,31 @@ void ServerProcess::on_message(NodeId from, net::Message msg) {
   }
   if (msg.type == net::MsgType::kReadReq && msg.reg == net::kAllRegisters) {
     if (metrics_.has_value()) metrics_->requests->inc();
-    transport_.send(self_, from,
-                    net::Message::read_ack(net::kAllRegisters, msg.op, 0,
-                                           replica_.encode_store()));
+    net::Message reply = net::Message::read_ack(net::kAllRegisters, msg.op, 0,
+                                                replica_.encode_store());
+    reply.trace = msg.trace;
+    reply.span = msg.span;
+    record_handle_span(msg, reply.ts);
+    transport_.send(self_, from, std::move(reply));
     return;
   }
   std::uint64_t applied_before = replica_.writes_applied();
   net::Message reply = replica_.handle(msg);
+  // Echo the causal headers so the client can close its RPC span; done here
+  // (not in Replica) so the replica state machine stays tracing-agnostic.
+  reply.trace = msg.trace;
+  reply.span = msg.span;
   if (metrics_.has_value()) {
     metrics_->requests->inc();
     metrics_->ts_advances->inc(replica_.writes_applied() - applied_before);
   }
-  transport_.send(self_, from, reply);
+  record_handle_span(msg, reply.ts);
+  transport_.send(self_, from, std::move(reply));
 }
 
 void ServerProcess::schedule_gossip(sim::Time delay) {
-  simulator_->schedule_in(delay, [this] { gossip_tick(); });
+  simulator_->schedule_in(delay, sim::EventTag::kGossip,
+                          [this] { gossip_tick(); });
 }
 
 void ServerProcess::gossip_tick() {

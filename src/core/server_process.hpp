@@ -16,6 +16,7 @@
 #include "core/replica.hpp"
 #include "net/transport.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
 
@@ -55,6 +56,17 @@ class ServerProcess final : public net::Receiver {
 
   void on_message(NodeId from, net::Message msg) override;
 
+  /// Emits a zero-duration kServerHandle span, parented to the request's
+  /// RPC span, for every traced request this server answers.  \p simulator
+  /// supplies timestamps (the plain constructor does not know one); the
+  /// sink must be the same one the clients write to, or parent links
+  /// cannot resolve.  Request trace/span headers are echoed on replies
+  /// whether or not a sink is bound.
+  void bind_spans(obs::SpanSink* spans, sim::Simulator& simulator) {
+    spans_ = spans;
+    span_sim_ = &simulator;
+  }
+
   Replica& replica() { return replica_; }
   const Replica& replica() const { return replica_; }
   NodeId id() const { return self_; }
@@ -63,6 +75,7 @@ class ServerProcess final : public net::Receiver {
  private:
   void schedule_gossip(sim::Time delay);
   void gossip_tick();
+  void record_handle_span(const net::Message& request, Timestamp reply_ts);
 
   net::Transport& transport_;
   NodeId self_;
@@ -72,6 +85,8 @@ class ServerProcess final : public net::Receiver {
   util::Rng rng_;
   std::uint64_t gossip_merges_ = 0;
   std::optional<ServerMetrics> metrics_;
+  obs::SpanSink* spans_ = nullptr;
+  sim::Simulator* span_sim_ = nullptr;
 };
 
 }  // namespace pqra::core

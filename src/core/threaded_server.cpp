@@ -27,6 +27,11 @@ void ThreadedServer::serve() {
     if (!env.has_value()) return;  // transport closed
     std::uint64_t applied_before = replica_.writes_applied();
     net::Message reply = replica_.handle(env->msg);
+    // Echo the causal headers (obs/span.hpp): span *emission* is DES-only,
+    // but propagation works on both transports so flight-recorder dumps of
+    // the threaded runtime still correlate messages to traces.
+    reply.trace = env->msg.trace;
+    reply.span = env->msg.span;
     if (metrics_.has_value()) {
       metrics_->requests->inc();
       metrics_->ts_advances->inc(replica_.writes_applied() - applied_before);

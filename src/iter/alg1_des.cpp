@@ -158,6 +158,10 @@ Alg1Result run_alg1(const AcoOperator& op, const Alg1Options& options) {
   net::SimTransport transport(simulator, *delays, master.fork(1),
                               static_cast<net::NodeId>(n + p));
   if (options.metrics != nullptr) transport.bind_metrics(*options.metrics);
+  if (options.flight_recorder != nullptr) {
+    transport.bind_flight_recorder(options.flight_recorder);
+  }
+  if (options.profiler != nullptr) simulator.set_profiler(options.profiler);
 
   // Servers at NodeIds [0, n), preloaded with the initial vector.
   core::GossipOptions gossip;
@@ -176,6 +180,9 @@ Alg1Result run_alg1(const AcoOperator& op, const Alg1Options& options) {
     } else {
       servers.push_back(std::make_unique<core::ServerProcess>(
           transport, static_cast<net::NodeId>(s), options.metrics));
+    }
+    if (options.spans != nullptr) {
+      servers.back()->bind_spans(options.spans, simulator);
     }
     for (std::size_t j = 0; j < m; ++j) {
       servers.back()->replica().preload(static_cast<net::RegisterId>(j),
@@ -211,6 +218,7 @@ Alg1Result run_alg1(const AcoOperator& op, const Alg1Options& options) {
   client_options.write_back = options.write_back;
   client_options.metrics = options.metrics;
   client_options.trace = options.trace;
+  client_options.spans = options.spans;
 
   RoundTracker rounds(p);
   PseudocycleTracker pseudocycles(p, m);
@@ -310,6 +318,23 @@ Alg1Result run_alg1(const AcoOperator& op, const Alg1Options& options) {
         .set(static_cast<double>(result.pseudocycles));
     reg.gauge(n::kAlg1Converged, "1 if the run converged, else 0")
         .set(result.converged ? 1.0 : 0.0);
+    if (options.spans != nullptr) options.spans->publish(reg);
+    if (options.flight_recorder != nullptr) {
+      options.flight_recorder->publish(reg);
+    }
+    if (options.profiler != nullptr) {
+      // Only the deterministic fire counts enter the registry; wall-time
+      // attribution stays in the profiler (--profile-out), because these
+      // bytes are compared across --jobs by the determinism tests.
+      reg.counter(n::kProfileFires, "Events fired with a profiler attached")
+          .inc(options.profiler->total_fires());
+      for (std::size_t t = 0; t < sim::kNumEventTags; ++t) {
+        reg.counter(n::kProfileFiresByTag[t],
+                    "Events fired with this tag (see sim::EventTag)")
+            .inc(options.profiler->tag_stats(static_cast<sim::EventTag>(t))
+                     .fires);
+      }
+    }
   }
   return result;
 }

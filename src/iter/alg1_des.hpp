@@ -20,7 +20,9 @@
 #include "iter/aco.hpp"
 #include "net/fault_plan.hpp"
 #include "net/transport.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "quorum/quorum_system.hpp"
 #include "util/stats.hpp"
@@ -97,6 +99,23 @@ struct Alg1Options {
   /// completed read/write in spec/history vocabulary, replayable through the
   /// [R1]/[R2]/[R4] checkers via core::spec::to_op_records.
   obs::OpTraceSink* trace = nullptr;
+
+  /// Optional causal span sink (non-owning): clients emit op/RPC/retry
+  /// spans, servers parent their handling spans through the message
+  /// headers.  Deterministic given the sink's sampling options; see
+  /// obs/span.hpp and docs/OBSERVABILITY.md.
+  obs::SpanSink* spans = nullptr;
+
+  /// Optional flight recorder (non-owning): the transport records every
+  /// send/deliver/drop into the ring; dump it when something goes wrong.
+  obs::FlightRecorder* flight_recorder = nullptr;
+
+  /// Optional DES self-profiler (non-owning): attaches to the simulator for
+  /// the run.  Wall-time attribution makes outputs nondeterministic — never
+  /// route profiler data into determinism-compared artifacts
+  /// (sim/profiler.hpp); only its deterministic fire counts are published
+  /// into `metrics`.
+  sim::Profiler* profiler = nullptr;
 };
 
 struct Alg1Result {

@@ -398,7 +398,7 @@ void FaultPlan::install(sim::Simulator& simulator,
                         FaultInjector& injector) const {
   if (message_faults_.any()) injector.set_message_faults(message_faults_);
   for (const Event& ev : events_) {
-    simulator.schedule_at(ev.at, [&injector, ev] {
+    simulator.schedule_at(ev.at, sim::EventTag::kFault, [&injector, ev] {
       switch (ev.kind) {
         case FaultKind::kCrash:
           injector.crash(ev.node);

@@ -67,8 +67,9 @@ Message Message::gossip(Value encoded_store) {
 
 std::string Message::describe() const {
   std::ostringstream os;
-  os << msg_type_name(type) << "{reg=" << reg << " op=" << op << " ts=" << ts
-     << " |v|=" << value.size() << "}";
+  os << msg_type_name(type) << "{reg=" << reg << " op=" << op << " ts=" << ts;
+  if (trace != 0) os << " trace=" << trace << " span=" << span;
+  os << " |v|=" << value.size() << "}";
   return os.str();
 }
 

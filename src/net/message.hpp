@@ -61,6 +61,12 @@ struct Message {
   RegisterId reg = 0;
   OpId op = 0;
   Timestamp ts = 0;
+  /// Causal tracing headers (obs/span.hpp): the trace id of the client
+  /// operation this message serves and the span id of the RPC attempt that
+  /// sent it.  0 = untraced.  Transports copy them opaquely; replicas echo
+  /// a request's ids on the reply so the client can close the RPC span.
+  std::uint64_t trace = 0;
+  std::uint64_t span = 0;
   Value value;
 
   static Message read_req(RegisterId reg, OpId op);

@@ -24,17 +24,40 @@ void SimTransport::register_receiver(NodeId node, Receiver* receiver) {
   receivers_[node] = receiver;
 }
 
+void SimTransport::record_flight(obs::FlightEventKind kind, NodeId from,
+                                 NodeId to, const Message& msg) {
+  obs::FlightRecord rec;
+  rec.time = simulator_.now();
+  rec.event = kind;
+  rec.msg_type = static_cast<std::uint8_t>(msg.type);
+  rec.from = from;
+  rec.to = to;
+  rec.reg = msg.reg;
+  rec.op = msg.op;
+  rec.ts = msg.ts;
+  rec.trace = msg.trace;
+  rec.span = msg.span;
+  flight_recorder_->record(rec);
+}
+
 void SimTransport::deliver_after(sim::Time delay, NodeId from, NodeId to,
                                  Message msg) {
   simulator_.schedule_in(
-      delay, [this, from, to, m = std::move(msg)]() mutable {
+      delay, sim::EventTag::kMsgDeliver,
+      [this, from, to, m = std::move(msg)]() mutable {
         // Re-check the destination: it may have crashed in flight.
         if (faults_.is_crashed(to)) {
           ++stats_.dropped;
           if (metrics_.has_value()) metrics_->on_drop();
+          if (flight_recorder_ != nullptr) {
+            record_flight(obs::FlightEventKind::kDrop, from, to, m);
+          }
           return;
         }
         ++stats_.received_by_node[to];
+        if (flight_recorder_ != nullptr) {
+          record_flight(obs::FlightEventKind::kDeliver, from, to, m);
+        }
         receivers_[to]->on_message(from, std::move(m));
       });
 }
@@ -46,10 +69,16 @@ void SimTransport::send(NodeId from, NodeId to, Message msg) {
   ++stats_.total;
   ++stats_.by_type[static_cast<std::size_t>(msg.type)];
   if (metrics_.has_value()) metrics_->on_send(msg);
+  if (flight_recorder_ != nullptr) {
+    record_flight(obs::FlightEventKind::kSend, from, to, msg);
+  }
   FaultDecision fault = faults_.on_send(from, to, rng_);
   if (fault.drop) {
     ++stats_.dropped;
     if (metrics_.has_value()) metrics_->on_drop();
+    if (flight_recorder_ != nullptr) {
+      record_flight(obs::FlightEventKind::kDrop, from, to, msg);
+    }
     return;
   }
   sim::Time delay =

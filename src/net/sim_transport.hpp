@@ -15,6 +15,7 @@
 
 #include "net/faults.hpp"
 #include "net/transport.hpp"
+#include "obs/flight_recorder.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
 
@@ -51,8 +52,18 @@ class SimTransport final : public Transport {
   /// schedule events, so binding cannot perturb DES determinism.
   void bind_metrics(obs::Registry& registry);
 
+  /// Records every send/deliver/drop into \p recorder (not owned; may be
+  /// null to unbind).  Recording is O(1) and allocation-free, and never
+  /// schedules events, so binding cannot perturb DES determinism.
+  void bind_flight_recorder(obs::FlightRecorder* recorder) {
+    flight_recorder_ = recorder;
+  }
+
  private:
   void deliver_after(sim::Time delay, NodeId from, NodeId to, Message msg);
+
+  void record_flight(obs::FlightEventKind kind, NodeId from, NodeId to,
+                     const Message& msg);
 
   sim::Simulator& simulator_;
   sim::DelayModel& delay_model_;
@@ -61,6 +72,7 @@ class SimTransport final : public Transport {
   FaultInjector faults_;
   MessageStats stats_;
   std::optional<TransportMetrics> metrics_;
+  obs::FlightRecorder* flight_recorder_ = nullptr;
 };
 
 }  // namespace pqra::net

@@ -1,0 +1,93 @@
+#include "obs/flight_recorder.hpp"
+
+#include <ostream>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
+#include "util/check.hpp"
+
+namespace pqra::obs {
+
+const char* flight_event_kind_name(FlightEventKind kind) {
+  switch (kind) {
+    case FlightEventKind::kSend:
+      return "send";
+    case FlightEventKind::kDeliver:
+      return "deliver";
+    case FlightEventKind::kDrop:
+      return "drop";
+  }
+  PQRA_CHECK(false, "flight recorder: unknown event kind");
+  return "";
+}
+
+namespace {
+
+/// Mirrors net::MsgType's enumerators without depending on net/ (layering:
+/// obs must stay below net).  tests/net/message_test.cpp asserts the two
+/// stay in sync.
+constexpr const char* kMsgTypeNames[] = {"ReadReq", "ReadAck", "WriteReq",
+                                         "WriteAck", "Gossip"};
+constexpr std::size_t kNumMsgTypeNames =
+    sizeof(kMsgTypeNames) / sizeof(kMsgTypeNames[0]);
+
+const char* msg_type_name(std::uint8_t t) {
+  return t < kNumMsgTypeNames ? kMsgTypeNames[t] : "?";
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(std::size_t capacity) : ring_(capacity) {
+  PQRA_CHECK(capacity > 0, "flight recorder: capacity must be > 0");
+}
+
+void FlightRecorder::record(const FlightRecord& rec) {
+  ring_[next_] = rec;
+  next_ = next_ + 1 == ring_.size() ? 0 : next_ + 1;
+  if (held_ < ring_.size()) ++held_;
+  ++recorded_;
+}
+
+std::size_t FlightRecorder::size() const { return held_; }
+
+std::vector<FlightRecord> FlightRecorder::snapshot() const {
+  std::vector<FlightRecord> out;
+  out.reserve(held_);
+  std::size_t start = held_ < ring_.size() ? 0 : next_;
+  for (std::size_t i = 0; i < held_; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void FlightRecorder::dump(std::ostream& out) const {
+  out << "# pqra flight recorder: capacity=" << ring_.size()
+      << " held=" << held_ << " overwritten=" << (recorded_ - held_) << "\n";
+  for (const FlightRecord& rec : snapshot()) {
+    out << '[' << format_double(rec.time) << "] "
+        << flight_event_kind_name(rec.event) << ' '
+        << msg_type_name(rec.msg_type) << ' ' << rec.from << "->" << rec.to
+        << " reg=" << rec.reg << " op=" << rec.op << " ts=" << rec.ts;
+    if (rec.trace != 0) {
+      out << " trace=" << rec.trace << " span=" << rec.span;
+    }
+    out << '\n';
+  }
+}
+
+void FlightRecorder::publish(Registry& registry) const {
+  namespace n = names;
+  registry.counter(n::kFlightRecRecords, "Records pushed into the ring")
+      .inc(recorded_);
+  registry
+      .counter(n::kFlightRecOverwritten,
+               "Records evicted by newer ones before a dump")
+      .inc(recorded_ - held_);
+  registry
+      .gauge(n::kFlightRecCapacity, "Ring capacity (slots)",
+             GaugeMerge::kMax)
+      .record_max(static_cast<double>(ring_.size()));
+}
+
+}  // namespace pqra::obs

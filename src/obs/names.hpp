@@ -83,6 +83,45 @@ inline constexpr const char* kAlg1Rounds = "pqra_alg1_rounds";
 inline constexpr const char* kAlg1Pseudocycles = "pqra_alg1_pseudocycles";
 inline constexpr const char* kAlg1Converged = "pqra_alg1_converged";
 
+// Causal span tracing (obs/span.hpp, docs/OBSERVABILITY.md).  Published
+// end-of-run by SpanSink::publish so span bookkeeping never touches the
+// registry from inside the event loop.
+inline constexpr const char* kSpanStarted = "pqra_span_started_total";
+inline constexpr const char* kSpanCompleted = "pqra_span_completed_total";
+/// Spans still open when the sink was published (ops in flight at the end
+/// of a truncated run).
+inline constexpr const char* kSpanOpen = "pqra_span_open";
+/// Per span kind: kSpanByKind[SpanKind].
+inline constexpr const char* kSpanByKind[] = {
+    "pqra_span_client_op_total",
+    "pqra_span_rpc_attempt_total",
+    "pqra_span_retry_wait_total",
+    "pqra_span_server_handle_total",
+};
+
+// Flight recorder (obs/flight_recorder.hpp): fixed ring of recent message
+// records, published when a dump is taken.
+inline constexpr const char* kFlightRecRecords = "pqra_flightrec_records_total";
+inline constexpr const char* kFlightRecOverwritten =
+    "pqra_flightrec_overwritten_total";
+inline constexpr const char* kFlightRecCapacity = "pqra_flightrec_capacity";
+
+// DES self-profiler (sim/profiler.hpp).  Only the deterministic fire counts
+// are published into the registry; wall-time attribution goes to the
+// `--profile-out` JSON, which is nondeterministic by nature.
+inline constexpr const char* kProfileFires = "pqra_profile_fires_total";
+/// Per event tag: kProfileFiresByTag[sim::EventTag].
+inline constexpr const char* kProfileFiresByTag[] = {
+    "pqra_profile_fires_generic_total",
+    "pqra_profile_fires_msg_deliver_total",
+    "pqra_profile_fires_retry_timer_total",
+    "pqra_profile_fires_deadline_total",
+    "pqra_profile_fires_gossip_total",
+    "pqra_profile_fires_fault_total",
+    "pqra_profile_fires_workload_total",
+    "pqra_profile_fires_probe_total",
+};
+
 // Schedule-exploration fuzzer (tools/explore, docs/EXPLORATION.md).
 inline constexpr const char* kExploreRuns = "pqra_explore_runs_total";
 inline constexpr const char* kExploreViolations =

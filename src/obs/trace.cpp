@@ -1,5 +1,6 @@
 #include "obs/trace.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <istream>
 #include <ostream>
@@ -193,7 +194,13 @@ class LineParser {
       ++pos_;
     }
     PQRA_CHECK(pos_ > start, "op trace: expected a number");
-    return std::stod(s_.substr(start, pos_ - start));
+    double v = 0.0;
+    try {
+      v = std::stod(s_.substr(start, pos_ - start));
+    } catch (const std::exception&) {
+      PQRA_CHECK(false, "op trace: number out of range");
+    }
+    return v;
   }
 
   const std::string& s_;
@@ -205,22 +212,47 @@ class LineParser {
 std::vector<OpTraceEvent> parse_jsonl(std::istream& in) {
   std::vector<OpTraceEvent> events;
   std::string line;
+  std::size_t lineno = 0;
   while (std::getline(in, line)) {
+    ++lineno;
     bool blank = true;
     for (char c : line) {
       if (!std::isspace(static_cast<unsigned char>(c))) blank = false;
     }
     if (blank) continue;
-    events.push_back(LineParser(line).parse());
+    try {
+      events.push_back(LineParser(line).parse());
+    } catch (const std::exception& e) {
+      PQRA_CHECK(false, "parse_jsonl: line " + std::to_string(lineno) + ": " +
+                            e.what());
+    }
   }
   return events;
 }
 
 void write_chrome_trace(const std::vector<OpTraceEvent>& events,
                         std::ostream& out, double us_per_time_unit) {
+  PQRA_CHECK(us_per_time_unit > 0.0,
+             "write_chrome_trace: us_per_time_unit must be > 0");
+  // Stable emit order regardless of sink order: (invoke, proc, reg, ts).
+  // Sink order is already deterministic in the DES, but sorting makes the
+  // bytes a pure function of the event *set*, so shard concatenation order
+  // can never leak into the output.
+  std::vector<std::size_t> order(events.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     const OpTraceEvent& ea = events[a];
+                     const OpTraceEvent& eb = events[b];
+                     if (ea.invoke != eb.invoke) return ea.invoke < eb.invoke;
+                     if (ea.proc != eb.proc) return ea.proc < eb.proc;
+                     if (ea.reg != eb.reg) return ea.reg < eb.reg;
+                     return ea.ts < eb.ts;
+                   });
   out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
-  for (const OpTraceEvent& ev : events) {
+  for (std::size_t i : order) {
+    const OpTraceEvent& ev = events[i];
     if (!first) out << ',';
     first = false;
     double dur = (ev.response - ev.invoke) * us_per_time_unit;
@@ -239,7 +271,7 @@ void write_chrome_trace(const std::vector<OpTraceEvent>& events,
     }
     out << "\"}}";
   }
-  // Name the lanes: one metadata event per distinct tid.
+  // Name the lanes: one metadata event per distinct tid, lowest id first.
   std::vector<std::uint32_t> procs;
   for (const OpTraceEvent& ev : events) {
     bool seen = false;
@@ -248,6 +280,7 @@ void write_chrome_trace(const std::vector<OpTraceEvent>& events,
     }
     if (!seen) procs.push_back(ev.proc);
   }
+  std::sort(procs.begin(), procs.end());
   for (std::uint32_t p : procs) {
     if (!first) out << ',';
     first = false;

@@ -76,14 +76,16 @@ class OpTraceSink {
 void write_jsonl(const std::vector<OpTraceEvent>& events, std::ostream& out);
 
 /// Parses write_jsonl output (field order-insensitive; unknown keys are
-/// rejected).  Throws std::logic_error on malformed input.  Blank lines are
-/// skipped.
+/// rejected).  Throws std::logic_error naming the 1-based line number on
+/// malformed or truncated input.  Blank lines are skipped.
 std::vector<OpTraceEvent> parse_jsonl(std::istream& in);
 
 /// Chrome trace-event format: complete ("X") events, one lane (tid) per
 /// process, \p us_per_time_unit microseconds per trace time unit (the
 /// default renders 1 sim-time unit as 1ms so quorum round trips are visible
-/// at default zoom).
+/// at default zoom).  Events are emitted in a stable sorted order
+/// (invoke, proc, reg, ts) so the bytes are a pure function of the event
+/// set.  Requires us_per_time_unit > 0 (PQRA_CHECK).
 void write_chrome_trace(const std::vector<OpTraceEvent>& events,
                         std::ostream& out, double us_per_time_unit = 1000.0);
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
 #include <utility>
 
 #include "util/check.hpp"
@@ -19,9 +20,9 @@ inline std::uint64_t fold(std::uint64_t h, std::uint64_t word) {
 
 }  // namespace
 
-void Simulator::push_event(Time t, EventFn fn) {
+void Simulator::push_event(Time t, EventTag tag, EventFn fn) {
   PQRA_REQUIRE(static_cast<bool>(fn), "event callback must be callable");
-  heap_.push_back(Event{t, next_seq_++, std::move(fn)});
+  heap_.push_back(Event{t, next_seq_++, std::move(fn), tag});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
   if (heap_.size() > heap_high_water_) heap_high_water_ = heap_.size();
 }
@@ -31,11 +32,25 @@ bool Simulator::step() {
   std::pop_heap(heap_.begin(), heap_.end(), Later{});
   Event ev = std::move(heap_.back());
   heap_.pop_back();
+  const Time prev = now_;
   now_ = ev.t;
   ++processed_;
   fingerprint_ = fold(fold(fingerprint_, std::bit_cast<std::uint64_t>(ev.t)),
                       ev.seq);
-  ev.fn();
+  if (profiler_ == nullptr) {
+    ev.fn();
+  } else {
+    // steady_clock (never system_clock: docs/STATIC_ANALYSIS.md) around the
+    // callback only — heap maintenance stays unattributed so tag costs are
+    // comparable across queue implementations (ROADMAP calendar queue).
+    const auto wall_start = std::chrono::steady_clock::now();
+    ev.fn();
+    const auto wall_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             std::chrono::steady_clock::now() - wall_start)
+                             .count();
+    profiler_->on_event(ev.tag, static_cast<std::uint64_t>(wall_ns),
+                        ev.t - prev);
+  }
   return true;
 }
 

@@ -22,6 +22,7 @@
 
 #include "sim/delay_model.hpp"
 #include "sim/event_fn.hpp"
+#include "sim/profiler.hpp"
 #include "util/check.hpp"
 
 namespace pqra::sim {
@@ -39,16 +40,35 @@ class Simulator {
   /// rejected.
   template <typename F>
   void schedule_in(Time delay, F&& fn) {
+    schedule_in(delay, EventTag::kGeneric, std::forward<F>(fn));
+  }
+
+  /// Tagged form: \p tag attributes the fire to an event type when a
+  /// Profiler is attached (sim/profiler.hpp); otherwise it is a free byte.
+  template <typename F>
+  void schedule_in(Time delay, EventTag tag, F&& fn) {
     PQRA_REQUIRE(delay >= 0.0, "cannot schedule into the past");
-    schedule_at(now_ + delay, std::forward<F>(fn));
+    schedule_at(now_ + delay, tag, std::forward<F>(fn));
   }
 
   /// Schedules \p fn at absolute time \p t (must be >= now()).
   template <typename F>
   void schedule_at(Time t, F&& fn) {
-    PQRA_REQUIRE(t >= now_, "cannot schedule into the past");
-    push_event(t, EventFn(std::forward<F>(fn), arena_));
+    schedule_at(t, EventTag::kGeneric, std::forward<F>(fn));
   }
+
+  template <typename F>
+  void schedule_at(Time t, EventTag tag, F&& fn) {
+    PQRA_REQUIRE(t >= now_, "cannot schedule into the past");
+    push_event(t, tag, EventFn(std::forward<F>(fn), arena_));
+  }
+
+  /// Attaches (or detaches, nullptr) a self-profiler.  With none attached
+  /// step() takes one extra branch and reads no clocks; with one attached
+  /// every callback is timed with std::chrono::steady_clock — which is why
+  /// the profiler must never feed determinism-compared outputs.
+  void set_profiler(Profiler* profiler) { profiler_ = profiler; }
+  Profiler* profiler() const { return profiler_; }
 
   /// Runs one event.  Returns false when the queue is empty.
   bool step();
@@ -95,6 +115,7 @@ class Simulator {
     Time t;
     std::uint64_t seq;
     EventFn fn;
+    EventTag tag;
   };
 
   /// Max-heap comparator inverted so the *earliest* event is on top.
@@ -105,7 +126,7 @@ class Simulator {
     }
   };
 
-  void push_event(Time t, EventFn fn);
+  void push_event(Time t, EventTag tag, EventFn fn);
 
   Time next_event_time() const { return heap_.front().t; }
 
@@ -117,6 +138,7 @@ class Simulator {
   std::uint64_t processed_ = 0;
   std::uint64_t fingerprint_ = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
   bool stop_requested_ = false;
+  Profiler* profiler_ = nullptr;
 };
 
 }  // namespace pqra::sim

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <string>
 
 #include "explore/profile.hpp"
@@ -34,6 +35,28 @@ TEST(ExploreShrinkTest, NonMonotoneScheduleViolatesR4) {
   ASSERT_TRUE(out.violation) << "expected a stale backwards read";
   EXPECT_EQ(out.rule, "R4") << out.detail;
   EXPECT_GT(out.ops_checked, 0u);
+}
+
+/// The flight recorder a --flightrec re-run binds to the transport must be
+/// a pure observer: same fingerprint, events and outcome as the bare run,
+/// with the message tail of the violating execution captured.
+TEST(ExploreShrinkTest, FlightRecorderObservesWithoutPerturbing) {
+  const ScheduleProfile p = non_monotone_profile();
+  const RunOutcome bare = run_profile(p);
+  ASSERT_TRUE(bare.violation);
+
+  obs::FlightRecorder recorder(256);
+  const RunOutcome observed = run_profile(p, &recorder);
+  EXPECT_EQ(observed.fingerprint, bare.fingerprint);
+  EXPECT_EQ(observed.events_processed, bare.events_processed);
+  EXPECT_EQ(observed.violation, bare.violation);
+  EXPECT_EQ(observed.rule, bare.rule);
+
+  EXPECT_GT(recorder.recorded(), recorder.size());  // the ring wrapped
+  EXPECT_EQ(recorder.size(), 256u);
+  std::ostringstream dump;
+  recorder.dump(dump);
+  EXPECT_NE(dump.str().find("deliver"), std::string::npos);
 }
 
 TEST(ExploreShrinkTest, ShrinkerPreservesRuleAndNeverGrows) {

@@ -1,0 +1,29 @@
+// Fixture: a naive flight recorder that breaks every hot-path rule the
+// real obs::FlightRecorder is designed around — per-record heap
+// allocation, a std::function drain callback, a "thread safety" mutex in
+// single-threaded DES code and wall-clock timestamps.  Never compiled —
+// linted only (tests/lint/lint_golden.cmake).
+#include <chrono>
+#include <functional>
+#include <mutex>
+
+struct Record {
+  double wall = 0.0;
+  Record* next = nullptr;
+};
+
+struct BadFlightRecorder {
+  std::function<void(const Record&)> on_record;  // heap-allocating callable
+  Record* head = nullptr;
+  std::mutex guard;                              // DES code is single-threaded
+
+  void record() {
+    std::lock_guard<std::mutex> lock(guard);
+    auto* rec = new Record();                    // allocation per record
+    rec->wall = static_cast<double>(
+        std::chrono::system_clock::now().time_since_epoch().count());
+    rec->next = head;
+    head = rec;
+    if (on_record) on_record(*rec);
+  }
+};

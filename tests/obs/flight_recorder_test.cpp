@@ -1,0 +1,106 @@
+#include "obs/flight_recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
+
+namespace pqra {
+namespace {
+
+obs::FlightRecord make_record(std::uint64_t op, double time) {
+  obs::FlightRecord rec;
+  rec.time = time;
+  rec.event = obs::FlightEventKind::kDeliver;
+  rec.msg_type = 2;  // WriteReq
+  rec.from = 3;
+  rec.to = 7;
+  rec.reg = 2;
+  rec.op = op;
+  rec.ts = 5;
+  return rec;
+}
+
+TEST(FlightRecorderTest, ZeroCapacityIsRejected) {
+  EXPECT_THROW(obs::FlightRecorder(0), std::logic_error);
+}
+
+TEST(FlightRecorderTest, RingOverwritesOldestFirst) {
+  obs::FlightRecorder recorder(4);
+  EXPECT_EQ(recorder.capacity(), 4u);
+  EXPECT_EQ(recorder.size(), 0u);
+  EXPECT_TRUE(recorder.snapshot().empty());
+
+  for (std::uint64_t op = 1; op <= 6; ++op) {
+    recorder.record(make_record(op, static_cast<double>(op)));
+  }
+  EXPECT_EQ(recorder.capacity(), 4u);
+  EXPECT_EQ(recorder.size(), 4u);
+  EXPECT_EQ(recorder.recorded(), 6u);
+
+  // Records 1 and 2 were overwritten; the snapshot walks oldest-first.
+  std::vector<obs::FlightRecord> held = recorder.snapshot();
+  ASSERT_EQ(held.size(), 4u);
+  for (std::size_t i = 0; i < held.size(); ++i) {
+    EXPECT_EQ(held[i].op, i + 3);
+  }
+}
+
+TEST(FlightRecorderTest, PartialRingSnapshotsInInsertionOrder) {
+  obs::FlightRecorder recorder(8);
+  for (std::uint64_t op = 1; op <= 3; ++op) {
+    recorder.record(make_record(op, static_cast<double>(op)));
+  }
+  std::vector<obs::FlightRecord> held = recorder.snapshot();
+  ASSERT_EQ(held.size(), 3u);
+  for (std::size_t i = 0; i < held.size(); ++i) {
+    EXPECT_EQ(held[i].op, i + 1);
+  }
+}
+
+TEST(FlightRecorderTest, DumpFormatsHeaderAndRecords) {
+  obs::FlightRecorder recorder(2);
+  obs::FlightRecord plain = make_record(17, 12.5);
+  recorder.record(plain);
+  obs::FlightRecord traced = make_record(18, 13.0);
+  traced.event = obs::FlightEventKind::kDrop;
+  traced.trace = 4;
+  traced.span = 6;
+  recorder.record(traced);
+
+  std::ostringstream out;
+  recorder.dump(out);
+  const std::string text = out.str();
+  EXPECT_NE(
+      text.find("# pqra flight recorder: capacity=2 held=2 overwritten=0"),
+      std::string::npos)
+      << text;
+  // trace=/span= appear only on records that carry causal ids.
+  EXPECT_NE(text.find("deliver WriteReq 3->7 reg=2 op=17 ts=5\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("drop WriteReq 3->7 reg=2 op=18 ts=5 trace=4 span=6"),
+            std::string::npos)
+      << text;
+}
+
+TEST(FlightRecorderTest, PublishFoldsCountersIntoRegistry) {
+  obs::FlightRecorder recorder(2);
+  for (std::uint64_t op = 1; op <= 5; ++op) {
+    recorder.record(make_record(op, static_cast<double>(op)));
+  }
+  obs::Registry registry(obs::Concurrency::kSingleThread);
+  recorder.publish(registry);
+  namespace n = obs::names;
+  EXPECT_EQ(registry.counter(n::kFlightRecRecords).value(), 5u);
+  EXPECT_EQ(registry.counter(n::kFlightRecOverwritten).value(), 3u);
+  EXPECT_DOUBLE_EQ(registry.gauge(n::kFlightRecCapacity).value(), 2.0);
+}
+
+}  // namespace
+}  // namespace pqra

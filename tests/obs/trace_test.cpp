@@ -82,6 +82,34 @@ TEST(OpTraceJsonlTest, RejectsMalformedInput) {
   EXPECT_THROW(obs::parse_jsonl(bad_kind), std::logic_error);
 }
 
+TEST(OpTraceJsonlTest, ErrorsCarryLineNumbers) {
+  std::ostringstream out;
+  obs::write_jsonl({sample_read(), sample_write()}, out);
+  // Blank lines do not advance the record count but DO advance the line
+  // number the error reports — it must match what an editor shows.
+  std::istringstream in(out.str() + "\n{\"bogus\":1}\n");
+  try {
+    obs::parse_jsonl(in);
+    FAIL() << "expected a parse error";
+  } catch (const std::logic_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("parse_jsonl: line 4"), std::string::npos) << what;
+    EXPECT_NE(what.find("unknown key"), std::string::npos) << what;
+  }
+}
+
+TEST(OpTraceJsonlTest, RejectsOutOfRangeNumbers) {
+  std::istringstream overflow(R"({"invoke":1e999})");
+  try {
+    obs::parse_jsonl(overflow);
+    FAIL() << "expected a range error";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("number out of range"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(OpTraceSinkTest, RecordInitialMatchesHistoryConvention) {
   obs::OpTraceSink sink;
   sink.record_initial(3);

@@ -29,6 +29,7 @@
 #include "explore/runner.hpp"
 #include "explore/shrink.hpp"
 #include "obs/export.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/names.hpp"
 #include "sim/parallel_runner.hpp"
@@ -52,6 +53,10 @@ struct CliOptions {
   std::string metrics_out;
   std::size_t max_violations = 10;
   std::size_t shrink_budget = 500;
+  /// Flight-recorder ring capacity for repro dumps (0 = off): the minimal
+  /// profile is re-run once with a recorder bound to its transport and the
+  /// last N message events land in `<repro>.flightrec.txt`.
+  std::size_t flightrec = 0;
   bool no_shrink = false;
   bool quiet = false;
 };
@@ -75,6 +80,10 @@ int usage(const char* argv0) {
          "FILE\n"
       << "  --max-violations N    stop after N violations (default 10)\n"
       << "  --shrink-budget N     candidate runs per shrink (default 500)\n"
+      << "  --flightrec N         re-run each shrunk repro with an N-record\n"
+         "                        flight recorder and dump the message tail\n"
+         "                        to <repro>.flightrec.txt (default 0 = "
+         "off)\n"
       << "  --no-shrink           report violations without shrinking\n"
       << "  --quiet               suppress progress lines\n";
   return 2;
@@ -114,6 +123,33 @@ bool write_repro_file(const std::string& path, const ScheduleProfile& profile,
   out << "# original-seed " << original_seed << "\n";
   if (!provenance.empty()) out << "# " << provenance << "\n";
   out << profile.serialize();
+  return out.good();
+}
+
+/// Re-runs \p profile with a bound flight recorder and dumps the ring next
+/// to the repro.  The recorder is a pure observer, so the re-run must land
+/// on the repro's fingerprint — a divergence here is itself a bug, and the
+/// dump says so instead of lying about what schedule it recorded.
+bool write_flightrec_file(const std::string& path,
+                          const ScheduleProfile& profile,
+                          const RunOutcome& expected, std::size_t capacity) {
+  pqra::obs::FlightRecorder recorder(capacity);
+  const RunOutcome rerun = pqra::explore::run_profile(profile, &recorder);
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "pqra_explore: cannot write " << path << "\n";
+    return false;
+  }
+  out << "# pqra_explore flight recorder dump\n";
+  out << "# rule " << expected.rule << "\n";
+  out << "# fingerprint " << rerun.fingerprint << "\n";
+  if (rerun.fingerprint != expected.fingerprint ||
+      rerun.events_processed != expected.events_processed) {
+    out << "# WARNING: recorder re-run diverged from the repro run "
+        << "(expected fingerprint " << expected.fingerprint << ", events "
+        << expected.events_processed << ")\n";
+  }
+  recorder.dump(out);
   return out.good();
 }
 
@@ -276,6 +312,20 @@ int explore(const CliOptions& opt) {
                              provenance.str())) {
           repro_paths.push_back(path);
           std::cerr << "  repro: " << path << "\n";
+          if (opt.flightrec > 0) {
+            std::string dump = path;
+            const std::string suffix = ".txt";
+            if (dump.size() >= suffix.size() &&
+                dump.compare(dump.size() - suffix.size(), suffix.size(),
+                             suffix) == 0) {
+              dump.resize(dump.size() - suffix.size());
+            }
+            dump += ".flightrec.txt";
+            if (write_flightrec_file(dump, minimal, minimal_outcome,
+                                     opt.flightrec)) {
+              std::cerr << "  flightrec: " << dump << "\n";
+            }
+          }
         }
       }
       if (violations >= opt.max_violations) {
@@ -372,6 +422,13 @@ int main(int argc, char** argv) {
       std::uint64_t n = 0;
       if (v == nullptr || !parse_u64_arg(v, &n)) return usage(argv[0]);
       opt.shrink_budget = static_cast<std::size_t>(n);
+    } else if (arg == "--flightrec") {
+      const char* v = next();
+      std::uint64_t n = 0;
+      if (v == nullptr || !parse_u64_arg(v, &n) || n == 0) {
+        return usage(argv[0]);
+      }
+      opt.flightrec = static_cast<std::size_t>(n);
     } else if (arg == "--no-shrink") {
       opt.no_shrink = true;
     } else if (arg == "--quiet") {

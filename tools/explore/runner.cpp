@@ -14,6 +14,7 @@
 #include "iter/alg1_des.hpp"
 #include "net/sim_transport.hpp"
 #include "quorum/probabilistic.hpp"
+#include "sim/profiler.hpp"
 #include "util/codec.hpp"
 
 namespace pqra::explore {
@@ -62,7 +63,8 @@ struct ClientDriver {
   void step() {
     if (remaining == 0) return;
     --remaining;
-    sim->schedule_in(rng.uniform01() * 2.0, [this] { issue(); });
+    sim->schedule_in(rng.uniform01() * 2.0, sim::EventTag::kWorkload,
+                     [this] { issue(); });
   }
 
   void issue() {
@@ -87,7 +89,8 @@ struct ClientDriver {
 
 /// Direct register workload: clients [n, n+c) against servers [0, n), one
 /// register per client (client i is register i's single writer).
-RunOutcome run_direct(const ScheduleProfile& p) {
+RunOutcome run_direct(const ScheduleProfile& p,
+                      obs::FlightRecorder* recorder) {
   RunOutcome out;
   util::Rng master(p.seed);
   const auto n = static_cast<net::NodeId>(p.num_servers);
@@ -98,6 +101,7 @@ RunOutcome run_direct(const ScheduleProfile& p) {
   const std::unique_ptr<sim::DelayModel> delay = p.delay.make();
   net::SimTransport transport(sim, *delay, master.fork(10),
                               static_cast<net::NodeId>(p.num_servers + c));
+  if (recorder != nullptr) transport.bind_flight_recorder(recorder);
 
   std::deque<core::ServerProcess> servers;
   for (net::NodeId s = 0; s < n; ++s) {
@@ -155,7 +159,7 @@ RunOutcome run_direct(const ScheduleProfile& p) {
   // Horizon recovery, scheduled AFTER the plan so plan events at exactly
   // the horizon fire first: from here on the cluster is fault-free and all
   // pending operations can complete — [R1] stays a checkable property.
-  sim.schedule_at(p.horizon, [&transport, n] {
+  sim.schedule_at(p.horizon, sim::EventTag::kFault, [&transport, n] {
     net::FaultInjector& inj = transport.faults();
     for (net::NodeId s = 0; s < n; ++s) {
       inj.recover(s);
@@ -171,6 +175,7 @@ RunOutcome run_direct(const ScheduleProfile& p) {
   spec::CheckResult probe_failures;
   for (int k = 1; k <= 7; ++k) {
     sim.schedule_at(p.horizon * static_cast<double>(k) / 8.0,
+                    sim::EventTag::kProbe,
                     [&probe, &probe_failures, &servers] {
                       for (core::ServerProcess& s : servers) {
                         fold(probe_failures, probe.observe(s.id(), s.replica()));
@@ -212,7 +217,8 @@ RunOutcome run_direct(const ScheduleProfile& p) {
 
 /// Alg. 1 scenario: APSP on the paper's 5-chain, run to convergence over
 /// the profile's cluster shape and fault schedule.
-RunOutcome run_alg1_scenario(const ScheduleProfile& p) {
+RunOutcome run_alg1_scenario(const ScheduleProfile& p,
+                             obs::FlightRecorder* recorder) {
   RunOutcome out;
   const apps::Graph g = apps::make_chain(5);
   const apps::ApspOperator op(g);
@@ -245,6 +251,7 @@ RunOutcome run_alg1_scenario(const ScheduleProfile& p) {
   o.fault_plan = &plan;
   o.retry = explore_retry();
   o.max_sim_time = p.horizon + 20000.0;
+  o.flight_recorder = recorder;
 
   const iter::Alg1Result result = iter::run_alg1(op, o);
   out.fingerprint = result.fingerprint;
@@ -313,8 +320,10 @@ RunOutcome run_alg1_scenario(const ScheduleProfile& p) {
 
 }  // namespace
 
-RunOutcome run_profile(const ScheduleProfile& profile) {
-  return profile.alg1 ? run_alg1_scenario(profile) : run_direct(profile);
+RunOutcome run_profile(const ScheduleProfile& profile,
+                       obs::FlightRecorder* recorder) {
+  return profile.alg1 ? run_alg1_scenario(profile, recorder)
+                      : run_direct(profile, recorder);
 }
 
 }  // namespace pqra::explore

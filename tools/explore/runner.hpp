@@ -25,6 +25,7 @@
 #include <string>
 
 #include "explore/profile.hpp"
+#include "obs/flight_recorder.hpp"
 
 namespace pqra::explore {
 
@@ -45,6 +46,11 @@ struct RunOutcome {
   sim::Time sim_time = 0.0;
 };
 
-RunOutcome run_profile(const ScheduleProfile& profile);
+/// \p recorder (optional) is bound to the run's transport: every
+/// send/deliver/drop lands in the ring, so a shrunken repro can ship with
+/// the message-level tail of its failing execution (`--flightrec`).  The
+/// recorder only observes — outcomes and fingerprints are unchanged.
+RunOutcome run_profile(const ScheduleProfile& profile,
+                       obs::FlightRecorder* recorder = nullptr);
 
 }  // namespace pqra::explore
