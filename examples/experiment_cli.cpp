@@ -8,7 +8,7 @@
 ///                    monotone=1 sync=1 runs=3 seed=1
 ///
 /// keys (defaults):
-///   app     = apsp | tc | csp | jacobi | agree | avail (apsp)
+///   app     = apsp | tc | csp | jacobi | agree | avail | store (apsp)
 ///   graph   = chain | cycle | grid | random | tree    (chain; apsp/tc only)
 ///   size    = problem size                            (16)
 ///   quorum  = prob | majority | grid | fpp | hier | rowa | singleton (prob)
@@ -28,6 +28,24 @@
 ///             merged in run order — stdout and every exported file are
 ///             byte-identical for any jobs value (the determinism regression
 ///             in tests/ enforces this).  Wall-clock timing goes to stderr.
+///
+/// app=store is the sharded multi-key register store (docs/SHARDING.md): c
+/// clients run a mixed get/put workload over a keyspace of `keys` keys
+/// (Zipf-skewed reads with theta in [0,1)), each key living on a
+/// `replicas`-server consistent-hash group; key-addressed fault targets
+/// (`crash:k12@10`) resolve through the ring.  Every run's history is
+/// key-partitioned spec-checked (core/spec check_batch_by_key) and runs are
+/// independent seeded replications merged in run order, so stdout and every
+/// export stay byte-identical across --jobs.  Exit 0 iff every run's
+/// checkers pass.
+///
+///   ./experiment_cli app=store keys=10000 theta=0.8 servers=16 replicas=3
+///                    k=2 clients=4 ops=100 runs=3 seed=1 jobs=8
+///
+/// store keys (defaults): keys (10000), theta (0.8), servers (16),
+/// replicas (3; 0 = full replication), k (2), vnodes (16), clients (4),
+/// ops per client (100), monotone (1), horizon (600), churn/fault-plan,
+/// runs (3), seed (1), jobs (0).
 ///
 /// app=avail is the dynamic-availability experiment (ISSUE: churn where
 /// probabilistic quorums keep answering while strict majorities stall): one
@@ -55,9 +73,11 @@
 
 #include <chrono>
 #include <cstdio>
+#include <deque>
 #include <fstream>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -67,8 +87,10 @@
 #include "apps/graph.hpp"
 #include "apps/linear.hpp"
 #include "apps/transitive_closure.hpp"
+#include "core/keyspace/sharded_store.hpp"
 #include "core/quorum_register_client.hpp"
 #include "core/server_process.hpp"
+#include "core/spec/batch.hpp"
 #include "core/spec/checker.hpp"
 #include "core/spec/trace_bridge.hpp"
 #include "iter/alg1_des.hpp"
@@ -88,7 +110,9 @@
 #include "quorum/singleton.hpp"
 #include "sim/parallel_runner.hpp"
 #include "sim/profiler.hpp"
+#include "util/codec.hpp"
 #include "util/stats.hpp"
+#include "util/zipf.hpp"
 
 using namespace pqra;
 
@@ -469,12 +493,343 @@ int run_availability(const Args& args) {
   return (claim_holds && outputs_ok) ? 0 : 1;
 }
 
+/// One store client's op loop: think delay, then a put on an owned key or a
+/// (possibly Zipf-skewed) get on any key, sequentially until `ops` settle.
+/// Heap-pinned for the simulator's lifetime (callbacks capture `this`).
+class StoreLoop {
+ public:
+  StoreLoop(sim::Simulator& simulator, core::keyspace::ShardedStoreClient& c,
+            util::Rng rng, std::size_t ops, std::size_t own_index,
+            std::size_t num_clients, std::size_t keys_per_client,
+            const util::Zipfian* zipf)
+      : simulator_(simulator),
+        client_(c),
+        rng_(std::move(rng)),
+        remaining_(ops),
+        own_index_(own_index),
+        num_clients_(num_clients),
+        keys_per_client_(keys_per_client),
+        zipf_(zipf) {}
+
+  void start() { step(); }
+
+ private:
+  void step() {
+    if (remaining_ == 0) return;
+    --remaining_;
+    simulator_.schedule_in(rng_.uniform01() * 2.0, sim::EventTag::kWorkload,
+                           [this] { issue(); });
+  }
+
+  void issue() {
+    const std::size_t total = keys_per_client_ * num_clients_;
+    if (rng_.bernoulli(0.4)) {
+      // Key k = slot * clients + owner: this client only puts its own keys
+      // (single-writer-per-key, the store facade's contract).
+      const std::size_t slot =
+          keys_per_client_ > 1
+              ? static_cast<std::size_t>(rng_.below(keys_per_client_))
+              : 0;
+      const auto key =
+          static_cast<net::KeyId>(slot * num_clients_ + own_index_);
+      client_.put(key, util::encode(++next_value_),
+                  [this](core::Timestamp) { step(); });
+    } else {
+      const auto key = static_cast<net::KeyId>(
+          zipf_ != nullptr ? zipf_->draw(rng_) : rng_.below(total));
+      client_.get(key, [this](core::ReadResult) { step(); });
+    }
+  }
+
+  sim::Simulator& simulator_;
+  core::keyspace::ShardedStoreClient& client_;
+  util::Rng rng_;
+  std::size_t remaining_;
+  std::size_t own_index_;
+  std::size_t num_clients_;
+  std::size_t keys_per_client_;
+  const util::Zipfian* zipf_;
+  std::int64_t next_value_ = 0;
+};
+
+struct StoreConfig {
+  std::size_t keys = 10000;
+  double theta = 0.8;
+  std::size_t servers = 16;
+  std::size_t replicas = 3;  ///< 0 = full replication
+  std::size_t k = 2;
+  std::size_t vnodes = 16;
+  std::size_t clients = 4;
+  std::size_t ops = 100;
+  bool monotone = true;
+  double horizon = 600.0;
+  double churn = 0.0;
+  net::FaultPlan fault_plan;
+  bool have_fault_plan = false;
+};
+
+struct StoreRunOutput {
+  std::uint64_t fingerprint = 0;
+  std::uint64_t events = 0;
+  std::size_t ops_checked = 0;
+  std::size_t keys_touched = 0;
+  std::size_t keys_checked = 0;
+  bool spec_ok = false;
+  std::string spec_summary;
+  std::unique_ptr<obs::Registry> shard;
+};
+
+StoreRunOutput run_store_once(const StoreConfig& cfg, std::uint64_t run_seed,
+                              obs::OpTraceSink* trace, obs::SpanSink* spans) {
+  StoreRunOutput out;
+  out.shard = std::make_unique<obs::Registry>(obs::Concurrency::kSingleThread);
+  util::Rng master(run_seed);
+  const auto n = static_cast<net::NodeId>(cfg.servers);
+  // The keyspace is rounded up to a whole number of per-client slots so the
+  // slot*clients+owner layout covers it exactly.
+  const std::size_t keys_per_client =
+      (cfg.keys + cfg.clients - 1) / cfg.clients;
+  const std::size_t total_keys = keys_per_client * cfg.clients;
+  const bool sharded = cfg.replicas > 0;
+
+  core::keyspace::HashRing ring(cfg.vnodes);
+  for (net::NodeId s = 0; s < n; ++s) ring.add_node(s);
+  quorum::ProbabilisticQuorums quorums(sharded ? cfg.replicas : cfg.servers,
+                                       cfg.k);
+
+  sim::Simulator simulator;
+  std::unique_ptr<sim::DelayModel> delays = sim::make_exponential_delay(1.0);
+  net::SimTransport transport(simulator, *delays, master.fork(10),
+                              static_cast<net::NodeId>(cfg.servers +
+                                                       cfg.clients));
+  transport.bind_metrics(*out.shard);
+  transport.faults().bind_metrics(*out.shard);
+
+  std::deque<core::ServerProcess> servers;
+  for (net::NodeId s = 0; s < n; ++s) {
+    servers.emplace_back(transport, s, out.shard.get());
+  }
+
+  // Preload every key so reads before the first put are well-defined for
+  // [R2] — on the key's ring group when sharded, everywhere otherwise.
+  core::spec::HistoryRecorder history;
+  std::vector<net::NodeId> group;
+  for (std::size_t key = 0; key < total_keys; ++key) {
+    const auto reg = static_cast<net::KeyId>(key);
+    if (sharded) {
+      ring.replica_group(reg, cfg.replicas, group);
+      for (net::NodeId owner : group) {
+        servers[owner].replica().preload(reg, util::encode<std::int64_t>(0));
+      }
+    } else {
+      for (core::ServerProcess& s : servers) {
+        s.replica().preload(reg, util::encode<std::int64_t>(0));
+      }
+    }
+    history.record_initial(reg);
+  }
+
+  core::keyspace::ShardedStoreOptions sopts;
+  sopts.client.monotone = cfg.monotone;
+  sopts.client.metrics = out.shard.get();
+  sopts.client.trace = trace;
+  sopts.client.spans = spans;
+  sopts.client.retry.rpc_timeout = 6.0;
+  sopts.client.retry.backoff_factor = 1.5;
+  sopts.client.retry.max_backoff = 24.0;
+  sopts.client.retry.jitter = 0.1;
+
+  // replicas=0 degenerates gracefully: the "group" is the whole ring, so
+  // quorums sample over every server — full replication through the same
+  // facade.
+  std::deque<core::keyspace::ShardedStoreClient> clients;
+  std::optional<util::Zipfian> zipf;
+  if (cfg.theta > 0.0) zipf.emplace(total_keys, cfg.theta);
+  std::deque<StoreLoop> loops;
+  for (std::size_t i = 0; i < cfg.clients; ++i) {
+    clients.emplace_back(simulator, transport,
+                         static_cast<net::NodeId>(cfg.servers + i), ring,
+                         quorums, master.fork(500 + i), sopts, &history);
+    loops.emplace_back(simulator, clients.back(), master.fork(900 + i),
+                       cfg.ops, i, cfg.clients, keys_per_client,
+                       zipf.has_value() ? &*zipf : nullptr);
+  }
+
+  // Fault schedule: explicit plan (key targets resolve through the ring) or
+  // random churn; either way the horizon fully recovers the cluster so
+  // pending ops complete and [R1] stays checkable.
+  net::FaultPlan plan;
+  if (cfg.have_fault_plan) {
+    plan = cfg.fault_plan;
+    if (plan.has_key_targets()) {
+      plan = plan.resolve_keys([&](net::KeyId key) {
+        return sharded ? ring.primary(key)
+                       : static_cast<net::NodeId>(key % cfg.servers);
+      });
+    }
+  } else if (cfg.churn > 0.0 && cfg.churn < 1.0) {
+    util::Rng churn_rng(run_seed * 1000003 + 17);
+    plan = make_churn_plan(cfg.servers, cfg.churn, cfg.horizon, churn_rng);
+  }
+  plan.install(simulator, transport);
+  simulator.schedule_at(cfg.horizon, sim::EventTag::kFault, [&transport, n] {
+    net::FaultInjector& inj = transport.faults();
+    for (net::NodeId s = 0; s < n; ++s) {
+      inj.recover(s);
+      inj.clear_slow(s);
+    }
+    inj.heal();
+    inj.set_message_faults(net::MessageFaults{});
+  });
+
+  for (StoreLoop& loop : loops) loop.start();
+  simulator.run_until(cfg.horizon + 1000.0 +
+                      60.0 * static_cast<double>(cfg.ops));
+
+  out.fingerprint = simulator.fingerprint();
+  out.events = simulator.events_processed();
+  out.ops_checked = history.ops().size();
+  for (core::keyspace::ShardedStoreClient& c : clients) {
+    out.keys_touched += c.keys_touched();
+  }
+
+  core::spec::BatchOptions bo;
+  bo.r4 = cfg.monotone;
+  const core::spec::KeyedBatchResult batch =
+      core::spec::check_batch_by_key(history.ops(), bo);
+  out.keys_checked = batch.keys_checked;
+  out.spec_ok = batch.ok();
+  out.spec_summary = batch.summary();
+  return out;
+}
+
+/// app=store: mixed-key Zipfian workload on the sharded store,
+/// key-partitioned spec check per run, byte-identical across --jobs.
+int run_store(const Args& args) {
+  StoreConfig cfg;
+  cfg.keys = args.get_n("keys", cfg.keys);
+  cfg.theta = args.get_f("theta", cfg.theta);
+  cfg.servers = args.get_n("servers", cfg.servers);
+  cfg.replicas = args.get_n("replicas", cfg.replicas);
+  cfg.k = args.get_n("k", cfg.k);
+  cfg.vnodes = args.get_n("vnodes", cfg.vnodes);
+  cfg.clients = args.get_n("clients", cfg.clients);
+  cfg.ops = args.get_n("ops", cfg.ops);
+  cfg.monotone = args.get_n("monotone", 1) != 0;
+  cfg.horizon = args.get_f("horizon", cfg.horizon);
+  cfg.churn = args.get_f("churn", cfg.churn);
+  const std::size_t runs = args.get_n("runs", 3);
+  const std::uint64_t seed = args.get_n("seed", 1);
+  const std::string fault_spec = args.get("fault-plan", "");
+  const std::string metrics_out = args.get("metrics-out", "");
+  const std::string prom_out = args.get("prom-out", "");
+  const std::string trace_out = args.get("trace-out", "");
+  const std::string spans_out = args.get("spans-out", "");
+  const std::uint64_t span_sample = args.get_n("span-sample", 1);
+
+  if (cfg.keys == 0 || cfg.clients == 0 || cfg.servers == 0 ||
+      cfg.vnodes == 0 || cfg.theta < 0.0 || cfg.theta >= 1.0 ||
+      cfg.replicas > cfg.servers ||
+      cfg.k > (cfg.replicas > 0 ? cfg.replicas : cfg.servers)) {
+    std::fprintf(stderr,
+                 "app=store: need keys/clients/servers/vnodes > 0, theta in "
+                 "[0,1), replicas <= servers, k <= group size\n");
+    return 2;
+  }
+  if (!fault_spec.empty()) {
+    try {
+      cfg.fault_plan = net::FaultPlan::parse(fault_spec);
+      cfg.have_fault_plan = true;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
+  }
+
+  std::printf("sharded store: keys=%zu theta=%g | servers=%zu replicas=%zu "
+              "k=%zu vnodes=%zu | clients=%zu ops=%zu%s | %zu runs\n\n",
+              cfg.keys, cfg.theta, cfg.servers, cfg.replicas, cfg.k,
+              cfg.vnodes, cfg.clients, cfg.ops,
+              (cfg.have_fault_plan || cfg.churn > 0.0) ? " | faults" : "",
+              runs);
+
+  // Trace and spans record run 0 only; every run reports into a private
+  // metrics shard merged below in run order — the same discipline as the
+  // iterative apps, so all outputs are byte-identical for any --jobs value.
+  const bool want_trace = !trace_out.empty();
+  const bool want_spans = !spans_out.empty();
+  obs::Registry registry(obs::Concurrency::kSingleThread);
+  obs::OpTraceSink trace;
+  obs::SpanSink spans(obs::SpanSink::Options{seed, span_sample});
+
+  sim::ParallelRunner pool(args.get_n("jobs", 0));
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::vector<StoreRunOutput> outputs =
+      pool.map<StoreRunOutput>(runs, [&](std::size_t run) {
+        return run_store_once(cfg, seed + run * 7919,
+                              want_trace && run == 0 ? &trace : nullptr,
+                              want_spans && run == 0 ? &spans : nullptr);
+      });
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+
+  bool all_ok = true;
+  std::uint64_t events_total = 0;
+  for (std::size_t run = 0; run < runs; ++run) {
+    const StoreRunOutput& out = outputs[run];
+    registry.merge_from(*out.shard);
+    events_total += out.events;
+    all_ok &= out.spec_ok;
+    std::printf("  run %zu: %s ops=%zu keys-touched=%zu fingerprint=%llu\n",
+                run, out.spec_ok ? "ok " : "SPEC", out.ops_checked,
+                out.keys_touched,
+                static_cast<unsigned long long>(out.fingerprint));
+    std::printf("    spec: %s\n", out.spec_summary.c_str());
+  }
+  std::fprintf(stderr,
+               "timing: %zu runs in %.3f s wall (jobs=%zu) | %.0f events/s\n",
+               runs, wall_s, pool.jobs(),
+               wall_s > 0.0 ? static_cast<double>(events_total) / wall_s
+                            : 0.0);
+  std::printf("\nstore spec %s over %zu run(s)\n", all_ok ? "ok" : "FAILED",
+              runs);
+
+  bool outputs_ok = true;
+  if (!metrics_out.empty()) {
+    outputs_ok &= write_file(metrics_out, "metrics JSON", [&](auto& out) {
+      obs::write_json(registry, out);
+    });
+  }
+  if (!prom_out.empty()) {
+    outputs_ok &= write_file(prom_out, "Prometheus metrics", [&](auto& out) {
+      obs::write_prometheus(registry, out);
+    });
+  }
+  if (!trace_out.empty()) {
+    outputs_ok &= write_file(trace_out, "op trace JSONL", [&](auto& out) {
+      obs::write_jsonl(trace.events(), out);
+    });
+  }
+  if (want_spans) {
+    spans.check(/*require_closed=*/false);
+    std::printf("spans: %zu recorded, %zu still open\n", spans.size(),
+                spans.open_spans());
+    outputs_ok &= write_file(spans_out, "span JSONL", [&](auto& out) {
+      obs::write_spans_jsonl(spans.spans(), out);
+    });
+  }
+  return (all_ok && outputs_ok) ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Args args(argc, argv);
   const std::string app = args.get("app", "apsp");
   if (app == "avail") return run_availability(args);
+  if (app == "store") return run_store(args);
   const std::string graph = args.get("graph", "chain");
   const std::size_t size = args.get_n("size", 16);
   const std::string quorum_kind = args.get("quorum", "prob");

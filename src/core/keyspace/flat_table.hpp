@@ -1,0 +1,103 @@
+#pragma once
+
+/// \file flat_table.hpp
+/// Flat open-addressing KeyId -> V table for replica stores.
+///
+/// std::unordered_map is banned from anything whose iteration order can
+/// reach bytes, metrics or traces (the unordered-iter lint rule), and its
+/// per-node allocations are exactly what the DES hot path must avoid.  This
+/// table is the sanctioned replacement for the multi-key store
+/// (docs/SHARDING.md): linear-probe open addressing over one contiguous
+/// slot array, power-of-two capacity, fixed splitmix64-style probe hash
+/// (hash_ring.hpp's mix64 — never std::hash), so slot order is a pure
+/// function of the insertion history and identical on every process.
+///
+/// find() never allocates; insertion allocates only when the table grows
+/// (amortized, load factor capped at ~0.7), which carries the same inline
+/// escape as sim::EventArena's chunk growth.
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/keyspace/hash_ring.hpp"
+#include "util/check.hpp"
+
+namespace pqra::core::keyspace {
+
+template <typename V>
+class FlatTable {
+ public:
+  /// Pointer to the value stored for \p key, nullptr if absent.
+  V* find(KeyId key) {
+    if (slots_.empty()) return nullptr;
+    for (std::size_t i = probe_start(key);; i = (i + 1) & mask()) {
+      Slot& s = slots_[i];
+      if (!s.used) return nullptr;
+      if (s.key == key) return &s.value;
+    }
+  }
+  const V* find(KeyId key) const {
+    return const_cast<FlatTable*>(this)->find(key);
+  }
+
+  /// The value slot for \p key, inserted default-constructed if absent
+  /// (unlike std::map::at, which throws).
+  V& entry(KeyId key) {
+    if (size_ + 1 > (slots_.size() * 7) / 10) grow();
+    for (std::size_t i = probe_start(key);; i = (i + 1) & mask()) {
+      Slot& s = slots_[i];
+      if (s.used && s.key == key) return s.value;
+      if (!s.used) {
+        s.used = true;
+        s.key = key;
+        ++size_;
+        return s.value;
+      }
+    }
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Visits every entry as (KeyId, const V&) in slot order.  Slot order is
+  /// deterministic (see file comment) but NOT sorted: callers whose output
+  /// feeds bytes or text must sort what they collect (Replica::encode_store
+  /// does).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Slot& s : slots_) {
+      if (s.used) fn(s.key, s.value);
+    }
+  }
+
+ private:
+  struct Slot {
+    KeyId key = 0;
+    bool used = false;
+    V value{};
+  };
+
+  std::size_t mask() const { return slots_.size() - 1; }
+
+  std::size_t probe_start(KeyId key) const {
+    return static_cast<std::size_t>(mix64(key)) & mask();
+  }
+
+  void grow() {
+    // Amortized rehash, the table's only allocation: same sanctioned escape
+    // as sim::EventArena chunk growth (docs/STATIC_ANALYSIS.md).
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.empty() ? 16 : old.size() * 2, Slot{});
+    size_ = 0;
+    for (Slot& s : old) {
+      if (s.used) entry(s.key) = std::move(s.value);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace pqra::core::keyspace

@@ -1,0 +1,66 @@
+#include "core/keyspace/sharded_store.hpp"
+
+#include <utility>
+
+#include "obs/names.hpp"
+#include "util/check.hpp"
+
+namespace pqra::core::keyspace {
+
+namespace {
+
+ClientOptions with_ring(ClientOptions options, const HashRing& ring) {
+  options.ring = &ring;
+  return options;
+}
+
+}  // namespace
+
+ShardedStoreClient::ShardedStoreClient(sim::Simulator& simulator,
+                                       net::Transport& transport, NodeId self,
+                                       const HashRing& ring,
+                                       const quorum::QuorumSystem& quorums,
+                                       const util::Rng& rng,
+                                       ShardedStoreOptions options,
+                                       spec::HistoryRecorder* history)
+    : replicas_per_key_(quorums.num_servers()),
+      client_(simulator, transport, self, quorums, /*server_base=*/0, rng,
+              with_ring(options.client, ring), history) {
+  PQRA_REQUIRE(replicas_per_key_ <= ring.num_nodes(),
+               "replica group cannot exceed the ring membership");
+  if (options.client.metrics != nullptr) {
+    obs::Registry& reg = *options.client.metrics;
+    namespace n = obs::names;
+    gets_ = &reg.counter(n::kStoreGets, "Sharded-store gets started");
+    puts_ = &reg.counter(n::kStorePuts, "Sharded-store puts started");
+    // Shards merge with kSum: each parallel run's registry counts its own
+    // clients' distinct keys, and the aggregate reports the total across
+    // (run, client) pairs — deterministic in any merge order.
+    keys_gauge_ = &reg.gauge(n::kStoreKeysTouched,
+                             "Distinct keys touched, summed over clients",
+                             obs::GaugeMerge::kSum);
+  }
+}
+
+void ShardedStoreClient::touch(KeyId key) {
+  const std::size_t before = touched_.size();
+  touched_.entry(key) = 1;
+  if (touched_.size() != before && keys_gauge_ != nullptr) {
+    keys_gauge_->add(1.0);
+  }
+}
+
+void ShardedStoreClient::get(KeyId key, QuorumRegisterClient::ReadCallback cb) {
+  touch(key);
+  if (gets_ != nullptr) gets_->inc();
+  client_.read(key, std::move(cb));
+}
+
+void ShardedStoreClient::put(KeyId key, Value value,
+                             QuorumRegisterClient::WriteCallback cb) {
+  touch(key);
+  if (puts_ != nullptr) puts_->inc();
+  client_.write(key, std::move(value), std::move(cb));
+}
+
+}  // namespace pqra::core::keyspace

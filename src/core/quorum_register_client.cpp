@@ -25,6 +25,11 @@ QuorumRegisterClient::QuorumRegisterClient(
       retry_rng_(rng.fork(0x7265747279000000ULL ^ self)),
       options_(options),
       history_(history) {
+  if (options_.ring != nullptr) {
+    PQRA_REQUIRE(options_.ring->num_nodes() >= quorums_.num_servers(),
+                 "ring must have at least one replica group's worth of "
+                 "members (quorums are sized to the group, not the cluster)");
+  }
   transport_.register_receiver(self_, this);
   if (options_.metrics != nullptr) {
     obs::Registry& reg = *options_.metrics;
@@ -175,6 +180,9 @@ void QuorumRegisterClient::read_snapshot(std::vector<RegisterId> regs,
   PQRA_REQUIRE(!regs.empty(), "snapshot read needs at least one register");
   PQRA_REQUIRE(!options_.write_back,
                "snapshot reads do not support atomic write-back");
+  PQRA_REQUIRE(options_.ring == nullptr,
+               "snapshot reads are whole-store accesses of one replica set; "
+               "the sharded store reads per key (docs/SHARDING.md)");
   OpId op = next_op_++;
   PendingOp pending;
   pending.is_read = true;
@@ -238,8 +246,16 @@ void QuorumRegisterClient::send_to_quorum(OpId op, PendingOp& pending) {
   // Per-access quorum draw into reusable scratch: pick() samples in place,
   // so the steady-state access path allocates nothing here.
   quorums_.pick(kind, rng_, quorum_scratch_);
+  if (options_.ring != nullptr) {
+    // Sharded mode: ServerIds index the key's replica group, resolved once
+    // per access (the retry path re-resolves, which is what lets a retried
+    // op survive ring membership edits mid-run).
+    options_.ring->replica_group(pending.reg, quorums_.num_servers(),
+                                 group_scratch_);
+  }
   for (quorum::ServerId s : quorum_scratch_) {
-    NodeId server = server_base_ + s;
+    NodeId server = options_.ring != nullptr ? group_scratch_[s]
+                                             : server_base_ + s;
     net::Message msg;
     if (sends_reads) {
       msg = net::Message::read_req(pending.reg, op);

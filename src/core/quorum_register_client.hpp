@@ -41,6 +41,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/keyspace/hash_ring.hpp"
 #include "core/register_types.hpp"
 #include "core/spec/history.hpp"
 #include "net/transport.hpp"
@@ -110,6 +111,14 @@ struct ClientOptions {
   /// root.  Ids propagate in message headers so replicas can parent their
   /// handling spans; see obs/span.hpp and docs/OBSERVABILITY.md.
   obs::SpanSink* spans = nullptr;
+  /// Sharded-store mode (docs/SHARDING.md, non-owning, may be nullptr):
+  /// when set, the quorum system must be sized to one replica group
+  /// (quorums.num_servers() == group size), and every access resolves its
+  /// key's group through the ring — a drawn ServerId s becomes the group's
+  /// s-th member instead of server_base + s.  All ε-intersection and
+  /// staleness math is unchanged: it already runs over n = group size.
+  /// Snapshot reads (whole-store, single group) are not supported per key.
+  const keyspace::HashRing* ring = nullptr;
 };
 
 /// Per-client operation tallies.  This is the per-process attribution view
@@ -288,6 +297,8 @@ class QuorumRegisterClient final : public net::Receiver {
   /// Scratch for per-access quorum draws (send_to_quorum): pick() fills it
   /// in place, reusing capacity across every operation and retry.
   std::vector<quorum::ServerId> quorum_scratch_;
+  /// Scratch for the key's replica group in ring mode (same reuse contract).
+  std::vector<NodeId> group_scratch_;
   std::unordered_map<OpId, PendingOp> pending_;
   std::unordered_map<RegisterId, Timestamp> write_ts_;
   std::unordered_map<RegisterId, TimestampedValue> monotone_cache_;

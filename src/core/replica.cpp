@@ -11,15 +11,23 @@ namespace pqra::core {
 net::Message Replica::handle(const net::Message& request) {
   switch (request.type) {
     case net::MsgType::kReadReq: {
-      auto it = store_.find(request.reg);
-      if (it == store_.end()) {
+      const TimestampedValue* entry = store_.find(request.reg);
+      if (cross_key_probe_bug_) {
+        // Seeded bug drill (set_test_cross_key_probe_bug): leak the
+        // neighbouring key's entry when it is newer.
+        const TimestampedValue* wrong = store_.find(request.reg ^ 1u);
+        if (wrong != nullptr && (entry == nullptr || wrong->ts > entry->ts)) {
+          entry = wrong;
+        }
+      }
+      if (entry == nullptr) {
         return net::Message::read_ack(request.reg, request.op, 0, Value{});
       }
-      return net::Message::read_ack(request.reg, request.op, it->second.ts,
-                                    it->second.value);
+      return net::Message::read_ack(request.reg, request.op, entry->ts,
+                                    entry->value);
     }
     case net::MsgType::kWriteReq: {
-      TimestampedValue& slot = store_[request.reg];
+      TimestampedValue& slot = store_.entry(request.reg);
       if (request.ts > slot.ts) {
         slot.ts = request.ts;
         slot.value = request.value;
@@ -36,36 +44,35 @@ net::Message Replica::handle(const net::Message& request) {
 }
 
 void Replica::preload(RegisterId reg, Value value) {
-  TimestampedValue& slot = store_[reg];
+  TimestampedValue& slot = store_.entry(reg);
   PQRA_REQUIRE(slot.ts == 0, "preload must happen before any write");
   slot.ts = 0;
   slot.value = std::move(value);
 }
 
 const TimestampedValue* Replica::get(RegisterId reg) const {
-  auto it = store_.find(reg);
-  return it == store_.end() ? nullptr : &it->second;
+  return store_.find(reg);
 }
 
 Value Replica::encode_store() const {
   // Gossip payload bytes feed transport metrics and replay comparisons, so
-  // the encoding must not depend on hash iteration order: snapshot the
-  // entries and emit them sorted by register id.
-  std::vector<const decltype(store_)::value_type*> entries;
+  // the encoding must not depend on the table's insertion history: snapshot
+  // the entries and emit them sorted by key id.
+  std::vector<std::pair<RegisterId, const TimestampedValue*>> entries;
   entries.reserve(store_.size());
-  for (const auto& entry : store_) {  // pqra-lint: allow(unordered-iter)
-    entries.push_back(&entry);
-  }
+  store_.for_each([&entries](RegisterId reg, const TimestampedValue& tv) {
+    entries.emplace_back(reg, &tv);
+  });
   std::sort(entries.begin(), entries.end(),
-            [](const auto* a, const auto* b) { return a->first < b->first; });
+            [](const auto& a, const auto& b) { return a.first < b.first; });
   util::Bytes out;
   util::detail::append_raw(out, static_cast<std::uint64_t>(store_.size()));
-  for (const auto* entry : entries) {
-    const auto& [reg, tv] = *entry;
+  for (const auto& [reg, tv] : entries) {
     util::detail::append_raw(out, reg);
-    util::detail::append_raw(out, tv.ts);
-    util::detail::append_raw(out, static_cast<std::uint64_t>(tv.value.size()));
-    out.insert(out.end(), tv.value.begin(), tv.value.end());
+    util::detail::append_raw(out, tv->ts);
+    util::detail::append_raw(out,
+                             static_cast<std::uint64_t>(tv->value.size()));
+    out.insert(out.end(), tv->value.begin(), tv->value.end());
   }
   return out;
 }
@@ -73,7 +80,7 @@ Value Replica::encode_store() const {
 std::size_t Replica::merge_store(const Value& encoded) {
   std::size_t advanced = 0;
   for (StoreEntry& entry : decode_store(encoded)) {
-    TimestampedValue& slot = store_[entry.reg];
+    TimestampedValue& slot = store_.entry(entry.reg);
     if (entry.ts > slot.ts) {
       slot.ts = entry.ts;
       slot.value = std::move(entry.value);

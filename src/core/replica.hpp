@@ -5,13 +5,18 @@
 ///
 /// Pure request/response logic with no transport dependency, so the exact
 /// same code backs the discrete-event servers (ServerProcess) and the
-/// threaded servers (ThreadedServer).  A replica stores, per register, the
+/// threaded servers (ThreadedServer).  A replica stores, per key, the
 /// highest-timestamped value it has seen; stale WriteReqs are acknowledged
 /// but ignored (the single writer's timestamps are monotone, so this only
 /// matters when retries reorder).
+///
+/// The store is a flat open-addressing KeyId -> (ts, value) table
+/// (core/keyspace/flat_table.hpp): under sharding a replica holds an entry
+/// per key it owns, lookups stay allocation-free in the DES loop, and slot
+/// order is deterministic — though encode_store still sorts, because gossip
+/// bytes must not depend on insertion history either (docs/SHARDING.md).
 
-#include <unordered_map>
-
+#include "core/keyspace/flat_table.hpp"
 #include "core/register_types.hpp"
 
 namespace pqra::core {
@@ -20,11 +25,11 @@ class Replica {
  public:
   /// Handles one protocol request and produces the reply to send back.
   /// ReadReq -> ReadAck carrying the stored (ts, value) — (0, empty) if the
-  /// register was never written nor preloaded.  WriteReq -> WriteAck.
+  /// key was never written nor preloaded.  WriteReq -> WriteAck.
   net::Message handle(const net::Message& request);
 
   /// Installs an initial value with timestamp 0 (the initial vector i of the
-  /// iterative algorithm, present on all replicas before the run starts).
+  /// iterative algorithm, present on the key's replicas before the run).
   void preload(RegisterId reg, Value value);
 
   /// Read-only access for tests and invariant checks.
@@ -33,8 +38,8 @@ class Replica {
   /// Serializes the whole store for anti-entropy gossip / snapshot reads.
   Value encode_store() const;
 
-  /// Merges a gossiped store: per register, keeps the higher timestamp.
-  /// Returns the number of registers that advanced.
+  /// Merges a gossiped store: per key, keeps the higher timestamp.
+  /// Returns the number of keys that advanced.
   std::size_t merge_store(const Value& encoded);
 
   /// One entry of an encoded store.
@@ -52,9 +57,18 @@ class Replica {
   /// Number of writes actually applied (not acked-but-stale).
   std::uint64_t writes_applied() const { return writes_applied_; }
 
+  /// Test-only fault: when enabled, a ReadReq for key k answers with the
+  /// entry of key k^1 whenever that neighbour holds a higher timestamp — a
+  /// seeded cross-key contamination bug (a probe-collision returning the
+  /// wrong slot) that the key-partitioned [R2] checker must catch and
+  /// pqra_explore must shrink to a minimal multi-key repro
+  /// (docs/EXPLORATION.md).  Never enabled outside that drill.
+  void set_test_cross_key_probe_bug(bool on) { cross_key_probe_bug_ = on; }
+
  private:
-  std::unordered_map<RegisterId, TimestampedValue> store_;
+  keyspace::FlatTable<TimestampedValue> store_;
   std::uint64_t writes_applied_ = 0;
+  bool cross_key_probe_bug_ = false;
 };
 
 }  // namespace pqra::core

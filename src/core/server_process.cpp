@@ -15,7 +15,10 @@ ServerMetrics::ServerMetrics(obs::Registry& registry)
           "Writes that advanced a replica register timestamp")),
       gossip_merges(&registry.counter(
           obs::names::kServerGossipMerges,
-          "Registers advanced by anti-entropy gossip merges")) {}
+          "Registers advanced by anti-entropy gossip merges")),
+      keys_created(&registry.counter(
+          obs::names::kServerKeysCreated,
+          "Keys first materialized in a replica store (write or gossip)")) {}
 
 ServerProcess::ServerProcess(net::Transport& transport, NodeId self,
                              obs::Registry* metrics)
@@ -64,9 +67,13 @@ void ServerProcess::record_handle_span(const net::Message& request,
 
 void ServerProcess::on_message(NodeId from, net::Message msg) {
   if (msg.type == net::MsgType::kGossip) {
+    const std::size_t keys_before = replica_.num_registers();
     std::size_t advanced = replica_.merge_store(msg.value);
     gossip_merges_ += advanced;
-    if (metrics_.has_value()) metrics_->gossip_merges->inc(advanced);
+    if (metrics_.has_value()) {
+      metrics_->gossip_merges->inc(advanced);
+      metrics_->keys_created->inc(replica_.num_registers() - keys_before);
+    }
     return;
   }
   if (msg.type == net::MsgType::kReadReq && msg.reg == net::kAllRegisters) {
@@ -80,6 +87,7 @@ void ServerProcess::on_message(NodeId from, net::Message msg) {
     return;
   }
   std::uint64_t applied_before = replica_.writes_applied();
+  const std::size_t keys_before = replica_.num_registers();
   net::Message reply = replica_.handle(msg);
   // Echo the causal headers so the client can close its RPC span; done here
   // (not in Replica) so the replica state machine stays tracing-agnostic.
@@ -88,6 +96,7 @@ void ServerProcess::on_message(NodeId from, net::Message msg) {
   if (metrics_.has_value()) {
     metrics_->requests->inc();
     metrics_->ts_advances->inc(replica_.writes_applied() - applied_before);
+    metrics_->keys_created->inc(replica_.num_registers() - keys_before);
   }
   record_handle_span(msg, reply.ts);
   transport_.send(self_, from, std::move(reply));

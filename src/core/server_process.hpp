@@ -31,6 +31,7 @@ struct ServerMetrics {
   obs::Counter* requests;     ///< protocol requests served (read+write)
   obs::Counter* ts_advances;  ///< writes that advanced a register timestamp
   obs::Counter* gossip_merges;
+  obs::Counter* keys_created;  ///< first store entry per key (write/gossip)
 };
 
 /// Anti-entropy configuration; disabled by default.

@@ -1,5 +1,8 @@
 #include "core/spec/batch.hpp"
 
+#include <map>
+#include <utility>
+
 namespace pqra::core::spec {
 
 const char* rule_id(Rule rule) {
@@ -76,6 +79,45 @@ BatchResult check_batch(const std::vector<OpRecord>& ops,
   }
   if (options.atomic) {
     result.outcomes.push_back({Rule::kAtomic, check_atomic(ops)});
+  }
+  return result;
+}
+
+std::string KeyedBatchResult::summary() const {
+  if (!first.has_value()) {
+    return "ok over " + std::to_string(keys_checked) + " keys";
+  }
+  std::string out = rule_id(first->rule);
+  out += " key=" + std::to_string(first->key) + ": " + first->violation;
+  if (num_violations > 1) {
+    out += " (+" + std::to_string(num_violations - 1) + " more)";
+  }
+  return out;
+}
+
+KeyedBatchResult check_batch_by_key(const std::vector<OpRecord>& ops,
+                                    const BatchOptions& options) {
+  // Ordered buckets: ascending key order makes the first-failure
+  // attribution (and the summary line) deterministic.
+  std::map<RegisterId, std::vector<OpRecord>> by_key;
+  for (const OpRecord& op : ops) by_key[op.reg].push_back(op);
+
+  KeyedBatchResult result;
+  result.keys_checked = by_key.size();
+  for (const auto& [key, key_ops] : by_key) {
+    const BatchResult batch = check_batch(key_ops, options);
+    result.num_violations += batch.num_violations();
+    if (!result.first.has_value()) {
+      if (const RuleOutcome* failure = batch.first_failure()) {
+        KeyedFirstFailure first;
+        first.rule = failure->rule;
+        first.key = key;
+        first.violation = failure->result.violations.empty()
+                              ? "(no detail)"
+                              : failure->result.violations[0];
+        result.first = std::move(first);
+      }
+    }
   }
   return result;
 }

@@ -80,4 +80,39 @@ struct BatchResult {
 BatchResult check_batch(const std::vector<OpRecord>& ops,
                         const BatchOptions& options);
 
+/// First failure of a key-partitioned batch check: which rule broke, on
+/// which key, with the first violation's text.
+struct KeyedFirstFailure {
+  Rule rule = Rule::kR1;
+  RegisterId key = 0;
+  std::string violation;
+};
+
+struct KeyedBatchResult {
+  std::size_t keys_checked = 0;
+  std::size_t num_violations = 0;
+  /// Lowest violating key's first failing rule (deterministic attribution:
+  /// keys ascend, rules follow declaration order within a key).
+  std::optional<KeyedFirstFailure> first;
+
+  bool ok() const { return num_violations == 0; }
+
+  /// "<rule-id> key=<k>: <violation> (+N more)" or "ok over K keys" — the
+  /// one-line form the fuzzer and experiment_cli's store app print.
+  std::string summary() const;
+};
+
+/// Key-parameterized batch check (docs/SHARDING.md): partitions \p ops by
+/// key (register id), runs the selected rules independently per key in
+/// ascending key order, and attributes the first failure as (rule, key).
+///
+/// Every rule in BatchOptions is already per-key independent — R1/R2/R4,
+/// single-writer, regular and atomic all constrain operations on one
+/// register only — so partitioning never changes the verdict of
+/// check_batch; what it adds is the key attribution and, for million-key
+/// histories, per-key working sets.  tests/core/spec_batch_test.cpp pins
+/// the equivalence.
+KeyedBatchResult check_batch_by_key(const std::vector<OpRecord>& ops,
+                                    const BatchOptions& options);
+
 }  // namespace pqra::core::spec

@@ -9,15 +9,18 @@ namespace pqra::core::spec {
 
 namespace {
 
-/// Key for per-register write lookup.
+/// Key for per-register write lookup.  Several writes may share a key:
+/// contended keys (writers-per-key > 1) have independent per-writer
+/// timestamp counters, so (reg, ts) is only unique in single-writer
+/// histories.
 using WriteKey = std::pair<RegisterId, Timestamp>;
 
-std::map<WriteKey, const OpRecord*> index_writes(
+std::map<WriteKey, std::vector<const OpRecord*>> index_writes(
     const std::vector<OpRecord>& ops) {
-  std::map<WriteKey, const OpRecord*> writes;
+  std::map<WriteKey, std::vector<const OpRecord*>> writes;
   for (const OpRecord& op : ops) {
     if (op.kind == OpKind::kWrite) {
-      writes[{op.reg, op.ts}] = &op;
+      writes[{op.reg, op.ts}].push_back(&op);
     }
   }
   return writes;
@@ -59,10 +62,18 @@ CheckResult check_r2(const std::vector<OpRecord>& ops) {
                   describe_op(op));
       continue;
     }
-    if (it->second->invoke > op.response) {
+    // The read is justified if at least one matching write could have been
+    // its source; with duplicate (reg, ts) keys any candidate will do, so
+    // only fail when every one began after the read ended (the violation
+    // cites the earliest-invoking candidate — the closest miss).
+    const OpRecord* best = it->second.front();
+    for (const OpRecord* w : it->second) {
+      if (w->invoke < best->invoke) best = w;
+    }
+    if (best->invoke > op.response) {
       result.fail("[R2] read returned a write that began after the read "
                   "ended: " +
-                  describe_op(op) + " vs " + describe_op(*it->second));
+                  describe_op(op) + " vs " + describe_op(*best));
     }
   }
   return result;

@@ -30,14 +30,71 @@ const char* fault_kind_name(FaultKind kind) {
 
 FaultPlan& FaultPlan::crash_at(sim::Time at, NodeId node) {
   PQRA_REQUIRE(at >= 0.0, "events cannot be scheduled before time 0");
-  events_.push_back(Event{at, FaultKind::kCrash, node, 1.0, {}});
+  events_.push_back(Event{.at = at, .kind = FaultKind::kCrash, .node = node});
   return *this;
 }
 
 FaultPlan& FaultPlan::recover_at(sim::Time at, NodeId node) {
   PQRA_REQUIRE(at >= 0.0, "events cannot be scheduled before time 0");
-  events_.push_back(Event{at, FaultKind::kRecover, node, 1.0, {}});
+  events_.push_back(Event{.at = at, .kind = FaultKind::kRecover, .node = node});
   return *this;
+}
+
+FaultPlan& FaultPlan::crash_key_at(sim::Time at, KeyId key) {
+  crash_at(at, key);
+  events_.back().node_is_key = true;
+  return *this;
+}
+
+FaultPlan& FaultPlan::recover_key_at(sim::Time at, KeyId key) {
+  recover_at(at, key);
+  events_.back().node_is_key = true;
+  return *this;
+}
+
+FaultPlan& FaultPlan::slow_key_at(sim::Time at, KeyId key, double factor) {
+  slow_at(at, key, factor);
+  events_.back().node_is_key = true;
+  return *this;
+}
+
+FaultPlan& FaultPlan::clear_slow_key_at(sim::Time at, KeyId key) {
+  clear_slow_at(at, key);
+  events_.back().node_is_key = true;
+  return *this;
+}
+
+bool FaultPlan::has_key_targets() const {
+  for (const Event& ev : events_) {
+    if (ev.node_is_key) return true;
+    for (const std::vector<KeyId>& keys : ev.group_keys) {
+      if (!keys.empty()) return true;
+    }
+  }
+  return false;
+}
+
+FaultPlan FaultPlan::resolve_keys(
+    const std::function<NodeId(KeyId)>& primary) const {
+  PQRA_REQUIRE(static_cast<bool>(primary), "resolve_keys needs a resolver");
+  FaultPlan resolved = *this;
+  for (Event& ev : resolved.events_) {
+    if (ev.node_is_key) {
+      ev.node = primary(ev.node);
+      ev.node_is_key = false;
+    }
+    for (std::size_t g = 0; g < ev.group_keys.size(); ++g) {
+      for (const KeyId key : ev.group_keys[g]) {
+        const NodeId node = primary(key);
+        std::vector<NodeId>& group = ev.groups[g];
+        if (std::find(group.begin(), group.end(), node) == group.end()) {
+          group.push_back(node);
+        }
+      }
+    }
+    ev.group_keys.clear();
+  }
+  return resolved;
 }
 
 FaultPlan& FaultPlan::outage(NodeId node, sim::Time from, sim::Time duration) {
@@ -50,13 +107,15 @@ FaultPlan& FaultPlan::outage(NodeId node, sim::Time from, sim::Time duration) {
 FaultPlan& FaultPlan::slow_at(sim::Time at, NodeId node, double factor) {
   PQRA_REQUIRE(at >= 0.0, "events cannot be scheduled before time 0");
   PQRA_REQUIRE(factor >= 1.0, "slow factor must be >= 1");
-  events_.push_back(Event{at, FaultKind::kSlow, node, factor, {}});
+  events_.push_back(
+      Event{.at = at, .kind = FaultKind::kSlow, .node = node, .factor = factor});
   return *this;
 }
 
 FaultPlan& FaultPlan::clear_slow_at(sim::Time at, NodeId node) {
   PQRA_REQUIRE(at >= 0.0, "events cannot be scheduled before time 0");
-  events_.push_back(Event{at, FaultKind::kClearSlow, node, 1.0, {}});
+  events_.push_back(
+      Event{.at = at, .kind = FaultKind::kClearSlow, .node = node});
   return *this;
 }
 
@@ -64,14 +123,15 @@ FaultPlan& FaultPlan::partition_at(sim::Time at,
                                    std::vector<std::vector<NodeId>> groups) {
   PQRA_REQUIRE(at >= 0.0, "events cannot be scheduled before time 0");
   PQRA_REQUIRE(groups.size() >= 2, "a partition needs at least two groups");
-  events_.push_back(
-      Event{at, FaultKind::kPartition, 0, 1.0, std::move(groups)});
+  events_.push_back(Event{.at = at,
+                          .kind = FaultKind::kPartition,
+                          .groups = std::move(groups)});
   return *this;
 }
 
 FaultPlan& FaultPlan::heal_at(sim::Time at) {
   PQRA_REQUIRE(at >= 0.0, "events cannot be scheduled before time 0");
-  events_.push_back(Event{at, FaultKind::kHeal, 0, 1.0, {}});
+  events_.push_back(Event{.at = at, .kind = FaultKind::kHeal});
   return *this;
 }
 
@@ -124,13 +184,36 @@ double parse_number(const std::string& clause, const std::string& text) {
   return v;
 }
 
-/// Parses `a-b` ranges and `,`-lists into a node group, e.g. "0-3,7".
-std::vector<NodeId> parse_group(const std::string& clause,
-                                const std::string& text) {
-  std::vector<NodeId> nodes;
+/// A node-or-key target position: `7` names node 7, `k7` names the node
+/// owning key 7 (docs/SHARDING.md).
+struct Target {
+  std::uint32_t id = 0;
+  bool is_key = false;
+};
+
+Target parse_target(const std::string& clause, const std::string& text) {
+  Target t;
+  if (!text.empty() && text[0] == 'k') {
+    t.is_key = true;
+    t.id = static_cast<std::uint32_t>(
+        parse_number(clause, text.substr(1)));
+  } else {
+    t.id = static_cast<std::uint32_t>(parse_number(clause, text));
+  }
+  return t;
+}
+
+/// Parses `a-b` ranges, `,`-lists and `k<KEY>` items into a partition
+/// group, e.g. "0-3,7,k12".  Ranges are node-only.
+void parse_group(const std::string& clause, const std::string& text,
+                 std::vector<NodeId>& nodes, std::vector<KeyId>& keys) {
   std::istringstream in(text);
   std::string item;
   while (std::getline(in, item, ',')) {
+    if (!item.empty() && item[0] == 'k') {
+      keys.push_back(static_cast<KeyId>(parse_number(clause, item.substr(1))));
+      continue;
+    }
     auto dash = item.find('-');
     if (dash == std::string::npos) {
       nodes.push_back(static_cast<NodeId>(parse_number(clause, item)));
@@ -142,8 +225,7 @@ std::vector<NodeId> parse_group(const std::string& clause,
     if (hi < lo) parse_fail(clause, "range upper bound below lower bound");
     for (NodeId n = lo; n <= hi; ++n) nodes.push_back(n);
   }
-  if (nodes.empty()) parse_fail(clause, "empty node group");
-  return nodes;
+  if (nodes.empty() && keys.empty()) parse_fail(clause, "empty node group");
 }
 
 }  // namespace
@@ -201,34 +283,50 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
       double from = parse_number(clause, time_text.substr(0, dash));
       double to = parse_number(clause, time_text.substr(dash + 1));
       if (to <= from) parse_fail(clause, "outage end must be after start");
-      plan.outage(static_cast<NodeId>(parse_number(clause, arg)), from,
-                  to - from);
+      const Target t = parse_target(clause, arg);
+      if (t.is_key) {
+        plan.crash_key_at(from, t.id).recover_key_at(to, t.id);
+      } else {
+        plan.outage(t.id, from, to - from);
+      }
       continue;
     }
     const double at = parse_number(clause, time_text);
     if (kind == "heal") {
       plan.heal_at(at);
     } else if (kind == "crash") {
-      plan.crash_at(at, static_cast<NodeId>(parse_number(clause, arg)));
+      const Target t = parse_target(clause, arg);
+      t.is_key ? plan.crash_key_at(at, t.id) : plan.crash_at(at, t.id);
     } else if (kind == "recover") {
-      plan.recover_at(at, static_cast<NodeId>(parse_number(clause, arg)));
+      const Target t = parse_target(clause, arg);
+      t.is_key ? plan.recover_key_at(at, t.id) : plan.recover_at(at, t.id);
     } else if (kind == "slow") {
       auto star = arg.find('*');
       if (star == std::string::npos) parse_fail(clause, "slow needs 'N*F'");
-      plan.slow_at(at,
-                   static_cast<NodeId>(
-                       parse_number(clause, arg.substr(0, star))),
-                   parse_number(clause, arg.substr(star + 1)));
+      const Target t = parse_target(clause, arg.substr(0, star));
+      const double factor = parse_number(clause, arg.substr(star + 1));
+      t.is_key ? plan.slow_key_at(at, t.id, factor)
+               : plan.slow_at(at, t.id, factor);
     } else if (kind == "noslow") {
-      plan.clear_slow_at(at, static_cast<NodeId>(parse_number(clause, arg)));
+      const Target t = parse_target(clause, arg);
+      t.is_key ? plan.clear_slow_key_at(at, t.id)
+               : plan.clear_slow_at(at, t.id);
     } else if (kind == "partition") {
       std::vector<std::vector<NodeId>> groups;
+      std::vector<std::vector<KeyId>> group_keys;
+      bool any_keys = false;
       std::istringstream gin(arg);
       std::string group;
       while (std::getline(gin, group, '|')) {
-        groups.push_back(parse_group(clause, group));
+        std::vector<NodeId> nodes;
+        std::vector<KeyId> keys;
+        parse_group(clause, group, nodes, keys);
+        any_keys = any_keys || !keys.empty();
+        groups.push_back(std::move(nodes));
+        group_keys.push_back(std::move(keys));
       }
       plan.partition_at(at, std::move(groups));
+      if (any_keys) plan.events_.back().group_keys = std::move(group_keys);
     } else {
       parse_fail(clause, "unknown event kind");
     }
@@ -245,27 +343,38 @@ std::string FaultPlan::serialize() const {
   };
   for (const Event& ev : events_) {
     const std::string at = util::format_double(ev.at);
+    // Key-addressed targets serialize with the `k` prefix of the parse()
+    // grammar.
+    const std::string target =
+        (ev.node_is_key ? "k" : "") + std::to_string(ev.node);
     switch (ev.kind) {
       case FaultKind::kCrash:
-        clause("crash:" + std::to_string(ev.node) + "@" + at);
+        clause("crash:" + target + "@" + at);
         break;
       case FaultKind::kRecover:
-        clause("recover:" + std::to_string(ev.node) + "@" + at);
+        clause("recover:" + target + "@" + at);
         break;
       case FaultKind::kSlow:
-        clause("slow:" + std::to_string(ev.node) + "*" +
-               util::format_double(ev.factor) + "@" + at);
+        clause("slow:" + target + "*" + util::format_double(ev.factor) + "@" +
+               at);
         break;
       case FaultKind::kClearSlow:
-        clause("noslow:" + std::to_string(ev.node) + "@" + at);
+        clause("noslow:" + target + "@" + at);
         break;
       case FaultKind::kPartition: {
         std::string groups;
-        for (const std::vector<NodeId>& group : ev.groups) {
-          if (!groups.empty()) groups += '|';
-          for (std::size_t i = 0; i < group.size(); ++i) {
-            if (i > 0) groups += ',';
-            groups += std::to_string(group[i]);
+        for (std::size_t g = 0; g < ev.groups.size(); ++g) {
+          if (g > 0) groups += '|';
+          std::string sep;
+          for (const NodeId n : ev.groups[g]) {
+            groups += sep + std::to_string(n);
+            sep = ",";
+          }
+          if (g < ev.group_keys.size()) {
+            for (const KeyId k : ev.group_keys[g]) {
+              groups += sep + "k" + std::to_string(k);
+              sep = ",";
+            }
           }
         }
         clause("partition:" + groups + "@" + at);
@@ -303,11 +412,20 @@ FaultPlan FaultPlan::from_parts(std::vector<Event> events,
 }
 
 void FaultPlan::mutate(std::size_t num_servers, sim::Time horizon,
-                       util::Rng& rng) {
+                       util::Rng& rng, std::size_t num_keys) {
   PQRA_REQUIRE(num_servers > 0, "mutation needs at least one server");
   PQRA_REQUIRE(horizon > 0.0, "mutation needs a positive horizon");
   const auto random_node = [&] {
     return static_cast<NodeId>(rng.below(num_servers));
+  };
+  // Key-addressed target draw: only taken when the caller opened the
+  // keyspace (num_keys > 0), so pre-sharding seeds replay the exact same
+  // draw sequence.
+  const auto random_target = [&]() -> std::pair<std::uint32_t, bool> {
+    if (num_keys > 0 && rng.bernoulli(0.3)) {
+      return {static_cast<std::uint32_t>(rng.below(num_keys)), true};
+    }
+    return {random_node(), false};
   };
   const auto random_time = [&] { return rng.uniform01() * horizon; };
   std::uint64_t edit = rng.below(8);
@@ -321,21 +439,39 @@ void FaultPlan::mutate(std::size_t num_servers, sim::Time horizon,
       const sim::Time duration = std::min(
           std::max(rng.exponential(horizon / 8.0), horizon * 0.01),
           horizon - from);
-      outage(random_node(), from, duration);
+      const auto [id, is_key] = random_target();
+      if (is_key) {
+        crash_key_at(from, id).recover_key_at(from + duration, id);
+      } else {
+        outage(id, from, duration);
+      }
       break;
     }
-    case 1:  // lone crash (the run harness recovers everyone at the horizon)
-      crash_at(random_time(), random_node());
+    case 1: {  // lone crash (the run harness recovers everyone at horizon)
+      const auto [id, is_key] = random_target();
+      const sim::Time at = random_time();
+      is_key ? crash_key_at(at, id) : crash_at(at, id);
       break;
-    case 2:
-      recover_at(random_time(), random_node());
+    }
+    case 2: {
+      const auto [id, is_key] = random_target();
+      const sim::Time at = random_time();
+      is_key ? recover_key_at(at, id) : recover_at(at, id);
       break;
+    }
     case 3: {  // slow window
-      const NodeId node = random_node();
+      const auto [id, is_key] = random_target();
       const sim::Time from = rng.uniform01() * horizon * 0.9;
-      slow_at(from, node, 1.0 + rng.uniform01() * 9.0);
-      clear_slow_at(
-          std::min(from + rng.exponential(horizon / 8.0), horizon), node);
+      const double factor = 1.0 + rng.uniform01() * 9.0;
+      const sim::Time until =
+          std::min(from + rng.exponential(horizon / 8.0), horizon);
+      if (is_key) {
+        slow_key_at(from, id, factor);
+        clear_slow_key_at(until, id);
+      } else {
+        slow_at(from, id, factor);
+        clear_slow_at(until, id);
+      }
       break;
     }
     case 4: {  // partition window over a random split of the servers
@@ -396,6 +532,8 @@ void FaultPlan::mutate(std::size_t num_servers, sim::Time horizon,
 
 void FaultPlan::install(sim::Simulator& simulator,
                         FaultInjector& injector) const {
+  PQRA_REQUIRE(!has_key_targets(),
+               "plan has key-addressed targets: call resolve_keys() first");
   if (message_faults_.any()) injector.set_message_faults(message_faults_);
   for (const Event& ev : events_) {
     simulator.schedule_at(ev.at, sim::EventTag::kFault, [&injector, ev] {
@@ -433,6 +571,9 @@ LiveFaultDriver::LiveFaultDriver(const FaultPlan& plan,
                                  double seconds_per_time_unit)
     : transport_(transport) {
   PQRA_REQUIRE(seconds_per_time_unit > 0.0, "time scale must be positive");
+  PQRA_REQUIRE(!plan.has_key_targets(),
+               "live driver replays resolved plans: call resolve_keys() "
+               "before handing a key-addressed plan to the threaded runtime");
   thread_ = std::thread([this, plan, seconds_per_time_unit] {
     run(plan, seconds_per_time_unit);
   });
@@ -503,6 +644,9 @@ std::size_t FaultPlan::max_concurrent_down(std::size_t num_servers) const {
   std::vector<bool> down(num_servers, false);
   std::size_t current = 0, worst = 0;
   for (const Event& ev : sorted) {
+    // Key-addressed targets have no node identity until resolve_keys();
+    // callers that care run this on the resolved plan.
+    if (ev.node_is_key) continue;
     if (ev.node >= num_servers) continue;
     if (ev.kind == FaultKind::kCrash && !down[ev.node]) {
       down[ev.node] = true;

@@ -13,6 +13,7 @@
 /// making progress through churn that stalls strict systems.
 
 #include <condition_variable>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -41,12 +42,21 @@ class FaultPlan {
     sim::Time at = 0.0;
     FaultKind kind = FaultKind::kCrash;
     NodeId node = 0;      ///< crash/recover/slow/clear-slow
+    /// Key-addressed target (docs/SHARDING.md): `node` holds a KeyId, not a
+    /// NodeId, and resolve_keys() must map it to the key's primary replica
+    /// before the plan can be installed.  Grammar form `crash:k12@10`.
+    bool node_is_key = false;
     double factor = 1.0;  ///< slow only
     std::vector<std::vector<NodeId>> groups;  ///< partition only
+    /// Key-addressed partition members, parallel to `groups` when any are
+    /// present (same group count): resolve_keys() folds each group's key
+    /// primaries into the node group.  Grammar form `partition:0-2,k7|3@9`.
+    std::vector<std::vector<KeyId>> group_keys;
 
     friend bool operator==(const Event& a, const Event& b) {
       return a.at == b.at && a.kind == b.kind && a.node == b.node &&
-             a.factor == b.factor && a.groups == b.groups;
+             a.node_is_key == b.node_is_key && a.factor == b.factor &&
+             a.groups == b.groups && a.group_keys == b.group_keys;
     }
     friend bool operator!=(const Event& a, const Event& b) {
       return !(a == b);
@@ -55,6 +65,27 @@ class FaultPlan {
 
   FaultPlan& crash_at(sim::Time at, NodeId node);
   FaultPlan& recover_at(sim::Time at, NodeId node);
+
+  /// Key-addressed variants (docs/SHARDING.md): the event targets whatever
+  /// node is the key's primary replica at resolve_keys() time, so one plan
+  /// applies uniformly to any cluster shape — "crash the server holding the
+  /// hot key" instead of a hard-coded process id.
+  FaultPlan& crash_key_at(sim::Time at, KeyId key);
+  FaultPlan& recover_key_at(sim::Time at, KeyId key);
+  FaultPlan& slow_key_at(sim::Time at, KeyId key, double factor);
+  FaultPlan& clear_slow_key_at(sim::Time at, KeyId key);
+
+  /// True if any event carries a key-addressed target (node or partition
+  /// member); such a plan must go through resolve_keys() before install().
+  bool has_key_targets() const;
+
+  /// Returns a copy with every key target replaced by
+  /// \p primary(key) — typically HashRing::primary, or `key % num_servers`
+  /// for unsharded full-replication runs.  Key-addressed partition members
+  /// are folded into their node groups (first occurrence wins on
+  /// duplicates).  The result has no key targets.
+  FaultPlan resolve_keys(
+      const std::function<NodeId(KeyId)>& primary) const;
 
   /// Crash + recover pair: node is down during [from, from + duration).
   FaultPlan& outage(NodeId node, sim::Time from, sim::Time duration);
@@ -90,6 +121,11 @@ class FaultPlan {
   ///   heal@T
   ///   drop=P   dup=P   delay=D   reorder=P:MAXDELAY
   ///
+  /// Node positions also accept a key-addressed form `k<KEY>` — e.g.
+  /// `crash:k12@10`, `outage:k7@20-60`, `partition:0-2,k7|3@9` — meaning
+  /// "the node owning key KEY" (resolved via resolve_keys; key ranges are
+  /// not supported).
+  ///
   /// e.g. "crash:2@10;recover:2@50;drop=0.02;reorder=0.1:3".
   /// Throws std::logic_error (with the offending clause) on bad input.
   static FaultPlan parse(const std::string& spec);
@@ -112,10 +148,15 @@ class FaultPlan {
   /// perturb an event's time, or jiggle a message-fault knob.  Event times
   /// stay within [0, horizon]; node ids within [0, num_servers).  This is
   /// the fuzzer's FaultPlan-churn mutation operator (docs/EXPLORATION.md).
-  void mutate(std::size_t num_servers, sim::Time horizon, util::Rng& rng);
+  /// With \p num_keys > 0, node-targeted additions sometimes draw a
+  /// key-addressed target (`k<KEY>`, KEY < num_keys) instead of a node;
+  /// the default 0 never does, so pre-sharding call sites are unchanged.
+  void mutate(std::size_t num_servers, sim::Time horizon, util::Rng& rng,
+              std::size_t num_keys = 0);
 
   /// Schedules every event on the simulator against \p injector, and applies
-  /// the message faults immediately.
+  /// the message faults immediately.  Requires !has_key_targets(): key
+  /// addressing is a naming layer, resolved before install.
   void install(sim::Simulator& simulator, FaultInjector& injector) const;
 
   /// Convenience: installs onto the transport's own injector.

@@ -22,6 +22,14 @@ using NodeId = std::uint32_t;
 /// Identifies one shared register (one vector component of the iteration).
 using RegisterId = std::uint32_t;
 
+/// Identifies one key of the sharded multi-key store (docs/SHARDING.md).
+/// A key IS a register: the store runs the §4 protocol independently per
+/// key, so keys and registers share one id space and `Message::reg` carries
+/// the key of every request/ack.  The alias exists so key-aware layers
+/// (core/keyspace, spec partitioning, fault-plan key targets) say what they
+/// mean.
+using KeyId = RegisterId;
+
 /// Register id used by snapshot reads: a ReadReq for kAllRegisters asks the
 /// replica for its whole store (one ReadAck whose value is the encoded
 /// store), letting a client read every register through a single quorum

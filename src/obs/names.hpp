@@ -30,6 +30,18 @@ inline constexpr const char* kClientDegradedWrites =
 inline constexpr const char* kClientOpFailures =
     "pqra_client_op_failures_total";
 
+// Sharded multi-key store (core/keyspace, docs/SHARDING.md), aggregated
+// over all store clients.  Per-key attribution lives in spans and the op
+// trace (reg == key), not in per-key metric names: the keyspace is
+// unbounded, metric names are not.
+inline constexpr const char* kStoreGets = "pqra_store_gets_total";
+inline constexpr const char* kStorePuts = "pqra_store_puts_total";
+inline constexpr const char* kStoreKeysTouched = "pqra_store_keys_touched";
+// Replica-side key population: keys created on a server by writes or gossip
+// merges (first entry for a previously unknown key id).
+inline constexpr const char* kServerKeysCreated =
+    "pqra_server_keys_created_total";
+
 // Fault injection (net/faults.hpp), aggregated over the whole network.
 inline constexpr const char* kFaultsInjected = "pqra_faults_injected_total";
 inline constexpr const char* kFaultsCrashes = "pqra_faults_crashes_total";

@@ -1,0 +1,47 @@
+#include "util/zipf.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace pqra::util {
+
+namespace {
+
+double zeta(std::uint64_t n, double theta) {
+  double sum = 0.0;
+  for (std::uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+}  // namespace
+
+Zipfian::Zipfian(std::uint64_t n, double theta) : n_(n), theta_(theta) {
+  PQRA_REQUIRE(n_ >= 1, "Zipfian needs at least one rank");
+  PQRA_REQUIRE(theta_ >= 0.0 && theta_ < 1.0, "theta must be in [0, 1)");
+  if (theta_ == 0.0) return;  // uniform: draw() bypasses the constants
+  zetan_ = zeta(n_, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta(2, theta_) / zetan_);
+}
+
+std::uint64_t Zipfian::draw(Rng& rng) const {
+  const double u = rng.uniform01();
+  if (n_ == 1) return 0;  // the draw still consumes its one uniform01()
+  if (theta_ == 0.0) {
+    std::uint64_t r = static_cast<std::uint64_t>(u * static_cast<double>(n_));
+    return r >= n_ ? n_ - 1 : r;
+  }
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const double r = static_cast<double>(n_) *
+                   std::pow(eta_ * u - eta_ + 1.0, alpha_);
+  auto rank = static_cast<std::uint64_t>(r);
+  return rank >= n_ ? n_ - 1 : rank;
+}
+
+}  // namespace pqra::util

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file zipf.hpp
+/// Zipfian rank sampler for skewed key-choice workloads.
+///
+/// draw() returns a rank r in [0, n) with P(r) proportional to
+/// 1/(r+1)^theta — rank 0 is the hottest key.  Implementation follows the
+/// classic rejection-free inversion of Gray et al. ("Quickly generating
+/// billion-record synthetic databases", SIGMOD '94): O(n) constants at
+/// construction, O(1) per draw, and every draw consumes exactly one
+/// uniform01() from the caller's Rng — so adding skew to a workload changes
+/// the draw *values*, never the draw *count*, and replays stay aligned.
+///
+/// theta = 0 degenerates to the uniform distribution; theta must be < 1
+/// (the harmonic normalization diverges at 1, and the store workloads only
+/// need the YCSB-style 0.6–0.99 range).
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace pqra::util {
+
+class Zipfian {
+ public:
+  /// \p n: number of ranks; \p theta in [0, 1).
+  Zipfian(std::uint64_t n, double theta);
+
+  /// One rank in [0, n), hottest first.  Deterministic given the Rng state.
+  std::uint64_t draw(Rng& rng) const;
+
+  std::uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  std::uint64_t n_;
+  double theta_;
+  double alpha_ = 0.0;
+  double zetan_ = 0.0;
+  double eta_ = 0.0;
+};
+
+}  // namespace pqra::util

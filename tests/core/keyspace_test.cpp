@@ -1,0 +1,220 @@
+/// \file keyspace_test.cpp
+/// Property tests for the core/keyspace layer (docs/SHARDING.md): the
+/// consistent-hash ring's balance / determinism / minimal-movement
+/// guarantees, the flat open-addressing key table, and the Zipfian sampler
+/// the mixed-key workloads draw from.
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/keyspace/flat_table.hpp"
+#include "core/keyspace/hash_ring.hpp"
+#include "util/rng.hpp"
+#include "util/zipf.hpp"
+
+namespace pqra::core::keyspace {
+namespace {
+
+HashRing make_ring(std::size_t nodes, std::size_t vnodes) {
+  HashRing ring(vnodes);
+  for (net::NodeId s = 0; s < nodes; ++s) ring.add_node(s);
+  return ring;
+}
+
+// Balance: with v virtual nodes per member the per-node key share
+// concentrates around 1/n (stddev ~ 1/sqrt(v)), so a chi-square-style
+// bound on the per-node counts must tighten as v grows.  The bound is
+// pinned per vnode count on a fixed keyset, so this is deterministic.
+TEST(HashRingTest, VirtualNodesFlattenTheLoad) {
+  constexpr std::size_t kNodes = 10;
+  constexpr std::size_t kKeys = 40000;
+  const double expected = static_cast<double>(kKeys) / kNodes;
+
+  // (vnodes, allowed chi-square per degree of freedom).  The statistic is
+  //   sum_nodes (count - expected)^2 / expected / (n - 1),
+  // ~1 for a uniform multinomial; imbalance inflates it quadratically.
+  const std::vector<std::pair<std::size_t, double>> cases = {
+      {1, 8000.0}, {4, 1500.0}, {16, 900.0}, {64, 150.0}};
+  double previous = 1e18;
+  for (const auto& [vnodes, bound] : cases) {
+    const HashRing ring = make_ring(kNodes, vnodes);
+    std::map<net::NodeId, std::size_t> counts;
+    for (std::size_t k = 0; k < kKeys; ++k) {
+      counts[ring.primary(static_cast<net::KeyId>(k))]++;
+    }
+    double chi2 = 0.0;
+    for (net::NodeId s = 0; s < kNodes; ++s) {
+      const double diff = static_cast<double>(counts[s]) - expected;
+      chi2 += diff * diff / expected;
+    }
+    chi2 /= static_cast<double>(kNodes - 1);
+    EXPECT_LT(chi2, bound) << "vnodes=" << vnodes;
+    // More virtual nodes must not make the balance dramatically worse.
+    EXPECT_LT(chi2, previous * 4.0) << "vnodes=" << vnodes;
+    previous = chi2;
+  }
+}
+
+// Determinism: the group is a pure function of (membership, vnodes, key) —
+// insertion order must not matter, and repeated lookups agree.
+TEST(HashRingTest, LookupIsInsertionOrderIndependent) {
+  HashRing forward(8);
+  HashRing backward(8);
+  for (net::NodeId s = 0; s < 12; ++s) forward.add_node(s);
+  for (net::NodeId s = 12; s > 0; --s) backward.add_node(s - 1);
+
+  std::vector<net::NodeId> a;
+  std::vector<net::NodeId> b;
+  for (net::KeyId key = 0; key < 2000; ++key) {
+    EXPECT_EQ(forward.primary(key), backward.primary(key)) << "key " << key;
+    forward.replica_group(key, 3, a);
+    backward.replica_group(key, 3, b);
+    EXPECT_EQ(a, b) << "key " << key;
+  }
+}
+
+TEST(HashRingTest, ReplicaGroupIsDistinctAndLedByThePrimary) {
+  const HashRing ring = make_ring(7, 16);
+  std::vector<net::NodeId> group;
+  for (net::KeyId key = 0; key < 1000; ++key) {
+    ring.replica_group(key, 3, group);
+    ASSERT_EQ(group.size(), 3u);
+    EXPECT_EQ(group[0], ring.primary(key));
+    const std::set<net::NodeId> distinct(group.begin(), group.end());
+    EXPECT_EQ(distinct.size(), 3u) << "key " << key;
+  }
+  // The whole membership, when n == num_nodes.
+  ring.replica_group(0, 7, group);
+  EXPECT_EQ(std::set<net::NodeId>(group.begin(), group.end()).size(), 7u);
+}
+
+// Minimal movement: adding a node only moves keys TO the new node; every
+// other key keeps its primary.  Removing it restores the original mapping
+// exactly.
+TEST(HashRingTest, MembershipChangeMovesOnlyTheNecessaryKeys) {
+  constexpr std::size_t kKeys = 8000;
+  const HashRing before = make_ring(9, 16);
+  HashRing after = make_ring(9, 16);
+  after.add_node(9);
+
+  std::size_t moved = 0;
+  for (std::size_t k = 0; k < kKeys; ++k) {
+    const auto key = static_cast<net::KeyId>(k);
+    if (after.primary(key) != before.primary(key)) {
+      EXPECT_EQ(after.primary(key), 9u) << "key " << k
+          << " moved between two old nodes";
+      ++moved;
+    }
+  }
+  // The new node takes ~1/10 of the keyspace — and not (almost) nothing.
+  EXPECT_GT(moved, kKeys / 40);
+  EXPECT_LT(moved, kKeys / 4);
+
+  after.remove_node(9);
+  EXPECT_FALSE(after.contains(9));
+  for (std::size_t k = 0; k < kKeys; ++k) {
+    const auto key = static_cast<net::KeyId>(k);
+    EXPECT_EQ(after.primary(key), before.primary(key));
+  }
+}
+
+TEST(FlatTableTest, FindEntryAndGrowthKeepEveryEntry) {
+  FlatTable<std::uint64_t> table;
+  EXPECT_TRUE(table.empty());
+  EXPECT_EQ(table.find(3), nullptr);  // empty-table probe is well-defined
+
+  // Far more keys than the initial capacity, with awkward bit patterns.
+  std::vector<net::KeyId> keys;
+  for (std::uint32_t i = 0; i < 500; ++i) keys.push_back(i * 0x10001u + 7u);
+  for (net::KeyId k : keys) table.entry(k) = static_cast<std::uint64_t>(k) * 3;
+  EXPECT_EQ(table.size(), keys.size());
+
+  for (net::KeyId k : keys) {
+    const std::uint64_t* v = table.find(k);
+    ASSERT_NE(v, nullptr) << "key " << k;
+    EXPECT_EQ(*v, static_cast<std::uint64_t>(k) * 3);
+  }
+  EXPECT_EQ(table.find(1), nullptr);
+
+  // entry() on an existing key updates in place (no size change).
+  table.entry(keys[0]) = 42;
+  EXPECT_EQ(table.size(), keys.size());
+  EXPECT_EQ(*table.find(keys[0]), 42u);
+
+  // for_each visits each live entry exactly once.
+  std::set<net::KeyId> seen;
+  table.for_each([&](net::KeyId k, const std::uint64_t&) {
+    EXPECT_TRUE(seen.insert(k).second) << "duplicate key " << k;
+  });
+  EXPECT_EQ(seen.size(), keys.size());
+}
+
+TEST(FlatTableTest, IterationOrderIsAPureFunctionOfTheInsertionSequence) {
+  auto build = [] {
+    FlatTable<int> t;
+    for (std::uint32_t i = 0; i < 200; ++i) t.entry(i * 31u) = 1;
+    return t;
+  };
+  FlatTable<int> a = build();
+  FlatTable<int> b = build();
+  std::vector<net::KeyId> oa;
+  std::vector<net::KeyId> ob;
+  a.for_each([&](net::KeyId k, const int&) { oa.push_back(k); });
+  b.for_each([&](net::KeyId k, const int&) { ob.push_back(k); });
+  EXPECT_EQ(oa, ob);
+}
+
+TEST(ZipfianTest, ThetaZeroIsUniformAndDrawsStayInRange) {
+  util::Rng rng(7);
+  util::Zipfian uniform(100, 0.0);
+  std::vector<std::size_t> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t draw = uniform.draw(rng);
+    ASSERT_LT(draw, 100u);
+    counts[static_cast<std::size_t>(draw)]++;
+  }
+  // Uniform: every slot within 3x of the mean (loose; deterministic seed).
+  for (std::size_t s = 0; s < 100; ++s) {
+    EXPECT_GT(counts[s], 200u / 3) << "slot " << s;
+    EXPECT_LT(counts[s], 200u * 3) << "slot " << s;
+  }
+}
+
+TEST(ZipfianTest, SkewConcentratesMassOnLowRanks) {
+  util::Rng rng(11);
+  util::Zipfian zipf(1000, 0.9);
+  std::size_t top10 = 0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (zipf.draw(rng) < 10) ++top10;
+  }
+  // Uniform would put ~1% in the top 10 ranks; theta=0.9 puts >25% there.
+  EXPECT_GT(top10, kDraws / 4);
+}
+
+// Replay alignment: every draw consumes exactly one uniform from the
+// caller's stream, for any theta and any n (including n == 1), so schedules
+// that swap a uniform read for a Zipf read keep all later draws aligned.
+TEST(ZipfianTest, EveryDrawConsumesExactlyOneUniform) {
+  for (const double theta : {0.0, 0.5, 0.99}) {
+    for (const std::uint64_t n : {std::uint64_t{1}, std::uint64_t{64}}) {
+      util::Rng a(123);
+      util::Rng b(123);
+      util::Zipfian zipf(n, theta);
+      for (int i = 0; i < 50; ++i) {
+        zipf.draw(a);
+        b.uniform01();
+      }
+      EXPECT_EQ(a.below(1u << 30), b.below(1u << 30))
+          << "theta=" << theta << " n=" << n;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pqra::core::keyspace

@@ -137,5 +137,112 @@ TEST(SpecBatchTest, SummaryCountsExtraViolations) {
   EXPECT_NE(r.summary().find("(+1 more)"), std::string::npos) << r.summary();
 }
 
+// Contended keys (writers-per-key > 1) have independent per-writer
+// timestamp counters, so several writes may share (reg, ts).  A read is
+// justified if ANY of them could be its source; [R2] must not attribute it
+// to an arbitrary one.
+TEST(SpecBatchTest, DuplicateTimestampsAcrossWritersJustifyReads) {
+  BatchOptions o;
+  o.single_writer = false;  // two writers on one register, by design
+  std::vector<OpRecord> ops = {
+      write_op(/*proc=*/1, /*reg=*/0, /*ts=*/1, 1.0, 2.0),
+      read_op(/*proc=*/3, /*reg=*/0, /*ts=*/1, 3.0, 4.0),
+      // A second writer's independent counter re-issues ts=1 AFTER the read
+      // completed; the read is still justified by proc 1's write.
+      write_op(/*proc=*/2, /*reg=*/0, /*ts=*/1, 10.0, 11.0),
+  };
+  EXPECT_TRUE(check_batch(ops, o).ok()) << check_batch(ops, o).summary();
+
+  // When EVERY candidate began after the read ended, [R2] still fires.
+  std::vector<OpRecord> bad = {
+      read_op(/*proc=*/3, /*reg=*/0, /*ts=*/1, 3.0, 4.0),
+      write_op(/*proc=*/1, /*reg=*/0, /*ts=*/1, 8.0, 9.0),
+      write_op(/*proc=*/2, /*reg=*/0, /*ts=*/1, 10.0, 11.0),
+  };
+  const BatchResult r = check_batch(bad, o);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.first_failure()->rule, Rule::kR2);
+}
+
+// ---- key-partitioned batch checking (check_batch_by_key) ----
+
+/// Three-key history: key 0 and key 2 are clean, key 1's cleanliness is up
+/// to the caller (append violations there to test attribution).
+std::vector<OpRecord> three_key_history() {
+  std::vector<OpRecord> ops;
+  for (RegisterId reg = 0; reg < 3; ++reg) {
+    ops.push_back(write_op(/*proc=*/0, reg, /*ts=*/0, 0.0, 0.0));  // initial
+    ops.push_back(write_op(/*proc=*/1, reg, /*ts=*/1, 1.0, 2.0));
+    ops.push_back(read_op(/*proc=*/2, reg, /*ts=*/1, 3.0, 4.0));
+  }
+  return ops;
+}
+
+TEST(SpecBatchByKeyTest, CleanHistoryReportsEveryKeyChecked) {
+  const KeyedBatchResult r =
+      check_batch_by_key(three_key_history(), all_rules());
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.keys_checked, 3u);
+  EXPECT_EQ(r.num_violations, 0u);
+  EXPECT_FALSE(r.first.has_value());
+  EXPECT_EQ(r.summary(), "ok over 3 keys");
+}
+
+// Partitioning by key never changes the verdict (every rule is per-key
+// independent): same ok() and violation count as the unkeyed batch.
+TEST(SpecBatchByKeyTest, AgreesWithUnkeyedBatchOnMixedKeyHistories) {
+  std::vector<OpRecord> clean = three_key_history();
+  std::vector<OpRecord> dirty = three_key_history();
+  dirty.push_back(read_op(3, 1, /*ts=*/7, 5.0, 6.0));   // [R2] on key 1
+  dirty.push_back(write_op(5, 2, /*ts=*/2, 5.0, 6.0));  // [SW] on key 2
+
+  for (const auto& ops : {clean, dirty}) {
+    const BatchResult flat = check_batch(ops, all_rules());
+    const KeyedBatchResult keyed = check_batch_by_key(ops, all_rules());
+    EXPECT_EQ(keyed.ok(), flat.ok());
+    EXPECT_EQ(keyed.num_violations, flat.num_violations());
+    EXPECT_EQ(keyed.keys_checked, 3u);
+  }
+}
+
+TEST(SpecBatchByKeyTest, AttributionPicksTheLowestViolatingKey) {
+  std::vector<OpRecord> ops = three_key_history();
+  // Violations on keys 2 and 1 (in that record order): attribution must
+  // pick key 1, and within it the first rule in declaration order.
+  ops.push_back(read_op(3, 2, /*ts=*/9, 5.0, 6.0));                   // R2 @ 2
+  ops.push_back(read_op(3, 1, /*ts=*/0, 5.0, 0.0, /*resp=*/false));  // R1 @ 1
+  ops.push_back(read_op(3, 1, /*ts=*/7, 5.0, 6.0));                  // R2 @ 1
+
+  const KeyedBatchResult r = check_batch_by_key(ops, all_rules());
+  ASSERT_FALSE(r.ok());
+  ASSERT_TRUE(r.first.has_value());
+  EXPECT_EQ(r.first->key, 1u);
+  EXPECT_EQ(r.first->rule, Rule::kR1);
+  EXPECT_EQ(r.num_violations, 3u);
+}
+
+TEST(SpecBatchByKeyTest, SummaryNamesRuleAndKeyAndExtraCount) {
+  std::vector<OpRecord> ops = three_key_history();
+  ops.push_back(read_op(3, 1, /*ts=*/7, 5.0, 6.0));
+  ops.push_back(read_op(3, 2, /*ts=*/9, 5.0, 6.0));
+  const KeyedBatchResult r = check_batch_by_key(ops, all_rules());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.summary().substr(0, 10), "R2 key=1: ") << r.summary();
+  EXPECT_NE(r.summary().find("(+1 more)"), std::string::npos) << r.summary();
+}
+
+TEST(SpecBatchByKeyTest, DeselectedRulesStayDeselectedPerKey) {
+  std::vector<OpRecord> ops = three_key_history();
+  ops.push_back(read_op(2, 1, /*ts=*/0, 5.0, 6.0));  // backwards: [R4] only
+  BatchOptions o = all_rules();
+  o.r4 = false;
+  EXPECT_TRUE(check_batch_by_key(ops, o).ok());
+  o.r4 = true;
+  const KeyedBatchResult r = check_batch_by_key(ops, o);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.first->rule, Rule::kR4);
+  EXPECT_EQ(r.first->key, 1u);
+}
+
 }  // namespace
 }  // namespace pqra::core::spec

@@ -1,0 +1,225 @@
+/// Explore-layer coverage for the keyspace dimensions (docs/SHARDING.md +
+/// docs/EXPLORATION.md): the keyspace knobs serialize/parse byte-identically
+/// and default correctly on pre-sharding replay files, mutate_keyspace
+/// reaches every knob, FaultPlan::mutate draws key-addressed targets when
+/// given a keyspace, multi-key profiles replay deterministically, and — the
+/// drill the seeded Replica cross-key bug exists for — the key-partitioned
+/// [R2] checker catches cross-key contamination and the shrinker reduces it
+/// to a minimal multi-key repro without losing the rule.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "explore/profile.hpp"
+#include "explore/runner.hpp"
+#include "explore/shrink.hpp"
+#include "net/fault_plan.hpp"
+#include "util/rng.hpp"
+
+namespace pqra::explore {
+namespace {
+
+/// A small sharded multi-key schedule with the seeded cross-key probe bug
+/// (Replica::set_test_cross_key_probe_bug) armed: reads of key k can leak
+/// key k^1's newer entry, which the per-key [R2] checker must flag as a
+/// never-written (or future) timestamp for k.
+ScheduleProfile cross_key_bug_profile() {
+  ScheduleProfile p;
+  p.seed = 5;
+  p.num_servers = 4;
+  p.quorum_size = 2;
+  p.num_clients = 2;
+  p.ops_per_client = 40;
+  p.keys_per_client = 2;  // keys {0, 1, 2, 3}: contamination pairs (0,1), (2,3)
+  p.bug_cross_key = true;
+  p.delay = {sim::DelaySpec::Kind::kExponential, 1.0};
+  p.horizon = 120.0;
+  return p;
+}
+
+TEST(ExploreMultiKeyTest, KeyspaceKnobsRoundTripByteIdentically) {
+  bool saw_multikey = false;
+  bool saw_skew = false;
+  bool saw_contended = false;
+  bool saw_sharded = false;
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    const ScheduleProfile p = ScheduleProfile::from_seed(seed);
+    const std::string text = p.serialize();
+    EXPECT_EQ(ScheduleProfile::parse(text), p) << text;
+    EXPECT_EQ(ScheduleProfile::parse(text).serialize(), text) << text;
+    saw_multikey |= p.keys_per_client > 1;
+    saw_skew |= p.key_skew > 0.0;
+    saw_contended |= p.writers_per_key > 1;
+    saw_sharded |= p.replicas > 0;
+    if (p.replicas > 0) {
+      EXPECT_GE(p.replicas, p.quorum_size) << "seed " << seed;
+      EXPECT_LE(p.replicas, p.num_servers) << "seed " << seed;
+      EXPECT_FALSE(p.snapshot_reads) << "seed " << seed;
+    }
+    if (p.alg1) {
+      // The iterative scenario owns its register layout: no keyspace draws.
+      EXPECT_EQ(p.keys_per_client, 1u) << "seed " << seed;
+      EXPECT_EQ(p.replicas, 0u) << "seed " << seed;
+    }
+    EXPECT_FALSE(p.bug_cross_key) << "seed " << seed
+                                  << ": from_seed must never arm the bug";
+  }
+  // The generator actually explores the keyspace dimensions.
+  EXPECT_TRUE(saw_multikey);
+  EXPECT_TRUE(saw_skew);
+  EXPECT_TRUE(saw_contended);
+  EXPECT_TRUE(saw_sharded);
+}
+
+// Replay files written before the keyspace knobs existed carry none of the
+// keyspace lines; they must parse to the legacy defaults (and thus replay
+// the exact pre-sharding schedule).
+TEST(ExploreMultiKeyTest, PreShardingProfileTextParsesToDefaultKeyspace) {
+  ScheduleProfile p = ScheduleProfile::from_seed(3);
+  p.keys_per_client = 1;
+  p.key_skew = 0.0;
+  p.writers_per_key = 1;
+  p.replicas = 0;
+  p.ring_vnodes = 8;
+  p.bug_cross_key = false;
+
+  std::istringstream in(p.serialize());
+  std::ostringstream legacy;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string key = line.substr(0, line.find(' '));
+    if (key == "keys" || key == "key-skew" || key == "writers-per-key" ||
+        key == "replicas" || key == "vnodes" || key == "bug-cross-key") {
+      continue;
+    }
+    legacy << line << "\n";
+  }
+  EXPECT_EQ(ScheduleProfile::parse(legacy.str()), p);
+}
+
+TEST(ExploreMultiKeyTest, MutateKeyspaceReachesEveryKnobAndStaysValid) {
+  util::Rng rng(97);
+  ScheduleProfile p = ScheduleProfile::from_seed(0);
+  p.keys_per_client = 1;
+  p.key_skew = 0.0;
+  p.writers_per_key = 1;
+  p.replicas = 0;
+  p.ring_vnodes = 8;
+  p.snapshot_reads = false;
+  p.alg1 = false;
+
+  bool moved_keys = false;
+  bool moved_skew = false;
+  bool moved_writers = false;
+  bool moved_replicas = false;
+  bool moved_vnodes = false;
+  for (int i = 0; i < 400; ++i) {
+    const ScheduleProfile before = p;
+    p.mutate_keyspace(rng);
+    moved_keys |= p.keys_per_client != before.keys_per_client;
+    moved_skew |= p.key_skew != before.key_skew;
+    moved_writers |= p.writers_per_key != before.writers_per_key;
+    moved_replicas |= p.replicas != before.replicas;
+    moved_vnodes |= p.ring_vnodes != before.ring_vnodes;
+
+    // Every mutant is a valid profile: parse() revalidates the lot.
+    ASSERT_GE(p.keys_per_client, 1u);
+    ASSERT_LE(p.writers_per_key, p.num_clients);
+    ASSERT_TRUE(p.key_skew >= 0.0 && p.key_skew < 1.0);
+    if (p.replicas > 0) {
+      ASSERT_GE(p.replicas, p.quorum_size);
+      ASSERT_LE(p.replicas, p.num_servers);
+      ASSERT_FALSE(p.snapshot_reads);
+    }
+    ASSERT_NO_THROW(ScheduleProfile::parse(p.serialize())) << p.serialize();
+  }
+  EXPECT_TRUE(moved_keys);
+  EXPECT_TRUE(moved_skew);
+  EXPECT_TRUE(moved_writers);
+  EXPECT_TRUE(moved_replicas);
+  EXPECT_TRUE(moved_vnodes);
+}
+
+// With num_keys > 0 the FaultPlan mutation operator draws key-addressed
+// targets (`crash:k3@...`), which resolve to primaries and then install.
+TEST(ExploreMultiKeyTest, FaultMutateDrawsKeyAddressedTargets) {
+  util::Rng rng(31);
+  net::FaultPlan plan;
+  bool saw_key_target = false;
+  for (int i = 0; i < 200 && !saw_key_target; ++i) {
+    plan.mutate(/*num_servers=*/5, /*horizon=*/100.0, rng, /*num_keys=*/8);
+    saw_key_target = plan.has_key_targets();
+  }
+  ASSERT_TRUE(saw_key_target)
+      << "200 mutations with a keyspace never drew a key target";
+
+  // Key-addressed plans round-trip through the grammar...
+  const std::string text = plan.serialize();
+  EXPECT_EQ(net::FaultPlan::parse(text), plan) << text;
+  // ...and resolve to a pure node-addressed plan.
+  const net::FaultPlan resolved = plan.resolve_keys(
+      [](net::KeyId key) { return static_cast<net::NodeId>(key % 5); });
+  EXPECT_FALSE(resolved.has_key_targets());
+  EXPECT_EQ(resolved.events().size(), plan.events().size());
+
+  // Without a keyspace, mutate never draws key targets (pre-sharding
+  // call sites are draw-compatible).
+  net::FaultPlan legacy;
+  util::Rng legacy_rng(31);
+  for (int i = 0; i < 200; ++i) {
+    legacy.mutate(5, 100.0, legacy_rng);
+    ASSERT_FALSE(legacy.has_key_targets());
+  }
+}
+
+// The drill: arm the seeded cross-key contamination bug, catch it with the
+// key-partitioned [R2] checker, and shrink the schedule without losing the
+// rule.  This is the end-to-end proof that a real cross-key regression in
+// the replica store would be found and minimized.
+TEST(ExploreMultiKeyTest, CrossKeyContaminationIsCaughtAndShrunk) {
+  const ScheduleProfile original = cross_key_bug_profile();
+  const RunOutcome outcome = run_profile(original);
+  ASSERT_TRUE(outcome.violation)
+      << "the armed cross-key bug produced a clean run";
+  EXPECT_EQ(outcome.rule, "R2") << outcome.detail;
+
+  const ShrinkResult shrunk = shrink(original, outcome, /*max_runs=*/300);
+  EXPECT_TRUE(shrunk.outcome.violation);
+  EXPECT_EQ(shrunk.outcome.rule, outcome.rule);
+  EXPECT_LE(shrunk.profile.cost(), original.cost());
+  // Shrinking never disarms the bug (it is not a schedule dimension), and
+  // the repro keeps at least one contamination pair to express it.
+  EXPECT_TRUE(shrunk.profile.bug_cross_key);
+  EXPECT_GE(shrunk.profile.num_keys(), 2u);
+  EXPECT_LE(shrunk.profile.num_keys(), original.num_keys());
+
+  // The minimal repro survives the replay-file round trip.
+  const std::string text = shrunk.profile.serialize();
+  EXPECT_EQ(ScheduleProfile::parse(text), shrunk.profile);
+  EXPECT_EQ(ScheduleProfile::parse(text).serialize(), text);
+}
+
+TEST(ExploreMultiKeyTest, MultiKeyProfilesReplayByteIdentically) {
+  ScheduleProfile p = ScheduleProfile::from_seed(12);
+  p.alg1 = false;
+  p.keys_per_client = 6;
+  p.key_skew = 0.8;
+  p.writers_per_key = p.num_clients >= 2 ? 2 : 1;
+  p.replicas = std::min(p.num_servers, p.quorum_size + 1);
+  p.ring_vnodes = 4;
+  p.snapshot_reads = false;
+
+  const RunOutcome a = run_profile(p);
+  const RunOutcome b = run_profile(p);
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  EXPECT_EQ(a.ops_checked, b.ops_checked);
+  EXPECT_EQ(a.rule, b.rule);
+  EXPECT_EQ(a.detail, b.detail);
+  EXPECT_GT(a.ops_checked, 0u);
+}
+
+}  // namespace
+}  // namespace pqra::explore

@@ -1,0 +1,40 @@
+// Fixture: a naive multi-key store written the way core/keyspace must NOT
+// be (docs/SHARDING.md).  The real layer keeps replica state in a
+// deterministic FlatTable and ring lookups allocation-free; this version
+// hashes into std::unordered_map and leaks its iteration order into the
+// serialized snapshot, heap-allocates per lookup, and stores callbacks in
+// std::function — all inside hot-path scope.
+// Never compiled — linted only (tests/lint/lint_golden.cmake).
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+struct Entry {
+  std::uint64_t ts = 0;
+  std::function<void(std::uint64_t)> on_update;  // per-key callable storage
+};
+
+struct NaiveStore {
+  std::unordered_map<std::uint32_t, Entry> table;
+
+  Entry* lookup(std::uint32_t key) {
+    auto it = table.find(key);
+    if (it == table.end()) {
+      auto* fresh = new Entry();  // per-miss allocation in event code
+      (void)fresh;
+      return nullptr;
+    }
+    return &it->second;
+  }
+
+  // Hash order reaches bytes: two replicas with the same contents can
+  // serialize different snapshots.
+  std::string snapshot() const {
+    std::string out;
+    for (const auto& [key, entry] : table) {
+      out += std::to_string(key) + ":" + std::to_string(entry.ts) + ";";
+    }
+    return out;
+  }
+};

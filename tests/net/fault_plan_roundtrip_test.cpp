@@ -69,6 +69,61 @@ TEST(FaultPlanRoundtripTest, ReorderDelayWithoutProbabilityIsNormalized) {
   EXPECT_EQ(rebuilt, plan);
 }
 
+TEST(FaultPlanRoundtripTest, KeyAddressedPlanRoundTrips) {
+  // The key-addressed grammar (docs/SHARDING.md): `k<KEY>` in any node
+  // position, including partition members.
+  FaultPlan plan;
+  plan.crash_key_at(10.0, 12)
+      .recover_key_at(60.0, 12)
+      .slow_key_at(5.0, 7, 2.5)
+      .clear_slow_key_at(25.0, 7)
+      .crash_at(15.0, 3);  // node- and key-addressed events mix freely
+  MessageFaults mf;
+  mf.drop_probability = 0.01;
+  plan.with_message_faults(mf);
+  ASSERT_TRUE(plan.has_key_targets());
+
+  const std::string text = plan.serialize();
+  EXPECT_NE(text.find("crash:k12@"), std::string::npos) << text;
+  EXPECT_NE(text.find("slow:k7*2.5@5"), std::string::npos) << text;
+  const FaultPlan parsed = FaultPlan::parse(text);
+  EXPECT_EQ(parsed, plan);
+  EXPECT_EQ(parsed.serialize(), text);
+  EXPECT_TRUE(parsed.has_key_targets());
+}
+
+TEST(FaultPlanRoundtripTest, KeyAddressedPartitionMembersRoundTrip) {
+  // `a-b` ranges are parse-side sugar; the canonical form lists members.
+  const FaultPlan plan = FaultPlan::parse("partition:0-2,k7|3@9;heal@40");
+  ASSERT_TRUE(plan.has_key_targets());
+  const std::string text = plan.serialize();
+  EXPECT_EQ(text.substr(0, 23), "partition:0,1,2,k7|3@9;") << text;
+  EXPECT_EQ(FaultPlan::parse(text), plan);
+  EXPECT_EQ(FaultPlan::parse(text).serialize(), text);
+}
+
+TEST(FaultPlanRoundtripTest, MutatedKeyAddressedPlansRoundTrip) {
+  // With a keyspace the mutation operator also draws `k<KEY>` targets;
+  // whatever it produces must survive the --replay file contract.
+  util::Rng rng(20260807);
+  bool saw_key_targets = false;
+  for (int trial = 0; trial < 400; ++trial) {
+    FaultPlan plan;
+    const std::size_t edits = 1 + static_cast<std::size_t>(rng.below(10));
+    for (std::size_t i = 0; i < edits; ++i) {
+      plan.mutate(/*num_servers=*/8, /*horizon=*/100.0, rng, /*num_keys=*/32);
+    }
+    if (plan.empty()) continue;
+    saw_key_targets |= plan.has_key_targets();
+    const std::string text = plan.serialize();
+    FaultPlan parsed;
+    ASSERT_NO_THROW(parsed = FaultPlan::parse(text)) << text;
+    EXPECT_EQ(parsed, plan) << text;
+    EXPECT_EQ(parsed.serialize(), text) << text;
+  }
+  EXPECT_TRUE(saw_key_targets);
+}
+
 TEST(FaultPlanRoundtripTest, FromPartsPreservesEventOrderAndKnobs) {
   util::Rng rng(7);
   FaultPlan plan;

@@ -122,6 +122,73 @@ TEST(FaultPlanTest, ParseRejectsBadClauses) {
   EXPECT_THROW(FaultPlan::parse("drop=abc"), std::logic_error);
 }
 
+TEST(FaultPlanTest, ParseAcceptsKeyAddressedTargets) {
+  const FaultPlan plan = FaultPlan::parse(
+      "crash:k12@10;recover:k12@50;outage:k7@20-60;slow:k3*2@5;noslow:k3@25;"
+      "partition:0-2,k7|3@9");
+  ASSERT_TRUE(plan.has_key_targets());
+  ASSERT_EQ(plan.events().size(), 7u);  // outage expands to crash/recover
+  EXPECT_TRUE(plan.events()[0].node_is_key);
+  EXPECT_EQ(plan.events()[0].node, 12u);
+  EXPECT_TRUE(plan.events()[2].node_is_key);  // outage:k7 crash half
+  EXPECT_EQ(plan.events()[2].node, 7u);
+  EXPECT_TRUE(plan.events()[3].node_is_key);  // ...and recover half
+  const auto& part = plan.events()[6];
+  EXPECT_EQ(part.kind, FaultKind::kPartition);
+  ASSERT_EQ(part.group_keys.size(), 2u);
+  EXPECT_EQ(part.group_keys[0], (std::vector<KeyId>{7}));
+  EXPECT_TRUE(part.group_keys[1].empty());
+
+  // Plain plans have no key targets; key ranges are not in the grammar.
+  EXPECT_FALSE(FaultPlan::parse("crash:2@10").has_key_targets());
+  EXPECT_THROW(FaultPlan::parse("crash:k@10"), std::logic_error);
+  EXPECT_THROW(FaultPlan::parse("outage:k1-k3@5-9"), std::logic_error);
+}
+
+TEST(FaultPlanTest, ResolveKeysMapsTargetsToPrimaries) {
+  FaultPlan plan;
+  plan.crash_key_at(10.0, 12).recover_key_at(50.0, 12).crash_at(5.0, 1);
+  FaultPlan part = FaultPlan::parse("partition:0,k9,k4|2@3");
+  ASSERT_TRUE(plan.has_key_targets());
+
+  const auto primary = [](KeyId key) {
+    return static_cast<NodeId>(key % 5);
+  };
+  const FaultPlan resolved = plan.resolve_keys(primary);
+  EXPECT_FALSE(resolved.has_key_targets());
+  EXPECT_EQ(resolved.events()[0].node, 2u);  // 12 % 5
+  EXPECT_FALSE(resolved.events()[0].node_is_key);
+  EXPECT_EQ(resolved.events()[2].node, 1u);  // node targets pass through
+
+  // Partition members fold into the node group, deduplicated: k9 -> 4,
+  // k4 -> 4 (already present after k9).
+  const FaultPlan rpart = part.resolve_keys(primary);
+  EXPECT_FALSE(rpart.has_key_targets());
+  EXPECT_EQ(rpart.events()[0].groups[0], (std::vector<NodeId>{0, 4}));
+  EXPECT_EQ(rpart.events()[0].groups[1], (std::vector<NodeId>{2}));
+
+  // Resolution is a copy: the original still carries its key targets (one
+  // plan can be resolved against several cluster shapes).
+  EXPECT_TRUE(plan.has_key_targets());
+}
+
+TEST(FaultPlanTest, InstallRejectsUnresolvedKeyTargets) {
+  sim::Simulator sim;
+  auto delay = sim::make_constant_delay(0.1);
+  SimTransport transport(sim, *delay, util::Rng(1), 3);
+
+  FaultPlan plan;
+  plan.crash_key_at(10.0, 2);
+  EXPECT_THROW(plan.install(sim, transport), std::logic_error);
+
+  // Resolving unblocks installation.
+  const FaultPlan resolved =
+      plan.resolve_keys([](KeyId key) { return static_cast<NodeId>(key); });
+  resolved.install(sim, transport);
+  sim.run_until(11.0);
+  EXPECT_TRUE(transport.is_crashed(2));
+}
+
 TEST(FaultPlanTest, EmptyConsidersMessageFaults) {
   FaultPlan plan;
   EXPECT_TRUE(plan.empty());

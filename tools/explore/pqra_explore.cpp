@@ -59,7 +59,40 @@ struct CliOptions {
   std::size_t flightrec = 0;
   bool no_shrink = false;
   bool quiet = false;
+  /// Deterministically push every (non-alg1) from_seed profile into a
+  /// multi-key shape before running it — the keyspace sweep used by the
+  /// explore_multikey_smoke tier-1 test (docs/SHARDING.md).
+  bool force_multikey = false;
 };
+
+/// The --force-multikey transform: a pure function of the profile's seed
+/// (dedicated stream 3; from_seed uses 1 and 2), so sweeps stay
+/// reproducible and --jobs-invariant.  alg1 profiles are left alone — the
+/// iterative scenario owns its register layout.
+ScheduleProfile force_multikey(ScheduleProfile p) {
+  if (p.alg1) return p;
+  pqra::util::Rng mk = pqra::util::Rng(p.seed).fork(3);
+  if (p.keys_per_client < 2) {
+    p.keys_per_client = 2 + static_cast<std::size_t>(mk.below(15));
+  }
+  if (p.key_skew == 0.0 && mk.bernoulli(0.5)) {
+    p.key_skew = 0.6 + 0.39 * mk.uniform01();
+  }
+  if (p.replicas == 0 && mk.bernoulli(0.7)) {
+    p.replicas = p.quorum_size + static_cast<std::size_t>(mk.below(
+                     p.num_servers - p.quorum_size + 1));
+    p.ring_vnodes = 4 + static_cast<std::size_t>(mk.below(13));
+  }
+  // Sharded stores have no whole-store snapshot read.
+  if (p.replicas > 0) p.snapshot_reads = false;
+  return p;
+}
+
+ScheduleProfile profile_for(std::uint64_t seed, const CliOptions& opt) {
+  ScheduleProfile p = ScheduleProfile::from_seed(seed);
+  if (opt.force_multikey) p = force_multikey(std::move(p));
+  return p;
+}
 
 int usage(const char* argv0) {
   std::cerr
@@ -85,6 +118,9 @@ int usage(const char* argv0) {
          "                        to <repro>.flightrec.txt (default 0 = "
          "off)\n"
       << "  --no-shrink           report violations without shrinking\n"
+      << "  --force-multikey      push every explored profile into a "
+         "multi-key\n"
+         "                        sharded shape (seed-deterministic)\n"
       << "  --quiet               suppress progress lines\n";
   return 2;
 }
@@ -259,9 +295,8 @@ int explore(const CliOptions& opt) {
     }
     const std::uint64_t base = next_seed;
     const std::vector<RunOutcome> outcomes =
-        pool.map<RunOutcome>(batch, [base](std::size_t i) {
-          return pqra::explore::run_profile(
-              ScheduleProfile::from_seed(base + i));
+        pool.map<RunOutcome>(batch, [base, &opt](std::size_t i) {
+          return pqra::explore::run_profile(profile_for(base + i, opt));
         });
     next_seed += batch;
 
@@ -278,7 +313,7 @@ int explore(const CliOptions& opt) {
 
       ++violations;
       violations_total.inc();
-      const ScheduleProfile profile = ScheduleProfile::from_seed(seed);
+      const ScheduleProfile profile = profile_for(seed, opt);
       std::cerr << "violation: seed=" << seed << " rule=" << out.rule
                 << " fingerprint=" << out.fingerprint << "\n  " << out.detail
                 << "\n";
@@ -431,6 +466,8 @@ int main(int argc, char** argv) {
       opt.flightrec = static_cast<std::size_t>(n);
     } else if (arg == "--no-shrink") {
       opt.no_shrink = true;
+    } else if (arg == "--force-multikey") {
+      opt.force_multikey = true;
     } else if (arg == "--quiet") {
       opt.quiet = true;
     } else {

@@ -84,12 +84,35 @@ ScheduleProfile ScheduleProfile::from_seed(std::uint64_t seed) {
   }
   p.horizon = 60.0 + 120.0 * shape.uniform01();
 
+  // Keyspace shape, appended to the end of the stream so every pre-sharding
+  // dimension keeps its draw position (old seeds reproduce their old
+  // profiles except for these trailing knobs).  alg1 short-circuits before
+  // the bernoulli: iterative profiles consume no keyspace draws at all.
+  if (!p.alg1 && shape.bernoulli(0.35)) {
+    p.keys_per_client = 2 + static_cast<std::size_t>(shape.below(15));
+    p.key_skew =
+        shape.bernoulli(0.5) ? 0.6 + 0.39 * shape.uniform01() : 0.0;
+    if (shape.bernoulli(0.2) && p.num_clients >= 2) {
+      p.writers_per_key = 2;
+    }
+    if (shape.bernoulli(0.6)) {
+      p.replicas = p.quorum_size + static_cast<std::size_t>(shape.below(
+                       p.num_servers - p.quorum_size + 1));
+      p.ring_vnodes = 4 + static_cast<std::size_t>(shape.below(13));
+      // Per-key replica groups have no whole-store read: a snapshot would
+      // have to contact every group (quorum_register_client forbids it).
+      p.snapshot_reads = false;
+    }
+  }
+
   // Fault stream: schedule churn through the same mutation operator the
-  // shrinker understands how to take apart.
+  // shrinker understands how to take apart.  Multi-key profiles expose the
+  // keyspace to the operator so it can draw key-addressed targets.
   util::Rng fault_rng = root.fork(2);
   const std::size_t edits = 1 + static_cast<std::size_t>(fault_rng.below(6));
+  const std::size_t fault_keys = p.keys_per_client > 1 ? p.num_keys() : 0;
   for (std::size_t i = 0; i < edits; ++i) {
-    p.faults.mutate(p.num_servers, p.horizon, fault_rng);
+    p.faults.mutate(p.num_servers, p.horizon, fault_rng, fault_keys);
   }
   if (p.alg1) {
     // Heavy message loss on top of crash churn can push convergence past any
@@ -118,6 +141,12 @@ std::string ScheduleProfile::serialize() const {
   os << "write-back " << (write_back ? 1 : 0) << "\n";
   os << "snapshot-reads " << (snapshot_reads ? 1 : 0) << "\n";
   os << "alg1 " << (alg1 ? 1 : 0) << "\n";
+  os << "keys " << keys_per_client << "\n";
+  os << "key-skew " << util::format_double(key_skew) << "\n";
+  os << "writers-per-key " << writers_per_key << "\n";
+  os << "replicas " << replicas << "\n";
+  os << "vnodes " << ring_vnodes << "\n";
+  os << "bug-cross-key " << (bug_cross_key ? 1 : 0) << "\n";
   os << "gossip " << util::format_double(gossip_interval) << "\n";
   os << "delay " << delay.serialize() << "\n";
   os << "horizon " << util::format_double(horizon) << "\n";
@@ -166,6 +195,20 @@ ScheduleProfile ScheduleProfile::parse(const std::string& text) {
       p.snapshot_reads = parse_bool(value, line);
     } else if (key == "alg1") {
       p.alg1 = parse_bool(value, line);
+    } else if (key == "keys") {
+      // Keyspace keys default when absent so pre-sharding replay files
+      // still parse (they describe single-key runs, which the defaults are).
+      p.keys_per_client = static_cast<std::size_t>(parse_u64(value, line));
+    } else if (key == "key-skew") {
+      p.key_skew = parse_f64(value, line);
+    } else if (key == "writers-per-key") {
+      p.writers_per_key = static_cast<std::size_t>(parse_u64(value, line));
+    } else if (key == "replicas") {
+      p.replicas = static_cast<std::size_t>(parse_u64(value, line));
+    } else if (key == "vnodes") {
+      p.ring_vnodes = static_cast<std::size_t>(parse_u64(value, line));
+    } else if (key == "bug-cross-key") {
+      p.bug_cross_key = parse_bool(value, line);
     } else if (key == "gossip") {
       p.gossip_interval = parse_f64(value, line);
     } else if (key == "delay") {
@@ -186,6 +229,16 @@ ScheduleProfile ScheduleProfile::parse(const std::string& text) {
       (p.snapshot_reads && p.write_back)) {
     throw std::logic_error("profile out of range: " + p.serialize());
   }
+  if (p.keys_per_client == 0 || p.ring_vnodes == 0 ||
+      p.writers_per_key == 0 || p.writers_per_key > p.num_clients ||
+      p.key_skew < 0.0 || p.key_skew >= 1.0 ||
+      (p.replicas != 0 &&
+       (p.replicas < p.quorum_size || p.replicas > p.num_servers)) ||
+      (p.replicas != 0 && p.snapshot_reads) ||
+      (p.alg1 && (p.keys_per_client != 1 || p.writers_per_key != 1 ||
+                  p.key_skew != 0.0 || p.replicas != 0 || p.bug_cross_key))) {
+    throw std::logic_error("profile keyspace out of range: " + p.serialize());
+  }
   return p;
 }
 
@@ -201,11 +254,46 @@ std::size_t ScheduleProfile::cost() const {
       static_cast<std::size_t>(read_repair) +
       static_cast<std::size_t>(write_back) +
       static_cast<std::size_t>(snapshot_reads);
+  // Keyspace terms are zero at the single-key defaults, so legacy costs are
+  // unchanged; extra keys weigh enough that halving the keyspace beats
+  // trimming a flag.
+  const std::size_t key_knobs =
+      static_cast<std::size_t>(key_skew > 0.0) +
+      static_cast<std::size_t>(writers_per_key > 1) +
+      static_cast<std::size_t>(replicas > 0);
   // Fault events dominate (removing one always wins), then workload size,
   // then cluster shape and the horizon so every shrinking pass can lower it.
   return 16 * faults.events().size() + num_clients * ops_per_client +
          num_servers + quorum_size + 4 * knobs + 2 * flags +
+         8 * (keys_per_client - 1) + 2 * key_knobs +
          static_cast<std::size_t>(horizon);
+}
+
+void ScheduleProfile::mutate_keyspace(util::Rng& rng) {
+  switch (rng.below(5)) {
+    case 0:  // resize the per-client keyspace, [1, 16]
+      keys_per_client = 1 + static_cast<std::size_t>(rng.below(16));
+      break;
+    case 1:  // toggle / redraw read skew
+      key_skew = rng.bernoulli(0.5) ? 0.6 + 0.39 * rng.uniform01() : 0.0;
+      break;
+    case 2:  // contended keys (capped by the client count)
+      writers_per_key =
+          1 + static_cast<std::size_t>(rng.below(num_clients));
+      break;
+    case 3:  // shard onto a ring, or back to full replication
+      if (rng.bernoulli(0.5)) {
+        replicas = quorum_size + static_cast<std::size_t>(rng.below(
+                       num_servers - quorum_size + 1));
+        snapshot_reads = false;
+      } else {
+        replicas = 0;
+      }
+      break;
+    default:  // re-balance the ring
+      ring_vnodes = 1 + static_cast<std::size_t>(rng.below(16));
+      break;
+  }
 }
 
 }  // namespace pqra::explore

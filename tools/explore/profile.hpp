@@ -51,6 +51,35 @@ struct ScheduleProfile {
   /// run to convergence under the same schedule dimensions.
   bool alg1 = false;
 
+  /// Keyspace shape (docs/SHARDING.md).  The defaults reproduce the
+  /// pre-sharding workload draw-for-draw: one key per client, uniform
+  /// reads, single writer, full replication.  alg1 profiles keep the
+  /// defaults (the iterative scenario owns its register layout).
+  ///
+  /// Keys per client: client i of c owns keys {i, i+c, i+2c, ...}, so the
+  /// run's keyspace has keys_per_client * num_clients keys.
+  std::size_t keys_per_client = 1;
+  /// Zipfian theta in [0, 1) for read key choice; 0 = uniform (and, being
+  /// the legacy value, preserves the legacy draw).  util::Zipfian.
+  double key_skew = 0.0;
+  /// Writers per key: client i writes the keys owned by clients
+  /// i .. i+w-1 (mod c).  w > 1 means contended keys, so the runner drops
+  /// the single-writer checker for such profiles.
+  std::size_t writers_per_key = 1;
+  /// Replica-group size under consistent hashing; 0 = every server
+  /// replicates every key (the legacy full-replication layout).  When > 0
+  /// the quorum system is sized to the group (quorum_size <= replicas) and
+  /// snapshot reads are unavailable (whole-store reads don't shard).
+  std::size_t replicas = 0;
+  /// Virtual nodes per server on the ring (only read when replicas > 0).
+  std::size_t ring_vnodes = 8;
+  /// Test-only seeded bug (Replica::set_test_cross_key_probe_bug): replicas
+  /// leak key k^1's entry into reads of key k.  Never drawn by from_seed;
+  /// the shrink drill (tests/integration/explore_multikey_test.cpp) plants
+  /// it to prove the key-partitioned [R2] checker catches cross-key
+  /// contamination and shrinks it to a minimal keyspace.
+  bool bug_cross_key = false;
+
   /// Server anti-entropy period; 0 disables gossip.
   sim::Time gossip_interval = 0.0;
 
@@ -94,6 +123,17 @@ struct ScheduleProfile {
   /// knobs + option flags + horizon.  The shrinker only accepts candidates
   /// whose cost does not grow.
   std::size_t cost() const;
+
+  /// Total keys in the direct workload's keyspace.
+  std::size_t num_keys() const { return keys_per_client * num_clients; }
+
+  /// One random edit of the keyspace knobs (the keyspace analogue of
+  /// FaultPlan::mutate, and the hook regression hunts use to push a profile
+  /// into sharded shapes).  Keeps the profile valid: replicas stays within
+  /// [quorum_size, num_servers] and snapshot reads are dropped when a ring
+  /// appears.  bug_cross_key is not a schedule dimension and is never
+  /// touched.
+  void mutate_keyspace(util::Rng& rng);
 
   friend bool operator==(const ScheduleProfile&,
                          const ScheduleProfile&) = default;

@@ -2,11 +2,13 @@
 
 #include <deque>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <vector>
 
 #include "apps/apsp.hpp"
 #include "apps/graph.hpp"
+#include "core/keyspace/hash_ring.hpp"
 #include "core/quorum_register_client.hpp"
 #include "core/server_process.hpp"
 #include "core/spec/batch.hpp"
@@ -16,6 +18,7 @@
 #include "quorum/probabilistic.hpp"
 #include "sim/profiler.hpp"
 #include "util/codec.hpp"
+#include "util/zipf.hpp"
 
 namespace pqra::explore {
 
@@ -59,6 +62,15 @@ struct ClientDriver {
   core::RegisterId own_reg = 0;
   bool snapshot_reads = false;
   std::int64_t next_value = 0;
+  // Keyspace shape (docs/SHARDING.md).  Key k = slot * num_clients + owner,
+  // so the single-key defaults collapse to the legacy workload with the
+  // exact same draw sequence: writes target own_reg without a draw, reads
+  // draw uniformly over num_regs (== num_clients when keys_per_client is 1).
+  std::size_t keys_per_client = 1;
+  std::size_t writers_per_key = 1;
+  std::size_t num_clients = 1;
+  std::size_t own_index = 0;
+  const util::Zipfian* zipf = nullptr;
 
   void step() {
     if (remaining == 0) return;
@@ -67,10 +79,34 @@ struct ClientDriver {
                      [this] { issue(); });
   }
 
+  core::RegisterId pick_write_key() {
+    if (keys_per_client == 1 && writers_per_key == 1) return own_reg;
+    const std::size_t slot =
+        keys_per_client > 1 ? static_cast<std::size_t>(rng.below(
+                                  keys_per_client))
+                            : 0;
+    // writers_per_key > 1: this client also writes keys owned by the next
+    // w-1 clients (mod c), making those keys contended.
+    const std::size_t owner =
+        writers_per_key > 1
+            ? (own_index + static_cast<std::size_t>(rng.below(
+                               writers_per_key))) %
+                  num_clients
+            : own_index;
+    return static_cast<core::RegisterId>(slot * num_clients + owner);
+  }
+
+  core::RegisterId pick_read_key() {
+    if (zipf != nullptr) {
+      return static_cast<core::RegisterId>(zipf->draw(rng));
+    }
+    return static_cast<core::RegisterId>(rng.below(num_regs));
+  }
+
   void issue() {
     if (rng.bernoulli(0.4)) {
       ++next_value;
-      client->write(own_reg, util::encode(next_value),
+      client->write(pick_write_key(), util::encode(next_value),
                     [this](core::Timestamp) { step(); });
     } else if (snapshot_reads && rng.bernoulli(0.3)) {
       std::vector<core::RegisterId> regs;
@@ -81,22 +117,33 @@ struct ClientDriver {
       client->read_snapshot(std::move(regs),
                             [this](std::vector<core::ReadResult>) { step(); });
     } else {
-      const auto reg = static_cast<core::RegisterId>(rng.below(num_regs));
-      client->read(reg, [this](core::ReadResult) { step(); });
+      client->read(pick_read_key(), [this](core::ReadResult) { step(); });
     }
   }
 };
 
-/// Direct register workload: clients [n, n+c) against servers [0, n), one
-/// register per client (client i is register i's single writer).
+/// Direct register workload: clients [n, n+c) against servers [0, n).
+/// Single-key profiles give each client one register (client i is register
+/// i's single writer); multi-key profiles spread keys_per_client keys per
+/// client over the keyspace, optionally Zipf-skewed reads, contended
+/// writers, and consistent-hash replica groups (docs/SHARDING.md).
 RunOutcome run_direct(const ScheduleProfile& p,
                       obs::FlightRecorder* recorder) {
   RunOutcome out;
   util::Rng master(p.seed);
   const auto n = static_cast<net::NodeId>(p.num_servers);
   const std::size_t c = p.num_clients;
+  const std::size_t total_keys = p.num_keys();
+  const bool sharded = p.replicas > 0;
 
-  quorum::ProbabilisticQuorums quorums(p.num_servers, p.quorum_size);
+  core::keyspace::HashRing ring(p.ring_vnodes);
+  if (sharded) {
+    for (net::NodeId s = 0; s < n; ++s) ring.add_node(s);
+  }
+  // Sharded runs size the quorum system to the replica group: ServerId on
+  // the wire is a position within the key's group, resolved per key.
+  quorum::ProbabilisticQuorums quorums(sharded ? p.replicas : p.num_servers,
+                                       p.quorum_size);
   sim::Simulator sim;
   const std::unique_ptr<sim::DelayModel> delay = p.delay.make();
   net::SimTransport transport(sim, *delay, master.fork(10),
@@ -115,6 +162,9 @@ RunOutcome run_direct(const ScheduleProfile& p,
     } else {
       servers.emplace_back(transport, s);
     }
+    if (p.bug_cross_key) {
+      servers.back().replica().set_test_cross_key_probe_bug(true);
+    }
   }
 
   spec::HistoryRecorder history;
@@ -123,6 +173,7 @@ RunOutcome run_direct(const ScheduleProfile& p,
   options.read_repair = p.read_repair;
   options.write_back = p.write_back;
   options.retry = explore_retry();
+  if (sharded) options.ring = &ring;
 
   std::deque<core::QuorumRegisterClient> clients;
   for (std::size_t i = 0; i < c; ++i) {
@@ -132,15 +183,29 @@ RunOutcome run_direct(const ScheduleProfile& p,
                          &history);
   }
 
-  // Every register carries a preloaded initial so reads before the first
-  // write are well-defined for [R2].
-  for (std::size_t r = 0; r < c; ++r) {
+  // Every key carries a preloaded initial so reads before the first write
+  // are well-defined for [R2] — on every server under full replication, on
+  // the key's ring group only when sharded.
+  std::vector<net::NodeId> group;
+  for (std::size_t r = 0; r < total_keys; ++r) {
     const auto reg = static_cast<core::RegisterId>(r);
-    for (core::ServerProcess& s : servers) {
-      s.replica().preload(reg, util::encode<std::int64_t>(0));
+    if (sharded) {
+      ring.replica_group(reg, p.replicas, group);
+      for (net::NodeId owner : group) {
+        servers[owner].replica().preload(reg, util::encode<std::int64_t>(0));
+      }
+    } else {
+      for (core::ServerProcess& s : servers) {
+        s.replica().preload(reg, util::encode<std::int64_t>(0));
+      }
     }
     history.record_initial(reg);
   }
+
+  // Zipfian read skew over the whole keyspace; shared by all drivers (each
+  // draw consumes one uniform from the calling driver's own stream).
+  std::optional<util::Zipfian> zipf;
+  if (p.key_skew > 0.0) zipf.emplace(total_keys, p.key_skew);
 
   std::deque<ClientDriver> drivers;
   for (std::size_t i = 0; i < c; ++i) {
@@ -149,13 +214,27 @@ RunOutcome run_direct(const ScheduleProfile& p,
     d.client = &clients[i];
     d.rng = master.fork(900 + i);
     d.remaining = p.ops_per_client;
-    d.num_regs = c;
+    d.num_regs = total_keys;
     d.own_reg = static_cast<core::RegisterId>(i);
     d.snapshot_reads = p.snapshot_reads;
+    d.keys_per_client = p.keys_per_client;
+    d.writers_per_key = p.writers_per_key;
+    d.num_clients = c;
+    d.own_index = i;
+    if (zipf.has_value()) d.zipf = &*zipf;
     drivers.push_back(d);
   }
 
-  p.faults.install(sim, transport);
+  // Key-addressed fault targets resolve to the key's primary owner — ring
+  // primary when sharded, round-robin owner otherwise.
+  net::FaultPlan plan = p.faults;
+  if (plan.has_key_targets()) {
+    plan = plan.resolve_keys([&](net::KeyId key) {
+      return sharded ? ring.primary(key)
+                     : static_cast<net::NodeId>(key % p.num_servers);
+    });
+  }
+  plan.install(sim, transport);
   // Horizon recovery, scheduled AFTER the plan so plan events at exactly
   // the horizon fire first: from here on the cluster is fault-free and all
   // pending operations can complete — [R1] stays a checkable property.
@@ -202,10 +281,19 @@ RunOutcome run_direct(const ScheduleProfile& p,
 
   spec::BatchOptions bo;
   bo.r4 = p.check_monotone;
-  const spec::BatchResult batch = spec::check_batch(history.ops(), bo);
+  // Contended keys have several writers with independent timestamp
+  // counters, so the single-writer rule is out of spec for them.
+  bo.single_writer = p.writers_per_key == 1;
+  // Key-partitioned check: same verdict as check_batch (every rule is
+  // per-key independent), but the first failure is attributed (rule, key).
+  // out.rule stays the bare rule id — the shrinker's same-rule acceptance
+  // and repro-file headers key on it — while the keyed attribution rides in
+  // out.detail.
+  const spec::KeyedBatchResult batch =
+      spec::check_batch_by_key(history.ops(), bo);
   if (!batch.ok()) {
     out.violation = true;
-    out.rule = spec::rule_id(batch.first_failure()->rule);
+    out.rule = spec::rule_id(batch.first->rule);
     out.detail = batch.summary();
   } else if (!probe_failures.ok) {
     out.violation = true;

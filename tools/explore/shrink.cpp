@@ -82,6 +82,41 @@ std::vector<ScheduleProfile> candidates(const ScheduleProfile& cur) {
   if (cur.num_clients > 1) {
     ScheduleProfile c = cur;
     c.num_clients = cur.num_clients - 1;
+    // Contention can't exceed the client count (profile invariant).
+    c.writers_per_key = std::min(c.writers_per_key, c.num_clients);
+    out.push_back(std::move(c));
+  }
+
+  // Keyspace reductions (docs/SHARDING.md): shrink toward the single-key,
+  // uniform, single-writer, fully-replicated legacy shape.
+  if (cur.keys_per_client > 1) {
+    ScheduleProfile c = cur;
+    c.keys_per_client = std::max<std::size_t>(1, cur.keys_per_client / 2);
+    out.push_back(std::move(c));
+  }
+  if (cur.keys_per_client > 1) {
+    ScheduleProfile c = cur;
+    c.keys_per_client = cur.keys_per_client - 1;
+    out.push_back(std::move(c));
+  }
+  if (cur.key_skew > 0.0) {
+    ScheduleProfile c = cur;
+    c.key_skew = 0.0;
+    out.push_back(std::move(c));
+  }
+  if (cur.writers_per_key > 1) {
+    ScheduleProfile c = cur;
+    c.writers_per_key = 1;
+    out.push_back(std::move(c));
+  }
+  if (cur.replicas > 0) {
+    ScheduleProfile c = cur;
+    c.replicas = 0;  // back to full replication
+    out.push_back(std::move(c));
+  }
+  if (cur.replicas > cur.quorum_size) {
+    ScheduleProfile c = cur;
+    c.replicas = cur.replicas - 1;
     out.push_back(std::move(c));
   }
 
