@@ -12,6 +12,8 @@
 ///                   hardware concurrency).  Output is byte-identical for
 ///                   any value — see docs/PERFORMANCE.md.
 
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -42,6 +44,42 @@ inline std::size_t env_runs(std::size_t fallback = 7) {
 /// Worker threads for the replication loops (sim::ParallelRunner); 0 means
 /// hardware concurrency.
 inline std::size_t env_jobs() { return env_size_t("PQRA_JOBS", 0); }
+
+/// Wall-clock scope behind the standard stderr timing line
+///
+///   timing: <runs> runs in <wall> s wall (jobs=<jobs>) | <rate> events/s
+///
+/// — the same format examples/experiment_cli.cpp emits and
+/// bench/run_benches.sh scrapes into the events_per_s JSON field.  Construct
+/// at the top of main(), feed it work units as they complete (simulated
+/// events where a DES runs; samples for the analytic sweeps), and call
+/// emit() once before returning.  Not thread-safe: fold per-run counts in
+/// after a ParallelRunner::map, not inside it.
+class Timing {
+ public:
+  Timing() : start_(std::chrono::steady_clock::now()) {}
+
+  void add(std::uint64_t events, std::size_t runs = 1) {
+    events_ += events;
+    runs_ += runs;
+  }
+
+  void emit(std::size_t jobs) const {
+    double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    std::fprintf(stderr,
+                 "timing: %zu runs in %.3f s wall (jobs=%zu) | %.0f events/s\n",
+                 runs_, wall, jobs,
+                 wall > 0.0 ? static_cast<double>(events_) / wall : 0.0);
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+  std::uint64_t events_ = 0;
+  std::size_t runs_ = 0;
+};
 
 /// Fixed-width table writer.
 class Table {

@@ -25,8 +25,9 @@ namespace {
 
 using namespace pqra;
 
-void sweep(sim::ParallelRunner& pool, const iter::AcoOperator& op,
-           std::size_t n, std::size_t runs, std::uint64_t seed) {
+void sweep(sim::ParallelRunner& pool, bench::Timing& timing,
+           const iter::AcoOperator& op, std::size_t n, std::size_t runs,
+           std::uint64_t seed) {
   std::printf("%s  (m = %zu components, n = %zu replicas, %zu runs)\n",
               op.name().c_str(), op.num_components(), n, runs);
   bench::Table table({"k", "rounds", "pseudocycles", "msgs/round"}, 14);
@@ -51,6 +52,7 @@ void sweep(sim::ParallelRunner& pool, const iter::AcoOperator& op,
         });
     util::OnlineStats rounds, pcs, mpr;
     for (const iter::Alg1Result& r : rs) {
+      timing.add(r.events_processed);
       if (!r.converged) continue;
       rounds.add(static_cast<double>(r.rounds));
       pcs.add(static_cast<double>(r.pseudocycles));
@@ -74,26 +76,28 @@ int main() {
   const std::size_t scale = bench::env_fast() ? 8 : 16;
   util::Rng gen(seed);
   sim::ParallelRunner pool(bench::env_jobs());
+  bench::Timing timing;
 
   std::printf("ACO applications over monotone probabilistic quorum "
               "registers — rounds vs quorum size\n\n");
 
   apps::Graph tc_graph = apps::make_chain(scale);
   apps::TransitiveClosureOperator tc(tc_graph);
-  sweep(pool, tc, scale, runs, seed);
+  sweep(pool, timing, tc, scale, runs, seed);
 
   // Ordering chain: arc consistency must propagate pruning across the whole
   // variable chain, so convergence depth scales with m.
   apps::Csp csp = apps::make_ordering_csp(scale, scale);
   apps::ArcConsistencyOperator ac(std::move(csp));
-  sweep(pool, ac, scale, runs, seed + 1000);
+  sweep(pool, timing, ac, scale, runs, seed + 1000);
 
   apps::LinearSystem sys = apps::make_dominant_system(scale, 0.7, gen);
   apps::JacobiOperator jacobi(std::move(sys), 1e-6);
-  sweep(pool, jacobi, scale, runs, seed + 2000);
+  sweep(pool, timing, jacobi, scale, runs, seed + 2000);
 
   std::printf("same story as Figure 2 in all three domains: small quorums "
               "converge with modest extra rounds, and by k ~ 4 the monotone "
               "register matches strict behaviour.\n");
+  timing.emit(pool.jobs());
   return 0;
 }

@@ -36,7 +36,7 @@ using namespace pqra;
 /// run_alg1's setup (monotone clients, p = m).
 double rounds_under(const apps::ApspOperator& op, std::size_t k,
                     sim::DelayModel& delays, std::size_t runs,
-                    std::uint64_t seed) {
+                    std::uint64_t seed, bench::Timing* timing) {
   util::OnlineStats rounds;
   for (std::size_t run = 0; run < runs; ++run) {
     // run_alg1 hard-codes the two §7 models, so the generic-delay path
@@ -117,6 +117,7 @@ double rounds_under(const apps::ApspOperator& op, std::size_t k,
     }
     for (std::size_t i = 0; i < m; ++i) start(i);
     sim.run();
+    if (timing != nullptr) timing->add(sim.events_processed());
     if (done) rounds.add(static_cast<double>(final_rounds));
   }
   return rounds.mean();
@@ -146,6 +147,7 @@ int main() {
                         0.1, std::log(0.9) - 0.9 * 0.9 / 2.0, 0.9)},
   };
 
+  bench::Timing timing;
   std::printf("delay-model ablation — APSP on a %zu-chain, monotone "
               "registers, mean delay 1 in every model (%zu runs)\n\n",
               chain, runs);
@@ -155,7 +157,7 @@ int main() {
   for (std::size_t k : {1u, 2u, 4u, 8u}) {
     table.cell(k);
     for (Model& m : models) {
-      table.cell(rounds_under(op, k, *m.model, runs, seed + k), 2);
+      table.cell(rounds_under(op, k, *m.model, runs, seed + k, &timing), 2);
     }
     table.end_row();
     std::fflush(stdout);
@@ -164,5 +166,6 @@ int main() {
               "structure averages the delay distribution out, so rounds to "
               "convergence are nearly model-independent (heavy tails only "
               "stretch wall-clock time, visible in op_latency).\n");
+  timing.emit(1);
   return 0;
 }

@@ -31,6 +31,7 @@ using namespace pqra;
 struct CellResult {
   double mean_rounds = 0.0;
   bool capped = false;  // some run hit the round cap: value is a lower bound
+  std::uint64_t events = 0;  // simulator events across the cell's runs
 };
 
 CellResult run_cell(sim::ParallelRunner& pool, const apps::ApspOperator& op,
@@ -44,6 +45,7 @@ CellResult run_cell(sim::ParallelRunner& pool, const apps::ApspOperator& op,
   struct RunOut {
     double rounds = 0.0;
     bool converged = false;
+    std::uint64_t events = 0;
   };
   std::vector<RunOut> outs = pool.map<RunOut>(runs, [&](std::size_t run) {
     iter::Alg1Options options;
@@ -54,12 +56,14 @@ CellResult run_cell(sim::ParallelRunner& pool, const apps::ApspOperator& op,
     options.seed = seed_base + run * 9973 + k * 131 +
                    (monotone ? 17 : 0) + (synchronous ? 5 : 0);
     iter::Alg1Result r = iter::run_alg1(op, options);
-    return RunOut{static_cast<double>(r.rounds), r.converged};
+    return RunOut{static_cast<double>(r.rounds), r.converged,
+                  r.events_processed};
   });
   util::OnlineStats rounds;
   CellResult cell;
   for (const RunOut& o : outs) {
     rounds.add(o.rounds);
+    cell.events += o.events;
     if (!o.converged) cell.capped = true;
   }
   cell.mean_rounds = rounds.mean();
@@ -98,6 +102,7 @@ int main() {
               plain_cap);
 
   sim::ParallelRunner pool(bench::env_jobs());
+  bench::Timing timing;
 
   bench::Table table({"k", "cor7_bound", "mono_sync", "mono_async",
                       "plain_sync", "plain_async"});
@@ -113,6 +118,9 @@ int main() {
         run_cell(pool, op, n, k, false, true, runs, plain_cap, seed + 2);
     CellResult plain_async =
         run_cell(pool, op, n, k, false, false, runs, plain_cap, seed + 3);
+    timing.add(mono_sync.events + mono_async.events + plain_sync.events +
+                   plain_async.events,
+               4 * runs);
 
     table.cell(k);
     table.cell(bound);
@@ -129,5 +137,6 @@ int main() {
               "strict optimum of ~%zu rounds; non-monotone is worse than the "
               "monotone bound for k > 3.\n",
               M);
+  timing.emit(pool.jobs());
   return 0;
 }

@@ -61,6 +61,7 @@ int main() {
     double surv_w = 0.0;
   };
   sim::ParallelRunner pool(bench::env_jobs());
+  bench::Timing timing;
   std::vector<Row> rows = pool.map<Row>(systems.size(), [&](std::size_t i) {
     const QuorumSystem& qs = *systems[i];
     util::Rng rng = master.fork(100 + i);
@@ -71,6 +72,11 @@ int main() {
     row.surv_w = survival_probability(qs, AccessKind::kWrite, 0.3, rng, trials);
     return row;
   });
+  // One "event" per Monte-Carlo draw (2 load estimates + 2 survival runs
+  // per system); folded after the map (Timing is not thread-safe).
+  timing.add(static_cast<std::uint64_t>(systems.size()) *
+                 (2 * samples + 2 * trials),
+             systems.size());
   for (std::size_t i = 0; i < systems.size(); ++i) {
     const auto& qs = systems[i];
     std::size_t n = qs->num_servers();
@@ -98,5 +104,6 @@ int main() {
       "availability but load ~1/2.\nprobabilistic(k~sqrt n) achieves BOTH: "
       "load k/n ~ 1/sqrt(n) and availability n-k+1 = Theta(n) — the headline "
       "of Malkhi et al. reviewed in §4.\n");
+  timing.emit(pool.jobs());
   return 0;
 }

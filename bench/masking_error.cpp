@@ -98,6 +98,7 @@ int main() {
   const std::size_t reads = bench::env_fast() ? 100 : 400;
   util::Rng rng(bench::env_seed());
 
+  bench::Timing timing;
   const std::size_t n = 100;
   std::printf("masking quorums over n = %zu servers: error = P[|R∩W| <= 2b] "
               "(%zu trials per point)\n\n",
@@ -110,6 +111,7 @@ int main() {
       table.cell(k);
       table.cell(util::masking_error_probability(n, k, b), 5);
       table.cell(empirical_mask_error(n, k, b, trials, rng), 5);
+      timing.add(trials);  // one "event" per Monte-Carlo overlap draw
       table.end_row();
     }
     std::printf("\n");
@@ -125,7 +127,9 @@ int main() {
                                 {20, 10, 2},
                             {20, 14, 3},
                             {50, 25, 5}}) {
-    AttackOutcome out = run_attack(an, ak, ab, reads, bench::env_seed() + idx++);
+    AttackOutcome out =
+        run_attack(an, ak, ab, reads, bench::env_seed() + idx++);
+    timing.add(reads);  // one "event" per attacked read
     attack.cell(an);
     attack.cell(ak);
     attack.cell(ab);
@@ -137,5 +141,6 @@ int main() {
               "reach b+1 vouchers.  'unvouched' reads are the liveness "
               "price, shrinking as k grows (the analytic table's error "
               "column).\n");
+  timing.emit(1);
   return 0;
 }

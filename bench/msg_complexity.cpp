@@ -44,7 +44,7 @@ struct Row {
 
 Row measure(const std::string& label, const quorum::QuorumSystem& qs,
             bool monotone, const apps::ApspOperator& op, std::size_t runs,
-            std::uint64_t seed) {
+            std::uint64_t seed, bench::Timing& timing) {
   Row row;
   row.label = label;
   row.n = qs.num_servers();
@@ -62,6 +62,7 @@ Row measure(const std::string& label, const quorum::QuorumSystem& qs,
     options.round_cap = 50000;
     options.metrics = &registry;
     iter::Alg1Result r = iter::run_alg1(op, options);
+    timing.add(r.events_processed);
     if (!r.converged || r.pseudocycles == 0) continue;
     const double msgs_total = static_cast<double>(
         registry.counter(obs::names::kTransportMessages, "").value());
@@ -102,16 +103,17 @@ int main() {
   quorum::GridQuorums grid(6, 6);                  // n = 36, k = 11
   quorum::ProbabilisticQuorums prob_maj(31, 16);   // probabilistic, big k
 
+  bench::Timing timing;
   bench::Table table({"strategy", "n", "k", "rounds/pc", "msgs/pc(sim)",
                       "msgs/pc(model)"},
                      15);
   table.print_header();
   Row rows[] = {
-      measure("prob k=sqrt(n)", prob_sqrt, true, op, runs, seed),
-      measure("majority", majority, false, op, runs, seed + 100),
-      measure("fpp k~sqrt(n)", fpp, false, op, runs, seed + 200),
-      measure("grid 6x6", grid, false, op, runs, seed + 300),
-      measure("prob k=n/2+1", prob_maj, true, op, runs, seed + 400),
+      measure("prob k=sqrt(n)", prob_sqrt, true, op, runs, seed, timing),
+      measure("majority", majority, false, op, runs, seed + 100, timing),
+      measure("fpp k~sqrt(n)", fpp, false, op, runs, seed + 200, timing),
+      measure("grid 6x6", grid, false, op, runs, seed + 300, timing),
+      measure("prob k=n/2+1", prob_maj, true, op, runs, seed + 400, timing),
   };
   for (const Row& row : rows) {
     table.cell(row.label);
@@ -159,5 +161,6 @@ int main() {
       "sqrt(n)) message complexity (the strict system pays with Theta(sqrt "
       "n) availability instead, see load_availability)\n",
       ratio_opt_load);
+  timing.emit(1);
   return 0;
 }

@@ -37,6 +37,7 @@ double expected_max_erlang2(std::size_t k, double step = 0.001,
 }  // namespace
 
 int main() {
+  bench::Timing timing;
   const std::size_t runs = bench::env_runs(3);
   const std::uint64_t seed = bench::env_seed();
   const std::size_t chain = bench::env_fast() ? 8 : 12;
@@ -66,7 +67,7 @@ int main() {
         options.seed = seed + run * 17 + k;
         options.round_cap = 5000;
         options.metrics = synchronous ? &sync_reg : &async_reg;
-        iter::run_alg1(op, options);
+        timing.add(iter::run_alg1(op, options).events_processed);
       }
     }
     namespace names = obs::names;
@@ -82,5 +83,6 @@ int main() {
               "latency tracks the expected max of k Erlang(2) round trips — "
               "the per-op price of larger quorums that §6.4's message counts "
               "do not show.\n");
+  timing.emit(1);
   return 0;
 }

@@ -15,6 +15,7 @@ int main() {
   using namespace pqra;
   const std::size_t trials = bench::env_fast() ? 2000 : 20000;
   util::Rng rng(bench::env_seed());
+  bench::Timing timing;
 
   const std::size_t n = 34;
   std::printf("[R3] / Theorem 1: P[write survives l subsequent writes] "
@@ -27,6 +28,7 @@ int main() {
     quorum::ProbabilisticQuorums qs(n, k);
     for (std::size_t l : {1u, 2u, 5u, 10u, 20u, 50u}) {
       double sim = core::spec::r3_survival_rate(qs, l, trials, rng);
+      timing.add(trials);  // one "event" per simulated write sequence
       double bound = util::r3_survival_bound(n, k, l);
       table.cell(k);
       table.cell(l);
@@ -39,5 +41,6 @@ int main() {
   std::printf("every simulated value sits at or below its bound (within "
               "Monte-Carlo noise), and both columns decay to zero: each "
               "write is eventually forgotten.\n");
+  timing.emit(1);
   return 0;
 }

@@ -24,6 +24,7 @@ struct ModeResult {
   double rounds = 0.0;
   double msgs = 0.0;
   bool capped = false;
+  std::uint64_t events = 0;  // simulator events across the cell's runs
 };
 
 struct Mode {
@@ -52,6 +53,7 @@ ModeResult run_mode(const apps::ApspOperator& op, std::size_t n,
     options.round_cap = 400;
     options.seed = seed + run * 37 + k;
     iter::Alg1Result r = iter::run_alg1(op, options);
+    out.events += r.events_processed;
     rounds.add(static_cast<double>(r.rounds));
     msgs.add(static_cast<double>(r.messages.total));
     if (!r.converged) out.capped = true;
@@ -81,6 +83,7 @@ int main() {
               "replicas, synchronous, %zu runs (rounds to convergence; "
               "msg = total messages of the monotone run)\n\n",
               chain, chain, runs);
+  bench::Timing timing;
   bench::Table table({"k", "plain", "monotone", "mono+repair", "atomic(wb)",
                       "mono+gossip", "mono+snap"},
                      13);
@@ -96,6 +99,9 @@ int main() {
         run_mode(op, chain, k, {.gossip = 2.0}, runs, seed);
     ModeResult snap =
         run_mode(op, chain, k, {.snapshot = true}, runs, seed);
+    timing.add(plain.events + mono.events + repair.events + wb.events +
+                   gossip.events + snap.events,
+               6 * runs);
     mono_row.push_back(mono);
     snap_row.push_back(snap);
     table.cell(k);
@@ -118,5 +124,6 @@ int main() {
               "read re-writes a full quorum) and additionally buys "
               "atomicity, at double the read latency; server gossip rescues "
               "k = 1 entirely.\n");
+  timing.emit(1);
   return 0;
 }

@@ -92,15 +92,32 @@ RATE[cli_apsp_par]=$(events_rate "$cli_par_err")
 # 3. Figure-2 sweep (fast preset): end-to-end harness cost, many small runs.
 time_best fig2 env PQRA_FAST=1 "$BENCH/fig2_rounds"
 WALL[fig2_rounds_fast]=$fig2_wall
+RATE[fig2_rounds_fast]=$(events_rate "$fig2_err")
 
 # 4. Convergence sweep over three applications (fast preset).
 time_best conv env PQRA_FAST=1 "$BENCH/convergence_apps"
 WALL[convergence_apps_fast]=$conv_wall
+RATE[convergence_apps_fast]=$(events_rate "$conv_err")
 
 # 5. Theorem-4 Monte Carlo (fast preset): quorum sampling throughput
 #    (exercises Rng::sample_without_replacement scratch reuse).
 time_best thm4 env PQRA_FAST=1 "$BENCH/theorem4_q"
 WALL[theorem4_q_fast]=$thm4_wall
+RATE[theorem4_q_fast]=$(events_rate "$thm4_err")
+
+# 6. Sharded multi-key store at scale: 100k keys, 64 clients — the
+#    batched-fan-out + calendar-queue stress case (one quorum fan-out per
+#    client op, huge pending set from the retry timers).
+time_best store "$CLI" app=store keys=100000 clients=64 ops=400 servers=32 \
+  replicas=3 k=2 runs=3 seed=1 jobs=1
+WALL[cli_store_100k]=$store_wall
+RATE[cli_store_100k]=$(events_rate "$store_err")
+
+# 7. Event-queue microbenchmark (fast preset): hold-model throughput of the
+#    calendar queue vs the binary heap in isolation.
+time_best qmicro env PQRA_FAST=1 "$BENCH/queue_micro"
+WALL[queue_micro_fast]=$qmicro_wall
+RATE[queue_micro_fast]=$(events_rate "$qmicro_err")
 
 # ops/s where a natural operation count exists.
 OPS[fig2_rounds_fast]=""    # rounds vary per cell; wall_s is the figure
@@ -119,7 +136,8 @@ done
   printf '  "benches": {\n'
   first=1
   for name in cli_apsp_seq cli_apsp_par fig2_rounds_fast \
-              convergence_apps_fast theorem4_q_fast; do
+              convergence_apps_fast theorem4_q_fast cli_store_100k \
+              queue_micro_fast; do
     [ $first -eq 0 ] && printf ',\n'
     first=0
     printf '    "%s": { "wall_s": %s, "events_per_s": %s }' \

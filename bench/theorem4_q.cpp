@@ -49,6 +49,7 @@ int main() {
     double tail3 = 0.0;
   };
   sim::ParallelRunner pool(bench::env_jobs());
+  bench::Timing timing;
   std::vector<Row> rows = pool.map<Row>(configs.size(), [&](std::size_t i) {
     const auto [n, k] = configs[i];
     quorum::ProbabilisticQuorums qs(n, k);
@@ -63,6 +64,10 @@ int main() {
     row.tail3 /= static_cast<double>(ys.size());
     return row;
   });
+  // One "event" per simulated write; folded after the map (Timing is not
+  // thread-safe).
+  timing.add(static_cast<std::uint64_t>(configs.size()) * samples,
+             configs.size());
 
   for (std::size_t i = 0; i < configs.size(); ++i) {
     const auto [n, k] = configs[i];
@@ -96,5 +101,6 @@ int main() {
   }
   std::printf("\n§6.4 check: with k = sqrt(n) the expected rounds per "
               "pseudocycle stay between 1 and 2 for every n.\n");
+  timing.emit(pool.jobs());
   return 0;
 }

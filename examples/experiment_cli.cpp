@@ -71,6 +71,7 @@
 ///                        ONLY to this file; stdout and all other exports
 ///                        stay byte-identical with or without it.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <deque>
@@ -566,6 +567,11 @@ struct StoreConfig {
   double churn = 0.0;
   net::FaultPlan fault_plan;
   bool have_fault_plan = false;
+  /// Shared rank distribution, built once per invocation: the zeta
+  /// normalization is O(keys) with a pow() per key, which at 10⁵ keys costs
+  /// more than a run's whole setup.  Draw() is const and thread-safe, so
+  /// every run (and every --jobs thread) samples the same object.
+  const util::Zipfian* zipf = nullptr;
 };
 
 struct StoreRunOutput {
@@ -610,23 +616,29 @@ StoreRunOutput run_store_once(const StoreConfig& cfg, std::uint64_t run_seed,
     servers.emplace_back(transport, s, out.shard.get());
   }
 
-  // Preload every key so reads before the first put are well-defined for
-  // [R2] — on the key's ring group when sharded, everywhere otherwise.
+  // Every key reads as (ts 0, encoded zero) before its first put, so reads
+  // are well-defined for [R2].  The replicas carry that as their shared
+  // default initial value — observably identical to preloading the whole
+  // keyspace, without materializing total_keys × replicas store entries
+  // (which at 10⁵ keys cost more than the simulation they set up).
   core::spec::HistoryRecorder history;
-  std::vector<net::NodeId> group;
+  history.reserve(total_keys + 4 * cfg.clients * cfg.ops);
+  const core::Value zero = util::encode<std::int64_t>(0);
+  // Only written keys materialize store entries now; pre-size each store
+  // for its expected share so the run does not pay a per-replica rehash
+  // chain as writes trickle in.  (An over-estimate only costs memory.)
+  const std::size_t expected_writes =
+      std::min(total_keys, cfg.clients * cfg.ops);
+  const std::size_t per_server =
+      expected_writes * std::max<std::size_t>(cfg.replicas, 1) /
+          std::max<std::size_t>(cfg.servers, 1) +
+      16;
+  for (core::ServerProcess& s : servers) {
+    s.replica().set_default_initial(zero);
+    s.replica().reserve(per_server);
+  }
   for (std::size_t key = 0; key < total_keys; ++key) {
-    const auto reg = static_cast<net::KeyId>(key);
-    if (sharded) {
-      ring.replica_group(reg, cfg.replicas, group);
-      for (net::NodeId owner : group) {
-        servers[owner].replica().preload(reg, util::encode<std::int64_t>(0));
-      }
-    } else {
-      for (core::ServerProcess& s : servers) {
-        s.replica().preload(reg, util::encode<std::int64_t>(0));
-      }
-    }
-    history.record_initial(reg);
+    history.record_initial(static_cast<net::KeyId>(key));
   }
 
   core::keyspace::ShardedStoreOptions sopts;
@@ -643,16 +655,13 @@ StoreRunOutput run_store_once(const StoreConfig& cfg, std::uint64_t run_seed,
   // quorums sample over every server — full replication through the same
   // facade.
   std::deque<core::keyspace::ShardedStoreClient> clients;
-  std::optional<util::Zipfian> zipf;
-  if (cfg.theta > 0.0) zipf.emplace(total_keys, cfg.theta);
   std::deque<StoreLoop> loops;
   for (std::size_t i = 0; i < cfg.clients; ++i) {
     clients.emplace_back(simulator, transport,
                          static_cast<net::NodeId>(cfg.servers + i), ring,
                          quorums, master.fork(500 + i), sopts, &history);
     loops.emplace_back(simulator, clients.back(), master.fork(900 + i),
-                       cfg.ops, i, cfg.clients, keys_per_client,
-                       zipf.has_value() ? &*zipf : nullptr);
+                       cfg.ops, i, cfg.clients, keys_per_client, cfg.zipf);
   }
 
   // Fault schedule: explicit plan (key targets resolve through the ring) or
@@ -763,6 +772,13 @@ int run_store(const Args& args) {
   obs::SpanSink spans(obs::SpanSink::Options{seed, span_sample});
 
   sim::ParallelRunner pool(args.get_n("jobs", 0));
+  // One zeta normalization for all runs (and all jobs threads); the rounded
+  // keyspace mirrors run_store_once's slot layout.
+  const std::size_t keys_rounded =
+      (cfg.keys + cfg.clients - 1) / cfg.clients * cfg.clients;
+  std::optional<util::Zipfian> zipf;
+  if (cfg.theta > 0.0) zipf.emplace(keys_rounded, cfg.theta);
+  cfg.zipf = zipf.has_value() ? &*zipf : nullptr;
   const auto wall_start = std::chrono::steady_clock::now();
   std::vector<StoreRunOutput> outputs =
       pool.map<StoreRunOutput>(runs, [&](std::size_t run) {

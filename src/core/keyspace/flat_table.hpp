@@ -58,6 +58,15 @@ class FlatTable {
     }
   }
 
+  /// Pre-sizes the slot array so \p n entries insert without any amortized
+  /// rehash (bulk preloads: a 10⁵-key store otherwise pays a dozen full
+  /// rehashes per replica before the first event fires).
+  void reserve(std::size_t n) {
+    std::size_t cap = slots_.empty() ? 16 : slots_.size();
+    while ((cap * 7) / 10 < n) cap *= 2;
+    if (cap > slots_.size()) rehash(cap);
+  }
+
   std::size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 
@@ -85,11 +94,13 @@ class FlatTable {
     return static_cast<std::size_t>(mix64(key)) & mask();
   }
 
-  void grow() {
+  void grow() { rehash(slots_.empty() ? 16 : slots_.size() * 2); }
+
+  void rehash(std::size_t capacity) {
     // Amortized rehash, the table's only allocation: same sanctioned escape
     // as sim::EventArena chunk growth (docs/STATIC_ANALYSIS.md).
     std::vector<Slot> old = std::move(slots_);
-    slots_.assign(old.empty() ? 16 : old.size() * 2, Slot{});
+    slots_.assign(capacity, Slot{});
     size_ = 0;
     for (Slot& s : old) {
       if (s.used) entry(s.key) = std::move(s.value);

@@ -87,17 +87,19 @@ void MultiWriterRegisterClient::start_phase(OpId op, PendingOp& pending,
 void MultiWriterRegisterClient::send_phase(OpId op, PendingOp& pending) {
   bool install = pending.phase == Phase::kWriteInstall;
   auto kind = install ? quorum::AccessKind::kWrite : quorum::AccessKind::kRead;
-  for (quorum::ServerId s : quorums_.sample(kind, rng_)) {
-    NodeId server = server_base_ + s;
-    if (install) {
-      transport_.send(self_, server,
-                      net::Message::write_req(pending.reg, op,
-                                              pending.install_ts,
-                                              pending.write_value));
-    } else {
-      transport_.send(self_, server, net::Message::read_req(pending.reg, op));
-    }
+  // pick() draws exactly what sample() would, so the quorum RNG stream is
+  // unchanged; the whole phase then goes out as one batched fan-out.
+  quorums_.pick(kind, rng_, quorum_scratch_);
+  fanout_scratch_.clear();
+  for (quorum::ServerId s : quorum_scratch_) {
+    fanout_scratch_.push_back(net::FanoutEntry{server_base_ + s, 0});
   }
+  net::Message msg =
+      install ? net::Message::write_req(pending.reg, op, pending.install_ts,
+                                        pending.write_value)
+              : net::Message::read_req(pending.reg, op);
+  transport_.send_fanout(self_, fanout_scratch_.data(), fanout_scratch_.size(),
+                         std::move(msg));
   if (retry_.rpc_timeout.has_value()) arm_retry(op, pending.attempt);
 }
 

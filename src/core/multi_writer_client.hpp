@@ -135,6 +135,8 @@ class MultiWriterRegisterClient final : public net::Receiver {
   RetryPolicy retry_;
 
   OpId next_op_ = 1;
+  std::vector<quorum::ServerId> quorum_scratch_;
+  std::vector<net::FanoutEntry> fanout_scratch_;
   std::unordered_map<OpId, PendingOp> pending_;
   std::unordered_map<RegisterId, TimestampedValue> monotone_cache_;
   /// Largest counter this writer has ever used per register; guarantees its

@@ -150,10 +150,31 @@ obs::SpanStatus span_status_of(OpStatus status) {
 
 }  // namespace
 
+QuorumRegisterClient::PendingOp& QuorumRegisterClient::emplace_pending(
+    OpId op) {
+  if (!pending_pool_.empty()) {
+    auto node = std::move(pending_pool_.back());
+    pending_pool_.pop_back();
+    node.key() = op;
+    node.mapped().reset();
+    auto result = pending_.insert(std::move(node));
+    PQRA_CHECK(result.inserted, "op id collision");
+    return result.position->second;
+  }
+  auto [it, inserted] = pending_.try_emplace(op);
+  PQRA_CHECK(inserted, "op id collision");
+  return it->second;
+}
+
+void QuorumRegisterClient::erase_pending(OpId op) {
+  auto node = pending_.extract(op);
+  if (!node.empty()) pending_pool_.push_back(std::move(node));
+}
+
 void QuorumRegisterClient::read(RegisterId reg, ReadCallback cb) {
   PQRA_REQUIRE(static_cast<bool>(cb), "read needs a callback");
   OpId op = next_op_++;
-  PendingOp pending;
+  PendingOp& pending = emplace_pending(op);
   pending.is_read = true;
   pending.reg = reg;
   pending.needed = quorums_.quorum_size(quorum::AccessKind::kRead);
@@ -168,10 +189,8 @@ void QuorumRegisterClient::read(RegisterId reg, ReadCallback cb) {
     pending.has_deadline = true;
     pending.deadline_at = pending.started + *options_.retry.deadline;
   }
-  auto [it, inserted] = pending_.emplace(op, std::move(pending));
-  PQRA_CHECK(inserted, "op id collision");
-  send_to_quorum(op, it->second);
-  if (it->second.has_deadline) arm_deadline(op);
+  send_to_quorum(op, pending);
+  if (pending.has_deadline) arm_deadline(op);
 }
 
 void QuorumRegisterClient::read_snapshot(std::vector<RegisterId> regs,
@@ -184,7 +203,7 @@ void QuorumRegisterClient::read_snapshot(std::vector<RegisterId> regs,
                "snapshot reads are whole-store accesses of one replica set; "
                "the sharded store reads per key (docs/SHARDING.md)");
   OpId op = next_op_++;
-  PendingOp pending;
+  PendingOp& pending = emplace_pending(op);
   pending.is_read = true;
   pending.is_snapshot = true;
   pending.reg = net::kAllRegisters;
@@ -205,18 +224,16 @@ void QuorumRegisterClient::read_snapshot(std::vector<RegisterId> regs,
     pending.has_deadline = true;
     pending.deadline_at = pending.started + *options_.retry.deadline;
   }
-  auto [it, inserted] = pending_.emplace(op, std::move(pending));
-  PQRA_CHECK(inserted, "op id collision");
-  send_to_quorum(op, it->second);
-  if (it->second.has_deadline) arm_deadline(op);
+  send_to_quorum(op, pending);
+  if (pending.has_deadline) arm_deadline(op);
 }
 
 void QuorumRegisterClient::write(RegisterId reg, Value value,
                                  WriteCallback cb) {
   PQRA_REQUIRE(static_cast<bool>(cb), "write needs a callback");
   OpId op = next_op_++;
-  Timestamp ts = ++write_ts_[reg];
-  PendingOp pending;
+  Timestamp ts = ++write_ts_.entry(reg);
+  PendingOp& pending = emplace_pending(op);
   pending.is_read = false;
   pending.reg = reg;
   pending.needed = quorums_.quorum_size(quorum::AccessKind::kWrite);
@@ -233,10 +250,8 @@ void QuorumRegisterClient::write(RegisterId reg, Value value,
     pending.has_deadline = true;
     pending.deadline_at = pending.started + *options_.retry.deadline;
   }
-  auto [it, inserted] = pending_.emplace(op, std::move(pending));
-  PQRA_CHECK(inserted, "op id collision");
-  send_to_quorum(op, it->second);
-  if (it->second.has_deadline) arm_deadline(op);
+  send_to_quorum(op, pending);
+  if (pending.has_deadline) arm_deadline(op);
 }
 
 void QuorumRegisterClient::send_to_quorum(OpId op, PendingOp& pending) {
@@ -249,23 +264,15 @@ void QuorumRegisterClient::send_to_quorum(OpId op, PendingOp& pending) {
   if (options_.ring != nullptr) {
     // Sharded mode: ServerIds index the key's replica group, resolved once
     // per access (the retry path re-resolves, which is what lets a retried
-    // op survive ring membership edits mid-run).
-    options_.ring->replica_group(pending.reg, quorums_.num_servers(),
-                                 group_scratch_);
+    // op survive ring membership edits mid-run — the cache inside
+    // resolve_group invalidates on membership version, preserving that).
+    resolve_group(pending.reg);
   }
+  fanout_scratch_.clear();
   for (quorum::ServerId s : quorum_scratch_) {
     NodeId server = options_.ring != nullptr ? group_scratch_[s]
                                              : server_base_ + s;
-    net::Message msg;
-    if (sends_reads) {
-      msg = net::Message::read_req(pending.reg, op);
-    } else if (pending.in_write_back) {
-      msg = net::Message::write_req(pending.reg, op, pending.best_ts,
-                                    pending.best_value);
-    } else {
-      msg = net::Message::write_req(pending.reg, op, pending.write_ts,
-                                    pending.write_value);
-    }
+    net::FanoutEntry entry{server, 0};
     if (pending.root_span != 0) {
       obs::SpanId rpc = options_.spans->begin(
           obs::SpanKind::kRpcAttempt, pending.root_span, self_,
@@ -277,14 +284,56 @@ void QuorumRegisterClient::send_to_quorum(OpId op, PendingOp& pending) {
       rec.attempt = pending.attempt + 1;
       pending.rpc_servers.push_back(server);
       pending.rpc_spans.push_back(rpc);
-      msg.trace = options_.spans->at(pending.root_span).trace;
-      msg.span = rpc;
+      entry.span = rpc;
     }
-    transport_.send(self_, server, std::move(msg));
+    fanout_scratch_.push_back(entry);
   }
+  // One prototype per access instead of one message per server: the
+  // transport stamps the per-target span ids and (SimTransport) schedules
+  // the whole fan-out as a single batch.
+  net::Message msg;
+  if (sends_reads) {
+    msg = net::Message::read_req(pending.reg, op);
+  } else if (pending.in_write_back) {
+    msg = net::Message::write_req(pending.reg, op, pending.best_ts,
+                                  pending.best_value);
+  } else {
+    msg = net::Message::write_req(pending.reg, op, pending.write_ts,
+                                  pending.write_value);
+  }
+  if (pending.root_span != 0) {
+    msg.trace = options_.spans->at(pending.root_span).trace;
+  }
+  transport_.send_fanout(self_, fanout_scratch_.data(),
+                         fanout_scratch_.size(), std::move(msg));
   if (options_.retry.rpc_timeout.has_value()) {
     arm_retry(op, pending.attempt);
   }
+}
+
+void QuorumRegisterClient::resolve_group(RegisterId reg) {
+  const keyspace::HashRing& ring = *options_.ring;
+  const std::size_t n = quorums_.num_servers();
+  if (n > kGroupCacheMax) {
+    ring.replica_group(reg, n, group_scratch_);
+    return;
+  }
+  if (group_cache_version_ != ring.version()) {
+    // Membership edit since the last resolution: every cached group is
+    // suspect, drop them all.
+    group_cache_ = {};
+    group_cache_version_ = ring.version();
+  }
+  CachedGroup& cached = group_cache_.entry(reg);
+  if (cached.count == 0) {
+    ring.replica_group(reg, n, group_scratch_);
+    cached.count = static_cast<std::uint8_t>(group_scratch_.size());
+    std::copy(group_scratch_.begin(), group_scratch_.end(),
+              cached.nodes.begin());
+    return;
+  }
+  group_scratch_.assign(cached.nodes.begin(),
+                        cached.nodes.begin() + cached.count);
 }
 
 void QuorumRegisterClient::arm_retry(OpId op, std::uint32_t attempt) {
@@ -370,11 +419,11 @@ void QuorumRegisterClient::fail_op(OpId op, PendingOp& pending) {
     SnapshotCallback cb = std::move(pending.snap_cb);
     std::vector<ReadResult> results(pending.snap_regs.size());
     for (ReadResult& r : results) r.status = OpStatus::kTimedOut;
-    pending_.erase(op);
+    erase_pending(op);
     cb(std::move(results));
   } else if (pending.is_read) {
     ReadCallback cb = std::move(pending.read_cb);
-    pending_.erase(op);
+    erase_pending(op);
     ReadResult result;
     result.status = OpStatus::kTimedOut;
     cb(std::move(result));
@@ -384,7 +433,7 @@ void QuorumRegisterClient::fail_op(OpId op, PendingOp& pending) {
     result.ts = pending.write_ts;
     result.status = OpStatus::kTimedOut;
     result.acks = pending.responders.size();
-    pending_.erase(op);
+    erase_pending(op);
     cb(result);
   }
 }
@@ -456,10 +505,10 @@ void QuorumRegisterClient::complete_snapshot(OpId op, PendingOp& pending) {
     result.status = pending.status;
     result.acks = pending.responders.size();
     result.staleness_bound = pending.staleness_bound;
-    Timestamp& seen = max_seen_ts_[reg];
+    Timestamp& seen = max_seen_ts_.entry(reg);
     pending.stale_depth = seen > result.ts ? seen - result.ts : 0;
     if (options_.monotone) {
-      TimestampedValue& cached = monotone_cache_[reg];
+      TimestampedValue& cached = monotone_cache_.entry(reg);
       if (cached.ts > result.ts) {
         result.ts = cached.ts;
         result.value = cached.value;
@@ -502,7 +551,7 @@ void QuorumRegisterClient::complete_snapshot(OpId op, PendingOp& pending) {
   close_op_span(pending, span_status_of(pending.status),
                 /*ts=*/0, /*from_cache=*/false);
   SnapshotCallback cb = std::move(pending.snap_cb);
-  pending_.erase(op);
+  erase_pending(op);
   cb(std::move(results));
 }
 
@@ -512,7 +561,7 @@ void QuorumRegisterClient::complete_read(OpId op, PendingOp& pending) {
     // Staleness depth t is judged against the quorum's answer, before the
     // monotone cache papers over it — the cache is the cure, not the
     // measurement.
-    Timestamp seen = max_seen_ts_[pending.reg];
+    Timestamp seen = max_seen_ts_.entry(pending.reg);
     pending.stale_depth =
         seen > pending.best_ts ? seen - pending.best_ts : 0;
   }
@@ -527,7 +576,7 @@ void QuorumRegisterClient::complete_read(OpId op, PendingOp& pending) {
     }
   }
   if (options_.monotone) {
-    TimestampedValue& cached = monotone_cache_[pending.reg];
+    TimestampedValue& cached = monotone_cache_.entry(pending.reg);
     if (cached.ts > pending.best_ts) {
       // The quorum only produced older values than we have already returned;
       // [R4] requires re-returning the cached one (§6.2).
@@ -542,7 +591,7 @@ void QuorumRegisterClient::complete_read(OpId op, PendingOp& pending) {
     }
   }
   {
-    Timestamp& seen = max_seen_ts_[pending.reg];
+    Timestamp& seen = max_seen_ts_.entry(pending.reg);
     if (seen < pending.best_ts) seen = pending.best_ts;
   }
   pending.from_cache = from_cache;
@@ -565,13 +614,18 @@ void QuorumRegisterClient::send_read_repair(const PendingOp& pending,
   if (ts == 0) return;  // nothing newer than the initial value to push
   // Fire-and-forget: acks arrive under an op id that is never pending.
   OpId repair_op = next_op_++;
+  fanout_scratch_.clear();
   for (std::size_t i = 0; i < pending.responder_ts.size(); ++i) {
     if (pending.responder_ts[i] >= ts) continue;
-    transport_.send(self_, pending.responders[i],
-                    net::Message::write_req(pending.reg, repair_op, ts, value));
+    fanout_scratch_.push_back(net::FanoutEntry{pending.responders[i], 0});
     ++counters_.repairs_sent;
     if (instruments_.repairs != nullptr) instruments_.repairs->inc();
   }
+  if (fanout_scratch_.empty()) return;
+  transport_.send_fanout(self_, fanout_scratch_.data(),
+                         fanout_scratch_.size(),
+                         net::Message::write_req(pending.reg, repair_op, ts,
+                                                 value));
 }
 
 void QuorumRegisterClient::start_write_back(OpId op, PendingOp& pending) {
@@ -620,7 +674,7 @@ void QuorumRegisterClient::deliver_read(OpId op, PendingOp& pending) {
   close_op_span(pending, span_status_of(pending.status), result.ts,
                 result.from_monotone_cache);
   ReadCallback cb = std::move(pending.read_cb);
-  pending_.erase(op);
+  erase_pending(op);
   cb(std::move(result));
 }
 
@@ -642,7 +696,7 @@ void QuorumRegisterClient::complete_write(OpId op, PendingOp& pending) {
   }
   Timestamp ts = pending.write_ts;
   {
-    Timestamp& seen = max_seen_ts_[pending.reg];
+    Timestamp& seen = max_seen_ts_.entry(pending.reg);
     if (seen < ts) seen = ts;
   }
   if (options_.trace != nullptr) {
@@ -655,13 +709,13 @@ void QuorumRegisterClient::complete_write(OpId op, PendingOp& pending) {
   result.acks = pending.responders.size();
   result.staleness_bound = pending.staleness_bound;
   WriteCallback cb = std::move(pending.write_cb);
-  pending_.erase(op);
+  erase_pending(op);
   cb(result);
 }
 
 Timestamp QuorumRegisterClient::last_written_ts(RegisterId reg) const {
-  auto it = write_ts_.find(reg);
-  return it == write_ts_.end() ? 0 : it->second;
+  const Timestamp* ts = write_ts_.find(reg);
+  return ts == nullptr ? 0 : *ts;
 }
 
 }  // namespace pqra::core

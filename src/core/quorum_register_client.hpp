@@ -35,12 +35,14 @@
 /// forever in that regime, which is exactly the availability gap §4
 /// describes.
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
+#include "core/keyspace/flat_table.hpp"
 #include "core/keyspace/hash_ring.hpp"
 #include "core/register_types.hpp"
 #include "core/spec/history.hpp"
@@ -234,6 +236,43 @@ class QuorumRegisterClient final : public net::Receiver {
     Timestamp stale_depth = 0;
     spec::HistoryRecorder::OpHandle hist = 0;
     bool has_hist = false;
+
+    /// Returns the op to its default-constructed state while keeping the
+    /// capacity of every container — the whole point of recycling settled
+    /// ops through pending_pool_ instead of freeing them.
+    void reset() {
+      is_read = true;
+      is_snapshot = false;
+      in_write_back = false;
+      from_cache = false;
+      reg = 0;
+      needed = 0;
+      responders.clear();
+      responder_ts.clear();
+      root_span = 0;
+      rpc_servers.clear();
+      rpc_spans.clear();
+      fresh.clear();
+      best_ts = 0;
+      best_value = Value();
+      snap_regs.clear();
+      snap_best.clear();
+      snap_cb = nullptr;
+      snap_hists.clear();
+      read_cb = nullptr;
+      write_cb = nullptr;
+      write_ts = 0;
+      write_value = Value();
+      attempt = 0;
+      started = 0.0;
+      has_deadline = false;
+      deadline_at = 0.0;
+      status = OpStatus::kOk;
+      staleness_bound = 0.0;
+      stale_depth = 0;
+      hist = 0;
+      has_hist = false;
+    }
   };
 
   /// Shared-registry instrument pointers (null when metrics are off).
@@ -268,7 +307,20 @@ class QuorumRegisterClient final : public net::Receiver {
   void close_op_span(PendingOp& pending, obs::SpanStatus status, Timestamp ts,
                      bool from_cache);
 
+  /// Registers a fresh PendingOp under \p op, reusing a recycled map node
+  /// (and its grown container capacities) when one is parked in
+  /// pending_pool_ — the steady-state issue path then allocates nothing.
+  PendingOp& emplace_pending(OpId op);
+
+  /// Removes the settled op and parks its node for reuse.  References into
+  /// the PendingOp stay valid exactly as long as they did with a plain
+  /// erase: until the next operation is issued.
+  void erase_pending(OpId op);
+
   void send_to_quorum(OpId op, PendingOp& pending);
+  /// Fills group_scratch_ with \p reg's replica group (ring mode only),
+  /// through the version-checked group cache.
+  void resolve_group(RegisterId reg);
   void arm_retry(OpId op, std::uint32_t attempt);
   void arm_deadline(OpId op);
   void finish_deadline(OpId op, PendingOp& pending);
@@ -299,13 +351,32 @@ class QuorumRegisterClient final : public net::Receiver {
   std::vector<quorum::ServerId> quorum_scratch_;
   /// Scratch for the key's replica group in ring mode (same reuse contract).
   std::vector<NodeId> group_scratch_;
+  /// Memoized ring resolutions, valid for one HashRing::version(): group
+  /// lookup is two binary searches plus a dedup scan per access otherwise,
+  /// and a key's group never changes between membership edits.  Only groups
+  /// of at most kGroupCacheMax nodes are cached (flat fixed-width slots).
+  static constexpr std::size_t kGroupCacheMax = 8;
+  struct CachedGroup {
+    std::array<NodeId, kGroupCacheMax> nodes{};
+    std::uint8_t count = 0;
+  };
+  keyspace::FlatTable<CachedGroup> group_cache_;
+  std::uint64_t group_cache_version_ = 0;
+  /// Scratch for the fan-out target list handed to Transport::send_fanout.
+  std::vector<net::FanoutEntry> fanout_scratch_;
   std::unordered_map<OpId, PendingOp> pending_;
-  std::unordered_map<RegisterId, Timestamp> write_ts_;
-  std::unordered_map<RegisterId, TimestampedValue> monotone_cache_;
+  /// Settled-op map nodes awaiting reuse (see emplace_pending).
+  std::vector<std::unordered_map<OpId, PendingOp>::node_type> pending_pool_;
+  /// The per-register tables are keyspace::FlatTables, not unordered_maps:
+  /// they sit on the ack hot path (two lookups per completed op), are never
+  /// iterated, and the flat probe sequence is allocation-free after the
+  /// amortized growth.
+  keyspace::FlatTable<Timestamp> write_ts_;
+  keyspace::FlatTable<TimestampedValue> monotone_cache_;
   /// Newest timestamp this client has seen per register (reads and own
   /// writes), independent of the monotone cache so staleness depth is
   /// measurable for plain clients too.
-  std::unordered_map<RegisterId, Timestamp> max_seen_ts_;
+  keyspace::FlatTable<Timestamp> max_seen_ts_;
   ClientCounters counters_;
   Instruments instruments_;
   util::OnlineStats read_latency_;

@@ -21,7 +21,8 @@ net::Message Replica::handle(const net::Message& request) {
         }
       }
       if (entry == nullptr) {
-        return net::Message::read_ack(request.reg, request.op, 0, Value{});
+        return net::Message::read_ack(request.reg, request.op, 0,
+                                      default_initial_);
       }
       return net::Message::read_ack(request.reg, request.op, entry->ts,
                                     entry->value);

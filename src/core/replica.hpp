@@ -32,6 +32,20 @@ class Replica {
   /// iterative algorithm, present on the key's replicas before the run).
   void preload(RegisterId reg, Value value);
 
+  /// Pre-sizes the store for \p keys entries; bulk preloads call it once
+  /// instead of paying the table's amortized rehash chain per replica.
+  void reserve(std::size_t keys) { store_.reserve(keys); }
+
+  /// Installs a default initial value: a ReadReq for an absent key answers
+  /// (ts 0, this value) instead of (0, empty), observably identical to
+  /// having preloaded every key of the keyspace with it.  Large uniform
+  /// keyspaces (the 10⁵-key store benchmark) use this instead of
+  /// materializing one store entry per (key, replica) before the run.
+  /// Writes insert normally; gossip/encode_store cover written keys only.
+  void set_default_initial(Value value) {
+    default_initial_ = std::move(value);
+  }
+
   /// Read-only access for tests and invariant checks.
   const TimestampedValue* get(RegisterId reg) const;
 
@@ -67,6 +81,7 @@ class Replica {
 
  private:
   keyspace::FlatTable<TimestampedValue> store_;
+  Value default_initial_;
   std::uint64_t writes_applied_ = 0;
   bool cross_key_probe_bug_ = false;
 };

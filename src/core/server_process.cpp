@@ -112,7 +112,11 @@ void ServerProcess::gossip_tick() {
   auto offset = static_cast<net::NodeId>(rng_.below(gossip_.group_size - 1));
   net::NodeId peer = gossip_.group_base + offset;
   if (peer >= self_) ++peer;
-  transport_.send(self_, peer, net::Message::gossip(replica_.encode_store()));
+  // Routed through the batch path (a width-1 fan-out) so gossip shares the
+  // transport's block-scheduled delivery machinery.
+  net::FanoutEntry entry{peer, 0};
+  transport_.send_fanout(self_, &entry, 1,
+                         net::Message::gossip(replica_.encode_store()));
   schedule_gossip(gossip_.interval);
 }
 

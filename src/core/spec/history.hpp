@@ -43,6 +43,10 @@ class HistoryRecorder {
   /// timestamp 0 completing at time 0 by the pseudo-process \p writer.
   void record_initial(RegisterId reg, NodeId writer = 0);
 
+  /// Pre-sizes the record vector (e.g. one record per preloaded key plus
+  /// the expected op count) so bulk recording skips reallocation.
+  void reserve(std::size_t records) { ops_.reserve(records); }
+
   OpHandle begin_read(NodeId proc, RegisterId reg, sim::Time now);
   void end_read(OpHandle h, sim::Time now, Timestamp ts_returned);
 

@@ -151,7 +151,7 @@ Alg1Result run_alg1(const AcoOperator& op, const Alg1Options& options) {
   const std::size_t n = quorums.num_servers();
 
   util::Rng master(options.seed);
-  sim::Simulator simulator;
+  sim::Simulator simulator{options.queue_mode};
   std::unique_ptr<sim::DelayModel> delays =
       options.synchronous ? sim::make_constant_delay(1.0)
                           : sim::make_exponential_delay(1.0);
@@ -299,9 +299,12 @@ Alg1Result run_alg1(const AcoOperator& op, const Alg1Options& options) {
     obs::Registry& reg = *options.metrics;
     reg.counter(n::kSimEvents, "Events processed by the DES main loop")
         .inc(simulator.events_processed());
-    reg.gauge(n::kSimHeapHighWater, "Event-heap high-water mark",
+    reg.gauge(n::kSimHeapHighWater, "Event-queue high-water mark",
               obs::GaugeMerge::kMax)
-        .record_max(static_cast<double>(simulator.max_pending_events()));
+        .record_max(static_cast<double>(simulator.queue_high_water()));
+    reg.counter(n::kSimQueueBucketResizes,
+                "Calendar-queue reorganizations (0 under PQRA_QUEUE=heap)")
+        .inc(simulator.queue_bucket_resizes());
     reg.counter(n::kSimEventHeapAllocs,
                 "Heap allocations by the event-closure path (arena chunk "
                 "growth + oversize fallbacks)")

@@ -25,6 +25,7 @@
 #include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "quorum/quorum_system.hpp"
+#include "sim/calendar_queue.hpp"
 #include "util/stats.hpp"
 
 namespace pqra::iter {
@@ -116,6 +117,12 @@ struct Alg1Options {
   /// (sim/profiler.hpp); only its deterministic fire counts are published
   /// into `metrics`.
   sim::Profiler* profiler = nullptr;
+
+  /// Event-queue implementation for the run's internally-owned simulator.
+  /// Defaults to the PQRA_QUEUE environment switch; the exploration
+  /// fuzzer's --queue-diff mode overrides it to run the same profile under
+  /// both implementations and compare fingerprints.
+  sim::QueueMode queue_mode = sim::queue_mode_from_env();
 };
 
 struct Alg1Result {

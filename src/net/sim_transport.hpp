@@ -30,6 +30,16 @@ class SimTransport final : public Transport {
                const util::Rng& rng, NodeId max_nodes);
 
   void send(NodeId from, NodeId to, Message msg) override;
+
+  /// Batched quorum fan-out: all per-target RNG draws happen up front (in
+  /// array order, identical to \p count send() calls), the deliveries are
+  /// packed into EventArena blocks sorted by (time, seq), and only the
+  /// earliest entry per block occupies the event queue at any moment —
+  /// equal-time entries deliver inside one fire.  The executed (time, seq)
+  /// schedule is byte-identical to the unbatched form.
+  void send_fanout(NodeId from, const FanoutEntry* targets, std::size_t count,
+                   Message proto) override;
+
   void register_receiver(NodeId node, Receiver* receiver) override;
   MessageStats stats() const override;
 
@@ -60,7 +70,21 @@ class SimTransport final : public Transport {
   }
 
  private:
+  struct FanoutBlock;  // arena-resident batch (sim_transport.cpp)
+
+  /// One scheduled delivery of a fan-out before it is packed into blocks.
+  struct FanoutDelivery {
+    sim::Time at;
+    std::uint64_t seq;
+    std::uint64_t span;
+    NodeId to;
+  };
+
   void deliver_after(sim::Time delay, NodeId from, NodeId to, Message msg);
+
+  /// Delivers the current entry of \p block (and any equal-time successors),
+  /// then schedules the next entry or retires the block.
+  void fire_fanout(FanoutBlock* block);
 
   void record_flight(obs::FlightEventKind kind, NodeId from, NodeId to,
                      const Message& msg);
@@ -73,6 +97,7 @@ class SimTransport final : public Transport {
   MessageStats stats_;
   std::optional<TransportMetrics> metrics_;
   obs::FlightRecorder* flight_recorder_ = nullptr;
+  std::vector<FanoutDelivery> fanout_scratch_;  // send_fanout staging
 };
 
 }  // namespace pqra::net

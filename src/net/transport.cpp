@@ -18,6 +18,17 @@ TransportMetrics::TransportMetrics(obs::Registry& registry)
   }
 }
 
+void Transport::send_fanout(NodeId from, const FanoutEntry* targets,
+                            std::size_t count, Message proto) {
+  // Reference semantics for every transport that does not batch: per-target
+  // message copies are cheap (Value is COW), and the last target moves.
+  for (std::size_t i = 0; i < count; ++i) {
+    Message msg = (i + 1 == count) ? std::move(proto) : proto;
+    msg.span = targets[i].span;
+    send(from, targets[i].to, std::move(msg));
+  }
+}
+
 MessageStats MessageStats::minus(const MessageStats& earlier) const {
   PQRA_REQUIRE(total >= earlier.total, "stats snapshots out of order");
   MessageStats d;

@@ -65,6 +65,15 @@ class TransportMetrics {
   std::array<obs::Counter*, kNumMsgTypes> by_type_;
 };
 
+/// One destination of a batched quorum fan-out (send_fanout): the shared
+/// prototype message is delivered to \p to carrying the per-target span id
+/// \p span (0 = untraced).  Everything else about the message is identical
+/// across the fan-out, which is what makes batching it worthwhile.
+struct FanoutEntry {
+  NodeId to = 0;
+  std::uint64_t span = 0;
+};
+
 class Transport {
  public:
   virtual ~Transport() = default;
@@ -72,6 +81,16 @@ class Transport {
   /// Delivers \p msg from \p from to \p to (asynchronously; implementations
   /// define the delay semantics).  Both nodes must be registered.
   virtual void send(NodeId from, NodeId to, Message msg) = 0;
+
+  /// Sends one prototype message to \p count targets — the quorum fan-out
+  /// primitive.  Counting, fault draws and delay draws happen per target in
+  /// array order, exactly as \p count send() calls would, so switching a
+  /// call site between the two forms never changes an execution.  The
+  /// default implementation is that loop; SimTransport overrides it with a
+  /// batched schedule (one arena block and ~1 queue op per fan-out — see
+  /// docs/PERFORMANCE.md).
+  virtual void send_fanout(NodeId from, const FanoutEntry* targets,
+                           std::size_t count, Message proto);
 
   /// Registers the receiver for \p node.  One receiver per node.
   virtual void register_receiver(NodeId node, Receiver* receiver) = 0;

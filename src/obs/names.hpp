@@ -81,6 +81,10 @@ inline constexpr const char* kTransportMessagesByType[] = {
 // instrumented directly).
 inline constexpr const char* kSimEvents = "pqra_sim_events_total";
 inline constexpr const char* kSimHeapHighWater = "pqra_sim_heap_high_water";
+// Calendar-queue reorganizations (bucket-array grow/shrink + width retune);
+// always 0 under PQRA_QUEUE=heap.
+inline constexpr const char* kSimQueueBucketResizes =
+    "pqra_sim_queue_bucket_resizes_total";
 inline constexpr const char* kSimTime = "pqra_sim_time";
 // Event-closure storage (sim/event_fn.hpp): heap allocations the event path
 // performed (arena chunk growth + oversize fallbacks; 0 once the arena is

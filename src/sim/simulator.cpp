@@ -1,6 +1,5 @@
 #include "sim/simulator.hpp"
 
-#include <algorithm>
 #include <bit>
 #include <chrono>
 #include <utility>
@@ -20,18 +19,26 @@ inline std::uint64_t fold(std::uint64_t h, std::uint64_t word) {
 
 }  // namespace
 
-void Simulator::push_event(Time t, EventTag tag, EventFn fn) {
+void Simulator::push_event(Time t, std::uint64_t seq, EventTag tag,
+                           EventFn fn) {
   PQRA_REQUIRE(static_cast<bool>(fn), "event callback must be callable");
-  heap_.push_back(Event{t, next_seq_++, std::move(fn), tag});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
-  if (heap_.size() > heap_high_water_) heap_high_water_ = heap_.size();
+  queue_.push(t, seq, tag, std::move(fn));
+  if (queue_.size() > queue_high_water_) queue_high_water_ = queue_.size();
+}
+
+void Simulator::note_subevent(Time t, std::uint64_t seq, EventTag tag) {
+  PQRA_CHECK(t == now_, "subevents fire inside the current event only");
+  ++processed_;
+  fingerprint_ =
+      fold(fold(fingerprint_, std::bit_cast<std::uint64_t>(t)), seq);
+  // Zero wall / zero advance: the carrying event was already timed as one
+  // callback, and equal-time entries advance the clock by nothing.
+  if (profiler_ != nullptr) profiler_->on_event(tag, 0, 0.0);
 }
 
 bool Simulator::step() {
-  if (heap_.empty()) return false;
-  std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  Event ev = std::move(heap_.back());
-  heap_.pop_back();
+  if (queue_.empty()) return false;
+  EventQueue::Item ev = queue_.pop();
   const Time prev = now_;
   now_ = ev.t;
   ++processed_;
@@ -41,8 +48,8 @@ bool Simulator::step() {
     ev.fn();
   } else {
     // steady_clock (never system_clock: docs/STATIC_ANALYSIS.md) around the
-    // callback only — heap maintenance stays unattributed so tag costs are
-    // comparable across queue implementations (ROADMAP calendar queue).
+    // callback only — queue maintenance stays unattributed so tag costs are
+    // comparable across queue implementations.
     const auto wall_start = std::chrono::steady_clock::now();
     ev.fn();
     const auto wall_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -63,7 +70,7 @@ std::size_t Simulator::run() {
 std::size_t Simulator::run_until(Time t) {
   PQRA_REQUIRE(t >= now_, "cannot run into the past");
   std::size_t n = 0;
-  while (!stop_requested_ && !heap_.empty() && next_event_time() <= t) {
+  while (!stop_requested_ && !queue_.empty() && queue_.min_time() <= t) {
     step();
     ++n;
   }

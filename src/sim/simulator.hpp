@@ -8,18 +8,28 @@
 /// the seed — this is what makes every experiment in the repository
 /// reproducible and every test deterministic.
 ///
-/// The event heap is managed manually (std::push_heap / std::pop_heap over a
-/// vector) instead of std::priority_queue so the hot path can *move* events
-/// out; Figure 2 alone schedules tens of millions of them.  Callbacks are
-/// EventFn (sim/event_fn.hpp), not std::function: small captures live inside
-/// the event and oversized ones in a recycled slab, so the schedule→fire
-/// path performs zero heap allocations — asserted by tests against
-/// alloc_stats(), not just by inspection.
+/// The pending-event set is an EventQueue (sim/calendar_queue.hpp): a
+/// calendar queue by default, the original binary heap behind
+/// PQRA_QUEUE=heap.  Both pop strictly by (time, seq), so the executed
+/// schedule — and therefore the fingerprint and every byte of output — is
+/// identical across modes.  Callbacks are EventFn (sim/event_fn.hpp), not
+/// std::function: small captures live inside the event and oversized ones in
+/// a recycled slab, so the schedule→fire path performs zero heap
+/// allocations — asserted by tests against alloc_stats(), not just by
+/// inspection.
+///
+/// Batched fan-out support: a caller scheduling k causally-related events
+/// (a quorum send) can reserve_seqs(k) up front, schedule only the earliest
+/// entry with schedule_at_seq(), and report the rest as they are delivered
+/// inline or rescheduled — see net/sim_transport.cpp.  note_subevent() keeps
+/// events_processed() and the fingerprint identical to the unbatched
+/// schedule, so batching is invisible to every determinism check.
 
 #include <cstdint>
 #include <utility>
 #include <vector>
 
+#include "sim/calendar_queue.hpp"
 #include "sim/delay_model.hpp"
 #include "sim/event_fn.hpp"
 #include "sim/profiler.hpp"
@@ -29,7 +39,11 @@ namespace pqra::sim {
 
 class Simulator {
  public:
-  Simulator() = default;
+  /// Queue implementation from PQRA_QUEUE (calendar unless =heap).
+  Simulator() : Simulator(queue_mode_from_env()) {}
+  /// Explicit queue choice — used by the differential tests and the
+  /// fuzzer's heap/calendar cross-check (tools/explore).
+  explicit Simulator(QueueMode mode) : queue_(mode) {}
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -60,8 +74,39 @@ class Simulator {
   template <typename F>
   void schedule_at(Time t, EventTag tag, F&& fn) {
     PQRA_REQUIRE(t >= now_, "cannot schedule into the past");
-    push_event(t, tag, EventFn(std::forward<F>(fn), arena_));
+    push_event(t, next_seq_++, tag, EventFn(std::forward<F>(fn), arena_));
   }
+
+  /// Reserves \p k consecutive sequence numbers and returns the first.  A
+  /// batched fan-out draws its per-entry seqs here at send time, in creation
+  /// order, so the executed (time, seq) schedule is exactly what k separate
+  /// schedule_at() calls would have produced.
+  std::uint64_t reserve_seqs(std::uint64_t k) {
+    const std::uint64_t base = next_seq_;
+    next_seq_ += k;
+    return base;
+  }
+
+  /// Schedules the next pending entry of a reserved batch: \p fn fires at
+  /// (t, seq) where \p seq came from reserve_seqs().  A batched fan-out
+  /// keeps exactly one entry in the queue per block — the carrier event
+  /// reschedules (or inline-delivers, note_subevent()) its successors.
+  template <typename F>
+  void schedule_batch(Time t, std::uint64_t seq, EventTag tag, F&& fn) {
+    PQRA_REQUIRE(t >= now_, "cannot schedule into the past");
+    PQRA_CHECK(seq < next_seq_, "seq must come from reserve_seqs()");
+    push_event(t, seq, tag, EventFn(std::forward<F>(fn), arena_));
+  }
+
+  /// Accounts one batched fan-out entry delivered inline by the currently
+  /// firing event (equal-time run): bumps events_processed(), folds (t, seq)
+  /// into the fingerprint and pings the profiler, exactly as if the entry
+  /// had been popped as its own event.  \p t must equal now().
+  void note_subevent(Time t, std::uint64_t seq, EventTag tag);
+
+  /// The slab allocator event captures live in; batched fan-out blocks are
+  /// carved from the same arena so they obey the same zero-heap contract.
+  EventArena& arena() { return arena_; }
 
   /// Attaches (or detaches, nullptr) a self-profiler.  With none attached
   /// step() takes one extra branch and reads no clocks; with one attached
@@ -89,9 +134,16 @@ class Simulator {
   /// Clears a previous stop request so the simulation can be resumed.
   void clear_stop() { stop_requested_ = false; }
 
-  bool empty() const { return heap_.empty(); }
-  std::size_t pending_events() const { return heap_.size(); }
+  bool empty() const { return queue_.empty(); }
+  std::size_t pending_events() const { return queue_.size(); }
   std::uint64_t events_processed() const { return processed_; }
+
+  /// Which pending-event structure this simulator runs on.
+  QueueMode queue_mode() const { return queue_.mode(); }
+
+  /// Calendar reorganizations so far (0 in heap mode); exported as
+  /// pqra_sim_queue_bucket_resizes_total.
+  std::uint64_t queue_bucket_resizes() const { return queue_.bucket_resizes(); }
 
   /// Execution fingerprint: an FNV-1a fold of every fired event's (time,
   /// sequence number) pair, updated as the schedule→fire loop runs.  Two
@@ -100,39 +152,28 @@ class Simulator {
   /// assert byte-identical replays without recording the schedule itself
   /// (docs/EXPLORATION.md).  Costs two multiplies per event.
   std::uint64_t fingerprint() const { return fingerprint_; }
+
   /// Largest number of simultaneously pending events so far (the event
-  /// heap's high-water mark — the memory footprint the run actually needed).
-  std::size_t max_pending_events() const { return heap_high_water_; }
+  /// queue's high-water mark — the memory footprint the run actually
+  /// needed).
+  std::size_t queue_high_water() const { return queue_high_water_; }
+
+  /// \deprecated Pre-calendar-queue name for queue_high_water(); kept one
+  /// release for external callers.
+  std::size_t max_pending_events() const { return queue_high_water_; }
 
   /// Event-capture allocation tallies (inline vs slab vs counted heap
-  /// fallback) — the sibling of max_pending_events() for the allocation
+  /// fallback) — the sibling of queue_high_water() for the allocation
   /// story.  alloc_stats().heap_allocations() == 0 is the zero-allocation
   /// contract the unit tests assert for small captures.
   const EventArena::Stats& alloc_stats() const { return arena_.stats(); }
 
  private:
-  struct Event {
-    Time t;
-    std::uint64_t seq;
-    EventFn fn;
-    EventTag tag;
-  };
-
-  /// Max-heap comparator inverted so the *earliest* event is on top.
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.t != b.t) return a.t > b.t;
-      return a.seq > b.seq;
-    }
-  };
-
-  void push_event(Time t, EventTag tag, EventFn fn);
-
-  Time next_event_time() const { return heap_.front().t; }
+  void push_event(Time t, std::uint64_t seq, EventTag tag, EventFn fn);
 
   EventArena arena_;
-  std::vector<Event> heap_;
-  std::size_t heap_high_water_ = 0;
+  EventQueue queue_;
+  std::size_t queue_high_water_ = 0;
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;

@@ -1,0 +1,29 @@
+// Fixture: a calendar-queue implementation written the way the lint must
+// forbid — heap-allocating buckets per push, std::function items, and a
+// wall clock feeding the day-width estimate.  The real queue
+// (src/sim/calendar_queue.*) sits in hot-path scope exactly like this file
+// does under the fixture config.  Never compiled — linted only.
+#include <chrono>
+#include <functional>
+#include <vector>
+
+struct BadItem {
+  double t = 0.0;
+  std::function<void()> fn;  // heap-allocating callable storage per event
+};
+
+struct BadCalendarQueue {
+  std::vector<BadItem*> buckets;
+
+  void push(double t, std::function<void()> fn) {
+    auto* item = new BadItem{t, fn};  // per-push allocation in event code
+    buckets.push_back(item);
+  }
+
+  double tune_width() {
+    // Identity-revealing wall clock in the width estimate: two runs of the
+    // same seed would build different calendars.
+    auto now = std::chrono::system_clock::now();
+    return static_cast<double>(now.time_since_epoch().count() % 1024);
+  }
+};

@@ -168,13 +168,14 @@ TEST(SimulatorAllocation, ScheduleFireLoopIsAllocationFree) {
   EXPECT_EQ(simulator.alloc_stats().inline_events, 10000u);
 }
 
-TEST(SimulatorAllocation, StatsVisibleNextToMaxPendingEvents) {
+TEST(SimulatorAllocation, StatsVisibleNextToQueueHighWater) {
   Simulator simulator;
   for (int i = 0; i < 8; ++i) {
     simulator.schedule_at(static_cast<Time>(i), [] {});
   }
   simulator.run();
-  EXPECT_EQ(simulator.max_pending_events(), 8u);
+  EXPECT_EQ(simulator.queue_high_water(), 8u);
+  EXPECT_EQ(simulator.max_pending_events(), 8u);  // deprecated alias agrees
   EXPECT_EQ(simulator.alloc_stats().inline_events, 8u);
   EXPECT_EQ(simulator.alloc_stats().heap_allocations(), 0u);
 }

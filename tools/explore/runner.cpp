@@ -127,7 +127,7 @@ struct ClientDriver {
 /// i's single writer); multi-key profiles spread keys_per_client keys per
 /// client over the keyspace, optionally Zipf-skewed reads, contended
 /// writers, and consistent-hash replica groups (docs/SHARDING.md).
-RunOutcome run_direct(const ScheduleProfile& p,
+RunOutcome run_direct(const ScheduleProfile& p, sim::QueueMode mode,
                       obs::FlightRecorder* recorder) {
   RunOutcome out;
   util::Rng master(p.seed);
@@ -144,7 +144,7 @@ RunOutcome run_direct(const ScheduleProfile& p,
   // the wire is a position within the key's group, resolved per key.
   quorum::ProbabilisticQuorums quorums(sharded ? p.replicas : p.num_servers,
                                        p.quorum_size);
-  sim::Simulator sim;
+  sim::Simulator sim{mode};
   const std::unique_ptr<sim::DelayModel> delay = p.delay.make();
   net::SimTransport transport(sim, *delay, master.fork(10),
                               static_cast<net::NodeId>(p.num_servers + c));
@@ -185,18 +185,21 @@ RunOutcome run_direct(const ScheduleProfile& p,
 
   // Every key carries a preloaded initial so reads before the first write
   // are well-defined for [R2] — on every server under full replication, on
-  // the key's ring group only when sharded.
+  // the key's ring group only when sharded.  One shared zero value: copies
+  // alias (net/value.hpp), so this is a refcount bump per replica instead
+  // of an allocation per replica.
+  const core::Value zero = util::encode<std::int64_t>(0);
   std::vector<net::NodeId> group;
   for (std::size_t r = 0; r < total_keys; ++r) {
     const auto reg = static_cast<core::RegisterId>(r);
     if (sharded) {
       ring.replica_group(reg, p.replicas, group);
       for (net::NodeId owner : group) {
-        servers[owner].replica().preload(reg, util::encode<std::int64_t>(0));
+        servers[owner].replica().preload(reg, zero);
       }
     } else {
       for (core::ServerProcess& s : servers) {
-        s.replica().preload(reg, util::encode<std::int64_t>(0));
+        s.replica().preload(reg, zero);
       }
     }
     history.record_initial(reg);
@@ -305,7 +308,7 @@ RunOutcome run_direct(const ScheduleProfile& p,
 
 /// Alg. 1 scenario: APSP on the paper's 5-chain, run to convergence over
 /// the profile's cluster shape and fault schedule.
-RunOutcome run_alg1_scenario(const ScheduleProfile& p,
+RunOutcome run_alg1_scenario(const ScheduleProfile& p, sim::QueueMode mode,
                              obs::FlightRecorder* recorder) {
   RunOutcome out;
   const apps::Graph g = apps::make_chain(5);
@@ -340,6 +343,7 @@ RunOutcome run_alg1_scenario(const ScheduleProfile& p,
   o.retry = explore_retry();
   o.max_sim_time = p.horizon + 20000.0;
   o.flight_recorder = recorder;
+  o.queue_mode = mode;
 
   const iter::Alg1Result result = iter::run_alg1(op, o);
   out.fingerprint = result.fingerprint;
@@ -410,8 +414,13 @@ RunOutcome run_alg1_scenario(const ScheduleProfile& p,
 
 RunOutcome run_profile(const ScheduleProfile& profile,
                        obs::FlightRecorder* recorder) {
-  return profile.alg1 ? run_alg1_scenario(profile, recorder)
-                      : run_direct(profile, recorder);
+  return run_profile(profile, sim::queue_mode_from_env(), recorder);
+}
+
+RunOutcome run_profile(const ScheduleProfile& profile, sim::QueueMode mode,
+                       obs::FlightRecorder* recorder) {
+  return profile.alg1 ? run_alg1_scenario(profile, mode, recorder)
+                      : run_direct(profile, mode, recorder);
 }
 
 }  // namespace pqra::explore
