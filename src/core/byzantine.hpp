@@ -71,7 +71,12 @@ struct MaskedReadResult {
 /// Read/write client applying the b-masking rule over any quorum system.
 class MaskingRegisterClient final : public net::Receiver {
  public:
+  // Per-op completion callbacks: constructed once per client operation and
+  // amortized over the k-message quorum fan-out; the per-event fire path
+  // stays on sim::EventFn.
+  // pqra-lint: allow(hotpath-function) — per-op completion callback
   using ReadCallback = std::function<void(MaskedReadResult)>;
+  // pqra-lint: allow(hotpath-function) — per-op completion callback
   using WriteCallback = std::function<void(Timestamp)>;
 
   MaskingRegisterClient(sim::Simulator& simulator, net::Transport& transport,

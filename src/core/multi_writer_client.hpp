@@ -65,8 +65,13 @@ struct MwWriteResult {
 
 class MultiWriterRegisterClient final : public net::Receiver {
  public:
+  // Per-op completion callbacks: one type-erasure per client operation,
+  // amortized over the two-phase quorum fan-out; per-event work uses
+  // sim::EventFn.
+  // pqra-lint: allow(hotpath-function) — per-op completion callback
   using ReadCallback = std::function<void(MwReadResult)>;
   /// MwWriteResult converts to Tag, so `[](Tag tag)` lambdas work.
+  // pqra-lint: allow(hotpath-function) — per-op completion callback
   using WriteCallback = std::function<void(MwWriteResult)>;
 
   /// \p writer_id must be unique among all clients of the register and fit

@@ -142,8 +142,13 @@ struct ClientCounters {
 
 class QuorumRegisterClient final : public net::Receiver {
  public:
+  // Per-op completion callbacks: one type-erasure per client operation,
+  // amortized over the k-message quorum fan-out; the schedule->fire loop
+  // itself carries sim::EventFn, never these.
+  // pqra-lint: allow(hotpath-function) — per-op completion callback
   using ReadCallback = std::function<void(ReadResult)>;
   /// WriteResult converts to Timestamp, so `[](Timestamp ts)` lambdas work.
+  // pqra-lint: allow(hotpath-function) — per-op completion callback
   using WriteCallback = std::function<void(WriteResult)>;
 
   /// \p server_base: servers occupy NodeIds [server_base, server_base + n)
@@ -158,6 +163,7 @@ class QuorumRegisterClient final : public net::Receiver {
   /// Starts a read of \p reg; \p cb fires when the quorum has answered.
   void read(RegisterId reg, ReadCallback cb);
 
+  // pqra-lint: allow(hotpath-function) — per-op completion callback
   using SnapshotCallback = std::function<void(std::vector<ReadResult>)>;
 
   /// Snapshot read: fetches ALL of \p regs through a single quorum access

@@ -10,7 +10,6 @@
 ///   row.write(distances, [](Timestamp) { ... });
 ///   row.read([](Timestamp ts, std::vector<std::int64_t> v) { ... });
 
-#include <functional>
 #include <utility>
 
 #include "core/quorum_register_client.hpp"
@@ -21,19 +20,24 @@ namespace pqra::core {
 template <typename T>
 class TypedRegister {
  public:
-  using ReadCallback = std::function<void(Timestamp, T)>;
-  using WriteCallback = QuorumRegisterClient::WriteCallback;
-
   TypedRegister(QuorumRegisterClient& client, RegisterId reg)
       : client_(&client), reg_(reg) {}
 
-  void read(ReadCallback cb) {
-    client_->read(reg_, [cb = std::move(cb)](ReadResult r) {
+  /// \p cb is any callable `void(Timestamp, T)`.  Taking the callable's own
+  /// type (instead of a std::function alias) matters: wrapping a
+  /// std::function inside the decode lambda always overflowed the client
+  /// callback's small-buffer storage, costing a heap allocation per read —
+  /// a small lambda now rides through type erasure once and stays inline.
+  template <typename Cb>
+  void read(Cb cb) {
+    client_->read(reg_, [cb = std::move(cb)](ReadResult r) mutable {
       cb(r.ts, util::decode<T>(r.value));
     });
   }
 
-  void write(const T& value, WriteCallback cb) {
+  /// \p cb is any callable accepting a WriteResult (or Timestamp).
+  template <typename Cb>
+  void write(const T& value, Cb cb) {
     client_->write(reg_, util::encode(value), std::move(cb));
   }
 

@@ -40,6 +40,7 @@ class Alg1Process {
 
   /// Wires the process to the shared trackers; called once before start.
   void attach(RoundTracker* rounds, PseudocycleTracker* pseudocycles,
+              // pqra-lint: allow(hotpath-function) — wired once at setup
               std::function<void(std::size_t)> on_iteration_end) {
     rounds_ = rounds;
     pseudocycles_ = pseudocycles;
@@ -137,6 +138,7 @@ class Alg1Process {
 
   RoundTracker* rounds_ = nullptr;
   PseudocycleTracker* pseudocycles_ = nullptr;
+  // pqra-lint: allow(hotpath-function) — set once at attach(), only invoked
   std::function<void(std::size_t)> on_iteration_end_;
 };
 
@@ -174,10 +176,12 @@ Alg1Result run_alg1(const AcoOperator& op, const Alg1Options& options) {
   servers.reserve(n);
   for (std::size_t s = 0; s < n; ++s) {
     if (gossip.interval > 0.0) {
+      // pqra-lint: allow(hotpath-alloc) — scenario setup, before sim.run()
       servers.push_back(std::make_unique<core::ServerProcess>(
           transport, static_cast<net::NodeId>(s), simulator, gossip,
           master.fork(5000 + s), options.metrics));
     } else {
+      // pqra-lint: allow(hotpath-alloc) — scenario setup, before sim.run()
       servers.push_back(std::make_unique<core::ServerProcess>(
           transport, static_cast<net::NodeId>(s), options.metrics));
     }
@@ -196,6 +200,7 @@ Alg1Result run_alg1(const AcoOperator& op, const Alg1Options& options) {
 
   std::shared_ptr<core::spec::HistoryRecorder> history;
   if (options.record_history) {
+    // pqra-lint: allow(hotpath-alloc) — scenario setup, before sim.run()
     history = std::make_shared<core::spec::HistoryRecorder>();
     for (std::size_t j = 0; j < m; ++j) {
       history->record_initial(static_cast<net::RegisterId>(j));
@@ -226,6 +231,7 @@ Alg1Result run_alg1(const AcoOperator& op, const Alg1Options& options) {
   std::vector<std::unique_ptr<Alg1Process>> processes;
   processes.reserve(p);
   for (std::size_t i = 0; i < p; ++i) {
+    // pqra-lint: allow(hotpath-alloc) — scenario setup, before sim.run()
     processes.push_back(std::make_unique<Alg1Process>(
         i, p, op, simulator, transport, static_cast<net::NodeId>(n + i),
         quorums, master.fork(100 + i), client_options,

@@ -611,6 +611,7 @@ void LiveFaultDriver::run(FaultPlan plan, double scale) {
         start + std::chrono::duration_cast<Clock::duration>(
                     std::chrono::duration<double>(ev.at * scale));
     {
+      // pqra-lint: allow(hotpath-blocking) — LiveFaultDriver's own thread
       std::unique_lock lock(mutex_);
       if (cv_.wait_until(lock, due, [this] { return stopped_; })) return;
     }

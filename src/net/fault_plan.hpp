@@ -85,6 +85,7 @@ class FaultPlan {
   /// are folded into their node groups (first occurrence wins on
   /// duplicates).  The result has no key targets.
   FaultPlan resolve_keys(
+      // pqra-lint: allow(hotpath-function) — config-time rewrite, not events
       const std::function<NodeId(KeyId)>& primary) const;
 
   /// Crash + recover pair: node is down during [from, from + duration).
@@ -202,7 +203,9 @@ class LiveFaultDriver {
   void run(FaultPlan plan, double scale);
 
   ThreadTransport& transport_;
+  // pqra-lint: allow(hotpath-blocking) — LiveFaultDriver runs its own thread
   std::mutex mutex_;
+  // pqra-lint: allow(hotpath-blocking) — threaded-runtime driver, not DES
   std::condition_variable cv_;
   bool stopped_ = false;
   std::thread thread_;

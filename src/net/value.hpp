@@ -43,6 +43,9 @@ class Value {
   Value(util::Bytes bytes)  // NOLINT(google-explicit-constructor)
       : rep_(bytes.empty()
                  ? nullptr
+                 // one allocation per distinct written payload, amortized
+                 // over the k-server fan-out of copy-free Value reuse:
+                 // pqra-lint: allow(hotpath-alloc)
                  : std::make_shared<const util::Bytes>(std::move(bytes))) {}
 
   /// Wraps an already-shared buffer (advanced callers; may be null).

@@ -65,6 +65,10 @@ double Histogram::bucket_upper_bound(std::size_t i) {
 Registry::Entry& Registry::lookup(const std::string& name, Kind kind,
                                   const std::string& help, GaugeMerge merge) {
   PQRA_REQUIRE(!name.empty(), "instrument name must not be empty");
+  // Registration-time only: hot code binds handles once (bind_* / counter()
+  // at setup) and publish() runs end-of-run, so the lock and the first-touch
+  // allocations below never sit inside the fire loop.
+  // pqra-lint: allow(hotpath-blocking) — registration/publish path, not events
   std::lock_guard lock(mutex_);
   auto it = entries_.find(name);
   if (it != entries_.end()) {
@@ -79,12 +83,15 @@ Registry::Entry& Registry::lookup(const std::string& name, Kind kind,
   const bool atomic = mode_ == Concurrency::kThreadSafe;
   switch (kind) {
     case Kind::kCounter:
+      // pqra-lint: allow(hotpath-alloc) — first registration of the name
       entry.counter.reset(new Counter(atomic));
       break;
     case Kind::kGauge:
+      // pqra-lint: allow(hotpath-alloc) — first registration of the name
       entry.gauge.reset(new Gauge(atomic));
       break;
     case Kind::kHistogram:
+      // pqra-lint: allow(hotpath-alloc) — first registration of the name
       entry.histogram.reset(new Histogram(atomic));
       break;
   }

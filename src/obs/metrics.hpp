@@ -225,7 +225,9 @@ class Registry {
                 GaugeMerge merge = GaugeMerge::kLast);
 
   const Concurrency mode_;
-  mutable std::mutex mutex_;  // registration + snapshot only, never hot
+  // registration + snapshot only, never hot:
+  // pqra-lint: allow(hotpath-blocking)
+  mutable std::mutex mutex_;
   std::map<std::string, Entry> entries_;
 };
 

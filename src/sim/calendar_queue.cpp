@@ -43,7 +43,7 @@ constexpr double kWidthGapFactor = 2.0;
 
 QueueMode queue_mode_from_env() {
   // Construction-time only; the hot path never touches the environment.
-  const char* v = std::getenv("PQRA_QUEUE");
+  const char* v = std::getenv("PQRA_QUEUE");  // NOLINT(concurrency-mt-unsafe)
   if (v != nullptr && std::strcmp(v, "heap") == 0) return QueueMode::kHeap;
   return QueueMode::kCalendar;
 }

@@ -10,7 +10,8 @@ namespace pqra::util {
 namespace {
 
 LogLevel resolve_env_level() {
-  const char* env = std::getenv("PQRA_LOG");
+  // Read once at static init, before any thread spawns.
+  const char* env = std::getenv("PQRA_LOG");  // NOLINT(concurrency-mt-unsafe)
   if (env == nullptr) return LogLevel::kWarn;
   return parse_log_level(env);
 }

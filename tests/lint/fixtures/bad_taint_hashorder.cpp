@@ -1,0 +1,47 @@
+// Fixture: hash-iteration-order nondeterminism flowing into replay-critical
+// sinks.  The taint pass must name the full source -> sink chain, including
+// one-call-depth propagation through a return value.
+// Never compiled — linted only (tests/lint/lint_golden.cmake).
+#include <algorithm>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+std::uint64_t fnv1a(std::uint64_t h, int v);
+void encode(std::size_t v, std::vector<unsigned char>& out);
+
+// Direct chain: iteration order of an unordered container folds into a
+// fingerprint through the loop variable.
+std::uint64_t digest() {
+  std::unordered_map<int, int> table;
+  std::uint64_t fp = 1469598103934665603ull;
+  for (const auto& kv : table) {
+    fp = fnv1a(fp, kv.second);
+  }
+  return fp;
+}
+
+// One call-depth: digest()'s return taint reaches this ostream sink.
+void publish_digest() {
+  std::cout << "digest=" << digest() << "\n";
+}
+
+// std::hash is salted per process: its value must never reach encoded bytes.
+void key_bytes(const std::string& key, std::vector<unsigned char>& out) {
+  std::size_t h = std::hash<std::string>{}(key);
+  encode(h, out);
+}
+
+// Sanctioned fix: a sorted snapshot severs the order dependence, so the
+// fingerprint below must NOT be flagged by the taint pass.
+std::uint64_t digest_sorted() {
+  std::unordered_map<int, int> table;
+  std::vector<int> keys;
+  for (const auto& kv : table) keys.push_back(kv.first);
+  std::sort(keys.begin(), keys.end());
+  std::uint64_t fp = 1469598103934665603ull;
+  for (int k : keys) fp = fnv1a(fp, k);
+  return fp;
+}

@@ -1,0 +1,38 @@
+// Fixture: pointer-identity nondeterminism (ASLR) flowing into metrics,
+// stdout and ostream sinks.  The taint pass must flag each source form:
+// reinterpret_cast to integer, %p formatting, and void* stream insertion.
+// Never compiled — linted only (tests/lint/lint_golden.cmake).
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+
+struct Node {
+  int id;
+};
+
+namespace obs {
+void emit(const char* name, std::uint64_t value);
+}  // namespace obs
+
+// reinterpret_cast to integer: the address becomes a metric value.
+void count_node(const Node* n) {
+  std::uint64_t key = reinterpret_cast<std::uint64_t>(n);
+  obs::emit("node_touch", key);
+}
+
+// %p formatting prints the raw address.
+void log_node(const Node* n) {
+  std::printf("node at %p\n", static_cast<const void*>(n));
+}
+
+// void* stream insertion.
+void trace_node(std::ostream& os, const Node* n) {
+  os << "node@" << static_cast<const void*>(n) << "\n";
+}
+
+// Stable-id indirection is the sanctioned fix; this escape documents a
+// debugging-only pointer print kept on purpose, so it must NOT be flagged.
+void debug_node(const Node* n) {
+  // pqra-lint: allow(taint-ptr-identity) — debug aid, never in replay output
+  std::printf("dbg %p\n", static_cast<const void*>(n));
+}

@@ -1,0 +1,63 @@
+// Fixture: hot-path violations OUTSIDE the lexically configured hot-path
+// files, caught only by the call-graph reachability pass.  fire_loop is a
+// [callgraph] root in fixtures/lint.toml; everything it reaches is
+// DES-reachable and the diagnostics must pin the full call chain.
+// Never compiled — linted only (tests/lint/lint_golden.cmake).
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+
+struct Message {
+  int payload;
+};
+
+// Bottom of the chain: the violations live three hops from the root.
+Message* fresh_message() {
+  return new Message();
+}
+
+std::unique_ptr<Message> owned_message() {
+  return std::make_unique<Message>();
+}
+
+void wait_for_io() {
+  std::mutex gate;
+  std::lock_guard lock(gate);
+}
+
+// Middle layers.
+void dispatch(int n) {
+  for (int i = 0; i < n; ++i) {
+    Message* m = fresh_message();
+    auto o = owned_message();
+    (void)m;
+    (void)o;
+  }
+  wait_for_io();
+}
+
+// A reachable class: a std::function member counts against every path that
+// reaches any of the class's member functions.
+struct Callbacks {
+  std::function<void(Message*)> on_deliver;
+  void run() { on_deliver(fresh_message()); }
+};
+
+void pump(Callbacks& cb) { cb.run(); }
+
+void tick(int n) {
+  dispatch(n);
+  Callbacks cb;
+  pump(cb);
+}
+
+// Root: named in the fixture config's [callgraph] roots.
+void fire_loop() { tick(8); }
+
+// NOT reachable from fire_loop: the reachability pass must stay silent here
+// even though the allocation is identical to fresh_message's.
+void offline_tool() {
+  Message* scratch = new Message();
+  (void)scratch;
+}

@@ -1,0 +1,33 @@
+# Differential check (driven by the lint_diff ctest entry): the v2 analyzer
+# run with the v1-shaped config (fixtures/lint_v1.toml — no [callgraph],
+# taint rules allowlisted away) must reproduce every v1-era golden
+# byte-for-byte.  Together with the per-fixture golden tests (which run the
+# full v2 config) this pins the superset property: the new passes only add
+# diagnostics, they never change or drop a v1 diagnostic.
+#
+# Inputs: -DLINT=<pqra_lint binary> -DSRC_DIR=<tests/lint source dir>
+
+if(NOT LINT OR NOT SRC_DIR)
+  message(FATAL_ERROR "lint_diff.cmake needs -DLINT=... -DSRC_DIR=...")
+endif()
+
+set(v1_fixtures
+  bad_rng bad_clock bad_unordered bad_hotpath bad_explore bad_flightrec
+  bad_metric bad_keyspace bad_calendar_queue escapes_ok allowlist_ok)
+
+foreach(fixture IN LISTS v1_fixtures)
+  execute_process(
+    COMMAND "${LINT}" --config fixtures/lint_v1.toml
+            "fixtures/${fixture}.cpp"
+    WORKING_DIRECTORY "${SRC_DIR}"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  file(READ "${SRC_DIR}/golden/${fixture}.txt" expected)
+  if(NOT out STREQUAL expected)
+    message(FATAL_ERROR
+      "v1-config run on ${fixture}.cpp diverged from the v1 golden — the "
+      "v2 analyzer changed or dropped a v1 diagnostic.\n--- expected ---\n"
+      "${expected}\n--- actual ---\n${out}\nstderr:\n${err}")
+  endif()
+endforeach()

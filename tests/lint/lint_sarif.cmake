@@ -1,0 +1,86 @@
+# SARIF writer check (driven by the lint_sarif ctest entry): --sarif must
+# produce structurally valid SARIF 2.1.0 — parseable JSON, the right schema
+# and driver identity, one result per diagnostic, and every result's
+# ruleId/ruleIndex resolving into the driver's rules array.  (CI additionally
+# validates against the published 2.1.0 JSON schema; this test keeps the
+# invariants enforced in dependency-free local builds.)
+#
+# Inputs: -DLINT=<pqra_lint binary> -DSRC_DIR=<tests/lint source dir>
+#         -DWORK_DIR=<scratch dir>
+
+if(NOT LINT OR NOT SRC_DIR OR NOT WORK_DIR)
+  message(FATAL_ERROR
+    "lint_sarif.cmake needs -DLINT=... -DSRC_DIR=... -DWORK_DIR=...")
+endif()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(sarif "${WORK_DIR}/lint.sarif")
+
+execute_process(
+  COMMAND "${LINT}" --config fixtures/lint.toml --sarif "${sarif}" fixtures
+  WORKING_DIRECTORY "${SRC_DIR}"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 1)
+  message(FATAL_ERROR
+    "expected exit 1 over the fixture corpus, got ${rc}\n${out}\n${err}")
+endif()
+if(NOT out MATCHES "pqra_lint: ([0-9]+) violations")
+  message(FATAL_ERROR "could not parse the violation count\n${out}")
+endif()
+set(expected_count "${CMAKE_MATCH_1}")
+
+file(READ "${sarif}" doc)
+
+# Top-level shape.
+string(JSON version GET "${doc}" "version")
+if(NOT version STREQUAL "2.1.0")
+  message(FATAL_ERROR "SARIF version is '${version}', expected 2.1.0")
+endif()
+string(JSON schema GET "${doc}" "\$schema")
+if(NOT schema MATCHES "sarif-2\\.1\\.0")
+  message(FATAL_ERROR "\$schema does not name sarif-2.1.0: ${schema}")
+endif()
+string(JSON driver_name GET "${doc}" "runs" 0 "tool" "driver" "name")
+if(NOT driver_name STREQUAL "pqra-lint")
+  message(FATAL_ERROR "driver name is '${driver_name}', expected pqra-lint")
+endif()
+
+# Rules array: collect ids for the ruleIndex cross-check.
+string(JSON nrules LENGTH "${doc}" "runs" 0 "tool" "driver" "rules")
+set(rule_ids "")
+math(EXPR last_rule "${nrules} - 1")
+foreach(i RANGE ${last_rule})
+  string(JSON id GET "${doc}" "runs" 0 "tool" "driver" "rules" ${i} "id")
+  list(APPEND rule_ids "${id}")
+endforeach()
+
+# Results: count matches stdout, and each one is fully located.
+string(JSON nresults LENGTH "${doc}" "runs" 0 "results")
+if(NOT nresults EQUAL expected_count)
+  message(FATAL_ERROR
+    "SARIF has ${nresults} results but stdout reported ${expected_count}")
+endif()
+math(EXPR last_result "${nresults} - 1")
+foreach(i RANGE ${last_result})
+  string(JSON rule_id GET "${doc}" "runs" 0 "results" ${i} "ruleId")
+  string(JSON rule_idx GET "${doc}" "runs" 0 "results" ${i} "ruleIndex")
+  list(GET rule_ids ${rule_idx} indexed_id)
+  if(NOT rule_id STREQUAL indexed_id)
+    message(FATAL_ERROR
+      "result ${i}: ruleId '${rule_id}' but ruleIndex ${rule_idx} points at "
+      "'${indexed_id}'")
+  endif()
+  string(JSON msg GET "${doc}" "runs" 0 "results" ${i} "message" "text")
+  if(msg STREQUAL "")
+    message(FATAL_ERROR "result ${i} has an empty message")
+  endif()
+  string(JSON uri GET "${doc}" "runs" 0 "results" ${i} "locations" 0
+         "physicalLocation" "artifactLocation" "uri")
+  string(JSON line GET "${doc}" "runs" 0 "results" ${i} "locations" 0
+         "physicalLocation" "region" "startLine")
+  if(NOT uri MATCHES "^fixtures/" OR line LESS 1)
+    message(FATAL_ERROR "result ${i} has a bad location: ${uri}:${line}")
+  endif()
+endforeach()

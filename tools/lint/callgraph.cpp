@@ -1,0 +1,262 @@
+#include "callgraph.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+namespace pqra_lint {
+
+namespace {
+
+/// One node per FuncDef across all files; ids are stable because files
+/// arrive sorted by path.
+struct Graph {
+  const std::vector<const FileIndex*>& files;
+  std::vector<int> base;                       // file -> first node id
+  std::vector<std::vector<int>> adj;           // node -> callees
+  std::map<std::string, std::vector<int>> by_name;
+  std::map<std::string, std::vector<int>> by_name_method;  // class members only
+  std::map<std::string, std::vector<int>> by_qual;
+  std::map<std::string, std::vector<int>> pseudo_by_class;
+
+  int node(int file, int func) const { return base[file] + func; }
+  std::pair<int, int> split(int id) const {
+    int file = static_cast<int>(
+        std::upper_bound(base.begin(), base.end(), id) - base.begin() - 1);
+    return {file, id - base[file]};
+  }
+  const FuncDef& def(int id) const {
+    auto [fi, fj] = split(id);
+    return files[fi]->funcs[fj];
+  }
+
+  explicit Graph(const std::vector<const FileIndex*>& fs) : files(fs) {
+    int total = 0;
+    for (const FileIndex* f : files) {
+      base.push_back(total);
+      total += static_cast<int>(f->funcs.size());
+    }
+    adj.resize(total);
+    for (std::size_t fi = 0; fi < files.size(); ++fi) {
+      const FileIndex& f = *files[fi];
+      for (std::size_t fj = 0; fj < f.funcs.size(); ++fj) {
+        const FuncDef& fn = f.funcs[fj];
+        int id = node(static_cast<int>(fi), static_cast<int>(fj));
+        if (fn.is_class_scope) {
+          pseudo_by_class[fn.class_name].push_back(id);
+          continue;
+        }
+        if (!fn.name.empty()) {
+          by_name[fn.name].push_back(id);
+          by_qual[fn.qual].push_back(id);
+          if (!fn.class_name.empty()) by_name_method[fn.name].push_back(id);
+        }
+        if (fn.parent >= 0) {
+          adj[node(static_cast<int>(fi), fn.parent)].push_back(id);
+        }
+      }
+    }
+    // Member function -> class pseudo-node (class-scope declarations, e.g. a
+    // std::function member type, count as reachable with their class).
+    for (std::size_t fi = 0; fi < files.size(); ++fi) {
+      const FileIndex& f = *files[fi];
+      for (std::size_t fj = 0; fj < f.funcs.size(); ++fj) {
+        const FuncDef& fn = f.funcs[fj];
+        if (fn.is_class_scope || fn.class_name.empty()) continue;
+        auto it = pseudo_by_class.find(fn.class_name);
+        if (it == pseudo_by_class.end()) continue;
+        int id = node(static_cast<int>(fi), static_cast<int>(fj));
+        for (int pseudo : it->second) adj[id].push_back(pseudo);
+      }
+    }
+    // Call edges.
+    for (std::size_t fi = 0; fi < files.size(); ++fi) {
+      const FileIndex& f = *files[fi];
+      for (const CallSite& cs : f.calls) {
+        if (cs.func < 0) continue;  // file-scope initializer — no hot path
+        int from = node(static_cast<int>(fi), cs.func);
+        const std::vector<int>* targets = nullptr;
+        if (!cs.qual_prefix.empty()) {
+          auto it = by_qual.find(cs.qual_prefix + "::" + cs.callee);
+          if (it != by_qual.end()) targets = &it->second;
+        }
+        if (!targets) {
+          // x.f() / x->f() dispatches to *some* member function named f
+          // (virtual dispatch over-approximated by name); an unqualified
+          // call can also be a free function.
+          const auto& table = cs.member ? by_name_method : by_name;
+          auto it = table.find(cs.callee);
+          if (it != table.end()) targets = &it->second;
+        }
+        if (!targets) continue;
+        for (int to : *targets) {
+          if (to != from) adj[from].push_back(to);
+        }
+      }
+    }
+  }
+};
+
+bool root_matches(const FuncDef& fn, const std::string& root) {
+  if (root.find("::") != std::string::npos) {
+    if (fn.qual == root) return true;
+    // Suffix match so "Simulator::run" also hits nested namespaces.
+    return fn.qual.size() > root.size() &&
+           fn.qual.compare(fn.qual.size() - root.size(), root.size(), root) ==
+               0 &&
+           fn.qual[fn.qual.size() - root.size() - 1] == ':';
+  }
+  return fn.name == root;
+}
+
+std::string chain_string(const Graph& g, const std::vector<int>& parent,
+                         int id) {
+  std::vector<std::string> quals;
+  for (int cur = id; cur >= 0; cur = parent[cur]) {
+    quals.push_back(g.def(cur).qual);
+    if (parent[cur] == cur) break;
+  }
+  std::reverse(quals.begin(), quals.end());
+  // Long chains keep the root and the last hops; the middle elides.
+  if (quals.size() > 8) {
+    std::vector<std::string> cut;
+    cut.push_back(quals.front());
+    cut.push_back("...");
+    cut.insert(cut.end(), quals.end() - 6, quals.end());
+    quals.swap(cut);
+  }
+  std::string out;
+  for (std::size_t i = 0; i < quals.size(); ++i) {
+    if (i) out += " -> ";
+    out += quals[i];
+  }
+  return out;
+}
+
+std::string fact_message(const HotFact& h, const std::string& chain) {
+  std::string msg;
+  switch (h.rule) {
+    case 'f':
+      msg = "std::function in DES-reachable code";
+      break;
+    case 'a':
+      if (h.variant == 'n') {
+        msg = "`new` in DES-reachable code";
+      } else if (h.variant == 'm') {
+        msg = "`" + h.detail + "` in DES-reachable code";
+      } else {
+        msg = "`" + h.detail + "()` in DES-reachable code";
+      }
+      break;
+    default:
+      msg = "blocking primitive in DES-reachable code `" + h.detail + "`";
+      break;
+  }
+  return msg + " (call chain: " + chain + ")";
+}
+
+const char* rule_name(char rule) {
+  switch (rule) {
+    case 'f':
+      return "hotpath-function";
+    case 'a':
+      return "hotpath-alloc";
+    default:
+      return "hotpath-blocking";
+  }
+}
+
+}  // namespace
+
+void check_reachability(const Config& cfg,
+                        const std::vector<const FileIndex*>& files,
+                        std::vector<Violation>& out) {
+  Graph g(files);
+
+  // Union of the hotpath-* rules' lexical paths: functions defined there are
+  // DES code by definition and seed the walk.
+  std::vector<std::string> hot_paths;
+  static const char* kHotRules[] = {"hotpath-function", "hotpath-alloc",
+                                    "hotpath-blocking"};
+  for (const char* r : kHotRules) {
+    auto it = cfg.rules.find(r);
+    if (it == cfg.rules.end()) continue;
+    hot_paths.insert(hot_paths.end(), it->second.paths.begin(),
+                     it->second.paths.end());
+  }
+
+  std::vector<int> parent(g.adj.size(), -1);
+  std::vector<char> reachable(g.adj.size(), 0);
+  std::deque<int> queue;
+  for (std::size_t fi = 0; fi < files.size(); ++fi) {
+    const FileIndex& f = *files[fi];
+    bool hot_file = matches_any(hot_paths, f.path);
+    for (std::size_t fj = 0; fj < f.funcs.size(); ++fj) {
+      const FuncDef& fn = f.funcs[fj];
+      bool is_root = fn.is_event_body || (hot_file && !fn.is_class_scope);
+      if (!is_root) {
+        for (const std::string& r : cfg.callgraph.roots) {
+          if (root_matches(fn, r)) {
+            is_root = true;
+            break;
+          }
+        }
+      }
+      if (is_root) {
+        int id = g.node(static_cast<int>(fi), static_cast<int>(fj));
+        if (!reachable[id]) {
+          reachable[id] = 1;
+          parent[id] = id;  // self-parent marks a root
+          queue.push_back(id);
+        }
+      }
+    }
+  }
+  while (!queue.empty()) {
+    int cur = queue.front();
+    queue.pop_front();
+    for (int next : g.adj[cur]) {
+      if (!reachable[next]) {
+        reachable[next] = 1;
+        parent[next] = cur;
+        queue.push_back(next);
+      }
+    }
+  }
+  // Roots report with a one-element chain; normalize self-parents for
+  // chain_string's termination test.
+  for (std::size_t i = 0; i < parent.size(); ++i) {
+    if (parent[i] == static_cast<int>(i)) parent[i] = -1;
+  }
+
+  for (std::size_t fi = 0; fi < files.size(); ++fi) {
+    const FileIndex& f = *files[fi];
+    if (!cfg.callgraph.scope.empty() &&
+        !matches_any(cfg.callgraph.scope, f.path)) {
+      continue;
+    }
+    if (matches_any(cfg.callgraph.allow, f.path)) continue;
+    for (const HotFact& h : f.hot_facts) {
+      if (h.func < 0) continue;
+      const char* rule = rule_name(h.rule);
+      auto rc = cfg.rules.find(rule);
+      if (rc != cfg.rules.end()) {
+        // Files the lexical pass already covers, and files on the rule's
+        // allowlist, stay out of the reachability pass.
+        if (!rc->second.paths.empty() &&
+            matches_any(rc->second.paths, f.path)) {
+          continue;
+        }
+        if (matches_any(rc->second.allow, f.path)) continue;
+      }
+      int id = g.node(static_cast<int>(fi), h.func);
+      if (!reachable[id]) continue;
+      if (f.escaped(rule, h.line)) continue;
+      out.push_back({f.path, h.line, rule,
+                     fact_message(h, chain_string(g, parent, id)),
+                     rule_hint(rule)});
+    }
+  }
+}
+
+}  // namespace pqra_lint

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file callgraph.hpp
+/// Pass 2: project-wide call graph + DES reachability.
+///
+/// v1's hotpath-* rules were path-scoped: a heap-allocating helper in
+/// src/core/ called from an event body was invisible.  This pass links
+/// every indexed function into one graph (qualified call sites resolve by
+/// "Class::name"; member calls and unqualified calls fall back to matching
+/// every project function of that name, which over-approximates virtual
+/// dispatch; lambdas hang off their enclosing function; a class pseudo-node
+/// is reachable when any of its member functions is) and walks it from the
+/// DES fire loop:
+///
+///   roots = [callgraph].roots (qualified-name suffixes)
+///         ∪ every function defined in a hotpath-* `paths` file
+///         ∪ every lambda passed to a Simulator scheduler call
+///
+/// Every hot-path fact inside a reachable function of an in-scope file is
+/// then reported with the full root→function call chain in the diagnostic.
+/// Files already covered lexically by a rule's `paths` are skipped here, so
+/// v2 findings are a strict superset of v1's and nothing reports twice.
+
+#include <vector>
+
+#include "common.hpp"
+#include "index.hpp"
+
+namespace pqra_lint {
+
+/// Appends reachability-based hotpath-* violations for \p files (sorted by
+/// path; the order fixes BFS determinism and therefore chain choice).
+void check_reachability(const Config& cfg,
+                        const std::vector<const FileIndex*>& files,
+                        std::vector<Violation>& out);
+
+}  // namespace pqra_lint

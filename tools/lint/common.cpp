@@ -1,0 +1,369 @@
+#include "common.hpp"
+
+#include <cctype>
+#include <fstream>
+
+namespace pqra_lint {
+
+// ---------------------------------------------------------------------------
+// Rule catalogue
+// ---------------------------------------------------------------------------
+
+const std::vector<RuleInfo>& rule_table() {
+  static const std::vector<RuleInfo> kRules = {
+      {"determinism-rng",
+       "raw RNG sources (std::random_device, mt19937, rand) outside "
+       "util::Rng"},
+      {"determinism-clock",
+       "wall-clock reads (system_clock, time(), gettimeofday) in simulated "
+       "code"},
+      {"unordered-iter",
+       "iteration over std::unordered_{map,set} (hash order leaks into "
+       "output)"},
+      {"hotpath-function",
+       "std::function in DES hot-path code (heap-allocates)"},
+      {"hotpath-alloc",
+       "heap allocation (new/make_unique/malloc) in DES hot-path code"},
+      {"hotpath-blocking",
+       "blocking primitives (mutex/condition_variable/sleep) in DES code"},
+      {"metric-name",
+       "metric-name string literal outside src/obs/names.hpp (string "
+       "drift)"},
+      {"taint-hash-order",
+       "hash-ordered value (std::hash, unordered iteration) reaches an "
+       "output sink"},
+      {"taint-ptr-identity",
+       "pointer identity (ptr->int cast, %p, void* insertion) reaches an "
+       "output sink"},
+      {"taint-wall-clock",
+       "wall-clock value reaches an output sink (replay divergence)"},
+  };
+  return kRules;
+}
+
+bool known_rule(const std::string& rule) {
+  for (const RuleInfo& r : rule_table()) {
+    if (r.id == rule) return true;
+  }
+  return false;
+}
+
+const std::string& rule_hint(const std::string& rule) {
+  static const std::map<std::string, std::string> kHints = {
+      {"determinism-rng",
+       "draw randomness through util::Rng (src/util/rng.hpp); derive "
+       "per-stream generators with Rng::fork(stream_id)"},
+      {"determinism-clock",
+       "simulated code must take time from sim::Simulator::now(); threaded "
+       "runtime timeouts use steady_clock (allowlisted files only)"},
+      {"unordered-iter",
+       "iterate a sorted snapshot (copy keys/entries into a std::vector and "
+       "std::sort) or use std::map/std::set when order reaches any output"},
+      {"hotpath-function",
+       "use sim::EventFn (sim/event_fn.hpp): small-buffer storage, "
+       "no heap allocation in the schedule->fire loop"},
+      {"hotpath-alloc",
+       "event-path storage must come from sim::EventArena (recycled slab "
+       "blocks); construction-time factories need an inline escape"},
+      {"hotpath-blocking",
+       "the DES is single-threaded by contract (docs/PERFORMANCE.md); "
+       "threaded-runtime files belong on the rule's allowlist"},
+      {"metric-name",
+       "add a constant to src/obs/names.hpp and reference it "
+       "(obs::names::k...)"},
+      {"taint-hash-order",
+       "hash order must never reach bytes, fingerprints, metrics or stdout: "
+       "sort a snapshot before emitting, or key on deterministic ids "
+       "(docs/STATIC_ANALYSIS.md)"},
+      {"taint-ptr-identity",
+       "pointer values vary per run (ASLR/allocator): emit stable ids (node "
+       "index, op id) instead of addresses"},
+      {"taint-wall-clock",
+       "wall-clock values in output break byte-identical replay: take time "
+       "from sim::Simulator::now()"},
+  };
+  static const std::string kEmpty;
+  auto it = kHints.find(rule);
+  return it == kHints.end() ? kEmpty : it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+std::string trim(const std::string& s) {
+  std::size_t a = s.find_first_not_of(" \t\r");
+  if (a == std::string::npos) return "";
+  std::size_t b = s.find_last_not_of(" \t\r");
+  return s.substr(a, b - a + 1);
+}
+
+bool glob_match(const std::string& pat, const std::string& path) {
+  if (!pat.empty() && pat.back() == '/') {
+    return path.rfind(pat, 0) == 0;
+  }
+  std::size_t p = 0, s = 0, star = std::string::npos, mark = 0;
+  while (s < path.size()) {
+    if (p < pat.size() && (pat[p] == path[s])) {
+      ++p, ++s;
+    } else if (p < pat.size() && pat[p] == '*') {
+      star = p++;
+      mark = s;
+    } else if (star != std::string::npos) {
+      p = star + 1;
+      s = ++mark;
+    } else {
+      return false;
+    }
+  }
+  while (p < pat.size() && pat[p] == '*') ++p;
+  return p == pat.size();
+}
+
+bool matches_any(const std::vector<std::string>& pats,
+                 const std::string& path) {
+  for (const std::string& pat : pats) {
+    if (glob_match(pat, path)) return true;
+  }
+  return false;
+}
+
+std::string normalize(std::string p) {
+  for (char& c : p) {
+    if (c == '\\') c = '/';
+  }
+  if (p.rfind("./", 0) == 0) p = p.substr(2);
+  return p;
+}
+
+std::uint64_t fnv1a(const void* data, std::size_t n) {
+  const unsigned char* b = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= b[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string cache_encode(const std::string& s) {
+  static const char* hex = "0123456789abcdef";
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    if (c == '%' || c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+      out += '%';
+      out += hex[c >> 4];
+      out += hex[c & 0xf];
+    } else {
+      out += static_cast<char>(c);
+    }
+  }
+  return out;
+}
+
+static int hex_val(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  return -1;
+}
+
+std::string cache_decode(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '%' && i + 2 < s.size() && hex_val(s[i + 1]) >= 0 &&
+        hex_val(s[i + 2]) >= 0) {
+      out += static_cast<char>(hex_val(s[i + 1]) * 16 + hex_val(s[i + 2]));
+      i += 2;
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Configuration loader — a deliberately small TOML subset: [sections],
+// key = "string" | [ "array", "of", "strings" ], # comments.  Unlike v1,
+// every malformed construct is a hard error with a file:line diagnostic
+// (a silently-ignored line once let an unreadable config produce a clean
+// exit through a harness wrapper; see tests/lint/lint_config_error.cmake).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Splits a TOML string array body ("a", "b") into its elements.  Returns
+/// false when the body contains anything but quoted strings, commas and
+/// whitespace (a bare unquoted value used to vanish silently).
+bool parse_string_array(const std::string& body, std::vector<std::string>& out,
+                        std::string& why) {
+  std::size_t i = 0;
+  bool want_comma = false;
+  while (i < body.size()) {
+    char c = body[i];
+    if (std::isspace(static_cast<unsigned char>(c)) || c == ',') {
+      if (c == ',') want_comma = false;
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      if (want_comma) {
+        why = "missing ',' between array elements";
+        return false;
+      }
+      std::size_t end = body.find('"', i + 1);
+      if (end == std::string::npos) {
+        why = "unterminated string in array";
+        return false;
+      }
+      out.push_back(body.substr(i + 1, end - i - 1));
+      want_comma = true;
+      i = end + 1;
+      continue;
+    }
+    why = "array elements must be double-quoted strings";
+    return false;
+  }
+  return true;
+}
+
+struct Committer {
+  Config& cfg;
+  std::string section;
+
+  bool commit(const std::string& key, const std::string& value,
+              std::string& why) {
+    std::string body = value;
+    if (!body.empty() && body.front() == '[') {
+      std::size_t close = body.rfind(']');
+      if (close == std::string::npos) {
+        why = "unterminated array";
+        return false;
+      }
+      body = body.substr(1, close - 1);
+    } else if (!body.empty() && body.front() == '"') {
+      // A single string commits like a one-element array.
+    } else {
+      why = "value must be a \"string\" or [\"array\", \"of\", \"strings\"]";
+      return false;
+    }
+    std::vector<std::string> items;
+    if (!parse_string_array(body, items, why)) return false;
+
+    if (section == "lint") {
+      if (key == "extensions") {
+        cfg.extensions = items;
+        return true;
+      }
+      why = "unknown key '" + key + "' in [lint]";
+      return false;
+    }
+    if (section == "callgraph") {
+      if (key == "roots") cfg.callgraph.roots = items;
+      else if (key == "schedulers") cfg.callgraph.schedulers = items;
+      else if (key == "scope") cfg.callgraph.scope = items;
+      else if (key == "allow") cfg.callgraph.allow = items;
+      else {
+        why = "unknown key '" + key + "' in [callgraph]";
+        return false;
+      }
+      return true;
+    }
+    if (section.rfind("rule.", 0) == 0) {
+      RuleConfig& rc = cfg.rules[section.substr(5)];
+      if (key == "allow") rc.allow = items;
+      else if (key == "paths") rc.paths = items;
+      else {
+        why = "unknown key '" + key + "' in [" + section + "]";
+        return false;
+      }
+      return true;
+    }
+    why = "unknown section [" + section + "]";
+    return false;
+  }
+};
+
+}  // namespace
+
+bool load_config(const std::string& file, Config& cfg, std::string& err) {
+  std::ifstream in(file);
+  if (!in) {
+    err = file + ": cannot open config file";
+    return false;
+  }
+  Committer committer{cfg, ""};
+  std::string line, pending_key, pending_array;
+  int lineno = 0, pending_line = 0;
+  bool in_array = false;
+  auto fail = [&](int ln, const std::string& why) {
+    err = file + ":" + std::to_string(ln) + ": " + why;
+    return false;
+  };
+  while (std::getline(in, line)) {
+    ++lineno;
+    // Strip comments (a '#' outside quotes).
+    bool quoted = false;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      if (line[i] == '"') quoted = !quoted;
+      if (line[i] == '#' && !quoted) {
+        line = line.substr(0, i);
+        break;
+      }
+    }
+    if (quoted) return fail(lineno, "unterminated string");
+    line = trim(line);
+    if (in_array) {
+      pending_array += " " + line;
+      if (line.find(']') != std::string::npos) {
+        std::string why;
+        if (!committer.commit(pending_key, pending_array, why)) {
+          return fail(pending_line, why);
+        }
+        in_array = false;
+      }
+      continue;
+    }
+    if (line.empty()) continue;
+    if (line.front() == '[') {
+      if (line.back() != ']') {
+        return fail(lineno, "section header missing closing ']'");
+      }
+      committer.section = trim(line.substr(1, line.size() - 2));
+      if (committer.section.empty()) return fail(lineno, "empty section name");
+      if (committer.section.rfind("rule.", 0) == 0 &&
+          !known_rule(committer.section.substr(5))) {
+        return fail(lineno, "unknown rule '" + committer.section.substr(5) +
+                                "' (see --list-rules)");
+      }
+      continue;
+    }
+    std::size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      return fail(lineno, "expected 'key = value' or '[section]'");
+    }
+    std::string key = trim(line.substr(0, eq));
+    std::string value = trim(line.substr(eq + 1));
+    if (key.empty()) return fail(lineno, "missing key before '='");
+    if (committer.section.empty()) {
+      return fail(lineno, "key outside any [section]");
+    }
+    if (!value.empty() && value.front() == '[' &&
+        value.find(']') == std::string::npos) {
+      in_array = true;
+      pending_key = key;
+      pending_array = value;
+      pending_line = lineno;
+      continue;
+    }
+    std::string why;
+    if (!committer.commit(key, value, why)) return fail(lineno, why);
+  }
+  if (in_array) {
+    return fail(pending_line, "unterminated array (no closing ']')");
+  }
+  return true;
+}
+
+}  // namespace pqra_lint

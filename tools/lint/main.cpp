@@ -1,0 +1,467 @@
+/// \file main.cpp
+/// pqra_lint driver: file walk, incremental cache, parallel per-file
+/// indexing, the three passes (rules / reachability / taint), and the
+/// output backends (human diagnostics, --sarif, --diff filtering).
+///
+/// Exit status contract (unchanged from v1, relied on by
+/// bench/run_benches.sh and CI): 0 clean, 1 violations, 2 usage or
+/// configuration error.  Any config parse failure is a hard exit 2 with a
+/// file:line diagnostic — never a clean scan.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <thread>
+#include <tuple>
+
+#include "callgraph.hpp"
+#include "common.hpp"
+#include "index.hpp"
+#include "rules.hpp"
+#include "taint.hpp"
+
+namespace fs = std::filesystem;
+
+namespace pqra_lint {
+namespace {
+
+bool has_extension(const Config& cfg, const std::string& path) {
+  for (const std::string& ext : cfg.extensions) {
+    if (path.size() >= ext.size() &&
+        path.compare(path.size() - ext.size(), ext.size(), ext) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0
+      << " [--config FILE] [--cache FILE] [--sarif FILE] [--diff BASE]\n"
+         "       [--jobs N] [--list-rules] PATH...\n"
+         "Scans the given files/directories (relative to the working\n"
+         "directory) for pqra project-invariant violations.  With no\n"
+         "--config, reads .pqra-lint.toml from the working directory when\n"
+         "present.\n"
+         "  --cache FILE  reuse/update a content-hash-keyed index cache\n"
+         "  --sarif FILE  also write diagnostics as SARIF 2.1.0\n"
+         "  --diff BASE   only report findings in files changed vs the\n"
+         "                given git base (the scan still covers the tree:\n"
+         "                reachability and taint cross file boundaries)\n"
+         "  --jobs N      index N files in parallel (default: cores)\n"
+         "Exit: 0 clean, 1 violations, 2 error.\n";
+  return 2;
+}
+
+std::string read_file(const std::string& path, bool& ok) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    ok = false;
+    return "";
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  ok = true;
+  return ss.str();
+}
+
+// -- include resolution ------------------------------------------------------
+
+/// Quoted includes resolve the way the build does: against src/ (the
+/// project include root), then the including file's own directory, then the
+/// literal path.
+std::string resolve_include(const std::string& from, const std::string& inc) {
+  for (const fs::path& candidate :
+       {fs::path("src") / inc, fs::path(from).parent_path() / inc,
+        fs::path(inc)}) {
+    std::error_code ec;
+    if (fs::is_regular_file(candidate, ec)) {
+      return normalize(candidate.generic_string());
+    }
+  }
+  return "";
+}
+
+// -- SARIF -------------------------------------------------------------------
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+bool write_sarif(const std::string& file,
+                 const std::vector<Violation>& violations) {
+  std::ofstream os(file, std::ios::binary | std::ios::trunc);
+  if (!os) return false;
+  std::map<std::string, std::size_t> rule_index;
+  os << "{\n"
+        "  \"$schema\": "
+        "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+        "  \"version\": \"2.1.0\",\n"
+        "  \"runs\": [\n"
+        "    {\n"
+        "      \"tool\": {\n"
+        "        \"driver\": {\n"
+        "          \"name\": \"pqra-lint\",\n"
+        "          \"version\": \"2.0.0\",\n"
+        "          \"informationUri\": "
+        "\"https://example.invalid/docs/STATIC_ANALYSIS.md\",\n"
+        "          \"rules\": [\n";
+  const auto& rules = rule_table();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    rule_index[rules[i].id] = i;
+    os << "            {\n"
+       << "              \"id\": \"" << json_escape(rules[i].id) << "\",\n"
+       << "              \"shortDescription\": { \"text\": \""
+       << json_escape(rules[i].summary) << "\" },\n"
+       << "              \"help\": { \"text\": \""
+       << json_escape(rule_hint(rules[i].id)) << "\" },\n"
+       << "              \"defaultConfiguration\": { \"level\": \"error\" }\n"
+       << "            }" << (i + 1 < rules.size() ? "," : "") << "\n";
+  }
+  os << "          ]\n"
+        "        }\n"
+        "      },\n"
+        "      \"columnKind\": \"utf16CodeUnits\",\n"
+        "      \"results\": [\n";
+  for (std::size_t i = 0; i < violations.size(); ++i) {
+    const Violation& v = violations[i];
+    std::size_t ri =
+        rule_index.count(v.rule) ? rule_index[v.rule] : std::size_t{0};
+    os << "        {\n"
+       << "          \"ruleId\": \"" << json_escape(v.rule) << "\",\n"
+       << "          \"ruleIndex\": " << ri << ",\n"
+       << "          \"level\": \"error\",\n"
+       << "          \"message\": { \"text\": \""
+       << json_escape(v.message + "; hint: " + v.hint) << "\" },\n"
+       << "          \"locations\": [\n"
+       << "            {\n"
+       << "              \"physicalLocation\": {\n"
+       << "                \"artifactLocation\": { \"uri\": \""
+       << json_escape(v.path) << "\" },\n"
+       << "                \"region\": { \"startLine\": "
+       << (v.line > 0 ? v.line : 1) << " }\n"
+       << "              }\n"
+       << "            }\n"
+       << "          ]\n"
+       << "        }" << (i + 1 < violations.size() ? "," : "") << "\n";
+  }
+  os << "      ]\n"
+        "    }\n"
+        "  ]\n"
+        "}\n";
+  return static_cast<bool>(os);
+}
+
+// -- --diff ------------------------------------------------------------------
+
+/// Changed files vs \p base via git; returns false (with \p err set) when
+/// git fails — a bad base must not silently report an empty scan.
+bool changed_files(const std::string& base, std::set<std::string>& out,
+                   std::string& err) {
+  for (char c : base) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == '-' || c == '.' || c == '/' || c == '~' || c == '^')) {
+      err = "invalid --diff base '" + base + "'";
+      return false;
+    }
+  }
+  std::string cmd = "git diff --name-only " + base + " -- 2>/dev/null";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (!pipe) {
+    err = "cannot run git for --diff";
+    return false;
+  }
+  char buf[4096];
+  std::string acc;
+  while (std::size_t got = std::fread(buf, 1, sizeof buf, pipe)) {
+    acc.append(buf, got);
+  }
+  int rc = pclose(pipe);
+  if (rc != 0) {
+    err = "git diff --name-only " + base + " failed (not a repo, or unknown "
+          "base?)";
+    return false;
+  }
+  std::istringstream ss(acc);
+  std::string line;
+  while (std::getline(ss, line)) {
+    line = trim(line);
+    if (!line.empty()) out.insert(normalize(line));
+  }
+  return true;
+}
+
+}  // namespace
+}  // namespace pqra_lint
+
+int main(int argc, char** argv) {
+  using namespace pqra_lint;
+
+  std::string config_file, cache_file, sarif_file, diff_base;
+  std::vector<std::string> roots;
+  bool list_rules = false;
+  int jobs = 0;
+  for (int a = 1; a < argc; ++a) {
+    std::string arg = argv[a];
+    if (arg == "--config") {
+      if (++a >= argc) return usage(argv[0]);
+      config_file = argv[a];
+    } else if (arg == "--cache") {
+      if (++a >= argc) return usage(argv[0]);
+      cache_file = argv[a];
+    } else if (arg == "--sarif") {
+      if (++a >= argc) return usage(argv[0]);
+      sarif_file = argv[a];
+    } else if (arg == "--diff") {
+      if (++a >= argc) return usage(argv[0]);
+      diff_base = argv[a];
+    } else if (arg == "--jobs") {
+      if (++a >= argc) return usage(argv[0]);
+      jobs = std::atoi(argv[a]);
+      if (jobs < 1) return usage(argv[0]);
+    } else if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(argv[0]);
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (list_rules) {
+    for (const RuleInfo& r : rule_table()) {
+      std::printf("%-20s %s\n", r.id.c_str(), r.summary.c_str());
+    }
+    return 0;
+  }
+  if (roots.empty()) return usage(argv[0]);
+
+  Config cfg;
+  if (config_file.empty() && fs::exists(".pqra-lint.toml")) {
+    config_file = ".pqra-lint.toml";
+  }
+  if (!config_file.empty()) {
+    std::string err;
+    if (!load_config(config_file, cfg, err)) {
+      std::cerr << "pqra_lint: " << err << "\n";
+      return 2;
+    }
+  }
+
+  // Collect files (sorted for deterministic diagnostics).
+  std::vector<std::string> files;
+  for (const std::string& root : roots) {
+    fs::path rp(root);
+    std::error_code ec;
+    if (fs::is_directory(rp, ec)) {
+      for (fs::recursive_directory_iterator it(rp, ec), end; it != end;
+           it.increment(ec)) {
+        if (ec) break;
+        if (!it->is_regular_file()) continue;
+        std::string p = normalize(it->path().generic_string());
+        if (has_extension(cfg, p)) files.push_back(p);
+      }
+    } else if (fs::is_regular_file(rp, ec)) {
+      files.push_back(normalize(rp.generic_string()));
+    } else {
+      std::cerr << "pqra_lint: no such file or directory: " << root << "\n";
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  // The cache key folds the scheduler list: event-body marking happens at
+  // index time, so a scheduler change must invalidate everything.
+  std::string token_src = "pqra-lint-2.0";
+  for (const std::string& s : cfg.callgraph.schedulers) {
+    token_src += "|" + s;
+  }
+  std::uint64_t config_token = fnv1a(token_src.data(), token_src.size());
+  IndexCache cache;
+  if (!cache_file.empty()) {
+    (void)load_cache(cache_file, config_token, cache);  // miss = cold scan
+  }
+
+  // Pass 1: per-file indexing, parallel across files, deterministic by
+  // slotting results at the file's position.
+  std::vector<FileIndex> indexes(files.size());
+  std::vector<std::string> read_errors(files.size());
+  {
+    unsigned hw = std::thread::hardware_concurrency();
+    int nthreads = jobs > 0 ? jobs : (hw > 0 ? static_cast<int>(hw) : 1);
+    nthreads = std::min<int>(nthreads, static_cast<int>(files.size()));
+    if (nthreads < 1) nthreads = 1;
+    std::atomic<std::size_t> next{0};
+    auto worker = [&]() {
+      for (std::size_t i = next.fetch_add(1); i < files.size();
+           i = next.fetch_add(1)) {
+        bool ok = false;
+        std::string contents = read_file(files[i], ok);
+        if (!ok) {
+          read_errors[i] = files[i];
+          continue;
+        }
+        std::uint64_t hash = fnv1a(contents.data(), contents.size());
+        if (const FileIndex* hit = cache.lookup(files[i], hash)) {
+          indexes[i] = *hit;
+        } else {
+          indexes[i] =
+              build_index(files[i], contents, cfg.callgraph.schedulers);
+        }
+      }
+    };
+    std::vector<std::thread> pool;
+    for (int t = 1; t < nthreads; ++t) pool.emplace_back(worker);
+    worker();
+    for (std::thread& t : pool) t.join();
+  }
+  for (const std::string& err : read_errors) {
+    if (!err.empty()) {
+      std::cerr << "pqra_lint: cannot read " << err << "\n";
+      return 2;
+    }
+  }
+
+  std::map<std::string, const FileIndex*> by_path;
+  for (const FileIndex& idx : indexes) by_path[idx.path] = &idx;
+
+  // Headers pulled in by scanned files but outside the scan set still
+  // contribute unordered-container names; index them on demand.
+  std::map<std::string, FileIndex> aux;
+  auto get_index = [&](const std::string& path) -> const FileIndex* {
+    auto hit = by_path.find(path);
+    if (hit != by_path.end()) return hit->second;
+    auto ax = aux.find(path);
+    if (ax != aux.end()) return &ax->second;
+    bool ok = false;
+    std::string contents = read_file(path, ok);
+    if (!ok) return nullptr;
+    std::uint64_t hash = fnv1a(contents.data(), contents.size());
+    FileIndex idx;
+    if (const FileIndex* cached = cache.lookup(path, hash)) {
+      idx = *cached;
+    } else {
+      idx = build_index(path, contents, cfg.callgraph.schedulers);
+    }
+    return &aux.emplace(path, std::move(idx)).first->second;
+  };
+
+  // Transitive include closure -> unordered-container names per file (v1
+  // resolved one level; the closure catches aliases two headers deep).
+  std::map<std::string, std::set<std::string>> closure_names;
+  for (const FileIndex& idx : indexes) {
+    std::set<std::string>& names = closure_names[idx.path];
+    std::set<std::string> visited{idx.path};
+    std::vector<const FileIndex*> queue{&idx};
+    while (!queue.empty()) {
+      const FileIndex* cur = queue.back();
+      queue.pop_back();
+      names.insert(cur->unordered_names.begin(), cur->unordered_names.end());
+      for (const std::string& inc : cur->includes) {
+        std::string resolved = resolve_include(cur->path, inc);
+        if (resolved.empty() || !visited.insert(resolved).second) continue;
+        if (const FileIndex* next = get_index(resolved)) {
+          queue.push_back(next);
+        }
+      }
+    }
+  }
+
+  // Passes 2+3 over the scanned set.
+  std::vector<const FileIndex*> file_ptrs;
+  for (const FileIndex& idx : indexes) file_ptrs.push_back(&idx);
+  std::vector<Violation> violations;
+  for (const FileIndex& idx : indexes) {
+    check_file_rules(cfg, idx, closure_names[idx.path], violations);
+  }
+  check_reachability(cfg, file_ptrs, violations);
+  check_taint(cfg, file_ptrs, closure_names, violations);
+
+  if (!diff_base.empty()) {
+    std::set<std::string> changed;
+    std::string err;
+    if (!changed_files(diff_base, changed, err)) {
+      std::cerr << "pqra_lint: " << err << "\n";
+      return 2;
+    }
+    violations.erase(std::remove_if(violations.begin(), violations.end(),
+                                    [&changed](const Violation& v) {
+                                      return changed.count(v.path) == 0;
+                                    }),
+                     violations.end());
+  }
+
+  // stable_sort: two diagnostics can tie on (path, line, rule) — e.g. a
+  // `mutex` and a `lock_guard` fact on one line — and their relative order
+  // must not depend on what else is in the array, or a one-file edit could
+  // reshuffle another file's output.  Ties keep deterministic emission order.
+  std::stable_sort(violations.begin(), violations.end(),
+                   [](const Violation& a, const Violation& b) {
+                     return std::tie(a.path, a.line, a.rule) <
+                            std::tie(b.path, b.line, b.rule);
+                   });
+  for (const Violation& v : violations) {
+    std::cout << v.path << ":" << v.line << ": [" << v.rule << "] "
+              << v.message << "\n    hint: " << v.hint << "\n";
+  }
+
+  if (!sarif_file.empty() && !write_sarif(sarif_file, violations)) {
+    std::cerr << "pqra_lint: cannot write SARIF to " << sarif_file << "\n";
+    return 2;
+  }
+  if (!cache_file.empty()) {
+    IndexCache fresh;
+    for (FileIndex& idx : indexes) fresh.put(std::move(idx));
+    for (auto& [path, idx] : aux) {
+      (void)path;
+      fresh.put(std::move(idx));
+    }
+    (void)save_cache(cache_file, config_token, fresh);  // best-effort
+  }
+
+  if (!violations.empty()) {
+    std::cout << "pqra_lint: " << violations.size() << " violation"
+              << (violations.size() == 1 ? "" : "s") << " in " << files.size()
+              << " files scanned\n";
+    return 1;
+  }
+  std::cout << "pqra_lint: clean (" << files.size() << " files scanned)\n";
+  return 0;
+}

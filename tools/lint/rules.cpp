@@ -1,0 +1,123 @@
+#include "rules.hpp"
+
+namespace pqra_lint {
+
+bool rule_applies(const Config& cfg, const std::string& rule,
+                  const std::string& path) {
+  auto it = cfg.rules.find(rule);
+  if (it == cfg.rules.end()) return true;  // unconfigured: global scope
+  const RuleConfig& rc = it->second;
+  if (!rc.paths.empty() && !matches_any(rc.paths, path)) return false;
+  return !matches_any(rc.allow, path);
+}
+
+namespace {
+
+void report(const FileIndex& idx, const std::string& rule, int line,
+            const std::string& message, std::vector<Violation>& out) {
+  if (idx.escaped(rule, line)) return;
+  out.push_back({idx.path, line, rule, message, rule_hint(rule)});
+}
+
+}  // namespace
+
+void check_file_rules(const Config& cfg, const FileIndex& idx,
+                      const std::set<std::string>& closure_names,
+                      std::vector<Violation>& out) {
+  // Emission order per file mirrors v1 (rng idents, rng calls, clock
+  // idents, clock calls, unordered sites, function, alloc, blocking,
+  // metric): the final sort is unstable, so ties on (path, line, rule) keep
+  // their input order only if we feed them identically.
+  if (rule_applies(cfg, "determinism-rng", idx.path)) {
+    for (const TokenFact& t : idx.token_facts) {
+      if (t.rule == 'r' && t.variant == 'i') {
+        report(idx, "determinism-rng", t.line,
+               "non-reproducible RNG source `" + t.detail + "`", out);
+      }
+    }
+    for (const TokenFact& t : idx.token_facts) {
+      if (t.rule == 'r' && t.variant == 'c') {
+        report(idx, "determinism-rng", t.line,
+               "libc RNG `" + t.detail + "()`", out);
+      }
+    }
+  }
+  if (rule_applies(cfg, "determinism-clock", idx.path)) {
+    for (const TokenFact& t : idx.token_facts) {
+      if (t.rule == 'c' && t.variant == 'i') {
+        report(idx, "determinism-clock", t.line,
+               "wall-clock source `" + t.detail + "`", out);
+      }
+    }
+    for (const TokenFact& t : idx.token_facts) {
+      if (t.rule == 'c' && t.variant == 'c') {
+        report(idx, "determinism-clock", t.line,
+               "libc wall-clock call `" + t.detail + "()`", out);
+      }
+    }
+  }
+  if (rule_applies(cfg, "unordered-iter", idx.path) &&
+      !closure_names.empty()) {
+    for (const IterSite& site : idx.iter_sites) {
+      if (site.form == 'r') {
+        for (const auto& [name, line] : site.idents) {
+          if (closure_names.count(name)) {
+            report(idx, "unordered-iter", line,
+                   "range-for over unordered container `" + name + "`", out);
+            break;
+          }
+        }
+      } else {
+        const auto& [name, line] = site.idents.front();
+        if (closure_names.count(name)) {
+          report(idx, "unordered-iter", line,
+                 "iterator walk over unordered container `" + name + "`",
+                 out);
+        }
+      }
+    }
+  }
+  if (rule_applies(cfg, "hotpath-function", idx.path)) {
+    for (const HotFact& h : idx.hot_facts) {
+      if (h.rule == 'f') {
+        report(idx, "hotpath-function", h.line,
+               "std::function in DES hot-path code", out);
+      }
+    }
+  }
+  if (rule_applies(cfg, "hotpath-alloc", idx.path)) {
+    for (const HotFact& h : idx.hot_facts) {
+      if (h.rule != 'a') continue;
+      if (h.variant == 'n') {
+        report(idx, "hotpath-alloc", h.line, "`new` in DES hot-path code",
+               out);
+      } else if (h.variant == 'm') {
+        report(idx, "hotpath-alloc", h.line,
+               "`" + h.detail + "` in DES hot-path code", out);
+      } else {
+        report(idx, "hotpath-alloc", h.line,
+               "`" + h.detail + "()` in DES hot-path code", out);
+      }
+    }
+  }
+  if (rule_applies(cfg, "hotpath-blocking", idx.path)) {
+    for (const HotFact& h : idx.hot_facts) {
+      if (h.rule == 'b') {
+        report(idx, "hotpath-blocking", h.line,
+               "blocking primitive in DES code `" + h.detail + "`", out);
+      }
+    }
+  }
+  if (rule_applies(cfg, "metric-name", idx.path)) {
+    for (const TokenFact& t : idx.token_facts) {
+      if (t.rule == 'm') {
+        report(idx, "metric-name", t.line,
+               "metric-name literal \"" + t.detail +
+                   "\" outside src/obs/names.hpp",
+               out);
+      }
+    }
+  }
+}
+
+}  // namespace pqra_lint

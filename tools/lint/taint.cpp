@@ -1,0 +1,191 @@
+#include "taint.hpp"
+
+#include <algorithm>
+
+namespace pqra_lint {
+
+namespace {
+
+/// Where a tainted value came from, carried alongside the taint kind so the
+/// diagnostic can name the full chain.
+struct Origin {
+  std::string detail;  // source construct ("std::hash", "time()", ...)
+  std::string path;    // file of the source
+  int line = 0;
+  std::string via;  // propagation step ("via `key`", "returned by `f()`")
+};
+
+using TaintSet = std::map<char, Origin>;  // kind -> first origin
+
+void merge(TaintSet& into, char kind, const Origin& origin) {
+  into.emplace(kind, origin);  // first origin wins (deterministic)
+}
+
+void merge_all(TaintSet& into, const TaintSet& from, const std::string& via) {
+  for (const auto& [kind, origin] : from) {
+    Origin o = origin;
+    o.via = via;
+    into.emplace(kind, o);
+  }
+}
+
+const char* rule_for(char kind) {
+  switch (kind) {
+    case 'h':
+      return "taint-hash-order";
+    case 'p':
+      return "taint-ptr-identity";
+    default:
+      return "taint-wall-clock";
+  }
+}
+
+const char* sink_desc(const std::string& sinks) {
+  // Priority: the most replay-critical sink names the diagnostic.
+  if (sinks.find('e') != std::string::npos) return "`Codec::encode` bytes";
+  if (sinks.find('g') != std::string::npos) return "fingerprint accumulation";
+  if (sinks.find('o') != std::string::npos) return "obs:: metric emission";
+  if (sinks.find('s') != std::string::npos) return "ostream output";
+  return "stdout output";
+}
+
+struct Interp {
+  const Config& cfg;
+  const std::map<std::string, std::set<std::string>>& closure_names;
+  const std::map<std::string, const FileIndex*>& by_path;
+  // Return-taint summaries keyed by unqualified callee name (merged across
+  // all same-named functions: virtual dispatch over-approximated by name).
+  std::map<std::string, TaintSet> summaries;
+
+  /// Interprets every function of \p f once.  With \p use_calls the
+  /// summaries feed call sites and sinks report into \p out; without, only
+  /// return summaries accumulate (phase A).
+  void run_file(const FileIndex& f, bool use_calls,
+                std::vector<Violation>* out) {
+    const std::set<std::string>* unordered = nullptr;
+    auto cn = closure_names.find(f.path);
+    if (cn != closure_names.end()) unordered = &cn->second;
+
+    // Statements are stored in token order; group per function.
+    std::map<int, std::vector<const Stmt*>> per_func;
+    for (const Stmt& s : f.stmts) per_func[s.func].push_back(&s);
+
+    for (const auto& [func, stmts] : per_func) {
+      (void)func;
+      std::map<std::string, TaintSet> vars;
+      TaintSet ret;
+      // Two passes so loop-carried taint (defined below its use) settles.
+      for (int pass = 0; pass < 2; ++pass) {
+        bool report_pass = use_calls && pass == 1;
+        for (const Stmt* sp : stmts) {
+          const Stmt& st = *sp;
+          if (st.sanitize) {
+            // std::sort(v.begin(), v.end()): a sorted snapshot is the
+            // sanctioned fix — clear every name the statement touches.
+            for (const std::string& id : st.idents) vars.erase(id);
+            continue;
+          }
+          TaintSet incoming;
+          for (const TaintSource& src : st.sources) {
+            merge(incoming, src.kind, {src.detail, f.path, src.line, ""});
+          }
+          if (st.is_range_for && unordered) {
+            for (const std::string& id : st.idents) {
+              if (unordered->count(id)) {
+                merge(incoming, 'h',
+                      {"unordered iteration over `" + id + "`", f.path,
+                       st.line, ""});
+                break;
+              }
+            }
+          }
+          for (const std::string& id : st.idents) {
+            auto it = vars.find(id);
+            if (it != vars.end()) {
+              merge_all(incoming, it->second, "via `" + id + "`");
+            }
+          }
+          if (use_calls) {
+            for (const std::string& callee : st.calls) {
+              auto it = summaries.find(callee);
+              if (it != summaries.end()) {
+                merge_all(incoming, it->second,
+                          "returned by `" + callee + "()`");
+              }
+            }
+          }
+          if (report_pass && !st.sinks.empty() && !incoming.empty()) {
+            report(f, st, incoming, *out);
+          }
+          if (st.is_return) {
+            for (const auto& [kind, origin] : incoming) {
+              ret.emplace(kind, origin);
+            }
+          }
+          if (!st.lhs.empty()) {
+            if (incoming.empty()) {
+              vars.erase(st.lhs);
+            } else {
+              vars[st.lhs] = incoming;
+            }
+          }
+        }
+      }
+      if (!use_calls && !ret.empty() && func >= 0 &&
+          func < static_cast<int>(f.funcs.size())) {
+        const std::string& name = f.funcs[func].name;
+        if (!name.empty()) {
+          for (const auto& [kind, origin] : ret) {
+            summaries[name].emplace(kind, origin);
+          }
+        }
+      }
+    }
+  }
+
+  void report(const FileIndex& f, const Stmt& st, const TaintSet& incoming,
+              std::vector<Violation>& out) const {
+    for (const auto& [kind, origin] : incoming) {
+      const char* rule = rule_for(kind);
+      auto rc = cfg.rules.find(rule);
+      if (rc != cfg.rules.end()) {
+        if (!rc->second.paths.empty() &&
+            !matches_any(rc->second.paths, f.path)) {
+          continue;
+        }
+        if (matches_any(rc->second.allow, f.path)) continue;
+      }
+      if (f.escaped(rule, st.line)) continue;
+      // An escape at the source site covers its downstream sinks too.
+      auto src_file = by_path.find(origin.path);
+      if (src_file != by_path.end() &&
+          src_file->second->escaped(rule, origin.line)) {
+        continue;
+      }
+      std::string msg = "nondeterministic value reaches " +
+                        std::string(sink_desc(st.sinks)) + " (source: " +
+                        origin.detail + " at " + origin.path + ":" +
+                        std::to_string(origin.line);
+      if (!origin.via.empty()) msg += ", " + origin.via;
+      msg += ")";
+      out.push_back({f.path, st.line, rule, msg, rule_hint(rule)});
+    }
+  }
+};
+
+}  // namespace
+
+void check_taint(
+    const Config& cfg, const std::vector<const FileIndex*>& files,
+    const std::map<std::string, std::set<std::string>>& closure_names,
+    std::vector<Violation>& out) {
+  std::map<std::string, const FileIndex*> by_path;
+  for (const FileIndex* f : files) by_path[f->path] = f;
+  Interp interp{cfg, closure_names, by_path, {}};
+  // Phase A: intra-procedural return-taint summaries.
+  for (const FileIndex* f : files) interp.run_file(*f, false, nullptr);
+  // Phase B: propagate one call-depth and report sinks.
+  for (const FileIndex* f : files) interp.run_file(*f, true, &out);
+}
+
+}  // namespace pqra_lint

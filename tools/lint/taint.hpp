@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file taint.hpp
+/// Pass 3: nondeterminism-taint propagation.
+///
+/// Sources of run-to-run nondeterminism — unordered-container iteration
+/// order, std::hash, pointer-to-integer casts, addresses formatted via %p
+/// or `ostream << (void*)`, wall clocks — are propagated through
+/// assignments, returns and one call-depth (a function whose return value
+/// is tainted taints its callers' uses) into output sinks: Codec encode
+/// calls, fingerprint accumulation, obs:: emitters and ostream/stdout
+/// writes.  Each surviving source→sink chain reports as one of
+/// taint-hash-order / taint-ptr-identity / taint-wall-clock with the source
+/// construct, its location and the propagation step named in the message.
+///
+/// std::sort / std::stable_sort act as sanitizers: sorting a snapshot is
+/// exactly the sanctioned fix for hash-order leaks, so sorted names drop
+/// their taint.  The analysis is flow-sensitive per function (statements in
+/// order, two passes for loop-carried taint) and deliberately
+/// over-approximates across calls by callee *name* only one level deep —
+/// deep chains belong to the replay fuzzer, not the linter.
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common.hpp"
+#include "index.hpp"
+
+namespace pqra_lint {
+
+/// Appends taint violations.  \p closure_names maps each file path to the
+/// unordered-container names visible in its transitive include closure
+/// (shared with the unordered-iter pass).
+void check_taint(
+    const Config& cfg, const std::vector<const FileIndex*>& files,
+    const std::map<std::string, std::set<std::string>>& closure_names,
+    std::vector<Violation>& out);
+
+}  // namespace pqra_lint
