@@ -51,9 +51,22 @@
 /// probabilistic quorums keep answering while strict majorities stall): one
 /// client issues alternating writes/reads under a deadline retry policy
 /// against the selected quorum system AND a strict-majority baseline on the
-/// same churn schedule, and reports each system's operation success rate.
-/// Exit status 0 means the paper's claim held (selected >= 95% success,
-/// majority < 50%).
+/// same churn schedule, and reports each system's operation success rate
+/// plus a stale-read tally (successful reads whose timestamp trails the
+/// client's last acked write).  Exit status 0 means the paper's claim held
+/// (selected >= 95% success, majority < 50%).
+///
+/// avail-only keys (docs/DURABILITY.md):
+///   recovery = memory | amnesia | wal   (memory)
+///     memory:  recovering servers keep their in-memory store (the legacy
+///              behavior — a crash only severs the network).
+///     amnesia: recovering servers come back empty, re-preloaded with the
+///              initial value only — the worst case durable storage guards
+///              against, surfaced in the stale-read tally.
+///     wal:     every server runs a MemDisk-backed DurableStore
+///              (WAL + snapshots); recovery replays the durable prefix.
+///   snapshot-every = N   WAL appends between checkpoints for recovery=wal
+///                        (64; 0 = never checkpoint)
 ///
 /// Observability outputs (all optional; `--key value` and `--key=value`
 /// spellings also accepted, so these read naturally as flags):
@@ -111,6 +124,8 @@
 #include "quorum/singleton.hpp"
 #include "sim/parallel_runner.hpp"
 #include "sim/profiler.hpp"
+#include "storage/durable_store.hpp"
+#include "storage/mem_disk.hpp"
 #include "util/codec.hpp"
 #include "util/stats.hpp"
 #include "util/zipf.hpp"
@@ -285,6 +300,9 @@ struct AvailTally {
   std::uint64_t attempted = 0;
   std::uint64_t ok = 0;
   std::uint64_t failed = 0;
+  /// Successful reads whose timestamp trails the client's last acked write
+  /// — what recovery=amnesia produces and recovery=wal prevents.
+  std::uint64_t stale_reads = 0;
 
   double success_rate() const {
     return attempted == 0 ? 0.0
@@ -314,15 +332,30 @@ class AvailLoop {
     ++tally_.attempted;
     if (tally_.attempted % 2 == 1) {
       client_.write(0, util::Codec<std::uint64_t>::encode(next_value_++),
-                    [this](core::WriteResult r) { settle(r.status); });
+                    [this](core::WriteResult r) {
+                      if (ok_status(r.status)) last_write_ts_ = r.ts;
+                      settle(r.status);
+                    });
     } else {
-      client_.read(0, [this](core::ReadResult r) { settle(r.status); });
+      client_.read(0, [this](core::ReadResult r) {
+        // A successful read older than the last acked write is a stale
+        // read: under recovery=amnesia a recovering quorum can forget the
+        // write entirely, which is exactly what the tally surfaces.
+        if (ok_status(r.status) && r.ts < last_write_ts_) {
+          ++tally_.stale_reads;
+        }
+        settle(r.status);
+      });
     }
   }
 
+  static bool ok_status(core::OpStatus status) {
+    return status == core::OpStatus::kOk ||
+           status == core::OpStatus::kDegraded;
+  }
+
   void settle(core::OpStatus status) {
-    if (status == core::OpStatus::kOk ||
-        status == core::OpStatus::kDegraded) {
+    if (ok_status(status)) {
       ++tally_.ok;
     } else {
       ++tally_.failed;
@@ -335,12 +368,53 @@ class AvailLoop {
   double horizon_;
   AvailTally& tally_;
   std::uint64_t next_value_ = 1;
+  core::Timestamp last_write_ts_ = 0;
+};
+
+/// What a recovering server does with its store (docs/DURABILITY.md).
+enum class AvailRecovery { kMemory, kAmnesia, kWal };
+
+/// Lifecycle hook applying the recovery mode on every crashed->up
+/// transition: amnesia resets the store to the initial value only, wal
+/// models the crash (drop volatile) and replays the durable prefix.
+class AvailRecoveryDriver final : public net::NodeLifecycleListener {
+ public:
+  AvailRecoveryDriver(AvailRecovery mode,
+                      std::vector<std::unique_ptr<core::ServerProcess>>& servers,
+                      std::deque<storage::MemDisk>* disks,
+                      std::deque<storage::DurableStore>* stores)
+      : mode_(mode), servers_(servers), disks_(disks), stores_(stores) {}
+
+  void on_recover(net::NodeId node) override {
+    if (node >= servers_.size()) return;  // clients have no store
+    core::Replica& replica = servers_[node]->replica();
+    switch (mode_) {
+      case AvailRecovery::kMemory:
+        break;  // the legacy behavior: the store survives the crash
+      case AvailRecovery::kAmnesia:
+        replica.reset_store();
+        replica.restore_entry(0, 0, net::Value{});
+        break;
+      case AvailRecovery::kWal:
+        (*disks_)[node].drop_volatile();
+        (*stores_)[node].recover();
+        break;
+    }
+  }
+
+ private:
+  AvailRecovery mode_;
+  std::vector<std::unique_ptr<core::ServerProcess>>& servers_;
+  std::deque<storage::MemDisk>* disks_;
+  std::deque<storage::DurableStore>* stores_;
 };
 
 /// One availability run of one quorum system under one churn schedule.
 AvailTally run_availability_once(const quorum::QuorumSystem& quorums,
                                  double downtime_frac, double horizon,
-                                 std::uint64_t seed, obs::Registry* metrics) {
+                                 std::uint64_t seed, AvailRecovery recovery,
+                                 std::size_t snapshot_every,
+                                 obs::Registry* metrics) {
   const std::size_t n = quorums.num_servers();
   util::Rng master(seed);
   sim::Simulator simulator;
@@ -360,6 +434,24 @@ AvailTally run_availability_once(const quorum::QuorumSystem& quorums,
     servers.back()->replica().preload(0, net::Value{});
   }
 
+  // recovery=wal: one MemDisk + DurableStore per server, in deques so
+  // attached listener pointers stay stable.  The checkpoint makes the
+  // preloaded initial durable before any churn.
+  std::deque<storage::MemDisk> disks;
+  std::deque<storage::DurableStore> stores;
+  if (recovery == AvailRecovery::kWal) {
+    for (std::size_t s = 0; s < n; ++s) {
+      disks.emplace_back(static_cast<net::NodeId>(s), &transport.faults(),
+                         master.fork(300 + s));
+      stores.emplace_back(disks.back(),
+                          storage::DurableStore::Options{snapshot_every});
+      stores.back().attach(servers[s]->replica());
+      stores.back().checkpoint();
+    }
+  }
+  AvailRecoveryDriver recovery_driver(recovery, servers, &disks, &stores);
+  transport.faults().set_lifecycle_listener(&recovery_driver);
+
   util::Rng churn_rng(seed * 1000003 + 17);
   net::FaultPlan plan = make_churn_plan(n, downtime_frac, horizon, churn_rng);
   plan.install(simulator, transport);
@@ -376,6 +468,49 @@ AvailTally run_availability_once(const quorum::QuorumSystem& quorums,
   loop.start();
   // Slack past the horizon lets the last operation reach its deadline.
   simulator.run_until(horizon + 100.0);
+
+  // Publish the storage-layer counters into this run's metrics shard
+  // (obs/names.hpp pqra_wal_* / pqra_snapshot_* / pqra_storage_*).
+  if (metrics != nullptr && recovery == AvailRecovery::kWal) {
+    namespace names = obs::names;
+    storage::MemDisk::Counters disk_total;
+    storage::DurableStore::Counters store_total;
+    for (const storage::MemDisk& disk : disks) {
+      disk_total.appends += disk.counters().appends;
+      disk_total.append_bytes += disk.counters().append_bytes;
+      disk_total.syncs += disk.counters().syncs;
+      disk_total.lost_syncs += disk.counters().lost_syncs;
+      disk_total.torn_syncs += disk.counters().torn_syncs;
+      disk_total.snapshot_installs += disk.counters().snapshot_installs;
+    }
+    for (const storage::DurableStore& store : stores) {
+      store_total.recoveries += store.counters().recoveries;
+      store_total.snapshot_loads += store.counters().snapshot_loads;
+      store_total.replayed_records += store.counters().replayed_records;
+      store_total.torn_tails_dropped += store.counters().torn_tails_dropped;
+    }
+    metrics->counter(names::kWalAppends, "WAL records appended")
+        .inc(disk_total.appends);
+    metrics->counter(names::kWalAppendBytes, "WAL bytes appended")
+        .inc(disk_total.append_bytes);
+    metrics->counter(names::kWalSyncs, "WAL sync calls").inc(disk_total.syncs);
+    metrics->counter(names::kWalLostSyncs, "WAL syncs lost to injection")
+        .inc(disk_total.lost_syncs);
+    metrics->counter(names::kWalTornSyncs, "WAL syncs torn by injection")
+        .inc(disk_total.torn_syncs);
+    metrics->counter(names::kSnapshotInstalls, "Snapshot images installed")
+        .inc(disk_total.snapshot_installs);
+    metrics->counter(names::kStorageRecoveries, "Durable store recoveries")
+        .inc(store_total.recoveries);
+    metrics->counter(names::kSnapshotLoads, "Snapshots loaded on recovery")
+        .inc(store_total.snapshot_loads);
+    metrics->counter(names::kWalReplayedRecords, "WAL records replayed")
+        .inc(store_total.replayed_records);
+    metrics->counter(names::kWalTornDropped, "Torn WAL tails discarded")
+        .inc(store_total.torn_tails_dropped);
+  }
+  // The driver dies with this frame; detach it before the transport does.
+  transport.faults().set_lifecycle_listener(nullptr);
   return tally;
 }
 
@@ -396,6 +531,20 @@ int run_availability(const Args& args) {
     churn = 0.6;
   }
   const double horizon = args.get_f("horizon", 6000.0);
+  std::string recovery_name = args.get("recovery", "memory");
+  AvailRecovery recovery = AvailRecovery::kMemory;
+  if (recovery_name == "amnesia") {
+    recovery = AvailRecovery::kAmnesia;
+  } else if (recovery_name == "wal") {
+    recovery = AvailRecovery::kWal;
+  } else if (recovery_name != "memory") {
+    std::fprintf(stderr,
+                 "app=avail: unknown recovery '%s' (memory|amnesia|wal); "
+                 "using memory\n",
+                 recovery_name.c_str());
+    recovery_name = "memory";
+  }
+  const std::size_t snapshot_every = args.get_n("snapshot-every", 64);
   const std::string metrics_out = args.get("metrics-out", "");
   const std::string prom_out = args.get("prom-out", "");
 
@@ -405,9 +554,9 @@ int run_availability(const Args& args) {
   quorum::MajorityQuorums majority(servers);
 
   std::printf("availability under churn: n=%zu, downtime fraction %.2f, "
-              "horizon %.0f, %zu runs\n  %s vs %s baseline\n\n",
-              servers, churn, horizon, runs, selected->name().c_str(),
-              majority.name().c_str());
+              "horizon %.0f, %zu runs, recovery=%s\n  %s vs %s baseline\n\n",
+              servers, churn, horizon, runs, recovery_name.c_str(),
+              selected->name().c_str(), majority.name().c_str());
 
   // The registry sees only the selected system's runs: mixing the baseline
   // into the same counters would make the exported fault/retry metrics
@@ -432,9 +581,10 @@ int run_availability(const Args& args) {
         }
         const std::uint64_t run_seed = seed + run * 7919;
         out.sel = run_availability_once(*selected, churn, horizon, run_seed,
+                                        recovery, snapshot_every,
                                         out.shard.get());
-        out.maj =
-            run_availability_once(majority, churn, horizon, run_seed, nullptr);
+        out.maj = run_availability_once(majority, churn, horizon, run_seed,
+                                        recovery, snapshot_every, nullptr);
         return out;
       });
   const double wall_s =
@@ -448,20 +598,24 @@ int run_availability(const Args& args) {
     if (out.shard != nullptr) registry.merge_from(*out.shard);
     const AvailTally& sel = out.sel;
     const AvailTally& maj = out.maj;
-    std::printf("  run %zu: %s %5.1f%% (%llu/%llu) | majority %5.1f%% "
-                "(%llu/%llu)\n",
+    std::printf("  run %zu: %s %5.1f%% (%llu/%llu, %llu stale) | "
+                "majority %5.1f%% (%llu/%llu, %llu stale)\n",
                 run, selected->name().c_str(), 100.0 * sel.success_rate(),
                 static_cast<unsigned long long>(sel.ok),
                 static_cast<unsigned long long>(sel.attempted),
+                static_cast<unsigned long long>(sel.stale_reads),
                 100.0 * maj.success_rate(),
                 static_cast<unsigned long long>(maj.ok),
-                static_cast<unsigned long long>(maj.attempted));
+                static_cast<unsigned long long>(maj.attempted),
+                static_cast<unsigned long long>(maj.stale_reads));
     sel_total.attempted += sel.attempted;
     sel_total.ok += sel.ok;
     sel_total.failed += sel.failed;
+    sel_total.stale_reads += sel.stale_reads;
     maj_total.attempted += maj.attempted;
     maj_total.ok += maj.ok;
     maj_total.failed += maj.failed;
+    maj_total.stale_reads += maj.stale_reads;
   }
   // Wall-clock is nondeterministic by nature, so it goes to stderr: stdout
   // stays byte-comparable across jobs values.
@@ -476,8 +630,12 @@ int run_availability(const Args& args) {
   const double sel_rate = sel_total.success_rate();
   const double maj_rate = maj_total.success_rate();
   const bool claim_holds = sel_rate >= 0.95 && maj_rate < 0.5;
-  std::printf("\n%s success %.1f%% | majority success %.1f%% | claim %s\n",
-              selected->name().c_str(), 100.0 * sel_rate, 100.0 * maj_rate,
+  std::printf("\n%s success %.1f%% (%llu stale reads) | majority success "
+              "%.1f%% (%llu stale reads) | claim %s\n",
+              selected->name().c_str(), 100.0 * sel_rate,
+              static_cast<unsigned long long>(sel_total.stale_reads),
+              100.0 * maj_rate,
+              static_cast<unsigned long long>(maj_total.stale_reads),
               claim_holds ? "HOLDS" : "FAILED");
 
   bool outputs_ok = true;

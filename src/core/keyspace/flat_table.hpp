@@ -70,6 +70,20 @@ class FlatTable {
   std::size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 
+  /// Drops every entry but keeps the slot array's capacity: recovery
+  /// (Replica::reset_store) clears and immediately re-inserts roughly the
+  /// same key set, so freeing the array would only buy a rehash chain.
+  void clear() {
+    for (Slot& s : slots_) {
+      if (s.used) {
+        s.used = false;
+        s.key = 0;
+        s.value = V{};
+      }
+    }
+    size_ = 0;
+  }
+
   /// Visits every entry as (KeyId, const V&) in slot order.  Slot order is
   /// deterministic (see file comment) but NOT sorted: callers whose output
   /// feeds bytes or text must sort what they collect (Replica::encode_store

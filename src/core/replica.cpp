@@ -33,6 +33,9 @@ net::Message Replica::handle(const net::Message& request) {
         slot.ts = request.ts;
         slot.value = request.value;
         ++writes_applied_;
+        if (storage_ != nullptr) {
+          storage_->on_apply(request.reg, slot.ts, slot.value);
+        }
       }
       return net::Message::write_ack(request.reg, request.op, request.ts);
     }
@@ -86,9 +89,24 @@ std::size_t Replica::merge_store(const Value& encoded) {
       slot.ts = entry.ts;
       slot.value = std::move(entry.value);
       ++advanced;
+      if (storage_ != nullptr) {
+        storage_->on_apply(entry.reg, slot.ts, slot.value);
+      }
     }
   }
   return advanced;
+}
+
+void Replica::reset_store() { store_.clear(); }
+
+void Replica::restore_entry(RegisterId reg, Timestamp ts, Value value) {
+  TimestampedValue& slot = store_.entry(reg);
+  // ts-max with >= : a snapshot entry and a WAL record for the same (reg,
+  // ts) are the same apply, and replay order must not matter.
+  if (ts >= slot.ts) {
+    slot.ts = ts;
+    slot.value = std::move(value);
+  }
 }
 
 std::vector<Replica::StoreEntry> Replica::decode_store(const Value& encoded) {

@@ -23,6 +23,35 @@ namespace pqra::core {
 
 class Replica {
  public:
+  /// Durability hook (src/storage/durable_store.hpp, docs/DURABILITY.md):
+  /// notified once per *applied* store mutation — a WriteReq that advanced
+  /// the slot or a gossip merge entry that did — with the exact (reg, ts,
+  /// value) now in the store.  Stale requests never notify (they never
+  /// mutate).  preload() and restore_entry() bypass the listener: initials
+  /// become durable via an explicit checkpoint, and recovery must not
+  /// re-log what it just replayed.
+  class StoreListener {
+   public:
+    virtual void on_apply(RegisterId reg, Timestamp ts,
+                          const Value& value) = 0;
+
+   protected:
+    ~StoreListener() = default;
+  };
+
+  /// Binds (or clears, nullptr) the durability listener.
+  void bind_storage(StoreListener* listener) { storage_ = listener; }
+
+  /// Recovery support (docs/DURABILITY.md): drops every entry.  The caller
+  /// is expected to follow up with restore_entry() calls; writes_applied()
+  /// is a lifetime counter and is NOT reset.
+  void reset_store();
+
+  /// Re-installs one entry from durable state, keeping the higher
+  /// timestamp when the slot already holds one (snapshot then WAL replay
+  /// fold with ts-max, same merge rule as gossip).  Bypasses the listener.
+  void restore_entry(RegisterId reg, Timestamp ts, Value value);
+
   /// Handles one protocol request and produces the reply to send back.
   /// ReadReq -> ReadAck carrying the stored (ts, value) — (0, empty) if the
   /// key was never written nor preloaded.  WriteReq -> WriteAck.
@@ -81,6 +110,7 @@ class Replica {
 
  private:
   keyspace::FlatTable<TimestampedValue> store_;
+  StoreListener* storage_ = nullptr;
   Value default_initial_;
   std::uint64_t writes_applied_ = 0;
   bool cross_key_probe_bug_ = false;

@@ -63,4 +63,11 @@ CheckResult StoreProbe::observe(NodeId server, const Replica& replica) {
   return result;
 }
 
+void StoreProbe::forget(NodeId server) {
+  auto it = last_seen_.lower_bound({server, 0});
+  while (it != last_seen_.end() && it->first.first == server) {
+    it = last_seen_.erase(it);
+  }
+}
+
 }  // namespace pqra::core::spec

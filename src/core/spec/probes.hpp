@@ -39,6 +39,13 @@ class StoreProbe {
   /// the replica's current timestamps into the watch state.
   CheckResult observe(NodeId server, const Replica& replica);
 
+  /// Drops the watch state for \p server.  Durable recovery legitimately
+  /// rewinds a store to its durable prefix (an acked-but-unsynced write is
+  /// lost by an injected fsync fault, docs/DURABILITY.md); the durability
+  /// oracle judges that rewind itself, then forgets the node here so the
+  /// monotonicity probe doesn't re-report it as a store-ts violation.
+  void forget(NodeId server);
+
  private:
   std::map<std::pair<NodeId, RegisterId>, Timestamp> last_seen_;
 };

@@ -24,6 +24,12 @@ const char* fault_kind_name(FaultKind kind) {
       return "partition";
     case FaultKind::kHeal:
       return "heal";
+    case FaultKind::kTornWrite:
+      return "tornwrite";
+    case FaultKind::kFsyncLoss:
+      return "fsyncloss";
+    case FaultKind::kClearFsyncLoss:
+      return "nofsyncloss";
   }
   return "?";
 }
@@ -116,6 +122,45 @@ FaultPlan& FaultPlan::clear_slow_at(sim::Time at, NodeId node) {
   PQRA_REQUIRE(at >= 0.0, "events cannot be scheduled before time 0");
   events_.push_back(
       Event{.at = at, .kind = FaultKind::kClearSlow, .node = node});
+  return *this;
+}
+
+FaultPlan& FaultPlan::torn_write_at(sim::Time at, NodeId node) {
+  PQRA_REQUIRE(at >= 0.0, "events cannot be scheduled before time 0");
+  events_.push_back(
+      Event{.at = at, .kind = FaultKind::kTornWrite, .node = node});
+  return *this;
+}
+
+FaultPlan& FaultPlan::torn_write_key_at(sim::Time at, KeyId key) {
+  torn_write_at(at, key);
+  events_.back().node_is_key = true;
+  return *this;
+}
+
+FaultPlan& FaultPlan::fsync_loss_at(sim::Time at, NodeId node) {
+  PQRA_REQUIRE(at >= 0.0, "events cannot be scheduled before time 0");
+  events_.push_back(
+      Event{.at = at, .kind = FaultKind::kFsyncLoss, .node = node});
+  return *this;
+}
+
+FaultPlan& FaultPlan::fsync_loss_key_at(sim::Time at, KeyId key) {
+  fsync_loss_at(at, key);
+  events_.back().node_is_key = true;
+  return *this;
+}
+
+FaultPlan& FaultPlan::clear_fsync_loss_at(sim::Time at, NodeId node) {
+  PQRA_REQUIRE(at >= 0.0, "events cannot be scheduled before time 0");
+  events_.push_back(
+      Event{.at = at, .kind = FaultKind::kClearFsyncLoss, .node = node});
+  return *this;
+}
+
+FaultPlan& FaultPlan::clear_fsync_loss_key_at(sim::Time at, KeyId key) {
+  clear_fsync_loss_at(at, key);
+  events_.back().node_is_key = true;
   return *this;
 }
 
@@ -291,6 +336,21 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
       }
       continue;
     }
+    if (kind == "fsyncloss" && time_text.find('-') != std::string::npos) {
+      // fsyncloss:N@T1-T2 — window sugar, desugared to the open/close pair
+      // (serialize() emits the pair, so sugar round-trips via the pair form).
+      auto dash = time_text.find('-');
+      double from = parse_number(clause, time_text.substr(0, dash));
+      double to = parse_number(clause, time_text.substr(dash + 1));
+      if (to <= from) parse_fail(clause, "window end must be after start");
+      const Target t = parse_target(clause, arg);
+      if (t.is_key) {
+        plan.fsync_loss_key_at(from, t.id).clear_fsync_loss_key_at(to, t.id);
+      } else {
+        plan.fsync_loss_at(from, t.id).clear_fsync_loss_at(to, t.id);
+      }
+      continue;
+    }
     const double at = parse_number(clause, time_text);
     if (kind == "heal") {
       plan.heal_at(at);
@@ -311,6 +371,18 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
       const Target t = parse_target(clause, arg);
       t.is_key ? plan.clear_slow_key_at(at, t.id)
                : plan.clear_slow_at(at, t.id);
+    } else if (kind == "tornwrite") {
+      const Target t = parse_target(clause, arg);
+      t.is_key ? plan.torn_write_key_at(at, t.id)
+               : plan.torn_write_at(at, t.id);
+    } else if (kind == "fsyncloss") {
+      const Target t = parse_target(clause, arg);
+      t.is_key ? plan.fsync_loss_key_at(at, t.id)
+               : plan.fsync_loss_at(at, t.id);
+    } else if (kind == "nofsyncloss") {
+      const Target t = parse_target(clause, arg);
+      t.is_key ? plan.clear_fsync_loss_key_at(at, t.id)
+               : plan.clear_fsync_loss_at(at, t.id);
     } else if (kind == "partition") {
       std::vector<std::vector<NodeId>> groups;
       std::vector<std::vector<KeyId>> group_keys;
@@ -383,6 +455,15 @@ std::string FaultPlan::serialize() const {
       case FaultKind::kHeal:
         clause("heal@" + at);
         break;
+      case FaultKind::kTornWrite:
+        clause("tornwrite:" + target + "@" + at);
+        break;
+      case FaultKind::kFsyncLoss:
+        clause("fsyncloss:" + target + "@" + at);
+        break;
+      case FaultKind::kClearFsyncLoss:
+        clause("nofsyncloss:" + target + "@" + at);
+        break;
     }
   }
   if (message_faults_.drop_probability > 0.0) {
@@ -412,7 +493,8 @@ FaultPlan FaultPlan::from_parts(std::vector<Event> events,
 }
 
 void FaultPlan::mutate(std::size_t num_servers, sim::Time horizon,
-                       util::Rng& rng, std::size_t num_keys) {
+                       util::Rng& rng, std::size_t num_keys,
+                       bool durability) {
   PQRA_REQUIRE(num_servers > 0, "mutation needs at least one server");
   PQRA_REQUIRE(horizon > 0.0, "mutation needs a positive horizon");
   const auto random_node = [&] {
@@ -428,7 +510,9 @@ void FaultPlan::mutate(std::size_t num_servers, sim::Time horizon,
     return {random_node(), false};
   };
   const auto random_time = [&] { return rng.uniform01() * horizon; };
-  std::uint64_t edit = rng.below(8);
+  // The durability edit is appended past the legacy range, so legacy calls
+  // (durability=false) draw below(8) exactly as before the durability PR.
+  std::uint64_t edit = rng.below(durability ? 9 : 8);
   // Structural edits need existing events / enough servers; degrade to the
   // always-possible edits instead of consuming extra draws.
   if ((edit == 5 || edit == 6) && events_.empty()) edit = 1;
@@ -527,6 +611,25 @@ void FaultPlan::mutate(std::size_t num_servers, sim::Time horizon,
       }
       message_faults_ = normalized(message_faults_);
       break;
+    case 8: {  // durability fault: torn sync or fsync-loss window
+      const auto [id, is_key] = random_target();
+      if (rng.bernoulli(0.5)) {
+        const sim::Time at = random_time();
+        is_key ? torn_write_key_at(at, id) : torn_write_at(at, id);
+      } else {
+        const sim::Time from = rng.uniform01() * horizon * 0.9;
+        const sim::Time until =
+            std::min(from + rng.exponential(horizon / 8.0), horizon);
+        if (is_key) {
+          fsync_loss_key_at(from, id);
+          clear_fsync_loss_key_at(until, id);
+        } else {
+          fsync_loss_at(from, id);
+          clear_fsync_loss_at(until, id);
+        }
+      }
+      break;
+    }
   }
 }
 
@@ -555,6 +658,15 @@ void FaultPlan::install(sim::Simulator& simulator,
           break;
         case FaultKind::kHeal:
           injector.heal();
+          break;
+        case FaultKind::kTornWrite:
+          injector.arm_torn_write(ev.node);
+          break;
+        case FaultKind::kFsyncLoss:
+          injector.set_fsync_loss(ev.node, true);
+          break;
+        case FaultKind::kClearFsyncLoss:
+          injector.set_fsync_loss(ev.node, false);
           break;
       }
     });
@@ -633,6 +745,13 @@ void LiveFaultDriver::run(FaultPlan plan, double scale) {
         break;
       case FaultKind::kHeal:
         transport_.heal();
+        break;
+      case FaultKind::kTornWrite:
+      case FaultKind::kFsyncLoss:
+      case FaultKind::kClearFsyncLoss:
+        // Durability faults target MemDisk-backed replicas, which only exist
+        // on the DES; the threaded runtime's FileBackend does real I/O and
+        // has no injection point, so these verbs are no-ops here.
         break;
     }
   }

@@ -32,6 +32,11 @@ enum class FaultKind : std::uint8_t {
   kClearSlow,
   kPartition,  ///< split the listed nodes into isolated groups
   kHeal,       ///< remove the partition
+  // Storage-level durability faults (docs/DURABILITY.md); consumed by
+  // MemDisk-backed replicas, no-ops on runs without durable storage.
+  kTornWrite,       ///< arm a one-shot torn WAL sync on the node
+  kFsyncLoss,       ///< open an fsync-loss window on the node
+  kClearFsyncLoss,  ///< close the node's fsync-loss window
 };
 
 const char* fault_kind_name(FaultKind kind);
@@ -96,6 +101,18 @@ class FaultPlan {
   FaultPlan& slow_at(sim::Time at, NodeId node, double factor);
   FaultPlan& clear_slow_at(sim::Time at, NodeId node);
 
+  /// Durability faults (docs/DURABILITY.md).  torn_write_at arms a one-shot
+  /// torn sync: the node's next WAL sync persists only a random prefix of
+  /// its final record.  fsync_loss_at opens a window in which every WAL
+  /// sync on the node is silently lost; clear_fsync_loss_at closes it
+  /// (grammar sugar `fsyncloss:N@T1-T2` emits the pair).
+  FaultPlan& torn_write_at(sim::Time at, NodeId node);
+  FaultPlan& torn_write_key_at(sim::Time at, KeyId key);
+  FaultPlan& fsync_loss_at(sim::Time at, NodeId node);
+  FaultPlan& fsync_loss_key_at(sim::Time at, KeyId key);
+  FaultPlan& clear_fsync_loss_at(sim::Time at, NodeId node);
+  FaultPlan& clear_fsync_loss_key_at(sim::Time at, KeyId key);
+
   /// Partition the listed nodes into isolated groups at \p at; heal_at ends
   /// it.  Unlisted nodes keep talking to everyone (see FaultInjector).
   FaultPlan& partition_at(sim::Time at,
@@ -120,6 +137,8 @@ class FaultPlan {
   ///   slow:N*F@T      noslow:N@T
   ///   partition:0-3|4-9@T   (groups of `,`-lists and `a-b` ranges)
   ///   heal@T
+  ///   tornwrite:N@T   fsyncloss:N@T    nofsyncloss:N@T
+  ///   fsyncloss:N@T1-T2     (window sugar: fsyncloss@T1 + nofsyncloss@T2)
   ///   drop=P   dup=P   delay=D   reorder=P:MAXDELAY
   ///
   /// Node positions also accept a key-addressed form `k<KEY>` — e.g.
@@ -152,8 +171,11 @@ class FaultPlan {
   /// With \p num_keys > 0, node-targeted additions sometimes draw a
   /// key-addressed target (`k<KEY>`, KEY < num_keys) instead of a node;
   /// the default 0 never does, so pre-sharding call sites are unchanged.
+  /// With \p durability true, one extra edit kind adds a torn-write event
+  /// or an fsync-loss window; the default false keeps the legacy draw
+  /// sequence byte-identical (tests/net/fault_plan_roundtrip_test.cpp).
   void mutate(std::size_t num_servers, sim::Time horizon, util::Rng& rng,
-              std::size_t num_keys = 0);
+              std::size_t num_keys = 0, bool durability = false);
 
   /// Schedules every event on the simulator against \p injector, and applies
   /// the message faults immediately.  Requires !has_key_targets(): key

@@ -7,6 +7,8 @@ namespace pqra::net {
 
 FaultInjector::FaultInjector(NodeId max_nodes)
     : crashed_(max_nodes, false),
+      torn_armed_(max_nodes, false),
+      fsync_loss_(max_nodes, false),
       slow_(max_nodes, 1.0),
       group_(max_nodes, kNoGroup) {}
 
@@ -29,6 +31,40 @@ void FaultInjector::recover(NodeId node) {
   --num_crashed_;
   ++counters_.recoveries;
   if (instruments_.recoveries != nullptr) instruments_.recoveries->inc();
+  if (lifecycle_ != nullptr) lifecycle_->on_recover(node);
+}
+
+void FaultInjector::arm_torn_write(NodeId node) {
+  PQRA_REQUIRE(node < torn_armed_.size(), "node id out of range");
+  torn_armed_[node] = true;
+}
+
+bool FaultInjector::consume_torn_write(NodeId node) {
+  PQRA_REQUIRE(node < torn_armed_.size(), "node id out of range");
+  if (!torn_armed_[node]) return false;
+  torn_armed_[node] = false;
+  ++counters_.torn_writes;
+  if (instruments_.torn_writes != nullptr) {
+    instruments_.torn_writes->inc();
+    instruments_.injected->inc();
+  }
+  return true;
+}
+
+void FaultInjector::set_fsync_loss(NodeId node, bool lost) {
+  PQRA_REQUIRE(node < fsync_loss_.size(), "node id out of range");
+  fsync_loss_[node] = lost;
+}
+
+bool FaultInjector::consume_fsync_loss(NodeId node) {
+  PQRA_REQUIRE(node < fsync_loss_.size(), "node id out of range");
+  if (!fsync_loss_[node]) return false;
+  ++counters_.fsync_losses;
+  if (instruments_.fsync_losses != nullptr) {
+    instruments_.fsync_losses->inc();
+    instruments_.injected->inc();
+  }
+  return true;
 }
 
 bool FaultInjector::is_crashed(NodeId node) const {
@@ -144,6 +180,10 @@ void FaultInjector::bind_metrics(obs::Registry& registry) {
       n::kFaultsMsgDuplicated, "Messages delivered twice by injection");
   instruments_.msg_delayed = &registry.counter(
       n::kFaultsMsgDelayed, "Messages given extra delay (slow nodes/reorder)");
+  instruments_.torn_writes = &registry.counter(
+      n::kFaultsTornWrites, "WAL syncs torn mid-record by injection");
+  instruments_.fsync_losses = &registry.counter(
+      n::kFaultsFsyncLoss, "WAL syncs silently lost by injection");
 }
 
 }  // namespace pqra::net

@@ -78,10 +78,26 @@ struct FaultCounters {
   std::uint64_t random_drops = 0;     ///< messages lost to drop_probability
   std::uint64_t duplicates = 0;
   std::uint64_t delayed = 0;  ///< messages given extra delay (slow/reorder)
+  std::uint64_t torn_writes = 0;   ///< WAL syncs torn mid-record (storage)
+  std::uint64_t fsync_losses = 0;  ///< WAL syncs silently lost (storage)
 
   std::uint64_t injected() const {
-    return crash_drops + partition_drops + random_drops + duplicates + delayed;
+    return crash_drops + partition_drops + random_drops + duplicates +
+           delayed + torn_writes + fsync_losses;
   }
+};
+
+/// Observer of node lifecycle transitions.  The explore runner's durability
+/// oracle hangs off recover(): when a crashed node comes back, the oracle
+/// drops its volatile storage, replays the durable prefix, and cross-checks
+/// the result (docs/DURABILITY.md).  Fired only on real transitions (the
+/// idempotent no-op paths of crash()/recover() never notify).
+class NodeLifecycleListener {
+ public:
+  virtual void on_recover(NodeId node) = 0;
+
+ protected:
+  ~NodeLifecycleListener() = default;
 };
 
 /// Fault state of one network.  Not internally synchronized: SimTransport
@@ -98,6 +114,26 @@ class FaultInjector {
   void recover(NodeId node);
   bool is_crashed(NodeId node) const;
   std::size_t num_crashed() const { return num_crashed_; }
+
+  /// Notified after each real crashed->up transition in recover().
+  /// One listener; nullptr clears.
+  void set_lifecycle_listener(NodeLifecycleListener* listener) {
+    lifecycle_ = listener;
+  }
+
+  // -- storage-level faults (docs/DURABILITY.md) ----------------------------
+
+  /// Arms a one-shot torn write: the next WAL sync on \p node persists only
+  /// a random prefix of its final record (MemDisk consumes the arm).
+  void arm_torn_write(NodeId node);
+  /// True exactly once per arm_torn_write (consumes the arm and counts it).
+  bool consume_torn_write(NodeId node);
+
+  /// Opens/closes an fsync-loss window: while set, every WAL sync on
+  /// \p node is silently lost (reported durable, bytes never persisted).
+  void set_fsync_loss(NodeId node, bool lost);
+  /// True while the window is open; counts each lost sync.
+  bool consume_fsync_loss(NodeId node);
 
   /// Slow node: messages to or from it have their delay multiplied by
   /// \p factor (>= 1; factors of both endpoints compound).
@@ -135,11 +171,15 @@ class FaultInjector {
     obs::Counter* msg_dropped = nullptr;
     obs::Counter* msg_duplicated = nullptr;
     obs::Counter* msg_delayed = nullptr;
+    obs::Counter* torn_writes = nullptr;
+    obs::Counter* fsync_losses = nullptr;
   };
 
   void count_drop(std::uint64_t FaultCounters::*slot);
 
   std::vector<bool> crashed_;
+  std::vector<bool> torn_armed_;
+  std::vector<bool> fsync_loss_;
   std::vector<double> slow_;
   /// Partition group per node; kNoGroup = unrestricted.
   std::vector<std::uint32_t> group_;
@@ -147,6 +187,7 @@ class FaultInjector {
   MessageFaults message_;
   FaultCounters counters_;
   std::size_t num_crashed_ = 0;
+  NodeLifecycleListener* lifecycle_ = nullptr;
   Instruments instruments_;
 
   static constexpr std::uint32_t kNoGroup = 0xFFFFFFFFu;

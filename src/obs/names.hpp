@@ -53,6 +53,12 @@ inline constexpr const char* kFaultsMsgDuplicated =
     "pqra_faults_messages_duplicated_total";
 inline constexpr const char* kFaultsMsgDelayed =
     "pqra_faults_messages_delayed_total";
+// Storage-level injection (docs/DURABILITY.md): WAL syncs torn mid-record
+// and WAL syncs silently lost inside an fsync-loss window.
+inline constexpr const char* kFaultsTornWrites =
+    "pqra_faults_torn_writes_total";
+inline constexpr const char* kFaultsFsyncLoss =
+    "pqra_faults_fsync_loss_total";
 
 // Replica servers (DES ServerProcess + ThreadedServer).
 inline constexpr const char* kServerRequests = "pqra_server_requests_total";
@@ -153,5 +159,22 @@ inline constexpr const char* kExploreShrinkAccepted =
 /// Fingerprint of the most recent run (gauge; see Simulator::fingerprint).
 inline constexpr const char* kExploreLastFingerprint =
     "pqra_explore_last_fingerprint";
+
+// Durable storage layer (src/storage, docs/DURABILITY.md), aggregated over
+// all replicas of a run.
+inline constexpr const char* kWalAppends = "pqra_wal_appends_total";
+inline constexpr const char* kWalAppendBytes = "pqra_wal_append_bytes_total";
+inline constexpr const char* kWalSyncs = "pqra_wal_syncs_total";
+inline constexpr const char* kWalLostSyncs = "pqra_wal_lost_syncs_total";
+inline constexpr const char* kWalTornSyncs = "pqra_wal_torn_syncs_total";
+inline constexpr const char* kWalReplayedRecords =
+    "pqra_wal_replayed_records_total";
+inline constexpr const char* kWalTornDropped =
+    "pqra_wal_torn_tails_dropped_total";
+inline constexpr const char* kSnapshotInstalls =
+    "pqra_snapshot_installs_total";
+inline constexpr const char* kSnapshotLoads = "pqra_snapshot_loads_total";
+inline constexpr const char* kStorageRecoveries =
+    "pqra_storage_recoveries_total";
 
 }  // namespace pqra::obs::names

@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file backend.hpp
+/// Pluggable persistence surface beneath a replica (docs/DURABILITY.md).
+///
+/// A StorageBackend owns two artifacts: an append-only write-ahead log of
+/// wal.hpp records and a single snapshot image (Replica::encode_store
+/// bytes).  The semantics mirror a POSIX data directory:
+///
+///   - wal_append buffers a record; nothing is durable until wal_sync
+///     (fsync).  A crash between the two loses the unsynced suffix.
+///   - install_snapshot is atomic rename-style: after it returns the new
+///     snapshot is durable in full or the old one survives — never a torn
+///     mix.  wal_truncate (log reset after a snapshot) carries the same
+///     all-or-nothing contract.
+///   - wal_truncate_to keeps only the first \p bytes of the log: recovery's
+///     repair step after replay stopped at a torn tail, so later appends
+///     extend a well-formed log instead of hiding behind garbage.
+///
+/// Two implementations: MemDisk (mem_disk.hpp), the deterministic in-memory
+/// disk model the DES runs on, with injectable fsync-loss and torn-write
+/// faults; and FileBackend (file_backend.hpp) for threaded/CLI runs against
+/// real files.
+
+#include "util/codec.hpp"
+
+namespace pqra::storage {
+
+class StorageBackend {
+ public:
+  virtual ~StorageBackend() = default;
+
+  /// Appends one encoded WAL record to the (volatile) log buffer.
+  virtual void wal_append(const util::Bytes& record) = 0;
+
+  /// Makes everything appended so far durable (fsync).
+  virtual void wal_sync() = 0;
+
+  /// The durable log image, as a crash now would leave it.
+  virtual util::Bytes wal_contents() const = 0;
+
+  /// Discards the whole log, durably (runs after install_snapshot).
+  virtual void wal_truncate() = 0;
+
+  /// Keeps only the first \p bytes of the log, durably (recovery repair).
+  virtual void wal_truncate_to(std::size_t bytes) = 0;
+
+  /// Atomically replaces the snapshot image, durably.
+  virtual void install_snapshot(const util::Bytes& encoded) = 0;
+
+  /// The durable snapshot image; empty if none was ever installed.
+  virtual util::Bytes snapshot_contents() const = 0;
+};
+
+}  // namespace pqra::storage

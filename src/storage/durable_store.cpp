@@ -1,0 +1,61 @@
+#include "storage/durable_store.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace pqra::storage {
+
+void DurableStore::on_apply(core::RegisterId reg, core::Timestamp ts,
+                            const core::Value& value) {
+  wal::encode_record(scratch_, reg, ts, value);
+  backend_.wal_append(scratch_);
+  // Sync-per-record: the durability contract is "acked writes survive a
+  // crash" (modulo injected fsync loss), so the record is flushed before
+  // the apply event returns.
+  backend_.wal_sync();
+  ++counters_.appends;
+  counters_.append_bytes += scratch_.size();
+  if (options_.snapshot_every > 0 &&
+      ++appends_since_checkpoint_ >= options_.snapshot_every) {
+    checkpoint();
+  }
+}
+
+void DurableStore::checkpoint() {
+  PQRA_REQUIRE(replica_ != nullptr, "DurableStore: attach() before use");
+  backend_.install_snapshot(replica_->encode_store());
+  backend_.wal_truncate();
+  appends_since_checkpoint_ = 0;
+  ++counters_.checkpoints;
+}
+
+void DurableStore::recover() {
+  PQRA_REQUIRE(replica_ != nullptr, "DurableStore: attach() before use");
+  ++counters_.recoveries;
+  replica_->reset_store();
+
+  const util::Bytes snapshot = backend_.snapshot_contents();
+  if (!snapshot.empty()) {
+    for (core::Replica::StoreEntry& entry :
+         core::Replica::decode_store(snapshot)) {
+      replica_->restore_entry(entry.reg, entry.ts, std::move(entry.value));
+    }
+    ++counters_.snapshot_loads;
+  }
+
+  wal::ReplayResult replay =
+      wal::replay_log(backend_.wal_contents(), skip_crc_bug_);
+  for (wal::Record& record : replay.records) {
+    replica_->restore_entry(record.reg, record.ts, std::move(record.value));
+  }
+  counters_.replayed_records += replay.records.size();
+  if (replay.torn) ++counters_.torn_tails_dropped;
+  // Repair: drop the torn tail for good, so appends after recovery extend
+  // the valid prefix instead of hiding behind garbage that would swallow
+  // them on the next replay.
+  backend_.wal_truncate_to(replay.valid_bytes);
+  appends_since_checkpoint_ = replay.records.size();
+}
+
+}  // namespace pqra::storage

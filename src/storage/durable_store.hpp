@@ -1,0 +1,95 @@
+#pragma once
+
+/// \file durable_store.hpp
+/// WAL + snapshot durability layer beneath one core::Replica
+/// (docs/DURABILITY.md).
+///
+/// Attached as the replica's StoreListener, a DurableStore appends one
+/// wal.hpp record per applied store mutation (write or gossip advance) and
+/// syncs it, checkpoints the whole store into the backend's snapshot every
+/// `snapshot_every` appends (then truncates the log — the log never grows
+/// unbounded), and on recover() rebuilds the replica from durable state:
+///
+///   recovered store == snapshot ⊔ valid WAL prefix       (ts-max merge)
+///
+/// That right-hand side is the *durable prefix*, the exact invariant the
+/// explore runner's crash-replay-compare probe checks against an
+/// independent replay of the same durable bytes.  Torn tails stop the
+/// replay (wal.hpp) and are truncated away so post-recovery appends extend
+/// a well-formed log.
+///
+/// The apply path (on_apply) is DES hot-path code when backed by MemDisk:
+/// it reuses one scratch buffer and draws nothing from any RNG, so durable
+/// runs execute the byte-identical event schedule of their non-durable
+/// twins (fingerprint equality, the acceptance bar of the durability PR).
+
+#include <cstdint>
+
+#include "core/replica.hpp"
+#include "storage/backend.hpp"
+#include "storage/wal.hpp"
+
+namespace pqra::storage {
+
+class DurableStore final : public core::Replica::StoreListener {
+ public:
+  struct Options {
+    /// Appends between automatic checkpoints; 0 = never checkpoint
+    /// automatically (the log only resets via explicit checkpoint()).
+    std::size_t snapshot_every = 64;
+  };
+
+  DurableStore(StorageBackend& backend, Options options)
+      : backend_(backend), options_(options) {}
+  explicit DurableStore(StorageBackend& backend)
+      : DurableStore(backend, Options{}) {}
+
+  /// Binds this store as \p replica's listener.  Callers that want the
+  /// pre-attach state durable (e.g. preloaded initials) follow up with
+  /// checkpoint().
+  void attach(core::Replica& replica) {
+    replica_ = &replica;
+    replica.bind_storage(this);
+  }
+
+  /// StoreListener: called by the replica once per applied mutation.
+  void on_apply(core::RegisterId reg, core::Timestamp ts,
+                const core::Value& value) override;
+
+  /// Snapshots the replica's entire store into the backend and truncates
+  /// the log (install is atomic; see backend.hpp).
+  void checkpoint();
+
+  /// Rebuilds the replica from durable state: clear, load snapshot, replay
+  /// the valid WAL prefix, truncate any torn tail away.  The caller models
+  /// the crash itself (MemDisk::drop_volatile) before recovering.
+  void recover();
+
+  /// Planted-bug hook for the explore durability drill
+  /// (docs/EXPLORATION.md): recovery replays the WAL without CRC checking,
+  /// surfacing torn garbage as durable state.  Never enabled outside the
+  /// drill.
+  void set_test_skip_crc_bug(bool on) { skip_crc_bug_ = on; }
+
+  struct Counters {
+    std::uint64_t appends = 0;
+    std::uint64_t append_bytes = 0;
+    std::uint64_t checkpoints = 0;
+    std::uint64_t recoveries = 0;
+    std::uint64_t snapshot_loads = 0;
+    std::uint64_t replayed_records = 0;
+    std::uint64_t torn_tails_dropped = 0;
+  };
+  const Counters& counters() const { return counters_; }
+
+ private:
+  StorageBackend& backend_;
+  core::Replica* replica_ = nullptr;
+  Options options_;
+  util::Bytes scratch_;  // reused record buffer: no per-apply allocation
+  std::size_t appends_since_checkpoint_ = 0;
+  bool skip_crc_bug_ = false;
+  Counters counters_;
+};
+
+}  // namespace pqra::storage

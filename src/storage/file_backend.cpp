@@ -1,0 +1,106 @@
+#include "storage/file_backend.hpp"
+
+#include <cstdio>
+#include <utility>
+
+#include "util/check.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define PQRA_HAVE_FSYNC 1
+#endif
+
+namespace pqra::storage {
+
+namespace {
+
+util::Bytes read_file(const std::string& path) {
+  util::Bytes bytes;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return bytes;  // absent file == empty artifact
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (size > 0) {
+    bytes.resize(static_cast<std::size_t>(size));
+    const std::size_t got = std::fread(bytes.data(), 1, bytes.size(), f);
+    bytes.resize(got);
+  }
+  std::fclose(f);
+  return bytes;
+}
+
+void write_file(const std::string& path, const util::Bytes& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  PQRA_CHECK(f != nullptr, "storage: cannot open file for writing");
+  if (!bytes.empty()) {
+    const std::size_t put = std::fwrite(bytes.data(), 1, bytes.size(), f);
+    PQRA_CHECK(put == bytes.size(), "storage: short write");
+  }
+  std::fflush(f);
+#ifdef PQRA_HAVE_FSYNC
+  ::fsync(::fileno(f));
+#endif
+  std::fclose(f);
+}
+
+}  // namespace
+
+FileBackend::FileBackend(std::string prefix)
+    : wal_path_(prefix + ".wal"), snap_path_(std::move(prefix) + ".snap") {
+  reopen_wal("ab");  // adopt an existing log: a restart replays it
+}
+
+FileBackend::~FileBackend() {
+  if (wal_ != nullptr) std::fclose(wal_);
+}
+
+void FileBackend::reopen_wal(const char* mode) {
+  if (wal_ != nullptr) std::fclose(wal_);
+  wal_ = std::fopen(wal_path_.c_str(), mode);
+  PQRA_CHECK(wal_ != nullptr, "storage: cannot open WAL file");
+}
+
+void FileBackend::wal_append(const util::Bytes& record) {
+  const std::size_t put =
+      std::fwrite(record.data(), 1, record.size(), wal_);
+  PQRA_CHECK(put == record.size(), "storage: short WAL append");
+}
+
+void FileBackend::wal_sync() {
+  std::fflush(wal_);
+#ifdef PQRA_HAVE_FSYNC
+  ::fsync(::fileno(wal_));
+#endif
+}
+
+util::Bytes FileBackend::wal_contents() const {
+  std::fflush(wal_);
+  return read_file(wal_path_);
+}
+
+void FileBackend::wal_truncate() { reopen_wal("wb"); }
+
+void FileBackend::wal_truncate_to(std::size_t bytes) {
+  std::fflush(wal_);
+  util::Bytes kept = read_file(wal_path_);
+  if (kept.size() > bytes) kept.resize(bytes);
+  // Rewrite-prefix truncation: simple and portable; the kept prefix is
+  // small (everything past the last snapshot).
+  write_file(wal_path_, kept);
+  reopen_wal("ab");
+}
+
+void FileBackend::install_snapshot(const util::Bytes& encoded) {
+  // Write-temp + rename: a crash mid-install leaves the old snapshot.
+  const std::string tmp = snap_path_ + ".tmp";
+  write_file(tmp, encoded);
+  PQRA_CHECK(std::rename(tmp.c_str(), snap_path_.c_str()) == 0,
+             "storage: snapshot rename failed");
+}
+
+util::Bytes FileBackend::snapshot_contents() const {
+  return read_file(snap_path_);
+}
+
+}  // namespace pqra::storage

@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file file_backend.hpp
+/// Real-file StorageBackend for threaded/CLI runs (docs/DURABILITY.md).
+///
+/// One data directory per node, two files: `<prefix>.wal` (append-only
+/// record log) and `<prefix>.snap` (snapshot image, replaced via
+/// write-temp + rename so a crash mid-install leaves the old snapshot
+/// intact).  wal_sync flushes and fsyncs the log fd.
+///
+/// This backend does real blocking I/O and therefore NEVER runs inside the
+/// DES event loop — DES runs use MemDisk (mem_disk.hpp), whose fault model
+/// the explore fuzzer drives.  It exists so experiment_cli and the threaded
+/// runtime can exercise the same DurableStore logic against an actual
+/// filesystem, and so the WAL format on disk is the byte-identical format
+/// the unit tests pin.
+
+#include <cstdio>
+#include <string>
+
+#include "storage/backend.hpp"
+
+namespace pqra::storage {
+
+class FileBackend final : public StorageBackend {
+ public:
+  /// Opens (creates) `<prefix>.wal` and adopts any existing files — a
+  /// pre-existing log/snapshot is a restart, exactly what recover() reads.
+  explicit FileBackend(std::string prefix);
+  ~FileBackend() override;
+
+  FileBackend(const FileBackend&) = delete;
+  FileBackend& operator=(const FileBackend&) = delete;
+
+  void wal_append(const util::Bytes& record) override;
+  void wal_sync() override;
+  util::Bytes wal_contents() const override;
+  void wal_truncate() override;
+  void wal_truncate_to(std::size_t bytes) override;
+  void install_snapshot(const util::Bytes& encoded) override;
+  util::Bytes snapshot_contents() const override;
+
+  const std::string& wal_path() const { return wal_path_; }
+  const std::string& snapshot_path() const { return snap_path_; }
+
+ private:
+  void reopen_wal(const char* mode);
+
+  std::string wal_path_;
+  std::string snap_path_;
+  std::FILE* wal_ = nullptr;
+};
+
+}  // namespace pqra::storage

@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file wal.hpp
+/// Checksummed, length-prefixed write-ahead-log record format
+/// (docs/DURABILITY.md).
+///
+/// Every store mutation a replica applies appends one record:
+///
+///   [u32 len][u32 crc][payload]       len = payload bytes, crc = CRC32(payload)
+///   payload = [u32 reg][u64 ts][u32 vlen][vlen value bytes]
+///
+/// The format is self-delimiting and truncation-tolerant: replay walks
+/// records from the front and stops at the first one whose header cannot be
+/// satisfied (len impossible for the remaining bytes) or whose CRC does not
+/// match — a torn tail from a crash mid-sync.  The valid prefix before that
+/// point is exactly what recovery may surface; the tail is discarded, never
+/// propagated (DurableStore truncates it away so post-recovery appends land
+/// on a well-formed log).
+///
+/// Free functions over util::Bytes, no I/O: both StorageBackend
+/// implementations (mem_disk.hpp, file_backend.hpp) persist the bytes this
+/// module produces, and the crash-replay-compare oracle in the explore
+/// runner replays durable bytes independently of the store under test.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/register_types.hpp"
+#include "util/codec.hpp"
+
+namespace pqra::storage::wal {
+
+/// [u32 len][u32 crc] before every payload.
+inline constexpr std::size_t kHeaderBytes = 8;
+/// [u32 reg][u64 ts][u32 vlen] before the value bytes.  A record below this
+/// is structurally impossible, which is what lets replay reject the
+/// fully-zeroed headers a torn write can fabricate (len 0 never validates).
+inline constexpr std::size_t kMinPayloadBytes = 16;
+
+/// CRC-32 (IEEE 802.3, reflected), the checksum in every record header.
+std::uint32_t crc32(const std::byte* data, std::size_t size);
+
+/// One decoded record.
+struct Record {
+  core::RegisterId reg = 0;
+  core::Timestamp ts = 0;
+  core::Value value;
+};
+
+/// Encodes one record into \p out.  \p out is cleared first but keeps its
+/// capacity, so the per-apply path reuses one scratch buffer instead of
+/// allocating per record.
+void encode_record(util::Bytes& out, core::RegisterId reg, core::Timestamp ts,
+                   const core::Value& value);
+
+/// What replay_log recovered from a log image.
+struct ReplayResult {
+  std::vector<Record> records;
+  /// Byte length of the valid prefix: every record in `records` lives in
+  /// [0, valid_bytes); recovery truncates the log here.
+  std::size_t valid_bytes = 0;
+  /// True when bytes past the valid prefix were discarded (torn tail).
+  bool torn = false;
+};
+
+/// Walks \p log from the front, decoding records until the first torn or
+/// corrupt one (see file comment), and returns the valid prefix.
+///
+/// \p skip_crc_bug is the planted-bug hook of the explore durability drill
+/// (docs/EXPLORATION.md): when set, a CRC mismatch is NOT treated as a torn
+/// tail — the corrupt payload is decoded best-effort and surfaced as if it
+/// were durable, which is precisely the recovery bug the
+/// crash-replay-compare probe must catch.  Never set outside that drill.
+ReplayResult replay_log(const util::Bytes& log, bool skip_crc_bug = false);
+
+}  // namespace pqra::storage::wal

@@ -1,0 +1,34 @@
+// Fixture: storage-backend hot-path hygiene violations (the fixture config
+// puts this file in hot-path scope the way .pqra-lint.toml puts the
+// MemDisk/DurableStore apply path there: WAL appends run inside DES
+// events, so they must not allocate, block, or store heap callables).
+// Never compiled — linted only (tests/lint/lint_golden.cmake).
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+struct WalRecord {
+  std::vector<unsigned char> payload;
+  std::function<void()> on_durable;   // heap-allocating callable per record
+};
+
+struct BadDisk {
+  std::vector<unsigned char> log;
+  std::mutex sync_mutex;              // blocking primitive in DES storage
+
+  void append(const WalRecord& record) {
+    auto* staged = new WalRecord(record);  // raw allocation per append
+    auto scratch = std::make_unique<std::vector<unsigned char>>();
+    (void)scratch;
+    log.insert(log.end(), staged->payload.begin(), staged->payload.end());
+  }
+
+  void sync() {
+    std::lock_guard<std::mutex> lock(sync_mutex);
+    // Simulated fsync latency: wall-clock sleep inside an event handler.
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+};

@@ -124,6 +124,82 @@ TEST(FaultPlanRoundtripTest, MutatedKeyAddressedPlansRoundTrip) {
   EXPECT_TRUE(saw_key_targets);
 }
 
+TEST(FaultPlanRoundtripTest, DurabilityVerbsRoundTrip) {
+  // The durability grammar (docs/DURABILITY.md): tornwrite / fsyncloss /
+  // nofsyncloss, node- and key-addressed, mixing freely with the rest.
+  FaultPlan plan;
+  plan.torn_write_at(12.0, 1)
+      .torn_write_key_at(18.0, 9)
+      .fsync_loss_at(22.0, 2)
+      .clear_fsync_loss_at(45.0, 2)
+      .fsync_loss_key_at(52.0, 9)
+      .clear_fsync_loss_key_at(72.0, 9)
+      .crash_at(21.0, 2);
+  const std::string text = plan.serialize();
+  EXPECT_NE(text.find("tornwrite:1@12"), std::string::npos) << text;
+  EXPECT_NE(text.find("tornwrite:k9@18"), std::string::npos) << text;
+  EXPECT_NE(text.find("fsyncloss:2@22"), std::string::npos) << text;
+  EXPECT_NE(text.find("nofsyncloss:2@45"), std::string::npos) << text;
+  const FaultPlan parsed = FaultPlan::parse(text);
+  EXPECT_EQ(parsed, plan);
+  EXPECT_EQ(parsed.serialize(), text);
+}
+
+TEST(FaultPlanRoundtripTest, FsyncLossWindowSugarParsesToThePair) {
+  // `fsyncloss:N@T1-T2` is parse-side sugar for the open/close pair; the
+  // canonical (serialized) form is the pair, which round-trips.
+  const FaultPlan sugar = FaultPlan::parse("fsyncloss:4@20-60");
+  FaultPlan pair;
+  pair.fsync_loss_at(20.0, 4).clear_fsync_loss_at(60.0, 4);
+  EXPECT_EQ(sugar, pair);
+  EXPECT_EQ(FaultPlan::parse(sugar.serialize()), sugar);
+  EXPECT_EQ(FaultPlan::parse(sugar.serialize()).serialize(),
+            sugar.serialize());
+
+  // Key-addressed windows desugar the same way.
+  const FaultPlan key_sugar = FaultPlan::parse("fsyncloss:k3@5-15");
+  FaultPlan key_pair;
+  key_pair.fsync_loss_key_at(5.0, 3).clear_fsync_loss_key_at(15.0, 3);
+  EXPECT_EQ(key_sugar, key_pair);
+}
+
+TEST(FaultPlanRoundtripTest, MutatedDurabilityPlansRoundTrip) {
+  // With durability enabled the mutation operator also draws torn-write
+  // events and fsync-loss windows; whatever it produces must survive the
+  // --replay file contract.  The legacy draw sequence (durability=false)
+  // is pinned unchanged by MutatedPlansRoundTripByteIdentically above
+  // sharing its seed.
+  util::Rng rng(20260807);
+  bool saw_torn = false;
+  bool saw_fsync_window = false;
+  for (int trial = 0; trial < 400; ++trial) {
+    FaultPlan plan;
+    const std::size_t edits = 1 + static_cast<std::size_t>(rng.below(10));
+    for (std::size_t i = 0; i < edits; ++i) {
+      plan.mutate(/*num_servers=*/8, /*horizon=*/100.0, rng, /*num_keys=*/32,
+                  /*durability=*/true);
+    }
+    if (plan.empty()) continue;
+    for (const FaultPlan::Event& e : plan.events()) {
+      saw_torn |= e.kind == FaultKind::kTornWrite;
+      saw_fsync_window |= e.kind == FaultKind::kFsyncLoss;
+      if (e.kind == FaultKind::kFsyncLoss ||
+          e.kind == FaultKind::kClearFsyncLoss ||
+          e.kind == FaultKind::kTornWrite) {
+        ASSERT_GE(e.at, 0.0);
+        ASSERT_LE(e.at, 100.0);
+      }
+    }
+    const std::string text = plan.serialize();
+    FaultPlan parsed;
+    ASSERT_NO_THROW(parsed = FaultPlan::parse(text)) << text;
+    EXPECT_EQ(parsed, plan) << text;
+    EXPECT_EQ(parsed.serialize(), text) << text;
+  }
+  EXPECT_TRUE(saw_torn);
+  EXPECT_TRUE(saw_fsync_window);
+}
+
 TEST(FaultPlanRoundtripTest, FromPartsPreservesEventOrderAndKnobs) {
   util::Rng rng(7);
   FaultPlan plan;

@@ -1,0 +1,300 @@
+/// DurableStore + backend pins (docs/DURABILITY.md): snapshot install /
+/// WAL-replay equivalence, log truncation after checkpoints, crash recovery
+/// through MemDisk (including injected fsync-loss and torn-write faults and
+/// the repair-by-later-sync rule), and a real-file FileBackend restart.
+
+#include "storage/durable_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/replica.hpp"
+#include "net/faults.hpp"
+#include "storage/file_backend.hpp"
+#include "storage/mem_disk.hpp"
+#include "util/codec.hpp"
+#include "util/rng.hpp"
+
+namespace pqra::storage {
+namespace {
+
+core::Value val(std::int64_t x) { return util::encode(x); }
+
+/// Applies one write through the protocol path (so the StoreListener fires
+/// exactly as in a real run).
+void write(core::Replica& r, core::RegisterId reg, core::Timestamp ts,
+           std::int64_t x) {
+  r.handle(net::Message::write_req(reg, /*op=*/ts, ts, val(x)));
+}
+
+TEST(DurableStoreTest, CrashAfterSyncedWritesRecoversEveryApply) {
+  core::Replica replica;
+  MemDisk disk(0, nullptr, util::Rng(1));
+  DurableStore store(disk, DurableStore::Options{/*snapshot_every=*/0});
+  store.attach(replica);
+
+  write(replica, 0, 1, 10);
+  write(replica, 1, 1, 20);
+  write(replica, 0, 2, 11);
+  const core::Value before = replica.encode_store();
+
+  disk.drop_volatile();
+  store.recover();
+  EXPECT_EQ(replica.encode_store(), before);
+  EXPECT_EQ(replica.get(0)->ts, 2u);
+  EXPECT_EQ(util::decode<std::int64_t>(replica.get(0)->value), 11);
+  EXPECT_EQ(store.counters().recoveries, 1u);
+  EXPECT_EQ(store.counters().replayed_records, 3u);
+  EXPECT_EQ(store.counters().torn_tails_dropped, 0u);
+}
+
+TEST(DurableStoreTest, SnapshotPlusWalReplayEqualsSnapshotlessReplay) {
+  // Same write sequence, one store checkpointing mid-stream, one never:
+  // recovery must land both on the identical store (snapshot ⊔ WAL prefix
+  // is equivalent to replaying the full log).
+  core::Replica with_snap;
+  core::Replica wal_only;
+  MemDisk disk_a(0, nullptr, util::Rng(1));
+  MemDisk disk_b(1, nullptr, util::Rng(1));
+  DurableStore store_a(disk_a, DurableStore::Options{0});
+  DurableStore store_b(disk_b, DurableStore::Options{0});
+  store_a.attach(with_snap);
+  store_b.attach(wal_only);
+
+  for (core::Timestamp ts = 1; ts <= 3; ++ts) {
+    write(with_snap, 0, ts, 100 + static_cast<std::int64_t>(ts));
+    write(wal_only, 0, ts, 100 + static_cast<std::int64_t>(ts));
+  }
+  store_a.checkpoint();
+  ASSERT_TRUE(disk_a.durable_wal().empty());  // log reset at the checkpoint
+  for (core::Timestamp ts = 4; ts <= 6; ++ts) {
+    write(with_snap, 1, ts, 200 + static_cast<std::int64_t>(ts));
+    write(wal_only, 1, ts, 200 + static_cast<std::int64_t>(ts));
+  }
+
+  disk_a.drop_volatile();
+  disk_b.drop_volatile();
+  store_a.recover();
+  store_b.recover();
+  EXPECT_EQ(with_snap.encode_store(), wal_only.encode_store());
+  EXPECT_EQ(store_a.counters().snapshot_loads, 1u);
+  EXPECT_EQ(store_a.counters().replayed_records, 3u);  // post-snapshot WAL
+  EXPECT_EQ(store_b.counters().snapshot_loads, 0u);
+  EXPECT_EQ(store_b.counters().replayed_records, 6u);
+}
+
+TEST(DurableStoreTest, AutomaticCheckpointTruncatesTheLog) {
+  core::Replica replica;
+  MemDisk disk(0, nullptr, util::Rng(1));
+  DurableStore store(disk, DurableStore::Options{/*snapshot_every=*/4});
+  store.attach(replica);
+
+  for (core::Timestamp ts = 1; ts <= 4; ++ts) write(replica, 0, ts, 1);
+  EXPECT_EQ(store.counters().checkpoints, 1u);
+  EXPECT_TRUE(disk.durable_wal().empty());
+  EXPECT_FALSE(disk.durable_snapshot().empty());
+
+  // The 5th apply starts a fresh log; recovery folds snapshot + 1 record.
+  write(replica, 1, 5, 2);
+  const core::Value before = replica.encode_store();
+  disk.drop_volatile();
+  store.recover();
+  EXPECT_EQ(replica.encode_store(), before);
+  EXPECT_EQ(store.counters().snapshot_loads, 1u);
+  EXPECT_EQ(store.counters().replayed_records, 1u);
+}
+
+TEST(DurableStoreTest, CheckpointMakesPreloadedInitialsDurable) {
+  // preload() bypasses the listener by design; the explicit checkpoint is
+  // what makes initial vectors durable (the explore runner does exactly
+  // this after preloading).
+  core::Replica replica;
+  MemDisk disk(0, nullptr, util::Rng(1));
+  DurableStore store(disk, DurableStore::Options{0});
+  replica.preload(0, val(7));
+  replica.preload(1, val(8));
+  store.attach(replica);
+  store.checkpoint();
+
+  disk.drop_volatile();
+  store.recover();
+  ASSERT_NE(replica.get(0), nullptr);
+  EXPECT_EQ(replica.get(0)->ts, 0u);
+  EXPECT_EQ(util::decode<std::int64_t>(replica.get(0)->value), 7);
+  EXPECT_EQ(util::decode<std::int64_t>(replica.get(1)->value), 8);
+}
+
+TEST(DurableStoreTest, FsyncLossWindowLosesExactlyTheUnsyncedSuffix) {
+  net::FaultInjector faults(2);
+  core::Replica replica;
+  MemDisk disk(0, &faults, util::Rng(3));
+  DurableStore store(disk, DurableStore::Options{0});
+  store.attach(replica);
+
+  write(replica, 0, 1, 10);  // durable
+  faults.set_fsync_loss(0, true);
+  write(replica, 0, 2, 11);  // sync silently lost
+  write(replica, 1, 1, 20);  // still lost
+  faults.set_fsync_loss(0, false);
+
+  EXPECT_EQ(disk.counters().lost_syncs, 2u);
+  disk.drop_volatile();
+  store.recover();
+  // Only the write synced before the window survives.
+  EXPECT_EQ(replica.get(0)->ts, 1u);
+  EXPECT_EQ(util::decode<std::int64_t>(replica.get(0)->value), 10);
+  EXPECT_EQ(replica.get(1), nullptr);
+  EXPECT_EQ(faults.counters().fsync_losses, 2u);
+}
+
+TEST(DurableStoreTest, SyncAfterFsyncLossWindowRepairsTheLog) {
+  // The lying fsync loses bytes only until the next honest sync: wal_sync
+  // copies the whole volatile image, so one good sync re-persists the
+  // records the window dropped.
+  net::FaultInjector faults(2);
+  core::Replica replica;
+  MemDisk disk(0, &faults, util::Rng(3));
+  DurableStore store(disk, DurableStore::Options{0});
+  store.attach(replica);
+
+  faults.set_fsync_loss(0, true);
+  write(replica, 0, 1, 10);
+  faults.set_fsync_loss(0, false);
+  write(replica, 0, 2, 11);  // honest sync: both records land
+  const core::Value before = replica.encode_store();
+
+  disk.drop_volatile();
+  store.recover();
+  EXPECT_EQ(replica.encode_store(), before);
+  EXPECT_EQ(store.counters().replayed_records, 2u);
+}
+
+TEST(DurableStoreTest, TornWriteSurfacedOnCrashDropsOnlyTheTornRecord) {
+  net::FaultInjector faults(2);
+  core::Replica replica;
+  MemDisk disk(0, &faults, util::Rng(7));
+  DurableStore store(disk, DurableStore::Options{0});
+  store.attach(replica);
+
+  write(replica, 0, 1, 10);  // durable, intact
+  faults.arm_torn_write(0);
+  // All-nonzero value bytes: wherever the tear lands in the final record,
+  // it changes at least one byte, so the CRC catches it after the crash.
+  write(replica, 0, 2, 0x1122334455667788);  // this sync tears its own record
+  EXPECT_EQ(disk.counters().torn_syncs, 1u);
+  EXPECT_EQ(faults.counters().torn_writes, 1u);
+
+  disk.drop_volatile();
+  store.recover();
+  // The torn tail is discarded, the prefix survives, and the log is
+  // repaired so post-recovery appends extend a well-formed image.
+  EXPECT_EQ(replica.get(0)->ts, 1u);
+  EXPECT_EQ(util::decode<std::int64_t>(replica.get(0)->value), 10);
+  EXPECT_EQ(store.counters().torn_tails_dropped, 1u);
+  const wal::ReplayResult repaired = wal::replay_log(disk.durable_wal());
+  EXPECT_FALSE(repaired.torn);
+  EXPECT_EQ(repaired.records.size(), 1u);
+
+  write(replica, 0, 3, 12);
+  disk.drop_volatile();
+  store.recover();
+  EXPECT_EQ(replica.get(0)->ts, 3u);
+}
+
+TEST(DurableStoreTest, LaterGoodSyncRepairsATornTail) {
+  // A torn write only matters if the node crashes while the tear is the
+  // durable tail: the next honest sync rewrites the image in full.
+  net::FaultInjector faults(2);
+  core::Replica replica;
+  MemDisk disk(0, &faults, util::Rng(7));
+  DurableStore store(disk, DurableStore::Options{0});
+  store.attach(replica);
+
+  faults.arm_torn_write(0);
+  write(replica, 0, 1, 10);  // torn in the durable image
+  write(replica, 0, 2, 11);  // honest sync repairs the tear
+  const core::Value before = replica.encode_store();
+
+  disk.drop_volatile();
+  store.recover();
+  EXPECT_EQ(replica.encode_store(), before);
+  EXPECT_EQ(store.counters().torn_tails_dropped, 0u);
+  EXPECT_EQ(store.counters().replayed_records, 2u);
+}
+
+TEST(DurableStoreTest, FileBackendSurvivesAProcessRestart) {
+  const std::string prefix = testing::TempDir() + "pqra_wal_restart";
+  std::remove((prefix + ".wal").c_str());
+  std::remove((prefix + ".snap").c_str());
+  core::Value before;
+  {
+    core::Replica replica;
+    FileBackend files(prefix);
+    DurableStore store(files, DurableStore::Options{0});
+    store.attach(replica);
+    write(replica, 0, 1, 10);
+    write(replica, 1, 1, 20);
+    store.checkpoint();
+    write(replica, 0, 2, 11);
+    before = replica.encode_store();
+  }  // "process exit": backend closed, files remain
+
+  core::Replica revived;
+  FileBackend files(prefix);
+  DurableStore store(files, DurableStore::Options{0});
+  store.attach(revived);
+  store.recover();
+  EXPECT_EQ(revived.encode_store(), before);
+  EXPECT_EQ(store.counters().snapshot_loads, 1u);
+  EXPECT_EQ(store.counters().replayed_records, 1u);
+  std::remove((prefix + ".wal").c_str());
+  std::remove((prefix + ".snap").c_str());
+}
+
+TEST(DurableStoreTest, FileBackendTruncatesATornTailOnRecovery) {
+  const std::string prefix = testing::TempDir() + "pqra_wal_torn";
+  std::remove((prefix + ".wal").c_str());
+  std::remove((prefix + ".snap").c_str());
+  std::size_t full_size = 0;
+  {
+    core::Replica replica;
+    FileBackend files(prefix);
+    DurableStore store(files, DurableStore::Options{0});
+    store.attach(replica);
+    write(replica, 0, 1, 10);
+    write(replica, 0, 2, 11);
+    full_size = files.wal_contents().size();
+  }
+  // Crash simulation: chop bytes off the on-disk log mid-record.
+  {
+    util::Bytes bytes;
+    {
+      FileBackend files(prefix);
+      bytes = files.wal_contents();
+    }
+    ASSERT_EQ(bytes.size(), full_size);
+    std::FILE* f = std::fopen((prefix + ".wal").c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(bytes.data(), 1, full_size - 5, f), full_size - 5);
+    std::fclose(f);
+  }
+
+  core::Replica revived;
+  FileBackend files(prefix);
+  DurableStore store(files, DurableStore::Options{0});
+  store.attach(revived);
+  store.recover();
+  EXPECT_EQ(revived.get(0)->ts, 1u);
+  EXPECT_EQ(store.counters().torn_tails_dropped, 1u);
+  // The repair is durable: the file now ends at the valid prefix.
+  const wal::ReplayResult repaired = wal::replay_log(files.wal_contents());
+  EXPECT_FALSE(repaired.torn);
+  EXPECT_EQ(repaired.records.size(), 1u);
+  std::remove((prefix + ".wal").c_str());
+  std::remove((prefix + ".snap").c_str());
+}
+
+}  // namespace
+}  // namespace pqra::storage

@@ -68,6 +68,10 @@ struct CliOptions {
   /// multi-key shape before running it — the keyspace sweep used by the
   /// explore_multikey_smoke tier-1 test (docs/SHARDING.md).
   bool force_multikey = false;
+  /// Deterministically make every (non-alg1) from_seed profile durable and
+  /// add seeded durability faults — the crash-replay-compare sweep used by
+  /// the explore_durability_smoke tier-1 test (docs/DURABILITY.md).
+  bool force_durable = false;
 };
 
 /// The --force-multikey transform: a pure function of the profile's seed
@@ -93,9 +97,43 @@ ScheduleProfile force_multikey(ScheduleProfile p) {
   return p;
 }
 
+/// The --force-durable transform: a pure function of the profile's seed
+/// (dedicated stream 4; from_seed uses 1 and 2, --force-multikey uses 3).
+/// Makes the run durable, draws a checkpoint cadence, and lands at least
+/// one durability fault edit so the crash-replay-compare oracle always has
+/// torn/lost syncs to chew on.  alg1 profiles are left alone.
+ScheduleProfile force_durable(ScheduleProfile p) {
+  if (p.alg1) return p;
+  pqra::util::Rng d = pqra::util::Rng(p.seed).fork(4);
+  p.durable = true;
+  p.snapshot_every = std::size_t{4} << d.below(5);  // 4..64
+  const std::size_t fault_keys = p.keys_per_client > 1 ? p.num_keys() : 0;
+  const std::size_t extra = static_cast<std::size_t>(d.below(3));
+  for (std::size_t i = 0; i < 1 + extra; ++i) {
+    // Durability-only edits: loop until the mutate draw lands in the
+    // durability case so every sweep seed actually exercises the storage
+    // fault machinery (the general-purpose edits already ran in from_seed).
+    const std::size_t before = p.faults.events().size();
+    while (p.faults.events().size() == before) {
+      pqra::net::FaultPlan probe_plan = p.faults;
+      probe_plan.mutate(p.num_servers, p.horizon, d, fault_keys,
+                        /*durability=*/true);
+      if (probe_plan.events().size() > before &&
+          (probe_plan.events().back().kind == pqra::net::FaultKind::kTornWrite ||
+           probe_plan.events().back().kind == pqra::net::FaultKind::kFsyncLoss ||
+           probe_plan.events().back().kind ==
+               pqra::net::FaultKind::kClearFsyncLoss)) {
+        p.faults = std::move(probe_plan);
+      }
+    }
+  }
+  return p;
+}
+
 ScheduleProfile profile_for(std::uint64_t seed, const CliOptions& opt) {
   ScheduleProfile p = ScheduleProfile::from_seed(seed);
   if (opt.force_multikey) p = force_multikey(std::move(p));
+  if (opt.force_durable) p = force_durable(std::move(p));
   return p;
 }
 
@@ -132,6 +170,9 @@ int usage(const char* argv0) {
       << "  --force-multikey      push every explored profile into a "
          "multi-key\n"
          "                        sharded shape (seed-deterministic)\n"
+      << "  --force-durable       run every explored profile with durable\n"
+         "                        (WAL + snapshot) replicas and seeded\n"
+         "                        durability faults (seed-deterministic)\n"
       << "  --quiet               suppress progress lines\n";
   return 2;
 }
@@ -533,6 +574,8 @@ int main(int argc, char** argv) {
       opt.no_shrink = true;
     } else if (arg == "--force-multikey") {
       opt.force_multikey = true;
+    } else if (arg == "--force-durable") {
+      opt.force_durable = true;
     } else if (arg == "--quiet") {
       opt.quiet = true;
     } else {

@@ -147,6 +147,9 @@ std::string ScheduleProfile::serialize() const {
   os << "replicas " << replicas << "\n";
   os << "vnodes " << ring_vnodes << "\n";
   os << "bug-cross-key " << (bug_cross_key ? 1 : 0) << "\n";
+  os << "durable " << (durable ? 1 : 0) << "\n";
+  os << "snapshot-every " << snapshot_every << "\n";
+  os << "bug-skip-crc " << (bug_skip_crc ? 1 : 0) << "\n";
   os << "gossip " << util::format_double(gossip_interval) << "\n";
   os << "delay " << delay.serialize() << "\n";
   os << "horizon " << util::format_double(horizon) << "\n";
@@ -209,6 +212,14 @@ ScheduleProfile ScheduleProfile::parse(const std::string& text) {
       p.ring_vnodes = static_cast<std::size_t>(parse_u64(value, line));
     } else if (key == "bug-cross-key") {
       p.bug_cross_key = parse_bool(value, line);
+    } else if (key == "durable") {
+      // Durability keys default when absent so pre-durability replay files
+      // still parse (they describe non-durable runs, which the defaults are).
+      p.durable = parse_bool(value, line);
+    } else if (key == "snapshot-every") {
+      p.snapshot_every = static_cast<std::size_t>(parse_u64(value, line));
+    } else if (key == "bug-skip-crc") {
+      p.bug_skip_crc = parse_bool(value, line);
     } else if (key == "gossip") {
       p.gossip_interval = parse_f64(value, line);
     } else if (key == "delay") {
@@ -239,6 +250,10 @@ ScheduleProfile ScheduleProfile::parse(const std::string& text) {
                   p.key_skew != 0.0 || p.replicas != 0 || p.bug_cross_key))) {
     throw std::logic_error("profile keyspace out of range: " + p.serialize());
   }
+  if ((p.bug_skip_crc && !p.durable) || (p.alg1 && p.durable)) {
+    throw std::logic_error("profile durability out of range: " +
+                           p.serialize());
+  }
   return p;
 }
 
@@ -263,9 +278,14 @@ std::size_t ScheduleProfile::cost() const {
       static_cast<std::size_t>(replicas > 0);
   // Fault events dominate (removing one always wins), then workload size,
   // then cluster shape and the horizon so every shrinking pass can lower it.
+  // Durability costs enough that a repro which survives the durable->plain
+  // flip sheds it, but not so much the shrinker prefers gutting the
+  // workload first.  Zero at the non-durable default: legacy costs hold.
+  const std::size_t durable_cost =
+      durable ? 2 + static_cast<std::size_t>(snapshot_every > 0) : 0;
   return 16 * faults.events().size() + num_clients * ops_per_client +
          num_servers + quorum_size + 4 * knobs + 2 * flags +
-         8 * (keys_per_client - 1) + 2 * key_knobs +
+         8 * (keys_per_client - 1) + 2 * key_knobs + durable_cost +
          static_cast<std::size_t>(horizon);
 }
 

@@ -80,6 +80,24 @@ struct ScheduleProfile {
   /// contamination and shrinks it to a minimal keyspace.
   bool bug_cross_key = false;
 
+  /// Durability (docs/DURABILITY.md): every server runs a MemDisk-backed
+  /// DurableStore, crashes drop volatile storage, recoveries replay the
+  /// durable prefix and the crash-replay-compare oracle cross-checks every
+  /// recovery.  Never drawn by from_seed (existing seeds keep their
+  /// byte-identical schedules); enabled by `--force-durable` and explicit
+  /// profiles.  alg1 profiles stay non-durable (the iterative scenario owns
+  /// its replica layout).
+  bool durable = false;
+  /// WAL appends between automatic checkpoints; 0 = never checkpoint.
+  /// Only read when durable.
+  std::size_t snapshot_every = 64;
+  /// Test-only seeded bug (DurableStore::set_test_skip_crc_bug): recovery
+  /// replays the WAL without CRC checking, so torn garbage surfaces as
+  /// durable state.  Never drawn by from_seed; the durability drill
+  /// (tests/integration/explore_durability_test.cpp) plants it to prove the
+  /// crash-replay-compare oracle catches it and shrinks the repro.
+  bool bug_skip_crc = false;
+
   /// Server anti-entropy period; 0 disables gossip.
   sim::Time gossip_interval = 0.0;
 

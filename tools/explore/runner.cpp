@@ -1,9 +1,11 @@
 #include "explore/runner.hpp"
 
 #include <deque>
+#include <map>
 #include <memory>
 #include <optional>
 #include <sstream>
+#include <utility>
 #include <vector>
 
 #include "apps/apsp.hpp"
@@ -17,6 +19,8 @@
 #include "net/sim_transport.hpp"
 #include "quorum/probabilistic.hpp"
 #include "sim/profiler.hpp"
+#include "storage/durable_store.hpp"
+#include "storage/mem_disk.hpp"
 #include "util/codec.hpp"
 #include "util/zipf.hpp"
 
@@ -39,6 +43,101 @@ std::string probe_rule(const std::string& violation) {
 void fold(spec::CheckResult& into, const spec::CheckResult& from) {
   for (const std::string& v : from.violations) into.fail(v);
 }
+
+/// Crash-replay-compare oracle (docs/DURABILITY.md): fired by the fault
+/// injector on every real crashed->up transition.  It models the crash
+/// (drop the node's volatile storage), snapshots the durable images, lets
+/// the DurableStore recover the replica, and cross-checks the recovered
+/// store against an *independent* fold of those same durable bytes —
+/// snapshot entries then the honest CRC-checked WAL prefix, ts-max merge.
+/// Any divergence (a planted CRC-skip bug, a replay that resurrects torn
+/// garbage, a truncation that loses acked records) fails under the rule id
+/// "probe:durable-recovery", which shrinks and replays like any other
+/// violation.  Runs synchronously inside the existing recover fault event:
+/// durable runs add zero simulator events.
+class RecoveryOracle final : public net::NodeLifecycleListener {
+ public:
+  RecoveryOracle(std::deque<storage::MemDisk>& disks,
+                 std::deque<storage::DurableStore>& stores,
+                 std::deque<core::ServerProcess>& servers,
+                 spec::StoreProbe& probe, spec::CheckResult& failures)
+      : disks_(disks),
+        stores_(stores),
+        servers_(servers),
+        probe_(probe),
+        failures_(failures) {}
+
+  void on_recover(net::NodeId node) override {
+    if (node >= disks_.size()) return;
+    storage::MemDisk& disk = disks_[node];
+    disk.drop_volatile();
+    // Capture the durable images BEFORE recover(): the store's recovery
+    // repairs the log (wal_truncate_to), and the oracle must judge the
+    // bytes the crash actually left behind.
+    const util::Bytes snapshot = disk.durable_snapshot();
+    const util::Bytes log = disk.durable_wal();
+    stores_[node].recover();
+
+    // Independent replay of the durable prefix: snapshot entries, then the
+    // honest CRC-checked WAL fold.  Shares only the record codec with
+    // DurableStore::recover(), none of its control flow.
+    std::map<core::RegisterId, std::pair<core::Timestamp, core::Value>>
+        expected;
+    if (!snapshot.empty()) {
+      for (core::Replica::StoreEntry& e :
+           core::Replica::decode_store(snapshot)) {
+        expected[e.reg] = {e.ts, std::move(e.value)};
+      }
+    }
+    for (storage::wal::Record& r : storage::wal::replay_log(log).records) {
+      auto it = expected.find(r.reg);
+      if (it == expected.end() || r.ts >= it->second.first) {
+        expected[r.reg] = {r.ts, std::move(r.value)};
+      }
+    }
+
+    const core::Replica& replica = servers_[node].replica();
+    const std::vector<core::Replica::StoreEntry> recovered =
+        core::Replica::decode_store(replica.encode_store());
+    for (const core::Replica::StoreEntry& e : recovered) {
+      auto it = expected.find(e.reg);
+      if (it == expected.end()) {
+        fail(node, e.reg, "recovered an entry the durable prefix lacks");
+      } else if (e.ts != it->second.first ||
+                 e.value.bytes() != it->second.second.bytes()) {
+        std::ostringstream os;
+        os << "recovered (ts=" << e.ts << ", " << e.value.size()
+           << "B) but the durable prefix holds (ts=" << it->second.first
+           << ", " << it->second.second.size() << "B)";
+        fail(node, e.reg, os.str());
+      }
+    }
+    if (recovered.size() != expected.size()) {
+      std::ostringstream os;
+      os << "recovered " << recovered.size()
+         << " entries but the durable prefix holds " << expected.size();
+      fail(node, 0, os.str());
+    }
+    // The rewind to the durable prefix is legitimate (acked-but-unsynced
+    // writes die with the volatile state); reset the monotonicity watch so
+    // the store-ts probe doesn't re-report what the oracle just judged.
+    probe_.forget(node);
+  }
+
+ private:
+  void fail(net::NodeId node, core::RegisterId reg, const std::string& why) {
+    std::ostringstream os;
+    os << "[probe:durable-recovery] server=" << node << ", reg=" << reg
+       << ": " << why;
+    failures_.fail(os.str());
+  }
+
+  std::deque<storage::MemDisk>& disks_;
+  std::deque<storage::DurableStore>& stores_;
+  std::deque<core::ServerProcess>& servers_;
+  spec::StoreProbe& probe_;
+  spec::CheckResult& failures_;
+};
 
 core::RetryPolicy explore_retry() {
   core::RetryPolicy retry;
@@ -167,6 +266,25 @@ RunOutcome run_direct(const ScheduleProfile& p, sim::QueueMode mode,
     }
   }
 
+  // Durable replicas (docs/DURABILITY.md): one deterministic MemDisk and
+  // one DurableStore per server.  The disk's RNG stream (300+s) is forked
+  // only on durable runs — fork() is const, so non-durable runs keep their
+  // exact draw sequence — and is consumed only when a torn-write fault
+  // picks a tear offset, so fault-free durable runs stay byte-identical to
+  // their non-durable twins.
+  std::deque<storage::MemDisk> disks;
+  std::deque<storage::DurableStore> stores;
+  if (p.durable) {
+    for (net::NodeId s = 0; s < n; ++s) {
+      disks.emplace_back(s, &transport.faults(),
+                         master.fork(300 + static_cast<std::uint64_t>(s)));
+      stores.emplace_back(disks.back(),
+                          storage::DurableStore::Options{p.snapshot_every});
+      stores.back().attach(servers[s].replica());
+      if (p.bug_skip_crc) stores.back().set_test_skip_crc_bug(true);
+    }
+  }
+
   spec::HistoryRecorder history;
   core::ClientOptions options;
   options.monotone = p.monotone;
@@ -204,6 +322,10 @@ RunOutcome run_direct(const ScheduleProfile& p, sim::QueueMode mode,
     }
     history.record_initial(reg);
   }
+  // Preload bypasses the store listener; an explicit checkpoint makes the
+  // initial vector durable, so a server crashing before its first write
+  // recovers its preloaded keys instead of an empty store.
+  for (storage::DurableStore& store : stores) store.checkpoint();
 
   // Zipfian read skew over the whole keyspace; shared by all drivers (each
   // draw consumes one uniform from the calling driver's own stream).
@@ -226,6 +348,16 @@ RunOutcome run_direct(const ScheduleProfile& p, sim::QueueMode mode,
     d.own_index = i;
     if (zipf.has_value()) d.zipf = &*zipf;
     drivers.push_back(d);
+  }
+
+  // Declared before the fault plan installs: the recovery oracle hangs off
+  // the injector's lifecycle hook and folds into the same probe state.
+  spec::StoreProbe probe;
+  spec::CheckResult probe_failures;
+  std::optional<RecoveryOracle> oracle;
+  if (p.durable) {
+    oracle.emplace(disks, stores, servers, probe, probe_failures);
+    transport.faults().set_lifecycle_listener(&*oracle);
   }
 
   // Key-addressed fault targets resolve to the key's primary owner — ring
@@ -253,8 +385,6 @@ RunOutcome run_direct(const ScheduleProfile& p, sim::QueueMode mode,
 
   // Store/COW probes at 7 interior points of the horizon plus one final
   // observation after the run.
-  spec::StoreProbe probe;
-  spec::CheckResult probe_failures;
   for (int k = 1; k <= 7; ++k) {
     sim.schedule_at(p.horizon * static_cast<double>(k) / 8.0,
                     sim::EventTag::kProbe,

@@ -132,6 +132,20 @@ std::vector<ScheduleProfile> candidates(const ScheduleProfile& cur) {
     out.push_back(std::move(c));
   }
 
+  // Durability reductions (docs/DURABILITY.md): drop the whole durable
+  // layer — unless the planted CRC-skip bug needs it to fire — and try
+  // disabling automatic checkpoints so the repro replays one plain log.
+  if (cur.durable && !cur.bug_skip_crc) {
+    ScheduleProfile c = cur;
+    c.durable = false;
+    out.push_back(std::move(c));
+  }
+  if (cur.durable && cur.snapshot_every > 0) {
+    ScheduleProfile c = cur;
+    c.snapshot_every = 0;
+    out.push_back(std::move(c));
+  }
+
   // Clear protocol extensions one at a time.
   if (cur.gossip_interval > 0.0) {
     ScheduleProfile c = cur;
